@@ -1,0 +1,48 @@
+# QB2OLAP-Go build and experiment targets. Everything is stdlib-only;
+# no tools beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz examples experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... .
+
+race:
+	$(GO) test -race ./... .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# The experiment harness of EXPERIMENTS.md (one benchmark per figure /
+# claim of the paper).
+bench:
+	$(GO) test -run xxx -bench . -benchmem -timeout 60m .
+
+# Short fuzzing pass over all four parsers.
+fuzz:
+	$(GO) test -fuzz FuzzParse$$ -fuzztime 30s ./internal/turtle/
+	$(GO) test -fuzz FuzzParseNQuads -fuzztime 15s ./internal/turtle/
+	$(GO) test -fuzz FuzzParseQuery -fuzztime 30s ./internal/sparql/
+	$(GO) test -fuzz FuzzParseUpdate -fuzztime 15s ./internal/sparql/
+	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/ql/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/externallink
+	$(GO) run ./examples/endpointdemo
+	$(GO) run ./examples/migration -obs 20000
+
+# Regenerate the outputs recorded in the repository.
+experiments:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -run xxx -bench . -benchmem -timeout 60m . 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,477 @@
+// Package repro holds the repository-level benchmark harness: one
+// benchmark per experiment of DESIGN.md's per-experiment index. The
+// paper (an ICDE demo) publishes no numeric tables; these benchmarks
+// regenerate the measurable artifacts behind its figures and claims —
+// the enrichment workflow of Figure 2, the querying workflow of
+// Figure 3, the direct-versus-alternative translation trade-off, and
+// the scaling behaviour on the ≈80,000-observation demo subset.
+// EXPERIMENTS.md records the measured outcomes.
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/endpoint"
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/ql"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// ---------------------------------------------------------------------
+// Shared fixtures: generated datasets and enriched cubes per scale,
+// built once and reused across benchmarks.
+
+var (
+	fixtureMu sync.Mutex
+	rawStores = map[int]*fixtureRaw{}
+	enriched  = map[int]*demo.Enriched{}
+)
+
+type fixtureRaw struct {
+	data *eurostat.Dataset
+}
+
+func configFor(obs int) eurostat.Config {
+	cfg := eurostat.DefaultConfig()
+	cfg.TargetObservations = obs
+	return cfg
+}
+
+// rawDataset returns the generated (un-enriched) dataset for a scale.
+func rawDataset(b *testing.B, obs int) *eurostat.Dataset {
+	b.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := rawStores[obs]; ok {
+		return f.data
+	}
+	d := eurostat.Generate(configFor(obs))
+	rawStores[obs] = &fixtureRaw{data: d}
+	return d
+}
+
+// enrichedEnv returns the fully enriched demo environment for a scale.
+func enrichedEnv(b *testing.B, obs int) *demo.Enriched {
+	b.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if e, ok := enriched[obs]; ok {
+		return e
+	}
+	e, err := demo.Build(configFor(obs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enriched[obs] = e
+	return e
+}
+
+const demoScale = 20000 // default per-op scale; the sweep covers 80k
+
+// demoQuery is the paper's Section IV query.
+const demoQuery = `
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asyl_appDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := ROLLUP ($C3, schema:citizenDim, schema:continent);
+$C5 := ROLLUP ($C4, schema:refPeriodDim, schema:year);
+$C6 := DICE ($C5, (schema:citizenDim|schema:continent|schema:continentName = "Africa"));
+$C7 := DICE ($C6, schema:geoDim|property:geo|schema:countryName = "France");
+`
+
+// ---------------------------------------------------------------------
+// E2 / Figure 2 — the Enrichment module workflow.
+
+// BenchmarkGeneration measures synthetic dataset generation (the
+// substitute for downloading the Eurostat linked data subset).
+func BenchmarkGeneration(b *testing.B) {
+	for _, obs := range []int{1000, 5000, 20000, 80000} {
+		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := eurostat.Generate(configFor(obs))
+				if len(d.Observations) == 0 {
+					b.Fatal("no observations")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoad measures bulk-loading the generated triples into the
+// store (the "QB data set loaded into the endpoint" step).
+func BenchmarkLoad(b *testing.B) {
+	for _, obs := range []int{5000, 20000, 80000} {
+		d := rawDataset(b, obs)
+		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := newEmptyStore()
+				loadDataset(st, d)
+			}
+		})
+	}
+}
+
+// BenchmarkRedefinition measures the Redefinition phase: loading the QB
+// DSD and producing the QB4OLAP skeleton.
+func BenchmarkRedefinition(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enrich.NewSession(env.Client, eurostat.DSDIRI, enrich.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFDDiscovery measures candidate discovery (the FD scan) on
+// the citizenship level.
+func BenchmarkFDDiscovery(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	sess, err := enrich.NewSession(env.Client, eurostat.DSDIRI, enrich.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := sess.Suggest(eurostat.PropCitizen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := enrich.FindCandidate(cands, eurostat.PropContinent); !ok {
+			b.Fatal("continent not found")
+		}
+	}
+}
+
+// BenchmarkQuasiFDSweep (C5) measures discovery across noise rates,
+// with the threshold opened up so the quasi-FD is still accepted.
+func BenchmarkQuasiFDSweep(b *testing.B) {
+	for _, noise := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
+		b.Run(fmt.Sprintf("noise=%.2f", noise), func(b *testing.B) {
+			cfg := configFor(5000)
+			cfg.QuasiFDNoise = noise
+			st, _ := eurostat.NewStore(cfg)
+			client := endpoint.NewLocal(st)
+			opts := enrich.DefaultOptions()
+			opts.QuasiFDThreshold = 0.2
+			sess, err := enrich.NewSession(client, eurostat.DSDIRI, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cands, err := sess.Suggest(eurostat.PropCitizen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, ok := enrich.FindCandidate(cands, eurostat.PropContinent)
+				if !ok || c.Kind != enrich.LevelCandidate {
+					b.Fatalf("continent not accepted at noise %.2f", noise)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTripleGeneration measures the Triple Generation phase for
+// the full demo enrichment.
+func BenchmarkTripleGeneration(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		schema, instances, err := env.Session.GenerateTriples()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(schema) == 0 || len(instances) == 0 {
+			b.Fatal("empty generation")
+		}
+	}
+}
+
+// BenchmarkEnrichmentPipeline measures the whole Figure 2 workflow:
+// redefinition, iterative discovery and level addition, triple
+// generation, and commit — on a fresh store each iteration.
+func BenchmarkEnrichmentPipeline(b *testing.B) {
+	for _, obs := range []int{5000, 20000, 80000} {
+		d := rawDataset(b, obs)
+		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := newEmptyStore()
+				loadDataset(st, d)
+				client := endpoint.NewLocal(st)
+				b.StartTimer()
+				if _, err := demo.EnrichDataset(client); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E3 / Figure 3 — the Querying module workflow.
+
+// BenchmarkQLParse measures QL parsing of the demo program.
+func BenchmarkQLParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ql.Parse(demoQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQLSimplify measures analysis plus the Query Simplification
+// phase.
+func BenchmarkQLSimplify(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	prog, err := ql.Parse(demoQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := ql.Analyze(prog, env.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := ql.Simplify(a); len(s.Statements) == 0 {
+			b.Fatal("empty simplification")
+		}
+	}
+}
+
+// BenchmarkQLTranslate measures the Query Translation phase (both
+// SPARQL variants).
+func BenchmarkQLTranslate(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ql.Prepare(demoQuery, env.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Translation.Direct == "" || p.Translation.Alternative == "" {
+			b.Fatal("missing translation")
+		}
+	}
+}
+
+// BenchmarkQLExecuteDirect measures the SPARQL Execution phase for the
+// direct translation at demo scale.
+func BenchmarkQLExecuteDirect(b *testing.B) {
+	benchmarkExecute(b, ql.Direct)
+}
+
+// BenchmarkQLExecuteAlternative measures execution of the alternative
+// translation at demo scale.
+func BenchmarkQLExecuteAlternative(b *testing.B) {
+	benchmarkExecute(b, ql.Alternative)
+}
+
+func benchmarkExecute(b *testing.B, v ql.Variant) {
+	env := enrichedEnv(b, demoScale)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cube, err := ql.Execute(env.Client, p.Translation, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cube.Cells) == 0 {
+			b.Fatal("empty cube")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// A1 — direct versus alternative across dataset scales.
+
+// BenchmarkDirectVsAlternative sweeps the observation count and runs
+// both translations, exposing where (if anywhere) they cross over.
+func BenchmarkDirectVsAlternative(b *testing.B) {
+	for _, obs := range []int{1000, 5000, 20000, 80000} {
+		env := enrichedEnv(b, obs)
+		p, err := ql.Prepare(demoQuery, env.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []ql.Variant{ql.Direct, ql.Alternative} {
+			b.Run(fmt.Sprintf("obs=%d/%s", obs, v), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ql.Execute(env.Client, p.Translation, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// A2 — join-order planner ablation.
+
+// BenchmarkPlannerAblation runs the direct demo query with the greedy
+// join-order optimizer on and off.
+func BenchmarkPlannerAblation(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sparql.ParseQuery(p.Translation.Direct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		name := "planner=on"
+		if disable {
+			name = "planner=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := sparql.NewEngine(env.Store)
+			eng.DisableReorder = disable
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerAblationAdversarial reverses the generated query's
+// basic graph pattern so the textual order starts from the small
+// disconnected dimension patterns. Without the planner this forces
+// cartesian intermediate results; with it the order is recovered.
+// A small dataset keeps the planner-off case tractable.
+func BenchmarkPlannerAblationAdversarial(b *testing.B) {
+	env := enrichedEnv(b, 2000)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adversarial := reverseBGP(p.Translation.Direct)
+	q, err := sparql.ParseQuery(adversarial)
+	if err != nil {
+		b.Fatalf("%v\n%s", err, adversarial)
+	}
+	for _, disable := range []bool{false, true} {
+		name := "planner=on"
+		if disable {
+			name = "planner=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := sparql.NewEngine(env.Store)
+			eng.DisableReorder = disable
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// reverseBGP reverses the triple-pattern lines of the first WHERE block
+// of a generated query, leaving everything else in place.
+func reverseBGP(query string) string {
+	lines := strings.Split(query, "\n")
+	start, end := -1, -1
+	for i, l := range lines {
+		if start < 0 && strings.HasSuffix(l, "WHERE {") {
+			start = i + 1
+			continue
+		}
+		if start >= 0 {
+			t := strings.TrimSpace(l)
+			if strings.HasPrefix(t, "?") && strings.HasSuffix(t, ".") {
+				end = i
+				continue
+			}
+			break
+		}
+	}
+	if start < 0 || end < start {
+		return query
+	}
+	for i, j := start, end; i < j; i, j = i+1, j-1 {
+		lines[i], lines[j] = lines[j], lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks: store and SPARQL engine.
+
+// BenchmarkStoreLoadTriples measures raw triple ingestion.
+func BenchmarkStoreLoadTriples(b *testing.B) {
+	d := rawDataset(b, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := newEmptyStore()
+		loadDataset(st, d)
+	}
+}
+
+// BenchmarkSPARQLGroupBy measures a flat aggregation over all
+// observations (no hierarchy navigation), isolating GROUP BY cost.
+func BenchmarkSPARQLGroupBy(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	query := `
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+SELECT ?c (SUM(?v) AS ?total) WHERE {
+  ?o qb:dataSet <http://eurostat.linked-statistics.org/data/migr_asyappctzm> ;
+     property:citizen ?c ;
+     sdmx-measure:obsValue ?v .
+} GROUP BY ?c`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.Client.Select(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// helpers
+
+func newEmptyStore() *store.Store { return store.New() }
+
+func loadDataset(st *store.Store, d *eurostat.Dataset) {
+	d.LoadInto(st)
+}

@@ -1,0 +1,596 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/demo"
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/explore"
+	"repro/internal/qb4olap"
+	"repro/internal/ql"
+	"repro/internal/rdf"
+	"repro/internal/turtle"
+	"repro/internal/vocab"
+)
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "cube.ttl", "output Turtle file for the cube and dimension data")
+	external := fs.String("external", "", "optional output Turtle file for the simulated external graph")
+	quadsOut := fs.String("quads", "", "optional output N-Quads file holding cube, dimensions, and the external named graph together")
+	obs := fs.Int("obs", 80000, "approximate observation count")
+	seed := fs.Int64("seed", 42, "generator seed")
+	noise := fs.Float64("noise", 0, "quasi-FD noise rate")
+	fs.Parse(args)
+
+	cfg := eurostat.DefaultConfig()
+	cfg.TargetObservations = *obs
+	cfg.Seed = *seed
+	cfg.QuasiFDNoise = *noise
+	cfg.IncludeExternal = *external != "" || *quadsOut != ""
+	d := eurostat.Generate(cfg)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	tw := turtle.NewWriter(w, vocab.Prefixes())
+	if err := tw.WriteTriples(append(append([]rdf.Triple{}, d.CubeTriples...), d.DimensionTriples...)); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d observations (%d triples) to %s\n", len(d.Observations), len(d.CubeTriples)+len(d.DimensionTriples), *out)
+
+	if *quadsOut != "" {
+		qf, err := os.Create(*quadsOut)
+		if err != nil {
+			return err
+		}
+		defer qf.Close()
+		qw := bufio.NewWriter(qf)
+		var quads []rdf.Quad
+		for _, tr := range append(append([]rdf.Triple{}, d.CubeTriples...), d.DimensionTriples...) {
+			quads = append(quads, rdf.NewQuad(tr.S, tr.P, tr.O, rdf.Term{}))
+		}
+		for _, tr := range d.ExternalTriples {
+			quads = append(quads, rdf.NewQuad(tr.S, tr.P, tr.O, eurostat.ExternalGraph))
+		}
+		if err := turtle.WriteNQuads(qw, quads); err != nil {
+			return err
+		}
+		if err := qw.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d quads to %s\n", len(quads), *quadsOut)
+	}
+	if *external != "" {
+		ef, err := os.Create(*external)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		ew := bufio.NewWriter(ef)
+		if err := turtle.NewWriter(ew, vocab.Prefixes()).WriteTriples(d.ExternalTriples); err != nil {
+			return err
+		}
+		if err := ew.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d external triples to %s\n", len(d.ExternalTriples), *external)
+	}
+	return nil
+}
+
+func cmdSuggest(args []string) error {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	dsd := fs.String("dsd", eurostat.DSDIRI.Value, "QB data structure definition IRI")
+	level := fs.String("level", "", "level IRI to discover candidates for")
+	threshold := fs.Float64("threshold", 0, "quasi-FD error threshold")
+	useExternal := fs.Bool("external", false, "also search the simulated external graph")
+	fs.Parse(args)
+	if *level == "" {
+		return fmt.Errorf("suggest: -level is required")
+	}
+
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	opts := enrich.DefaultOptions()
+	opts.QuasiFDThreshold = *threshold
+	if *useExternal {
+		opts.SearchGraphs = []rdf.Term{eurostat.ExternalGraph}
+	}
+	sess, err := tool.Enrich(parseIRI(*dsd), opts)
+	if err != nil {
+		return err
+	}
+	cands, err := sess.Suggest(parseIRI(*level))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-55s %8s %8s %8s %9s\n", "KIND", "PROPERTY", "MEMBERS", "VALUES", "ERRORS", "SUPPORT")
+	for _, c := range cands {
+		fmt.Printf("%-10s %-55s %8d %8d %8.2f%% %8.0f%%\n",
+			c.Kind, c.Property.Value, c.Members, c.DistinctValues, c.ErrorRate*100, c.Support*100)
+	}
+	return nil
+}
+
+// applyScript runs a line-based enrichment script against a session.
+// Commands: aggregate <measure> <fn>; level <child> <property>;
+// attribute <level> <property>; all <dimension>.
+func applyScript(sess *enrich.Session, script string) error {
+	sc := bufio.NewScanner(strings.NewReader(script))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(err error) error {
+			return fmt.Errorf("enrich script line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "aggregate":
+			if len(fields) != 3 {
+				return fail(fmt.Errorf("usage: aggregate <measure> <sum|avg|count|min|max>"))
+			}
+			var f qb4olap.AggFunc
+			switch fields[2] {
+			case "sum":
+				f = qb4olap.Sum
+			case "avg":
+				f = qb4olap.Avg
+			case "count":
+				f = qb4olap.Count
+			case "min":
+				f = qb4olap.Min
+			case "max":
+				f = qb4olap.Max
+			default:
+				return fail(fmt.Errorf("unknown aggregate %q", fields[2]))
+			}
+			if err := sess.SetAggregate(parseIRI(fields[1]), f); err != nil {
+				return fail(err)
+			}
+		case "level", "attribute":
+			if len(fields) != 3 {
+				return fail(fmt.Errorf("usage: %s <level> <property>", fields[0]))
+			}
+			cands, err := sess.Suggest(parseIRI(fields[1]))
+			if err != nil {
+				return fail(err)
+			}
+			c, ok := enrich.FindCandidate(cands, parseIRI(fields[2]))
+			if !ok {
+				return fail(fmt.Errorf("property %s not suggested for level %s", fields[2], fields[1]))
+			}
+			if fields[0] == "level" {
+				err = sess.AddLevel(c)
+			} else {
+				err = sess.AddAttribute(c)
+			}
+			if err != nil {
+				return fail(err)
+			}
+		case "all":
+			if len(fields) != 2 {
+				return fail(fmt.Errorf("usage: all <dimension>"))
+			}
+			if _, err := sess.AddAllLevel(parseIRI(fields[1])); err != nil {
+				return fail(err)
+			}
+		default:
+			return fail(fmt.Errorf("unknown command %q", fields[0]))
+		}
+	}
+	return sc.Err()
+}
+
+func cmdEnrich(args []string) error {
+	fs := flag.NewFlagSet("enrich", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	dsd := fs.String("dsd", eurostat.DSDIRI.Value, "QB data structure definition IRI")
+	script := fs.String("script", "", "enrichment script file")
+	demoScript := fs.Bool("demo-script", false, "run the built-in demonstration enrichment")
+	threshold := fs.Float64("threshold", 0, "quasi-FD error threshold")
+	outSchema := fs.String("out-schema", "", "also write the schema triples to this Turtle file")
+	outInstances := fs.String("out-instances", "", "also write the instance triples to this Turtle file")
+	fs.Parse(args)
+
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	var sess *enrich.Session
+	if *demoScript {
+		sess, err = demo.EnrichDataset(tool.Client())
+		if err != nil {
+			return err
+		}
+	} else {
+		if *script == "" {
+			return fmt.Errorf("enrich: pass -script file or -demo-script")
+		}
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			return err
+		}
+		opts := enrich.DefaultOptions()
+		opts.QuasiFDThreshold = *threshold
+		sess, err = tool.Enrich(parseIRI(*dsd), opts)
+		if err != nil {
+			return err
+		}
+		if err := applyScript(sess, string(data)); err != nil {
+			return err
+		}
+		if err := sess.Commit(); err != nil {
+			return err
+		}
+	}
+
+	stats, err := sess.Summary()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("enriched cube %s\n", sess.Schema().DSD.Value)
+	fmt.Printf("  dimensions:       %d\n", stats.Dimensions)
+	fmt.Printf("  hierarchies:      %d\n", stats.Hierarchies)
+	fmt.Printf("  levels:           %d\n", stats.Levels)
+	fmt.Printf("  steps:            %d\n", stats.Steps)
+	fmt.Printf("  schema triples:   %d\n", stats.SchemaTriples)
+	fmt.Printf("  instance triples: %d\n", stats.InstanceTriples)
+
+	if *outSchema != "" || *outInstances != "" {
+		schema, instances, err := sess.GenerateTriples()
+		if err != nil {
+			return err
+		}
+		if *outSchema != "" {
+			if err := writeTurtle(*outSchema, schema); err != nil {
+				return err
+			}
+		}
+		if *outInstances != "" {
+			if err := writeTurtle(*outInstances, instances); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Println(explore.RenderSchemaTree(sess.Schema()))
+	return nil
+}
+
+func writeTurtle(path string, triples []rdf.Triple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := turtle.NewWriter(w, vocab.Prefixes()).WriteTriples(triples); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	cube := fs.String("cube", "", "QB4OLAP cube IRI (default: the only cube on the endpoint)")
+	members := fs.String("members", "", "list the members of this level IRI")
+	cluster := fs.String("cluster", "", "cluster child members by parent: childLevelIRI:parentLevelIRI")
+	find := fs.String("find", "", "search members by label or notation substring")
+	summary := fs.Bool("summary", false, "print member counts per level of every dimension")
+	fs.Parse(args)
+
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	ex := tool.Explorer()
+	cubes, err := ex.Cubes()
+	if err != nil {
+		return err
+	}
+	var dsd rdf.Term
+	if *cube != "" {
+		dsd = parseIRI(*cube)
+	} else {
+		if len(cubes) == 0 {
+			return fmt.Errorf("no QB4OLAP cubes on the endpoint — run 'qb2olap enrich' first")
+		}
+		dsd = cubes[0]
+	}
+	schema, err := ex.Schema(dsd)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *find != "":
+		ms, err := ex.FindMembers(*find)
+		if err != nil {
+			return err
+		}
+		if len(ms) == 0 {
+			fmt.Println("no members match")
+			return nil
+		}
+		for _, m := range ms {
+			fmt.Printf("%-24s %s\n", m.Label, m.IRI.Value)
+		}
+	case *summary:
+		for _, d := range schema.Dimensions {
+			sums, err := ex.DimensionSummary(d)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\n", d.IRI.Value)
+			for _, ls := range sums {
+				fmt.Printf("  %-60s %6d members\n", ls.Level.Value, ls.Members)
+			}
+		}
+	case *members != "":
+		ms, err := ex.Members(parseIRI(*members))
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			label := m.Label
+			if label == "" {
+				label = m.IRI.Value
+			}
+			fmt.Printf("%-20s %s\n", label, m.IRI.Value)
+		}
+	case *cluster != "":
+		parts := strings.SplitN(*cluster, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("explore: -cluster wants childLevelIRI:parentLevelIRI")
+		}
+		child, parent := parseIRI(parts[0]), parseIRI(parts[1])
+		step, ok := findStep(schema, child, parent)
+		if !ok {
+			return fmt.Errorf("no hierarchy step from %s to %s", child.Value, parent.Value)
+		}
+		clusters, err := ex.ClusterByParent(step)
+		if err != nil {
+			return err
+		}
+		fmt.Print(explore.RenderClusters(clusters))
+	default:
+		fmt.Print(explore.RenderSchemaTree(schema))
+	}
+	return nil
+}
+
+func findStep(schema *qb4olap.CubeSchema, child, parent rdf.Term) (qb4olap.HierarchyStep, bool) {
+	for _, d := range schema.Dimensions {
+		for _, h := range d.Hierarchies {
+			for _, st := range h.Steps {
+				if st.Child == child && st.Parent == parent {
+					return st, true
+				}
+			}
+		}
+	}
+	return qb4olap.HierarchyStep{}, false
+}
+
+func loadSchemaForQuery(tool toolLike, cube string) (*qb4olap.CubeSchema, error) {
+	cubes, err := tool.Cubes()
+	if err != nil {
+		return nil, err
+	}
+	if cube != "" {
+		return tool.Schema(parseIRI(cube))
+	}
+	if len(cubes) == 0 {
+		return nil, fmt.Errorf("no QB4OLAP cubes on the endpoint — run 'qb2olap enrich' first")
+	}
+	return tool.Schema(cubes[0])
+}
+
+// toolLike is the slice of core.Tool the query commands need.
+type toolLike interface {
+	Cubes() ([]rdf.Term, error)
+	Schema(rdf.Term) (*qb4olap.CubeSchema, error)
+}
+
+func cmdTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	queryFile := fs.String("query", "", "QL program file")
+	cube := fs.String("cube", "", "QB4OLAP cube IRI")
+	variant := fs.String("variant", "both", "direct, alternative, or both")
+	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
+	fs.Parse(args)
+	if *queryFile == "" {
+		return fmt.Errorf("translate: -query is required")
+	}
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	if *demoEnrich {
+		if _, err := demo.EnrichDataset(tool.Client()); err != nil {
+			return err
+		}
+	}
+	schema, err := loadSchemaForQuery(tool, *cube)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*queryFile)
+	if err != nil {
+		return err
+	}
+	p, err := tool.Prepare(string(data), schema)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Simplified QL program:")
+	fmt.Println(p.Simplified)
+	if *variant == "direct" || *variant == "both" {
+		fmt.Println("# Direct translation:")
+		fmt.Println(p.Translation.Direct)
+	}
+	if *variant == "alternative" || *variant == "both" {
+		fmt.Println("# Alternative translation:")
+		fmt.Println(p.Translation.Alternative)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	queryFile := fs.String("query", "", "QL program file")
+	predefined := fs.String("predefined", "", "run a predefined demo query by name (see -list-predefined)")
+	listPredefined := fs.Bool("list-predefined", false, "list the predefined demo queries and exit")
+	cube := fs.String("cube", "", "QB4OLAP cube IRI")
+	variant := fs.String("variant", "direct", "direct or alternative")
+	pivot := fs.Bool("pivot", false, "render a two-axis result as a pivot table")
+	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
+	fs.Parse(args)
+	if *listPredefined {
+		for _, pq := range demo.PredefinedQueries {
+			fmt.Printf("%-22s %s\n", pq.Name, pq.Description)
+		}
+		return nil
+	}
+	var qlSource string
+	switch {
+	case *predefined != "":
+		pq, ok := demo.FindPredefinedQuery(*predefined)
+		if !ok {
+			return fmt.Errorf("query: unknown predefined query %q (try -list-predefined)", *predefined)
+		}
+		qlSource = pq.QL
+	case *queryFile != "":
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		qlSource = string(data)
+	default:
+		return fmt.Errorf("query: pass -query file or -predefined name")
+	}
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	if *demoEnrich {
+		if _, err := demo.EnrichDataset(tool.Client()); err != nil {
+			return err
+		}
+	}
+	schema, err := loadSchemaForQuery(tool, *cube)
+	if err != nil {
+		return err
+	}
+	v := ql.Direct
+	if *variant == "alternative" {
+		v = ql.Alternative
+	}
+	cubeRes, err := tool.Query(qlSource, schema, v)
+	if err != nil {
+		return err
+	}
+	if *pivot {
+		fmt.Print(cubeRes.Pivot())
+	} else {
+		fmt.Print(cubeRes.Table())
+	}
+	fmt.Printf("\n%d cells\n", len(cubeRes.Cells))
+	return nil
+}
+
+func cmdSPARQL(args []string) error {
+	fs := flag.NewFlagSet("sparql", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	queryFile := fs.String("query", "", "SPARQL query file (- for stdin)")
+	fs.Parse(args)
+	if *queryFile == "" {
+		return fmt.Errorf("sparql: -query is required")
+	}
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if *queryFile == "-" {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		data = []byte(b.String())
+	} else {
+		data, err = os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := tool.Client().Select(string(data))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	cube := fs.String("cube", "", "QB4OLAP cube IRI (default: the only cube on the endpoint)")
+	fs.Parse(args)
+
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	schema, err := loadSchemaForQuery(tool, *cube)
+	if err != nil {
+		return err
+	}
+	schemaProbs := schema.Validate()
+	instProbs, err := qb4olap.ValidateInstances(tool.Client(), schema)
+	if err != nil {
+		return err
+	}
+	if len(schemaProbs) == 0 && len(instProbs) == 0 {
+		fmt.Printf("cube %s: schema and instances are well-formed\n", schema.DSD.Value)
+		return nil
+	}
+	for _, p := range schemaProbs {
+		fmt.Printf("schema   %s\n", p)
+	}
+	for _, p := range instProbs {
+		fmt.Printf("instance %s\n", p)
+	}
+	return fmt.Errorf("validate: %d schema and %d instance problems", len(schemaProbs), len(instProbs))
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/rdf"
+)
+
+func TestParseIRI(t *testing.T) {
+	if parseIRI("http://x/a") != rdf.NewIRI("http://x/a") {
+		t.Error("bare IRI")
+	}
+	if parseIRI("<http://x/a>") != rdf.NewIRI("http://x/a") {
+		t.Error("angle-bracketed IRI")
+	}
+}
+
+func TestSourceFlagsDemo(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var src sourceFlags
+	src.register(fs)
+	if err := fs.Parse([]string{"-demo", "500", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	tool, err := src.open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, err := tool.DataSets()
+	if err != nil || len(dss) != 1 {
+		t.Fatalf("datasets: %v %v", dss, err)
+	}
+}
+
+func TestSourceFlagsEmptyFails(t *testing.T) {
+	var src sourceFlags
+	if _, err := src.open(); err == nil {
+		t.Fatal("empty source must fail")
+	}
+}
+
+func TestSourceFlagsMissingFile(t *testing.T) {
+	var src sourceFlags
+	src.dataFiles = fileList{"/nonexistent/file.ttl"}
+	if _, err := src.open(); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func newScriptSession(t *testing.T) *enrich.Session {
+	t.Helper()
+	var src sourceFlags
+	src.demoObs = 800
+	src.seed = 42
+	tool, err := src.open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tool.Enrich(eurostat.DSDIRI, enrich.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestApplyScript(t *testing.T) {
+	sess := newScriptSession(t)
+	script := `
+# comment and blank lines are skipped
+
+aggregate <http://purl.org/linked-data/sdmx/2009/measure#obsValue> avg
+level <http://eurostat.linked-statistics.org/property#citizen> <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#continent>
+attribute <http://eurostat.linked-statistics.org/property#citizen> <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#countryName>
+all <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#citizenDim>
+`
+	if err := applyScript(sess, script); err != nil {
+		t.Fatal(err)
+	}
+	dim, ok := sess.Schema().DimensionOfLevel(eurostat.PropCitizen)
+	if !ok {
+		t.Fatal("citizen dimension missing")
+	}
+	if _, ok := dim.PathToLevel(eurostat.PropContinent); !ok {
+		t.Error("continent level not added")
+	}
+	m, _ := sess.Schema().Measure(eurostat.PropObs)
+	if m.Agg.String() != "avg" {
+		t.Errorf("aggregate = %v", m.Agg)
+	}
+}
+
+func TestApplyScriptErrors(t *testing.T) {
+	cases := []struct {
+		name, script, wantErr string
+	}{
+		{"unknown-command", "frobnicate x", "unknown command"},
+		{"bad-aggregate", "aggregate <http://purl.org/linked-data/sdmx/2009/measure#obsValue> median", "unknown aggregate"},
+		{"aggregate-arity", "aggregate x", "usage: aggregate"},
+		{"level-arity", "level x", "usage: level"},
+		{"all-arity", "all", "usage: all"},
+		{"not-suggested", "level <http://eurostat.linked-statistics.org/property#citizen> <http://nope>", "not suggested"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sess := newScriptSession(t)
+			err := applyScript(sess, c.script)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestApplyScriptAllArityError(t *testing.T) {
+	sess := newScriptSession(t)
+	if err := applyScript(sess, "all a b"); err == nil || !strings.Contains(err.Error(), "usage: all") {
+		t.Fatalf("err = %v", err)
+	}
+}

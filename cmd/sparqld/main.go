@@ -1,0 +1,89 @@
+// Command sparqld serves an in-memory RDF store over the SPARQL 1.1
+// protocol (query at /sparql, update at /update, bulk load at /load),
+// playing the role of the Virtuoso endpoint in the QB2OLAP paper.
+//
+// Usage:
+//
+//	sparqld [-addr :8080] [-data file.ttl]... [-demo N]
+//
+// -data loads a Turtle file into the default graph (repeatable);
+// -demo N generates the synthetic Eurostat asylum cube with N
+// observations (plus the simulated external graph) and loads it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/endpoint"
+	"repro/internal/eurostat"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+type fileList []string
+
+func (f *fileList) String() string { return fmt.Sprint(*f) }
+
+func (f *fileList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var files fileList
+	addr := flag.String("addr", ":8080", "listen address")
+	demoObs := flag.Int("demo", 0, "generate the synthetic Eurostat cube with this many observations")
+	seed := flag.Int64("seed", 42, "generator seed for -demo")
+	readOnly := flag.Bool("readonly", false, "reject updates and loads (serve data only)")
+	var quadFiles fileList
+	flag.Var(&files, "data", "Turtle file to load into the default graph (repeatable)")
+	flag.Var(&quadFiles, "quads", "N-Quads file to load, preserving named graphs (repeatable)")
+	flag.Parse()
+
+	st := store.New()
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("sparqld: %v", err)
+		}
+		triples, _, err := turtle.Parse(string(data))
+		if err != nil {
+			log.Fatalf("sparqld: parsing %s: %v", path, err)
+		}
+		n := st.InsertTriples(rdf.Term{}, triples)
+		log.Printf("loaded %d triples from %s", n, path)
+	}
+	for _, path := range quadFiles {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("sparqld: %v", err)
+		}
+		quads, err := turtle.ParseNQuads(string(data))
+		if err != nil {
+			log.Fatalf("sparqld: parsing %s: %v", path, err)
+		}
+		n := turtle.LoadQuads(st, quads)
+		log.Printf("loaded %d quads from %s", n, path)
+	}
+	if *demoObs > 0 {
+		cfg := eurostat.DefaultConfig()
+		cfg.TargetObservations = *demoObs
+		cfg.Seed = *seed
+		d := eurostat.Generate(cfg)
+		d.LoadInto(st)
+		log.Printf("generated demo cube: %d observations, %d triples total",
+			len(d.Observations), st.TotalLen())
+	}
+
+	srv := endpoint.NewServer(st)
+	srv.ReadOnly = *readOnly
+	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats)", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

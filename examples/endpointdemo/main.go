@@ -1,0 +1,80 @@
+// Endpointdemo: the paper's deployment architecture, end to end over
+// HTTP. The QB data set lives behind a SPARQL 1.1 protocol endpoint
+// (the role Virtuoso 7 plays in the paper); the QB2OLAP modules drive
+// it exclusively through protocol queries and updates:
+//
+//	client (enrich/explore/ql) ── HTTP ──> sparqld-style endpoint ──> store
+//
+// Run with:
+//
+//	go run ./examples/endpointdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/endpoint"
+	"repro/internal/eurostat"
+	"repro/internal/ql"
+)
+
+func main() {
+	// Server side: a store with the raw QB data, exposed over HTTP.
+	cfg := eurostat.DefaultConfig()
+	cfg.TargetObservations = 5000
+	st, _ := eurostat.NewStore(cfg)
+	srv := httptest.NewServer(endpoint.NewServer(st).Handler())
+	defer srv.Close()
+	fmt.Printf("SPARQL endpoint at %s (query: /sparql, update: /update)\n\n", srv.URL)
+
+	// Client side: everything below talks HTTP only.
+	tool := core.NewRemote(srv.URL)
+
+	// Enrichment over the wire: the generated QB4OLAP triples are
+	// INSERT DATA'd back into the remote endpoint.
+	sess, err := demo.EnrichDataset(tool.Client())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sess.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Enriched over HTTP: %d schema + %d instance triples pushed via SPARQL Update\n\n",
+		stats.SchemaTriples, stats.InstanceTriples)
+
+	// Exploration over the wire.
+	cubes, err := tool.Cubes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QB4OLAP cubes on the endpoint: %d\n", len(cubes))
+	schema, err := tool.Schema(cubes[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cube %s: %d dimensions, %d measures\n\n", cubes[0].Value, len(schema.Dimensions), len(schema.Measures))
+
+	// Querying over the wire: applications per continent and year.
+	query := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+`
+	cube, err := tool.Query(query, schema, ql.Alternative)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Applications by continent of citizenship and year (alternative query, over HTTP):")
+	fmt.Print(cube.Pivot())
+}

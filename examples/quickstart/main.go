@@ -1,0 +1,86 @@
+// Quickstart: the smallest end-to-end QB2OLAP workflow.
+//
+// It generates a small synthetic QB cube, enriches it into QB4OLAP
+// (discovering the citizenship→continent hierarchy from the data),
+// prints the enriched schema, and runs a first QL query — all in a few
+// dozen lines against an in-process SPARQL endpoint.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/explore"
+	"repro/internal/ql"
+)
+
+func main() {
+	// 1. A QB data set: the synthetic Eurostat asylum-applications cube
+	//    (5,000 observations) loaded into an in-process SPARQL store.
+	cfg := eurostat.DefaultConfig()
+	cfg.TargetObservations = 5000
+	st, _ := eurostat.NewStore(cfg)
+	tool := core.NewLocal(st)
+
+	// 2. Enrichment: redefine the QB schema as QB4OLAP, then discover
+	//    and accept the citizenship→continent roll-up suggested by the
+	//    functional-dependency analysis.
+	sess, err := tool.Enrich(eurostat.DSDIRI, enrich.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Candidates discovered for the citizenship level:")
+	for _, c := range cands {
+		fmt.Printf("  [%s] %s (%d members -> %d values, %.0f%% support)\n",
+			c.Kind, c.Property.Value, c.Members, c.DistinctValues, c.Support*100)
+	}
+	continent, ok := enrich.FindCandidate(cands, eurostat.PropContinent)
+	if !ok {
+		log.Fatal("continent candidate not found")
+	}
+	if err := sess.AddLevel(continent); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Exploration: print the enriched cube structure.
+	fmt.Println("\nEnriched schema:")
+	fmt.Println(explore.RenderSchemaTree(sess.Schema()))
+
+	// 4. Querying: applications per continent, everything else rolled
+	//    away, written in QL — no SPARQL required.
+	schema, err := tool.Schema(sess.Schema().DSD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:refPeriodDim);
+$C6 := ROLLUP ($C5, schema:citizenDim, schema:continent);
+`
+	cube, err := tool.Query(query, schema, ql.Direct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Asylum applications per continent of citizenship:")
+	fmt.Print(cube.Table())
+}

@@ -1,0 +1,376 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/qb"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// salesTTL is a hand-authored retail cube in a vocabulary unrelated to
+// the Eurostat demo: it proves the Enrichment and Querying modules are
+// generic over any QB data set, not specialized to the generator.
+// Note the abbreviated form (no observation types) — normalization must
+// repair it first.
+const salesTTL = `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix s: <http://shop.example/ns#> .
+@prefix d: <http://shop.example/data/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+d:salesDSD a qb:DataStructureDefinition ;
+  qb:component [ qb:dimension s:store ] ;
+  qb:component [ qb:dimension s:product ] ;
+  qb:component [ qb:measure s:revenue ] .
+d:sales qb:structure d:salesDSD .
+
+# Store geography: store -> city -> region (two FD hops).
+d:st1 s:inCity d:lyon ;  s:storeName "Lyon Centre" .
+d:st2 s:inCity d:lyon ;  s:storeName "Lyon Gare" .
+d:st3 s:inCity d:paris ; s:storeName "Paris Nord" .
+d:st4 s:inCity d:marseille ; s:storeName "Marseille Port" .
+d:lyon      s:inRegion d:southeast ; s:cityName "Lyon" .
+d:marseille s:inRegion d:southeast ; s:cityName "Marseille" .
+d:paris     s:inRegion d:north     ; s:cityName "Paris" .
+d:southeast s:regionName "Southeast" .
+d:north     s:regionName "North" .
+
+# Product taxonomy: product -> category.
+d:p1 s:category d:food ; s:productName "Bread" .
+d:p2 s:category d:food ; s:productName "Milk" .
+d:p3 s:category d:tech ; s:productName "Phone" .
+d:food s:categoryName "Food" .
+d:tech s:categoryName "Tech" .
+
+d:o1 qb:dataSet d:sales ; s:store d:st1 ; s:product d:p1 ; s:revenue 100 .
+d:o2 qb:dataSet d:sales ; s:store d:st1 ; s:product d:p3 ; s:revenue 500 .
+d:o3 qb:dataSet d:sales ; s:store d:st2 ; s:product d:p2 ; s:revenue 150 .
+d:o4 qb:dataSet d:sales ; s:store d:st3 ; s:product d:p1 ; s:revenue 120 .
+d:o5 qb:dataSet d:sales ; s:store d:st3 ; s:product d:p3 ; s:revenue 700 .
+d:o6 qb:dataSet d:sales ; s:store d:st2 ; s:product d:p2 ; s:revenue 80 .
+d:o7 qb:dataSet d:sales ; s:store d:st4 ; s:product d:p1 ; s:revenue 60 .
+`
+
+func salesTool(t *testing.T) *core.Tool {
+	t.Helper()
+	triples, _, err := turtle.Parse(salesTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.InsertTriples(rdf.Term{}, triples)
+	tool := core.NewLocal(st)
+	if _, err := qb.Normalize(tool.Client()); err != nil {
+		t.Fatal(err)
+	}
+	return tool
+}
+
+// TestSalesCubeEndToEnd enriches and queries a completely different
+// cube: store→city→region, product→category, SUM(revenue).
+func TestSalesCubeEndToEnd(t *testing.T) {
+	tool := salesTool(t)
+	ns := "http://shop.example/ns#"
+	opts := enrich.DefaultOptions()
+	opts.Namespace = ns
+
+	sess, err := tool.Enrich(rdf.NewIRI("http://shop.example/data/salesDSD"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Iteratively build store -> city -> region.
+	pick := func(level, prop string) {
+		t.Helper()
+		cands, err := sess.Suggest(rdf.NewIRI(level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, ok := enrich.FindCandidate(cands, rdf.NewIRI(prop))
+		if !ok {
+			t.Fatalf("property %s not suggested for %s (got %+v)", prop, level, cands)
+		}
+		if c.Kind == enrich.AttributeCandidate {
+			if err := sess.AddAttribute(c); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if err := sess.AddLevel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pick(ns+"store", ns+"inCity")
+	pick(ns+"inCity", ns+"inRegion")
+	pick(ns+"inRegion", ns+"regionName")
+	pick(ns+"product", ns+"category")
+	pick(ns+"category", ns+"categoryName")
+
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if probs := sess.Schema().Validate(); len(probs) != 0 {
+		t.Fatalf("schema problems: %v", probs)
+	}
+
+	schema, err := tool.Schema(sess.Schema().DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Revenue by region and category, dicing on the Southeast region.
+	query := `
+PREFIX s: <http://shop.example/ns#>
+PREFIX d: <http://shop.example/data/>
+QUERY
+$C1 := ROLLUP (d:sales, s:storeDim, s:inRegion);
+$C2 := ROLLUP ($C1, s:productDim, s:category);
+$C3 := DICE ($C2, s:storeDim|s:inRegion|s:regionName = "Southeast");
+`
+	cube, err := tool.QueryBoth(query, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Southeast = st1 + st2 + st4: food 100+150+80+60 = 390, tech 500.
+	if len(cube.Cells) != 2 {
+		t.Fatalf("cells = %d: %s", len(cube.Cells), cube.Table())
+	}
+	got := map[string]string{}
+	for _, cell := range cube.Cells {
+		var cat string
+		for _, coord := range cell.Coords {
+			if strings.Contains(coord.Value, "food") || strings.Contains(coord.Value, "tech") {
+				cat = coord.Value
+			}
+		}
+		got[cat] = cell.Values[0].Value
+	}
+	if got["http://shop.example/data/food"] != "390" {
+		t.Errorf("food revenue = %q, want 390", got["http://shop.example/data/food"])
+	}
+	if got["http://shop.example/data/tech"] != "500" {
+		t.Errorf("tech revenue = %q, want 500", got["http://shop.example/data/tech"])
+	}
+}
+
+// TestSalesDrilldownAfterRollup checks DRILLDOWN semantics on the sales
+// cube: rolling up to region then drilling back to city yields the
+// city-level cube.
+func TestSalesDrilldownAfterRollup(t *testing.T) {
+	tool := salesTool(t)
+	ns := "http://shop.example/ns#"
+	opts := enrich.DefaultOptions()
+	opts.Namespace = ns
+	sess, err := tool.Enrich(rdf.NewIRI("http://shop.example/data/salesDSD"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range [][2]string{{ns + "store", ns + "inCity"}, {ns + "inCity", ns + "inRegion"}} {
+		cands, err := sess.Suggest(rdf.NewIRI(lp[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, ok := enrich.FindCandidate(cands, rdf.NewIRI(lp[1]))
+		if !ok {
+			t.Fatalf("missing candidate %v", lp)
+		}
+		if err := sess.AddLevel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := tool.Schema(sess.Schema().DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := `
+PREFIX s: <http://shop.example/ns#>
+PREFIX d: <http://shop.example/data/>
+QUERY
+$C1 := SLICE (d:sales, s:productDim);
+$C2 := ROLLUP ($C1, s:storeDim, s:inRegion);
+$C3 := DRILLDOWN ($C2, s:storeDim, s:inCity);
+`
+	cube, err := tool.QueryBoth(query, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three cities: lyon 100+500+150+80 = 830, paris 120+700 = 820,
+	// marseille 60.
+	if len(cube.Cells) != 3 {
+		t.Fatalf("cells = %d:\n%s", len(cube.Cells), cube.Table())
+	}
+	vals := map[string]string{}
+	for _, cell := range cube.Cells {
+		vals[cell.Coords[0].Value] = cell.Values[0].Value
+	}
+	if vals["http://shop.example/data/lyon"] != "830" || vals["http://shop.example/data/paris"] != "820" || vals["http://shop.example/data/marseille"] != "60" {
+		t.Fatalf("city revenues = %v", vals)
+	}
+}
+
+// TestMultiMeasureCube checks a cube with two measures carrying
+// different aggregate functions: SUM(revenue) and MAX(quantity).
+func TestMultiMeasureCube(t *testing.T) {
+	ttl := `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix s: <http://shop.example/ns#> .
+@prefix d: <http://shop.example/data/> .
+d:mmDSD a qb:DataStructureDefinition ;
+  qb:component [ qb:dimension s:store ] ;
+  qb:component [ qb:measure s:revenue ] ;
+  qb:component [ qb:measure s:quantity ] .
+d:mm qb:structure d:mmDSD .
+d:st1 s:inCity d:lyon . d:st2 s:inCity d:lyon .
+d:lyon s:cityName "Lyon" .
+d:m1 qb:dataSet d:mm ; s:store d:st1 ; s:revenue 100 ; s:quantity 3 .
+d:m2 qb:dataSet d:mm ; s:store d:st1 ; s:revenue 50  ; s:quantity 9 .
+d:m3 qb:dataSet d:mm ; s:store d:st2 ; s:revenue 10  ; s:quantity 5 .
+`
+	triples, _, err := turtle.Parse(ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.InsertTriples(rdf.Term{}, triples)
+	tool := core.NewLocal(st)
+	if _, err := qb.Normalize(tool.Client()); err != nil {
+		t.Fatal(err)
+	}
+
+	ns := "http://shop.example/ns#"
+	opts := enrich.DefaultOptions()
+	opts.Namespace = ns
+	sess, err := tool.Enrich(rdf.NewIRI("http://shop.example/data/mmDSD"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Schema().Measures) != 2 {
+		t.Fatalf("measures = %d", len(sess.Schema().Measures))
+	}
+	if err := sess.SetAggregate(rdf.NewIRI(ns+"quantity"), qb4olap.Max); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := sess.Suggest(rdf.NewIRI(ns + "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := enrich.FindCandidate(cands, rdf.NewIRI(ns+"inCity"))
+	if !ok {
+		t.Fatal("inCity not suggested")
+	}
+	if err := sess.AddLevel(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	schema, err := tool.Schema(sess.Schema().DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded schema must preserve both aggregate functions.
+	if m, _ := schema.Measure(rdf.NewIRI(ns + "quantity")); m.Agg != qb4olap.Max {
+		t.Fatalf("quantity aggregate lost: %v", m.Agg)
+	}
+
+	cube, err := tool.QueryBoth(`
+PREFIX s: <http://shop.example/ns#>
+PREFIX d: <http://shop.example/data/>
+QUERY
+$C1 := ROLLUP (d:mm, s:storeDim, s:inCity);
+`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 1 || len(cube.Cells[0].Values) != 2 {
+		t.Fatalf("cells/values: %+v", cube.Cells)
+	}
+	// Measures are ordered by IRI: quantity before revenue.
+	vals := map[string]string{}
+	for i, m := range cube.Measures {
+		vals[m] = cube.Cells[0].Values[i].Value
+	}
+	if vals["max(quantity)"] != "9" {
+		t.Errorf("max(quantity) = %v", vals)
+	}
+	if vals["sum(revenue)"] != "160" {
+		t.Errorf("sum(revenue) = %v", vals)
+	}
+}
+
+// TestNoisyQuasiFDLeavesDetectableAmbiguity enriches a noisy dataset
+// with a lax threshold and shows the committed cube carries the
+// double-counting risk the integrity checker reports — the data-quality
+// loop the paper's fine-tuning parameters address.
+func TestNoisyQuasiFDLeavesDetectableAmbiguity(t *testing.T) {
+	cfg := eurostat.TestConfig()
+	cfg.QuasiFDNoise = 0.3
+	st, _ := eurostat.NewStore(cfg)
+	tool := core.NewLocal(st)
+
+	opts := enrich.DefaultOptions()
+	opts.QuasiFDThreshold = 0.5
+	sess, err := tool.Enrich(eurostat.DSDIRI, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, ok := enrich.FindCandidate(cands, eurostat.PropContinent)
+	if !ok || cont.Kind != enrich.LevelCandidate {
+		t.Fatalf("quasi-FD not accepted under lax threshold: %+v", cont)
+	}
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	schema, err := tool.Schema(sess.Schema().DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := qb4olap.ValidateInstances(tool.Client(), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range probs {
+		if p.Code == "rollup-ambiguous" && p.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ambiguous rollups not detected after noisy enrichment: %v", probs)
+	}
+
+	// Clean enrichment reports no ambiguity.
+	clean, err := demo.Build(eurostat.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanProbs, err := qb4olap.ValidateInstances(clean.Client, clean.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cleanProbs {
+		if p.Code == "rollup-ambiguous" {
+			t.Fatalf("clean cube reported ambiguity: %v", p)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/endpoint"
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/ql"
+	"repro/internal/rdf"
+)
+
+var (
+	envOnce sync.Once
+	env     *demo.Enriched
+	envErr  error
+)
+
+func enrichedEnv(t *testing.T) *demo.Enriched {
+	t.Helper()
+	envOnce.Do(func() {
+		env, envErr = demo.Build(eurostat.TestConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return env
+}
+
+func TestFacadeDataSetsAndDSD(t *testing.T) {
+	e := enrichedEnv(t)
+	tool := New(e.Client)
+	// After enrichment the dataset carries two qb:structure links: the
+	// original QB DSD and the generated QB4OLAP one.
+	dss, err := tool.DataSets()
+	if err != nil || len(dss) != 2 {
+		t.Fatalf("DataSets: %v %v", dss, err)
+	}
+	structures := map[rdf.Term]bool{}
+	for _, ds := range dss {
+		structures[ds.Structure] = true
+	}
+	if !structures[eurostat.DSDIRI] || !structures[e.Schema.DSD] {
+		t.Fatalf("structures = %v", structures)
+	}
+	dsd, err := tool.LoadDSD(eurostat.DSDIRI)
+	if err != nil || len(dsd.Dimensions()) != 6 {
+		t.Fatalf("LoadDSD: %v %v", dsd, err)
+	}
+}
+
+func TestFacadeCubesAndSchema(t *testing.T) {
+	e := enrichedEnv(t)
+	tool := New(e.Client)
+	cubes, err := tool.Cubes()
+	if err != nil || len(cubes) != 1 {
+		t.Fatalf("Cubes: %v %v", cubes, err)
+	}
+	schema, err := tool.Schema(cubes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Dimensions) != 6 {
+		t.Fatalf("schema dims = %d", len(schema.Dimensions))
+	}
+	if tool.Explorer() == nil {
+		t.Fatal("explorer nil")
+	}
+}
+
+func TestFacadeQuery(t *testing.T) {
+	e := enrichedEnv(t)
+	tool := New(e.Client)
+	schema, err := tool.Schema(e.Schema.DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+`
+	p, err := tool.Prepare(src, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Translation.Direct == "" || p.Translation.Alternative == "" {
+		t.Fatal("translations missing")
+	}
+	cube, err := tool.QueryBoth(src, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) == 0 {
+		t.Fatal("empty cube")
+	}
+	if !strings.Contains(cube.Table(), "Africa") {
+		t.Errorf("cube table:\n%s", cube.Table())
+	}
+}
+
+func TestFacadeSPARQLPassThrough(t *testing.T) {
+	e := enrichedEnv(t)
+	tool := New(e.Client)
+	cube, err := tool.SPARQL(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT (COUNT(?o) AS ?n) WHERE { ?o a qb:Observation }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 1 || cube.Cells[0].Values[0].Value == "0" {
+		t.Fatalf("SPARQL result: %+v", cube.Cells)
+	}
+}
+
+// TestArchitectureEndToEnd (E1) drives the full paper architecture over
+// HTTP: a QB store behind a SPARQL protocol endpoint, enrichment and
+// querying through the protocol only.
+func TestArchitectureEndToEnd(t *testing.T) {
+	st, _ := eurostat.NewStore(eurostat.TestConfig())
+	srv := httptest.NewServer(endpoint.NewServer(st).Handler())
+	defer srv.Close()
+
+	tool := NewRemote(srv.URL)
+
+	// Enrichment over HTTP.
+	sess, err := tool.Enrich(eurostat.DSDIRI, enrich.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, ok := enrich.FindCandidate(cands, eurostat.PropContinent)
+	if !ok {
+		t.Fatal("continent not suggested over HTTP")
+	}
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exploration over HTTP.
+	cubes, err := tool.Cubes()
+	if err != nil || len(cubes) != 1 {
+		t.Fatalf("cubes over HTTP: %v %v", cubes, err)
+	}
+	schema, err := tool.Schema(cubes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Querying over HTTP.
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:refPeriodDim);
+$C6 := ROLLUP ($C5, schema:citizenDim, schema:continent);
+`
+	cube, err := tool.Query(src, schema, ql.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != len(eurostat.Continents) {
+		t.Fatalf("cells = %d, want %d continents", len(cube.Cells), len(eurostat.Continents))
+	}
+}
+
+func TestNewLocalConstructor(t *testing.T) {
+	e := enrichedEnv(t)
+	tool := NewLocal(e.Store)
+	if _, err := tool.DataSets(); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Client() == nil {
+		t.Fatal("client nil")
+	}
+	_ = rdf.Term{}
+}

@@ -1,0 +1,135 @@
+// Package demo wires the full QB2OLAP demonstration scenario from the
+// paper: generate (or accept) the Eurostat asylum-applications cube,
+// run the scripted enrichment Mary performs interactively — citizenship
+// and destination roll up to continents, time rolls up through quarters
+// to years, ages roll up to age classes — and commit the QB4OLAP
+// triples to the endpoint.
+package demo
+
+import (
+	"fmt"
+
+	"repro/internal/endpoint"
+	"repro/internal/enrich"
+	"repro/internal/eurostat"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Enriched bundles the artifacts of the demo enrichment.
+type Enriched struct {
+	Store   *store.Store
+	Client  endpoint.SPARQLClient
+	Session *enrich.Session
+	Schema  *qb4olap.CubeSchema
+	Data    *eurostat.Dataset
+}
+
+// Build generates the synthetic Eurostat cube at the given
+// configuration, loads it into a fresh store, and performs the demo
+// enrichment.
+func Build(cfg eurostat.Config) (*Enriched, error) {
+	st, data := eurostat.NewStore(cfg)
+	client := endpoint.NewLocal(st)
+	sess, err := EnrichDataset(client)
+	if err != nil {
+		return nil, err
+	}
+	return &Enriched{
+		Store:   st,
+		Client:  client,
+		Session: sess,
+		Schema:  sess.Schema(),
+		Data:    data,
+	}, nil
+}
+
+// EnrichDataset runs the scripted demo enrichment against any endpoint
+// already holding the generated cube, and commits the triples.
+func EnrichDataset(client endpoint.SPARQLClient) (*enrich.Session, error) {
+	opts := enrich.DefaultOptions()
+	sess, err := enrich.NewSession(client, eurostat.DSDIRI, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Citizenship: country -> continent (+ name attributes + all level).
+	if err := pickLevel(sess, eurostat.PropCitizen, eurostat.PropContinent); err != nil {
+		return nil, err
+	}
+	if err := pickAttribute(sess, eurostat.PropCitizen, rdf.NewIRI(schemaIRI("countryName"))); err != nil {
+		return nil, err
+	}
+	if err := pickAttribute(sess, eurostat.PropContinent, rdf.NewIRI(schemaIRI("continentName"))); err != nil {
+		return nil, err
+	}
+	citDim, ok := sess.Schema().DimensionOfLevel(eurostat.PropCitizen)
+	if !ok {
+		return nil, fmt.Errorf("demo: citizenship dimension missing")
+	}
+	if _, err := sess.AddAllLevel(citDim.IRI); err != nil {
+		return nil, err
+	}
+
+	// Destination: country -> continent, plus the name attribute used
+	// by the demo query's DICE on "France".
+	if err := pickLevel(sess, eurostat.PropGeo, eurostat.PropContinent); err != nil {
+		return nil, err
+	}
+	if err := pickAttribute(sess, eurostat.PropGeo, rdf.NewIRI(schemaIRI("countryName"))); err != nil {
+		return nil, err
+	}
+
+	// Time: month -> quarter -> year.
+	if err := pickLevel(sess, eurostat.PropTime, eurostat.PropQuarter); err != nil {
+		return nil, err
+	}
+	if err := pickLevel(sess, eurostat.PropQuarter, eurostat.PropYear); err != nil {
+		return nil, err
+	}
+
+	// Age: band -> class, with the SKOS notation as a dice-able
+	// attribute.
+	if err := pickLevel(sess, eurostat.PropAge, eurostat.PropAgeClass); err != nil {
+		return nil, err
+	}
+	if err := pickAttribute(sess, eurostat.PropAgeClass, rdf.NewIRI("http://www.w3.org/2004/02/skos/core#notation")); err != nil {
+		return nil, err
+	}
+
+	if err := sess.Commit(); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// pickLevel suggests candidates for the level and applies the one for
+// the given property, as the user would in the GUI.
+func pickLevel(sess *enrich.Session, level, property rdf.Term) error {
+	cands, err := sess.Suggest(level)
+	if err != nil {
+		return err
+	}
+	c, ok := enrich.FindCandidate(cands, property)
+	if !ok {
+		return fmt.Errorf("demo: property %s not suggested for level %s", property.Value, level.Value)
+	}
+	return sess.AddLevel(c)
+}
+
+func pickAttribute(sess *enrich.Session, level, property rdf.Term) error {
+	cands, err := sess.Suggest(level)
+	if err != nil {
+		return err
+	}
+	c, ok := enrich.FindCandidate(cands, property)
+	if !ok {
+		return fmt.Errorf("demo: attribute %s not suggested for level %s", property.Value, level.Value)
+	}
+	return sess.AddAttribute(c)
+}
+
+func schemaIRI(local string) string {
+	return "http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#" + local
+}

@@ -1,0 +1,104 @@
+package demo
+
+import (
+	"testing"
+
+	"repro/internal/eurostat"
+	"repro/internal/qb4olap"
+	"repro/internal/ql"
+	"repro/internal/rdf"
+)
+
+func TestBuildProducesValidSchema(t *testing.T) {
+	env, err := Build(eurostat.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := env.Schema.Validate(); len(probs) != 0 {
+		t.Fatalf("schema problems: %v", probs)
+	}
+	// The demonstration hierarchy shapes from the paper.
+	cit, ok := env.Schema.DimensionOfLevel(eurostat.PropCitizen)
+	if !ok {
+		t.Fatal("citizenship dimension missing")
+	}
+	if _, ok := cit.PathToLevel(eurostat.PropContinent); !ok {
+		t.Error("citizenship lacks continent level")
+	}
+	all, ok := cit.PathToLevel(rdf.NewIRI("http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#citizenAll"))
+	if !ok || len(all) != 2 {
+		t.Errorf("citizenship all level path: %v %v", all, ok)
+	}
+	timeDim, _ := env.Schema.DimensionOfLevel(eurostat.PropTime)
+	if p, ok := timeDim.PathToLevel(eurostat.PropYear); !ok || len(p) != 2 {
+		t.Errorf("time hierarchy path: %v %v", p, ok)
+	}
+	age, _ := env.Schema.DimensionOfLevel(eurostat.PropAge)
+	if _, ok := age.PathToLevel(eurostat.PropAgeClass); !ok {
+		t.Error("age class level missing")
+	}
+	// Attributes used by the demo query's dices.
+	geoLvl := env.Schema.Level(eurostat.PropGeo)
+	if len(geoLvl.Attributes) == 0 {
+		t.Error("geo countryName attribute missing")
+	}
+	contLvl := env.Schema.Level(eurostat.PropContinent)
+	if len(contLvl.Attributes) == 0 {
+		t.Error("continent continentName attribute missing")
+	}
+	// Measure default.
+	if m, ok := env.Schema.Measure(eurostat.PropObs); !ok || m.Agg != qb4olap.Sum {
+		t.Errorf("measure: %+v %v", m, ok)
+	}
+}
+
+func TestBuildCommitsTriples(t *testing.T) {
+	env, err := Build(eurostat.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Client.Select(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT (COUNT(?s) AS ?n) WHERE { ?s a qb4o:HierarchyStep }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// citizen->continent, continent->all, geo->continent,
+	// month->quarter, quarter->year, age->class = 6 steps.
+	if got := res.Binding(0, "n").Value; got != "6" {
+		t.Fatalf("committed steps = %s, want 6", got)
+	}
+}
+
+// TestPredefinedQueriesAllRun executes every canned query in both
+// translation variants and checks the variants agree.
+func TestPredefinedQueriesAllRun(t *testing.T) {
+	env, err := Build(eurostat.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pq := range PredefinedQueries {
+		t.Run(pq.Name, func(t *testing.T) {
+			direct, _, err := ql.Run(env.Client, env.Schema, pq.QL, ql.Direct)
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			alt, _, err := ql.Run(env.Client, env.Schema, pq.QL, ql.Alternative)
+			if err != nil {
+				t.Fatalf("alternative: %v", err)
+			}
+			if len(direct.Cells) != len(alt.Cells) {
+				t.Fatalf("variants disagree: %d vs %d cells", len(direct.Cells), len(alt.Cells))
+			}
+			if pq.Name != "busy-cells" && len(direct.Cells) == 0 {
+				t.Fatalf("query %s returned no cells", pq.Name)
+			}
+		})
+	}
+	if _, ok := FindPredefinedQuery("mary"); !ok {
+		t.Error("FindPredefinedQuery(mary) failed")
+	}
+	if _, ok := FindPredefinedQuery("nope"); ok {
+		t.Error("FindPredefinedQuery(nope) should fail")
+	}
+}

@@ -1,0 +1,106 @@
+package demo
+
+// PredefinedQuery is one of the canned QL programs the on-site
+// demonstration offers ("in the demo we include some predefined
+// queries, which the audience can modify").
+type PredefinedQuery struct {
+	Name        string
+	Description string
+	QL          string
+}
+
+const qlPrologue = `
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+QUERY
+`
+
+// PredefinedQueries are runnable against the demo-enriched cube.
+var PredefinedQueries = []PredefinedQuery{
+	{
+		Name:        "mary",
+		Description: "Applications per year by African citizens with destination France (the paper's Section IV query)",
+		QL: qlPrologue + `
+$C1 := SLICE (data:migr_asyappctzm, schema:asyl_appDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := ROLLUP ($C3, schema:citizenDim, schema:continent);
+$C5 := ROLLUP ($C4, schema:refPeriodDim, schema:year);
+$C6 := DICE ($C5, (schema:citizenDim|schema:continent|schema:continentName = "Africa"));
+$C7 := DICE ($C6, schema:geoDim|property:geo|schema:countryName = "France");
+`,
+	},
+	{
+		Name:        "continent-year",
+		Description: "Applications by continent of citizenship and year",
+		QL: qlPrologue + `
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+`,
+	},
+	{
+		Name:        "quarterly-trend",
+		Description: "Total applications per quarter (time series at quarter granularity)",
+		QL: qlPrologue + `
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:citizenDim);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:quarter);
+`,
+	},
+	{
+		Name:        "minors-by-destination",
+		Description: "Applications by destination country for minor applicants",
+		QL: qlPrologue + `
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:asyl_appDim);
+$C3 := SLICE ($C2, schema:citizenDim);
+$C4 := SLICE ($C3, schema:refPeriodDim);
+$C5 := ROLLUP ($C4, schema:ageDim, schema:ageClass);
+$C6 := DICE ($C5, schema:ageDim|schema:ageClass|<http://www.w3.org/2004/02/skos/core#notation> = "MINOR");
+`,
+	},
+	{
+		Name:        "busy-cells",
+		Description: "Continent-year cells with more than 10,000 applications (measure dice)",
+		QL: qlPrologue + `
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+$C7 := DICE ($C6, sdmx-measure:obsValue > 10000);
+`,
+	},
+	{
+		Name:        "grand-total",
+		Description: "Grand total of all applications (roll everything up / slice everything out)",
+		QL: qlPrologue + `
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:refPeriodDim);
+$C6 := ROLLUP ($C5, schema:citizenDim, schema:citizenAll);
+`,
+	},
+}
+
+// PredefinedQuery returns the named canned query.
+func FindPredefinedQuery(name string) (PredefinedQuery, bool) {
+	for _, q := range PredefinedQueries {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return PredefinedQuery{}, false
+}

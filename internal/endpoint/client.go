@@ -1,0 +1,146 @@
+package endpoint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// SPARQLClient is the interface the QB2OLAP modules use to talk to an
+// endpoint: either in-process (Local) or over HTTP (Remote). This
+// mirrors the paper's architecture, where all modules operate through
+// the SPARQL endpoint.
+type SPARQLClient interface {
+	// Select runs a SELECT (or ASK) query and returns the result table.
+	Select(query string) (*sparql.Results, error)
+	// Update runs a SPARQL update request.
+	Update(update string) error
+}
+
+// Local is an in-process client evaluating directly against a store.
+type Local struct {
+	Engine *sparql.Engine
+}
+
+// NewLocal returns an in-process client over st.
+func NewLocal(st *store.Store) *Local {
+	return &Local{Engine: sparql.NewEngine(st)}
+}
+
+// Select implements SPARQLClient.
+func (l *Local) Select(query string) (*sparql.Results, error) {
+	return l.Engine.QueryString(query)
+}
+
+// Update implements SPARQLClient.
+func (l *Local) Update(update string) error {
+	return l.Engine.ExecuteString(update)
+}
+
+// Remote is an HTTP client for a SPARQL protocol endpoint.
+type Remote struct {
+	// QueryURL is the query endpoint, e.g. http://host:port/sparql.
+	QueryURL string
+	// UpdateURL is the update endpoint, e.g. http://host:port/update.
+	UpdateURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewRemote returns a client for a server rooted at base (without
+// trailing slash), using the /sparql and /update routes.
+func NewRemote(base string) *Remote {
+	base = strings.TrimSuffix(base, "/")
+	return &Remote{
+		QueryURL:  base + "/sparql",
+		UpdateURL: base + "/update",
+	}
+}
+
+func (r *Remote) client() *http.Client {
+	if r.HTTPClient != nil {
+		return r.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Select implements SPARQLClient over HTTP.
+func (r *Remote) Select(query string) (*sparql.Results, error) {
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequest(http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", "application/sparql-results+json")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: query request: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return sparql.ResultsFromJSON(body)
+}
+
+// Update implements SPARQLClient over HTTP.
+func (r *Remote) Update(update string) error {
+	form := url.Values{"update": {update}}
+	req, err := http.NewRequest(http.MethodPost, r.UpdateURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("endpoint: update request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("endpoint: update failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// InsertTriples sends triples to a client as INSERT DATA batches. It is
+// the loading path the Enrichment module uses for generated triples.
+func InsertTriples(c SPARQLClient, graph rdf.Term, triples []rdf.Triple, batch int) error {
+	if batch <= 0 {
+		batch = 5000
+	}
+	for from := 0; from < len(triples); from += batch {
+		to := from + batch
+		if to > len(triples) {
+			to = len(triples)
+		}
+		var b strings.Builder
+		b.WriteString("INSERT DATA {\n")
+		if !graph.IsZero() {
+			fmt.Fprintf(&b, "GRAPH <%s> {\n", graph.Value)
+		}
+		for _, t := range triples[from:to] {
+			b.WriteString(t.String())
+			b.WriteString(" .\n")
+		}
+		if !graph.IsZero() {
+			b.WriteString("}\n")
+		}
+		b.WriteString("}")
+		if err := c.Update(b.String()); err != nil {
+			return fmt.Errorf("endpoint: inserting batch %d..%d: %w", from, to, err)
+		}
+	}
+	return nil
+}

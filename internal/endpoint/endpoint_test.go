@@ -1,0 +1,283 @@
+package endpoint
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func newTestServer(t *testing.T, ttl string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New()
+	if ttl != "" {
+		triples, _, err := turtle.Parse(ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.InsertTriples(rdf.Term{}, triples)
+	}
+	srv := httptest.NewServer(NewServer(st).Handler())
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+const testTTL = `
+@prefix ex: <http://example.org/> .
+ex:a ex:p "1" . ex:b ex:p "2" . ex:c ex:q "3" .`
+
+func TestHTTPQueryJSON(t *testing.T) {
+	srv, _ := newTestServer(t, testTTL)
+	c := NewRemote(srv.URL)
+	res, err := c.Select(`PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p ?o } ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	if got := res.Binding(0, "s").Value; got != "http://example.org/a" {
+		t.Fatalf("first row = %s", got)
+	}
+}
+
+func TestHTTPQueryGet(t *testing.T) {
+	srv, _ := newTestServer(t, testTTL)
+	q := url.QueryEscape(`SELECT ?s WHERE { ?s <http://example.org/q> ?o }`)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "sparql-results+json") {
+		t.Fatalf("content type = %s", ct)
+	}
+}
+
+func TestHTTPQueryCSVAndTSV(t *testing.T) {
+	srv, _ := newTestServer(t, testTTL)
+	for _, accept := range []string{"text/csv", "text/tab-separated-values"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/sparql?query="+url.QueryEscape(`SELECT ?o WHERE { <http://example.org/a> <http://example.org/p> ?o }`), nil)
+		req.Header.Set("Accept", accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if !strings.Contains(resp.Header.Get("Content-Type"), accept) {
+			t.Errorf("accept %s: got content type %s", accept, resp.Header.Get("Content-Type"))
+		}
+	}
+}
+
+func TestHTTPUpdateAndRoundTrip(t *testing.T) {
+	srv, st := newTestServer(t, "")
+	c := NewRemote(srv.URL)
+	err := c.Update(`INSERT DATA { <http://example.org/x> <http://example.org/p> "v" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len(rdf.Term{}) != 1 {
+		t.Fatalf("store has %d triples", st.Len(rdf.Term{}))
+	}
+	res, err := c.Select(`SELECT ?o WHERE { <http://example.org/x> <http://example.org/p> ?o }`)
+	if err != nil || res.Len() != 1 || res.Binding(0, "o").Value != "v" {
+		t.Fatalf("round trip failed: %v %v", res, err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t, "")
+	// missing query
+	resp, err := http.Get(srv.URL + "/sparql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query: status %d", resp.StatusCode)
+	}
+	// bad syntax
+	resp, err = http.Get(srv.URL + "/sparql?query=" + url.QueryEscape("NOT A QUERY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query: status %d", resp.StatusCode)
+	}
+	// wrong method on /update
+	resp, err = http.Get(srv.URL + "/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /update: status %d", resp.StatusCode)
+	}
+	// client surfaces server errors
+	c := NewRemote(srv.URL)
+	if _, err := c.Select("BROKEN"); err == nil {
+		t.Error("client must surface query errors")
+	}
+	if err := c.Update("BROKEN"); err == nil {
+		t.Error("client must surface update errors")
+	}
+}
+
+func TestHTTPLoadTurtle(t *testing.T) {
+	srv, st := newTestServer(t, "")
+	resp, err := http.Post(srv.URL+"/load", "text/turtle", strings.NewReader(testTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load status = %d", resp.StatusCode)
+	}
+	if st.Len(rdf.Term{}) != 3 {
+		t.Fatalf("loaded %d triples", st.Len(rdf.Term{}))
+	}
+	// load into named graph
+	resp, err = http.Post(srv.URL+"/load?graph=http://example.org/g", "text/turtle", strings.NewReader(testTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Len(rdf.NewIRI("http://example.org/g")) != 3 {
+		t.Fatal("named graph load failed")
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	srv, _ := newTestServer(t, testTTL)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPConstruct(t *testing.T) {
+	srv, _ := newTestServer(t, testTTL)
+	q := url.QueryEscape(`CONSTRUCT { ?s <http://example.org/copied> ?o } WHERE { ?s <http://example.org/p> ?o }`)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if !strings.Contains(resp.Header.Get("Content-Type"), "n-triples") {
+		t.Fatalf("content type = %s", resp.Header.Get("Content-Type"))
+	}
+}
+
+func TestLocalClientMatchesRemote(t *testing.T) {
+	srv, st := newTestServer(t, testTTL)
+	local := NewLocal(st)
+	remote := NewRemote(srv.URL)
+	q := `SELECT ?s ?o WHERE { ?s <http://example.org/p> ?o } ORDER BY ?s`
+	lr, err := local.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := remote.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Len() != rr.Len() {
+		t.Fatalf("local %d rows vs remote %d rows", lr.Len(), rr.Len())
+	}
+	for i := range lr.Rows {
+		for j := range lr.Vars {
+			if lr.Rows[i][j] != rr.Rows[i][j] {
+				t.Errorf("cell (%d,%d) differs: %v vs %v", i, j, lr.Rows[i][j], rr.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestInsertTriplesBatching(t *testing.T) {
+	srv, st := newTestServer(t, "")
+	c := NewRemote(srv.URL)
+	var triples []rdf.Triple
+	for i := 0; i < 25; i++ {
+		triples = append(triples, rdf.NewTriple(
+			rdf.NewIRI("http://example.org/s"),
+			rdf.NewIRI("http://example.org/p"),
+			rdf.NewInteger(int64(i)),
+		))
+	}
+	if err := InsertTriples(c, rdf.Term{}, triples, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len(rdf.Term{}) != 25 {
+		t.Fatalf("inserted %d", st.Len(rdf.Term{}))
+	}
+	// Into a named graph too.
+	if err := InsertTriples(c, rdf.NewIRI("http://example.org/g"), triples[:5], 2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len(rdf.NewIRI("http://example.org/g")) != 5 {
+		t.Fatal("named graph insert failed")
+	}
+}
+
+func TestReadOnlyServer(t *testing.T) {
+	st := store.New()
+	srv := NewServer(st)
+	srv.ReadOnly = true
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	c := NewRemote(hs.URL)
+	if err := c.Update(`INSERT DATA { <http://s> <http://p> "v" }`); err == nil {
+		t.Fatal("read-only endpoint accepted an update")
+	}
+	resp, err := http.Post(hs.URL+"/load", "text/turtle", strings.NewReader(testTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("load status = %d, want 403", resp.StatusCode)
+	}
+	// Queries still work.
+	if _, err := c.Select(`SELECT ?s WHERE { ?s ?p ?o }`); err != nil {
+		t.Fatalf("read-only query failed: %v", err)
+	}
+	if st.TotalLen() != 0 {
+		t.Fatal("store mutated through read-only endpoint")
+	}
+}
+
+func TestHTTPDescribe(t *testing.T) {
+	srv, _ := newTestServer(t, testTTL)
+	q := url.QueryEscape(`DESCRIBE <http://example.org/a>`)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("describe status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "n-triples") {
+		t.Fatalf("content type = %s", resp.Header.Get("Content-Type"))
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "http://example.org/a") {
+		t.Fatalf("describe body:\n%s", body)
+	}
+}

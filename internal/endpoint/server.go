@@ -1,0 +1,227 @@
+// Package endpoint implements the SPARQL 1.1 Protocol over HTTP: a
+// server exposing a store.Store at /sparql (query) and /update, and a
+// client for driving remote endpoints. Together they substitute for the
+// Virtuoso 7 endpoint used in the QB2OLAP paper.
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// Server serves the SPARQL protocol over a store.
+type Server struct {
+	engine *sparql.Engine
+	mu     sync.Mutex // serializes updates
+
+	// ReadOnly rejects /update and /load requests with 403, for
+	// endpoints that publish data without accepting writes.
+	ReadOnly bool
+}
+
+// NewServer returns a protocol server over st.
+func NewServer(st *store.Store) *Server {
+	return &Server{engine: sparql.NewEngine(st)}
+}
+
+// Engine exposes the underlying engine (used by tests and tools running
+// in-process).
+func (s *Server) Engine() *sparql.Engine { return s.engine }
+
+// Handler returns the HTTP handler implementing the protocol routes:
+//
+//	GET/POST /sparql  — query (query=..., Accept: json/csv/tsv)
+//	POST     /update  — update (update=... or raw body)
+//	POST     /load    — load Turtle into a graph (?graph=IRI optional)
+//	GET      /stats   — store statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/load", s.handleLoad)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var queryText string
+	switch r.Method {
+	case http.MethodGet:
+		queryText = r.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			queryText = string(body)
+		} else {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			queryText = r.PostForm.Get("query")
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if queryText == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+
+	q, err := sparql.ParseQuery(queryText)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if q.Form == sparql.FormConstruct || q.Form == sparql.FormDescribe {
+		var triples []rdf.Triple
+		var err error
+		if q.Form == sparql.FormConstruct {
+			triples, err = s.engine.Construct(q)
+		} else {
+			triples, err = s.engine.Describe(q)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-triples")
+		if err := turtle.WriteNTriples(w, triples); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+
+	res, err := s.engine.Query(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "text/csv"):
+		w.Header().Set("Content-Type", "text/csv")
+		io.WriteString(w, res.EncodeCSV())
+	case strings.Contains(accept, "text/tab-separated-values"):
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		io.WriteString(w, res.EncodeTSV())
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		data, err := json.Marshal(res)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	}
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.ReadOnly {
+		http.Error(w, "endpoint is read-only", http.StatusForbidden)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var updateText string
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/sparql-update") {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		updateText = string(body)
+	} else {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		updateText = r.PostForm.Get("update")
+	}
+	if updateText == "" {
+		http.Error(w, "missing update parameter", http.StatusBadRequest)
+		return
+	}
+	u, err := sparql.ParseUpdate(updateText)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	err = s.engine.Execute(u)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.ReadOnly {
+		http.Error(w, "endpoint is read-only", http.StatusForbidden)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	triples, _, err := turtle.Parse(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var graph rdf.Term
+	if g := r.URL.Query().Get("graph"); g != "" {
+		graph = rdf.NewIRI(g)
+	}
+	s.mu.Lock()
+	added := s.engine.Store().InsertTriples(graph, triples)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"loaded":%d}`, added)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Store()
+	type stats struct {
+		DefaultGraph int      `json:"defaultGraph"`
+		Total        int      `json:"total"`
+		NamedGraphs  []string `json:"namedGraphs"`
+		Terms        int      `json:"terms"`
+	}
+	out := stats{
+		DefaultGraph: st.Len(rdf.Term{}),
+		Total:        st.TotalLen(),
+		Terms:        st.Dict().Len(),
+	}
+	for _, g := range st.GraphNames() {
+		out.NamedGraphs = append(out.NamedGraphs, g.Value)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

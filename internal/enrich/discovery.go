@@ -1,0 +1,231 @@
+package enrich
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+// Suggest implements the discovery step of the Enrichment phase: it
+// collects the properties of the level's instances, measures which of
+// them are (quasi-)functional dependencies, and returns the candidates,
+// level candidates first. Rejected properties are included (flagged
+// RejectedNotFunctional) so a user interface can explain why they are
+// not offered.
+func (s *Session) Suggest(level rdf.Term) ([]Candidate, error) {
+	members, err := s.Members(level)
+	if err != nil {
+		return nil, err
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("enrich: level %s has no members", level.Value)
+	}
+
+	var out []Candidate
+	graphs := append([]rdf.Term{{}}, s.opts.SearchGraphs...)
+	for _, g := range graphs {
+		cands, err := s.suggestInGraph(level, members, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cands...)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.ErrorRate != b.ErrorRate {
+			return a.ErrorRate < b.ErrorRate
+		}
+		if a.DistinctValues != b.DistinctValues {
+			return a.DistinctValues < b.DistinctValues
+		}
+		return a.Property.Compare(b.Property) < 0
+	})
+	return out, nil
+}
+
+// discoveryChunkSize bounds the VALUES clause of the discovery queries
+// so levels with thousands of members produce several moderate queries
+// instead of one enormous one (endpoints commonly limit query size).
+const discoveryChunkSize = 500
+
+// suggestInGraph analyses one graph for candidate properties. Member
+// sets larger than discoveryChunkSize are scanned in chunks and the
+// per-property statistics merged; the per-property distinct-value count
+// is computed by one whole-set query per scan (values are aggregated
+// globally, so chunked counts cannot simply be added).
+func (s *Session) suggestInGraph(level rdf.Term, members []rdf.Term, graph rdf.Term) ([]Candidate, error) {
+	type stats struct {
+		withProp   int
+		violations int
+		sampleIRI  bool
+	}
+	byProp := make(map[rdf.Term]*stats)
+	var order []rdf.Term
+	distinctByProp := make(map[rdf.Term]int)
+	distinctValues := make(map[rdf.Term]map[rdf.Term]bool)
+
+	for from := 0; from < len(members); from += discoveryChunkSize {
+		to := from + discoveryChunkSize
+		if to > len(members) {
+			to = len(members)
+		}
+		values := memberValues(members[from:to])
+		inner := fmt.Sprintf("VALUES ?m { %s } ?m ?p ?v .", values)
+		if !graph.IsZero() {
+			inner = fmt.Sprintf("VALUES ?m { %s } GRAPH <%s> { ?m ?p ?v } .", values, graph.Value)
+		}
+
+		// Per-member distinct value counts per property, plus a sample
+		// value to classify the property's range.
+		perMember, err := s.client.Select(fmt.Sprintf(`
+SELECT ?p ?m (COUNT(DISTINCT ?v) AS ?nv) (SAMPLE(?v) AS ?sample)
+WHERE { %s } GROUP BY ?p ?m`, inner))
+		if err != nil {
+			return nil, fmt.Errorf("enrich: property scan: %w", err)
+		}
+		for i := range perMember.Rows {
+			p := perMember.Binding(i, "p")
+			if s.skipProperty(level, p) {
+				continue
+			}
+			st, ok := byProp[p]
+			if !ok {
+				st = &stats{}
+				byProp[p] = st
+				order = append(order, p)
+			}
+			st.withProp++
+			if n, _ := strconv.Atoi(perMember.Binding(i, "nv").Value); n > 1 {
+				st.violations++
+			}
+			if perMember.Binding(i, "sample").IsIRI() {
+				st.sampleIRI = true
+			}
+		}
+
+		// Global distinct-value counts: one whole-set query when the
+		// member set fits a single chunk, otherwise exact merging of
+		// per-chunk value sets.
+		if len(members) <= discoveryChunkSize {
+			globals, err := s.client.Select(fmt.Sprintf(`
+SELECT ?p (COUNT(DISTINCT ?v) AS ?dv)
+WHERE { %s } GROUP BY ?p`, inner))
+			if err != nil {
+				return nil, fmt.Errorf("enrich: value scan: %w", err)
+			}
+			for i := range globals.Rows {
+				n, _ := strconv.Atoi(globals.Binding(i, "dv").Value)
+				distinctByProp[globals.Binding(i, "p")] = n
+			}
+		} else {
+			chunkVals, err := s.client.Select(fmt.Sprintf(`
+SELECT DISTINCT ?p ?v WHERE { %s }`, inner))
+			if err != nil {
+				return nil, fmt.Errorf("enrich: value scan: %w", err)
+			}
+			for i := range chunkVals.Rows {
+				p := chunkVals.Binding(i, "p")
+				set, ok := distinctValues[p]
+				if !ok {
+					set = make(map[rdf.Term]bool)
+					distinctValues[p] = set
+				}
+				set[chunkVals.Binding(i, "v")] = true
+			}
+		}
+	}
+	for p, set := range distinctValues {
+		distinctByProp[p] = len(set)
+	}
+
+	var out []Candidate
+	for _, p := range order {
+		st := byProp[p]
+		support := float64(st.withProp) / float64(len(members))
+		if support < s.opts.MinSupport {
+			continue
+		}
+		errorRate := 0.0
+		if st.withProp > 0 {
+			errorRate = float64(st.violations) / float64(st.withProp)
+		}
+		c := Candidate{
+			Property:       p,
+			Level:          level,
+			Graph:          graph,
+			Members:        len(members),
+			WithProperty:   st.withProp,
+			Violations:     st.violations,
+			DistinctValues: distinctByProp[p],
+			ExactFD:        st.violations == 0,
+			ErrorRate:      errorRate,
+			Support:        support,
+		}
+		switch {
+		case errorRate > s.opts.QuasiFDThreshold:
+			c.Kind = RejectedNotFunctional
+		case st.sampleIRI && float64(c.DistinctValues) <= s.opts.MaxLevelValueRatio*float64(st.withProp):
+			c.Kind = LevelCandidate
+		default:
+			c.Kind = AttributeCandidate
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// skipProperty filters structural properties that must not be offered
+// as enrichment candidates: typing, the vocabulary machinery, and the
+// roll-up properties already consumed by steps from this level.
+func (s *Session) skipProperty(level, p rdf.Term) bool {
+	if p == vocab.RDFType {
+		return true
+	}
+	for _, ns := range []string{vocab.QB, vocab.QB4O} {
+		if strings.HasPrefix(p.Value, ns) {
+			return true
+		}
+	}
+	if dim, ok := s.schema.DimensionOfLevel(level); ok {
+		for _, h := range dim.Hierarchies {
+			for _, st := range h.Steps {
+				if st.Child == level && st.Rollup == p {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func memberValues(members []rdf.Term) string {
+	var b strings.Builder
+	for i, m := range members {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('<')
+		b.WriteString(m.Value)
+		b.WriteByte('>')
+	}
+	return b.String()
+}
+
+// FindCandidate locates a candidate for a given property in a
+// suggestion list.
+func FindCandidate(cands []Candidate, property rdf.Term) (Candidate, bool) {
+	for _, c := range cands {
+		if c.Property == property {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}

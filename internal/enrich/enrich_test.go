@@ -1,0 +1,600 @@
+package enrich
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/eurostat"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+func newTestSession(t *testing.T, cfg eurostat.Config, opts Options) (*Session, endpoint.SPARQLClient) {
+	t.Helper()
+	st, _ := eurostat.NewStore(cfg)
+	c := endpoint.NewLocal(st)
+	sess, err := NewSession(c, eurostat.DSDIRI, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, c
+}
+
+func TestRedefinitionPhase(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	schema := sess.Schema()
+
+	if len(schema.Dimensions) != 6 {
+		t.Fatalf("dimensions = %d, want 6", len(schema.Dimensions))
+	}
+	if len(schema.Measures) != 1 {
+		t.Fatalf("measures = %d, want 1", len(schema.Measures))
+	}
+	if schema.Measures[0].Agg != qb4olap.Sum {
+		t.Fatalf("default aggregate = %v, want sum", schema.Measures[0].Agg)
+	}
+	// Each dimension starts as a single-level hierarchy rooted at the
+	// original dimension property with ManyToOne cardinality.
+	for _, d := range schema.Dimensions {
+		if d.BaseLevel.IsZero() {
+			t.Errorf("dimension %s has no base level", d.IRI.Value)
+		}
+		if len(d.Hierarchies) != 1 || len(d.Hierarchies[0].Levels) != 1 {
+			t.Errorf("dimension %s should start with one single-level hierarchy", d.IRI.Value)
+		}
+		if schema.Cardinalities[d.BaseLevel] != qb4olap.ManyToOne {
+			t.Errorf("base level %s cardinality not ManyToOne", d.BaseLevel.Value)
+		}
+	}
+	if schema.SourceDSD != eurostat.DSDIRI {
+		t.Error("source DSD not recorded")
+	}
+	if !strings.HasSuffix(schema.DSD.Value, "QB4O") {
+		t.Errorf("QB4O DSD IRI = %s", schema.DSD.Value)
+	}
+}
+
+func TestSetAggregate(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	if err := sess.SetAggregate(eurostat.PropObs, qb4olap.Avg); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sess.Schema().Measure(eurostat.PropObs)
+	if m.Agg != qb4olap.Avg {
+		t.Fatalf("aggregate = %v", m.Agg)
+	}
+	if err := sess.SetAggregate(rdf.NewIRI("http://nope"), qb4olap.Avg); err == nil {
+		t.Fatal("unknown measure must error")
+	}
+}
+
+func TestCandidateSuggestions(t *testing.T) {
+	// E4: candidate discovery on the citizenship level.
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cont, ok := FindCandidate(cands, eurostat.PropContinent)
+	if !ok {
+		t.Fatal("continent not suggested")
+	}
+	if cont.Kind != LevelCandidate {
+		t.Errorf("continent kind = %v, want level", cont.Kind)
+	}
+	if !cont.ExactFD || cont.ErrorRate != 0 {
+		t.Errorf("continent should be an exact FD: %+v", cont)
+	}
+	if cont.DistinctValues >= cont.Members {
+		t.Errorf("continent values (%d) should be fewer than members (%d)", cont.DistinctValues, cont.Members)
+	}
+
+	name, ok := FindCandidate(cands, rdf.NewIRI(vocab.Schema+"countryName"))
+	if !ok {
+		t.Fatal("countryName not suggested")
+	}
+	if name.Kind != AttributeCandidate {
+		t.Errorf("countryName kind = %v, want attribute", name.Kind)
+	}
+
+	// The multi-valued neighbour property must be rejected.
+	nb, ok := FindCandidate(cands, eurostat.PropNeighbours)
+	if !ok {
+		t.Fatal("neighbourOf should appear in the report")
+	}
+	if nb.Kind != RejectedNotFunctional {
+		t.Errorf("neighbourOf kind = %v, want rejected", nb.Kind)
+	}
+
+	// rdf:type must never be suggested.
+	if _, ok := FindCandidate(cands, vocab.RDFType); ok {
+		t.Error("rdf:type suggested")
+	}
+
+	// Level candidates sort before attribute candidates.
+	firstAttr := -1
+	lastLevel := -1
+	for i, c := range cands {
+		switch c.Kind {
+		case LevelCandidate:
+			lastLevel = i
+		case AttributeCandidate:
+			if firstAttr < 0 {
+				firstAttr = i
+			}
+		}
+	}
+	if firstAttr >= 0 && lastLevel > firstAttr {
+		t.Error("level candidates must sort before attribute candidates")
+	}
+}
+
+func TestQuasiFDThreshold(t *testing.T) {
+	// C5: with noise above the threshold the property is rejected; with
+	// a generous threshold it is accepted as a quasi-FD.
+	cfg := eurostat.TestConfig()
+	cfg.QuasiFDNoise = 0.25
+
+	strict := DefaultOptions() // threshold 0
+	sess, _ := newTestSession(t, cfg, strict)
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, ok := FindCandidate(cands, eurostat.PropContinent)
+	if !ok {
+		t.Fatal("continent missing from report")
+	}
+	if cont.Kind != RejectedNotFunctional {
+		t.Fatalf("strict threshold should reject noisy continent, got %v (error rate %.2f)", cont.Kind, cont.ErrorRate)
+	}
+
+	lax := DefaultOptions()
+	lax.QuasiFDThreshold = 0.5
+	sess2, _ := newTestSession(t, cfg, lax)
+	cands2, err := sess2.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont2, _ := FindCandidate(cands2, eurostat.PropContinent)
+	if cont2.Kind != LevelCandidate {
+		t.Fatalf("lax threshold should accept quasi-FD, got %v", cont2.Kind)
+	}
+	if cont2.ExactFD {
+		t.Error("noisy FD misreported as exact")
+	}
+	if cont2.ErrorRate <= 0 || cont2.ErrorRate > 0.5 {
+		t.Errorf("error rate = %.3f", cont2.ErrorRate)
+	}
+}
+
+func TestMinSupportFilter(t *testing.T) {
+	cfg := eurostat.TestConfig()
+	cfg.DropLabelRate = 0.5
+	opts := DefaultOptions()
+	opts.MinSupport = 0.95
+	sess, _ := newTestSession(t, cfg, opts)
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FindCandidate(cands, vocab.RDFSLabel); ok {
+		t.Error("label with 50% support must be filtered at MinSupport=0.95")
+	}
+	// Continent support is 100%, must survive.
+	if _, ok := FindCandidate(cands, eurostat.PropContinent); !ok {
+		t.Error("continent filtered despite full support")
+	}
+}
+
+func TestAddLevelBuildsHierarchy(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, _ := FindCandidate(cands, eurostat.PropContinent)
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	dim, _ := sess.Schema().DimensionOfLevel(eurostat.PropCitizen)
+	h := dim.Hierarchies[0]
+	if len(h.Levels) != 2 || len(h.Steps) != 1 {
+		t.Fatalf("hierarchy: %d levels, %d steps", len(h.Levels), len(h.Steps))
+	}
+	st := h.Steps[0]
+	if st.Child != eurostat.PropCitizen || st.Parent != eurostat.PropContinent {
+		t.Fatalf("step %v -> %v", st.Child, st.Parent)
+	}
+	if st.Rollup != eurostat.PropContinent {
+		t.Fatalf("rollup property = %v", st.Rollup)
+	}
+	if st.Cardinality != qb4olap.ManyToOne {
+		t.Fatalf("step cardinality = %v", st.Cardinality)
+	}
+	// Path resolution from base to the new level.
+	path, ok := dim.PathToLevel(eurostat.PropContinent)
+	if !ok || len(path) != 1 {
+		t.Fatalf("PathToLevel: %v %v", path, ok)
+	}
+	// Re-adding must fail.
+	if err := sess.AddLevel(cont); err == nil {
+		t.Fatal("duplicate level add must fail")
+	}
+}
+
+func TestIterativeEnrichmentTimeChain(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+
+	cands, err := sess.Suggest(eurostat.PropTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := FindCandidate(cands, eurostat.PropQuarter)
+	if !ok || q.Kind != LevelCandidate {
+		t.Fatalf("quarter not a level candidate: %+v", q)
+	}
+	if err := sess.AddLevel(q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Iterate: now suggest for the new quarter level.
+	cands, err = sess.Suggest(eurostat.PropQuarter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, ok := FindCandidate(cands, eurostat.PropYear)
+	if !ok || y.Kind != LevelCandidate {
+		t.Fatalf("year not a level candidate from quarter: %+v", y)
+	}
+	if err := sess.AddLevel(y); err != nil {
+		t.Fatal(err)
+	}
+
+	dim, _ := sess.Schema().DimensionOfLevel(eurostat.PropTime)
+	path, ok := dim.PathToLevel(eurostat.PropYear)
+	if !ok || len(path) != 2 {
+		t.Fatalf("month->year path: %v, %v", path, ok)
+	}
+	members, err := sess.Members(eurostat.PropYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 { // 2013, 2014
+		t.Fatalf("year members = %d, want 2", len(members))
+	}
+}
+
+func TestAddAttribute(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, _ := sess.Suggest(eurostat.PropCitizen)
+	name, _ := FindCandidate(cands, rdf.NewIRI(vocab.Schema+"countryName"))
+	if err := sess.AddAttribute(name); err != nil {
+		t.Fatal(err)
+	}
+	lvl := sess.Schema().Level(eurostat.PropCitizen)
+	if len(lvl.Attributes) != 1 {
+		t.Fatalf("attributes = %d", len(lvl.Attributes))
+	}
+	if err := sess.AddAttribute(name); err == nil {
+		t.Fatal("duplicate attribute must fail")
+	}
+	cont, _ := FindCandidate(cands, eurostat.PropContinent)
+	if err := sess.AddAttribute(cont); err == nil {
+		t.Fatal("adding a level candidate as attribute must fail")
+	}
+}
+
+func TestAddAllLevel(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, _ := sess.Suggest(eurostat.PropCitizen)
+	cont, _ := FindCandidate(cands, eurostat.PropContinent)
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	dim, _ := sess.Schema().DimensionOfLevel(eurostat.PropCitizen)
+	all, err := sess.AddAllLevel(dim.IRI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := sess.Members(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("all level members = %d, want 1", len(members))
+	}
+	path, ok := dim.PathToLevel(all)
+	if !ok || len(path) != 2 {
+		t.Fatalf("path to all: %v %v", path, ok)
+	}
+}
+
+func TestExternalGraphDiscovery(t *testing.T) {
+	cfg := eurostat.TestConfig()
+	opts := DefaultOptions()
+	opts.SearchGraphs = []rdf.Term{eurostat.ExternalGraph}
+	sess, _ := newTestSession(t, cfg, opts)
+
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org, ok := FindCandidate(cands, eurostat.PropPolOrg)
+	if !ok {
+		t.Fatal("external politicalOrg not discovered")
+	}
+	if org.Kind != LevelCandidate {
+		t.Fatalf("politicalOrg kind = %v", org.Kind)
+	}
+	if org.Graph != eurostat.ExternalGraph {
+		t.Fatalf("politicalOrg graph = %v", org.Graph)
+	}
+	// Without SearchGraphs it must not appear.
+	sess2, _ := newTestSession(t, cfg, DefaultOptions())
+	cands2, _ := sess2.Suggest(eurostat.PropCitizen)
+	if _, ok := FindCandidate(cands2, eurostat.PropPolOrg); ok {
+		t.Error("external property leaked without SearchGraphs")
+	}
+}
+
+func TestGenerateTriplesAndCommit(t *testing.T) {
+	sess, client := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, _ := sess.Suggest(eurostat.PropCitizen)
+	cont, _ := FindCandidate(cands, eurostat.PropContinent)
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+
+	schema, instances, err := sess.GenerateTriples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) == 0 || len(instances) == 0 {
+		t.Fatalf("schema=%d instances=%d", len(schema), len(instances))
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed schema must be loadable back as a QB4OLAP cube.
+	res, err := client.Select(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?s WHERE { ?s a qb4o:HierarchyStep }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no hierarchy steps committed")
+	}
+	res, err = client.Select(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+SELECT (COUNT(?m) AS ?n) WHERE { ?m qb4o:memberOf property:citizen }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Binding(0, "n").Value == "0" {
+		t.Fatal("no base level members committed")
+	}
+
+	summary, err := sess.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Dimensions != 6 || summary.Steps != 1 {
+		t.Fatalf("summary = %+v", summary)
+	}
+}
+
+func TestValidateAfterEnrichment(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, _ := sess.Suggest(eurostat.PropCitizen)
+	cont, _ := FindCandidate(cands, eurostat.PropContinent)
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	if probs := sess.Schema().Validate(); len(probs) != 0 {
+		t.Fatalf("validation problems after enrichment: %v", probs)
+	}
+}
+
+func TestRemoveLevel(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	cands, _ := sess.Suggest(eurostat.PropTime)
+	q, _ := FindCandidate(cands, eurostat.PropQuarter)
+	if err := sess.AddLevel(q); err != nil {
+		t.Fatal(err)
+	}
+	cands, _ = sess.Suggest(eurostat.PropQuarter)
+	y, _ := FindCandidate(cands, eurostat.PropYear)
+	if err := sess.AddLevel(y); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inner levels cannot be removed while a step builds on them.
+	if err := sess.RemoveLevel(eurostat.PropQuarter); err == nil {
+		t.Fatal("removing an inner level must fail")
+	}
+	// Base levels can never be removed.
+	if err := sess.RemoveLevel(eurostat.PropTime); err == nil {
+		t.Fatal("removing the base level must fail")
+	}
+	// The top can, and afterwards the level below becomes removable.
+	if err := sess.RemoveLevel(eurostat.PropYear); err != nil {
+		t.Fatal(err)
+	}
+	dim, _ := sess.Schema().DimensionOfLevel(eurostat.PropTime)
+	if _, ok := dim.PathToLevel(eurostat.PropYear); ok {
+		t.Fatal("year still reachable after removal")
+	}
+	if _, ok := dim.PathToLevel(eurostat.PropQuarter); !ok {
+		t.Fatal("quarter lost by removing year")
+	}
+	if err := sess.RemoveLevel(eurostat.PropQuarter); err != nil {
+		t.Fatal(err)
+	}
+	if probs := sess.Schema().Validate(); len(probs) != 0 {
+		t.Fatalf("schema invalid after removals: %v", probs)
+	}
+	// Unknown level errors.
+	if err := sess.RemoveLevel(rdf.NewIRI("http://nope")); err == nil {
+		t.Fatal("unknown level must fail")
+	}
+}
+
+func TestRemoveSharedLevelKeepsOtherDimension(t *testing.T) {
+	sess, _ := newTestSession(t, eurostat.TestConfig(), DefaultOptions())
+	for _, base := range []rdf.Term{eurostat.PropCitizen, eurostat.PropGeo} {
+		cands, _ := sess.Suggest(base)
+		c, ok := FindCandidate(cands, eurostat.PropContinent)
+		if !ok {
+			t.Fatalf("continent not suggested for %v", base)
+		}
+		if err := sess.AddLevel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.RemoveLevel(eurostat.PropContinent); err != nil {
+		t.Fatal(err)
+	}
+	// One of the two dimensions must still reach the shared level.
+	if _, ok := sess.Schema().DimensionOfLevel(eurostat.PropContinent); !ok {
+		t.Fatal("shared level metadata dropped while still in use")
+	}
+}
+
+// TestBranchingHierarchies adds two alternative parent levels to the
+// same child, which must create a second hierarchy on the dimension
+// (the paper's citizenshipGeoHier is one of possibly many).
+func TestBranchingHierarchies(t *testing.T) {
+	cfg := eurostat.TestConfig()
+	opts := DefaultOptions()
+	opts.SearchGraphs = []rdf.Term{eurostat.ExternalGraph}
+	sess, _ := newTestSession(t, cfg, opts)
+
+	cands, err := sess.Suggest(eurostat.PropCitizen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, ok := FindCandidate(cands, eurostat.PropContinent)
+	if !ok {
+		t.Fatal("continent missing")
+	}
+	org, ok := FindCandidate(cands, eurostat.PropPolOrg)
+	if !ok {
+		t.Fatal("politicalOrg missing")
+	}
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AddLevel(org); err != nil {
+		t.Fatal(err)
+	}
+
+	dim, _ := sess.Schema().DimensionOfLevel(eurostat.PropCitizen)
+	if len(dim.Hierarchies) != 2 {
+		t.Fatalf("hierarchies = %d, want 2", len(dim.Hierarchies))
+	}
+	if _, ok := dim.PathToLevel(eurostat.PropContinent); !ok {
+		t.Error("continent unreachable")
+	}
+	if _, ok := dim.PathToLevel(eurostat.PropPolOrg); !ok {
+		t.Error("politicalOrg unreachable")
+	}
+	if probs := sess.Schema().Validate(); len(probs) != 0 {
+		t.Fatalf("schema problems: %v", probs)
+	}
+
+	// Extending the branch further: continent gains a level in the
+	// first hierarchy while the second stays two levels deep.
+	dimIRI := dim.IRI
+	if _, err := sess.AddAllLevel(dimIRI); err != nil {
+		t.Fatal(err)
+	}
+	if len(dim.Hierarchies[0].Levels) != 3 {
+		t.Fatalf("first hierarchy levels = %d", len(dim.Hierarchies[0].Levels))
+	}
+	if len(dim.Hierarchies[1].Levels) != 2 {
+		t.Fatalf("second hierarchy levels = %d", len(dim.Hierarchies[1].Levels))
+	}
+}
+
+// TestBranchingHierarchyQueryable commits a branched schema and rolls
+// up along the second (externally-sourced) hierarchy.
+func TestBranchingHierarchyQueryable(t *testing.T) {
+	cfg := eurostat.TestConfig()
+	opts := DefaultOptions()
+	opts.SearchGraphs = []rdf.Term{eurostat.ExternalGraph}
+	sess, client := newTestSession(t, cfg, opts)
+
+	cands, _ := sess.Suggest(eurostat.PropCitizen)
+	cont, _ := FindCandidate(cands, eurostat.PropContinent)
+	org, _ := FindCandidate(cands, eurostat.PropPolOrg)
+	if err := sess.AddLevel(cont); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AddLevel(org); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The externally-found rollup triples must have been materialized
+	// into the default graph so queries can navigate them.
+	res, err := client.Select(`
+PREFIX ex: <http://example.org/external/>
+SELECT (COUNT(?m) AS ?n) WHERE { ?m ex:politicalOrg ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Binding(0, "n").Value == "0" {
+		t.Fatal("external rollup triples not materialized")
+	}
+}
+
+// TestChunkedDiscovery makes the member set exceed the discovery chunk
+// size by suggesting on the time level of a long period, exercising the
+// chunked statistics merging.
+func TestChunkedDiscovery(t *testing.T) {
+	cfg := eurostat.TestConfig()
+	cfg.StartYear = 1960
+	cfg.EndYear = 2014 // 55 years * 12 months = 660 members > 500 chunk
+	cfg.TargetObservations = 4000
+	sess, _ := newTestSession(t, cfg, DefaultOptions())
+
+	members, err := sess.Members(eurostat.PropTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) <= 500 {
+		t.Fatalf("fixture too small: %d members", len(members))
+	}
+	cands, err := sess.Suggest(eurostat.PropTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := FindCandidate(cands, eurostat.PropQuarter)
+	if !ok || q.Kind != LevelCandidate {
+		t.Fatalf("quarter candidate: %+v (ok=%v)", q, ok)
+	}
+	if q.WithProperty != len(members) {
+		t.Fatalf("withProperty = %d, members = %d", q.WithProperty, len(members))
+	}
+	// Distinct values must be exact across chunks: 4 quarters per year.
+	wantQuarters := (cfg.EndYear - cfg.StartYear + 1) * 4
+	if q.DistinctValues != wantQuarters {
+		t.Fatalf("distinct quarters = %d, want %d", q.DistinctValues, wantQuarters)
+	}
+	y, ok := FindCandidate(cands, eurostat.PropYear)
+	if !ok || y.Kind != LevelCandidate {
+		t.Fatalf("year candidate: %+v", y)
+	}
+	if y.DistinctValues != cfg.EndYear-cfg.StartYear+1 {
+		t.Fatalf("distinct years = %d", y.DistinctValues)
+	}
+}

@@ -1,0 +1,130 @@
+// Package enrich implements the QB2OLAP Enrichment module: the
+// semi-automatic transformation of a QB data set into a QB4OLAP one.
+//
+// The workflow follows Figure 2 of the paper:
+//
+//  1. Redefinition phase — the QB schema is adjusted to QB4OLAP
+//     semantics: dimensions become levels with cardinalities, measures
+//     receive aggregate functions.
+//  2. Enrichment phase — for each level, the module collects the level
+//     instances and their properties, discovers which properties are
+//     functional dependencies (exact or quasi, within a configurable
+//     error threshold), and suggests them as parent-level or attribute
+//     candidates. The user (or a script) picks candidates; hierarchies
+//     are built and updated iteratively.
+//  3. Triple generation phase — the QB4OLAP schema and level-instance
+//     triples are generated and loaded into the endpoint.
+package enrich
+
+import (
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+// Options are the fine-tuning parameters of the Enrichment module
+// (Section III-A: aggregate function, level detection, and triple
+// generation parameters).
+type Options struct {
+	// QuasiFDThreshold is the allowed fraction of level members that
+	// may violate the functional dependency (an FD with an allowed
+	// error threshold, for Linked Data quality issues). 0 accepts only
+	// exact FDs.
+	QuasiFDThreshold float64
+
+	// MinSupport is the minimum fraction of members that must carry the
+	// property at all for it to be suggested.
+	MinSupport float64
+
+	// MaxLevelValueRatio splits level candidates from attribute
+	// candidates: an IRI-valued FD whose distinct-value count exceeds
+	// this fraction of the member count looks like a 1:1 identifier,
+	// not a roll-up target. The default of 0.8 accepts any property
+	// that actually merges members while still rejecting near-keys.
+	MaxLevelValueRatio float64
+
+	// DefaultAggregate is assigned to measures during redefinition.
+	DefaultAggregate qb4olap.AggFunc
+
+	// SearchGraphs lists additional named graphs to search for
+	// candidate properties (e.g. an external linked data set). The
+	// default graph is always searched.
+	SearchGraphs []rdf.Term
+
+	// Namespace prefixes generated schema IRIs (hierarchies, steps, the
+	// QB4OLAP DSD).
+	Namespace string
+
+	// MaterializeExternal copies roll-up triples found in external
+	// graphs into the generated instance triples so that queries over
+	// the default graph can navigate them.
+	MaterializeExternal bool
+}
+
+// DefaultOptions returns the module defaults used by the demo.
+func DefaultOptions() Options {
+	return Options{
+		QuasiFDThreshold:    0,
+		MinSupport:          0.9,
+		MaxLevelValueRatio:  0.8,
+		DefaultAggregate:    qb4olap.Sum,
+		Namespace:           vocab.Schema,
+		MaterializeExternal: true,
+	}
+}
+
+// CandidateKind classifies a discovered candidate.
+type CandidateKind int
+
+// Candidate kinds.
+const (
+	// LevelCandidate is an IRI-valued (quasi-)FD suitable as a coarser
+	// dimension level.
+	LevelCandidate CandidateKind = iota
+	// AttributeCandidate is a literal-valued or identifier-like FD
+	// suitable as a descriptive level attribute.
+	AttributeCandidate
+	// RejectedNotFunctional marks properties that failed the FD test;
+	// they are reported for transparency but cannot be chosen.
+	RejectedNotFunctional
+)
+
+func (k CandidateKind) String() string {
+	switch k {
+	case LevelCandidate:
+		return "level"
+	case AttributeCandidate:
+		return "attribute"
+	default:
+		return "rejected"
+	}
+}
+
+// Candidate is one discovered roll-up or attribute suggestion for a
+// level.
+type Candidate struct {
+	// Property is the instance property representing the dependency.
+	Property rdf.Term
+	// Level is the level the candidate was discovered for (the child).
+	Level rdf.Term
+	// Kind classifies the suggestion.
+	Kind CandidateKind
+	// Graph is the graph the property was found in (zero = default).
+	Graph rdf.Term
+
+	// Members is the number of level members analysed.
+	Members int
+	// WithProperty is how many members carry the property.
+	WithProperty int
+	// Violations is how many members map to more than one value.
+	Violations int
+	// DistinctValues is the number of distinct values across members.
+	DistinctValues int
+
+	// ExactFD reports whether the property is a strict FD.
+	ExactFD bool
+	// ErrorRate is Violations / WithProperty.
+	ErrorRate float64
+	// Support is WithProperty / Members.
+	Support float64
+}

@@ -1,0 +1,424 @@
+package enrich
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/endpoint"
+	"repro/internal/qb"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+// Session is one interactive enrichment of a QB data set. It tracks the
+// evolving QB4OLAP schema; Suggest/AddLevel/AddAttribute implement the
+// iterative Enrichment phase; GenerateTriples and Commit implement the
+// Triple Generation phase.
+type Session struct {
+	client endpoint.SPARQLClient
+	opts   Options
+
+	source  *qb.DSD
+	dataset rdf.Term
+	schema  *qb4olap.CubeSchema
+
+	// members caches the member IRIs per level.
+	members map[rdf.Term][]rdf.Term
+	// rollups caches discovered child→parent member pairs per step IRI.
+	rollups map[rdf.Term][][2]rdf.Term
+	// allLevels tracks synthetic "all" top levels (one member each).
+	allLevels map[rdf.Term]bool
+
+	stepSeq int
+}
+
+// NewSession performs the Redefinition phase: it loads the QB DSD from
+// the endpoint and produces the QB4OLAP schema skeleton in which every
+// dimension is redefined as a base level with a ManyToOne cardinality
+// and every measure receives the default aggregate function.
+func NewSession(c endpoint.SPARQLClient, dsdIRI rdf.Term, opts Options) (*Session, error) {
+	if opts.Namespace == "" {
+		opts.Namespace = vocab.Schema
+	}
+	if opts.DefaultAggregate < qb4olap.Sum || opts.DefaultAggregate > qb4olap.Max {
+		opts.DefaultAggregate = qb4olap.Sum
+	}
+	src, err := qb.LoadDSD(c, dsdIRI)
+	if err != nil {
+		return nil, fmt.Errorf("enrich: redefinition: %w", err)
+	}
+	if probs := qb.Validate(src); len(probs) > 0 {
+		return nil, fmt.Errorf("enrich: source DSD is not well-formed: %v", probs)
+	}
+
+	// Find the dataset bound to the DSD.
+	var dataset rdf.Term
+	res, err := c.Select(fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?ds WHERE { ?ds qb:structure <%s> } LIMIT 1`, dsdIRI.Value))
+	if err != nil {
+		return nil, fmt.Errorf("enrich: finding dataset: %w", err)
+	}
+	if res.Len() > 0 {
+		dataset = res.Binding(0, "ds")
+	}
+
+	newDSD := rdf.NewIRI(opts.Namespace + localName(dsdIRI) + "QB4O")
+	schema := qb4olap.NewCubeSchema(newDSD, dataset, opts.Namespace)
+	schema.SourceDSD = dsdIRI
+
+	for _, dimProp := range src.Dimensions() {
+		local := localName(dimProp)
+		dim := &qb4olap.Dimension{
+			IRI:       rdf.NewIRI(opts.Namespace + local + "Dim"),
+			BaseLevel: dimProp,
+		}
+		hier := &qb4olap.Hierarchy{
+			IRI:    rdf.NewIRI(opts.Namespace + local + "Hier"),
+			Levels: []rdf.Term{dimProp},
+		}
+		dim.Hierarchies = []*qb4olap.Hierarchy{hier}
+		schema.Dimensions = append(schema.Dimensions, dim)
+		schema.Cardinalities[dimProp] = qb4olap.ManyToOne
+		schema.Level(dimProp)
+	}
+	for _, m := range src.Measures() {
+		schema.Measures = append(schema.Measures, qb4olap.MeasureSpec{Property: m, Agg: opts.DefaultAggregate})
+	}
+
+	return &Session{
+		client:    c,
+		opts:      opts,
+		source:    src,
+		dataset:   dataset,
+		schema:    schema,
+		members:   make(map[rdf.Term][]rdf.Term),
+		rollups:   make(map[rdf.Term][][2]rdf.Term),
+		allLevels: make(map[rdf.Term]bool),
+	}, nil
+}
+
+// Schema returns the evolving QB4OLAP schema.
+func (s *Session) Schema() *qb4olap.CubeSchema { return s.schema }
+
+// SourceDSD returns the original QB structure.
+func (s *Session) SourceDSD() *qb.DSD { return s.source }
+
+// Options returns the session options.
+func (s *Session) Options() Options { return s.opts }
+
+// SetAggregate overrides the aggregate function of a measure (one of
+// the fine-tuning parameters the paper calls out).
+func (s *Session) SetAggregate(measure rdf.Term, f qb4olap.AggFunc) error {
+	for i := range s.schema.Measures {
+		if s.schema.Measures[i].Property == measure {
+			s.schema.Measures[i].Agg = f
+			return nil
+		}
+	}
+	return fmt.Errorf("enrich: unknown measure %s", measure.Value)
+}
+
+// Members returns (and caches) the member IRIs of a level. Base level
+// members are the distinct dimension values over the observations;
+// derived level members are the roll-up targets of their child level.
+func (s *Session) Members(level rdf.Term) ([]rdf.Term, error) {
+	if m, ok := s.members[level]; ok {
+		return m, nil
+	}
+	dim, ok := s.schema.DimensionOfLevel(level)
+	if !ok {
+		return nil, fmt.Errorf("enrich: level %s not in schema", level.Value)
+	}
+	if level == dim.BaseLevel {
+		query := fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT DISTINCT ?m WHERE { ?o qb:dataSet <%s> ; <%s> ?m }`, s.dataset.Value, level.Value)
+		res, err := s.client.Select(query)
+		if err != nil {
+			return nil, fmt.Errorf("enrich: collecting members of %s: %w", level.Value, err)
+		}
+		members := make([]rdf.Term, 0, res.Len())
+		for i := range res.Rows {
+			if m := res.Binding(i, "m"); m.IsIRI() {
+				members = append(members, m)
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].Compare(members[j]) < 0 })
+		s.members[level] = members
+		return members, nil
+	}
+	// Derived level: find the step whose parent is this level and map
+	// child members through the rollup property.
+	for _, h := range dim.Hierarchies {
+		for _, st := range h.Steps {
+			if st.Parent != level {
+				continue
+			}
+			pairs, err := s.rollupPairs(st)
+			if err != nil {
+				return nil, err
+			}
+			seen := make(map[rdf.Term]bool)
+			var members []rdf.Term
+			for _, p := range pairs {
+				if !seen[p[1]] {
+					seen[p[1]] = true
+					members = append(members, p[1])
+				}
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i].Compare(members[j]) < 0 })
+			s.members[level] = members
+			return members, nil
+		}
+	}
+	return nil, fmt.Errorf("enrich: no step leads to level %s", level.Value)
+}
+
+// rollupPairs returns the (child member, parent member) pairs for a
+// hierarchy step, searching the default graph and the configured
+// external graphs.
+func (s *Session) rollupPairs(st qb4olap.HierarchyStep) ([][2]rdf.Term, error) {
+	if pairs, ok := s.rollups[st.IRI]; ok {
+		return pairs, nil
+	}
+	childMembers, err := s.Members(st.Child)
+	if err != nil {
+		return nil, err
+	}
+	memberSet := make(map[rdf.Term]bool, len(childMembers))
+	for _, m := range childMembers {
+		memberSet[m] = true
+	}
+	var pairs [][2]rdf.Term
+	collect := func(graph rdf.Term) error {
+		query := buildPairQuery(st.Rollup, graph)
+		res, err := s.client.Select(query)
+		if err != nil {
+			return fmt.Errorf("enrich: collecting rollups via %s: %w", st.Rollup.Value, err)
+		}
+		for i := range res.Rows {
+			child := res.Binding(i, "child")
+			parent := res.Binding(i, "parent")
+			if memberSet[child] && parent.IsIRI() {
+				pairs = append(pairs, [2]rdf.Term{child, parent})
+			}
+		}
+		return nil
+	}
+	if err := collect(rdf.Term{}); err != nil {
+		return nil, err
+	}
+	for _, g := range s.opts.SearchGraphs {
+		if err := collect(g); err != nil {
+			return nil, err
+		}
+	}
+	pairs = dedupePairList(pairs)
+	s.rollups[st.IRI] = pairs
+	return pairs, nil
+}
+
+func buildPairQuery(prop, graph rdf.Term) string {
+	inner := fmt.Sprintf("?child <%s> ?parent .", prop.Value)
+	if !graph.IsZero() {
+		inner = fmt.Sprintf("GRAPH <%s> { %s }", graph.Value, inner)
+	}
+	return "SELECT ?child ?parent WHERE { " + inner + " }"
+}
+
+func dedupePairList(pairs [][2]rdf.Term) [][2]rdf.Term {
+	seen := make(map[[2]rdf.Term]bool, len(pairs))
+	out := pairs[:0]
+	for _, p := range pairs {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// AddLevel applies a level candidate: the property's value set becomes
+// a new (coarser) level on top of the child level, connected by a
+// hierarchy step whose roll-up property is the candidate property. The
+// dimension's hierarchy is created or extended, mirroring the paper's
+// iterative hierarchy construction.
+func (s *Session) AddLevel(cand Candidate) error {
+	if cand.Kind != LevelCandidate {
+		return fmt.Errorf("enrich: candidate %s is %s, not a level candidate", cand.Property.Value, cand.Kind)
+	}
+	dim, ok := s.schema.DimensionOfLevel(cand.Level)
+	if !ok {
+		return fmt.Errorf("enrich: level %s not in schema", cand.Level.Value)
+	}
+	newLevel := cand.Property // the paper names the level after the discovered property
+	// The same level may be shared by several dimensions (e.g. both
+	// citizenship and destination roll up to continents), but must not
+	// repeat within one dimension.
+	for _, l := range dim.LevelIRIs() {
+		if l == newLevel {
+			return fmt.Errorf("enrich: level %s already present in dimension %s", newLevel.Value, dim.IRI.Value)
+		}
+	}
+
+	// Extend the hierarchy that currently ends at the child level;
+	// otherwise start a new hierarchy from the base.
+	var hier *qb4olap.Hierarchy
+	for _, h := range dim.Hierarchies {
+		if h.HasLevel(cand.Level) {
+			if _, taken := h.StepFromChild(cand.Level); !taken {
+				hier = h
+				break
+			}
+		}
+	}
+	if hier == nil {
+		hier = &qb4olap.Hierarchy{
+			IRI:    rdf.NewIRI(fmt.Sprintf("%s%sHier%d", s.opts.Namespace, localName(dim.IRI), len(dim.Hierarchies)+1)),
+			Levels: []rdf.Term{dim.BaseLevel},
+		}
+		// A new hierarchy must reach the child level: replay existing
+		// steps from another hierarchy up to it.
+		if cand.Level != dim.BaseLevel {
+			path, ok := dim.PathToLevel(cand.Level)
+			if !ok {
+				return fmt.Errorf("enrich: no path from base level to %s", cand.Level.Value)
+			}
+			for _, st := range path {
+				hier.Levels = append(hier.Levels, st.Parent)
+				hier.Steps = append(hier.Steps, st)
+			}
+		}
+		dim.Hierarchies = append(dim.Hierarchies, hier)
+	}
+
+	s.stepSeq++
+	card := qb4olap.ManyToOne
+	if cand.DistinctValues == cand.WithProperty {
+		card = qb4olap.OneToOne
+	}
+	step := qb4olap.HierarchyStep{
+		IRI:         rdf.NewIRI(fmt.Sprintf("%sih%d", s.opts.Namespace, s.stepSeq)),
+		Child:       cand.Level,
+		Parent:      newLevel,
+		Cardinality: card,
+		Rollup:      cand.Property,
+	}
+	hier.Levels = append(hier.Levels, newLevel)
+	hier.Steps = append(hier.Steps, step)
+	s.schema.Level(newLevel)
+	// Invalidate caches that depend on the new structure.
+	delete(s.members, newLevel)
+	return nil
+}
+
+// RemoveLevel undoes an AddLevel: it removes the topmost level of the
+// hierarchy currently ending at the given level, supporting the
+// interactive explore-and-retract workflow of the GUI. Only a hierarchy
+// top can be removed (inner levels carry later steps).
+func (s *Session) RemoveLevel(level rdf.Term) error {
+	dim, ok := s.schema.DimensionOfLevel(level)
+	if !ok {
+		return fmt.Errorf("enrich: level %s not in schema", level.Value)
+	}
+	if level == dim.BaseLevel {
+		return fmt.Errorf("enrich: cannot remove the base level %s", level.Value)
+	}
+	for _, h := range dim.Hierarchies {
+		if len(h.Levels) == 0 || h.Levels[len(h.Levels)-1] != level {
+			continue
+		}
+		var removedStep qb4olap.HierarchyStep
+		for i, st := range h.Steps {
+			if st.Parent == level {
+				removedStep = st
+				h.Steps = append(h.Steps[:i], h.Steps[i+1:]...)
+				break
+			}
+		}
+		h.Levels = h.Levels[:len(h.Levels)-1]
+		delete(s.members, level)
+		delete(s.rollups, removedStep.IRI)
+		delete(s.allLevels, level)
+		// Drop the level metadata unless another dimension still uses it.
+		if _, stillUsed := s.schema.DimensionOfLevel(level); !stillUsed {
+			delete(s.schema.Levels, level)
+		}
+		return nil
+	}
+	return fmt.Errorf("enrich: level %s is not the top of a hierarchy in %s", level.Value, dim.IRI.Value)
+}
+
+// AddAttribute applies an attribute candidate to its level.
+func (s *Session) AddAttribute(cand Candidate) error {
+	if cand.Kind != AttributeCandidate {
+		return fmt.Errorf("enrich: candidate %s is %s, not an attribute candidate", cand.Property.Value, cand.Kind)
+	}
+	lvl := s.schema.Level(cand.Level)
+	for _, a := range lvl.Attributes {
+		if a.IRI == cand.Property {
+			return fmt.Errorf("enrich: attribute %s already on level %s", cand.Property.Value, cand.Level.Value)
+		}
+	}
+	lvl.Attributes = append(lvl.Attributes, qb4olap.LevelAttribute{IRI: cand.Property, Property: cand.Property})
+	return nil
+}
+
+// AddAllLevel caps a dimension with a synthetic "all" top level holding
+// a single member, as in the paper's schema:citAll.
+func (s *Session) AddAllLevel(dimIRI rdf.Term) (rdf.Term, error) {
+	dim, ok := s.schema.Dimension(dimIRI)
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("enrich: unknown dimension %s", dimIRI.Value)
+	}
+	local := strings.TrimSuffix(localName(dimIRI), "Dim")
+	allLevel := rdf.NewIRI(s.opts.Namespace + local + "All")
+	if _, exists := s.schema.DimensionOfLevel(allLevel); exists {
+		return rdf.Term{}, fmt.Errorf("enrich: all level already present on %s", dimIRI.Value)
+	}
+	allProp := rdf.NewIRI(s.opts.Namespace + local + "AllRollup")
+
+	// Attach to the first hierarchy's current top level.
+	hier := dim.Hierarchies[0]
+	top := hier.Levels[len(hier.Levels)-1]
+	s.stepSeq++
+	step := qb4olap.HierarchyStep{
+		IRI:         rdf.NewIRI(fmt.Sprintf("%sih%d", s.opts.Namespace, s.stepSeq)),
+		Child:       top,
+		Parent:      allLevel,
+		Cardinality: qb4olap.ManyToOne,
+		Rollup:      allProp,
+	}
+	hier.Levels = append(hier.Levels, allLevel)
+	hier.Steps = append(hier.Steps, step)
+	s.schema.Level(allLevel)
+	s.allLevels[allLevel] = true
+
+	// The all level has exactly one member.
+	allMember := rdf.NewIRI(s.opts.Namespace + "member/" + local + "All")
+	s.members[allLevel] = []rdf.Term{allMember}
+	topMembers, err := s.Members(top)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	pairs := make([][2]rdf.Term, 0, len(topMembers))
+	for _, m := range topMembers {
+		pairs = append(pairs, [2]rdf.Term{m, allMember})
+	}
+	s.rollups[step.IRI] = pairs
+	return allLevel, nil
+}
+
+// localName extracts the local part of an IRI for naming generated
+// schema elements.
+func localName(t rdf.Term) string {
+	v := t.Value
+	if i := strings.LastIndexAny(v, "#/"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package enrich
+
+import (
+	"fmt"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+// GenerateTriples implements the Triple Generation phase: it produces
+// the QB4OLAP schema triples and the level-instance triples (member
+// typing, level membership, member-to-member roll-up links). Roll-up
+// triples that only exist in external graphs — or that are synthetic,
+// like the links to an "all" member — are materialized so queries over
+// the default graph can navigate every hierarchy step.
+func (s *Session) GenerateTriples() (schema, instances []rdf.Triple, err error) {
+	schema = s.schema.SchemaTriples()
+
+	g := rdf.NewGraph()
+	for _, dim := range s.schema.Dimensions {
+		// Base level membership.
+		baseMembers, err := s.Members(dim.BaseLevel)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, m := range baseMembers {
+			g.Add(rdf.NewTriple(m, vocab.RDFType, vocab.QB4OLevelMemberClass))
+			g.Add(rdf.NewTriple(m, vocab.QB4OMemberOf, dim.BaseLevel))
+		}
+		for _, h := range dim.Hierarchies {
+			for _, st := range h.Steps {
+				pairs, err := s.rollupPairs(st)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, pr := range pairs {
+					child, parent := pr[0], pr[1]
+					g.Add(rdf.NewTriple(parent, vocab.RDFType, vocab.QB4OLevelMemberClass))
+					g.Add(rdf.NewTriple(parent, vocab.QB4OMemberOf, st.Parent))
+					g.Add(rdf.NewTriple(child, vocab.SKOSBroader, parent))
+					if s.opts.MaterializeExternal || s.allLevels[st.Parent] {
+						g.Add(rdf.NewTriple(child, st.Rollup, parent))
+					}
+				}
+			}
+		}
+	}
+	return schema, g.Triples(), nil
+}
+
+// Commit generates the triples and loads them into the endpoint with
+// INSERT DATA batches, completing the enrichment workflow.
+func (s *Session) Commit() error {
+	schema, instances, err := s.GenerateTriples()
+	if err != nil {
+		return err
+	}
+	if err := endpoint.InsertTriples(s.client, rdf.Term{}, schema, 0); err != nil {
+		return fmt.Errorf("enrich: loading schema triples: %w", err)
+	}
+	if err := endpoint.InsertTriples(s.client, rdf.Term{}, instances, 0); err != nil {
+		return fmt.Errorf("enrich: loading instance triples: %w", err)
+	}
+	return nil
+}
+
+// Stats summarizes the generated enrichment for reporting.
+type Stats struct {
+	Dimensions      int
+	Hierarchies     int
+	Levels          int
+	Steps           int
+	SchemaTriples   int
+	InstanceTriples int
+}
+
+// Summary computes enrichment statistics without committing.
+func (s *Session) Summary() (Stats, error) {
+	schema, instances, err := s.GenerateTriples()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		Dimensions:      len(s.schema.Dimensions),
+		Levels:          len(s.schema.Levels),
+		SchemaTriples:   len(schema),
+		InstanceTriples: len(instances),
+	}
+	for _, d := range s.schema.Dimensions {
+		st.Hierarchies += len(d.Hierarchies)
+		for _, h := range d.Hierarchies {
+			st.Steps += len(h.Steps)
+		}
+	}
+	return st, nil
+}

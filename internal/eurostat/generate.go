@@ -1,0 +1,413 @@
+package eurostat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/vocab"
+)
+
+// Config controls dataset generation. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// TargetObservations is the approximate number of observations to
+	// emit (the paper's demo subset has ≈80,000).
+	TargetObservations int
+	// StartYear and EndYear bound the monthly reference periods
+	// (inclusive). The paper uses 2013–2014.
+	StartYear, EndYear int
+	// QuasiFDNoise is the fraction of citizenship members given a
+	// second continent link, turning the continent property from an
+	// exact FD into a quasi-FD with that violation rate.
+	QuasiFDNoise float64
+	// DropLabelRate is the fraction of members without an rdfs:label,
+	// reproducing the paper's footnote that labels are not guaranteed.
+	DropLabelRate float64
+	// IncludeExternal adds the simulated external linked data set
+	// (political organization and population band per country),
+	// standing in for DBpedia.
+	IncludeExternal bool
+}
+
+// DefaultConfig mirrors the paper's demo subset.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               42,
+		TargetObservations: 80000,
+		StartYear:          2013,
+		EndYear:            2014,
+		IncludeExternal:    true,
+	}
+}
+
+// TestConfig is a small configuration for fast tests.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.TargetObservations = 1500
+	return c
+}
+
+// Observation is the generated fact row, kept for oracle computations
+// in tests and benchmarks.
+type Observation struct {
+	Citizen string // country code
+	Geo     string // destination country code
+	Sex     string
+	Age     string
+	AppType string
+	Year    int
+	Month   int
+	Value   int64
+}
+
+// Dataset is a generated cube: the QB triples plus the raw observation
+// rows for oracle computation.
+type Dataset struct {
+	Config Config
+
+	// CubeTriples contains the DSD, dataset, and observation triples.
+	CubeTriples []rdf.Triple
+	// DimensionTriples contains the level member instance data (codes,
+	// labels, and the FD properties pointing at coarser members).
+	DimensionTriples []rdf.Triple
+	// ExternalTriples is the simulated external (DBpedia-like) data,
+	// meant for a separate named graph.
+	ExternalTriples []rdf.Triple
+
+	// Observations are the raw generated facts.
+	Observations []Observation
+}
+
+// Well-known IRIs of the generated cube.
+var (
+	DSDIRI     = rdf.NewIRI(vocab.EurostatDSD + "migr_asyappctzm")
+	DataSetIRI = rdf.NewIRI(vocab.EurostatData + "migr_asyappctzm")
+
+	PropCitizen = rdf.NewIRI(vocab.EurostatProperty + "citizen")
+	PropGeo     = rdf.NewIRI(vocab.EurostatProperty + "geo")
+	PropSex     = rdf.NewIRI(vocab.EurostatProperty + "sex")
+	PropAge     = rdf.NewIRI(vocab.EurostatProperty + "age")
+	PropAsylApp = rdf.NewIRI(vocab.EurostatProperty + "asyl_app")
+	PropTime    = vocab.SDMXRefPeriod
+	PropObs     = vocab.SDMXObsValue
+
+	// Instance properties carrying the discoverable FDs.
+	PropContinent  = rdf.NewIRI(vocab.Schema + "continent")
+	PropAgeClass   = rdf.NewIRI(vocab.Schema + "ageClass")
+	PropQuarter    = rdf.NewIRI(vocab.Schema + "quarter")
+	PropYear       = rdf.NewIRI(vocab.Schema + "year")
+	PropPolOrg     = rdf.NewIRI(vocab.External + "politicalOrg")
+	PropPopBand    = rdf.NewIRI(vocab.External + "populationBand")
+	ExternalGraph  = rdf.NewIRI(vocab.External + "graph")
+	PropNeighbours = rdf.NewIRI(vocab.Schema + "neighbourOf")
+)
+
+// Member IRI constructors for the dictionary (dic) namespaces.
+func CitizenIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.EurostatDic + "citizen#" + code)
+}
+
+func GeoIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.EurostatDic + "geo#" + code)
+}
+
+func SexIRI(code string) rdf.Term { return rdf.NewIRI(vocab.EurostatDic + "sex#" + code) }
+
+func AgeIRI(code string) rdf.Term { return rdf.NewIRI(vocab.EurostatDic + "age#" + code) }
+
+func AgeClassIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.EurostatDic + "ageclass#" + code)
+}
+
+func AppTypeIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.EurostatDic + "asyl_app#" + code)
+}
+
+func ContinentIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.EurostatDic + "continent#" + code)
+}
+
+func MonthIRI(year, month int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%stime#%04dM%02d", vocab.EurostatDic, year, month))
+}
+
+func QuarterIRI(year, q int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%stime#%04dQ%d", vocab.EurostatDic, year, q))
+}
+
+func YearIRI(year int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%stime#%04d", vocab.EurostatDic, year))
+}
+
+func PolOrgIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.External + "org#" + code)
+}
+
+func PopBandIRI(code string) rdf.Term {
+	return rdf.NewIRI(vocab.External + "popband#" + code)
+}
+
+// Generate produces a deterministic synthetic dataset for the
+// configuration.
+func Generate(cfg Config) *Dataset {
+	if cfg.StartYear == 0 {
+		cfg.StartYear = 2013
+	}
+	if cfg.EndYear == 0 {
+		cfg.EndYear = cfg.StartYear + 1
+	}
+	if cfg.TargetObservations <= 0 {
+		cfg.TargetObservations = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Config: cfg}
+
+	d.generateDSD()
+	d.generateDimensionInstances(rng)
+	d.generateObservations(rng)
+	if cfg.IncludeExternal {
+		d.generateExternal()
+	}
+	return d
+}
+
+// generateDSD emits the QB data structure definition shown in the
+// paper's Section II.
+func (d *Dataset) generateDSD() {
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(DSDIRI, vocab.RDFType, vocab.QBDataStructureDefinition))
+	comp := 0
+	addComponent := func(role, prop rdf.Term) {
+		comp++
+		c := rdf.NewBlank(fmt.Sprintf("dsdcomp%d", comp))
+		g.Add(rdf.NewTriple(DSDIRI, vocab.QBComponent, c))
+		g.Add(rdf.NewTriple(c, role, prop))
+	}
+	addComponent(vocab.QBDimension, PropTime)
+	addComponent(vocab.QBDimension, PropCitizen)
+	addComponent(vocab.QBDimension, PropGeo)
+	addComponent(vocab.QBDimension, PropSex)
+	addComponent(vocab.QBDimension, PropAge)
+	addComponent(vocab.QBDimension, PropAsylApp)
+	addComponent(vocab.QBMeasure, PropObs)
+
+	g.Add(rdf.NewTriple(DataSetIRI, vocab.RDFType, vocab.QBDataSet))
+	g.Add(rdf.NewTriple(DataSetIRI, vocab.QBStructure, DSDIRI))
+	d.CubeTriples = append(d.CubeTriples, g.Triples()...)
+}
+
+// generateDimensionInstances emits the level member data whose
+// structure the Enrichment module analyses.
+func (d *Dataset) generateDimensionInstances(rng *rand.Rand) {
+	g := rdf.NewGraph()
+	label := func(s rdf.Term, text string) {
+		if d.Config.DropLabelRate > 0 && rng.Float64() < d.Config.DropLabelRate {
+			return
+		}
+		g.Add(rdf.NewTriple(s, vocab.RDFSLabel, rdf.NewLangLiteral(text, "en")))
+	}
+
+	// Continents.
+	for _, c := range Continents {
+		m := ContinentIRI(c.Code)
+		label(m, c.Name)
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(c.Code)))
+		g.Add(rdf.NewTriple(m, rdf.NewIRI(vocab.Schema+"continentName"), rdf.NewLiteral(c.Name)))
+	}
+
+	// Countries play two member roles: citizenship and destination.
+	euCount := 0
+	for _, c := range Countries {
+		cit := CitizenIRI(c.Code)
+		label(cit, c.Name)
+		g.Add(rdf.NewTriple(cit, vocab.SKOSNotation, rdf.NewLiteral(c.Code)))
+		g.Add(rdf.NewTriple(cit, rdf.NewIRI(vocab.Schema+"countryName"), rdf.NewLiteral(c.Name)))
+		g.Add(rdf.NewTriple(cit, PropContinent, ContinentIRI(c.Continent)))
+		// Quasi-FD noise: a second continent link on some members.
+		if d.Config.QuasiFDNoise > 0 && rng.Float64() < d.Config.QuasiFDNoise {
+			other := Continents[rng.Intn(len(Continents))]
+			if other.Code == c.Continent {
+				other = Continents[(rng.Intn(len(Continents)-1)+1+continentIndex(c.Continent))%len(Continents)]
+			}
+			g.Add(rdf.NewTriple(cit, PropContinent, ContinentIRI(other.Code)))
+		}
+		// A deliberately non-functional property: neighbours.
+		for i := 0; i < 2; i++ {
+			n := Countries[rng.Intn(len(Countries))]
+			if n.Code != c.Code {
+				g.Add(rdf.NewTriple(cit, PropNeighbours, CitizenIRI(n.Code)))
+			}
+		}
+		if c.EUMember {
+			euCount++
+			geo := GeoIRI(c.Code)
+			label(geo, c.Name)
+			g.Add(rdf.NewTriple(geo, vocab.SKOSNotation, rdf.NewLiteral(c.Code)))
+			g.Add(rdf.NewTriple(geo, rdf.NewIRI(vocab.Schema+"countryName"), rdf.NewLiteral(c.Name)))
+			g.Add(rdf.NewTriple(geo, PropContinent, ContinentIRI(c.Continent)))
+		}
+	}
+
+	// Sex, age (with age-class FD), applicant types.
+	for _, s := range SexCodes {
+		m := SexIRI(s.Code)
+		label(m, s.Label)
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(s.Code)))
+	}
+	for _, a := range AgeGroups {
+		m := AgeIRI(a.Code)
+		label(m, a.Label)
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(a.Code)))
+		g.Add(rdf.NewTriple(m, PropAgeClass, AgeClassIRI(a.Class)))
+	}
+	for _, a := range AgeClasses {
+		m := AgeClassIRI(a.Code)
+		label(m, a.Label)
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(a.Code)))
+	}
+	for _, a := range AppTypes {
+		m := AppTypeIRI(a.Code)
+		label(m, a.Label)
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(a.Code)))
+	}
+
+	// Time members: month → quarter → year FD chain.
+	for y := d.Config.StartYear; y <= d.Config.EndYear; y++ {
+		yi := YearIRI(y)
+		label(yi, fmt.Sprintf("%d", y))
+		g.Add(rdf.NewTriple(yi, vocab.SKOSNotation, rdf.NewLiteral(fmt.Sprintf("%d", y))))
+		for q := 1; q <= 4; q++ {
+			qi := QuarterIRI(y, q)
+			label(qi, fmt.Sprintf("%d-Q%d", y, q))
+			g.Add(rdf.NewTriple(qi, vocab.SKOSNotation, rdf.NewLiteral(fmt.Sprintf("%dQ%d", y, q))))
+			g.Add(rdf.NewTriple(qi, PropYear, yi))
+		}
+		for m := 1; m <= 12; m++ {
+			mi := MonthIRI(y, m)
+			label(mi, fmt.Sprintf("%d-%02d", y, m))
+			g.Add(rdf.NewTriple(mi, vocab.SKOSNotation, rdf.NewLiteral(fmt.Sprintf("%04dM%02d", y, m))))
+			g.Add(rdf.NewTriple(mi, PropQuarter, QuarterIRI(y, (m-1)/3+1)))
+			g.Add(rdf.NewTriple(mi, PropYear, yi))
+		}
+	}
+
+	d.DimensionTriples = append(d.DimensionTriples, g.Triples()...)
+}
+
+func continentIndex(code string) int {
+	for i, c := range Continents {
+		if c.Code == code {
+			return i
+		}
+	}
+	return 0
+}
+
+// generateObservations samples the dimension cross product down to the
+// target count and emits the fact triples.
+func (d *Dataset) generateObservations(rng *rand.Rand) {
+	months := 0
+	for y := d.Config.StartYear; y <= d.Config.EndYear; y++ {
+		months += 12
+	}
+	dests := DestinationCountries()
+	total := len(Countries) * len(dests) * len(SexCodes) * len(AgeGroups) * len(AppTypes) * months
+	p := float64(d.Config.TargetObservations) / float64(total)
+	if p > 1 {
+		p = 1
+	}
+
+	g := rdf.NewGraph()
+	seq := 0
+	for _, cit := range Countries {
+		for _, dest := range dests {
+			for _, sex := range SexCodes {
+				for _, age := range AgeGroups {
+					for _, app := range AppTypes {
+						for y := d.Config.StartYear; y <= d.Config.EndYear; y++ {
+							for m := 1; m <= 12; m++ {
+								if rng.Float64() >= p {
+									continue
+								}
+								seq++
+								value := int64(rng.Intn(120) + 1)
+								if cit.Continent == "AS" || cit.Continent == "AF" {
+									// Reflect the real skew of 2013–14.
+									value *= 3
+								}
+								obs := rdf.NewIRI(fmt.Sprintf("%smigr_asyappctzm/o%06d", vocab.EurostatData, seq))
+								g.Add(rdf.NewTriple(obs, vocab.RDFType, vocab.QBObservation))
+								g.Add(rdf.NewTriple(obs, vocab.QBDataSetP, DataSetIRI))
+								g.Add(rdf.NewTriple(obs, PropCitizen, CitizenIRI(cit.Code)))
+								g.Add(rdf.NewTriple(obs, PropGeo, GeoIRI(dest.Code)))
+								g.Add(rdf.NewTriple(obs, PropSex, SexIRI(sex.Code)))
+								g.Add(rdf.NewTriple(obs, PropAge, AgeIRI(age.Code)))
+								g.Add(rdf.NewTriple(obs, PropAsylApp, AppTypeIRI(app.Code)))
+								g.Add(rdf.NewTriple(obs, PropTime, MonthIRI(y, m)))
+								g.Add(rdf.NewTriple(obs, PropObs, rdf.NewInteger(value)))
+								d.Observations = append(d.Observations, Observation{
+									Citizen: cit.Code, Geo: dest.Code, Sex: sex.Code,
+									Age: age.Code, AppType: app.Code,
+									Year: y, Month: m, Value: value,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	d.CubeTriples = append(d.CubeTriples, g.Triples()...)
+}
+
+// generateExternal emits the simulated external linked data set: for
+// each country, its political organization and population band. The
+// paper demonstrates extracting dimensional information from external
+// sources such as DBpedia; this graph plays that role.
+func (d *Dataset) generateExternal() {
+	g := rdf.NewGraph()
+	orgs := map[string]string{"EU": "European Union", "EFTA": "EFTA", "OTHER": "Non-aligned"}
+	for code, name := range orgs {
+		m := PolOrgIRI(code)
+		g.Add(rdf.NewTriple(m, vocab.RDFSLabel, rdf.NewLangLiteral(name, "en")))
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(code)))
+	}
+	for _, band := range []string{"SMALL", "MEDIUM", "LARGE"} {
+		m := PopBandIRI(band)
+		g.Add(rdf.NewTriple(m, vocab.RDFSLabel, rdf.NewLangLiteral(band, "en")))
+		g.Add(rdf.NewTriple(m, vocab.SKOSNotation, rdf.NewLiteral(band)))
+	}
+	for i, c := range Countries {
+		band := []string{"SMALL", "MEDIUM", "LARGE"}[i%3]
+		for _, member := range []rdf.Term{CitizenIRI(c.Code), GeoIRI(c.Code)} {
+			if member == GeoIRI(c.Code) && !c.EUMember {
+				continue
+			}
+			g.Add(rdf.NewTriple(member, PropPolOrg, PolOrgIRI(c.PoliticalOrg)))
+			g.Add(rdf.NewTriple(member, PropPopBand, PopBandIRI(band)))
+		}
+	}
+	d.ExternalTriples = append(d.ExternalTriples, g.Triples()...)
+}
+
+// LoadInto inserts the dataset into a store: cube and dimension triples
+// in the default graph, external triples in the external named graph.
+func (d *Dataset) LoadInto(st *store.Store) {
+	st.InsertTriples(rdf.Term{}, d.CubeTriples)
+	st.InsertTriples(rdf.Term{}, d.DimensionTriples)
+	if len(d.ExternalTriples) > 0 {
+		st.InsertTriples(ExternalGraph, d.ExternalTriples)
+	}
+}
+
+// NewStore generates a dataset and loads it into a fresh store.
+func NewStore(cfg Config) (*store.Store, *Dataset) {
+	d := Generate(cfg)
+	st := store.New()
+	d.LoadInto(st)
+	return st, d
+}

@@ -1,0 +1,199 @@
+package eurostat
+
+import (
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/qb"
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(TestConfig())
+	b := Generate(TestConfig())
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatalf("non-deterministic observation count: %d vs %d", len(a.Observations), len(b.Observations))
+	}
+	if len(a.CubeTriples) != len(b.CubeTriples) {
+		t.Fatalf("non-deterministic cube triples")
+	}
+	for i := range a.Observations {
+		if a.Observations[i] != b.Observations[i] {
+			t.Fatalf("observation %d differs", i)
+		}
+	}
+}
+
+func TestGenerateTargetScale(t *testing.T) {
+	cfg := TestConfig()
+	cfg.TargetObservations = 2000
+	d := Generate(cfg)
+	n := len(d.Observations)
+	if n < 1600 || n > 2400 {
+		t.Fatalf("observation count %d not within 20%% of target 2000", n)
+	}
+}
+
+func TestDemoDatasetScale(t *testing.T) {
+	// C1: the paper's demo subset has approximately 80,000 observations
+	// over 2013–2014.
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	d := Generate(DefaultConfig())
+	n := len(d.Observations)
+	if n < 72000 || n > 88000 {
+		t.Fatalf("demo dataset has %d observations, want ≈80000", n)
+	}
+	for _, o := range d.Observations {
+		if o.Year < 2013 || o.Year > 2014 {
+			t.Fatalf("observation outside 2013–2014: %+v", o)
+		}
+	}
+}
+
+func TestGeneratedQBStructure(t *testing.T) {
+	st, _ := NewStore(TestConfig())
+	c := endpoint.NewLocal(st)
+
+	dss, err := qb.ListDataSets(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 1 || dss[0].IRI != DataSetIRI || dss[0].Structure != DSDIRI {
+		t.Fatalf("datasets = %+v", dss)
+	}
+	dsd, err := qb.LoadDSD(c, DSDIRI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dsd.Dimensions()); got != 6 {
+		t.Fatalf("dimensions = %d, want 6", got)
+	}
+	if got := len(dsd.Measures()); got != 1 {
+		t.Fatalf("measures = %d, want 1", got)
+	}
+	if probs := qb.Validate(dsd); len(probs) != 0 {
+		t.Fatalf("validation problems: %v", probs)
+	}
+}
+
+func TestObservationCountMatches(t *testing.T) {
+	st, d := NewStore(TestConfig())
+	c := endpoint.NewLocal(st)
+	n, err := qb.ObservationCount(c, DataSetIRI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(d.Observations) {
+		t.Fatalf("endpoint count %d != generated %d", n, len(d.Observations))
+	}
+}
+
+func TestContinentFDHolds(t *testing.T) {
+	st, _ := NewStore(TestConfig())
+	// Without noise, every citizenship member has exactly one continent.
+	c := endpoint.NewLocal(st)
+	res, err := c.Select(`
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+SELECT ?m (COUNT(?cont) AS ?n) WHERE { ?m schema:continent ?cont } GROUP BY ?m HAVING (COUNT(?cont) > 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("%d members violate the continent FD without noise", res.Len())
+	}
+}
+
+func TestQuasiFDNoiseInjection(t *testing.T) {
+	cfg := TestConfig()
+	cfg.QuasiFDNoise = 0.3
+	st, _ := NewStore(cfg)
+	c := endpoint.NewLocal(st)
+	res, err := c.Select(`
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+SELECT ?m (COUNT(?cont) AS ?n) WHERE { ?m schema:continent ?cont } GROUP BY ?m HAVING (COUNT(?cont) > 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("noise rate 0.3 produced no FD violations")
+	}
+	if res.Len() > len(Countries) {
+		t.Fatalf("more violating members (%d) than countries", res.Len())
+	}
+}
+
+func TestExternalGraphSeparation(t *testing.T) {
+	st, d := NewStore(TestConfig())
+	if len(d.ExternalTriples) == 0 {
+		t.Fatal("external triples missing")
+	}
+	if st.Len(ExternalGraph) != len(d.ExternalTriples) {
+		t.Fatalf("external graph has %d triples, want %d", st.Len(ExternalGraph), len(d.ExternalTriples))
+	}
+	// politicalOrg must not leak into the default graph.
+	if got := len(st.MatchAll(rdf.Term{}, rdf.Term{}, PropPolOrg, rdf.Term{})); got != 0 {
+		t.Fatalf("politicalOrg leaked into default graph: %d triples", got)
+	}
+}
+
+func TestTimeHierarchyInstances(t *testing.T) {
+	st, _ := NewStore(TestConfig())
+	c := endpoint.NewLocal(st)
+	res, err := c.Select(`
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+SELECT ?m ?q ?y WHERE { ?m schema:quarter ?q . ?q schema:year ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 24 { // 24 months over two years
+		t.Fatalf("month members with quarter+year = %d, want 24", res.Len())
+	}
+}
+
+func TestTripleInventoryRatio(t *testing.T) {
+	// C6: observations dominate; dimension data is orders of magnitude
+	// smaller.
+	cfg := TestConfig()
+	cfg.TargetObservations = 5000
+	d := Generate(cfg)
+	obsTriples := len(d.CubeTriples)
+	dimTriples := len(d.DimensionTriples)
+	if obsTriples < 10*dimTriples {
+		t.Fatalf("observation triples (%d) should dominate dimension triples (%d)", obsTriples, dimTriples)
+	}
+}
+
+func TestDropLabelRate(t *testing.T) {
+	cfg := TestConfig()
+	cfg.DropLabelRate = 1.0
+	d := Generate(cfg)
+	for _, tr := range d.DimensionTriples {
+		if tr.P == vocab.RDFSLabel {
+			t.Fatalf("label emitted despite DropLabelRate=1: %v", tr)
+		}
+	}
+}
+
+func TestGeographyTables(t *testing.T) {
+	if len(DestinationCountries()) != 28 {
+		t.Fatalf("EU destinations = %d, want 28", len(DestinationCountries()))
+	}
+	if ContinentName("AF") != "Africa" {
+		t.Fatal("continent lookup broken")
+	}
+	if _, ok := CountryByCode("SY"); !ok {
+		t.Fatal("Syria missing")
+	}
+	if _, ok := CountryByCode("??"); ok {
+		t.Fatal("bogus code resolved")
+	}
+	// Every country must reference a declared continent.
+	for _, c := range Countries {
+		if ContinentName(c.Continent) == c.Continent {
+			t.Errorf("country %s has unknown continent %s", c.Code, c.Continent)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package eurostat generates a deterministic synthetic replica of the
+// Eurostat migr_asyappctzm linked-data cube (monthly asylum applications
+// by citizenship) used in the QB2OLAP paper's demonstration. The real
+// cube is Linked Open Data behind a public endpoint; this generator
+// reproduces its schema shape — the same dimension components, the same
+// instance-property structure (the functional dependencies the
+// Enrichment module must discover), and the same 2013–2014 monthly
+// subset of roughly 80,000 observations — without network access.
+package eurostat
+
+// Country describes one country of the synthetic geography, carrying
+// the instance properties that drive hierarchy discovery.
+type Country struct {
+	Code         string // Eurostat-style code, e.g. "SY"
+	Name         string
+	Continent    string // continent code, e.g. "AF"
+	PoliticalOrg string // "EU", "EFTA", "OTHER" — external-graph property
+	EUMember     bool   // destination countries are EU members
+}
+
+// Continent describes one continent member.
+type Continent struct {
+	Code string
+	Name string
+}
+
+// Continents is the synthetic continent table.
+var Continents = []Continent{
+	{"AF", "Africa"},
+	{"AS", "Asia"},
+	{"EU_C", "Europe"},
+	{"AM", "America"},
+	{"OC", "Oceania"},
+}
+
+// Countries is the synthetic country table: EU destinations plus the
+// main citizenship origins of the 2013–2014 asylum statistics.
+var Countries = []Country{
+	// EU destination countries (also possible citizenships).
+	{"AT", "Austria", "EU_C", "EU", true},
+	{"BE", "Belgium", "EU_C", "EU", true},
+	{"BG", "Bulgaria", "EU_C", "EU", true},
+	{"CY", "Cyprus", "EU_C", "EU", true},
+	{"CZ", "Czechia", "EU_C", "EU", true},
+	{"DE", "Germany", "EU_C", "EU", true},
+	{"DK", "Denmark", "EU_C", "EU", true},
+	{"EE", "Estonia", "EU_C", "EU", true},
+	{"EL", "Greece", "EU_C", "EU", true},
+	{"ES", "Spain", "EU_C", "EU", true},
+	{"FI", "Finland", "EU_C", "EU", true},
+	{"FR", "France", "EU_C", "EU", true},
+	{"HR", "Croatia", "EU_C", "EU", true},
+	{"HU", "Hungary", "EU_C", "EU", true},
+	{"IE", "Ireland", "EU_C", "EU", true},
+	{"IT", "Italy", "EU_C", "EU", true},
+	{"LT", "Lithuania", "EU_C", "EU", true},
+	{"LU", "Luxembourg", "EU_C", "EU", true},
+	{"LV", "Latvia", "EU_C", "EU", true},
+	{"MT", "Malta", "EU_C", "EU", true},
+	{"NL", "Netherlands", "EU_C", "EU", true},
+	{"PL", "Poland", "EU_C", "EU", true},
+	{"PT", "Portugal", "EU_C", "EU", true},
+	{"RO", "Romania", "EU_C", "EU", true},
+	{"SE", "Sweden", "EU_C", "EU", true},
+	{"SI", "Slovenia", "EU_C", "EU", true},
+	{"SK", "Slovakia", "EU_C", "EU", true},
+	{"UK", "United Kingdom", "EU_C", "EU", true},
+
+	// Non-EU European citizenships.
+	{"CH", "Switzerland", "EU_C", "EFTA", false},
+	{"NO", "Norway", "EU_C", "EFTA", false},
+	{"RS", "Serbia", "EU_C", "OTHER", false},
+	{"AL", "Albania", "EU_C", "OTHER", false},
+	{"XK", "Kosovo", "EU_C", "OTHER", false},
+	{"BA", "Bosnia and Herzegovina", "EU_C", "OTHER", false},
+	{"MK", "North Macedonia", "EU_C", "OTHER", false},
+	{"RU", "Russia", "EU_C", "OTHER", false},
+	{"UA", "Ukraine", "EU_C", "OTHER", false},
+
+	// African citizenships.
+	{"NG", "Nigeria", "AF", "OTHER", false},
+	{"ER", "Eritrea", "AF", "OTHER", false},
+	{"SO", "Somalia", "AF", "OTHER", false},
+	{"GM", "Gambia", "AF", "OTHER", false},
+	{"ML", "Mali", "AF", "OTHER", false},
+	{"SN", "Senegal", "AF", "OTHER", false},
+	{"DZ", "Algeria", "AF", "OTHER", false},
+	{"MA", "Morocco", "AF", "OTHER", false},
+	{"EG", "Egypt", "AF", "OTHER", false},
+	{"SD", "Sudan", "AF", "OTHER", false},
+	{"CD", "DR Congo", "AF", "OTHER", false},
+	{"GN", "Guinea", "AF", "OTHER", false},
+	{"CI", "Ivory Coast", "AF", "OTHER", false},
+	{"ET", "Ethiopia", "AF", "OTHER", false},
+	{"LY", "Libya", "AF", "OTHER", false},
+
+	// Asian citizenships.
+	{"SY", "Syria", "AS", "OTHER", false},
+	{"AF_C", "Afghanistan", "AS", "OTHER", false},
+	{"IQ", "Iraq", "AS", "OTHER", false},
+	{"IR", "Iran", "AS", "OTHER", false},
+	{"PK", "Pakistan", "AS", "OTHER", false},
+	{"BD", "Bangladesh", "AS", "OTHER", false},
+	{"LK", "Sri Lanka", "AS", "OTHER", false},
+	{"CN", "China", "AS", "OTHER", false},
+	{"GE", "Georgia", "AS", "OTHER", false},
+	{"AM_C", "Armenia", "AS", "OTHER", false},
+	{"TR", "Turkey", "AS", "OTHER", false},
+	{"VN", "Vietnam", "AS", "OTHER", false},
+	{"IN", "India", "AS", "OTHER", false},
+
+	// American citizenships.
+	{"US", "United States", "AM", "OTHER", false},
+	{"CO", "Colombia", "AM", "OTHER", false},
+	{"VE", "Venezuela", "AM", "OTHER", false},
+	{"HT", "Haiti", "AM", "OTHER", false},
+
+	// Oceanian citizenship (keeps every continent populated).
+	{"AU", "Australia", "OC", "OTHER", false},
+}
+
+// SexCodes are the sex dimension members.
+var SexCodes = []struct{ Code, Label string }{
+	{"M", "Males"},
+	{"F", "Females"},
+	{"T", "Total"},
+}
+
+// AgeGroup pairs an age band with its coarser class (an extra FD used
+// to discover a second time-invariant hierarchy).
+type AgeGroup struct {
+	Code  string
+	Label string
+	Class string // "MINOR" or "ADULT"
+}
+
+// AgeGroups are the age dimension members.
+var AgeGroups = []AgeGroup{
+	{"Y_LT14", "Less than 14 years", "MINOR"},
+	{"Y14-17", "From 14 to 17 years", "MINOR"},
+	{"Y18-34", "From 18 to 34 years", "ADULT"},
+	{"Y35-64", "From 35 to 64 years", "ADULT"},
+	{"Y_GE65", "65 years or over", "ADULT"},
+}
+
+// AgeClasses are the coarser age classification members.
+var AgeClasses = []struct{ Code, Label string }{
+	{"MINOR", "Minors"},
+	{"ADULT", "Adults"},
+}
+
+// AppTypes are the asylum applicant type members.
+var AppTypes = []struct{ Code, Label string }{
+	{"ASY_APP", "Asylum applicant"},
+	{"ASY_APP_FT", "First-time asylum applicant"},
+}
+
+// DestinationCountries returns the EU member states that act as
+// destination (geo) members.
+func DestinationCountries() []Country {
+	var out []Country
+	for _, c := range Countries {
+		if c.EUMember {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ContinentName resolves a continent code to its name.
+func ContinentName(code string) string {
+	for _, c := range Continents {
+		if c.Code == code {
+			return c.Name
+		}
+	}
+	return code
+}
+
+// CountryByCode resolves a country code.
+func CountryByCode(code string) (Country, bool) {
+	for _, c := range Countries {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}

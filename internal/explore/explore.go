@@ -1,0 +1,263 @@
+// Package explore implements the QB2OLAP Exploration module: choosing a
+// QB4OLAP cube on an endpoint and navigating its dimension structures
+// and instances — dimension/hierarchy/level trees, level members, and
+// the member roll-up graph the paper's GUI visualizes (Figure 5). The
+// GUI is replaced by text renderings suitable for a CLI.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/endpoint"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+// Explorer navigates QB4OLAP cubes on an endpoint.
+type Explorer struct {
+	client endpoint.SPARQLClient
+}
+
+// New returns an explorer over the endpoint.
+func New(c endpoint.SPARQLClient) *Explorer {
+	return &Explorer{client: c}
+}
+
+// Cubes lists the QB4OLAP cube structures available on the endpoint.
+func (e *Explorer) Cubes() ([]rdf.Term, error) {
+	return qb4olap.ListCubes(e.client)
+}
+
+// Schema loads the full schema of one cube.
+func (e *Explorer) Schema(dsd rdf.Term) (*qb4olap.CubeSchema, error) {
+	return qb4olap.LoadCubeSchema(e.client, dsd)
+}
+
+// Member is a level member with its display label.
+type Member struct {
+	IRI   rdf.Term
+	Label string
+}
+
+// Members lists the members of a level (via qb4o:memberOf), with labels
+// when present.
+func (e *Explorer) Members(level rdf.Term) ([]Member, error) {
+	res, err := e.client.Select(fmt.Sprintf(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?m ?label WHERE {
+  ?m qb4o:memberOf <%s> .
+  OPTIONAL { ?m rdfs:label ?label }
+} ORDER BY ?m`, level.Value))
+	if err != nil {
+		return nil, fmt.Errorf("explore: members of %s: %w", level.Value, err)
+	}
+	var out []Member
+	seen := make(map[rdf.Term]bool)
+	for i := range res.Rows {
+		m := res.Binding(i, "m")
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		out = append(out, Member{IRI: m, Label: res.Binding(i, "label").Value})
+	}
+	return out, nil
+}
+
+// RollupEdge is one member-to-member roll-up link.
+type RollupEdge struct {
+	Child  rdf.Term
+	Parent rdf.Term
+}
+
+// RollupEdges lists the instance roll-up pairs of a hierarchy step.
+func (e *Explorer) RollupEdges(step qb4olap.HierarchyStep) ([]RollupEdge, error) {
+	res, err := e.client.Select(fmt.Sprintf(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?c ?p WHERE {
+  ?c qb4o:memberOf <%s> ; <%s> ?p .
+  ?p qb4o:memberOf <%s> .
+} ORDER BY ?c ?p`, step.Child.Value, step.Rollup.Value, step.Parent.Value))
+	if err != nil {
+		return nil, fmt.Errorf("explore: rollup edges of %s: %w", step.IRI.Value, err)
+	}
+	out := make([]RollupEdge, 0, res.Len())
+	for i := range res.Rows {
+		out = append(out, RollupEdge{Child: res.Binding(i, "c"), Parent: res.Binding(i, "p")})
+	}
+	return out, nil
+}
+
+// Cluster groups the members of a child level under their parent
+// members, reproducing the "cluster instances by level value" view of
+// the paper's Figure 5.
+type Cluster struct {
+	Parent  Member
+	Members []Member
+}
+
+// ClusterByParent clusters child-level members by their roll-up target.
+func (e *Explorer) ClusterByParent(step qb4olap.HierarchyStep) ([]Cluster, error) {
+	edges, err := e.RollupEdges(step)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := e.labelMap()
+	if err != nil {
+		return nil, err
+	}
+	byParent := make(map[rdf.Term][]Member)
+	var order []rdf.Term
+	for _, edge := range edges {
+		if _, ok := byParent[edge.Parent]; !ok {
+			order = append(order, edge.Parent)
+		}
+		byParent[edge.Parent] = append(byParent[edge.Parent], Member{IRI: edge.Child, Label: labels[edge.Child]})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
+	out := make([]Cluster, 0, len(order))
+	for _, p := range order {
+		out = append(out, Cluster{
+			Parent:  Member{IRI: p, Label: labels[p]},
+			Members: byParent[p],
+		})
+	}
+	return out, nil
+}
+
+func (e *Explorer) labelMap() (map[rdf.Term]string, error) {
+	res, err := e.client.Select(`
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?m ?label WHERE { ?m qb4o:memberOf ?l ; rdfs:label ?label }`)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[rdf.Term]string, res.Len())
+	for i := range res.Rows {
+		out[res.Binding(i, "m")] = res.Binding(i, "label").Value
+	}
+	return out, nil
+}
+
+// LevelSummary pairs a level with its member count.
+type LevelSummary struct {
+	Level   rdf.Term
+	Members int
+}
+
+// DimensionSummary reports the member counts of every level of a
+// dimension (base level first), giving the at-a-glance cardinality view
+// of the exploration GUI.
+func (e *Explorer) DimensionSummary(d *qb4olap.Dimension) ([]LevelSummary, error) {
+	var out []LevelSummary
+	for _, lvl := range d.LevelIRIs() {
+		res, err := e.client.Select(fmt.Sprintf(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?m qb4o:memberOf <%s> }`, lvl.Value))
+		if err != nil {
+			return nil, fmt.Errorf("explore: summarizing %s: %w", lvl.Value, err)
+		}
+		n := 0
+		if res.Len() > 0 {
+			fmt.Sscanf(res.Binding(0, "n").Value, "%d", &n)
+		}
+		out = append(out, LevelSummary{Level: lvl, Members: n})
+	}
+	return out, nil
+}
+
+// RenderSchemaTree renders the cube structure as the tree the
+// Enrichment GUI shows (Figure 4): dimensions, hierarchies, levels with
+// attributes, and measures.
+func RenderSchemaTree(s *qb4olap.CubeSchema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cube %s\n", shorten(s.DSD))
+	for _, d := range s.Dimensions {
+		fmt.Fprintf(&b, "├─ Dimension %s (base level %s)\n", shorten(d.IRI), shorten(d.BaseLevel))
+		for _, h := range d.Hierarchies {
+			fmt.Fprintf(&b, "│  ├─ Hierarchy %s\n", shorten(h.IRI))
+			for _, l := range h.Levels {
+				fmt.Fprintf(&b, "│  │  ├─ Level %s", shorten(l))
+				if lv, ok := s.Levels[l]; ok && len(lv.Attributes) > 0 {
+					var names []string
+					for _, a := range lv.Attributes {
+						names = append(names, shorten(a.IRI))
+					}
+					fmt.Fprintf(&b, " [attributes: %s]", strings.Join(names, ", "))
+				}
+				b.WriteByte('\n')
+			}
+			for _, st := range h.Steps {
+				fmt.Fprintf(&b, "│  │  ├─ Step %s → %s (%s, rollup %s)\n",
+					shorten(st.Child), shorten(st.Parent), st.Cardinality, shorten(st.Rollup))
+			}
+		}
+	}
+	for _, m := range s.Measures {
+		fmt.Fprintf(&b, "├─ Measure %s (%s)\n", shorten(m.Property), m.Agg)
+	}
+	return b.String()
+}
+
+// RenderClusters renders the clustered instance view as text.
+func RenderClusters(clusters []Cluster) string {
+	var b strings.Builder
+	for _, c := range clusters {
+		name := c.Parent.Label
+		if name == "" {
+			name = shorten(c.Parent.IRI)
+		}
+		fmt.Fprintf(&b, "%s (%d members)\n", name, len(c.Members))
+		for _, m := range c.Members {
+			label := m.Label
+			if label == "" {
+				label = shorten(m.IRI)
+			}
+			fmt.Fprintf(&b, "  - %s\n", label)
+		}
+	}
+	return b.String()
+}
+
+func shorten(t rdf.Term) string {
+	v := t.Value
+	if i := strings.LastIndexAny(v, "#/"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// FindMembers searches level members whose label or notation contains
+// the given text (case-insensitive). This addresses the usability gap
+// the paper motivates in Section II(c): without descriptive attributes,
+// a user would need to know the IRI representing Nigeria; with them,
+// she can search by name.
+func (e *Explorer) FindMembers(text string) ([]Member, error) {
+	res, err := e.client.Select(fmt.Sprintf(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT DISTINCT ?m ?label WHERE {
+  ?m qb4o:memberOf ?level .
+  { ?m rdfs:label ?label } UNION { ?m skos:notation ?label }
+  FILTER(CONTAINS(LCASE(STR(?label)), LCASE(%q)))
+} ORDER BY ?m`, text))
+	if err != nil {
+		return nil, fmt.Errorf("explore: searching members: %w", err)
+	}
+	var out []Member
+	seen := make(map[rdf.Term]bool)
+	for i := range res.Rows {
+		m := res.Binding(i, "m")
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		out = append(out, Member{IRI: m, Label: res.Binding(i, "label").Value})
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/eurostat"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+func buildDemo(t *testing.T) *demo.Enriched {
+	t.Helper()
+	d, err := demo.Build(eurostat.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestListCubes(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	cubes, err := ex.Cubes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubes) != 1 {
+		t.Fatalf("cubes = %v", cubes)
+	}
+	if cubes[0] != d.Schema.DSD {
+		t.Fatalf("cube = %v, want %v", cubes[0], d.Schema.DSD)
+	}
+}
+
+func TestLoadSchemaRoundTrip(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	loaded, err := ex.Schema(d.Schema.DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Dimensions) != len(d.Schema.Dimensions) {
+		t.Fatalf("dimensions: loaded %d, committed %d", len(loaded.Dimensions), len(d.Schema.Dimensions))
+	}
+	if len(loaded.Measures) != 1 || loaded.Measures[0].Agg != qb4olap.Sum {
+		t.Fatalf("measures = %+v", loaded.Measures)
+	}
+	// The citizenship dimension must round-trip with its full hierarchy.
+	dim, ok := loaded.DimensionOfLevel(eurostat.PropCitizen)
+	if !ok {
+		t.Fatal("citizenship dimension lost")
+	}
+	if dim.BaseLevel != eurostat.PropCitizen {
+		t.Fatalf("base level = %v", dim.BaseLevel)
+	}
+	path, ok := dim.PathToLevel(eurostat.PropContinent)
+	if !ok || len(path) != 1 {
+		t.Fatalf("path to continent: %v %v", path, ok)
+	}
+	if path[0].Rollup != eurostat.PropContinent {
+		t.Fatalf("rollup property lost: %v", path[0].Rollup)
+	}
+	// Time hierarchy: month -> quarter -> year.
+	tdim, ok := loaded.DimensionOfLevel(eurostat.PropTime)
+	if !ok {
+		t.Fatal("time dimension lost")
+	}
+	if p, ok := tdim.PathToLevel(eurostat.PropYear); !ok || len(p) != 2 {
+		t.Fatalf("time path: %v %v", p, ok)
+	}
+	if probs := loaded.Validate(); len(probs) != 0 {
+		t.Fatalf("loaded schema invalid: %v", probs)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	ms, err := ex.Members(eurostat.PropContinent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(eurostat.Continents) {
+		t.Fatalf("continent members = %d, want %d", len(ms), len(eurostat.Continents))
+	}
+	found := false
+	for _, m := range ms {
+		if m.Label == "Africa" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Africa label missing")
+	}
+}
+
+func TestRollupEdgesAndClusters(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	loaded, err := ex.Schema(d.Schema.DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, _ := loaded.DimensionOfLevel(eurostat.PropCitizen)
+	path, _ := dim.PathToLevel(eurostat.PropContinent)
+	step := path[0]
+
+	edges, err := ex.RollupEdges(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != len(eurostat.Countries) {
+		t.Fatalf("edges = %d, want %d", len(edges), len(eurostat.Countries))
+	}
+
+	clusters, err := ex.ClusterByParent(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != len(eurostat.Continents) {
+		t.Fatalf("clusters = %d, want %d", len(clusters), len(eurostat.Continents))
+	}
+	total := 0
+	byName := map[string]int{}
+	for _, c := range clusters {
+		total += len(c.Members)
+		byName[c.Parent.Label] = len(c.Members)
+	}
+	if total != len(eurostat.Countries) {
+		t.Fatalf("clustered members = %d, want %d", total, len(eurostat.Countries))
+	}
+	wantAfrica := 0
+	for _, c := range eurostat.Countries {
+		if c.Continent == "AF" {
+			wantAfrica++
+		}
+	}
+	if byName["Africa"] != wantAfrica {
+		t.Fatalf("Africa cluster = %d, want %d", byName["Africa"], wantAfrica)
+	}
+}
+
+func TestRenderSchemaTree(t *testing.T) {
+	d := buildDemo(t)
+	out := RenderSchemaTree(d.Schema)
+	for _, want := range []string{"citizenDim", "continent", "Hierarchy", "Measure obsValue (sum)", "Step citizen → continent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schema tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderClusters(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	dim, _ := d.Schema.DimensionOfLevel(eurostat.PropCitizen)
+	path, _ := dim.PathToLevel(eurostat.PropContinent)
+	clusters, err := ex.ClusterByParent(path[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderClusters(clusters)
+	if !strings.Contains(out, "Africa") || !strings.Contains(out, "Nigeria") {
+		t.Errorf("cluster rendering missing expected names:\n%s", out)
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if shorten(rdf.NewIRI("http://x/a#b")) != "b" {
+		t.Error("fragment shortening broken")
+	}
+	if shorten(rdf.NewIRI("http://x/a/c")) != "c" {
+		t.Error("path shortening broken")
+	}
+	if shorten(rdf.NewIRI("plain")) != "plain" {
+		t.Error("plain shortening broken")
+	}
+}
+
+func TestDimensionSummary(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	dim, _ := d.Schema.DimensionOfLevel(eurostat.PropCitizen)
+	sums, err := ex.DimensionSummary(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// citizen (all countries observed), continent (5), all (1).
+	if len(sums) != 3 {
+		t.Fatalf("levels = %d: %v", len(sums), sums)
+	}
+	if sums[0].Level != eurostat.PropCitizen || sums[0].Members == 0 {
+		t.Fatalf("base summary: %+v", sums[0])
+	}
+	if sums[1].Members != len(eurostat.Continents) {
+		t.Fatalf("continent members = %d", sums[1].Members)
+	}
+	if sums[2].Members != 1 {
+		t.Fatalf("all members = %d", sums[2].Members)
+	}
+}
+
+func TestFindMembers(t *testing.T) {
+	d := buildDemo(t)
+	ex := New(d.Client)
+	ms, err := ex.FindMembers("nigeria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || !strings.HasSuffix(ms[0].IRI.Value, "citizen#NG") {
+		t.Fatalf("FindMembers(nigeria) = %v", ms)
+	}
+	// Notation search too (codes are notations).
+	ms, err = ex.FindMembers("2013Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("FindMembers(2013Q) = %d members", len(ms))
+	}
+	// No match.
+	ms, err = ex.FindMembers("atlantis")
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("FindMembers(atlantis) = %v, %v", ms, err)
+	}
+}

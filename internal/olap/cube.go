@@ -1,0 +1,206 @@
+// Package olap models the result of an OLAP query: a cube with one
+// axis per (dimension, level) pair and one or more measure values per
+// cell, plus text renderings for CLI display.
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Axis identifies one result axis: a dimension at a given granularity.
+type Axis struct {
+	Dimension rdf.Term
+	Level     rdf.Term
+}
+
+// Cell is one cube cell: a coordinate per axis and a value per measure.
+type Cell struct {
+	Coords []rdf.Term
+	Labels []string // display labels parallel to Coords (may be empty strings)
+	Values []rdf.Term
+}
+
+// Cube is a materialized result cube.
+type Cube struct {
+	Axes     []Axis
+	Measures []string // display names of the measures
+	Cells    []Cell
+}
+
+// Sort orders cells lexicographically by coordinates for deterministic
+// output.
+func (c *Cube) Sort() {
+	sort.SliceStable(c.Cells, func(i, j int) bool {
+		a, b := c.Cells[i], c.Cells[j]
+		for k := range a.Coords {
+			if cmp := a.Coords[k].Compare(b.Coords[k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// Table renders the cube as an aligned text table: one row per cell.
+func (c *Cube) Table() string {
+	headers := make([]string, 0, len(c.Axes)+len(c.Measures))
+	for _, a := range c.Axes {
+		headers = append(headers, shorten(a.Level))
+	}
+	headers = append(headers, c.Measures...)
+
+	rows := make([][]string, 0, len(c.Cells))
+	for _, cell := range c.Cells {
+		row := make([]string, 0, len(headers))
+		for i := range cell.Coords {
+			label := ""
+			if i < len(cell.Labels) {
+				label = cell.Labels[i]
+			}
+			if label == "" {
+				label = shorten(cell.Coords[i])
+			}
+			row = append(row, label)
+		}
+		for _, v := range cell.Values {
+			row = append(row, v.Value)
+		}
+		rows = append(rows, row)
+	}
+	return renderTable(headers, rows)
+}
+
+// Pivot renders a two-axis cube as a pivot table with the first axis on
+// rows and the second on columns, using the first measure. Cubes with
+// any other axis count fall back to Table.
+func (c *Cube) Pivot() string {
+	if len(c.Axes) != 2 || len(c.Measures) == 0 {
+		return c.Table()
+	}
+	rowKeys, colKeys := []string{}, []string{}
+	rowSeen, colSeen := map[string]bool{}, map[string]bool{}
+	values := map[[2]string]string{}
+	for _, cell := range c.Cells {
+		r := cellLabel(cell, 0)
+		cl := cellLabel(cell, 1)
+		if !rowSeen[r] {
+			rowSeen[r] = true
+			rowKeys = append(rowKeys, r)
+		}
+		if !colSeen[cl] {
+			colSeen[cl] = true
+			colKeys = append(colKeys, cl)
+		}
+		if len(cell.Values) > 0 {
+			values[[2]string{r, cl}] = cell.Values[0].Value
+		}
+	}
+	sort.Strings(rowKeys)
+	sort.Strings(colKeys)
+
+	headers := append([]string{shorten(c.Axes[0].Level)}, colKeys...)
+	rows := make([][]string, 0, len(rowKeys))
+	for _, r := range rowKeys {
+		row := []string{r}
+		for _, cl := range colKeys {
+			row = append(row, values[[2]string{r, cl}])
+		}
+		rows = append(rows, row)
+	}
+	return renderTable(headers, rows)
+}
+
+func cellLabel(c Cell, i int) string {
+	if i < len(c.Labels) && c.Labels[i] != "" {
+		return c.Labels[i]
+	}
+	return shorten(c.Coords[i])
+}
+
+func renderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func shorten(t rdf.Term) string {
+	v := t.Value
+	if i := strings.LastIndexAny(v, "#/"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// EncodeCSV renders the cube as CSV: one row per cell, coordinate
+// labels first, then measure values.
+func (c *Cube) EncodeCSV() string {
+	var b strings.Builder
+	for i, a := range c.Axes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(shorten(a.Level)))
+	}
+	for j, m := range c.Measures {
+		if len(c.Axes) > 0 || j > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(m))
+	}
+	b.WriteString("\r\n")
+	for _, cell := range c.Cells {
+		for i := range cell.Coords {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cellLabel(cell, i)))
+		}
+		for j, v := range cell.Values {
+			if len(cell.Coords) > 0 || j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(v.Value))
+		}
+		b.WriteString("\r\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

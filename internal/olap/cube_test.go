@@ -1,0 +1,127 @@
+package olap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+
+func sampleCube() *Cube {
+	return &Cube{
+		Axes: []Axis{
+			{Dimension: iri("geoDim"), Level: iri("continent")},
+			{Dimension: iri("timeDim"), Level: iri("year")},
+		},
+		Measures: []string{"sum(obsValue)"},
+		Cells: []Cell{
+			{Coords: []rdf.Term{iri("Europe"), iri("2014")}, Labels: []string{"Europe", "2014"}, Values: []rdf.Term{rdf.NewInteger(20)}},
+			{Coords: []rdf.Term{iri("Africa"), iri("2013")}, Labels: []string{"Africa", "2013"}, Values: []rdf.Term{rdf.NewInteger(5)}},
+			{Coords: []rdf.Term{iri("Africa"), iri("2014")}, Labels: []string{"Africa", "2014"}, Values: []rdf.Term{rdf.NewInteger(8)}},
+		},
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	c := sampleCube()
+	c.Sort()
+	if c.Cells[0].Labels[0] != "Africa" || c.Cells[0].Labels[1] != "2013" {
+		t.Fatalf("first cell after sort: %v", c.Cells[0].Labels)
+	}
+	if c.Cells[2].Labels[0] != "Europe" {
+		t.Fatalf("last cell after sort: %v", c.Cells[2].Labels)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	c := sampleCube()
+	c.Sort()
+	out := c.Table()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + separator + 3 cells
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "continent") || !strings.Contains(lines[0], "sum(obsValue)") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.Contains(out, "Africa") || !strings.Contains(out, "20") {
+		t.Errorf("table content:\n%s", out)
+	}
+}
+
+func TestPivotRendering(t *testing.T) {
+	c := sampleCube()
+	out := c.Pivot()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + separator + two row keys
+	if len(lines) != 4 {
+		t.Fatalf("pivot lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "2013") || !strings.Contains(lines[0], "2014") {
+		t.Errorf("pivot header: %s", lines[0])
+	}
+	// Africa row has both values; Europe row has an empty 2013 cell.
+	if !strings.Contains(out, "Africa") || !strings.Contains(out, "Europe") {
+		t.Errorf("pivot rows:\n%s", out)
+	}
+}
+
+func TestPivotFallsBackForNon2D(t *testing.T) {
+	c := &Cube{
+		Axes:     []Axis{{Dimension: iri("d"), Level: iri("l")}},
+		Measures: []string{"n"},
+		Cells:    []Cell{{Coords: []rdf.Term{iri("a")}, Values: []rdf.Term{rdf.NewInteger(1)}}},
+	}
+	if c.Pivot() != c.Table() {
+		t.Error("1-axis pivot must fall back to Table")
+	}
+}
+
+func TestLabelsFallBackToIRILocalName(t *testing.T) {
+	c := &Cube{
+		Axes:     []Axis{{Dimension: iri("d"), Level: iri("l")}},
+		Measures: []string{"n"},
+		Cells: []Cell{{
+			Coords: []rdf.Term{rdf.NewIRI("http://x/dic#FR")},
+			Labels: []string{""},
+			Values: []rdf.Term{rdf.NewInteger(1)},
+		}},
+	}
+	if !strings.Contains(c.Table(), "FR") {
+		t.Errorf("missing IRI fallback:\n%s", c.Table())
+	}
+}
+
+func TestEncodeCSV(t *testing.T) {
+	c := sampleCube()
+	c.Sort()
+	out := c.EncodeCSV()
+	lines := strings.Split(strings.TrimSpace(out), "\r\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "continent,year,sum(obsValue)" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "Africa,2013,5" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	c := &Cube{
+		Axes:     []Axis{{Dimension: iri("d"), Level: iri("l")}},
+		Measures: []string{"n"},
+		Cells: []Cell{{
+			Coords: []rdf.Term{iri("m")},
+			Labels: []string{`has "quotes", and comma`},
+			Values: []rdf.Term{rdf.NewInteger(1)},
+		}},
+	}
+	out := c.EncodeCSV()
+	if !strings.Contains(out, `"has ""quotes"", and comma"`) {
+		t.Errorf("escaping wrong:\n%s", out)
+	}
+}

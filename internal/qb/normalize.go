@@ -1,0 +1,92 @@
+package qb
+
+import (
+	"fmt"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+)
+
+// Normalize applies the relevant parts of the RDF Data Cube
+// normalization algorithm (W3C QB specification §11) to the data behind
+// a client, so downstream tooling can rely on the full form:
+//
+//   - every resource with a qb:dataSet link is typed qb:Observation;
+//   - every resource referenced by qb:dataSet is typed qb:DataSet;
+//   - dimension/measure/attribute component properties are given their
+//     qb:DimensionProperty / qb:MeasureProperty / qb:AttributeProperty
+//     types.
+//
+// Published statistical linked data frequently omits these types (the
+// Eurostat dumps do); QB2OLAP's discovery queries then silently miss
+// data. Normalize repairs the graph in place via SPARQL updates and
+// returns the number of update operations issued.
+func Normalize(c endpoint.SPARQLClient) (int, error) {
+	updates := []string{
+		// Type observations.
+		`PREFIX qb: <http://purl.org/linked-data/cube#>
+INSERT { ?o a qb:Observation } WHERE { ?o qb:dataSet ?ds FILTER NOT EXISTS { ?o a qb:Observation } }`,
+		// Type datasets.
+		`PREFIX qb: <http://purl.org/linked-data/cube#>
+INSERT { ?ds a qb:DataSet } WHERE { ?o qb:dataSet ?ds FILTER NOT EXISTS { ?ds a qb:DataSet } }`,
+		// Type component properties by role.
+		`PREFIX qb: <http://purl.org/linked-data/cube#>
+INSERT { ?p a qb:DimensionProperty } WHERE { ?c qb:dimension ?p FILTER NOT EXISTS { ?p a qb:DimensionProperty } }`,
+		`PREFIX qb: <http://purl.org/linked-data/cube#>
+INSERT { ?p a qb:MeasureProperty } WHERE { ?c qb:measure ?p FILTER NOT EXISTS { ?p a qb:MeasureProperty } }`,
+		`PREFIX qb: <http://purl.org/linked-data/cube#>
+INSERT { ?p a qb:AttributeProperty } WHERE { ?c qb:attribute ?p FILTER NOT EXISTS { ?p a qb:AttributeProperty } }`,
+	}
+	for i, u := range updates {
+		if err := c.Update(u); err != nil {
+			return i, fmt.Errorf("qb: normalization step %d: %w", i+1, err)
+		}
+	}
+	return len(updates), nil
+}
+
+// InferStructure guesses a DSD for a dataset that has none, by scanning
+// the properties used on its observations: numeric-object properties
+// become measures, everything else dimensions (qb:dataSet and rdf:type
+// excluded). It returns the components without writing anything; the
+// caller may build and insert a DSD from them. This supports the "no
+// schema information at all" corner of Linked Open Data.
+func InferStructure(c endpoint.SPARQLClient, dataset rdf.Term) ([]Component, error) {
+	res, err := c.Select(fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?p (SAMPLE(?v) AS ?sample) WHERE {
+  ?o qb:dataSet <%s> ; ?p ?v .
+} GROUP BY ?p ORDER BY ?p`, dataset.Value))
+	if err != nil {
+		return nil, fmt.Errorf("qb: inferring structure: %w", err)
+	}
+	var out []Component
+	for i := range res.Rows {
+		p := res.Binding(i, "p")
+		switch p.Value {
+		case "http://purl.org/linked-data/cube#dataSet",
+			"http://www.w3.org/1999/02/22-rdf-syntax-ns#type":
+			continue
+		}
+		sample := res.Binding(i, "sample")
+		kind := KindDimension
+		if sample.IsLiteral() && isNumericDatatype(sample.Datatype) {
+			kind = KindMeasure
+		}
+		out = append(out, Component{Kind: kind, Property: p})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("qb: dataset %s has no observations to infer from", dataset.Value)
+	}
+	return out, nil
+}
+
+func isNumericDatatype(dt string) bool {
+	switch dt {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble, rdf.XSDFloat,
+		"http://www.w3.org/2001/XMLSchema#int",
+		"http://www.w3.org/2001/XMLSchema#long":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package qb
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// abbreviatedTTL mimics real-world dumps: no rdf:type on observations,
+// datasets, or component properties.
+const abbreviatedTTL = `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:dsd qb:component [ qb:dimension ex:region ] ;
+       qb:component [ qb:measure ex:amount ] ;
+       qb:component [ qb:attribute ex:unit ] .
+ex:ds qb:structure ex:dsd .
+ex:o1 qb:dataSet ex:ds ; ex:region ex:north ; ex:amount 10 .
+ex:o2 qb:dataSet ex:ds ; ex:region ex:south ; ex:amount 20 .
+`
+
+func TestNormalizeAddsTypes(t *testing.T) {
+	c := clientFor(t, abbreviatedTTL)
+
+	// Before: the typed queries see nothing.
+	dss, err := ListDataSets(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 0 {
+		t.Fatalf("abbreviated data should list no typed datasets, got %v", dss)
+	}
+
+	steps, err := Normalize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("steps = %d", steps)
+	}
+
+	dss, err = ListDataSets(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 1 || dss[0].IRI.Value != "http://example.org/ds" {
+		t.Fatalf("after normalization: %v", dss)
+	}
+	n, err := ObservationCount(c, rdf.NewIRI("http://example.org/ds"))
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+
+	res, err := c.Select(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?p WHERE { ?p a qb:DimensionProperty }`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("dimension property typing: %v %v", res, err)
+	}
+	res, err = c.Select(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?p WHERE { ?p a qb:MeasureProperty }`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("measure property typing: %v %v", res, err)
+	}
+
+	// Idempotent: a second run adds nothing.
+	before, err := c.Select(`SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(c); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Select(`SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Binding(0, "n") != after.Binding(0, "n") {
+		t.Fatal("Normalize is not idempotent")
+	}
+}
+
+func TestInferStructure(t *testing.T) {
+	c := clientFor(t, `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:o1 qb:dataSet ex:ds ; ex:region ex:north ; ex:year "2013" ; ex:amount 10 ; ex:rate 2.5 .
+ex:o2 qb:dataSet ex:ds ; ex:region ex:south ; ex:year "2014" ; ex:amount 20 ; ex:rate 1.5 .
+`)
+	comps, err := InferStructure(c, rdf.NewIRI("http://example.org/ds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]ComponentKind{}
+	for _, comp := range comps {
+		kinds[comp.Property.Value] = comp.Kind
+	}
+	if len(comps) != 4 {
+		t.Fatalf("components = %d: %v", len(comps), kinds)
+	}
+	if kinds["http://example.org/region"] != KindDimension {
+		t.Error("region should be a dimension")
+	}
+	if kinds["http://example.org/year"] != KindDimension {
+		t.Error("year (string) should be a dimension")
+	}
+	if kinds["http://example.org/amount"] != KindMeasure {
+		t.Error("amount should be a measure")
+	}
+	if kinds["http://example.org/rate"] != KindMeasure {
+		t.Error("rate (decimal) should be a measure")
+	}
+
+	if _, err := InferStructure(c, rdf.NewIRI("http://example.org/empty")); err == nil {
+		t.Error("empty dataset must error")
+	}
+}

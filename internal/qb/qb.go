@@ -1,0 +1,210 @@
+// Package qb models the W3C RDF Data Cube vocabulary as needed by
+// QB2OLAP: data structure definitions (DSDs), their dimension, measure
+// and attribute components, datasets, and observations. It reads the
+// model from a SPARQL endpoint, mirroring how the paper's tool
+// retrieves the cube structure from Virtuoso.
+package qb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+)
+
+// ComponentKind discriminates the role of a component property.
+type ComponentKind int
+
+// Component kinds.
+const (
+	KindDimension ComponentKind = iota
+	KindMeasure
+	KindAttribute
+)
+
+func (k ComponentKind) String() string {
+	switch k {
+	case KindDimension:
+		return "dimension"
+	case KindMeasure:
+		return "measure"
+	default:
+		return "attribute"
+	}
+}
+
+// Component is one component property of a DSD.
+type Component struct {
+	Kind     ComponentKind
+	Property rdf.Term
+	Order    int // qb:order when present, else 0
+}
+
+// DSD is a data structure definition.
+type DSD struct {
+	IRI        rdf.Term
+	Components []Component
+}
+
+// Dimensions returns the dimension component properties in order.
+func (d *DSD) Dimensions() []rdf.Term {
+	var out []rdf.Term
+	for _, c := range d.Components {
+		if c.Kind == KindDimension {
+			out = append(out, c.Property)
+		}
+	}
+	return out
+}
+
+// Measures returns the measure component properties in order.
+func (d *DSD) Measures() []rdf.Term {
+	var out []rdf.Term
+	for _, c := range d.Components {
+		if c.Kind == KindMeasure {
+			out = append(out, c.Property)
+		}
+	}
+	return out
+}
+
+// Attributes returns the attribute component properties in order.
+func (d *DSD) Attributes() []rdf.Term {
+	var out []rdf.Term
+	for _, c := range d.Components {
+		if c.Kind == KindAttribute {
+			out = append(out, c.Property)
+		}
+	}
+	return out
+}
+
+// DataSet pairs a qb:DataSet with its structure.
+type DataSet struct {
+	IRI       rdf.Term
+	Structure rdf.Term // DSD IRI
+}
+
+// ListDataSets enumerates the qb:DataSet instances on the endpoint with
+// their qb:structure links.
+func ListDataSets(c endpoint.SPARQLClient) ([]DataSet, error) {
+	res, err := c.Select(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?ds ?dsd WHERE {
+  ?ds a qb:DataSet .
+  OPTIONAL { ?ds qb:structure ?dsd }
+} ORDER BY ?ds`)
+	if err != nil {
+		return nil, fmt.Errorf("qb: listing datasets: %w", err)
+	}
+	out := make([]DataSet, 0, res.Len())
+	for i := range res.Rows {
+		out = append(out, DataSet{
+			IRI:       res.Binding(i, "ds"),
+			Structure: res.Binding(i, "dsd"),
+		})
+	}
+	return out, nil
+}
+
+// LoadDSD reads a DSD and its components from the endpoint.
+func LoadDSD(c endpoint.SPARQLClient, dsd rdf.Term) (*DSD, error) {
+	if !dsd.IsIRI() {
+		return nil, fmt.Errorf("qb: DSD must be an IRI, got %v", dsd)
+	}
+	res, err := c.Select(fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?dim ?measure ?attr ?order WHERE {
+  <%s> qb:component ?c .
+  OPTIONAL { ?c qb:dimension ?dim }
+  OPTIONAL { ?c qb:measure ?measure }
+  OPTIONAL { ?c qb:attribute ?attr }
+  OPTIONAL { ?c qb:order ?order }
+}`, dsd.Value))
+	if err != nil {
+		return nil, fmt.Errorf("qb: loading DSD %s: %w", dsd.Value, err)
+	}
+	out := &DSD{IRI: dsd}
+	for i := range res.Rows {
+		order := 0
+		if o := res.Binding(i, "order"); !o.IsZero() {
+			if n, err := strconv.Atoi(o.Value); err == nil {
+				order = n
+			}
+		}
+		switch {
+		case !res.Binding(i, "dim").IsZero():
+			out.Components = append(out.Components, Component{Kind: KindDimension, Property: res.Binding(i, "dim"), Order: order})
+		case !res.Binding(i, "measure").IsZero():
+			out.Components = append(out.Components, Component{Kind: KindMeasure, Property: res.Binding(i, "measure"), Order: order})
+		case !res.Binding(i, "attr").IsZero():
+			out.Components = append(out.Components, Component{Kind: KindAttribute, Property: res.Binding(i, "attr"), Order: order})
+		}
+	}
+	if len(out.Components) == 0 {
+		return nil, fmt.Errorf("qb: DSD %s has no components", dsd.Value)
+	}
+	sort.SliceStable(out.Components, func(i, j int) bool {
+		a, b := out.Components[i], out.Components[j]
+		if a.Order != b.Order {
+			return a.Order < b.Order
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Property.Compare(b.Property) < 0
+	})
+	return out, nil
+}
+
+// ObservationCount counts the observations of a dataset.
+func ObservationCount(c endpoint.SPARQLClient, dataset rdf.Term) (int, error) {
+	res, err := c.Select(fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT (COUNT(?o) AS ?n) WHERE { ?o qb:dataSet <%s> }`, dataset.Value))
+	if err != nil {
+		return 0, fmt.Errorf("qb: counting observations: %w", err)
+	}
+	if res.Len() == 0 {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(res.Binding(0, "n").Value)
+	if err != nil {
+		return 0, fmt.Errorf("qb: bad count %q", res.Binding(0, "n").Value)
+	}
+	return n, nil
+}
+
+// Problem is a well-formedness violation found by Validate.
+type Problem struct {
+	Code    string
+	Message string
+}
+
+func (p Problem) String() string { return p.Code + ": " + p.Message }
+
+// Validate applies the QB integrity checks that matter for enrichment:
+// the DSD must declare at least one dimension and one measure, and no
+// property may play two roles.
+func Validate(d *DSD) []Problem {
+	var out []Problem
+	if len(d.Dimensions()) == 0 {
+		out = append(out, Problem{Code: "qb-no-dimension", Message: fmt.Sprintf("DSD %s declares no dimension component", d.IRI.Value)})
+	}
+	if len(d.Measures()) == 0 {
+		out = append(out, Problem{Code: "qb-no-measure", Message: fmt.Sprintf("DSD %s declares no measure component", d.IRI.Value)})
+	}
+	seen := make(map[rdf.Term]ComponentKind)
+	for _, c := range d.Components {
+		if prev, ok := seen[c.Property]; ok && prev != c.Kind {
+			out = append(out, Problem{
+				Code:    "qb-role-conflict",
+				Message: fmt.Sprintf("property %s declared as both %s and %s", c.Property.Value, prev, c.Kind),
+			})
+		}
+		seen[c.Property] = c.Kind
+	}
+	return out
+}

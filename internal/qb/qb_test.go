@@ -1,0 +1,133 @@
+package qb
+
+import (
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func clientFor(t *testing.T, ttl string) endpoint.SPARQLClient {
+	t.Helper()
+	g, err := turtle.ParseGraph(ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.InsertTriples(rdf.Term{}, g.Triples())
+	return endpoint.NewLocal(st)
+}
+
+const cubeTTL = `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:dsd a qb:DataStructureDefinition ;
+  qb:component [ qb:dimension ex:time ; qb:order 1 ] ;
+  qb:component [ qb:dimension ex:place ; qb:order 2 ] ;
+  qb:component [ qb:measure ex:value ; qb:order 3 ] ;
+  qb:component [ qb:attribute ex:unit ; qb:order 4 ] .
+ex:ds a qb:DataSet ; qb:structure ex:dsd .
+ex:o1 a qb:Observation ; qb:dataSet ex:ds ; ex:time ex:t1 ; ex:place ex:p1 ; ex:value 5 .
+ex:o2 a qb:Observation ; qb:dataSet ex:ds ; ex:time ex:t1 ; ex:place ex:p2 ; ex:value 7 .
+`
+
+func TestListDataSets(t *testing.T) {
+	c := clientFor(t, cubeTTL)
+	dss, err := ListDataSets(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 1 {
+		t.Fatalf("datasets = %d", len(dss))
+	}
+	if dss[0].IRI.Value != "http://example.org/ds" || dss[0].Structure.Value != "http://example.org/dsd" {
+		t.Fatalf("dataset = %+v", dss[0])
+	}
+}
+
+func TestLoadDSDOrderingAndRoles(t *testing.T) {
+	c := clientFor(t, cubeTTL)
+	dsd, err := LoadDSD(c, rdf.NewIRI("http://example.org/dsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dsd.Components) != 4 {
+		t.Fatalf("components = %d", len(dsd.Components))
+	}
+	// qb:order must drive the ordering.
+	if dsd.Components[0].Property.Value != "http://example.org/time" {
+		t.Fatalf("first component = %v", dsd.Components[0])
+	}
+	dims := dsd.Dimensions()
+	if len(dims) != 2 || dims[0].Value != "http://example.org/time" {
+		t.Fatalf("dimensions = %v", dims)
+	}
+	if len(dsd.Measures()) != 1 || len(dsd.Attributes()) != 1 {
+		t.Fatalf("measures/attributes = %v/%v", dsd.Measures(), dsd.Attributes())
+	}
+}
+
+func TestLoadDSDErrors(t *testing.T) {
+	c := clientFor(t, cubeTTL)
+	if _, err := LoadDSD(c, rdf.NewLiteral("not-an-iri")); err == nil {
+		t.Error("literal DSD must fail")
+	}
+	if _, err := LoadDSD(c, rdf.NewIRI("http://example.org/missing")); err == nil {
+		t.Error("empty DSD must fail")
+	}
+}
+
+func TestObservationCount(t *testing.T) {
+	c := clientFor(t, cubeTTL)
+	n, err := ObservationCount(c, rdf.NewIRI("http://example.org/ds"))
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	n, err = ObservationCount(c, rdf.NewIRI("http://example.org/empty"))
+	if err != nil || n != 0 {
+		t.Fatalf("empty count = %d, %v", n, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := clientFor(t, cubeTTL)
+	dsd, _ := LoadDSD(c, rdf.NewIRI("http://example.org/dsd"))
+	if probs := Validate(dsd); len(probs) != 0 {
+		t.Fatalf("problems: %v", probs)
+	}
+
+	noMeasure := &DSD{IRI: rdf.NewIRI("http://x/d"), Components: []Component{
+		{Kind: KindDimension, Property: rdf.NewIRI("http://x/p")},
+	}}
+	found := false
+	for _, p := range Validate(noMeasure) {
+		if p.Code == "qb-no-measure" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing measure not reported")
+	}
+
+	conflict := &DSD{IRI: rdf.NewIRI("http://x/d"), Components: []Component{
+		{Kind: KindDimension, Property: rdf.NewIRI("http://x/p")},
+		{Kind: KindMeasure, Property: rdf.NewIRI("http://x/p")},
+	}}
+	found = false
+	for _, p := range Validate(conflict) {
+		if p.Code == "qb-role-conflict" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("role conflict not reported")
+	}
+	if (Problem{Code: "x", Message: "y"}).String() != "x: y" {
+		t.Error("Problem.String format")
+	}
+	if KindDimension.String() != "dimension" || KindMeasure.String() != "measure" || KindAttribute.String() != "attribute" {
+		t.Error("ComponentKind names")
+	}
+}

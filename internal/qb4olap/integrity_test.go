@@ -1,0 +1,108 @@
+package qb4olap
+
+import (
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// integrityFixture builds a tiny committed QB4OLAP cube with injectable
+// defects.
+func integrityFixture(t *testing.T, extra string) (endpoint.SPARQLClient, *CubeSchema) {
+	t.Helper()
+	base := `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix qb4o: <http://purl.org/qb4olap/cubes#> .
+@prefix x: <http://x/> .
+
+x:ds qb:structure x:dsd .
+x:m1 qb4o:memberOf x:store ; x:inCity x:lyon .
+x:m2 qb4o:memberOf x:store ; x:inCity x:paris .
+x:lyon qb4o:memberOf x:city . x:paris qb4o:memberOf x:city .
+
+x:o1 qb:dataSet x:ds ; x:store x:m1 ; x:v 1 .
+x:o2 qb:dataSet x:ds ; x:store x:m2 ; x:v 2 .
+`
+	g, err := turtle.ParseGraph(base + extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.InsertTriples(rdf.Term{}, g.Triples())
+	c := endpoint.NewLocal(st)
+
+	s := NewCubeSchema(rdf.NewIRI("http://x/dsd"), rdf.NewIRI("http://x/ds"), "http://x/")
+	dim := &Dimension{
+		IRI:       rdf.NewIRI("http://x/storeDim"),
+		BaseLevel: rdf.NewIRI("http://x/store"),
+		Hierarchies: []*Hierarchy{{
+			IRI:    rdf.NewIRI("http://x/hier"),
+			Levels: []rdf.Term{rdf.NewIRI("http://x/store"), rdf.NewIRI("http://x/city")},
+			Steps: []HierarchyStep{{
+				IRI: rdf.NewIRI("http://x/step"), Child: rdf.NewIRI("http://x/store"),
+				Parent: rdf.NewIRI("http://x/city"), Cardinality: ManyToOne,
+				Rollup: rdf.NewIRI("http://x/inCity"),
+			}},
+		}},
+	}
+	s.Dimensions = []*Dimension{dim}
+	s.Measures = []MeasureSpec{{Property: rdf.NewIRI("http://x/v"), Agg: Sum}}
+	return c, s
+}
+
+func TestValidateInstancesClean(t *testing.T) {
+	c, s := integrityFixture(t, "")
+	probs, err := ValidateInstances(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("clean fixture reported: %v", probs)
+	}
+}
+
+func TestValidateInstancesDetectsDefects(t *testing.T) {
+	cases := []struct {
+		name, extra, code string
+	}{
+		{"missing-level", `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix x: <http://x/> .
+x:o3 qb:dataSet x:ds ; x:v 3 .`, "obs-missing-level"},
+		{"missing-measure", `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix x: <http://x/> .
+x:o3 qb:dataSet x:ds ; x:store x:m1 .`, "obs-missing-measure"},
+		{"rollup-incomplete", `
+@prefix qb4o: <http://purl.org/qb4olap/cubes#> .
+@prefix x: <http://x/> .
+x:m3 qb4o:memberOf x:store .`, "rollup-incomplete"},
+		{"rollup-ambiguous", `
+@prefix x: <http://x/> .
+x:m1 x:inCity x:paris .`, "rollup-ambiguous"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, s := integrityFixture(t, tc.extra)
+			probs, err := ValidateInstances(c, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range probs {
+				if p.Code == tc.code {
+					if p.Count < 1 {
+						t.Fatalf("count = %d", p.Count)
+					}
+					if p.String() == "" {
+						t.Fatal("empty rendering")
+					}
+					return
+				}
+			}
+			t.Fatalf("defect %s not reported: %v", tc.code, probs)
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package qb4olap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+// ListCubes enumerates the QB4OLAP cubes on an endpoint: DSDs that have
+// at least one qb4o:level component, together with the datasets bound
+// to them.
+func ListCubes(c endpoint.SPARQLClient) ([]rdf.Term, error) {
+	res, err := c.Select(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT DISTINCT ?dsd WHERE {
+  ?dsd a qb:DataStructureDefinition ;
+       qb:component ?c .
+  ?c qb4o:level ?l .
+} ORDER BY ?dsd`)
+	if err != nil {
+		return nil, fmt.Errorf("qb4olap: listing cubes: %w", err)
+	}
+	out := make([]rdf.Term, 0, res.Len())
+	for i := range res.Rows {
+		out = append(out, res.Binding(i, "dsd"))
+	}
+	return out, nil
+}
+
+// LoadCubeSchema reads a complete QB4OLAP schema from an endpoint.
+func LoadCubeSchema(c endpoint.SPARQLClient, dsd rdf.Term) (*CubeSchema, error) {
+	s := NewCubeSchema(dsd, rdf.Term{}, "")
+
+	// Dataset bound to this structure.
+	res, err := c.Select(fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT ?ds WHERE { ?ds qb:structure <%s> } LIMIT 1`, dsd.Value))
+	if err != nil {
+		return nil, fmt.Errorf("qb4olap: finding dataset: %w", err)
+	}
+	if res.Len() > 0 {
+		s.DataSet = res.Binding(0, "ds")
+	}
+
+	// Level components with cardinalities, and measures.
+	res, err = c.Select(fmt.Sprintf(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?level ?card ?measure ?agg WHERE {
+  <%s> qb:component ?c .
+  OPTIONAL { ?c qb4o:level ?level . OPTIONAL { ?c qb4o:cardinality ?card } }
+  OPTIONAL { ?c qb:measure ?measure . OPTIONAL { ?c qb4o:aggregateFunction ?agg } }
+}`, dsd.Value))
+	if err != nil {
+		return nil, fmt.Errorf("qb4olap: loading components: %w", err)
+	}
+	var baseLevels []rdf.Term
+	for i := range res.Rows {
+		if lvl := res.Binding(i, "level"); !lvl.IsZero() {
+			baseLevels = append(baseLevels, lvl)
+			s.Cardinalities[lvl] = CardinalityFromTerm(res.Binding(i, "card"))
+			s.Level(lvl)
+		}
+		if m := res.Binding(i, "measure"); !m.IsZero() {
+			s.Measures = append(s.Measures, MeasureSpec{Property: m, Agg: AggFuncFromTerm(res.Binding(i, "agg"))})
+		}
+	}
+	sort.Slice(s.Measures, func(i, j int) bool { return s.Measures[i].Property.Compare(s.Measures[j].Property) < 0 })
+	sort.Slice(baseLevels, func(i, j int) bool { return baseLevels[i].Compare(baseLevels[j]) < 0 })
+
+	// Dimensions: hierarchies that contain a base level identify the
+	// dimension it belongs to.
+	res, err = c.Select(`
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?dim ?h ?level WHERE {
+  ?dim a qb:DimensionProperty ; qb4o:hasHierarchy ?h .
+  ?h qb4o:hasLevel ?level .
+} ORDER BY ?dim ?h ?level`)
+	if err != nil {
+		return nil, fmt.Errorf("qb4olap: loading hierarchies: %w", err)
+	}
+	type hkey struct{ dim, h rdf.Term }
+	hierLevels := make(map[hkey][]rdf.Term)
+	var hkeys []hkey
+	for i := range res.Rows {
+		k := hkey{res.Binding(i, "dim"), res.Binding(i, "h")}
+		if _, ok := hierLevels[k]; !ok {
+			hkeys = append(hkeys, k)
+		}
+		hierLevels[k] = append(hierLevels[k], res.Binding(i, "level"))
+	}
+
+	// Steps.
+	res, err = c.Select(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?step ?h ?child ?parent ?card ?rollup WHERE {
+  ?step a qb4o:HierarchyStep ;
+        qb4o:inHierarchy ?h ;
+        qb4o:childLevel ?child ;
+        qb4o:parentLevel ?parent .
+  OPTIONAL { ?step qb4o:pcCardinality ?card }
+  OPTIONAL { ?step qb4o:rollup ?rollup }
+} ORDER BY ?step`)
+	if err != nil {
+		return nil, fmt.Errorf("qb4olap: loading steps: %w", err)
+	}
+	stepsByHier := make(map[rdf.Term][]HierarchyStep)
+	for i := range res.Rows {
+		h := res.Binding(i, "h")
+		stepsByHier[h] = append(stepsByHier[h], HierarchyStep{
+			IRI:         res.Binding(i, "step"),
+			Child:       res.Binding(i, "child"),
+			Parent:      res.Binding(i, "parent"),
+			Cardinality: CardinalityFromTerm(res.Binding(i, "card")),
+			Rollup:      res.Binding(i, "rollup"),
+		})
+	}
+
+	// Level attributes.
+	res, err = c.Select(`
+PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+SELECT ?level ?attr WHERE { ?level qb4o:hasAttribute ?attr } ORDER BY ?level ?attr`)
+	if err != nil {
+		return nil, fmt.Errorf("qb4olap: loading attributes: %w", err)
+	}
+	for i := range res.Rows {
+		lvl := s.Level(res.Binding(i, "level"))
+		attr := res.Binding(i, "attr")
+		lvl.Attributes = append(lvl.Attributes, LevelAttribute{IRI: attr, Property: attr})
+	}
+
+	// Assemble dimensions: group hierarchies by dimension IRI and pick
+	// the base level as the hierarchy level that is a DSD component.
+	isBase := make(map[rdf.Term]bool, len(baseLevels))
+	for _, l := range baseLevels {
+		isBase[l] = true
+	}
+	dims := make(map[rdf.Term]*Dimension)
+	var dimOrder []rdf.Term
+	for _, k := range hkeys {
+		d, ok := dims[k.dim]
+		if !ok {
+			d = &Dimension{IRI: k.dim}
+			dims[k.dim] = d
+			dimOrder = append(dimOrder, k.dim)
+		}
+		h := &Hierarchy{IRI: k.h, Levels: hierLevels[k], Steps: stepsByHier[k.h]}
+		d.Hierarchies = append(d.Hierarchies, h)
+		for _, l := range h.Levels {
+			s.Level(l)
+			if isBase[l] && d.BaseLevel.IsZero() {
+				d.BaseLevel = l
+			}
+		}
+	}
+	sort.Slice(dimOrder, func(i, j int) bool { return dimOrder[i].Compare(dimOrder[j]) < 0 })
+	for _, iri := range dimOrder {
+		s.Dimensions = append(s.Dimensions, dims[iri])
+	}
+	if len(s.Dimensions) == 0 {
+		return nil, fmt.Errorf("qb4olap: no dimensions found for cube %s", dsd.Value)
+	}
+	return s, nil
+}
+
+// SchemaTriples serializes the schema to RDF triples following the
+// structure shown in the paper's Section II examples.
+func (s *CubeSchema) SchemaTriples() []rdf.Triple {
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(s.DSD, vocab.RDFType, vocab.QBDataStructureDefinition))
+	if !s.DataSet.IsZero() {
+		g.Add(rdf.NewTriple(s.DataSet, vocab.RDFType, vocab.QBDataSet))
+		g.Add(rdf.NewTriple(s.DataSet, vocab.QBStructure, s.DSD))
+	}
+
+	compSeq := 0
+	component := func() rdf.Term {
+		compSeq++
+		return rdf.NewBlank(fmt.Sprintf("comp%d", compSeq))
+	}
+
+	// Level components with fact cardinalities.
+	for _, d := range s.Dimensions {
+		c := component()
+		g.Add(rdf.NewTriple(s.DSD, vocab.QBComponent, c))
+		g.Add(rdf.NewTriple(c, vocab.QB4OLevel, d.BaseLevel))
+		card, ok := s.Cardinalities[d.BaseLevel]
+		if !ok {
+			card = ManyToOne
+		}
+		g.Add(rdf.NewTriple(c, vocab.QB4OCardinality, card.Term()))
+	}
+	// Measure components with aggregate functions.
+	for _, m := range s.Measures {
+		c := component()
+		g.Add(rdf.NewTriple(s.DSD, vocab.QBComponent, c))
+		g.Add(rdf.NewTriple(c, vocab.QBMeasure, m.Property))
+		g.Add(rdf.NewTriple(c, vocab.QB4OAggregateFunctionP, m.Agg.Term()))
+	}
+
+	// Dimensions, hierarchies, levels, steps.
+	for _, d := range s.Dimensions {
+		g.Add(rdf.NewTriple(d.IRI, vocab.RDFType, vocab.QBDimensionProperty))
+		for _, h := range d.Hierarchies {
+			g.Add(rdf.NewTriple(d.IRI, vocab.QB4OHasHierarchy, h.IRI))
+			g.Add(rdf.NewTriple(h.IRI, vocab.RDFType, vocab.QB4OHierarchyClass))
+			g.Add(rdf.NewTriple(h.IRI, vocab.QB4OInDimension, d.IRI))
+			for _, l := range h.Levels {
+				g.Add(rdf.NewTriple(h.IRI, vocab.QB4OHasLevel, l))
+			}
+			for _, st := range h.Steps {
+				g.Add(rdf.NewTriple(st.IRI, vocab.RDFType, vocab.QB4OHierarchyStep))
+				g.Add(rdf.NewTriple(st.IRI, vocab.QB4OInHierarchy, h.IRI))
+				g.Add(rdf.NewTriple(st.IRI, vocab.QB4OChildLevel, st.Child))
+				g.Add(rdf.NewTriple(st.IRI, vocab.QB4OParentLevel, st.Parent))
+				g.Add(rdf.NewTriple(st.IRI, vocab.QB4OPCCardinality, st.Cardinality.Term()))
+				if !st.Rollup.IsZero() {
+					g.Add(rdf.NewTriple(st.IRI, vocab.QB4ORollup, st.Rollup))
+				}
+			}
+		}
+	}
+	// Levels and attributes.
+	levelIRIs := make([]rdf.Term, 0, len(s.Levels))
+	for iri := range s.Levels {
+		levelIRIs = append(levelIRIs, iri)
+	}
+	sort.Slice(levelIRIs, func(i, j int) bool { return levelIRIs[i].Compare(levelIRIs[j]) < 0 })
+	for _, iri := range levelIRIs {
+		l := s.Levels[iri]
+		g.Add(rdf.NewTriple(l.IRI, vocab.RDFType, vocab.QB4OLevelProperty))
+		for _, a := range l.Attributes {
+			g.Add(rdf.NewTriple(l.IRI, vocab.QB4OHasAttribute, a.IRI))
+			g.Add(rdf.NewTriple(a.IRI, vocab.RDFType, vocab.QB4OLevelAttribute))
+		}
+	}
+	return g.Triples()
+}

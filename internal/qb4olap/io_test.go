@@ -1,0 +1,98 @@
+package qb4olap
+
+import (
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// TestSchemaTriplesLoadRoundTrip serializes the hand-built schema,
+// loads the triples into a store, and reads the schema back through
+// LoadCubeSchema.
+func TestSchemaTriplesLoadRoundTrip(t *testing.T) {
+	s := buildSchema()
+	st := store.New()
+	st.InsertTriples(rdf.Term{}, s.SchemaTriples())
+	c := endpoint.NewLocal(st)
+
+	cubes, err := ListCubes(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubes) != 1 || cubes[0] != s.DSD {
+		t.Fatalf("cubes = %v", cubes)
+	}
+
+	loaded, err := LoadCubeSchema(c, s.DSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DataSet != s.DataSet {
+		t.Errorf("dataset = %v", loaded.DataSet)
+	}
+	if len(loaded.Dimensions) != len(s.Dimensions) {
+		t.Fatalf("dimensions = %d, want %d", len(loaded.Dimensions), len(s.Dimensions))
+	}
+	geo, ok := loaded.Dimension(iri("geoDim"))
+	if !ok {
+		t.Fatal("geoDim lost")
+	}
+	if geo.BaseLevel != iri("city") {
+		t.Errorf("base level = %v", geo.BaseLevel)
+	}
+	path, ok := geo.PathToLevel(iri("continent"))
+	if !ok || len(path) != 2 {
+		t.Fatalf("path = %v %v", path, ok)
+	}
+	if path[0].Cardinality != ManyToOne {
+		t.Errorf("cardinality lost: %v", path[0].Cardinality)
+	}
+	if path[0].Rollup != iri("inCountry") {
+		t.Errorf("rollup lost: %v", path[0].Rollup)
+	}
+	// Attributes round-trip.
+	country := loaded.Level(iri("country"))
+	if len(country.Attributes) != 1 || country.Attributes[0].IRI != iri("countryName") {
+		t.Errorf("attributes = %v", country.Attributes)
+	}
+	// Measures round-trip.
+	if m, ok := loaded.Measure(iri("amount")); !ok || m.Agg != Sum {
+		t.Errorf("measure = %v %v", m, ok)
+	}
+	// Fact cardinalities round-trip.
+	if loaded.Cardinalities[iri("city")] != ManyToOne {
+		t.Errorf("fact cardinality = %v", loaded.Cardinalities[iri("city")])
+	}
+	if probs := loaded.Validate(); len(probs) != 0 {
+		t.Errorf("round-tripped schema invalid: %v", probs)
+	}
+}
+
+func TestLoadCubeSchemaMissingCube(t *testing.T) {
+	c := endpoint.NewLocal(store.New())
+	if _, err := LoadCubeSchema(c, iri("nothere")); err == nil {
+		t.Fatal("loading a missing cube must fail")
+	}
+}
+
+func TestListCubesIgnoresPlainQB(t *testing.T) {
+	// A plain QB DSD (qb:dimension components, no qb4o:level) is not a
+	// QB4OLAP cube.
+	st := store.New()
+	dsd := iri("plainDSD")
+	comp := rdf.NewBlank("c1")
+	st.InsertTriples(rdf.Term{}, []rdf.Triple{
+		rdf.NewTriple(dsd, rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), rdf.NewIRI("http://purl.org/linked-data/cube#DataStructureDefinition")),
+		rdf.NewTriple(dsd, rdf.NewIRI("http://purl.org/linked-data/cube#component"), comp),
+		rdf.NewTriple(comp, rdf.NewIRI("http://purl.org/linked-data/cube#dimension"), iri("d")),
+	})
+	cubes, err := ListCubes(endpoint.NewLocal(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubes) != 0 {
+		t.Fatalf("plain QB DSD listed as QB4OLAP cube: %v", cubes)
+	}
+}

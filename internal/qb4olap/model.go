@@ -1,0 +1,405 @@
+// Package qb4olap models the QB4OLAP vocabulary: multidimensional cube
+// schemas with dimensions, hierarchies, levels, hierarchy steps, level
+// attributes, and aggregate functions, plus level members and their
+// roll-up relations. It can read a schema from a SPARQL endpoint and
+// serialize a schema back to RDF triples.
+package qb4olap
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+// Cardinality of a fact-level or child-parent relationship.
+type Cardinality int
+
+// Cardinalities.
+const (
+	ManyToOne Cardinality = iota
+	OneToOne
+	OneToMany
+	ManyToMany
+)
+
+// Term returns the vocabulary IRI for the cardinality.
+func (c Cardinality) Term() rdf.Term {
+	switch c {
+	case OneToOne:
+		return vocab.QB4OOneToOne
+	case OneToMany:
+		return vocab.QB4OOneToMany
+	case ManyToMany:
+		return vocab.QB4OManyToMany
+	default:
+		return vocab.QB4OManyToOne
+	}
+}
+
+// CardinalityFromTerm parses a cardinality IRI; unknown terms default
+// to ManyToOne, the usual roll-up cardinality.
+func CardinalityFromTerm(t rdf.Term) Cardinality {
+	switch t {
+	case vocab.QB4OOneToOne:
+		return OneToOne
+	case vocab.QB4OOneToMany:
+		return OneToMany
+	case vocab.QB4OManyToMany:
+		return ManyToMany
+	default:
+		return ManyToOne
+	}
+}
+
+func (c Cardinality) String() string {
+	switch c {
+	case OneToOne:
+		return "OneToOne"
+	case OneToMany:
+		return "OneToMany"
+	case ManyToMany:
+		return "ManyToMany"
+	default:
+		return "ManyToOne"
+	}
+}
+
+// AggFunc is an aggregate function attached to a measure.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Sum AggFunc = iota
+	Avg
+	Count
+	Min
+	Max
+)
+
+// Term returns the vocabulary IRI for the aggregate function.
+func (f AggFunc) Term() rdf.Term {
+	switch f {
+	case Avg:
+		return vocab.QB4OAvg
+	case Count:
+		return vocab.QB4OCount
+	case Min:
+		return vocab.QB4OMin
+	case Max:
+		return vocab.QB4OMax
+	default:
+		return vocab.QB4OSum
+	}
+}
+
+// SPARQL returns the SPARQL aggregate name for the function.
+func (f AggFunc) SPARQL() string {
+	switch f {
+	case Avg:
+		return "AVG"
+	case Count:
+		return "COUNT"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return "SUM"
+	}
+}
+
+// AggFuncFromTerm parses an aggregate function IRI (default Sum).
+func AggFuncFromTerm(t rdf.Term) AggFunc {
+	switch t {
+	case vocab.QB4OAvg:
+		return Avg
+	case vocab.QB4OCount:
+		return Count
+	case vocab.QB4OMin:
+		return Min
+	case vocab.QB4OMax:
+		return Max
+	default:
+		return Sum
+	}
+}
+
+func (f AggFunc) String() string {
+	switch f {
+	case Avg:
+		return "avg"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return "sum"
+	}
+}
+
+// LevelAttribute is a descriptive attribute of a level (e.g. a country
+// name on the country level).
+type LevelAttribute struct {
+	// IRI identifies the attribute.
+	IRI rdf.Term
+	// Property is the data property holding the attribute value on the
+	// level members (often the same as IRI).
+	Property rdf.Term
+}
+
+// Level is a dimension level.
+type Level struct {
+	IRI        rdf.Term
+	Attributes []LevelAttribute
+}
+
+// HierarchyStep is a roll-up relationship between two levels.
+type HierarchyStep struct {
+	IRI         rdf.Term
+	Child       rdf.Term // child (finer) level IRI
+	Parent      rdf.Term // parent (coarser) level IRI
+	Cardinality Cardinality
+	// Rollup is the instance property that links a child member to its
+	// parent member (the functional dependency discovered during
+	// enrichment).
+	Rollup rdf.Term
+}
+
+// Hierarchy groups levels of a dimension.
+type Hierarchy struct {
+	IRI    rdf.Term
+	Levels []rdf.Term
+	Steps  []HierarchyStep
+}
+
+// StepFromChild returns the step whose child is the given level.
+func (h *Hierarchy) StepFromChild(level rdf.Term) (HierarchyStep, bool) {
+	for _, s := range h.Steps {
+		if s.Child == level {
+			return s, true
+		}
+	}
+	return HierarchyStep{}, false
+}
+
+// HasLevel reports whether the hierarchy contains the level.
+func (h *Hierarchy) HasLevel(level rdf.Term) bool {
+	for _, l := range h.Levels {
+		if l == level {
+			return true
+		}
+	}
+	return false
+}
+
+// Dimension is a cube dimension with its hierarchies.
+type Dimension struct {
+	IRI rdf.Term
+	// BaseLevel is the finest level, the one linked to the DSD.
+	BaseLevel   rdf.Term
+	Hierarchies []*Hierarchy
+}
+
+// PathToLevel returns the chain of hierarchy steps leading from the
+// base level up to target, searching all hierarchies of the dimension.
+func (d *Dimension) PathToLevel(target rdf.Term) ([]HierarchyStep, bool) {
+	if target == d.BaseLevel {
+		return nil, true
+	}
+	for _, h := range d.Hierarchies {
+		if !h.HasLevel(target) {
+			continue
+		}
+		var path []HierarchyStep
+		cur := d.BaseLevel
+		for cur != target {
+			step, ok := h.StepFromChild(cur)
+			if !ok {
+				path = nil
+				break
+			}
+			path = append(path, step)
+			cur = step.Parent
+			if len(path) > len(h.Levels)+1 {
+				path = nil
+				break // cycle guard
+			}
+		}
+		if path != nil && cur == target {
+			return path, true
+		}
+	}
+	return nil, false
+}
+
+// Levels returns the distinct level IRIs of the dimension, base level
+// first, then in hierarchy order.
+func (d *Dimension) LevelIRIs() []rdf.Term {
+	seen := map[rdf.Term]bool{d.BaseLevel: true}
+	out := []rdf.Term{d.BaseLevel}
+	for _, h := range d.Hierarchies {
+		for _, l := range h.Levels {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// MeasureSpec attaches an aggregate function to a measure property.
+type MeasureSpec struct {
+	Property rdf.Term
+	Agg      AggFunc
+}
+
+// CubeSchema is a full QB4OLAP cube schema.
+type CubeSchema struct {
+	// DSD is the QB4OLAP data structure definition IRI.
+	DSD rdf.Term
+	// DataSet is the qb:DataSet holding the observations.
+	DataSet rdf.Term
+	// SourceDSD is the original QB DSD this schema was derived from
+	// (zero when authored directly).
+	SourceDSD rdf.Term
+	// Namespace is the IRI prefix for generated schema elements.
+	Namespace string
+
+	Dimensions []*Dimension
+	Measures   []MeasureSpec
+	// Levels holds per-level metadata (attributes).
+	Levels map[rdf.Term]*Level
+	// Cardinalities maps each base level to its fact cardinality.
+	Cardinalities map[rdf.Term]Cardinality
+}
+
+// NewCubeSchema returns an empty schema for the given DSD/dataset.
+func NewCubeSchema(dsd, dataset rdf.Term, namespace string) *CubeSchema {
+	return &CubeSchema{
+		DSD:           dsd,
+		DataSet:       dataset,
+		Namespace:     namespace,
+		Levels:        make(map[rdf.Term]*Level),
+		Cardinalities: make(map[rdf.Term]Cardinality),
+	}
+}
+
+// Dimension returns the dimension with the given IRI.
+func (s *CubeSchema) Dimension(iri rdf.Term) (*Dimension, bool) {
+	for _, d := range s.Dimensions {
+		if d.IRI == iri {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// DimensionOfLevel returns the dimension containing the level.
+func (s *CubeSchema) DimensionOfLevel(level rdf.Term) (*Dimension, bool) {
+	for _, d := range s.Dimensions {
+		for _, l := range d.LevelIRIs() {
+			if l == level {
+				return d, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Level returns the level metadata, creating an entry if absent.
+func (s *CubeSchema) Level(iri rdf.Term) *Level {
+	if l, ok := s.Levels[iri]; ok {
+		return l
+	}
+	l := &Level{IRI: iri}
+	s.Levels[iri] = l
+	return l
+}
+
+// Measure returns the measure spec for a property.
+func (s *CubeSchema) Measure(prop rdf.Term) (MeasureSpec, bool) {
+	for _, m := range s.Measures {
+		if m.Property == prop {
+			return m, true
+		}
+	}
+	return MeasureSpec{}, false
+}
+
+// Problem is a schema well-formedness violation.
+type Problem struct {
+	Code    string
+	Message string
+}
+
+func (p Problem) String() string { return p.Code + ": " + p.Message }
+
+// Validate checks QB4OLAP well-formedness: every dimension has a base
+// level and at least one hierarchy containing it; every hierarchy step
+// connects levels of its hierarchy; measures carry aggregate functions
+// (always true by construction, kept for symmetry); level paths are
+// acyclic.
+func (s *CubeSchema) Validate() []Problem {
+	var out []Problem
+	if len(s.Dimensions) == 0 {
+		out = append(out, Problem{"qb4o-no-dimensions", fmt.Sprintf("cube %s has no dimensions", s.DSD.Value)})
+	}
+	if len(s.Measures) == 0 {
+		out = append(out, Problem{"qb4o-no-measures", fmt.Sprintf("cube %s has no measures", s.DSD.Value)})
+	}
+	for _, d := range s.Dimensions {
+		if d.BaseLevel.IsZero() {
+			out = append(out, Problem{"qb4o-no-base-level", fmt.Sprintf("dimension %s has no base level", d.IRI.Value)})
+			continue
+		}
+		if len(d.Hierarchies) == 0 {
+			out = append(out, Problem{"qb4o-no-hierarchy", fmt.Sprintf("dimension %s has no hierarchy", d.IRI.Value)})
+		}
+		for _, h := range d.Hierarchies {
+			if !h.HasLevel(d.BaseLevel) {
+				out = append(out, Problem{"qb4o-base-not-in-hierarchy", fmt.Sprintf("hierarchy %s misses base level %s", h.IRI.Value, d.BaseLevel.Value)})
+			}
+			for _, st := range h.Steps {
+				if !h.HasLevel(st.Child) || !h.HasLevel(st.Parent) {
+					out = append(out, Problem{"qb4o-step-level-missing", fmt.Sprintf("step %s links levels outside hierarchy %s", st.IRI.Value, h.IRI.Value)})
+				}
+				if st.Child == st.Parent {
+					out = append(out, Problem{"qb4o-step-self-loop", fmt.Sprintf("step %s rolls a level up to itself", st.IRI.Value)})
+				}
+				if st.Rollup.IsZero() {
+					out = append(out, Problem{"qb4o-step-no-rollup", fmt.Sprintf("step %s has no rollup property", st.IRI.Value)})
+				}
+			}
+			if cycled(h) {
+				out = append(out, Problem{"qb4o-hierarchy-cycle", fmt.Sprintf("hierarchy %s contains a roll-up cycle", h.IRI.Value)})
+			}
+		}
+	}
+	return out
+}
+
+// cycled detects cycles in the child→parent step graph.
+func cycled(h *Hierarchy) bool {
+	next := make(map[rdf.Term]rdf.Term, len(h.Steps))
+	for _, s := range h.Steps {
+		next[s.Child] = s.Parent
+	}
+	for start := range next {
+		cur := start
+		for i := 0; i <= len(next); i++ {
+			p, ok := next[cur]
+			if !ok {
+				break
+			}
+			if p == start {
+				return true
+			}
+			cur = p
+		}
+	}
+	return false
+}

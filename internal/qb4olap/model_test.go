@@ -1,0 +1,214 @@
+package qb4olap
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/vocab"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+
+func TestCardinalityRoundTrip(t *testing.T) {
+	for _, c := range []Cardinality{OneToOne, OneToMany, ManyToOne, ManyToMany} {
+		if got := CardinalityFromTerm(c.Term()); got != c {
+			t.Errorf("cardinality %v round-tripped to %v", c, got)
+		}
+		if c.String() == "" {
+			t.Errorf("cardinality %d has no name", c)
+		}
+	}
+	if CardinalityFromTerm(iri("junk")) != ManyToOne {
+		t.Error("unknown cardinality must default to ManyToOne")
+	}
+}
+
+func TestAggFuncRoundTrip(t *testing.T) {
+	names := map[AggFunc]string{Sum: "SUM", Avg: "AVG", Count: "COUNT", Min: "MIN", Max: "MAX"}
+	for f, sparqlName := range names {
+		if got := AggFuncFromTerm(f.Term()); got != f {
+			t.Errorf("agg %v round-tripped to %v", f, got)
+		}
+		if f.SPARQL() != sparqlName {
+			t.Errorf("agg %v SPARQL = %s, want %s", f, f.SPARQL(), sparqlName)
+		}
+	}
+	if AggFuncFromTerm(iri("junk")) != Sum {
+		t.Error("unknown aggregate must default to Sum")
+	}
+}
+
+// buildSchema constructs a two-dimension schema by hand.
+func buildSchema() *CubeSchema {
+	s := NewCubeSchema(iri("dsd"), iri("ds"), "http://x/")
+	geo := &Dimension{
+		IRI:       iri("geoDim"),
+		BaseLevel: iri("city"),
+		Hierarchies: []*Hierarchy{{
+			IRI:    iri("geoHier"),
+			Levels: []rdf.Term{iri("city"), iri("country"), iri("continent")},
+			Steps: []HierarchyStep{
+				{IRI: iri("s1"), Child: iri("city"), Parent: iri("country"), Cardinality: ManyToOne, Rollup: iri("inCountry")},
+				{IRI: iri("s2"), Child: iri("country"), Parent: iri("continent"), Cardinality: ManyToOne, Rollup: iri("inContinent")},
+			},
+		}},
+	}
+	time := &Dimension{
+		IRI:       iri("timeDim"),
+		BaseLevel: iri("month"),
+		Hierarchies: []*Hierarchy{{
+			IRI:    iri("timeHier"),
+			Levels: []rdf.Term{iri("month")},
+		}},
+	}
+	s.Dimensions = []*Dimension{geo, time}
+	s.Measures = []MeasureSpec{{Property: iri("amount"), Agg: Sum}}
+	s.Cardinalities[iri("city")] = ManyToOne
+	s.Cardinalities[iri("month")] = ManyToOne
+	for _, l := range []string{"city", "country", "continent", "month"} {
+		s.Level(iri(l))
+	}
+	s.Level(iri("country")).Attributes = []LevelAttribute{{IRI: iri("countryName"), Property: iri("countryName")}}
+	return s
+}
+
+func TestPathToLevel(t *testing.T) {
+	s := buildSchema()
+	d, _ := s.Dimension(iri("geoDim"))
+
+	path, ok := d.PathToLevel(iri("continent"))
+	if !ok || len(path) != 2 {
+		t.Fatalf("path to continent: %v %v", path, ok)
+	}
+	if path[0].Rollup != iri("inCountry") || path[1].Rollup != iri("inContinent") {
+		t.Fatalf("wrong rollups: %v", path)
+	}
+	path, ok = d.PathToLevel(iri("city"))
+	if !ok || len(path) != 0 {
+		t.Fatalf("path to base: %v %v", path, ok)
+	}
+	if _, ok := d.PathToLevel(iri("galaxy")); ok {
+		t.Fatal("path to unknown level must fail")
+	}
+}
+
+func TestLevelIRIsAndLookups(t *testing.T) {
+	s := buildSchema()
+	d, _ := s.Dimension(iri("geoDim"))
+	levels := d.LevelIRIs()
+	if len(levels) != 3 || levels[0] != iri("city") {
+		t.Fatalf("LevelIRIs = %v", levels)
+	}
+	if _, ok := s.Dimension(iri("nope")); ok {
+		t.Fatal("unknown dimension resolved")
+	}
+	dim, ok := s.DimensionOfLevel(iri("continent"))
+	if !ok || dim.IRI != iri("geoDim") {
+		t.Fatalf("DimensionOfLevel = %v %v", dim, ok)
+	}
+	if _, ok := s.DimensionOfLevel(iri("galaxy")); ok {
+		t.Fatal("unknown level resolved")
+	}
+	if m, ok := s.Measure(iri("amount")); !ok || m.Agg != Sum {
+		t.Fatal("measure lookup failed")
+	}
+	if _, ok := s.Measure(iri("nope")); ok {
+		t.Fatal("unknown measure resolved")
+	}
+}
+
+func TestValidateWellFormed(t *testing.T) {
+	s := buildSchema()
+	if probs := s.Validate(); len(probs) != 0 {
+		t.Fatalf("well-formed schema reported: %v", probs)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	check := func(name string, mutate func(*CubeSchema), wantCode string) {
+		t.Run(name, func(t *testing.T) {
+			s := buildSchema()
+			mutate(s)
+			probs := s.Validate()
+			for _, p := range probs {
+				if p.Code == wantCode {
+					return
+				}
+			}
+			t.Errorf("missing problem %s in %v", wantCode, probs)
+		})
+	}
+	check("no-dimensions", func(s *CubeSchema) { s.Dimensions = nil }, "qb4o-no-dimensions")
+	check("no-measures", func(s *CubeSchema) { s.Measures = nil }, "qb4o-no-measures")
+	check("no-base", func(s *CubeSchema) { s.Dimensions[0].BaseLevel = rdf.Term{} }, "qb4o-no-base-level")
+	check("no-hierarchy", func(s *CubeSchema) { s.Dimensions[0].Hierarchies = nil }, "qb4o-no-hierarchy")
+	check("base-missing", func(s *CubeSchema) {
+		s.Dimensions[0].Hierarchies[0].Levels = s.Dimensions[0].Hierarchies[0].Levels[1:]
+	}, "qb4o-base-not-in-hierarchy")
+	check("step-outside", func(s *CubeSchema) {
+		s.Dimensions[0].Hierarchies[0].Steps[0].Parent = iri("mars")
+	}, "qb4o-step-level-missing")
+	check("self-loop", func(s *CubeSchema) {
+		s.Dimensions[0].Hierarchies[0].Steps[0].Parent = iri("city")
+	}, "qb4o-step-self-loop")
+	check("no-rollup", func(s *CubeSchema) {
+		s.Dimensions[0].Hierarchies[0].Steps[0].Rollup = rdf.Term{}
+	}, "qb4o-step-no-rollup")
+	check("cycle", func(s *CubeSchema) {
+		h := s.Dimensions[0].Hierarchies[0]
+		h.Steps = append(h.Steps, HierarchyStep{
+			IRI: iri("s3"), Child: iri("continent"), Parent: iri("city"),
+			Cardinality: ManyToOne, Rollup: iri("back"),
+		})
+	}, "qb4o-hierarchy-cycle")
+}
+
+func TestSchemaTriplesShape(t *testing.T) {
+	s := buildSchema()
+	ts := s.SchemaTriples()
+	g := rdf.NewGraph()
+	g.AddAll(ts)
+
+	// DSD typed, dataset linked.
+	if g.Object(iri("dsd"), vocab.RDFType) != vocab.QBDataStructureDefinition {
+		t.Error("DSD type missing")
+	}
+	if g.Object(iri("ds"), vocab.QBStructure) != iri("dsd") {
+		t.Error("dataset structure link missing")
+	}
+	// Hierarchy steps serialized with rollup property.
+	if g.Object(iri("s1"), vocab.QB4ORollup) != iri("inCountry") {
+		t.Error("rollup property missing from step")
+	}
+	if g.Object(iri("s1"), vocab.QB4OPCCardinality) != vocab.QB4OManyToOne {
+		t.Error("step cardinality missing")
+	}
+	// Level attribute.
+	if g.Object(iri("country"), vocab.QB4OHasAttribute) != iri("countryName") {
+		t.Error("level attribute missing")
+	}
+	// Measure with aggregate function in a component blank node.
+	found := false
+	for _, tr := range g.Match(rdf.Term{}, vocab.QBMeasure, iri("amount")) {
+		if g.Object(tr.S, vocab.QB4OAggregateFunctionP) == vocab.QB4OSum {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("measure aggregate function missing")
+	}
+}
+
+func TestStepFromChildAndHasLevel(t *testing.T) {
+	s := buildSchema()
+	h := s.Dimensions[0].Hierarchies[0]
+	if st, ok := h.StepFromChild(iri("city")); !ok || st.Parent != iri("country") {
+		t.Fatal("StepFromChild failed")
+	}
+	if _, ok := h.StepFromChild(iri("continent")); ok {
+		t.Fatal("top level has no outgoing step")
+	}
+	if !h.HasLevel(iri("country")) || h.HasLevel(iri("mars")) {
+		t.Fatal("HasLevel wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package ql
+
+import (
+	"fmt"
+
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+// DimState is the final granularity of one dimension in the result
+// cube.
+type DimState struct {
+	Dimension *qb4olap.Dimension
+	// Level is the granularity the dimension ends at.
+	Level rdf.Term
+	// Sliced reports whether the dimension was sliced out.
+	Sliced bool
+}
+
+// Analysis is the result of semantic analysis: the final cube state a
+// well-formed QL program denotes, plus the dice conditions.
+type Analysis struct {
+	Schema  *qb4olap.CubeSchema
+	Dataset rdf.Term
+	// Dims lists the dimension IRIs in schema order.
+	Dims []rdf.Term
+	// States maps dimension IRI to its final state.
+	States map[rdf.Term]*DimState
+	// Dices are the DICE conditions in program order.
+	Dices []Condition
+	// Program is the analyzed program.
+	Program *Program
+}
+
+// VisibleDims returns the non-sliced dimensions in order.
+func (a *Analysis) VisibleDims() []*DimState {
+	var out []*DimState
+	for _, d := range a.Dims {
+		if st := a.States[d]; !st.Sliced {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Analyze checks a QL program against a QB4OLAP schema and computes
+// the final cube state. It enforces the paper's normal form: dicing
+// must come after all other operations.
+func Analyze(prog *Program, schema *qb4olap.CubeSchema) (*Analysis, error) {
+	a := &Analysis{
+		Schema:  schema,
+		States:  make(map[rdf.Term]*DimState),
+		Program: prog,
+	}
+	for _, d := range schema.Dimensions {
+		a.Dims = append(a.Dims, d.IRI)
+		a.States[d.IRI] = &DimState{Dimension: d, Level: d.BaseLevel}
+	}
+
+	seenDice := false
+	prevVar := ""
+	for i, st := range prog.Statements {
+		// Chain check: the first statement must start from the dataset;
+		// later ones must consume the previous result.
+		if i == 0 {
+			if st.Input != "" {
+				return nil, fmt.Errorf("ql: first operation must take the data set, not %s", st.Input)
+			}
+			if st.Dataset.IsZero() {
+				return nil, fmt.Errorf("ql: first operation is missing the data set IRI")
+			}
+			if !schema.DataSet.IsZero() && st.Dataset != schema.DataSet {
+				return nil, fmt.Errorf("ql: data set %s does not match the cube's data set %s", st.Dataset.Value, schema.DataSet.Value)
+			}
+			a.Dataset = st.Dataset
+		} else {
+			if st.Input == "" {
+				return nil, fmt.Errorf("ql: %s restarts from a data set; only the first operation may", st.Target)
+			}
+			if st.Input != prevVar {
+				return nil, fmt.Errorf("ql: %s consumes %s, but the previous result is %s", st.Target, st.Input, prevVar)
+			}
+		}
+		prevVar = st.Target
+
+		if st.Op == OpDice {
+			seenDice = true
+			if err := a.checkCondition(st.Condition); err != nil {
+				return nil, err
+			}
+			a.Dices = append(a.Dices, st.Condition)
+			continue
+		}
+		if seenDice {
+			return nil, fmt.Errorf("ql: %s after DICE — programs must have the form (ROLLUP|SLICE|DRILLDOWN)* (DICE)*", st.Op)
+		}
+
+		ds, ok := a.States[st.Dimension]
+		if !ok {
+			return nil, fmt.Errorf("ql: unknown dimension %s", st.Dimension.Value)
+		}
+		if ds.Sliced {
+			return nil, fmt.Errorf("ql: dimension %s was sliced out earlier", st.Dimension.Value)
+		}
+		switch st.Op {
+		case OpSlice:
+			ds.Sliced = true
+		case OpRollup, OpDrilldown:
+			dim := ds.Dimension
+			targetDepth, ok := levelDepth(dim, st.Level)
+			if !ok {
+				return nil, fmt.Errorf("ql: level %s is not in dimension %s", st.Level.Value, st.Dimension.Value)
+			}
+			curDepth, _ := levelDepth(dim, ds.Level)
+			if st.Op == OpRollup && targetDepth < curDepth {
+				return nil, fmt.Errorf("ql: ROLLUP to %s goes below the current level %s", st.Level.Value, ds.Level.Value)
+			}
+			if st.Op == OpDrilldown && targetDepth > curDepth {
+				return nil, fmt.Errorf("ql: DRILLDOWN to %s goes above the current level %s", st.Level.Value, ds.Level.Value)
+			}
+			ds.Level = st.Level
+		}
+	}
+	return a, nil
+}
+
+// levelDepth returns how many steps above the base level a level sits.
+func levelDepth(d *qb4olap.Dimension, level rdf.Term) (int, bool) {
+	path, ok := d.PathToLevel(level)
+	if !ok {
+		return 0, false
+	}
+	return len(path), true
+}
+
+// checkCondition validates a DICE condition against the final states.
+func (a *Analysis) checkCondition(c Condition) error {
+	switch x := c.(type) {
+	case AttrCondition:
+		ds, ok := a.States[x.Dimension]
+		if !ok {
+			return fmt.Errorf("ql: DICE references unknown dimension %s", x.Dimension.Value)
+		}
+		if ds.Sliced {
+			return fmt.Errorf("ql: DICE references sliced dimension %s", x.Dimension.Value)
+		}
+		if ds.Level != x.Level {
+			return fmt.Errorf("ql: DICE references level %s, but dimension %s is at level %s",
+				x.Level.Value, x.Dimension.Value, ds.Level.Value)
+		}
+		if !a.levelHasAttribute(x.Level, x.Attribute) {
+			return fmt.Errorf("ql: level %s has no attribute %s", x.Level.Value, x.Attribute.Value)
+		}
+		return nil
+	case MemberCondition:
+		ds, ok := a.States[x.Dimension]
+		if !ok {
+			return fmt.Errorf("ql: DICE references unknown dimension %s", x.Dimension.Value)
+		}
+		if ds.Sliced {
+			return fmt.Errorf("ql: DICE references sliced dimension %s", x.Dimension.Value)
+		}
+		if ds.Level != x.Level {
+			return fmt.Errorf("ql: DICE references level %s, but dimension %s is at level %s",
+				x.Level.Value, x.Dimension.Value, ds.Level.Value)
+		}
+		return nil
+	case MeasureCondition:
+		if _, ok := a.Schema.Measure(x.Measure); !ok {
+			return fmt.Errorf("ql: DICE references unknown measure %s", x.Measure.Value)
+		}
+		return nil
+	case BoolCondition:
+		if err := a.checkCondition(x.L); err != nil {
+			return err
+		}
+		return a.checkCondition(x.R)
+	case NotCondition:
+		return a.checkCondition(x.X)
+	default:
+		return fmt.Errorf("ql: unknown condition type %T", c)
+	}
+}
+
+func (a *Analysis) levelHasAttribute(level, attr rdf.Term) bool {
+	l, ok := a.Schema.Levels[level]
+	if !ok {
+		return false
+	}
+	for _, la := range l.Attributes {
+		if la.IRI == attr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package ql
+
+import (
+	"fmt"
+
+	"repro/internal/endpoint"
+	"repro/internal/olap"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+// Variant selects which generated SPARQL query to execute.
+type Variant int
+
+// Query variants.
+const (
+	// Direct runs the flat single-SELECT translation.
+	Direct Variant = iota
+	// Alternative runs the subquery translation.
+	Alternative
+)
+
+func (v Variant) String() string {
+	if v == Alternative {
+		return "alternative"
+	}
+	return "direct"
+}
+
+// Execute runs one of the translated queries on the endpoint and
+// materializes the result cube on the fly (the SPARQL Execution phase).
+func Execute(c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, error) {
+	query := t.Direct
+	if v == Alternative {
+		query = t.Alternative
+	}
+	res, err := c.Select(query)
+	if err != nil {
+		return nil, fmt.Errorf("ql: executing %s query: %w", v, err)
+	}
+
+	cube := &olap.Cube{}
+	for _, ds := range t.Analysis.VisibleDims() {
+		cube.Axes = append(cube.Axes, olap.Axis{Dimension: ds.Dimension.IRI, Level: ds.Level})
+	}
+	for _, m := range t.Analysis.Schema.Measures {
+		cube.Measures = append(cube.Measures, fmt.Sprintf("%s(%s)", m.Agg, localOf(m.Property)))
+	}
+	for i := range res.Rows {
+		cell := olap.Cell{
+			Coords: make([]rdf.Term, len(t.GroupVars)),
+			Labels: make([]string, len(t.GroupVars)),
+			Values: make([]rdf.Term, len(t.MeasureVars)),
+		}
+		for j, v := range t.GroupVars {
+			cell.Coords[j] = res.Binding(i, v)
+			cell.Labels[j] = res.Binding(i, t.LabelVars[j]).Value
+		}
+		for j, v := range t.MeasureVars {
+			cell.Values[j] = res.Binding(i, v)
+		}
+		cube.Cells = append(cube.Cells, cell)
+	}
+	cube.Sort()
+	return cube, nil
+}
+
+// Pipeline bundles the full Querying-module workflow of Figure 3:
+// parse → analyze → simplify → re-analyze → translate. Execute the
+// result with Execute, or inspect the intermediate artifacts.
+type Pipeline struct {
+	// Parsed is the program as written.
+	Parsed *Program
+	// Simplified is the program after the Query Simplification phase.
+	Simplified *Program
+	// Translation holds both SPARQL queries.
+	Translation *Translation
+}
+
+// Prepare runs parsing, analysis, simplification, and translation for a
+// QL source text against a cube schema.
+func Prepare(src string, schema *qb4olap.CubeSchema) (*Pipeline, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := Analyze(prog, schema)
+	if err != nil {
+		return nil, err
+	}
+	simplified := Simplify(analysis)
+	finalAnalysis, err := Analyze(simplified, schema)
+	if err != nil {
+		return nil, fmt.Errorf("ql: internal error — simplified program failed analysis: %w", err)
+	}
+	tr, err := Translate(finalAnalysis)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Parsed: prog, Simplified: simplified, Translation: tr}, nil
+}
+
+// Run is the one-call convenience: Prepare then Execute.
+func Run(c endpoint.SPARQLClient, schema *qb4olap.CubeSchema, src string, v Variant) (*olap.Cube, *Pipeline, error) {
+	p, err := Prepare(src, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	cube, err := Execute(c, p.Translation, v)
+	if err != nil {
+		return nil, p, err
+	}
+	return cube, p, nil
+}

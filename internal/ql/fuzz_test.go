@@ -1,0 +1,32 @@
+package ql
+
+import "testing"
+
+// FuzzParse checks the QL parser never panics and that accepted
+// programs render and re-parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`QUERY $C1 := SLICE (<http://ds>, <http://dim>);`,
+		`PREFIX s: <http://s#>
+QUERY
+$C1 := ROLLUP (s:ds, s:d, s:l);
+$C2 := DICE ($C1, (s:d|s:l|s:a = "x" AND s:m > 1.5) OR NOT s:m <= -3);`,
+		`QUERY $C1 := DRILLDOWN (<http://ds>, <http://d>, <http://l>)`,
+		`QUERY`,
+		`PREFIX broken`,
+		`QUERY $C1 := DICE (<http://ds>, <http://m> != <http://iri>);`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := prog.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("rendered program rejected: %v\ninput: %q\nrendered:\n%s", err, src, rendered)
+		}
+	})
+}

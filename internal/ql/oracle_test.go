@@ -1,0 +1,204 @@
+package ql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/eurostat"
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+// oracleCoordinate maps one generated observation to its member IRI at
+// the requested level of a dimension, using the generator's geography
+// tables — a computation entirely independent of the RDF machinery.
+func oracleCoordinate(o eurostat.Observation, d *qb4olap.Dimension, level rdf.Term) (rdf.Term, bool) {
+	switch d.BaseLevel {
+	case eurostat.PropCitizen:
+		switch {
+		case level == eurostat.PropCitizen:
+			return eurostat.CitizenIRI(o.Citizen), true
+		case level == eurostat.PropContinent:
+			c, _ := eurostat.CountryByCode(o.Citizen)
+			return eurostat.ContinentIRI(c.Continent), true
+		case strings.HasSuffix(level.Value, "citizenAll"):
+			return rdf.NewIRI("http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#member/citizenAll"), true
+		}
+	case eurostat.PropGeo:
+		switch {
+		case level == eurostat.PropGeo:
+			return eurostat.GeoIRI(o.Geo), true
+		case level == eurostat.PropContinent:
+			c, _ := eurostat.CountryByCode(o.Geo)
+			return eurostat.ContinentIRI(c.Continent), true
+		}
+	case eurostat.PropSex:
+		if level == eurostat.PropSex {
+			return eurostat.SexIRI(o.Sex), true
+		}
+	case eurostat.PropAge:
+		switch level {
+		case eurostat.PropAge:
+			return eurostat.AgeIRI(o.Age), true
+		case eurostat.PropAgeClass:
+			for _, g := range eurostat.AgeGroups {
+				if g.Code == o.Age {
+					return eurostat.AgeClassIRI(g.Class), true
+				}
+			}
+		}
+	case eurostat.PropAsylApp:
+		if level == eurostat.PropAsylApp {
+			return eurostat.AppTypeIRI(o.AppType), true
+		}
+	case eurostat.PropTime:
+		switch level {
+		case eurostat.PropTime:
+			return eurostat.MonthIRI(o.Year, o.Month), true
+		case eurostat.PropQuarter:
+			return eurostat.QuarterIRI(o.Year, (o.Month-1)/3+1), true
+		case eurostat.PropYear:
+			return eurostat.YearIRI(o.Year), true
+		}
+	}
+	return rdf.Term{}, false
+}
+
+// oracleCube computes the expected cube for a final analysis state by
+// aggregating the raw observations in Go, honouring member-equality
+// dices.
+func oracleCube(env *demo.Enriched, a *Analysis) (map[string]int64, error) {
+	out := make(map[string]int64)
+	visible := a.VisibleDims()
+	for _, o := range env.Data.Observations {
+		keep := true
+		for _, cond := range a.Dices {
+			mc, ok := cond.(MemberCondition)
+			if !ok {
+				return nil, fmt.Errorf("oracle only supports member dices, got %T", cond)
+			}
+			dim, ok := a.Schema.Dimension(mc.Dimension)
+			if !ok {
+				return nil, fmt.Errorf("oracle: unknown dimension %s", mc.Dimension.Value)
+			}
+			coord, ok := oracleCoordinate(o, dim, mc.Level)
+			if !ok {
+				return nil, fmt.Errorf("oracle cannot map dice level %s", mc.Level.Value)
+			}
+			match := coord == mc.Member
+			if mc.Op == CmpNe {
+				match = !match
+			}
+			if !match {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		var key strings.Builder
+		for _, ds := range visible {
+			coord, ok := oracleCoordinate(o, ds.Dimension, ds.Level)
+			if !ok {
+				return nil, fmt.Errorf("oracle cannot map level %s of %s", ds.Level.Value, ds.Dimension.IRI.Value)
+			}
+			key.WriteString(coord.Value)
+			key.WriteByte('|')
+		}
+		out[key.String()] += o.Value
+	}
+	return out, nil
+}
+
+// appendRandomMemberDice extends a random program with a member dice on
+// one visible dimension, using the coordinate of a random observation
+// so the dice always has a well-defined target.
+func appendRandomMemberDice(rng *rand.Rand, env *demo.Enriched, prog *Program, a *Analysis) *Program {
+	visible := a.VisibleDims()
+	if len(visible) == 0 {
+		return prog
+	}
+	ds := visible[rng.Intn(len(visible))]
+	o := env.Data.Observations[rng.Intn(len(env.Data.Observations))]
+	member, ok := oracleCoordinate(o, ds.Dimension, ds.Level)
+	if !ok {
+		return prog
+	}
+	op := CmpEq
+	if rng.Intn(3) == 0 {
+		op = CmpNe
+	}
+	seq := len(prog.Statements)
+	prog.Statements = append(prog.Statements, Statement{
+		Target: fmt.Sprintf("$C%d", seq+1),
+		Input:  fmt.Sprintf("$C%d", seq),
+		Op:     OpDice,
+		Condition: MemberCondition{
+			Dimension: ds.Dimension.IRI,
+			Level:     ds.Level,
+			Op:        op,
+			Member:    member,
+		},
+	})
+	return prog
+}
+
+// TestRandomProgramsAgainstOracle executes random valid QL programs
+// end to end (simplify → translate → SPARQL engine) and compares every
+// cube cell with the independent in-Go aggregation. This ties together
+// enrichment, translation, and the engine: any systematic error in
+// roll-up navigation, grouping, slicing, or SUM evaluation breaks it.
+func TestRandomProgramsAgainstOracle(t *testing.T) {
+	env := demoCube(t)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		prog := randomProgram(rng, env)
+		a, err := Analyze(prog, env.Schema)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if trial%2 == 0 {
+			prog = appendRandomMemberDice(rng, env, prog, a)
+			a, err = Analyze(prog, env.Schema)
+			if err != nil {
+				t.Fatalf("trial %d (dice): %v\n%s", trial, err, prog)
+			}
+		}
+		want, err := oracleCube(env, a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		variant := Direct
+		if trial%2 == 1 {
+			variant = Alternative
+		}
+		cube, _, err := Run(env.Client, env.Schema, prog.String(), variant)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v\n%s", trial, variant, err, prog)
+		}
+		if len(cube.Cells) != len(want) {
+			t.Fatalf("trial %d (%s): %d cells, oracle %d groups\n%s",
+				trial, variant, len(cube.Cells), len(want), prog)
+		}
+		for _, cell := range cube.Cells {
+			var key strings.Builder
+			for _, coord := range cell.Coords {
+				key.WriteString(coord.Value)
+				key.WriteByte('|')
+			}
+			wantVal, ok := want[key.String()]
+			if !ok {
+				t.Fatalf("trial %d (%s): unexpected cell %s\n%s", trial, variant, key.String(), prog)
+			}
+			if got := mustInt(t, cell.Values[0].Value); got != wantVal {
+				t.Fatalf("trial %d (%s): cell %s = %d, oracle %d\n%s",
+					trial, variant, key.String(), got, wantVal, prog)
+			}
+		}
+	}
+}

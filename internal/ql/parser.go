@@ -1,0 +1,579 @@
+package ql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// qlToken kinds.
+type qlTokKind int
+
+const (
+	qEOF       qlTokKind = iota
+	qWord                // bare word: QUERY, PREFIX, ROLLUP, AND, ...
+	qVar                 // $C1
+	qIRI                 // <...>
+	qPName               // prefixed name
+	qString              // "..."
+	qNumber              // integer or decimal
+	qAssign              // :=
+	qLParen              // (
+	qRParen              // )
+	qComma               // ,
+	qPipe                // |
+	qSemicolon           // ;
+	qEq                  // =
+	qNe                  // !=
+	qLt                  // <
+	qGt                  // >
+	qLe                  // <=
+	qGe                  // >=
+)
+
+type qlToken struct {
+	kind qlTokKind
+	text string
+	line int
+}
+
+func (t qlToken) String() string {
+	if t.kind == qEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type qlLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *qlLexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *qlLexer) next() (qlToken, error) {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\r':
+			l.pos++
+		case '\n':
+			l.pos++
+			l.line++
+		case '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	start := l.line
+	if l.pos >= len(l.src) {
+		return qlToken{qEOF, "", start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '<':
+		// IRI if a '>' appears before whitespace.
+		for j := l.pos + 1; j < len(l.src); j++ {
+			switch l.src[j] {
+			case '>':
+				text := l.src[l.pos+1 : j]
+				l.pos = j + 1
+				return qlToken{qIRI, text, start}, nil
+			case ' ', '\t', '\n', '"':
+				goto lessThan
+			}
+		}
+	lessThan:
+		if l.at(1) == '=' {
+			l.pos += 2
+			return qlToken{qLe, "<=", start}, nil
+		}
+		l.pos++
+		return qlToken{qLt, "<", start}, nil
+	case '>':
+		if l.at(1) == '=' {
+			l.pos += 2
+			return qlToken{qGe, ">=", start}, nil
+		}
+		l.pos++
+		return qlToken{qGt, ">", start}, nil
+	case '=':
+		l.pos++
+		return qlToken{qEq, "=", start}, nil
+	case '!':
+		if l.at(1) == '=' {
+			l.pos += 2
+			return qlToken{qNe, "!=", start}, nil
+		}
+		return qlToken{}, fmt.Errorf("ql: line %d: unexpected '!'", start)
+	case ':':
+		if l.at(1) == '=' {
+			l.pos += 2
+			return qlToken{qAssign, ":=", start}, nil
+		}
+		return qlToken{}, fmt.Errorf("ql: line %d: unexpected ':'", start)
+	case '(':
+		l.pos++
+		return qlToken{qLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return qlToken{qRParen, ")", start}, nil
+	case ',':
+		l.pos++
+		return qlToken{qComma, ",", start}, nil
+	case '|':
+		l.pos++
+		return qlToken{qPipe, "|", start}, nil
+	case ';':
+		l.pos++
+		return qlToken{qSemicolon, ";", start}, nil
+	case '$':
+		j := l.pos + 1
+		for j < len(l.src) && isQLNameChar(l.src[j]) {
+			j++
+		}
+		if j == l.pos+1 {
+			return qlToken{}, fmt.Errorf("ql: line %d: empty cube variable", start)
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return qlToken{qVar, text, start}, nil
+	case '"':
+		j := l.pos + 1
+		var b strings.Builder
+		for j < len(l.src) {
+			if l.src[j] == '\\' && j+1 < len(l.src) {
+				b.WriteByte(l.src[j+1])
+				j += 2
+				continue
+			}
+			if l.src[j] == '"' {
+				text := b.String()
+				l.pos = j + 1
+				return qlToken{qString, text, start}, nil
+			}
+			if l.src[j] == '\n' {
+				return qlToken{}, fmt.Errorf("ql: line %d: newline in string", start)
+			}
+			b.WriteByte(l.src[j])
+			j++
+		}
+		return qlToken{}, fmt.Errorf("ql: line %d: unterminated string", start)
+	}
+	if c >= '0' && c <= '9' || c == '-' {
+		j := l.pos
+		if c == '-' {
+			j++
+		}
+		digits := 0
+		for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9') {
+			j++
+			digits++
+		}
+		if j < len(l.src) && l.src[j] == '.' {
+			j++
+			for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9') {
+				j++
+			}
+		}
+		if digits == 0 {
+			return qlToken{}, fmt.Errorf("ql: line %d: malformed number", start)
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return qlToken{qNumber, text, start}, nil
+	}
+	// word or prefixed name
+	j := l.pos
+	colon := false
+	for j < len(l.src) {
+		ch := l.src[j]
+		if ch == ':' && j+1 < len(l.src) && l.src[j+1] == '=' {
+			break
+		}
+		if ch == ':' {
+			colon = true
+			j++
+			continue
+		}
+		if isQLNameChar(ch) || ch == '.' {
+			j++
+			continue
+		}
+		break
+	}
+	if j == l.pos {
+		return qlToken{}, fmt.Errorf("ql: line %d: unexpected character %q", start, c)
+	}
+	word := l.src[l.pos:j]
+	l.pos = j
+	if colon {
+		return qlToken{qPName, word, start}, nil
+	}
+	return qlToken{qWord, strings.ToUpper(word), start}, nil
+}
+
+func isQLNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// parser state for QL.
+type qlParser struct {
+	lex      *qlLexer
+	tok      qlToken
+	prefixes *rdf.PrefixMap
+}
+
+// Parse parses a QL program.
+func Parse(src string) (*Program, error) {
+	p := &qlParser{lex: &qlLexer{src: src, line: 1}, prefixes: rdf.NewPrefixMap()}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Prefixes: p.prefixes}
+
+	// Prologue: PREFIX declarations, each optionally terminated by ';'.
+	for p.tok.kind == qWord && p.tok.text == "PREFIX" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != qPName || !strings.HasSuffix(p.tok.text, ":") {
+			return nil, p.errf("expected prefix name ending in ':'")
+		}
+		name := strings.TrimSuffix(p.tok.text, ":")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != qIRI {
+			return nil, p.errf("expected namespace IRI")
+		}
+		p.prefixes.Bind(name, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == qSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// QUERY keyword.
+	if p.tok.kind != qWord || p.tok.text != "QUERY" {
+		return nil, p.errf("expected QUERY keyword, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+
+	for p.tok.kind == qVar {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Statements = append(prog.Statements, st)
+		if p.tok.kind == qSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.tok.kind != qEOF {
+		return nil, p.errf("unexpected %s", p.tok)
+	}
+	if len(prog.Statements) == 0 {
+		return nil, fmt.Errorf("ql: empty program")
+	}
+	return prog, nil
+}
+
+func (p *qlParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ql: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *qlParser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *qlParser) expect(k qlTokKind, what string) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, got %s", what, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *qlParser) statement() (Statement, error) {
+	var st Statement
+	st.Target = p.tok.text
+	if err := p.advance(); err != nil {
+		return st, err
+	}
+	if err := p.expect(qAssign, "':='"); err != nil {
+		return st, err
+	}
+	if p.tok.kind != qWord {
+		return st, p.errf("expected operation, got %s", p.tok)
+	}
+	switch p.tok.text {
+	case "ROLLUP":
+		st.Op = OpRollup
+	case "DRILLDOWN":
+		st.Op = OpDrilldown
+	case "SLICE":
+		st.Op = OpSlice
+	case "DICE":
+		st.Op = OpDice
+	default:
+		return st, p.errf("unknown operation %s", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return st, err
+	}
+	if err := p.expect(qLParen, "'('"); err != nil {
+		return st, err
+	}
+
+	// First argument: cube variable or dataset IRI.
+	switch p.tok.kind {
+	case qVar:
+		st.Input = p.tok.text
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+	case qIRI, qPName:
+		t, err := p.iriTerm()
+		if err != nil {
+			return st, err
+		}
+		st.Dataset = t
+	default:
+		return st, p.errf("expected cube variable or dataset IRI, got %s", p.tok)
+	}
+	if err := p.expect(qComma, "','"); err != nil {
+		return st, err
+	}
+
+	switch st.Op {
+	case OpSlice:
+		dim, err := p.iriTerm()
+		if err != nil {
+			return st, err
+		}
+		st.Dimension = dim
+	case OpRollup, OpDrilldown:
+		dim, err := p.iriTerm()
+		if err != nil {
+			return st, err
+		}
+		st.Dimension = dim
+		if err := p.expect(qComma, "','"); err != nil {
+			return st, err
+		}
+		lvl, err := p.iriTerm()
+		if err != nil {
+			return st, err
+		}
+		st.Level = lvl
+	case OpDice:
+		cond, err := p.condition()
+		if err != nil {
+			return st, err
+		}
+		st.Condition = cond
+	}
+	return st, p.expect(qRParen, "')'")
+}
+
+func (p *qlParser) iriTerm() (rdf.Term, error) {
+	switch p.tok.kind {
+	case qIRI:
+		t := rdf.NewIRI(p.tok.text)
+		return t, p.advance()
+	case qPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return rdf.Term{}, p.errf("%v", err)
+		}
+		return rdf.NewIRI(iri), p.advance()
+	default:
+		return rdf.Term{}, p.errf("expected IRI or prefixed name, got %s", p.tok)
+	}
+}
+
+// condition parses a DICE condition with OR < AND < NOT precedence.
+func (p *qlParser) condition() (Condition, error) {
+	left, err := p.andCondition()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == qWord && p.tok.text == "OR" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.andCondition()
+		if err != nil {
+			return nil, err
+		}
+		left = BoolCondition{And: false, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *qlParser) andCondition() (Condition, error) {
+	left, err := p.primaryCondition()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == qWord && p.tok.text == "AND" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.primaryCondition()
+		if err != nil {
+			return nil, err
+		}
+		left = BoolCondition{And: true, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *qlParser) primaryCondition() (Condition, error) {
+	if p.tok.kind == qWord && p.tok.text == "NOT" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.primaryCondition()
+		if err != nil {
+			return nil, err
+		}
+		return NotCondition{X: x}, nil
+	}
+	if p.tok.kind == qLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		c, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		return c, p.expect(qRParen, "')'")
+	}
+	return p.atomCondition()
+}
+
+// atomCondition parses dim|level|attr CMP value, or measure CMP value.
+func (p *qlParser) atomCondition() (Condition, error) {
+	first, err := p.iriTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == qPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		level, err := p.iriTerm()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != qPipe {
+			// Two-component path: dimension|level op member.
+			op, err := p.cmpOp()
+			if err != nil {
+				return nil, err
+			}
+			if op != CmpEq && op != CmpNe {
+				return nil, p.errf("member conditions support only = and !=")
+			}
+			val, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if !val.IsIRI() {
+				return nil, p.errf("member conditions compare against an IRI")
+			}
+			return MemberCondition{Dimension: first, Level: level, Op: op, Member: val}, nil
+		}
+		if err := p.expect(qPipe, "'|'"); err != nil {
+			return nil, err
+		}
+		attr, err := p.iriTerm()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.cmpOp()
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		return AttrCondition{Dimension: first, Level: level, Attribute: attr, Op: op, Value: val}, nil
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	val, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return MeasureCondition{Measure: first, Op: op, Value: val}, nil
+}
+
+func (p *qlParser) cmpOp() (CmpOp, error) {
+	var op CmpOp
+	switch p.tok.kind {
+	case qEq:
+		op = CmpEq
+	case qNe:
+		op = CmpNe
+	case qLt:
+		op = CmpLt
+	case qGt:
+		op = CmpGt
+	case qLe:
+		op = CmpLe
+	case qGe:
+		op = CmpGe
+	default:
+		return 0, p.errf("expected comparison operator, got %s", p.tok)
+	}
+	return op, p.advance()
+}
+
+func (p *qlParser) value() (rdf.Term, error) {
+	switch p.tok.kind {
+	case qString:
+		t := rdf.NewLiteral(p.tok.text)
+		return t, p.advance()
+	case qNumber:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		if strings.Contains(text, ".") {
+			return rdf.NewTypedLiteral(text, rdf.XSDDecimal), nil
+		}
+		return rdf.NewTypedLiteral(text, rdf.XSDInteger), nil
+	case qIRI, qPName:
+		return p.iriTerm()
+	default:
+		return rdf.Term{}, p.errf("expected value, got %s", p.tok)
+	}
+}

@@ -1,0 +1,891 @@
+package ql
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/eurostat"
+	"repro/internal/rdf"
+)
+
+// demoOnce builds the enriched demo cube once for the whole package.
+var (
+	demoOnce sync.Once
+	demoEnv  *demo.Enriched
+	demoErr  error
+)
+
+func demoCube(t *testing.T) *demo.Enriched {
+	t.Helper()
+	demoOnce.Do(func() {
+		cfg := eurostat.TestConfig()
+		cfg.TargetObservations = 4000
+		demoEnv, demoErr = demo.Build(cfg)
+	})
+	if demoErr != nil {
+		t.Fatal(demoErr)
+	}
+	return demoEnv
+}
+
+// demoQuery is the paper's Section IV example, adapted to the generated
+// schema's dimension names.
+const demoQuery = `
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asyl_appDim);
+$C2 := ROLLUP ($C1, schema:citizenDim, schema:continent);
+$C3 := ROLLUP ($C2, schema:refPeriodDim, schema:year);
+$C4 := DICE ($C3, (schema:citizenDim|schema:continent|schema:continentName = "Africa"));
+$C5 := DICE ($C4, schema:geoDim|property:geo|schema:countryName = "France");
+`
+
+func TestParseDemoQuery(t *testing.T) {
+	prog, err := Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Statements) != 5 {
+		t.Fatalf("statements = %d", len(prog.Statements))
+	}
+	if prog.Statements[0].Op != OpSlice || prog.Statements[0].Dataset.IsZero() {
+		t.Fatalf("first statement: %+v", prog.Statements[0])
+	}
+	if prog.Statements[1].Op != OpRollup || prog.Statements[1].Input != "$C1" {
+		t.Fatalf("second statement: %+v", prog.Statements[1])
+	}
+	d4, ok := prog.Statements[3].Condition.(AttrCondition)
+	if !ok {
+		t.Fatalf("statement 4 condition: %T", prog.Statements[3].Condition)
+	}
+	if d4.Value != rdf.NewLiteral("Africa") || d4.Op != CmpEq {
+		t.Fatalf("condition: %+v", d4)
+	}
+	if prog.Result() != "$C5" {
+		t.Fatalf("result var = %s", prog.Result())
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	src := `
+PREFIX s: <http://s#>
+QUERY
+$C1 := ROLLUP (<http://ds>, s:d, s:l);
+$C2 := DICE ($C1, (s:d|s:l|s:a = "x" AND s:m > 100) OR NOT (s:d|s:l|s:a != "y"));
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, ok := prog.Statements[1].Condition.(BoolCondition)
+	if !ok || cond.And {
+		t.Fatalf("top condition: %#v", prog.Statements[1].Condition)
+	}
+	inner, ok := cond.L.(BoolCondition)
+	if !ok || !inner.And {
+		t.Fatalf("left condition: %#v", cond.L)
+	}
+	if _, ok := inner.R.(MeasureCondition); !ok {
+		t.Fatalf("measure condition: %#v", inner.R)
+	}
+	if _, ok := cond.R.(NotCondition); !ok {
+		t.Fatalf("not condition: %#v", cond.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`QUERY`,
+		`QUERY $C1 = SLICE (<http://x>, <http://d>);`,
+		`QUERY $C1 := FROB (<http://x>, <http://d>);`,
+		`QUERY $C1 := SLICE (<http://x> <http://d>);`,
+		`QUERY $C1 := ROLLUP (<http://x>, <http://d>);`,
+		`QUERY $C1 := DICE (<http://x>, <http://a> = );`,
+		`QUERY $C1 := SLICE (nope:x, <http://d>);`,
+		`$C1 := SLICE (<http://x>, <http://d>);`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAnalyzeDemoQuery(t *testing.T) {
+	env := demoCube(t)
+	prog, err := Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(prog, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.VisibleDims()); got != 5 {
+		t.Fatalf("visible dims = %d, want 5 (asyl_app sliced)", got)
+	}
+	cit := a.States[rdf.NewIRI("http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#citizenDim")]
+	if cit.Level != eurostat.PropContinent {
+		t.Fatalf("citizen level = %v", cit.Level)
+	}
+	tdim := a.States[rdf.NewIRI("http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#refPeriodDim")]
+	if tdim.Level != eurostat.PropYear {
+		t.Fatalf("time level = %v", tdim.Level)
+	}
+	if len(a.Dices) != 2 {
+		t.Fatalf("dices = %d", len(a.Dices))
+	}
+}
+
+func TestAnalyzeRejectsBadPrograms(t *testing.T) {
+	env := demoCube(t)
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"op-after-dice", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := DICE (data:migr_asyappctzm, schema:citizenDim|property:citizen|schema:countryName = "France");
+$C2 := SLICE ($C1, schema:sexDim);`},
+		{"unknown-dimension", `
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, <http://nope/dim>);`},
+		{"unknown-level", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:citizenDim, <http://nope/level>);`},
+		{"drilldown-above", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := DRILLDOWN (data:migr_asyappctzm, schema:citizenDim, schema:continent);`},
+		{"slice-then-use", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:citizenDim);
+$C2 := ROLLUP ($C1, schema:citizenDim, schema:continent);`},
+		{"broken-chain", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C9, schema:ageDim);`},
+		{"dice-wrong-level", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:citizenDim, schema:continent);
+$C2 := DICE ($C1, schema:citizenDim|property:citizen|schema:countryName = "France");`},
+		{"dice-unknown-attribute", `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := DICE (data:migr_asyappctzm, schema:sexDim|property:sex|<http://nope/attr> = "x");`},
+		{"dice-unknown-measure", `
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := DICE (data:migr_asyappctzm, <http://nope/measure> > 5);`},
+		{"wrong-dataset", `
+QUERY
+$C1 := SLICE (<http://other/dataset>, <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#sexDim>);`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse failed (want analyze failure): %v", err)
+			}
+			if _, err := Analyze(prog, env.Schema); err == nil {
+				t.Error("Analyze succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestSimplifyDemoQuery(t *testing.T) {
+	env := demoCube(t)
+	prog, _ := Parse(demoQuery)
+	a, err := Analyze(prog, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp := Simplify(a)
+
+	// Slice first, then rollups, then dices.
+	kinds := make([]OpKind, len(simp.Statements))
+	for i, st := range simp.Statements {
+		kinds[i] = st.Op
+	}
+	phase := 0
+	for _, k := range kinds {
+		switch k {
+		case OpSlice:
+			if phase > 0 {
+				t.Fatalf("slice after phase %d: %v", phase, kinds)
+			}
+		case OpRollup:
+			if phase > 1 {
+				t.Fatalf("rollup after dice: %v", kinds)
+			}
+			phase = 1
+		case OpDice:
+			phase = 2
+		case OpDrilldown:
+			t.Fatalf("drilldown survived simplification: %v", kinds)
+		}
+	}
+	// Re-analysis must give the same final state.
+	b, err := Analyze(simp, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dimIRI := range a.Dims {
+		sa, sb := a.States[dimIRI], b.States[dimIRI]
+		if sa.Sliced != sb.Sliced || sa.Level != sb.Level {
+			t.Errorf("dimension %s: state changed by simplification", dimIRI.Value)
+		}
+	}
+	if len(b.Dices) != len(a.Dices) {
+		t.Errorf("dices: %d -> %d", len(a.Dices), len(b.Dices))
+	}
+}
+
+func TestSimplifyCollapsesRollupDrilldown(t *testing.T) {
+	env := demoCube(t)
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:refPeriodDim, schema:quarter);
+$C2 := ROLLUP ($C1, schema:refPeriodDim, schema:year);
+$C3 := DRILLDOWN ($C2, schema:refPeriodDim, schema:quarter);
+$C4 := SLICE ($C3, schema:sexDim);
+`
+	prog, _ := Parse(src)
+	a, err := Analyze(prog, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp := Simplify(a)
+	// Expect exactly: SLICE(sex), ROLLUP(time -> quarter).
+	if len(simp.Statements) != 2 {
+		t.Fatalf("simplified statements = %d: %s", len(simp.Statements), simp)
+	}
+	if simp.Statements[0].Op != OpSlice {
+		t.Fatalf("first op = %v", simp.Statements[0].Op)
+	}
+	if simp.Statements[1].Op != OpRollup || simp.Statements[1].Level != eurostat.PropQuarter {
+		t.Fatalf("second op: %+v", simp.Statements[1])
+	}
+	// The single rollup starts from the data set's bottom level.
+	if simp.Statements[0].Dataset.IsZero() {
+		t.Fatal("first statement must anchor to the data set")
+	}
+}
+
+func TestSimplifyIdentityProgram(t *testing.T) {
+	env := demoCube(t)
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:refPeriodDim, schema:year);
+$C2 := DRILLDOWN ($C1, schema:refPeriodDim, <http://purl.org/linked-data/sdmx/2009/dimension#refPeriod>);
+`
+	prog, _ := Parse(src)
+	a, err := Analyze(prog, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp := Simplify(a)
+	if len(simp.Statements) != 1 {
+		t.Fatalf("identity program should simplify to one anchor statement, got %d", len(simp.Statements))
+	}
+	if _, err := Analyze(simp, env.Schema); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplifyPropertyRandomPrograms (C4) generates random valid
+// operation sequences and checks that simplification preserves the
+// final cube state.
+func TestSimplifyPropertyRandomPrograms(t *testing.T) {
+	env := demoCube(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		prog := randomProgram(rng, env)
+		a, err := Analyze(prog, env.Schema)
+		if err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, prog)
+		}
+		simp := Simplify(a)
+		b, err := Analyze(simp, env.Schema)
+		if err != nil {
+			t.Fatalf("trial %d: simplified program invalid: %v\n%s", trial, err, simp)
+		}
+		for _, dimIRI := range a.Dims {
+			sa, sb := a.States[dimIRI], b.States[dimIRI]
+			if sa.Sliced != sb.Sliced {
+				t.Fatalf("trial %d: slicing of %s diverged\noriginal:\n%s\nsimplified:\n%s",
+					trial, dimIRI.Value, prog, simp)
+			}
+			// The granularity of a sliced dimension is irrelevant: it
+			// no longer appears in the result cube.
+			if !sa.Sliced && sa.Level != sb.Level {
+				t.Fatalf("trial %d: level of %s diverged\noriginal:\n%s\nsimplified:\n%s",
+					trial, dimIRI.Value, prog, simp)
+			}
+		}
+		// Simplified programs never contain DRILLDOWN and never exceed
+		// one rollup per dimension.
+		rollups := map[rdf.Term]int{}
+		for _, st := range simp.Statements {
+			if st.Op == OpDrilldown {
+				t.Fatalf("trial %d: drilldown survived", trial)
+			}
+			if st.Op == OpRollup {
+				rollups[st.Dimension]++
+			}
+		}
+		for d, n := range rollups {
+			if n > 1 {
+				t.Fatalf("trial %d: %d rollups for %s", trial, n, d.Value)
+			}
+		}
+	}
+}
+
+// randomProgram builds a random valid (ROLLUP|DRILLDOWN|SLICE)* program
+// over the demo schema.
+func randomProgram(rng *rand.Rand, env *demo.Enriched) *Program {
+	prog := &Program{Prefixes: rdf.NewPrefixMap()}
+	type dimCursor struct {
+		iri    rdf.Term
+		levels []rdf.Term // base..top along the first hierarchy
+		pos    int
+		sliced bool
+	}
+	var dims []*dimCursor
+	for _, d := range env.Schema.Dimensions {
+		levels := []rdf.Term{d.BaseLevel}
+		cur := d.BaseLevel
+		for {
+			step, ok := d.Hierarchies[0].StepFromChild(cur)
+			if !ok {
+				break
+			}
+			levels = append(levels, step.Parent)
+			cur = step.Parent
+		}
+		dims = append(dims, &dimCursor{iri: d.IRI, levels: levels})
+	}
+	n := 1 + rng.Intn(7)
+	seq := 0
+	for i := 0; i < n; i++ {
+		dc := dims[rng.Intn(len(dims))]
+		if dc.sliced {
+			continue
+		}
+		var st Statement
+		switch rng.Intn(3) {
+		case 0: // rollup to a level at or above current
+			target := dc.pos + rng.Intn(len(dc.levels)-dc.pos)
+			st = Statement{Op: OpRollup, Dimension: dc.iri, Level: dc.levels[target]}
+			dc.pos = target
+		case 1: // drilldown to a level at or below current
+			target := rng.Intn(dc.pos + 1)
+			st = Statement{Op: OpDrilldown, Dimension: dc.iri, Level: dc.levels[target]}
+			dc.pos = target
+		default:
+			st = Statement{Op: OpSlice, Dimension: dc.iri}
+			dc.sliced = true
+		}
+		seq++
+		st.Target = "$C" + itoa(seq)
+		if seq == 1 {
+			st.Dataset = env.Schema.DataSet
+		} else {
+			st.Input = "$C" + itoa(seq-1)
+		}
+		prog.Statements = append(prog.Statements, st)
+	}
+	if len(prog.Statements) == 0 {
+		prog.Statements = append(prog.Statements, Statement{
+			Target: "$C1", Op: OpSlice, Dimension: dims[0].iri, Dataset: env.Schema.DataSet,
+		})
+	}
+	return prog
+}
+
+func itoa(n int) string {
+	return strings.TrimSpace(strings.Repeat("", 0) + itoaHelper(n))
+}
+
+func itoaHelper(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+func TestTranslateDemoQuery(t *testing.T) {
+	env := demoCube(t)
+	p, err := Prepare(demoQuery, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Translation
+
+	// Navigation via the rollup property, grouping, filters.
+	for _, want := range []string{
+		"qb:dataSet",
+		"schemas/migr_asyapp#continent> ?m", // citizenship navigation
+		"GROUP BY",
+		`STR(?`,
+		`"Africa"`,
+		`"France"`,
+		"ORDER BY",
+	} {
+		if !strings.Contains(tr.Direct, want) {
+			t.Errorf("direct query missing %q:\n%s", want, tr.Direct)
+		}
+	}
+	if !strings.Contains(tr.Alternative, "SELECT") || !strings.Contains(tr.Alternative, "    WHERE {") {
+		t.Errorf("alternative query not nested:\n%s", tr.Alternative)
+	}
+	// Time navigation goes through two steps (month->quarter->year).
+	if !strings.Contains(tr.Direct, "#quarter> ?") || !strings.Contains(tr.Direct, "#year> ?") {
+		t.Errorf("time navigation missing:\n%s", tr.Direct)
+	}
+}
+
+func TestTranslationSize(t *testing.T) {
+	// C3: the paper notes the demo QL program "translates to more than
+	// 30 lines of SPARQL".
+	env := demoCube(t)
+	p, err := Prepare(demoQuery, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := strings.Count(strings.TrimSpace(p.Translation.Direct), "\n") + 1
+	alt := strings.Count(strings.TrimSpace(p.Translation.Alternative), "\n") + 1
+	t.Logf("direct: %d lines, alternative: %d lines", direct, alt)
+	if direct <= 20 {
+		t.Errorf("direct translation suspiciously small: %d lines", direct)
+	}
+	if alt <= 30 {
+		t.Errorf("alternative translation should exceed 30 lines, got %d", alt)
+	}
+}
+
+// oracleDemoQuery computes the demo query's expected cells directly
+// from the generated observations.
+func oracleDemoQuery(env *demo.Enriched) map[[4]string]int64 {
+	out := make(map[[4]string]int64)
+	for _, o := range env.Data.Observations {
+		c, _ := eurostat.CountryByCode(o.Citizen)
+		if c.Continent != "AF" || o.Geo != "FR" {
+			continue
+		}
+		key := [4]string{"AF", o.Sex, o.Age, itoaHelper(o.Year)}
+		out[key] += o.Value
+	}
+	return out
+}
+
+func TestDemoQueryResult(t *testing.T) {
+	// C2: the demo query returns applications per year (by sex and age,
+	// which the program leaves unsliced) from African citizens whose
+	// destination is France, matching an independent in-Go aggregation.
+	env := demoCube(t)
+	cube, p, err := Run(env.Client, env.Schema, demoQuery, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleDemoQuery(env)
+	if len(cube.Cells) != len(want) {
+		t.Fatalf("cells = %d, oracle groups = %d", len(cube.Cells), len(want))
+	}
+	// Axis order: citizenDim@continent, geoDim@geo, sexDim, ageDim (in
+	// schema order) ... find indexes dynamically.
+	axisIdx := map[string]int{}
+	for i, ax := range cube.Axes {
+		axisIdx[localOf(ax.Dimension)] = i
+	}
+	for _, cell := range cube.Cells {
+		year := localOf(cell.Coords[axisIdx["refPeriodDim"]])
+		sex := strings.TrimPrefix(localOf(cell.Coords[axisIdx["sexDim"]]), "sex#")
+		age := strings.TrimPrefix(localOf(cell.Coords[axisIdx["ageDim"]]), "age#")
+		key := [4]string{"AF", sex, age, year}
+		wantVal, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected cell %v", key)
+			continue
+		}
+		if got := cell.Values[0].Value; got != itoa64(wantVal) {
+			t.Errorf("cell %v: got %s, want %d", key, got, wantVal)
+		}
+	}
+	// The diced geo coordinate must be France in every cell.
+	for _, cell := range cube.Cells {
+		if !strings.HasSuffix(cell.Coords[axisIdx["geoDim"]].Value, "geo#FR") {
+			t.Fatalf("non-France cell: %v", cell.Coords)
+		}
+	}
+	_ = p
+}
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := ""
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+func TestDirectAndAlternativeAgree(t *testing.T) {
+	env := demoCube(t)
+	direct, _, err := Run(env.Client, env.Schema, demoQuery, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, _, err := Run(env.Client, env.Schema, demoQuery, Alternative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Cells) != len(alt.Cells) {
+		t.Fatalf("direct %d cells, alternative %d cells", len(direct.Cells), len(alt.Cells))
+	}
+	for i := range direct.Cells {
+		for j := range direct.Cells[i].Coords {
+			if direct.Cells[i].Coords[j] != alt.Cells[i].Coords[j] {
+				t.Fatalf("cell %d coord %d differs", i, j)
+			}
+		}
+		for j := range direct.Cells[i].Values {
+			if direct.Cells[i].Values[j] != alt.Cells[i].Values[j] {
+				t.Fatalf("cell %d value %d differs: %v vs %v",
+					i, j, direct.Cells[i].Values[j], alt.Cells[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestMeasureDice(t *testing.T) {
+	env := demoCube(t)
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+$C7 := DICE ($C6, sdmx-measure:obsValue > 1000);
+`
+	cube, _, err := Run(env.Client, env.Schema, src, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) == 0 {
+		t.Fatal("measure dice removed everything")
+	}
+	for _, cell := range cube.Cells {
+		if v := cell.Values[0].Value; len(v) < 4 { // > 1000 means at least 4 digits
+			t.Fatalf("cell value %s does not satisfy measure dice", v)
+		}
+	}
+	// Both variants must agree under measure dicing too.
+	alt, _, err := Run(env.Client, env.Schema, src, Alternative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alt.Cells) != len(cube.Cells) {
+		t.Fatalf("variants disagree under HAVING: %d vs %d", len(cube.Cells), len(alt.Cells))
+	}
+}
+
+func TestSliceAggregatesOut(t *testing.T) {
+	env := demoCube(t)
+	// Slicing every dimension but time and rolling time to year must
+	// give exactly two cells (2013, 2014) whose sum equals the total.
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:citizenDim);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+`
+	cube, _, err := Run(env.Client, env.Schema, src, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (one per year)", len(cube.Cells))
+	}
+	var total, wantTotal int64
+	for _, cell := range cube.Cells {
+		total += mustInt(t, cell.Values[0].Value)
+	}
+	for _, o := range env.Data.Observations {
+		wantTotal += o.Value
+	}
+	if total != wantTotal {
+		t.Fatalf("sum over year cells = %d, want %d", total, wantTotal)
+	}
+}
+
+func mustInt(t *testing.T, s string) int64 {
+	t.Helper()
+	var v int64
+	neg := false
+	for i, r := range s {
+		if i == 0 && r == '-' {
+			neg = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			t.Fatalf("not an integer: %q", s)
+		}
+		v = v*10 + int64(r-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+func TestRollupToAllLevel(t *testing.T) {
+	env := demoCube(t)
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:refPeriodDim);
+$C6 := ROLLUP ($C5, schema:citizenDim, schema:citizenAll);
+`
+	cube, _, err := Run(env.Client, env.Schema, src, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 1 {
+		t.Fatalf("all-level rollup cells = %d, want 1", len(cube.Cells))
+	}
+	var wantTotal int64
+	for _, o := range env.Data.Observations {
+		wantTotal += o.Value
+	}
+	if got := mustInt(t, cube.Cells[0].Values[0].Value); got != wantTotal {
+		t.Fatalf("grand total = %d, want %d", got, wantTotal)
+	}
+}
+
+func TestCubeRendering(t *testing.T) {
+	env := demoCube(t)
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+`
+	cube, _, err := Run(env.Client, env.Schema, src, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := cube.Table()
+	if !strings.Contains(table, "Africa") {
+		t.Errorf("table missing Africa label:\n%s", table)
+	}
+	pivot := cube.Pivot()
+	if !strings.Contains(pivot, "2013") || !strings.Contains(pivot, "2014") {
+		t.Errorf("pivot missing year columns:\n%s", pivot)
+	}
+}
+
+// TestProgramStringRoundTrip re-parses the rendered form of the demo
+// program and checks the statements survive.
+func TestProgramStringRoundTrip(t *testing.T) {
+	prog, err := Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := prog.String()
+	back, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, rendered)
+	}
+	if len(back.Statements) != len(prog.Statements) {
+		t.Fatalf("statement count changed: %d -> %d", len(prog.Statements), len(back.Statements))
+	}
+	for i := range prog.Statements {
+		a, b := prog.Statements[i], back.Statements[i]
+		if a.Op != b.Op || a.Dimension != b.Dimension || a.Level != b.Level || a.Dataset != b.Dataset {
+			t.Errorf("statement %d changed:\n%s\n%s", i, a, b)
+		}
+	}
+	// Conditions too (compare rendered forms).
+	for i := range prog.Statements {
+		if prog.Statements[i].Op != OpDice {
+			continue
+		}
+		if formatCondition(prog.Statements[i].Condition) != formatCondition(back.Statements[i].Condition) {
+			t.Errorf("condition %d changed", i)
+		}
+	}
+}
+
+func TestEmptyCubeResult(t *testing.T) {
+	env := demoCube(t)
+	// Dicing on a continent name that does not exist yields zero cells,
+	// not an error.
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := SLICE ($C4, schema:refPeriodDim);
+$C6 := ROLLUP ($C5, schema:citizenDim, schema:continent);
+$C7 := DICE ($C6, schema:citizenDim|schema:continent|schema:continentName = "Atlantis");
+`
+	cube, _, err := Run(env.Client, env.Schema, src, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 0 {
+		t.Fatalf("cells = %d, want 0", len(cube.Cells))
+	}
+}
+
+func TestMemberDice(t *testing.T) {
+	env := demoCube(t)
+	// Dice directly on the Africa member IRI — no attribute needed.
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX dic: <http://eurostat.linked-statistics.org/dic/>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+$C7 := DICE ($C6, schema:citizenDim|schema:continent = <http://eurostat.linked-statistics.org/dic/continent#AF>);
+`
+	cube, _, err := Run(env.Client, env.Schema, src, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) != 2 { // one per year
+		t.Fatalf("cells = %d:\n%s", len(cube.Cells), cube.Table())
+	}
+	for _, cell := range cube.Cells {
+		if !strings.HasSuffix(cell.Coords[0].Value, "continent#AF") {
+			t.Fatalf("non-Africa cell: %v", cell.Coords)
+		}
+	}
+	// Oracle check against the string-attribute version.
+	attrSrc := strings.Replace(src,
+		"schema:citizenDim|schema:continent = <http://eurostat.linked-statistics.org/dic/continent#AF>",
+		`schema:citizenDim|schema:continent|schema:continentName = "Africa"`, 1)
+	attrCube, _, err := Run(env.Client, env.Schema, attrSrc, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrCube.Cells) != len(cube.Cells) {
+		t.Fatalf("member dice and attribute dice disagree: %d vs %d", len(cube.Cells), len(attrCube.Cells))
+	}
+	for i := range cube.Cells {
+		if cube.Cells[i].Values[0] != attrCube.Cells[i].Values[0] {
+			t.Fatalf("cell %d values differ", i)
+		}
+	}
+	// != member dice excludes exactly that member.
+	neSrc := strings.Replace(src, " = <http://", " != <http://", 1)
+	neCube, _, err := Run(env.Client, env.Schema, neSrc, Alternative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neCube.Cells) != 8 { // 4 remaining continents × 2 years
+		t.Fatalf("!= dice cells = %d:\n%s", len(neCube.Cells), neCube.Table())
+	}
+}
+
+func TestMemberDiceValidation(t *testing.T) {
+	env := demoCube(t)
+	// < is not allowed on members.
+	if _, err := Parse(`
+QUERY
+$C1 := DICE (<http://x>, <http://d>|<http://l> < <http://m>);`); err == nil {
+		t.Error("member dice with < must fail to parse")
+	}
+	// Literal member must fail to parse.
+	if _, err := Parse(`
+QUERY
+$C1 := DICE (<http://x>, <http://d>|<http://l> = "notiri");`); err == nil {
+		t.Error("member dice against a literal must fail")
+	}
+	// Level mismatch caught at analysis.
+	src := `
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+QUERY
+$C1 := DICE (data:migr_asyappctzm, schema:citizenDim|schema:continent = <http://eurostat.linked-statistics.org/dic/continent#AF>);
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, env.Schema); err == nil {
+		t.Error("member dice at wrong level must fail analysis")
+	}
+}

@@ -1,0 +1,67 @@
+package ql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Simplify implements the Query Simplification phase. It applies the
+// two optimization rules from the paper:
+//
+//	(a) perform SLICE operations as soon as possible, to reduce the
+//	    size of intermediate results; and
+//	(b) group all the ROLLUP and DRILLDOWN operations over the same
+//	    dimension and replace them with a single ROLLUP from the
+//	    dimension's bottom level to the latest level reached.
+//
+// The input must already have passed Analyze; the simplified program is
+// rebuilt from the analysis' final cube state, so redundant operations
+// (e.g. a rollup later drilled all the way back down) disappear
+// entirely. Cube variables are renumbered $C1, $C2, ...
+func Simplify(a *Analysis) *Program {
+	out := &Program{Prefixes: a.Program.Prefixes}
+	seq := 0
+	prev := ""
+	emit := func(st Statement) {
+		seq++
+		st.Target = fmt.Sprintf("$C%d", seq)
+		if seq == 1 {
+			st.Input = ""
+			st.Dataset = a.Dataset
+		} else {
+			st.Input = prev
+			st.Dataset = rdf.Term{}
+		}
+		prev = st.Target
+		out.Statements = append(out.Statements, st)
+	}
+
+	// Rule (a): slices first, in dimension order.
+	for _, dimIRI := range a.Dims {
+		if a.States[dimIRI].Sliced {
+			emit(Statement{Op: OpSlice, Dimension: dimIRI})
+		}
+	}
+	// Rule (b): one rollup per dimension that ends above its base.
+	for _, dimIRI := range a.Dims {
+		st := a.States[dimIRI]
+		if st.Sliced || st.Level == st.Dimension.BaseLevel {
+			continue
+		}
+		emit(Statement{Op: OpRollup, Dimension: dimIRI, Level: st.Level})
+	}
+	// Dices keep their original order at the end.
+	for _, cond := range a.Dices {
+		emit(Statement{Op: OpDice, Condition: cond})
+	}
+
+	// Degenerate case: a program whose net effect is the identity
+	// still needs one statement to name the result cube; represent it
+	// as a rollup of the first dimension to its own base level.
+	if len(out.Statements) == 0 && len(a.Dims) > 0 {
+		st := a.States[a.Dims[0]]
+		emit(Statement{Op: OpRollup, Dimension: a.Dims[0], Level: st.Dimension.BaseLevel})
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package ql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+// Translation holds the two semantically equivalent SPARQL queries the
+// Query Translation phase produces: the direct translation and an
+// alternative that nests the aggregation in a subquery — the paper's
+// heuristic for endpoints that handle flat GROUP BY queries poorly.
+type Translation struct {
+	Direct      string
+	Alternative string
+
+	// GroupVars are the SPARQL variable names of the member columns,
+	// parallel to Analysis.VisibleDims().
+	GroupVars []string
+	// LabelVars are the label column names, parallel to GroupVars.
+	LabelVars []string
+	// MeasureVars are the aggregated measure column names, parallel to
+	// Analysis.Schema.Measures.
+	MeasureVars []string
+
+	Analysis *Analysis
+}
+
+// dimPlan is the per-dimension navigation plan: the variable chain from
+// the observation's base member up to the grouping member.
+type dimPlan struct {
+	state    *DimState
+	index    int
+	baseVar  string
+	groupVar string
+	labelVar string
+	steps    []qb4olap.HierarchyStep
+}
+
+// Translate implements the Query Translation phase over an analyzed
+// (and usually simplified) program.
+func Translate(a *Analysis) (*Translation, error) {
+	t := &Translation{Analysis: a}
+
+	var plans []dimPlan
+	for i, ds := range a.VisibleDims() {
+		p := dimPlan{
+			state:   ds,
+			index:   i,
+			baseVar: fmt.Sprintf("m%d_0", i+1),
+		}
+		steps, ok := ds.Dimension.PathToLevel(ds.Level)
+		if !ok {
+			return nil, fmt.Errorf("ql: no roll-up path from %s to %s", ds.Dimension.BaseLevel.Value, ds.Level.Value)
+		}
+		p.steps = steps
+		p.groupVar = fmt.Sprintf("m%d_%d", i+1, len(steps))
+		p.labelVar = fmt.Sprintf("l%d", i+1)
+		plans = append(plans, p)
+		t.GroupVars = append(t.GroupVars, p.groupVar)
+		t.LabelVars = append(t.LabelVars, p.labelVar)
+	}
+	for i := range a.Schema.Measures {
+		t.MeasureVars = append(t.MeasureVars, fmt.Sprintf("ag%d", i+1))
+	}
+
+	// Shared basic graph pattern: observation spine plus roll-up
+	// navigation per visible dimension. ROLLUPs navigate the roll-up
+	// relationships between members guided by the hierarchy metadata;
+	// each step is a SPARQL graph pattern (a join).
+	var bgp strings.Builder
+	bgp.WriteString("  ?o qb:dataSet <" + a.Dataset.Value + "> .\n")
+	for i, m := range a.Schema.Measures {
+		fmt.Fprintf(&bgp, "  ?o <%s> ?v%d .\n", m.Property.Value, i+1)
+	}
+	for _, p := range plans {
+		fmt.Fprintf(&bgp, "  ?o <%s> ?%s .\n", p.state.Dimension.BaseLevel.Value, p.baseVar)
+		cur := p.baseVar
+		for j, st := range p.steps {
+			next := fmt.Sprintf("m%d_%d", p.index+1, j+1)
+			fmt.Fprintf(&bgp, "  ?%s <%s> ?%s .\n", cur, st.Rollup.Value, next)
+			cur = next
+		}
+	}
+
+	lookup := make(map[rdf.Term]*dimPlan, len(plans))
+	for i := range plans {
+		lookup[plans[i].state.Dimension.IRI] = &plans[i]
+	}
+
+	// Classify dice conditions: pure measure conditions become HAVING
+	// (they constrain the aggregated cell); attribute conditions become
+	// FILTERs over attribute values.
+	var filters, havings []string
+	for _, cond := range a.Dices {
+		expr, usesMeasure, err := t.renderCondition(cond, lookup)
+		if err != nil {
+			return nil, err
+		}
+		if usesMeasure {
+			havings = append(havings, expr)
+		} else {
+			filters = append(filters, expr)
+		}
+	}
+
+	// Attribute patterns needed by the filters: one triple per
+	// (dimension, attribute) pair referenced in a condition.
+	attrPatterns := map[string]string{}
+	collectAttrPatterns(a, lookup, attrPatterns)
+
+	t.Direct = t.renderDirect(bgp.String(), plans, filters, havings, attrPatterns)
+	t.Alternative = t.renderAlternative(bgp.String(), plans, filters, havings, attrPatterns)
+	return t, nil
+}
+
+// attrVar names the variable bound to an attribute of a dimension's
+// group member.
+func attrVar(dimIndex int, attr rdf.Term) string {
+	return fmt.Sprintf("a%d_%s", dimIndex+1, sanitize(localOf(attr)))
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func localOf(t rdf.Term) string {
+	v := t.Value
+	if i := strings.LastIndexAny(v, "#/"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// collectAttrPatterns walks all dice conditions recording the triple
+// patterns that bind attribute variables.
+func collectAttrPatterns(a *Analysis, lookup map[rdf.Term]*dimPlan, out map[string]string) {
+	var walk func(Condition)
+	walk = func(c Condition) {
+		switch x := c.(type) {
+		case AttrCondition:
+			p, ok := lookup[x.Dimension]
+			if !ok {
+				return
+			}
+			v := attrVar(p.index, x.Attribute)
+			out[v] = fmt.Sprintf("  ?%s <%s> ?%s .", p.groupVar, x.Attribute.Value, v)
+		case BoolCondition:
+			walk(x.L)
+			walk(x.R)
+		case NotCondition:
+			walk(x.X)
+		}
+	}
+	for _, c := range a.Dices {
+		walk(c)
+	}
+}
+
+// renderCondition renders a condition to a SPARQL boolean expression.
+// usesMeasure reports whether it references aggregated measures (and
+// therefore must go to HAVING / the outer filter of the alternative
+// form).
+func (t *Translation) renderCondition(c Condition, lookup map[rdf.Term]*dimPlan) (string, bool, error) {
+	switch x := c.(type) {
+	case AttrCondition:
+		p, ok := lookup[x.Dimension]
+		if !ok {
+			return "", false, fmt.Errorf("ql: condition on invisible dimension %s", x.Dimension.Value)
+		}
+		v := attrVar(p.index, x.Attribute)
+		lhs := "?" + v
+		rhs := renderValue(x.Value)
+		if x.Value.IsLiteral() && (x.Value.Datatype == "" || x.Value.Datatype == rdf.XSDString) {
+			// String comparisons go through STR() so language-tagged
+			// labels still match plain string constants.
+			lhs = "STR(?" + v + ")"
+		}
+		return fmt.Sprintf("%s %s %s", lhs, x.Op, rhs), false, nil
+	case MemberCondition:
+		p, ok := lookup[x.Dimension]
+		if !ok {
+			return "", false, fmt.Errorf("ql: condition on invisible dimension %s", x.Dimension.Value)
+		}
+		return fmt.Sprintf("?%s %s <%s>", p.groupVar, x.Op, x.Member.Value), false, nil
+	case MeasureCondition:
+		idx := -1
+		for i, m := range t.Analysis.Schema.Measures {
+			if m.Property == x.Measure {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return "", false, fmt.Errorf("ql: unknown measure %s", x.Measure.Value)
+		}
+		m := t.Analysis.Schema.Measures[idx]
+		agg := fmt.Sprintf("%s(?v%d)", m.Agg.SPARQL(), idx+1)
+		return fmt.Sprintf("%s %s %s", agg, x.Op, renderValue(x.Value)), true, nil
+	case BoolCondition:
+		l, lm, err := t.renderCondition(x.L, lookup)
+		if err != nil {
+			return "", false, err
+		}
+		r, rm, err := t.renderCondition(x.R, lookup)
+		if err != nil {
+			return "", false, err
+		}
+		if lm != rm {
+			return "", false, fmt.Errorf("ql: cannot mix measure and attribute conditions inside one boolean expression")
+		}
+		op := "||"
+		if x.And {
+			op = "&&"
+		}
+		return fmt.Sprintf("(%s %s %s)", l, op, r), lm, nil
+	case NotCondition:
+		inner, m, err := t.renderCondition(x.X, lookup)
+		if err != nil {
+			return "", false, err
+		}
+		return fmt.Sprintf("(!%s)", inner), m, nil
+	default:
+		return "", false, fmt.Errorf("ql: unknown condition %T", c)
+	}
+}
+
+func renderValue(v rdf.Term) string {
+	if v.IsIRI() {
+		return "<" + v.Value + ">"
+	}
+	return v.String()
+}
+
+// renderDirect produces the flat single-SELECT translation: BGP +
+// attribute patterns + FILTER + GROUP BY + HAVING.
+func (t *Translation) renderDirect(bgp string, plans []dimPlan, filters, havings []string, attrPatterns map[string]string) string {
+	var b strings.Builder
+	b.WriteString("PREFIX qb: <http://purl.org/linked-data/cube#>\n")
+	b.WriteString("PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n")
+	b.WriteString("SELECT")
+	for _, p := range plans {
+		fmt.Fprintf(&b, " ?%s (SAMPLE(?lbl%d) AS ?%s)", p.groupVar, p.index+1, p.labelVar)
+	}
+	for i, m := range t.Analysis.Schema.Measures {
+		fmt.Fprintf(&b, " (%s(?v%d) AS ?%s)", m.Agg.SPARQL(), i+1, t.MeasureVars[i])
+	}
+	b.WriteString("\nWHERE {\n")
+	b.WriteString(bgp)
+	for _, v := range sortedKeys(attrPatterns) {
+		b.WriteString(attrPatterns[v])
+		b.WriteByte('\n')
+	}
+	for _, p := range plans {
+		fmt.Fprintf(&b, "  OPTIONAL { ?%s rdfs:label ?lbl%d }\n", p.groupVar, p.index+1)
+	}
+	for _, f := range filters {
+		fmt.Fprintf(&b, "  FILTER(%s)\n", f)
+	}
+	b.WriteString("}\n")
+	if len(plans) > 0 {
+		b.WriteString("GROUP BY")
+		for _, p := range plans {
+			fmt.Fprintf(&b, " ?%s", p.groupVar)
+		}
+		b.WriteByte('\n')
+	}
+	for _, h := range havings {
+		fmt.Fprintf(&b, "HAVING (%s)\n", h)
+	}
+	if len(plans) > 0 {
+		b.WriteString("ORDER BY")
+		for _, p := range plans {
+			fmt.Fprintf(&b, " ?%s", p.groupVar)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderAlternative produces the subquery translation: the aggregation
+// runs in an inner SELECT over the raw observation pattern; attribute
+// joins, dice filters, labels, and measure filters apply outside. This
+// mirrors the paper's alternative query "generated using optimization
+// heuristics thought to deal with some of the typical limitations of
+// SPARQL endpoints".
+func (t *Translation) renderAlternative(bgp string, plans []dimPlan, filters, havings []string, attrPatterns map[string]string) string {
+	var b strings.Builder
+	b.WriteString("PREFIX qb: <http://purl.org/linked-data/cube#>\n")
+	b.WriteString("PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n")
+	b.WriteString("SELECT")
+	for _, p := range plans {
+		fmt.Fprintf(&b, " ?%s (SAMPLE(?lbl%d) AS ?%s)", p.groupVar, p.index+1, p.labelVar)
+	}
+	for i := range t.MeasureVars {
+		fmt.Fprintf(&b, " (SAMPLE(?iag%d) AS ?%s)", i+1, t.MeasureVars[i])
+	}
+	b.WriteString("\nWHERE {\n")
+	b.WriteString("  {\n")
+	b.WriteString("    SELECT")
+	for _, p := range plans {
+		fmt.Fprintf(&b, " ?%s", p.groupVar)
+	}
+	for i, m := range t.Analysis.Schema.Measures {
+		fmt.Fprintf(&b, " (%s(?v%d) AS ?iag%d)", m.Agg.SPARQL(), i+1, i+1)
+	}
+	b.WriteString("\n    WHERE {\n")
+	for _, line := range strings.Split(strings.TrimRight(bgp, "\n"), "\n") {
+		b.WriteString("    " + line + "\n")
+	}
+	b.WriteString("    }\n")
+	if len(plans) > 0 {
+		b.WriteString("    GROUP BY")
+		for _, p := range plans {
+			fmt.Fprintf(&b, " ?%s", p.groupVar)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  }\n")
+	for _, v := range sortedKeys(attrPatterns) {
+		b.WriteString(attrPatterns[v])
+		b.WriteByte('\n')
+	}
+	for _, p := range plans {
+		fmt.Fprintf(&b, "  OPTIONAL { ?%s rdfs:label ?lbl%d }\n", p.groupVar, p.index+1)
+	}
+	for _, f := range filters {
+		fmt.Fprintf(&b, "  FILTER(%s)\n", f)
+	}
+	for _, h := range havings {
+		// Measure conditions reference the inner aggregate variable in
+		// the outer scope.
+		for j, m := range t.Analysis.Schema.Measures {
+			h = strings.ReplaceAll(h, fmt.Sprintf("%s(?v%d)", m.Agg.SPARQL(), j+1), fmt.Sprintf("?iag%d", j+1))
+		}
+		fmt.Fprintf(&b, "  FILTER(%s)\n", h)
+	}
+	b.WriteString("}\n")
+	if len(plans) > 0 {
+		b.WriteString("GROUP BY")
+		for _, p := range plans {
+			fmt.Fprintf(&b, " ?%s", p.groupVar)
+		}
+		for i := range t.MeasureVars {
+			fmt.Fprintf(&b, " ?iag%d", i+1)
+		}
+		b.WriteByte('\n')
+		b.WriteString("ORDER BY")
+		for _, p := range plans {
+			fmt.Fprintf(&b, " ?%s", p.groupVar)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixMap maps namespace prefixes to IRI namespaces, used for
+// expanding prefixed names during parsing and compacting IRIs during
+// serialization.
+type PrefixMap struct {
+	byPrefix map[string]string
+}
+
+// NewPrefixMap returns an empty prefix map.
+func NewPrefixMap() *PrefixMap {
+	return &PrefixMap{byPrefix: make(map[string]string)}
+}
+
+// Bind associates prefix with the namespace IRI, replacing any earlier
+// binding.
+func (m *PrefixMap) Bind(prefix, ns string) {
+	if m.byPrefix == nil {
+		m.byPrefix = make(map[string]string)
+	}
+	m.byPrefix[prefix] = ns
+}
+
+// Namespace returns the namespace bound to prefix, if any.
+func (m *PrefixMap) Namespace(prefix string) (string, bool) {
+	ns, ok := m.byPrefix[prefix]
+	return ns, ok
+}
+
+// Expand resolves a prefixed name like "qb:dimension" to a full IRI.
+func (m *PrefixMap) Expand(pname string) (string, error) {
+	i := strings.Index(pname, ":")
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is not a prefixed name", pname)
+	}
+	ns, ok := m.byPrefix[pname[:i]]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown prefix %q", pname[:i])
+	}
+	return ns + pname[i+1:], nil
+}
+
+// Compact rewrites an IRI using the longest matching namespace, or
+// returns ("", false) when no namespace applies or the local part is not
+// a valid PN_LOCAL fragment.
+func (m *PrefixMap) Compact(iri string) (string, bool) {
+	bestPrefix, bestNS := "", ""
+	for p, ns := range m.byPrefix {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			bestPrefix, bestNS = p, ns
+		}
+	}
+	if bestNS == "" {
+		return "", false
+	}
+	local := iri[len(bestNS):]
+	if !validLocalPart(local) {
+		return "", false
+	}
+	return bestPrefix + ":" + local, true
+}
+
+// Prefixes returns the bound prefixes in sorted order.
+func (m *PrefixMap) Prefixes() []string {
+	out := make([]string, 0, len(m.byPrefix))
+	for p := range m.byPrefix {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy.
+func (m *PrefixMap) Clone() *PrefixMap {
+	c := NewPrefixMap()
+	for p, ns := range m.byPrefix {
+		c.byPrefix[p] = ns
+	}
+	return c
+}
+
+// validLocalPart accepts a conservative subset of Turtle PN_LOCAL:
+// letters, digits, '_', '-', '.', and '%' escapes; it must not be empty,
+// start with '-' or '.', or end with '.'.
+func validLocalPart(s string) bool {
+	if s == "" {
+		return true // empty local part (e.g. "qb:") is legal
+	}
+	if s[0] == '-' || s[0] == '.' || s[len(s)-1] == '.' {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_' || r == '-' || r == '.':
+		case r > 127: // permit non-ASCII name chars
+		default:
+			return false
+		}
+	}
+	return true
+}

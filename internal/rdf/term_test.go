@@ -1,0 +1,295 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", NewIRI("http://example.org/a"), KindIRI, "<http://example.org/a>"},
+		{"blank", NewBlank("b0"), KindBlank, "_:b0"},
+		{"plain", NewLiteral("hi"), KindLiteral, `"hi"`},
+		{"typed", NewTypedLiteral("5", XSDInteger), KindLiteral, `"5"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{"lang", NewLangLiteral("bonjour", "fr"), KindLiteral, `"bonjour"@fr`},
+		{"int", NewInteger(-42), KindLiteral, `"-42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{"bool", NewBoolean(true), KindLiteral, `"true"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind != c.kind {
+				t.Fatalf("kind = %v, want %v", c.term.Kind, c.kind)
+			}
+			if got := c.term.String(); got != c.str {
+				t.Fatalf("String() = %s, want %s", got, c.str)
+			}
+		})
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	iri := NewIRI("http://x/a")
+	lit := NewLiteral("v")
+	bn := NewBlank("n")
+	var zero Term
+	if !iri.IsIRI() || iri.IsLiteral() || iri.IsBlank() {
+		t.Error("IRI predicates wrong")
+	}
+	if !lit.IsLiteral() || lit.IsIRI() {
+		t.Error("literal predicates wrong")
+	}
+	if !bn.IsBlank() {
+		t.Error("blank predicates wrong")
+	}
+	if !zero.IsZero() || iri.IsZero() {
+		t.Error("zero predicates wrong")
+	}
+}
+
+func TestTermEqualityAndCompare(t *testing.T) {
+	a := NewLiteral("x")
+	b := NewLiteral("x")
+	if !a.Equal(b) {
+		t.Error("identical literals must be equal")
+	}
+	if a.Equal(NewLangLiteral("x", "en")) {
+		t.Error("lang-tagged literal must differ from plain")
+	}
+	if a.Equal(NewTypedLiteral("x", XSDInteger)) {
+		t.Error("typed literal must differ from plain")
+	}
+	if NewIRI("a").Compare(NewIRI("b")) >= 0 {
+		t.Error("IRI a should sort before b")
+	}
+	if NewBlank("z").Compare(NewIRI("a")) >= 0 {
+		t.Error("blanks sort before IRIs")
+	}
+	if NewIRI("z").Compare(NewLiteral("a")) >= 0 {
+		t.Error("IRIs sort before literals")
+	}
+	if a.Compare(b) != 0 {
+		t.Error("equal terms compare 0")
+	}
+}
+
+func TestLiteralQuoting(t *testing.T) {
+	l := NewLiteral("a\"b\\c\nd\te\rf")
+	want := `"a\"b\\c\nd\te\rf"`
+	if got := l.String(); got != want {
+		t.Fatalf("String() = %s, want %s", got, want)
+	}
+}
+
+func TestDoubleFormat(t *testing.T) {
+	if got := NewDouble(3).Value; got != "3.0" {
+		t.Errorf("NewDouble(3) = %q, want 3.0", got)
+	}
+	if got := NewDouble(2.5).Value; got != "2.5" {
+		t.Errorf("NewDouble(2.5) = %q", got)
+	}
+	if got := NewDouble(1e30).Value; got != "1e+30" {
+		t.Errorf("NewDouble(1e30) = %q", got)
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		x, y := NewLiteral(a), NewLiteral(b)
+		return x.Compare(y) == -y.Compare(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleValidAndString(t *testing.T) {
+	s := NewIRI("http://x/s")
+	p := NewIRI("http://x/p")
+	o := NewLiteral("o")
+	tr := NewTriple(s, p, o)
+	if !tr.Valid() {
+		t.Error("triple should be valid")
+	}
+	if got := tr.String(); got != `<http://x/s> <http://x/p> "o"` {
+		t.Errorf("String() = %s", got)
+	}
+	if NewTriple(o, p, s).Valid() {
+		t.Error("literal subject must be invalid")
+	}
+	if NewTriple(s, o, s).Valid() {
+		t.Error("literal predicate must be invalid")
+	}
+	if NewTriple(NewBlank("b"), p, o).Valid() != true {
+		t.Error("blank subject is valid")
+	}
+}
+
+func TestQuad(t *testing.T) {
+	s, p, o := NewIRI("s"), NewIRI("p"), NewIRI("o")
+	q := NewQuad(s, p, o, Term{})
+	if !q.InDefaultGraph() {
+		t.Error("zero graph term means default graph")
+	}
+	g := NewIRI("http://x/g")
+	q2 := NewQuad(s, p, o, g)
+	if q2.InDefaultGraph() {
+		t.Error("named graph quad misreported")
+	}
+	if q2.Triple() != NewTriple(s, p, o) {
+		t.Error("Triple() lost content")
+	}
+	if q2.String() != "<s> <p> <o> <http://x/g>" {
+		t.Errorf("String() = %s", q2.String())
+	}
+}
+
+func TestGraphAddHasMatch(t *testing.T) {
+	g := NewGraph()
+	s, p := NewIRI("s"), NewIRI("p")
+	t1 := NewTriple(s, p, NewLiteral("1"))
+	t2 := NewTriple(s, p, NewLiteral("2"))
+	if !g.Add(t1) {
+		t.Error("first Add must report true")
+	}
+	if g.Add(t1) {
+		t.Error("duplicate Add must report false")
+	}
+	g.Add(t2)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if !g.Has(t1) || g.Has(NewTriple(p, p, p)) {
+		t.Error("Has wrong")
+	}
+	if got := len(g.Match(s, Term{}, Term{})); got != 2 {
+		t.Errorf("Match subject wildcard = %d, want 2", got)
+	}
+	if got := len(g.Match(Term{}, Term{}, NewLiteral("2"))); got != 1 {
+		t.Errorf("Match object = %d, want 1", got)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph()
+	s, p, q := NewIRI("s"), NewIRI("p"), NewIRI("q")
+	g.AddAll([]Triple{
+		NewTriple(s, p, NewLiteral("a")),
+		NewTriple(s, p, NewLiteral("b")),
+		NewTriple(s, q, NewLiteral("c")),
+	})
+	if got := g.Object(s, p); got != NewLiteral("a") {
+		t.Errorf("Object = %v", got)
+	}
+	if got := g.Object(s, NewIRI("missing")); !got.IsZero() {
+		t.Errorf("missing Object = %v, want zero", got)
+	}
+	if got := len(g.Objects(s, p)); got != 2 {
+		t.Errorf("Objects = %d, want 2", got)
+	}
+	subs := g.Subjects(p, NewLiteral("a"))
+	if len(subs) != 1 || subs[0] != s {
+		t.Errorf("Subjects = %v", subs)
+	}
+}
+
+func TestGraphZeroValueUsable(t *testing.T) {
+	var g Graph
+	if !g.Add(NewTriple(NewIRI("s"), NewIRI("p"), NewIRI("o"))) {
+		t.Error("Add on zero-value Graph must work")
+	}
+	if g.Len() != 1 {
+		t.Error("zero-value graph lost triple")
+	}
+}
+
+func TestPrefixMapExpandCompact(t *testing.T) {
+	m := NewPrefixMap()
+	m.Bind("qb", "http://purl.org/linked-data/cube#")
+	m.Bind("", "http://example.org/")
+
+	iri, err := m.Expand("qb:dimension")
+	if err != nil || iri != "http://purl.org/linked-data/cube#dimension" {
+		t.Fatalf("Expand = %q, %v", iri, err)
+	}
+	iri, err = m.Expand(":thing")
+	if err != nil || iri != "http://example.org/thing" {
+		t.Fatalf("Expand default = %q, %v", iri, err)
+	}
+	if _, err := m.Expand("nope:x"); err == nil {
+		t.Error("unknown prefix must error")
+	}
+	if _, err := m.Expand("noprefix"); err == nil {
+		t.Error("name without colon must error")
+	}
+
+	pn, ok := m.Compact("http://purl.org/linked-data/cube#measure")
+	if !ok || pn != "qb:measure" {
+		t.Fatalf("Compact = %q, %v", pn, ok)
+	}
+	if _, ok := m.Compact("urn:other"); ok {
+		t.Error("Compact must fail for unbound namespace")
+	}
+	// Local parts with characters outside PN_LOCAL cannot be compacted.
+	if _, ok := m.Compact("http://example.org/a/b"); ok {
+		t.Error("slash in local part must prevent compaction")
+	}
+}
+
+func TestPrefixMapLongestMatchAndClone(t *testing.T) {
+	m := NewPrefixMap()
+	m.Bind("a", "http://x/")
+	m.Bind("b", "http://x/deep/")
+	pn, ok := m.Compact("http://x/deep/leaf")
+	if !ok || pn != "b:leaf" {
+		t.Fatalf("Compact longest = %q %v", pn, ok)
+	}
+	c := m.Clone()
+	c.Bind("a", "http://changed/")
+	if ns, _ := m.Namespace("a"); ns != "http://x/" {
+		t.Error("Clone must not alias")
+	}
+	if got := len(m.Prefixes()); got != 2 {
+		t.Errorf("Prefixes = %d, want 2", got)
+	}
+}
+
+func TestTripleCompareOrdering(t *testing.T) {
+	a := NewTriple(NewIRI("a"), NewIRI("p"), NewLiteral("1"))
+	b := NewTriple(NewIRI("b"), NewIRI("p"), NewLiteral("1"))
+	c := NewTriple(NewIRI("a"), NewIRI("q"), NewLiteral("1"))
+	d := NewTriple(NewIRI("a"), NewIRI("p"), NewLiteral("2"))
+	if a.Compare(b) >= 0 || a.Compare(c) >= 0 || a.Compare(d) >= 0 {
+		t.Error("subject/predicate/object ordering broken")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("self comparison must be 0")
+	}
+	if b.Compare(a) <= 0 {
+		t.Error("antisymmetry broken")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewTriple(NewIRI("s"), NewIRI("p"), NewLiteral("o")))
+	want := "<s> <p> \"o\" .\n"
+	if got := g.String(); got != want {
+		t.Errorf("Graph.String() = %q, want %q", got, want)
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	names := map[TermKind]string{
+		KindIRI: "IRI", KindLiteral: "Literal", KindBlank: "BlankNode", KindInvalid: "Invalid",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s, want %s", k, k.String(), want)
+		}
+	}
+}

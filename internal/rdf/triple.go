@@ -1,0 +1,170 @@
+package rdf
+
+import "strings"
+
+// Triple is an RDF triple: subject, predicate, object.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple constructs a triple.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// Valid reports whether the triple is well-formed per RDF 1.1: subject
+// must be an IRI or blank node, predicate an IRI, object any term.
+func (t Triple) Valid() bool {
+	return (t.S.IsIRI() || t.S.IsBlank()) && t.P.IsIRI() && !t.O.IsZero()
+}
+
+// String renders the triple in N-Triples syntax (without trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// Compare orders triples by subject, predicate, object.
+func (t Triple) Compare(o Triple) int {
+	if c := t.S.Compare(o.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(o.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(o.O)
+}
+
+// Quad is a triple plus the graph it belongs to. A zero Graph term
+// denotes the default graph.
+type Quad struct {
+	S, P, O Term
+	G       Term
+}
+
+// NewQuad constructs a quad. Pass the zero Term as g for the default
+// graph.
+func NewQuad(s, p, o, g Term) Quad { return Quad{S: s, P: p, O: o, G: g} }
+
+// Triple returns the triple part of the quad.
+func (q Quad) Triple() Triple { return Triple{S: q.S, P: q.P, O: q.O} }
+
+// InDefaultGraph reports whether the quad belongs to the default graph.
+func (q Quad) InDefaultGraph() bool { return q.G.IsZero() }
+
+// String renders the quad in N-Quads syntax (without trailing dot).
+func (q Quad) String() string {
+	if q.InDefaultGraph() {
+		return q.Triple().String()
+	}
+	return q.Triple().String() + " " + q.G.String()
+}
+
+// Graph is a simple set of triples with insertion-order iteration.
+// It is the lightweight container used by parsers and triple
+// generators; the query engine uses store.Store instead.
+type Graph struct {
+	triples []Triple
+	index   map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[Triple]struct{})}
+}
+
+// Add inserts a triple if not already present and reports whether it was
+// added.
+func (g *Graph) Add(t Triple) bool {
+	if g.index == nil {
+		g.index = make(map[Triple]struct{})
+	}
+	if _, ok := g.index[t]; ok {
+		return false
+	}
+	g.index[t] = struct{}{}
+	g.triples = append(g.triples, t)
+	return true
+}
+
+// AddAll inserts every triple from ts.
+func (g *Graph) AddAll(ts []Triple) {
+	for _, t := range ts {
+		g.Add(t)
+	}
+}
+
+// Has reports whether the graph contains the triple.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.index[t]
+	return ok
+}
+
+// Len returns the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns the triples in insertion order. The returned slice
+// must not be modified.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Match returns all triples matching the pattern; zero terms are
+// wildcards.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	var out []Triple
+	for _, t := range g.triples {
+		if !s.IsZero() && t.S != s {
+			continue
+		}
+		if !p.IsZero() && t.P != p {
+			continue
+		}
+		if !o.IsZero() && t.O != o {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Objects returns the objects of all triples with the given subject and
+// predicate.
+func (g *Graph) Objects(s, p Term) []Term {
+	var out []Term
+	for _, t := range g.Match(s, p, Term{}) {
+		out = append(out, t.O)
+	}
+	return out
+}
+
+// Object returns the first object for (s, p), or the zero term.
+func (g *Graph) Object(s, p Term) Term {
+	for _, t := range g.triples {
+		if t.S == s && t.P == p {
+			return t.O
+		}
+	}
+	return Term{}
+}
+
+// Subjects returns the distinct subjects of triples with the given
+// predicate and object.
+func (g *Graph) Subjects(p, o Term) []Term {
+	seen := make(map[Term]struct{})
+	var out []Term
+	for _, t := range g.Match(Term{}, p, o) {
+		if _, ok := seen[t.S]; ok {
+			continue
+		}
+		seen[t.S] = struct{}{}
+		out = append(out, t.S)
+	}
+	return out
+}
+
+// String renders the whole graph in N-Triples syntax, one triple per
+// line, for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, t := range g.triples {
+		b.WriteString(t.String())
+		b.WriteString(" .\n")
+	}
+	return b.String()
+}

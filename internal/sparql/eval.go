@@ -1,0 +1,661 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Engine evaluates parsed queries and updates against a store.Store.
+type Engine struct {
+	store *store.Store
+
+	// DisableReorder turns off the greedy join-order optimizer so BGP
+	// patterns run in textual order (used by the planner ablation
+	// benchmark).
+	DisableReorder bool
+}
+
+// NewEngine returns an engine over st.
+func NewEngine(st *store.Store) *Engine {
+	return &Engine{store: st}
+}
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// Results is a SPARQL SELECT result table.
+type Results struct {
+	Vars []string
+	Rows [][]rdf.Term // zero terms are unbound
+}
+
+// varTable assigns a dense slot to every variable of a query.
+type varTable struct {
+	names []string
+	index map[string]int
+}
+
+func newVarTable() *varTable {
+	return &varTable{index: make(map[string]int)}
+}
+
+func (vt *varTable) slot(name string) int {
+	if i, ok := vt.index[name]; ok {
+		return i
+	}
+	i := len(vt.names)
+	vt.names = append(vt.names, name)
+	vt.index[name] = i
+	return i
+}
+
+// solution is one row of bindings, indexed by varTable slots; the zero
+// term means unbound.
+type solution []rdf.Term
+
+func (s solution) clone() solution {
+	c := make(solution, len(s))
+	copy(c, s)
+	return c
+}
+
+// graphCtx identifies the active graph during evaluation.
+type graphCtx struct {
+	gid store.ID // NoID = default graph
+}
+
+// run is the per-execution state.
+type run struct {
+	e   *Engine
+	vt  *varTable
+	ctx graphCtx
+}
+
+// Query evaluates a SELECT or ASK query, returning a Results table (ASK
+// yields a single row with variable "ask" bound to a boolean).
+func (e *Engine) Query(q *Query) (*Results, error) {
+	switch q.Form {
+	case FormSelect:
+		return e.Select(q)
+	case FormAsk:
+		ok, err := e.Ask(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Results{Vars: []string{"ask"}, Rows: [][]rdf.Term{{rdf.NewBoolean(ok)}}}, nil
+	case FormConstruct:
+		return nil, fmt.Errorf("sparql: use Construct for CONSTRUCT queries")
+	default:
+		return nil, fmt.Errorf("sparql: unknown query form")
+	}
+}
+
+// QueryString parses and evaluates a SELECT/ASK query string.
+func (e *Engine) QueryString(src string) (*Results, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(q)
+}
+
+// Select evaluates a SELECT query.
+func (e *Engine) Select(q *Query) (*Results, error) {
+	if q.Form != FormSelect {
+		return nil, fmt.Errorf("sparql: not a SELECT query")
+	}
+	r := &run{e: e, vt: newVarTable()}
+	collectVars(q, r.vt)
+	return r.evalSelect(q)
+}
+
+// Ask evaluates an ASK query.
+func (e *Engine) Ask(q *Query) (bool, error) {
+	r := &run{e: e, vt: newVarTable()}
+	collectVars(q, r.vt)
+	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// Construct evaluates a CONSTRUCT query and returns the instantiated,
+// deduplicated triples.
+func (e *Engine) Construct(q *Query) ([]rdf.Triple, error) {
+	if q.Form != FormConstruct {
+		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
+	}
+	r := &run{e: e, vt: newVarTable()}
+	collectVars(q, r.vt)
+	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
+	if err != nil {
+		return nil, err
+	}
+	g := rdf.NewGraph()
+	for _, row := range rows {
+		for _, tp := range q.Template {
+			s, okS := r.resolve(tp.S, row)
+			p, okP := r.resolve(tp.P, row)
+			o, okO := r.resolve(tp.O, row)
+			if !okS || !okP || !okO {
+				continue
+			}
+			t := rdf.NewTriple(s, p, o)
+			if t.Valid() {
+				g.Add(t)
+			}
+		}
+	}
+	return g.Triples(), nil
+}
+
+// resolve substitutes a pattern term under a row.
+func (r *run) resolve(pt PatternTerm, row solution) (rdf.Term, bool) {
+	if !pt.IsVar {
+		return pt.Term, true
+	}
+	idx, ok := r.vt.index[pt.Var]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	t := row[idx]
+	return t, !t.IsZero()
+}
+
+func (r *run) evalSelect(q *Query) (*Results, error) {
+	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(q.GroupBy) > 0 || projectionHasAggregates(q)
+	var res *Results
+	if grouped {
+		res, err = r.evalGrouped(q, rows)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err = r.evalUngrouped(q, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if q.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func projectionHasAggregates(q *Query) bool {
+	for _, it := range q.Projection {
+		if it.Expr != nil && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expression) bool {
+	switch x := e.(type) {
+	case ExprAggregate:
+		return true
+	case ExprBinary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case ExprNot:
+		return exprHasAggregate(x.X)
+	case ExprNeg:
+		return exprHasAggregate(x.X)
+	case ExprCall:
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case ExprIn:
+		if exprHasAggregate(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
+	// ORDER BY before projection so order keys may use any variable.
+	if len(q.OrderBy) > 0 {
+		r.sortRows(rows, q.OrderBy)
+	}
+	var vars []string
+	if q.Star {
+		for _, n := range r.vt.names {
+			if !strings.HasPrefix(n, "_") { // hide internal blank-node vars
+				vars = append(vars, n)
+			}
+		}
+		sort.Strings(vars)
+	} else {
+		for _, it := range q.Projection {
+			vars = append(vars, it.Var)
+		}
+	}
+	out := &Results{Vars: vars}
+	for _, row := range rows {
+		orow := make([]rdf.Term, len(vars))
+		if q.Star {
+			for i, n := range vars {
+				orow[i] = row[r.vt.index[n]]
+			}
+		} else {
+			for i, it := range q.Projection {
+				if it.Expr == nil {
+					if idx, ok := r.vt.index[it.Var]; ok {
+						orow[i] = row[idx]
+					}
+					continue
+				}
+				if v, err := r.evalExpr(it.Expr, row); err == nil {
+					orow[i] = v
+				}
+			}
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+	return out, nil
+}
+
+// groupKey renders group-by expression values into a comparable key.
+func (r *run) groupKey(exprs []Expression, row solution) (string, []rdf.Term) {
+	vals := make([]rdf.Term, len(exprs))
+	var b strings.Builder
+	for i, e := range exprs {
+		v, err := r.evalExpr(e, row)
+		if err == nil {
+			vals[i] = v
+		}
+		b.WriteString(vals[i].String())
+		b.WriteByte('\x00')
+	}
+	return b.String(), vals
+}
+
+func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
+	type group struct {
+		keyVals []rdf.Term
+		rows    []solution
+	}
+	order := []string{}
+	groups := map[string]*group{}
+	for _, row := range rows {
+		k, vals := r.groupKey(q.GroupBy, row)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: vals}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// A grouped query with no GROUP BY clause (implicit grouping, e.g.
+	// SELECT (COUNT(*) AS ?n)) forms a single group even when empty.
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	var vars []string
+	for _, it := range q.Projection {
+		vars = append(vars, it.Var)
+	}
+	out := &Results{Vars: vars}
+
+	// For HAVING/ORDER BY on grouped results we evaluate against a
+	// representative row (the first of the group, or an empty row).
+	for _, k := range order {
+		g := groups[k]
+		rep := make(solution, len(r.vt.names))
+		if len(g.rows) > 0 {
+			rep = g.rows[0]
+		}
+		keep := true
+		for _, h := range q.Having {
+			v, err := r.evalAggExpr(h, g.rows, rep)
+			if err != nil {
+				keep = false
+				break
+			}
+			b, err := ebv(v)
+			if err != nil || !b {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		orow := make([]rdf.Term, len(q.Projection))
+		for i, it := range q.Projection {
+			if it.Expr == nil {
+				if idx, ok := r.vt.index[it.Var]; ok && len(g.rows) > 0 {
+					orow[i] = rep[idx]
+				}
+				continue
+			}
+			if v, err := r.evalAggExpr(it.Expr, g.rows, rep); err == nil {
+				orow[i] = v
+			}
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+
+	if len(q.OrderBy) > 0 {
+		r.sortProjected(out, q.OrderBy)
+	}
+	return out, nil
+}
+
+// evalAggExpr evaluates an expression that may contain aggregates over
+// the rows of one group; non-aggregate parts use the representative
+// row.
+func (r *run) evalAggExpr(e Expression, groupRows []solution, rep solution) (rdf.Term, error) {
+	switch x := e.(type) {
+	case ExprAggregate:
+		return r.evalAggregate(x, groupRows)
+	case ExprBinary:
+		l, err := r.evalAggExpr(x.L, groupRows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		rv, err := r.evalAggExpr(x.R, groupRows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return r.evalBinary(ExprBinary{Op: x.Op, L: ExprConst{l}, R: ExprConst{rv}}, rep)
+	case ExprNot:
+		inner, err := r.evalAggExpr(x.X, groupRows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return r.evalExpr(ExprNot{X: ExprConst{inner}}, rep)
+	case ExprNeg:
+		inner, err := r.evalAggExpr(x.X, groupRows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return r.evalExpr(ExprNeg{X: ExprConst{inner}}, rep)
+	case ExprCall:
+		args := make([]Expression, len(x.Args))
+		for i, a := range x.Args {
+			v, err := r.evalAggExpr(a, groupRows, rep)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			args[i] = ExprConst{v}
+		}
+		return r.evalCall(ExprCall{Name: x.Name, Args: args}, rep)
+	default:
+		return r.evalExpr(e, rep)
+	}
+}
+
+func (r *run) evalAggregate(agg ExprAggregate, rows []solution) (rdf.Term, error) {
+	// Collect argument values (skipping evaluation errors per spec).
+	var vals []rdf.Term
+	if agg.Star {
+		vals = make([]rdf.Term, len(rows))
+		for i := range rows {
+			vals[i] = rdf.NewInteger(1) // placeholder; COUNT(*) counts rows
+		}
+	} else {
+		for _, row := range rows {
+			v, err := r.evalExpr(agg.Arg, row)
+			if err != nil {
+				continue
+			}
+			vals = append(vals, v)
+		}
+	}
+	if agg.Distinct {
+		seen := make(map[rdf.Term]struct{}, len(vals))
+		uniq := vals[:0]
+		for _, v := range vals {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			uniq = append(uniq, v)
+		}
+		vals = uniq
+	}
+
+	switch agg.Func {
+	case "COUNT":
+		return rdf.NewInteger(int64(len(vals))), nil
+	case "SUM":
+		sum := numeric{isInt: true}
+		for _, v := range vals {
+			n, ok := numericOf(v)
+			if !ok {
+				return rdf.Term{}, errTypeError
+			}
+			sum = addNumeric(sum, n)
+		}
+		return numericTerm(sum), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return rdf.NewInteger(0), nil
+		}
+		sum := numeric{isInt: true}
+		for _, v := range vals {
+			n, ok := numericOf(v)
+			if !ok {
+				return rdf.Term{}, errTypeError
+			}
+			sum = addNumeric(sum, n)
+		}
+		avg := sum.asFloat() / float64(len(vals))
+		if sum.isInt && avg == float64(int64(avg)) {
+			return rdf.NewInteger(int64(avg)), nil
+		}
+		return numericTerm(numeric{f: avg}), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return rdf.Term{}, errTypeError
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := compareTerms(v, best)
+			if err != nil {
+				c = strings.Compare(v.Value, best.Value)
+			}
+			if (agg.Func == "MIN" && c < 0) || (agg.Func == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SAMPLE":
+		if len(vals) == 0 {
+			return rdf.Term{}, errTypeError
+		}
+		return vals[0], nil
+	case "GROUP_CONCAT":
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.Value
+		}
+		return rdf.NewLiteral(strings.Join(parts, agg.Separator)), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown aggregate %s", agg.Func)
+	}
+}
+
+func addNumeric(a, b numeric) numeric {
+	if a.isInt && b.isInt {
+		return numeric{isInt: true, i: a.i + b.i}
+	}
+	return numeric{f: a.asFloat() + b.asFloat()}
+}
+
+// sortRows orders full solutions by the given conditions.
+func (r *run) sortRows(rows []solution, conds []OrderCondition) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range conds {
+			vi, ei := r.evalExpr(c.Expr, rows[i])
+			vj, ej := r.evalExpr(c.Expr, rows[j])
+			cmp := orderCompare(vi, ei, vj, ej)
+			if cmp == 0 {
+				continue
+			}
+			if c.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}
+
+// sortProjected orders an already-projected result table; order
+// expressions may reference projected variables only.
+func (r *run) sortProjected(res *Results, conds []OrderCondition) {
+	idx := make(map[string]int, len(res.Vars))
+	for i, v := range res.Vars {
+		idx[v] = i
+	}
+	lookup := func(e Expression, row []rdf.Term) (rdf.Term, error) {
+		v, ok := e.(ExprVar)
+		if !ok {
+			return rdf.Term{}, errTypeError
+		}
+		i, ok := idx[v.Name]
+		if !ok {
+			return rdf.Term{}, errUnbound
+		}
+		return row[i], nil
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, c := range conds {
+			vi, ei := lookup(c.Expr, res.Rows[i])
+			vj, ej := lookup(c.Expr, res.Rows[j])
+			cmp := orderCompare(vi, ei, vj, ej)
+			if cmp == 0 {
+				continue
+			}
+			if c.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}
+
+// orderCompare implements the SPARQL total order for ORDER BY: errors
+// and unbound sort lowest, then by term order with numeric awareness.
+func orderCompare(a rdf.Term, ea error, b rdf.Term, eb error) int {
+	if ea != nil && eb != nil {
+		return 0
+	}
+	if ea != nil {
+		return -1
+	}
+	if eb != nil {
+		return 1
+	}
+	if c, err := compareTerms(a, b); err == nil {
+		return c
+	}
+	return a.Compare(b)
+}
+
+func distinctRows(rows [][]rdf.Term) [][]rdf.Term {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		var b strings.Builder
+		for _, t := range row {
+			b.WriteString(t.String())
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Describe evaluates a DESCRIBE query: for each target resource (given
+// directly or bound by the WHERE pattern) it returns the one-hop
+// description — every triple with the resource as subject or object.
+func (e *Engine) Describe(q *Query) ([]rdf.Triple, error) {
+	if q.Form != FormDescribe {
+		return nil, fmt.Errorf("sparql: not a DESCRIBE query")
+	}
+	r := &run{e: e, vt: newVarTable()}
+	collectVars(q, r.vt)
+	for _, d := range q.Describe {
+		if d.IsVar {
+			r.vt.slot(d.Var)
+		}
+	}
+
+	rows := []solution{make(solution, len(r.vt.names))}
+	if len(q.Where.Elements) > 0 {
+		var err error
+		rows, err = r.evalGroup(q.Where, rows, graphCtx{})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	targets := make(map[rdf.Term]struct{})
+	for _, d := range q.Describe {
+		if !d.IsVar {
+			targets[d.Term] = struct{}{}
+			continue
+		}
+		idx, ok := r.vt.index[d.Var]
+		if !ok {
+			continue
+		}
+		for _, row := range rows {
+			if t := row[idx]; !t.IsZero() {
+				targets[t] = struct{}{}
+			}
+		}
+	}
+
+	g := rdf.NewGraph()
+	for t := range targets {
+		for _, tr := range e.store.MatchAll(rdf.Term{}, t, rdf.Term{}, rdf.Term{}) {
+			g.Add(tr)
+		}
+		for _, tr := range e.store.MatchAll(rdf.Term{}, rdf.Term{}, rdf.Term{}, t) {
+			g.Add(tr)
+		}
+	}
+	return g.Triples(), nil
+}

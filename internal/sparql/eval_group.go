@@ -1,0 +1,657 @@
+package sparql
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// collectVars walks the query registering every variable in the var
+// table so solutions have a stable width.
+func collectVars(q *Query, vt *varTable) {
+	for _, it := range q.Projection {
+		vt.slot(it.Var)
+		if it.Expr != nil {
+			collectExprVars(it.Expr, vt)
+		}
+	}
+	collectGroupVars(q.Where, vt)
+	for _, e := range q.GroupBy {
+		collectExprVars(e, vt)
+	}
+	for _, e := range q.Having {
+		collectExprVars(e, vt)
+	}
+	for _, oc := range q.OrderBy {
+		collectExprVars(oc.Expr, vt)
+	}
+	for _, tp := range q.Template {
+		collectPatternTermVars(tp.S, vt)
+		collectPatternTermVars(tp.P, vt)
+		collectPatternTermVars(tp.O, vt)
+	}
+}
+
+func collectGroupVars(g GroupGraphPattern, vt *varTable) {
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case TriplePattern:
+			collectPatternTermVars(e.S, vt)
+			collectPatternTermVars(e.P, vt)
+			collectPatternTermVars(e.O, vt)
+		case FilterElement:
+			collectExprVars(e.Expr, vt)
+		case BindElement:
+			vt.slot(e.Var)
+			collectExprVars(e.Expr, vt)
+		case OptionalElement:
+			collectGroupVars(e.Pattern, vt)
+		case UnionElement:
+			for _, b := range e.Branches {
+				collectGroupVars(b, vt)
+			}
+		case MinusElement:
+			collectGroupVars(e.Pattern, vt)
+		case GraphElement:
+			collectPatternTermVars(e.Graph, vt)
+			collectGroupVars(e.Pattern, vt)
+		case GroupElement:
+			collectGroupVars(e.Pattern, vt)
+		case ValuesElement:
+			for _, v := range e.Vars {
+				vt.slot(v)
+			}
+		case SubSelectElement:
+			// Only projected variables of the subquery join with the
+			// outer query.
+			for _, it := range e.Query.Projection {
+				vt.slot(it.Var)
+			}
+			if e.Query.Star {
+				sub := newVarTable()
+				collectVars(e.Query, sub)
+				for _, n := range sub.names {
+					vt.slot(n)
+				}
+			}
+		}
+	}
+}
+
+func collectPatternTermVars(pt PatternTerm, vt *varTable) {
+	if pt.IsVar {
+		vt.slot(pt.Var)
+	}
+}
+
+func collectExprVars(e Expression, vt *varTable) {
+	switch x := e.(type) {
+	case ExprVar:
+		vt.slot(x.Name)
+	case ExprBinary:
+		collectExprVars(x.L, vt)
+		collectExprVars(x.R, vt)
+	case ExprNot:
+		collectExprVars(x.X, vt)
+	case ExprNeg:
+		collectExprVars(x.X, vt)
+	case ExprCall:
+		for _, a := range x.Args {
+			collectExprVars(a, vt)
+		}
+	case ExprIn:
+		collectExprVars(x.X, vt)
+		for _, a := range x.List {
+			collectExprVars(a, vt)
+		}
+	case ExprExists:
+		collectGroupVars(x.Pattern, vt)
+	case ExprAggregate:
+		if x.Arg != nil {
+			collectExprVars(x.Arg, vt)
+		}
+	}
+}
+
+// evalGroup evaluates a group graph pattern over the input solutions.
+// Consecutive triple patterns form a basic graph pattern and are
+// join-ordered together; other elements apply in sequence.
+func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]solution, error) {
+	prevCtx := r.ctx
+	r.ctx = ctx
+	defer func() { r.ctx = prevCtx }()
+
+	rows := input
+	var bgp []TriplePattern
+	flush := func() error {
+		if len(bgp) == 0 {
+			return nil
+		}
+		var err error
+		rows, err = r.evalBGP(bgp, rows, ctx)
+		bgp = nil
+		return err
+	}
+
+	for _, el := range g.Elements {
+		if tp, ok := el.(TriplePattern); ok {
+			bgp = append(bgp, tp)
+			continue
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		switch e := el.(type) {
+		case FilterElement:
+			var kept []solution
+			for _, row := range rows {
+				v, err := r.evalExpr(e.Expr, row)
+				if err != nil {
+					continue
+				}
+				if b, err := ebv(v); err == nil && b {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		case BindElement:
+			idx := r.vt.slot(e.Var)
+			var out []solution
+			for _, row := range rows {
+				nrow := row.clone()
+				if v, err := r.evalExpr(e.Expr, row); err == nil {
+					nrow[idx] = v
+				}
+				out = append(out, nrow)
+			}
+			rows = out
+		case OptionalElement:
+			// Fast path: an OPTIONAL holding exactly one triple pattern
+			// (the common shape for label lookups) avoids the recursive
+			// group evaluation per row.
+			if tp, ok := singleTriplePattern(e.Pattern); ok {
+				rows = r.optionalSingle(tp, rows, ctx)
+				continue
+			}
+			var out []solution
+			for _, row := range rows {
+				ext, err := r.evalGroup(e.Pattern, []solution{row}, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if len(ext) == 0 {
+					out = append(out, row)
+				} else {
+					out = append(out, ext...)
+				}
+			}
+			rows = out
+		case UnionElement:
+			var out []solution
+			for _, b := range e.Branches {
+				ext, err := r.evalGroup(b, rows, ctx)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ext...)
+			}
+			rows = out
+		case MinusElement:
+			right, err := r.evalGroup(e.Pattern, []solution{make(solution, len(r.vt.names))}, ctx)
+			if err != nil {
+				return nil, err
+			}
+			var kept []solution
+			for _, row := range rows {
+				excluded := false
+				for _, rr := range right {
+					if compatibleSharing(row, rr) {
+						excluded = true
+						break
+					}
+				}
+				if !excluded {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		case GraphElement:
+			var out []solution
+			if !e.Graph.IsVar {
+				gid, ok := r.e.store.GraphID(e.Graph.Term)
+				if !ok {
+					rows = nil
+					continue
+				}
+				ext, err := r.evalGroup(e.Pattern, rows, graphCtx{gid: gid})
+				if err != nil {
+					return nil, err
+				}
+				out = ext
+			} else {
+				idx := r.vt.slot(e.Graph.Var)
+				for _, gid := range r.e.store.NamedGraphIDs() {
+					gterm := r.e.store.Dict().Term(gid)
+					// Respect an existing binding of the graph var.
+					var seed []solution
+					for _, row := range rows {
+						if !row[idx].IsZero() && row[idx] != gterm {
+							continue
+						}
+						nrow := row.clone()
+						nrow[idx] = gterm
+						seed = append(seed, nrow)
+					}
+					if len(seed) == 0 {
+						continue
+					}
+					ext, err := r.evalGroup(e.Pattern, seed, graphCtx{gid: gid})
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, ext...)
+				}
+			}
+			rows = out
+		case GroupElement:
+			ext, err := r.evalGroup(e.Pattern, rows, ctx)
+			if err != nil {
+				return nil, err
+			}
+			rows = ext
+		case ValuesElement:
+			rows = r.joinValues(rows, e)
+		case SubSelectElement:
+			sub, err := r.evalSubSelect(e.Query)
+			if err != nil {
+				return nil, err
+			}
+			rows = r.joinResults(rows, sub)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// evalSubSelect runs a nested SELECT independently and returns its
+// result table.
+func (r *run) evalSubSelect(q *Query) (*Results, error) {
+	sub := &run{e: r.e, vt: newVarTable()}
+	collectVars(q, sub.vt)
+	return sub.evalSelect(q)
+}
+
+// joinResults joins the current solutions with a projected result table
+// on shared variable names.
+func (r *run) joinResults(rows []solution, res *Results) []solution {
+	slots := make([]int, len(res.Vars))
+	for i, v := range res.Vars {
+		slots[i] = r.vt.slot(v)
+	}
+	var out []solution
+	for _, row := range rows {
+		for _, rrow := range res.Rows {
+			nrow := row.clone()
+			ok := true
+			for i, slot := range slots {
+				v := rrow[i]
+				if v.IsZero() {
+					continue
+				}
+				if !nrow[slot].IsZero() && nrow[slot] != v {
+					ok = false
+					break
+				}
+				nrow[slot] = v
+			}
+			if ok {
+				out = append(out, nrow)
+			}
+		}
+	}
+	return out
+}
+
+func (r *run) joinValues(rows []solution, v ValuesElement) []solution {
+	slots := make([]int, len(v.Vars))
+	for i, name := range v.Vars {
+		slots[i] = r.vt.slot(name)
+	}
+	var out []solution
+	for _, row := range rows {
+		for _, data := range v.Rows {
+			nrow := row.clone()
+			ok := true
+			for i, slot := range slots {
+				val := data[i]
+				if val.IsZero() { // UNDEF
+					continue
+				}
+				if !nrow[slot].IsZero() && nrow[slot] != val {
+					ok = false
+					break
+				}
+				nrow[slot] = val
+			}
+			if ok {
+				out = append(out, nrow)
+			}
+		}
+	}
+	return out
+}
+
+// singleTriplePattern reports whether a group consists of exactly one
+// plain triple pattern.
+func singleTriplePattern(g GroupGraphPattern) (TriplePattern, bool) {
+	if len(g.Elements) != 1 {
+		return TriplePattern{}, false
+	}
+	tp, ok := g.Elements[0].(TriplePattern)
+	if !ok || tp.Path != nil {
+		return TriplePattern{}, false
+	}
+	return tp, true
+}
+
+// optionalSingle implements OPTIONAL { <one pattern> }: every left row
+// is kept, extended by each match when there is one.
+func (r *run) optionalSingle(tp TriplePattern, rows []solution, ctx graphCtx) []solution {
+	gterm := r.graphTerm(ctx)
+	out := make([]solution, 0, len(rows))
+	for _, row := range rows {
+		s, sBound := r.resolve(tp.S, row)
+		p, pBound := r.resolve(tp.P, row)
+		o, oBound := r.resolve(tp.O, row)
+		var sPat, pPat, oPat rdf.Term
+		if sBound {
+			sPat = s
+		}
+		if pBound {
+			pPat = p
+		}
+		if oBound {
+			oPat = o
+		}
+		matched := false
+		r.e.store.Match(gterm, sPat, pPat, oPat, func(t rdf.Triple) bool {
+			nrow := row.clone()
+			if tp.S.IsVar && !sBound {
+				idx := r.vt.index[tp.S.Var]
+				if !nrow[idx].IsZero() && nrow[idx] != t.S {
+					return true
+				}
+				nrow[idx] = t.S
+			}
+			if tp.P.IsVar && !pBound {
+				idx := r.vt.index[tp.P.Var]
+				if !nrow[idx].IsZero() && nrow[idx] != t.P {
+					return true
+				}
+				nrow[idx] = t.P
+			}
+			if tp.O.IsVar && !oBound {
+				idx := r.vt.index[tp.O.Var]
+				if !nrow[idx].IsZero() && nrow[idx] != t.O {
+					return true
+				}
+				nrow[idx] = t.O
+			}
+			matched = true
+			out = append(out, nrow)
+			return true
+		})
+		if !matched {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// compatibleSharing reports whether two solutions agree on all shared
+// bound variables and share at least one.
+func compatibleSharing(a, b solution) bool {
+	shared := false
+	for i := range a {
+		if a[i].IsZero() || b[i].IsZero() {
+			continue
+		}
+		if a[i] != b[i] {
+			return false
+		}
+		shared = true
+	}
+	return shared
+}
+
+// evalBGP joins a basic graph pattern into the current solutions using
+// greedy selectivity-based ordering (unless disabled).
+func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) ([]solution, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	remaining := make([]TriplePattern, len(patterns))
+	copy(remaining, patterns)
+
+	bound := make(map[string]bool)
+	// Variables already bound in the input solutions count as bound for
+	// selectivity estimation (probe the first row).
+	for name, idx := range r.vt.index {
+		if !rows[0][idx].IsZero() {
+			bound[name] = true
+		}
+	}
+
+	// Rows produced by a previous join iteration are exclusively owned
+	// by this BGP evaluation and may be extended in place when a
+	// pattern matches exactly once; the input rows are shared with the
+	// caller and must be cloned.
+	owned := false
+	for len(remaining) > 0 {
+		next := 0
+		if !r.e.DisableReorder && len(remaining) > 1 {
+			// Prefer patterns connected to the already-bound variables;
+			// a disconnected pattern forces a cartesian product and is
+			// only taken when nothing else remains.
+			candidates := make([]int, 0, len(remaining))
+			for i, tp := range remaining {
+				if patternConnected(tp, bound) {
+					candidates = append(candidates, i)
+				}
+			}
+			if len(candidates) == 0 {
+				for i := range remaining {
+					candidates = append(candidates, i)
+				}
+			}
+			best := -1
+			for _, i := range candidates {
+				cost := r.estimateCost(remaining[i], bound, ctx)
+				if best < 0 || cost < best {
+					best = cost
+					next = i
+				}
+			}
+		}
+		tp := remaining[next]
+		remaining = append(remaining[:next], remaining[next+1:]...)
+
+		var err error
+		rows, err = r.joinPatternOwned(tp, rows, ctx, owned)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		owned = true
+		markBound(tp, bound)
+	}
+	return rows, nil
+}
+
+// patternConnected reports whether the pattern shares a variable with
+// the bound set, or has no variables at all (pure existence check), or
+// the bound set is still empty (any pattern may start the join).
+func patternConnected(tp TriplePattern, bound map[string]bool) bool {
+	if len(bound) == 0 {
+		return true
+	}
+	vars := 0
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar {
+			vars++
+			if bound[pt.Var] {
+				return true
+			}
+		}
+	}
+	return vars == 0
+}
+
+func markBound(tp TriplePattern, bound map[string]bool) {
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar {
+			bound[pt.Var] = true
+		}
+	}
+}
+
+// estimateCost returns the store's exact count for the pattern with
+// bound variables treated as constants of unknown value (estimated by
+// the count with that position wildcarded). Lower is better.
+func (r *run) estimateCost(tp TriplePattern, bound map[string]bool, ctx graphCtx) int {
+	var pat store.IDTriple
+	lookup := func(pt PatternTerm) (store.ID, bool) {
+		if pt.IsVar {
+			return store.NoID, true
+		}
+		id, ok := r.e.store.Dict().Lookup(pt.Term)
+		if !ok {
+			return store.NoID, false
+		}
+		return id, true
+	}
+	var ok bool
+	if pat.S, ok = lookup(tp.S); !ok {
+		return 0
+	}
+	if tp.Path == nil {
+		if pat.P, ok = lookup(tp.P); !ok {
+			return 0
+		}
+	}
+	if pat.O, ok = lookup(tp.O); !ok {
+		return 0
+	}
+	count := r.e.store.Count(ctx.gid, pat)
+	// A variable that is already bound restricts the result further;
+	// reward patterns touching bound variables.
+	discount := 1
+	if tp.S.IsVar && bound[tp.S.Var] {
+		discount *= 8
+	}
+	if tp.O.IsVar && bound[tp.O.Var] {
+		discount *= 4
+	}
+	if tp.P.IsVar && bound[tp.P.Var] {
+		discount *= 2
+	}
+	return count / discount
+}
+
+// joinPattern extends every solution with the matches of one pattern.
+// Input rows are never mutated.
+func (r *run) joinPattern(tp TriplePattern, rows []solution, ctx graphCtx) ([]solution, error) {
+	return r.joinPatternOwned(tp, rows, ctx, false)
+}
+
+// joinPatternOwned is joinPattern with an ownership hint: when owned is
+// true, an input row with exactly one match is extended in place
+// instead of cloned, which removes the dominant allocation cost of
+// long functional join chains (one row per observation through every
+// pattern of a generated OLAP query).
+func (r *run) joinPatternOwned(tp TriplePattern, rows []solution, ctx graphCtx, owned bool) ([]solution, error) {
+	if tp.Path != nil {
+		return r.joinPath(tp, rows, ctx)
+	}
+	gterm := rdf.Term{}
+	if ctx.gid != store.NoID {
+		gterm = r.e.store.Dict().Term(ctx.gid)
+	}
+	out := make([]solution, 0, len(rows))
+	for _, row := range rows {
+		s, sBound := r.resolve(tp.S, row)
+		p, pBound := r.resolve(tp.P, row)
+		o, oBound := r.resolve(tp.O, row)
+		var sPat, pPat, oPat rdf.Term
+		if sBound {
+			sPat = s
+		}
+		if pBound {
+			pPat = p
+		}
+		if oBound {
+			oPat = o
+		}
+		// extend writes the pattern's bindings into dst, reporting
+		// whether repeated-variable constraints hold.
+		extend := func(dst solution, t rdf.Triple) bool {
+			if tp.S.IsVar && !sBound {
+				idx := r.vt.index[tp.S.Var]
+				if !dst[idx].IsZero() && dst[idx] != t.S {
+					return false
+				}
+				dst[idx] = t.S
+			}
+			if tp.P.IsVar && !pBound {
+				idx := r.vt.index[tp.P.Var]
+				if !dst[idx].IsZero() && dst[idx] != t.P {
+					return false
+				}
+				dst[idx] = t.P
+			}
+			if tp.O.IsVar && !oBound {
+				idx := r.vt.index[tp.O.Var]
+				if !dst[idx].IsZero() && dst[idx] != t.O {
+					return false
+				}
+				dst[idx] = t.O
+			}
+			return true
+		}
+
+		var first rdf.Triple
+		matches := 0
+		r.e.store.Match(gterm, sPat, pPat, oPat, func(t rdf.Triple) bool {
+			matches++
+			switch matches {
+			case 1:
+				first = t
+			case 2:
+				// More than one match: fall back to cloning, emitting
+				// the deferred first match now.
+				if nrow := row.clone(); extend(nrow, first) {
+					out = append(out, nrow)
+				}
+				fallthrough
+			default:
+				if nrow := row.clone(); extend(nrow, t) {
+					out = append(out, nrow)
+				}
+			}
+			return true
+		})
+		if matches == 1 {
+			dst := row
+			if !owned {
+				dst = row.clone()
+			}
+			if extend(dst, first) {
+				out = append(out, dst)
+			}
+		}
+	}
+	return out, nil
+}

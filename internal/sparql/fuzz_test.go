@@ -1,0 +1,69 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/store"
+)
+
+// FuzzParseQuery checks the SPARQL query parser never panics, and that
+// anything it accepts can be evaluated against an empty store without
+// panicking.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`SELECT DISTINCT ?s (COUNT(*) AS ?n) WHERE { ?s a <http://t> } GROUP BY ?s HAVING (COUNT(*) > 1) ORDER BY DESC(?n) LIMIT 5 OFFSET 1`,
+		`PREFIX ex: <http://x/> ASK { ex:a ex:p/ex:q+ ?o FILTER(?o > 3 && REGEX(STR(?o), "a")) }`,
+		`CONSTRUCT { ?s <http://p> ?o } WHERE { ?s <http://q> ?o OPTIONAL { ?s <http://r> ?x } }`,
+		`SELECT ?s WHERE { { ?s <http://a> 1 } UNION { ?s <http://b> 2.5 } MINUS { ?s <http://c> "x"@en } }`,
+		`SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } VALUES (?s) { (<http://x>) (UNDEF) } }`,
+		`SELECT ?s WHERE { ?s <http://p> [ <http://q> ( "collection" ) ] }`,
+		`SELECT ?x WHERE { { SELECT (SUM(?v) AS ?x) WHERE { ?a <http://v> ?v } } FILTER(?x IN (1, 2, 3)) }`,
+		`SELECT`,
+		`{{{`,
+		"SELECT ?s WHERE { ?s <http://p> \"unterminated }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		e := NewEngine(newEmptyTestStore())
+		switch q.Form {
+		case FormConstruct:
+			_, _ = e.Construct(q)
+		case FormAsk:
+			_, _ = e.Ask(q)
+		default:
+			_, _ = e.Select(q)
+		}
+	})
+}
+
+// FuzzParseUpdate checks the update parser and executor never panic.
+func FuzzParseUpdate(f *testing.F) {
+	seeds := []string{
+		`INSERT DATA { <http://s> <http://p> "v" }`,
+		`INSERT DATA { GRAPH <http://g> { <http://s> <http://p> 1 } }`,
+		`DELETE DATA { <http://s> <http://p> "v" }`,
+		`DELETE WHERE { ?s ?p ?o }`,
+		`DELETE { ?s ?p ?o } INSERT { ?s <http://new> ?o } WHERE { ?s ?p ?o }`,
+		`CLEAR ALL ; CLEAR DEFAULT ; CLEAR GRAPH <http://g>`,
+		`INSERT`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := ParseUpdate(src)
+		if err != nil {
+			return
+		}
+		_ = NewEngine(newEmptyTestStore()).Execute(u)
+	})
+}
+
+func newEmptyTestStore() *store.Store { return store.New() }

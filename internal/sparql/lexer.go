@@ -1,0 +1,436 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tEOF     tokKind = iota
+	tKeyword         // upper-cased bare word: SELECT, WHERE, FILTER, ...
+	tVar             // ?name or $name (text holds name without sigil)
+	tIRIRef          // <...>
+	tPName           // prefixed name incl. colon
+	tBlank           // _:label
+	tString          // string literal, decoded
+	tLangTag         // @tag
+	tInteger
+	tDecimal
+	tDouble
+	tA // the keyword 'a' (kept distinct from tKeyword to avoid case folding)
+	tDot
+	tSemicolon
+	tComma
+	tLBrace
+	tRBrace
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tHatHat
+	tEq     // =
+	tNe     // !=
+	tLt     // <  (disambiguated from IRIRef by lexical context)
+	tGt     // >
+	tLe     // <=
+	tGe     // >=
+	tAndAnd // &&
+	tOrOr   // ||
+	tBang   // !
+	tPlus   // +
+	tMinus  // -
+	tStar   // *
+	tSlash  // /
+	tPipe   // |
+	tCaret  // ^
+)
+
+type sparqlToken struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t sparqlToken) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// sparqlLexer tokenizes a SPARQL query string. The '<' ambiguity (IRI
+// reference versus less-than) is resolved by lookahead: '<' starts an
+// IRI reference iff the characters up to the matching '>' contain no
+// whitespace and no '='.
+type sparqlLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newSparqlLexer(src string) *sparqlLexer {
+	return &sparqlLexer{src: src, line: 1}
+}
+
+func (l *sparqlLexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *sparqlLexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\r':
+			l.pos++
+		case '\n':
+			l.pos++
+			l.line++
+		case '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *sparqlLexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *sparqlLexer) next() (sparqlToken, error) {
+	l.skipSpace()
+	start := l.line
+	if l.pos >= len(l.src) {
+		return sparqlToken{kind: tEOF, line: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '<':
+		if l.looksLikeIRI() {
+			return l.lexIRIRef()
+		}
+		if l.at(1) == '=' {
+			l.pos += 2
+			return sparqlToken{tLe, "<=", start}, nil
+		}
+		l.pos++
+		return sparqlToken{tLt, "<", start}, nil
+	case '>':
+		if l.at(1) == '=' {
+			l.pos += 2
+			return sparqlToken{tGe, ">=", start}, nil
+		}
+		l.pos++
+		return sparqlToken{tGt, ">", start}, nil
+	case '?', '$':
+		return l.lexVar()
+	case '"', '\'':
+		return l.lexString(c)
+	case '@':
+		return l.lexLangTag()
+	case '_':
+		if l.at(1) == ':' {
+			return l.lexBlank()
+		}
+	case '{':
+		l.pos++
+		return sparqlToken{tLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return sparqlToken{tRBrace, "}", start}, nil
+	case '(':
+		l.pos++
+		return sparqlToken{tLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return sparqlToken{tRParen, ")", start}, nil
+	case '[':
+		l.pos++
+		return sparqlToken{tLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return sparqlToken{tRBracket, "]", start}, nil
+	case '.':
+		if d := l.at(1); d >= '0' && d <= '9' {
+			return l.lexNumber()
+		}
+		l.pos++
+		return sparqlToken{tDot, ".", start}, nil
+	case ';':
+		l.pos++
+		return sparqlToken{tSemicolon, ";", start}, nil
+	case ',':
+		l.pos++
+		return sparqlToken{tComma, ",", start}, nil
+	case '^':
+		if l.at(1) == '^' {
+			l.pos += 2
+			return sparqlToken{tHatHat, "^^", start}, nil
+		}
+		l.pos++
+		return sparqlToken{tCaret, "^", start}, nil
+	case '=':
+		l.pos++
+		return sparqlToken{tEq, "=", start}, nil
+	case '!':
+		if l.at(1) == '=' {
+			l.pos += 2
+			return sparqlToken{tNe, "!=", start}, nil
+		}
+		l.pos++
+		return sparqlToken{tBang, "!", start}, nil
+	case '&':
+		if l.at(1) == '&' {
+			l.pos += 2
+			return sparqlToken{tAndAnd, "&&", start}, nil
+		}
+		return sparqlToken{}, l.errf("single '&'")
+	case '|':
+		if l.at(1) == '|' {
+			l.pos += 2
+			return sparqlToken{tOrOr, "||", start}, nil
+		}
+		l.pos++
+		return sparqlToken{tPipe, "|", start}, nil
+	case '+':
+		l.pos++
+		return sparqlToken{tPlus, "+", start}, nil
+	case '-':
+		l.pos++
+		return sparqlToken{tMinus, "-", start}, nil
+	case '*':
+		l.pos++
+		return sparqlToken{tStar, "*", start}, nil
+	case '/':
+		l.pos++
+		return sparqlToken{tSlash, "/", start}, nil
+	}
+	if c >= '0' && c <= '9' {
+		return l.lexNumber()
+	}
+	return l.lexWord()
+}
+
+// looksLikeIRI decides whether '<' at the current position begins an
+// IRI reference.
+func (l *sparqlLexer) looksLikeIRI() bool {
+	for j := l.pos + 1; j < len(l.src); j++ {
+		switch l.src[j] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', '=', '"', '{', '}':
+			return false
+		}
+	}
+	return false
+}
+
+func (l *sparqlLexer) lexIRIRef() (sparqlToken, error) {
+	start := l.line
+	l.pos++
+	j := l.pos
+	for j < len(l.src) && l.src[j] != '>' {
+		j++
+	}
+	if j >= len(l.src) {
+		return sparqlToken{}, l.errf("unterminated IRI reference")
+	}
+	text := l.src[l.pos:j]
+	l.pos = j + 1
+	return sparqlToken{tIRIRef, text, start}, nil
+}
+
+func (l *sparqlLexer) lexVar() (sparqlToken, error) {
+	start := l.line
+	l.pos++
+	j := l.pos
+	for j < len(l.src) && isNameChar(l.src[j]) {
+		j++
+	}
+	if j == l.pos {
+		return sparqlToken{}, l.errf("empty variable name")
+	}
+	name := l.src[l.pos:j]
+	l.pos = j
+	return sparqlToken{tVar, name, start}, nil
+}
+
+func (l *sparqlLexer) lexString(quote byte) (sparqlToken, error) {
+	start := l.line
+	long := false
+	if l.at(1) == quote && l.at(2) == quote {
+		long = true
+		l.pos += 3
+	} else {
+		l.pos++
+	}
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			if !long {
+				l.pos++
+				return sparqlToken{tString, b.String(), start}, nil
+			}
+			if l.at(1) == quote && l.at(2) == quote {
+				l.pos += 3
+				return sparqlToken{tString, b.String(), start}, nil
+			}
+			b.WriteByte(c)
+			l.pos++
+			continue
+		}
+		if c == '\\' {
+			esc := l.at(1)
+			switch esc {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(esc)
+			default:
+				return sparqlToken{}, l.errf("bad escape \\%c", esc)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == '\n' {
+			if !long {
+				return sparqlToken{}, l.errf("newline in string")
+			}
+			l.line++
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return sparqlToken{}, l.errf("unterminated string")
+}
+
+func (l *sparqlLexer) lexLangTag() (sparqlToken, error) {
+	start := l.line
+	l.pos++
+	j := l.pos
+	for j < len(l.src) && (isAlphaByte(l.src[j]) || l.src[j] == '-' || (l.src[j] >= '0' && l.src[j] <= '9')) {
+		j++
+	}
+	if j == l.pos {
+		return sparqlToken{}, l.errf("empty language tag")
+	}
+	tag := l.src[l.pos:j]
+	l.pos = j
+	return sparqlToken{tLangTag, tag, start}, nil
+}
+
+func (l *sparqlLexer) lexBlank() (sparqlToken, error) {
+	start := l.line
+	l.pos += 2
+	j := l.pos
+	for j < len(l.src) && isNameChar(l.src[j]) {
+		j++
+	}
+	if j == l.pos {
+		return sparqlToken{}, l.errf("empty blank node label")
+	}
+	label := l.src[l.pos:j]
+	l.pos = j
+	return sparqlToken{tBlank, label, start}, nil
+}
+
+func (l *sparqlLexer) lexNumber() (sparqlToken, error) {
+	start := l.line
+	j := l.pos
+	digits := 0
+	for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+		j++
+		digits++
+	}
+	kind := tInteger
+	if j < len(l.src) && l.src[j] == '.' && j+1 < len(l.src) && l.src[j+1] >= '0' && l.src[j+1] <= '9' {
+		kind = tDecimal
+		j++
+		for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+			j++
+			digits++
+		}
+	}
+	if j < len(l.src) && (l.src[j] == 'e' || l.src[j] == 'E') {
+		kind = tDouble
+		j++
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		exp := 0
+		for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+			j++
+			exp++
+		}
+		if exp == 0 {
+			return sparqlToken{}, l.errf("malformed exponent")
+		}
+	}
+	if digits == 0 {
+		return sparqlToken{}, l.errf("malformed number")
+	}
+	text := l.src[l.pos:j]
+	l.pos = j
+	return sparqlToken{kind, text, start}, nil
+}
+
+func (l *sparqlLexer) lexWord() (sparqlToken, error) {
+	start := l.line
+	j := l.pos
+	colon := -1
+	for j < len(l.src) {
+		c := l.src[j]
+		if c == ':' {
+			colon = j
+			j++
+			continue
+		}
+		if isNameChar(c) || c == '.' {
+			j++
+			continue
+		}
+		if c >= 0x80 {
+			_, size := utf8.DecodeRuneInString(l.src[j:])
+			j += size
+			continue
+		}
+		break
+	}
+	if j == l.pos {
+		return sparqlToken{}, l.errf("unexpected character %q", l.src[l.pos])
+	}
+	word := l.src[l.pos:j]
+	// Trailing dots close statements, not names.
+	for strings.HasSuffix(word, ".") {
+		word = word[:len(word)-1]
+		j--
+	}
+	l.pos = j
+	if colon >= 0 {
+		return sparqlToken{tPName, word, start}, nil
+	}
+	if word == "a" {
+		return sparqlToken{tA, "a", start}, nil
+	}
+	return sparqlToken{tKeyword, strings.ToUpper(word), start}, nil
+}
+
+func isAlphaByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isAlphaByte(c) || (c >= '0' && c <= '9') || c == '_' || c == '-' || c >= 0x80
+}

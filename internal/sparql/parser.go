@@ -1,0 +1,1399 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// parser holds parsing state for one query or update string.
+type parser struct {
+	lex      *sparqlLexer
+	tok      sparqlToken
+	prefixes *rdf.PrefixMap
+	bnodeSeq int
+}
+
+// ParseQuery parses a SPARQL query (SELECT, ASK, or CONSTRUCT).
+func ParseQuery(src string) (*Query, error) {
+	p := &parser{lex: newSparqlLexer(src), prefixes: rdf.NewPrefixMap()}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.prologue(); err != nil {
+		return nil, err
+	}
+	q, err := p.queryBody()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("trailing input after query: %s", p.tok)
+	}
+	q.Prefixes = p.prefixes
+	return q, nil
+}
+
+// ParseUpdate parses a SPARQL update request (a ';'-separated sequence
+// of operations).
+func ParseUpdate(src string) (*Update, error) {
+	p := &parser{lex: newSparqlLexer(src), prefixes: rdf.NewPrefixMap()}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	u := &Update{Prefixes: p.prefixes}
+	for {
+		if err := p.prologue(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tEOF {
+			break
+		}
+		op, err := p.updateOperation()
+		if err != nil {
+			return nil, err
+		}
+		u.Operations = append(u.Operations, op)
+		if p.tok.kind == tSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("trailing input after update: %s", p.tok)
+	}
+	return u, nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tKeyword || p.tok.text != kw {
+		return p.errf("expected %s, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tKeyword && p.tok.text == kw
+}
+
+func (p *parser) expect(k tokKind, what string) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, got %s", what, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) prologue() error {
+	for {
+		switch {
+		case p.isKeyword("PREFIX"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tPName || !strings.HasSuffix(p.tok.text, ":") {
+				return p.errf("expected prefix declaration, got %s", p.tok)
+			}
+			prefix := strings.TrimSuffix(p.tok.text, ":")
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tIRIRef {
+				return p.errf("expected namespace IRI, got %s", p.tok)
+			}
+			p.prefixes.Bind(prefix, p.tok.text)
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.isKeyword("BASE"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tIRIRef {
+				return p.errf("expected base IRI, got %s", p.tok)
+			}
+			// Base resolution is rarely needed by generated queries;
+			// record nothing and accept absolute IRIs only.
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) queryBody() (*Query, error) {
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.selectQuery()
+	case p.isKeyword("ASK"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		q := &Query{Form: FormAsk, Limit: -1}
+		if p.isKeyword("WHERE") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		w, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+		return q, nil
+	case p.isKeyword("CONSTRUCT"):
+		return p.constructQuery()
+	case p.isKeyword("DESCRIBE"):
+		return p.describeQuery()
+	default:
+		return nil, p.errf("expected SELECT, ASK, CONSTRUCT or DESCRIBE, got %s", p.tok)
+	}
+}
+
+func (p *parser) selectQuery() (*Query, error) {
+	if err := p.advance(); err != nil { // SELECT
+		return nil, err
+	}
+	q := &Query{Form: FormSelect, Limit: -1}
+	if p.isKeyword("DISTINCT") {
+		q.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else if p.isKeyword("REDUCED") {
+		// treated as DISTINCT-less pass-through
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tStar {
+		q.Star = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			switch p.tok.kind {
+			case tVar:
+				q.Projection = append(q.Projection, SelectItem{Var: p.tok.text})
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			case tLParen:
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AS"); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tVar {
+					return nil, p.errf("expected variable after AS, got %s", p.tok)
+				}
+				name := p.tok.text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expect(tRParen, "')'"); err != nil {
+					return nil, err
+				}
+				q.Projection = append(q.Projection, SelectItem{Var: name, Expr: e})
+			default:
+				if len(q.Projection) == 0 {
+					return nil, p.errf("empty SELECT projection")
+				}
+				goto doneProjection
+			}
+		}
+	}
+doneProjection:
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	w, err := p.groupGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = w
+	if err := p.solutionModifiers(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) constructQuery() (*Query, error) {
+	if err := p.advance(); err != nil { // CONSTRUCT
+		return nil, err
+	}
+	q := &Query{Form: FormConstruct, Limit: -1}
+	if err := p.expect(tLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tRBrace {
+		tps, err := p.triplesSameSubject()
+		if err != nil {
+			return nil, err
+		}
+		q.Template = append(q.Template, tps...)
+		if p.tok.kind == tDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // '}'
+		return nil, err
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	w, err := p.groupGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = w
+	if err := p.solutionModifiers(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) describeQuery() (*Query, error) {
+	if err := p.advance(); err != nil { // DESCRIBE
+		return nil, err
+	}
+	q := &Query{Form: FormDescribe, Limit: -1}
+	for {
+		switch p.tok.kind {
+		case tVar:
+			q.Describe = append(q.Describe, VarTerm(p.tok.text))
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		case tIRIRef:
+			q.Describe = append(q.Describe, ConstTerm(rdf.NewIRI(p.tok.text)))
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		case tPName:
+			iri, err := p.prefixes.Expand(p.tok.text)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			q.Describe = append(q.Describe, ConstTerm(rdf.NewIRI(iri)))
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(q.Describe) == 0 {
+		return nil, p.errf("DESCRIBE needs at least one resource or variable")
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tLBrace {
+		w, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	return q, p.solutionModifiers(q)
+}
+
+func (p *parser) solutionModifiers(q *Query) error {
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			switch p.tok.kind {
+			case tVar:
+				q.GroupBy = append(q.GroupBy, ExprVar{Name: p.tok.text})
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			case tLParen:
+				if err := p.advance(); err != nil {
+					return err
+				}
+				e, err := p.expression()
+				if err != nil {
+					return err
+				}
+				if err := p.expect(tRParen, "')'"); err != nil {
+					return err
+				}
+				q.GroupBy = append(q.GroupBy, e)
+				continue
+			}
+			break
+		}
+		if len(q.GroupBy) == 0 {
+			return p.errf("empty GROUP BY")
+		}
+	}
+	if p.isKeyword("HAVING") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind == tLParen {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return err
+			}
+			if err := p.expect(tRParen, "')'"); err != nil {
+				return err
+			}
+			q.Having = append(q.Having, e)
+		}
+		if len(q.Having) == 0 {
+			return p.errf("empty HAVING")
+		}
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			var oc OrderCondition
+			switch {
+			case p.isKeyword("ASC"), p.isKeyword("DESC"):
+				oc.Desc = p.tok.text == "DESC"
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if err := p.expect(tLParen, "'('"); err != nil {
+					return err
+				}
+				e, err := p.expression()
+				if err != nil {
+					return err
+				}
+				if err := p.expect(tRParen, "')'"); err != nil {
+					return err
+				}
+				oc.Expr = e
+			case p.tok.kind == tVar:
+				oc.Expr = ExprVar{Name: p.tok.text}
+				if err := p.advance(); err != nil {
+					return err
+				}
+			case p.tok.kind == tLParen:
+				if err := p.advance(); err != nil {
+					return err
+				}
+				e, err := p.expression()
+				if err != nil {
+					return err
+				}
+				if err := p.expect(tRParen, "')'"); err != nil {
+					return err
+				}
+				oc.Expr = e
+			default:
+				goto doneOrder
+			}
+			q.OrderBy = append(q.OrderBy, oc)
+		}
+	doneOrder:
+		if len(q.OrderBy) == 0 {
+			return p.errf("empty ORDER BY")
+		}
+	}
+	for {
+		switch {
+		case p.isKeyword("LIMIT"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tInteger {
+				return p.errf("expected integer after LIMIT")
+			}
+			n, _ := strconv.Atoi(p.tok.text)
+			q.Limit = n
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.isKeyword("OFFSET"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tInteger {
+				return p.errf("expected integer after OFFSET")
+			}
+			n, _ := strconv.Atoi(p.tok.text)
+			q.Offset = n
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// groupGraphPattern parses '{' ... '}'.
+func (p *parser) groupGraphPattern() (GroupGraphPattern, error) {
+	var g GroupGraphPattern
+	if err := p.expect(tLBrace, "'{'"); err != nil {
+		return g, err
+	}
+	for p.tok.kind != tRBrace {
+		switch {
+		case p.isKeyword("FILTER"):
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			e, err := p.constraint()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, FilterElement{Expr: e})
+		case p.isKeyword("BIND"):
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			if err := p.expect(tLParen, "'('"); err != nil {
+				return g, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return g, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return g, err
+			}
+			if p.tok.kind != tVar {
+				return g, p.errf("expected variable after AS")
+			}
+			name := p.tok.text
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			if err := p.expect(tRParen, "')'"); err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, BindElement{Var: name, Expr: e})
+		case p.isKeyword("OPTIONAL"):
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			inner, err := p.groupGraphPattern()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, OptionalElement{Pattern: inner})
+		case p.isKeyword("MINUS"):
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			inner, err := p.groupGraphPattern()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, MinusElement{Pattern: inner})
+		case p.isKeyword("GRAPH"):
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			gt, err := p.varOrIRI()
+			if err != nil {
+				return g, err
+			}
+			inner, err := p.groupGraphPattern()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, GraphElement{Graph: gt, Pattern: inner})
+		case p.isKeyword("VALUES"):
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+			v, err := p.valuesBlock()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, v)
+		case p.tok.kind == tLBrace:
+			// nested group, subselect, or UNION chain
+			el, err := p.groupOrUnionOrSubselect()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, el)
+		case p.tok.kind == tDot:
+			if err := p.advance(); err != nil {
+				return g, err
+			}
+		default:
+			tps, err := p.triplesSameSubject()
+			if err != nil {
+				return g, err
+			}
+			for _, tp := range tps {
+				g.Elements = append(g.Elements, tp)
+			}
+			if p.tok.kind == tDot {
+				if err := p.advance(); err != nil {
+					return g, err
+				}
+			}
+		}
+	}
+	return g, p.advance() // consume '}'
+}
+
+func (p *parser) groupOrUnionOrSubselect() (PatternElement, error) {
+	// Peek past '{' for SELECT to detect a subquery.
+	save := *p.lex
+	saveTok := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("SELECT") {
+		sub, err := p.selectQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRBrace, "'}' closing subquery"); err != nil {
+			return nil, err
+		}
+		sub.Prefixes = p.prefixes
+		return SubSelectElement{Query: sub}, nil
+	}
+	// Not a subquery: rewind and parse as group pattern.
+	*p.lex = save
+	p.tok = saveTok
+
+	first, err := p.groupGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("UNION") {
+		return GroupElement{Pattern: first}, nil
+	}
+	union := UnionElement{Branches: []GroupGraphPattern{first}}
+	for p.isKeyword("UNION") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		branch, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		union.Branches = append(union.Branches, branch)
+	}
+	return union, nil
+}
+
+func (p *parser) valuesBlock() (ValuesElement, error) {
+	var v ValuesElement
+	switch p.tok.kind {
+	case tVar:
+		v.Vars = []string{p.tok.text}
+		if err := p.advance(); err != nil {
+			return v, err
+		}
+		if err := p.expect(tLBrace, "'{'"); err != nil {
+			return v, err
+		}
+		for p.tok.kind != tRBrace {
+			t, err := p.dataTerm()
+			if err != nil {
+				return v, err
+			}
+			v.Rows = append(v.Rows, []rdf.Term{t})
+		}
+		return v, p.advance()
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return v, err
+		}
+		for p.tok.kind == tVar {
+			v.Vars = append(v.Vars, p.tok.text)
+			if err := p.advance(); err != nil {
+				return v, err
+			}
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return v, err
+		}
+		if err := p.expect(tLBrace, "'{'"); err != nil {
+			return v, err
+		}
+		for p.tok.kind == tLParen {
+			if err := p.advance(); err != nil {
+				return v, err
+			}
+			var row []rdf.Term
+			for p.tok.kind != tRParen {
+				t, err := p.dataTerm()
+				if err != nil {
+					return v, err
+				}
+				row = append(row, t)
+			}
+			if err := p.advance(); err != nil {
+				return v, err
+			}
+			if len(row) != len(v.Vars) {
+				return v, p.errf("VALUES row arity %d does not match %d variables", len(row), len(v.Vars))
+			}
+			v.Rows = append(v.Rows, row)
+		}
+		if err := p.expect(tRBrace, "'}'"); err != nil {
+			return v, err
+		}
+		return v, nil
+	default:
+		return v, p.errf("expected variable or '(' after VALUES")
+	}
+}
+
+// dataTerm parses a ground term inside VALUES/INSERT DATA; UNDEF yields
+// the zero term.
+func (p *parser) dataTerm() (rdf.Term, error) {
+	if p.isKeyword("UNDEF") {
+		return rdf.Term{}, p.advance()
+	}
+	pt, err := p.graphTerm()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if pt.IsVar {
+		return rdf.Term{}, p.errf("variable not allowed in data block")
+	}
+	return pt.Term, nil
+}
+
+func (p *parser) varOrIRI() (PatternTerm, error) {
+	switch p.tok.kind {
+	case tVar:
+		v := VarTerm(p.tok.text)
+		return v, p.advance()
+	case tIRIRef:
+		t := ConstTerm(rdf.NewIRI(p.tok.text))
+		return t, p.advance()
+	case tPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return PatternTerm{}, p.errf("%v", err)
+		}
+		return ConstTerm(rdf.NewIRI(iri)), p.advance()
+	default:
+		return PatternTerm{}, p.errf("expected variable or IRI, got %s", p.tok)
+	}
+}
+
+// triplesSameSubject parses one subject with its predicate-object list
+// and returns the expanded triple patterns (blank node property lists
+// become fresh internal variables).
+func (p *parser) triplesSameSubject() ([]TriplePattern, error) {
+	var out []TriplePattern
+	var subj PatternTerm
+	if p.tok.kind == tLBracket {
+		// blank node property list as subject
+		bn, inner, err := p.blankNodePropertyList()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inner...)
+		subj = bn
+		if p.tok.kind == tDot || p.tok.kind == tRBrace {
+			return out, nil
+		}
+	} else {
+		s, err := p.graphTerm()
+		if err != nil {
+			return nil, err
+		}
+		if s.Term.IsLiteral() && !s.IsVar {
+			return nil, p.errf("literal subject not allowed")
+		}
+		subj = s
+	}
+	rest, err := p.predicateObjectList(subj)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, rest...), nil
+}
+
+func (p *parser) predicateObjectList(subj PatternTerm) ([]TriplePattern, error) {
+	var out []TriplePattern
+	for {
+		pred, path, err := p.verbOrPath()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			obj, inner, err := p.objectTerm()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inner...)
+			tp := TriplePattern{S: subj, P: pred, O: obj, Path: path}
+			out = append(out, tp)
+			if p.tok.kind != tComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind != tSemicolon {
+			return out, nil
+		}
+		for p.tok.kind == tSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind == tDot || p.tok.kind == tRBrace || p.tok.kind == tRBracket {
+			return out, nil
+		}
+	}
+}
+
+// verbOrPath parses the predicate position: a variable, or a property
+// path (which may degenerate to a plain IRI).
+func (p *parser) verbOrPath() (PatternTerm, *PropertyPath, error) {
+	if p.tok.kind == tVar {
+		v := VarTerm(p.tok.text)
+		return v, nil, p.advance()
+	}
+	path, err := p.pathAlternative()
+	if err != nil {
+		return PatternTerm{}, nil, err
+	}
+	if path.Kind == PathIRI {
+		return ConstTerm(path.IRI), nil, nil
+	}
+	return PatternTerm{}, path, nil
+}
+
+func (p *parser) pathAlternative() (*PropertyPath, error) {
+	first, err := p.pathSequence()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tPipe {
+		return first, nil
+	}
+	alt := &PropertyPath{Kind: PathAlternative, Sub: []*PropertyPath{first}}
+	for p.tok.kind == tPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.pathSequence()
+		if err != nil {
+			return nil, err
+		}
+		alt.Sub = append(alt.Sub, next)
+	}
+	return alt, nil
+}
+
+func (p *parser) pathSequence() (*PropertyPath, error) {
+	first, err := p.pathEltOrInverse()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tSlash {
+		return first, nil
+	}
+	seq := &PropertyPath{Kind: PathSequence, Sub: []*PropertyPath{first}}
+	for p.tok.kind == tSlash {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.pathEltOrInverse()
+		if err != nil {
+			return nil, err
+		}
+		seq.Sub = append(seq.Sub, next)
+	}
+	return seq, nil
+}
+
+func (p *parser) pathEltOrInverse() (*PropertyPath, error) {
+	inverse := false
+	if p.tok.kind == tCaret {
+		inverse = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	prim, err := p.pathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	// postfix modifiers
+	switch p.tok.kind {
+	case tStar:
+		prim = &PropertyPath{Kind: PathZeroOrMore, Sub: []*PropertyPath{prim}}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case tPlus:
+		prim = &PropertyPath{Kind: PathOneOrMore, Sub: []*PropertyPath{prim}}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if inverse {
+		prim = &PropertyPath{Kind: PathInverse, Sub: []*PropertyPath{prim}}
+	}
+	return prim, nil
+}
+
+func (p *parser) pathPrimary() (*PropertyPath, error) {
+	switch p.tok.kind {
+	case tA:
+		pp := &PropertyPath{Kind: PathIRI, IRI: rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")}
+		return pp, p.advance()
+	case tIRIRef:
+		pp := &PropertyPath{Kind: PathIRI, IRI: rdf.NewIRI(p.tok.text)}
+		return pp, p.advance()
+	case tPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &PropertyPath{Kind: PathIRI, IRI: rdf.NewIRI(iri)}, p.advance()
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.pathAlternative()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, p.errf("expected predicate, got %s", p.tok)
+	}
+}
+
+// objectTerm parses an object, expanding blank node property lists.
+func (p *parser) objectTerm() (PatternTerm, []TriplePattern, error) {
+	if p.tok.kind == tLBracket {
+		bn, inner, err := p.blankNodePropertyList()
+		return bn, inner, err
+	}
+	t, err := p.graphTerm()
+	return t, nil, err
+}
+
+// blankNodePropertyList parses '[' predicateObjectList ']' and returns
+// the fresh variable standing for the blank node plus the inner
+// patterns. An empty '[]' is just a fresh variable.
+func (p *parser) blankNodePropertyList() (PatternTerm, []TriplePattern, error) {
+	if err := p.advance(); err != nil { // '['
+		return PatternTerm{}, nil, err
+	}
+	p.bnodeSeq++
+	bn := VarTerm(fmt.Sprintf("_bn%d", p.bnodeSeq))
+	if p.tok.kind == tRBracket {
+		return bn, nil, p.advance()
+	}
+	inner, err := p.predicateObjectList(bn)
+	if err != nil {
+		return PatternTerm{}, nil, err
+	}
+	if err := p.expect(tRBracket, "']'"); err != nil {
+		return PatternTerm{}, nil, err
+	}
+	return bn, inner, nil
+}
+
+// graphTerm parses a variable, IRI, prefixed name, blank node label, or
+// literal.
+func (p *parser) graphTerm() (PatternTerm, error) {
+	switch p.tok.kind {
+	case tVar:
+		v := VarTerm(p.tok.text)
+		return v, p.advance()
+	case tIRIRef:
+		t := ConstTerm(rdf.NewIRI(p.tok.text))
+		return t, p.advance()
+	case tPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return PatternTerm{}, p.errf("%v", err)
+		}
+		return ConstTerm(rdf.NewIRI(iri)), p.advance()
+	case tBlank:
+		// Blank node labels in patterns act as scoped variables.
+		v := VarTerm("_blank_" + p.tok.text)
+		return v, p.advance()
+	case tString:
+		lex := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		switch p.tok.kind {
+		case tLangTag:
+			t := ConstTerm(rdf.NewLangLiteral(lex, p.tok.text))
+			return t, p.advance()
+		case tHatHat:
+			if err := p.advance(); err != nil {
+				return PatternTerm{}, err
+			}
+			var dt string
+			switch p.tok.kind {
+			case tIRIRef:
+				dt = p.tok.text
+			case tPName:
+				iri, err := p.prefixes.Expand(p.tok.text)
+				if err != nil {
+					return PatternTerm{}, p.errf("%v", err)
+				}
+				dt = iri
+			default:
+				return PatternTerm{}, p.errf("expected datatype IRI")
+			}
+			t := ConstTerm(rdf.NewTypedLiteral(lex, dt))
+			return t, p.advance()
+		default:
+			return ConstTerm(rdf.NewLiteral(lex)), nil
+		}
+	case tInteger:
+		t := ConstTerm(rdf.NewTypedLiteral(p.tok.text, rdf.XSDInteger))
+		return t, p.advance()
+	case tDecimal:
+		t := ConstTerm(rdf.NewTypedLiteral(p.tok.text, rdf.XSDDecimal))
+		return t, p.advance()
+	case tDouble:
+		t := ConstTerm(rdf.NewTypedLiteral(p.tok.text, rdf.XSDDouble))
+		return t, p.advance()
+	case tMinus, tPlus:
+		sign := ""
+		if p.tok.kind == tMinus {
+			sign = "-"
+		}
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		switch p.tok.kind {
+		case tInteger:
+			t := ConstTerm(rdf.NewTypedLiteral(sign+p.tok.text, rdf.XSDInteger))
+			return t, p.advance()
+		case tDecimal:
+			t := ConstTerm(rdf.NewTypedLiteral(sign+p.tok.text, rdf.XSDDecimal))
+			return t, p.advance()
+		case tDouble:
+			t := ConstTerm(rdf.NewTypedLiteral(sign+p.tok.text, rdf.XSDDouble))
+			return t, p.advance()
+		default:
+			return PatternTerm{}, p.errf("expected number after sign")
+		}
+	case tKeyword:
+		switch p.tok.text {
+		case "TRUE":
+			return ConstTerm(rdf.NewBoolean(true)), p.advance()
+		case "FALSE":
+			return ConstTerm(rdf.NewBoolean(false)), p.advance()
+		}
+	}
+	return PatternTerm{}, p.errf("expected term, got %s", p.tok)
+}
+
+// constraint parses a FILTER constraint: a parenthesized expression or
+// a built-in call (including EXISTS / NOT EXISTS).
+func (p *parser) constraint() (Expression, error) {
+	if p.tok.kind == tLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(tRParen, "')'")
+	}
+	return p.primaryExpression()
+}
+
+// Expression grammar with standard precedence.
+func (p *parser) expression() (Expression, error) {
+	return p.orExpression()
+}
+
+func (p *parser) orExpression() (Expression, error) {
+	left, err := p.andExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tOrOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.andExpression()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpression() (Expression, error) {
+	left, err := p.relationalExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tAndAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.relationalExpression()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) relationalExpression() (Expression, error) {
+	left, err := p.additiveExpression()
+	if err != nil {
+		return nil, err
+	}
+	var op BinaryOp
+	switch p.tok.kind {
+	case tEq:
+		op = OpEq
+	case tNe:
+		op = OpNe
+	case tLt:
+		op = OpLt
+	case tGt:
+		op = OpGt
+	case tLe:
+		op = OpLe
+	case tGe:
+		op = OpGe
+	case tKeyword:
+		if p.tok.text == "IN" {
+			return p.inList(left, false)
+		}
+		if p.tok.text == "NOT" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if !p.isKeyword("IN") {
+				return nil, p.errf("expected IN after NOT")
+			}
+			return p.inList(left, true)
+		}
+		return left, nil
+	default:
+		return left, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	right, err := p.additiveExpression()
+	if err != nil {
+		return nil, err
+	}
+	return ExprBinary{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) inList(left Expression, neg bool) (Expression, error) {
+	if err := p.advance(); err != nil { // IN
+		return nil, err
+	}
+	if err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var list []Expression
+	for p.tok.kind != tRParen {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if p.tok.kind == tComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // ')'
+		return nil, err
+	}
+	return ExprIn{X: left, List: list, Neg: neg}, nil
+}
+
+func (p *parser) additiveExpression() (Expression, error) {
+	left, err := p.multiplicativeExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tPlus || p.tok.kind == tMinus {
+		op := OpAdd
+		if p.tok.kind == tMinus {
+			op = OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.multiplicativeExpression()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) multiplicativeExpression() (Expression, error) {
+	left, err := p.unaryExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tStar || p.tok.kind == tSlash {
+		op := OpMul
+		if p.tok.kind == tSlash {
+			op = OpDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unaryExpression() (Expression, error) {
+	switch p.tok.kind {
+	case tBang:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		return ExprNot{X: x}, nil
+	case tMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		return ExprNeg{X: x}, nil
+	case tPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.unaryExpression()
+	default:
+		return p.primaryExpression()
+	}
+}
+
+// aggregateNames are the keywords treated as aggregate functions.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"SAMPLE": true, "GROUP_CONCAT": true,
+}
+
+func (p *parser) primaryExpression() (Expression, error) {
+	switch p.tok.kind {
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(tRParen, "')'")
+	case tVar:
+		v := ExprVar{Name: p.tok.text}
+		return v, p.advance()
+	case tIRIRef:
+		t := ExprConst{Term: rdf.NewIRI(p.tok.text)}
+		return t, p.advance()
+	case tPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return ExprConst{Term: rdf.NewIRI(iri)}, p.advance()
+	case tString, tInteger, tDecimal, tDouble:
+		pt, err := p.graphTerm()
+		if err != nil {
+			return nil, err
+		}
+		return ExprConst{Term: pt.Term}, nil
+	case tKeyword:
+		kw := p.tok.text
+		switch kw {
+		case "TRUE":
+			return ExprConst{Term: rdf.NewBoolean(true)}, p.advance()
+		case "FALSE":
+			return ExprConst{Term: rdf.NewBoolean(false)}, p.advance()
+		case "EXISTS", "NOT":
+			neg := false
+			if kw == "NOT" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if !p.isKeyword("EXISTS") {
+					return nil, p.errf("expected EXISTS after NOT")
+				}
+				neg = true
+			}
+			if err := p.advance(); err != nil { // EXISTS
+				return nil, err
+			}
+			g, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			return ExprExists{Pattern: g, Neg: neg}, nil
+		}
+		if aggregateNames[kw] {
+			return p.aggregate(kw)
+		}
+		// generic built-in call NAME(args...)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tLParen {
+			return nil, p.errf("expected '(' after %s", kw)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var args []Expression
+		for p.tok.kind != tRParen {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.tok.kind == tComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.advance(); err != nil { // ')'
+			return nil, err
+		}
+		return ExprCall{Name: kw, Args: args}, nil
+	}
+	return nil, p.errf("expected expression, got %s", p.tok)
+}
+
+func (p *parser) aggregate(name string) (Expression, error) {
+	if err := p.advance(); err != nil { // function name
+		return nil, err
+	}
+	if err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	agg := ExprAggregate{Func: name, Separator: " "}
+	if p.isKeyword("DISTINCT") {
+		agg.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tStar {
+		if name != "COUNT" {
+			return nil, p.errf("* only allowed in COUNT")
+		}
+		agg.Star = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = e
+	}
+	if p.tok.kind == tSemicolon { // GROUP_CONCAT(...; SEPARATOR="x")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("SEPARATOR") {
+			return nil, p.errf("expected SEPARATOR")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tEq, "'='"); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tString {
+			return nil, p.errf("expected separator string")
+		}
+		agg.Separator = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return agg, p.expect(tRParen, "')'")
+}

@@ -1,0 +1,252 @@
+package sparql
+
+import "repro/internal/rdf"
+
+// updateOperation parses one update operation (prologue already
+// consumed).
+func (p *parser) updateOperation() (UpdateOperation, error) {
+	switch {
+	case p.isKeyword("INSERT"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("DATA") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			quads, err := p.quadData()
+			if err != nil {
+				return nil, err
+			}
+			return InsertDataOp{Quads: quads}, nil
+		}
+		// INSERT {template} WHERE {pattern}
+		ins, err := p.quadTemplate()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("WHERE"); err != nil {
+			return nil, err
+		}
+		w, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		return ModifyOp{Insert: ins, Where: w}, nil
+	case p.isKeyword("DELETE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("DATA") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			quads, err := p.quadData()
+			if err != nil {
+				return nil, err
+			}
+			return DeleteDataOp{Quads: quads}, nil
+		}
+		if p.isKeyword("WHERE") {
+			// DELETE WHERE {pattern}: pattern doubles as template.
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			w, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			del, err := patternAsTemplate(w)
+			if err != nil {
+				return nil, err
+			}
+			return ModifyOp{Delete: del, Where: w}, nil
+		}
+		del, err := p.quadTemplate()
+		if err != nil {
+			return nil, err
+		}
+		var ins []QuadPattern
+		if p.isKeyword("INSERT") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			ins, err = p.quadTemplate()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("WHERE"); err != nil {
+			return nil, err
+		}
+		w, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		return ModifyOp{Delete: del, Insert: ins, Where: w}, nil
+	case p.isKeyword("CLEAR"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("SILENT") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		switch {
+		case p.isKeyword("ALL"):
+			return ClearOp{All: true}, p.advance()
+		case p.isKeyword("DEFAULT"):
+			return ClearOp{Default: true}, p.advance()
+		case p.isKeyword("GRAPH"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			gt, err := p.varOrIRI()
+			if err != nil {
+				return nil, err
+			}
+			if gt.IsVar {
+				return nil, p.errf("CLEAR GRAPH needs an IRI")
+			}
+			return ClearOp{Graph: gt.Term}, nil
+		default:
+			return nil, p.errf("expected ALL, DEFAULT or GRAPH after CLEAR")
+		}
+	default:
+		return nil, p.errf("expected update operation, got %s", p.tok)
+	}
+}
+
+// quadData parses '{' ground triples with optional GRAPH blocks '}'.
+func (p *parser) quadData() ([]rdf.Quad, error) {
+	tmpl, err := p.quadTemplate()
+	if err != nil {
+		return nil, err
+	}
+	quads := make([]rdf.Quad, 0, len(tmpl))
+	for _, qp := range tmpl {
+		s, okS := dataTermOf(qp.S)
+		pr, okP := dataTermOf(qp.P)
+		o, okO := dataTermOf(qp.O)
+		g, okG := dataTermOf(qp.Graph)
+		if !okS || !okP || !okO || !okG {
+			return nil, p.errf("variables not allowed in DATA block")
+		}
+		quads = append(quads, rdf.NewQuad(s, pr, o, g))
+	}
+	return quads, nil
+}
+
+// dataTermOf converts a pattern term to a ground term for a DATA block.
+// Blank node labels parse as scoped variables named "_blank_<label>";
+// in DATA blocks they denote actual blank nodes.
+func dataTermOf(pt PatternTerm) (rdf.Term, bool) {
+	if !pt.IsVar {
+		return pt.Term, true
+	}
+	if label, ok := cutPrefix(pt.Var, "_blank_"); ok {
+		return rdf.NewBlank(label), true
+	}
+	// Anonymous [] property lists also stand for blank nodes.
+	if label, ok := cutPrefix(pt.Var, "_bn"); ok {
+		return rdf.NewBlank("anon" + label), true
+	}
+	return rdf.Term{}, false
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// quadTemplate parses '{' triple templates with optional GRAPH blocks
+// '}'. Property paths are not allowed in templates.
+func (p *parser) quadTemplate() ([]QuadPattern, error) {
+	if err := p.expect(tLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var out []QuadPattern
+	for p.tok.kind != tRBrace {
+		if p.tok.kind == tDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.isKeyword("GRAPH") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			gt, err := p.varOrIRI()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tLBrace, "'{'"); err != nil {
+				return nil, err
+			}
+			for p.tok.kind != tRBrace {
+				if p.tok.kind == tDot {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				tps, err := p.triplesSameSubject()
+				if err != nil {
+					return nil, err
+				}
+				for _, tp := range tps {
+					if tp.Path != nil {
+						return nil, p.errf("property path not allowed in template")
+					}
+					out = append(out, QuadPattern{TriplePattern: tp, Graph: gt})
+				}
+			}
+			if err := p.advance(); err != nil { // inner '}'
+				return nil, err
+			}
+			continue
+		}
+		tps, err := p.triplesSameSubject()
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range tps {
+			if tp.Path != nil {
+				return nil, p.errf("property path not allowed in template")
+			}
+			out = append(out, QuadPattern{TriplePattern: tp})
+		}
+	}
+	return out, p.advance() // '}'
+}
+
+// patternAsTemplate converts the simple-BGP subset of a group graph
+// pattern into a quad template (used for DELETE WHERE).
+func patternAsTemplate(g GroupGraphPattern) ([]QuadPattern, error) {
+	var out []QuadPattern
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case TriplePattern:
+			if e.Path != nil {
+				return nil, errPathInTemplate
+			}
+			out = append(out, QuadPattern{TriplePattern: e})
+		case GraphElement:
+			inner, err := patternAsTemplate(e.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			for _, qp := range inner {
+				qp.Graph = e.Graph
+				out = append(out, qp)
+			}
+		default:
+			return nil, errComplexDeleteWhere
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package sparql
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Binding returns the value of variable name in row i, or the zero term
+// when unbound or absent.
+func (r *Results) Binding(i int, name string) rdf.Term {
+	for j, v := range r.Vars {
+		if v == name {
+			return r.Rows[i][j]
+		}
+	}
+	return rdf.Term{}
+}
+
+// Len returns the number of solution rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// sparqlJSON mirrors the SPARQL 1.1 Query Results JSON Format.
+type sparqlJSON struct {
+	Head    sparqlJSONHead    `json:"head"`
+	Results sparqlJSONResults `json:"results"`
+}
+
+type sparqlJSONHead struct {
+	Vars []string `json:"vars"`
+}
+
+type sparqlJSONResults struct {
+	Bindings []map[string]sparqlJSONTerm `json:"bindings"`
+}
+
+type sparqlJSONTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+// MarshalJSON encodes the results in the standard SPARQL JSON format.
+func (r *Results) MarshalJSON() ([]byte, error) {
+	doc := sparqlJSON{Head: sparqlJSONHead{Vars: r.Vars}}
+	doc.Results.Bindings = make([]map[string]sparqlJSONTerm, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		b := make(map[string]sparqlJSONTerm, len(r.Vars))
+		for i, v := range r.Vars {
+			t := row[i]
+			if t.IsZero() {
+				continue
+			}
+			b[v] = termToJSON(t)
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, b)
+	}
+	return json.Marshal(doc)
+}
+
+func termToJSON(t rdf.Term) sparqlJSONTerm {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return sparqlJSONTerm{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return sparqlJSONTerm{Type: "bnode", Value: t.Value}
+	default:
+		out := sparqlJSONTerm{Type: "literal", Value: t.Value, Lang: t.Lang}
+		if t.Lang == "" && t.Datatype != "" && t.Datatype != rdf.XSDString {
+			out.Datatype = t.Datatype
+		}
+		return out
+	}
+}
+
+// ResultsFromJSON decodes a SPARQL JSON result document.
+func ResultsFromJSON(data []byte) (*Results, error) {
+	var doc sparqlJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("sparql: decoding results JSON: %w", err)
+	}
+	out := &Results{Vars: doc.Head.Vars}
+	for _, b := range doc.Results.Bindings {
+		row := make([]rdf.Term, len(out.Vars))
+		for i, v := range out.Vars {
+			jt, ok := b[v]
+			if !ok {
+				continue
+			}
+			row[i] = jsonToTerm(jt)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func jsonToTerm(jt sparqlJSONTerm) rdf.Term {
+	switch jt.Type {
+	case "uri":
+		return rdf.NewIRI(jt.Value)
+	case "bnode":
+		return rdf.NewBlank(jt.Value)
+	default:
+		if jt.Lang != "" {
+			return rdf.NewLangLiteral(jt.Value, jt.Lang)
+		}
+		if jt.Datatype != "" {
+			return rdf.NewTypedLiteral(jt.Value, jt.Datatype)
+		}
+		return rdf.NewLiteral(jt.Value)
+	}
+}
+
+// EncodeCSV renders the results as RFC 4180 CSV per the SPARQL 1.1 CSV
+// results format (plain lexical values).
+func (r *Results) EncodeCSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Vars, ","))
+	b.WriteString("\r\n")
+	for _, row := range r.Rows {
+		for i, t := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(t.Value))
+		}
+		b.WriteString("\r\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// EncodeTSV renders the results in the SPARQL 1.1 TSV format, with full
+// term syntax.
+func (r *Results) EncodeTSV() string {
+	var b strings.Builder
+	for i, v := range r.Vars {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteByte('?')
+		b.WriteString(v)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for i, t := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			if !t.IsZero() {
+				b.WriteString(t.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders an aligned text table for CLI display.
+func (r *Results) Table() string {
+	widths := make([]int, len(r.Vars))
+	for i, v := range r.Vars {
+		widths[i] = len(v)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(r.Vars))
+		for i, t := range row {
+			s := ""
+			if !t.IsZero() {
+				s = t.Value
+			}
+			cells[ri][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, v := range r.Vars {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], v)
+	}
+	b.WriteByte('\n')
+	for i := range r.Vars {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

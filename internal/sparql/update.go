@@ -1,0 +1,122 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Execute applies a parsed update request to the engine's store.
+func (e *Engine) Execute(u *Update) error {
+	for _, op := range u.Operations {
+		if err := e.executeOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecuteString parses and applies an update request.
+func (e *Engine) ExecuteString(src string) error {
+	u, err := ParseUpdate(src)
+	if err != nil {
+		return err
+	}
+	return e.Execute(u)
+}
+
+func (e *Engine) executeOp(op UpdateOperation) error {
+	switch o := op.(type) {
+	case InsertDataOp:
+		for _, q := range o.Quads {
+			e.store.Insert(q)
+		}
+		return nil
+	case DeleteDataOp:
+		for _, q := range o.Quads {
+			e.store.Delete(q)
+		}
+		return nil
+	case ClearOp:
+		return e.executeClear(o)
+	case ModifyOp:
+		return e.executeModify(o)
+	default:
+		return fmt.Errorf("sparql: unknown update operation %T", op)
+	}
+}
+
+func (e *Engine) executeClear(o ClearOp) error {
+	clearGraph := func(g rdf.Term) {
+		for _, t := range e.store.MatchAll(g, rdf.Term{}, rdf.Term{}, rdf.Term{}) {
+			e.store.Delete(rdf.NewQuad(t.S, t.P, t.O, g))
+		}
+	}
+	switch {
+	case o.All:
+		clearGraph(rdf.Term{})
+		for _, g := range e.store.GraphNames() {
+			clearGraph(g)
+		}
+	case o.Default, o.Graph.IsZero():
+		clearGraph(rdf.Term{})
+	default:
+		clearGraph(o.Graph)
+	}
+	return nil
+}
+
+func (e *Engine) executeModify(o ModifyOp) error {
+	r := &run{e: e, vt: newVarTable()}
+	collectGroupVars(o.Where, r.vt)
+	for _, qp := range append(append([]QuadPattern{}, o.Delete...), o.Insert...) {
+		collectPatternTermVars(qp.S, r.vt)
+		collectPatternTermVars(qp.P, r.vt)
+		collectPatternTermVars(qp.O, r.vt)
+		collectPatternTermVars(qp.Graph, r.vt)
+	}
+	rows, err := r.evalGroup(o.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
+	if err != nil {
+		return err
+	}
+
+	instantiate := func(tmpl []QuadPattern, row solution) []rdf.Quad {
+		var out []rdf.Quad
+		for _, qp := range tmpl {
+			s, okS := r.resolve(qp.S, row)
+			p, okP := r.resolve(qp.P, row)
+			obj, okO := r.resolve(qp.O, row)
+			if !okS || !okP || !okO {
+				continue
+			}
+			g := rdf.Term{}
+			if qp.Graph.IsVar || !qp.Graph.Term.IsZero() {
+				gv, okG := r.resolve(qp.Graph, row)
+				if !okG {
+					continue
+				}
+				g = gv
+			}
+			q := rdf.NewQuad(s, p, obj, g)
+			if q.Triple().Valid() {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	// Collect both sets fully before mutating, per SPARQL Update
+	// semantics (WHERE is evaluated against the pre-update state).
+	var toDelete, toInsert []rdf.Quad
+	for _, row := range rows {
+		toDelete = append(toDelete, instantiate(o.Delete, row)...)
+		toInsert = append(toInsert, instantiate(o.Insert, row)...)
+	}
+	for _, q := range toDelete {
+		e.store.Delete(q)
+	}
+	for _, q := range toInsert {
+		e.store.Insert(q)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package store provides an in-memory, indexed RDF quad store used as
+// the storage backend of the SPARQL engine. It plays the role Virtuoso 7
+// plays in the QB2OLAP paper.
+//
+// Design: terms are interned into a dictionary mapping each distinct
+// rdf.Term to a dense uint32 id. All triple indexes and all join
+// processing operate on ids, so pattern matching and joins compare
+// machine words rather than strings. Each graph keeps three orderings
+// (SPO, POS, OSP) as sorted slices, giving O(log n + k) pattern scans
+// with excellent cache behaviour for the read-mostly OLAP workload.
+package store
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dense dictionary identifier for an interned term. The zero ID
+// is reserved and never assigned, so it can act as a wildcard.
+type ID uint32
+
+// NoID is the reserved wildcard id.
+const NoID ID = 0
+
+// Dict interns rdf.Term values to dense IDs and back. It is safe for
+// concurrent use.
+type Dict struct {
+	mu    sync.RWMutex
+	toID  map[rdf.Term]ID
+	terms []rdf.Term // index 0 unused
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		toID:  make(map[rdf.Term]ID),
+		terms: make([]rdf.Term, 1),
+	}
+}
+
+// Intern returns the id for t, assigning a fresh one on first sight.
+func (d *Dict) Intern(t rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.toID[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.toID[t]; ok {
+		return id
+	}
+	id = ID(len(d.terms))
+	d.toID[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the id for t if it is already interned.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.toID[t]
+	return id, ok
+}
+
+// Term returns the term for an id. It panics on out-of-range ids, which
+// indicate a bug (ids only come from this dictionary).
+func (d *Dict) Term(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms) - 1
+}

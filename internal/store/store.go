@@ -1,0 +1,459 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// IDTriple is a triple of dictionary ids.
+type IDTriple struct {
+	S, P, O ID
+}
+
+// graphIndex holds one RDF graph as a deduplicating set plus three
+// sorted orderings, rebuilt lazily after mutations.
+type graphIndex struct {
+	set   map[IDTriple]struct{}
+	spo   []IDTriple // sorted (S, P, O)
+	pos   []IDTriple // sorted (P, O, S)
+	osp   []IDTriple // sorted (O, S, P)
+	dirty bool
+}
+
+func newGraphIndex() *graphIndex {
+	return &graphIndex{set: make(map[IDTriple]struct{})}
+}
+
+func (g *graphIndex) insert(t IDTriple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	g.dirty = true
+	return true
+}
+
+func (g *graphIndex) remove(t IDTriple) bool {
+	if _, ok := g.set[t]; !ok {
+		return false
+	}
+	delete(g.set, t)
+	g.dirty = true
+	return true
+}
+
+func (g *graphIndex) refresh() {
+	if !g.dirty {
+		return
+	}
+	n := len(g.set)
+	g.spo = make([]IDTriple, 0, n)
+	for t := range g.set {
+		g.spo = append(g.spo, t)
+	}
+	g.pos = make([]IDTriple, n)
+	copy(g.pos, g.spo)
+	g.osp = make([]IDTriple, n)
+	copy(g.osp, g.spo)
+	sort.Slice(g.spo, func(i, j int) bool { return lessSPO(g.spo[i], g.spo[j]) })
+	sort.Slice(g.pos, func(i, j int) bool { return lessPOS(g.pos[i], g.pos[j]) })
+	sort.Slice(g.osp, func(i, j int) bool { return lessOSP(g.osp[i], g.osp[j]) })
+	g.dirty = false
+}
+
+func lessSPO(a, b IDTriple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func lessPOS(a, b IDTriple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func lessOSP(a, b IDTriple) bool {
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.P < b.P
+}
+
+// Store is an in-memory RDF dataset: one default graph plus any number
+// of named graphs, sharing a single term dictionary. It is safe for
+// concurrent use; reads proceed under a read lock once indexes are
+// fresh.
+type Store struct {
+	mu    sync.RWMutex
+	dict  *Dict
+	def   *graphIndex
+	named map[ID]*graphIndex
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:  NewDict(),
+		def:   newGraphIndex(),
+		named: make(map[ID]*graphIndex),
+	}
+}
+
+// Dict exposes the store's term dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// graphFor returns the index for the given graph term (zero = default),
+// creating the named graph when create is set.
+func (s *Store) graphFor(g ID, create bool) *graphIndex {
+	if g == NoID {
+		return s.def
+	}
+	gi, ok := s.named[g]
+	if !ok && create {
+		gi = newGraphIndex()
+		s.named[g] = gi
+	}
+	return gi
+}
+
+// Insert adds a quad and reports whether it was new.
+func (s *Store) Insert(q rdf.Quad) bool {
+	t := IDTriple{s.dict.Intern(q.S), s.dict.Intern(q.P), s.dict.Intern(q.O)}
+	var g ID
+	if !q.G.IsZero() {
+		g = s.dict.Intern(q.G)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graphFor(g, true).insert(t)
+}
+
+// InsertTriples bulk-adds triples into the graph named by g (zero Term
+// for the default graph) and returns the number actually added.
+func (s *Store) InsertTriples(g rdf.Term, ts []rdf.Triple) int {
+	var gid ID
+	if !g.IsZero() {
+		gid = s.dict.Intern(g)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gi := s.graphFor(gid, true)
+	added := 0
+	for _, t := range ts {
+		it := IDTriple{s.dict.Intern(t.S), s.dict.Intern(t.P), s.dict.Intern(t.O)}
+		if gi.insert(it) {
+			added++
+		}
+	}
+	return added
+}
+
+// Delete removes a quad and reports whether it was present.
+func (s *Store) Delete(q rdf.Quad) bool {
+	sid, ok := s.dict.Lookup(q.S)
+	if !ok {
+		return false
+	}
+	pid, ok := s.dict.Lookup(q.P)
+	if !ok {
+		return false
+	}
+	oid, ok := s.dict.Lookup(q.O)
+	if !ok {
+		return false
+	}
+	var gid ID
+	if !q.G.IsZero() {
+		gid, ok = s.dict.Lookup(q.G)
+		if !ok {
+			return false
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gi := s.graphFor(gid, false)
+	if gi == nil {
+		return false
+	}
+	return gi.remove(IDTriple{sid, pid, oid})
+}
+
+// Len returns the number of triples in the graph named by g (zero Term
+// for the default graph).
+func (s *Store) Len(g rdf.Term) int {
+	var gid ID
+	if !g.IsZero() {
+		var ok bool
+		gid, ok = s.dict.Lookup(g)
+		if !ok {
+			return 0
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	gi := s.graphFor(gid, false)
+	if gi == nil {
+		return 0
+	}
+	return len(gi.set)
+}
+
+// TotalLen returns the number of triples across all graphs.
+func (s *Store) TotalLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.def.set)
+	for _, gi := range s.named {
+		n += len(gi.set)
+	}
+	return n
+}
+
+// GraphNames returns the terms naming the non-empty named graphs.
+func (s *Store) GraphNames() []rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rdf.Term, 0, len(s.named))
+	for gid, gi := range s.named {
+		if len(gi.set) > 0 {
+			out = append(out, s.dict.Term(gid))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// GraphID resolves a graph term to its id, reporting whether the graph
+// exists. The zero term resolves to NoID (the default graph).
+func (s *Store) GraphID(g rdf.Term) (ID, bool) {
+	if g.IsZero() {
+		return NoID, true
+	}
+	gid, ok := s.dict.Lookup(g)
+	if !ok {
+		return NoID, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, exists := s.named[gid]
+	return gid, exists
+}
+
+// NamedGraphIDs returns ids of all named graphs.
+func (s *Store) NamedGraphIDs() []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ID, 0, len(s.named))
+	for gid := range s.named {
+		out = append(out, gid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchIDs streams all id-triples in graph g matching the pattern (NoID
+// components are wildcards) to fn. Iteration stops early if fn returns
+// false. Pass NoID as g for the default graph.
+func (s *Store) MatchIDs(g ID, pat IDTriple, fn func(IDTriple) bool) {
+	s.mu.RLock()
+	gi := s.graphFor(g, false)
+	if gi == nil {
+		s.mu.RUnlock()
+		return
+	}
+	if gi.dirty {
+		// Upgrade to rebuild the orderings, then downgrade. A scan that
+		// races with a further mutation reads the previous (immutable)
+		// slices, which is the usual snapshot behaviour.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		gi.refresh()
+		s.mu.Unlock()
+		s.mu.RLock()
+	}
+	defer s.mu.RUnlock()
+	scanIndex(gi, pat, fn)
+}
+
+// Count returns the exact number of triples matching the pattern in
+// graph g. It uses binary search on the chosen index, so it is cheap
+// enough for the query planner to call per pattern.
+func (s *Store) Count(g ID, pat IDTriple) int {
+	n := 0
+	s.MatchIDs(g, pat, func(IDTriple) bool { n++; return true })
+	return n
+}
+
+// Match streams term-level triples matching a term pattern (zero terms
+// are wildcards) from graph g (zero Term for default).
+func (s *Store) Match(g rdf.Term, sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	var gid ID
+	if !g.IsZero() {
+		var ok bool
+		gid, ok = s.dict.Lookup(g)
+		if !ok {
+			return
+		}
+	}
+	pat, ok := s.patternIDs(sub, pred, obj)
+	if !ok {
+		return
+	}
+	s.MatchIDs(gid, pat, func(t IDTriple) bool {
+		return fn(rdf.NewTriple(s.dict.Term(t.S), s.dict.Term(t.P), s.dict.Term(t.O)))
+	})
+}
+
+// MatchAll collects all matching triples from graph g.
+func (s *Store) MatchAll(g rdf.Term, sub, pred, obj rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	s.Match(g, sub, pred, obj, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// patternIDs converts a term pattern to an id pattern; ok is false when
+// a bound term is not in the dictionary (no triples can match).
+func (s *Store) patternIDs(sub, pred, obj rdf.Term) (IDTriple, bool) {
+	var pat IDTriple
+	if !sub.IsZero() {
+		id, ok := s.dict.Lookup(sub)
+		if !ok {
+			return pat, false
+		}
+		pat.S = id
+	}
+	if !pred.IsZero() {
+		id, ok := s.dict.Lookup(pred)
+		if !ok {
+			return pat, false
+		}
+		pat.P = id
+	}
+	if !obj.IsZero() {
+		id, ok := s.dict.Lookup(obj)
+		if !ok {
+			return pat, false
+		}
+		pat.O = id
+	}
+	return pat, true
+}
+
+// scanIndex selects the best index for the pattern and streams matches.
+func scanIndex(gi *graphIndex, pat IDTriple, fn func(IDTriple) bool) {
+	switch {
+	case pat.S != NoID:
+		// SPO with prefix S (and P, and O).
+		lo := sort.Search(len(gi.spo), func(i int) bool {
+			return !spoPrefixLess(gi.spo[i], pat)
+		})
+		for i := lo; i < len(gi.spo); i++ {
+			t := gi.spo[i]
+			if t.S != pat.S {
+				break
+			}
+			// lo was positioned at the full prefix, so within the same
+			// S any mismatching P (or, with P bound, any mismatching O)
+			// lies past the match range.
+			if pat.P != NoID && t.P != pat.P {
+				break
+			}
+			if pat.O != NoID && t.O != pat.O {
+				if pat.P != NoID {
+					break
+				}
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case pat.P != NoID:
+		// POS with prefix P (and O).
+		lo := sort.Search(len(gi.pos), func(i int) bool {
+			return !posPrefixLess(gi.pos[i], pat)
+		})
+		for i := lo; i < len(gi.pos); i++ {
+			t := gi.pos[i]
+			if t.P != pat.P {
+				break
+			}
+			if pat.O != NoID && t.O != pat.O {
+				if t.O > pat.O {
+					break
+				}
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case pat.O != NoID:
+		// OSP with prefix O.
+		lo := sort.Search(len(gi.osp), func(i int) bool {
+			return gi.osp[i].O >= pat.O
+		})
+		for i := lo; i < len(gi.osp); i++ {
+			t := gi.osp[i]
+			if t.O != pat.O {
+				break
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	default:
+		for _, t := range gi.spo {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// spoPrefixLess reports whether t sorts strictly before the first
+// possible match of pat in SPO order.
+func spoPrefixLess(t, pat IDTriple) bool {
+	if t.S != pat.S {
+		return t.S < pat.S
+	}
+	if pat.P == NoID {
+		return false
+	}
+	if t.P != pat.P {
+		return t.P < pat.P
+	}
+	if pat.O == NoID {
+		return false
+	}
+	return t.O < pat.O
+}
+
+// posPrefixLess reports whether t sorts strictly before the first
+// possible match of pat in POS order.
+func posPrefixLess(t, pat IDTriple) bool {
+	if t.P != pat.P {
+		return t.P < pat.P
+	}
+	if pat.O == NoID {
+		return false
+	}
+	return t.O < pat.O
+}

@@ -1,0 +1,75 @@
+package turtle
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// FuzzParse checks the Turtle parser never panics and that whatever it
+// accepts can be serialized and re-parsed to the same triple set.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`<http://x/s> <http://x/p> "v" .`,
+		`@prefix ex: <http://x/> . ex:s a ex:T ; ex:p "a", "b" .`,
+		`@base <http://b/> . <s> <p> <o> .`,
+		`_:b <http://x/p> [ <http://x/q> ( 1 2.5 1e3 true ) ] .`,
+		`<http://x/s> <http://x/p> """long
+multi "line" text""" .`,
+		`<http://x/s> <http://x/p> "é\U0001F600" .`,
+		`PREFIX ex: <http://x/>
+ex:s ex:p ex:o .`,
+		`@prefix : <http://x/> . :s :p :o . # comment`,
+		`<s> <p> <o>`,     // missing dot
+		`@prefix x <y> .`, // malformed
+		"\x00\x01\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		triples, _, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Round-trip invariant on accepted input.
+		g := rdfGraph(triples)
+		out := FormatGraph(g, nil)
+		back, _, err := Parse(out)
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v\ninput: %q\noutput:\n%s", err, src, out)
+		}
+		g2 := rdfGraph(back)
+		if g.Len() != g2.Len() {
+			t.Fatalf("round trip changed triple count %d -> %d\ninput: %q", g.Len(), g2.Len(), src)
+		}
+		for _, tr := range g.Triples() {
+			if !g2.Has(tr) {
+				t.Fatalf("round trip lost %v\ninput: %q", tr, src)
+			}
+		}
+	})
+}
+
+// FuzzParseNQuads checks the N-Quads parser never panics.
+func FuzzParseNQuads(f *testing.F) {
+	for _, s := range []string{
+		``,
+		`<http://x/s> <http://x/p> "v" .`,
+		`<http://x/s> <http://x/p> <http://x/o> <http://x/g> .`,
+		`_:b <http://x/p> "w"@en <http://x/g> .`,
+		`<s> <p>`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseNQuads(src)
+	})
+}
+
+func rdfGraph(ts []rdf.Triple) *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddAll(ts)
+	return g
+}

@@ -1,0 +1,459 @@
+// Package turtle implements a parser and serializer for the W3C Turtle
+// and N-Triples RDF syntaxes.
+//
+// The parser supports the Turtle constructs needed by real statistical
+// linked-data dumps: prefix and base directives (both @-style and
+// SPARQL-style), prefixed names, relative IRI resolution, the 'a'
+// keyword, predicate and object lists, blank node property lists,
+// collections, numeric/boolean literal sugar, language tags, datatyped
+// literals, long (triple-quoted) strings, and comments.
+package turtle
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIRIRef
+	tokPName   // prefixed name (or bare prefix for directives)
+	tokBlank   // _:label
+	tokLiteral // string literal (value decoded)
+	tokLangTag // @lang
+	tokInteger
+	tokDecimal
+	tokDouble
+	tokDot
+	tokSemicolon
+	tokComma
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokHatHat // ^^
+	tokA      // keyword 'a'
+	tokPrefixDir
+	tokBaseDir
+	tokSparqlPrefix
+	tokSparqlBase
+	tokTrue
+	tokFalse
+	tokAnon // []
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes Turtle input held entirely in memory. Statistical
+// dumps in this repo are generated in-process, so a simple string
+// scanner is both adequate and fast.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("turtle: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) skipWhitespaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case ' ', '\t', '\r':
+			l.pos++
+		case '\n':
+			l.pos++
+			l.line++
+		case '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipWhitespaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.line
+	c := l.src[l.pos]
+	switch c {
+	case '<':
+		return l.lexIRIRef()
+	case '"', '\'':
+		return l.lexString(c)
+	case '.':
+		// Distinguish statement dot from a leading decimal point
+		// (".5" is a valid double in Turtle only with digits; we treat
+		// a dot followed by a digit as numeric).
+		if d := l.peekByteAt(1); d >= '0' && d <= '9' {
+			return l.lexNumber()
+		}
+		l.pos++
+		return token{kind: tokDot, text: ".", line: start}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemicolon, text: ";", line: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: start}, nil
+	case '[':
+		// Look ahead for ']' with only whitespace between: ANON.
+		j := l.pos + 1
+		for j < len(l.src) && (l.src[j] == ' ' || l.src[j] == '\t' || l.src[j] == '\n' || l.src[j] == '\r') {
+			j++
+		}
+		if j < len(l.src) && l.src[j] == ']' {
+			for k := l.pos; k < j; k++ {
+				if l.src[k] == '\n' {
+					l.line++
+				}
+			}
+			l.pos = j + 1
+			return token{kind: tokAnon, text: "[]", line: start}, nil
+		}
+		l.pos++
+		return token{kind: tokLBracket, text: "[", line: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", line: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: start}, nil
+	case '^':
+		if l.peekByteAt(1) == '^' {
+			l.pos += 2
+			return token{kind: tokHatHat, text: "^^", line: start}, nil
+		}
+		return token{}, l.errf("unexpected '^'")
+	case '@':
+		return l.lexAtKeyword()
+	case '_':
+		if l.peekByteAt(1) == ':' {
+			return l.lexBlank()
+		}
+		return token{}, l.errf("unexpected '_'")
+	case '+', '-':
+		return l.lexNumber()
+	}
+	if c >= '0' && c <= '9' {
+		return l.lexNumber()
+	}
+	return l.lexName()
+}
+
+func (l *lexer) lexIRIRef() (token, error) {
+	start := l.line
+	l.pos++ // consume '<'
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '>':
+			l.pos++
+			if !utf8.ValidString(b.String()) {
+				return token{}, l.errf("invalid UTF-8 in IRI reference")
+			}
+			return token{kind: tokIRIRef, text: b.String(), line: start}, nil
+		case '\\':
+			// \u and \U escapes permitted in IRIREF
+			r, err := l.decodeUCharAt()
+			if err != nil {
+				return token{}, err
+			}
+			b.WriteRune(r)
+		case '\n':
+			return token{}, l.errf("newline in IRI reference")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf("unterminated IRI reference")
+}
+
+// decodeUCharAt decodes a \uXXXX or \UXXXXXXXX escape at l.pos (which
+// points at the backslash) and advances past it.
+func (l *lexer) decodeUCharAt() (rune, error) {
+	if l.peekByteAt(1) == 'u' {
+		if l.pos+6 > len(l.src) {
+			return 0, l.errf("truncated \\u escape")
+		}
+		var r rune
+		if _, err := fmt.Sscanf(l.src[l.pos+2:l.pos+6], "%04x", &r); err != nil {
+			return 0, l.errf("bad \\u escape")
+		}
+		l.pos += 6
+		return r, nil
+	}
+	if l.peekByteAt(1) == 'U' {
+		if l.pos+10 > len(l.src) {
+			return 0, l.errf("truncated \\U escape")
+		}
+		var r rune
+		if _, err := fmt.Sscanf(l.src[l.pos+2:l.pos+10], "%08x", &r); err != nil {
+			return 0, l.errf("bad \\U escape")
+		}
+		l.pos += 10
+		return r, nil
+	}
+	return 0, l.errf("bad escape in IRI")
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.line
+	long := false
+	if l.peekByteAt(1) == quote && l.peekByteAt(2) == quote {
+		long = true
+		l.pos += 3
+	} else {
+		l.pos++
+	}
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			if !long {
+				l.pos++
+				if !utf8.ValidString(b.String()) {
+					return token{}, l.errf("invalid UTF-8 in string literal")
+				}
+				return token{kind: tokLiteral, text: b.String(), line: start}, nil
+			}
+			if l.peekByteAt(1) == quote && l.peekByteAt(2) == quote {
+				l.pos += 3
+				if !utf8.ValidString(b.String()) {
+					return token{}, l.errf("invalid UTF-8 in string literal")
+				}
+				return token{kind: tokLiteral, text: b.String(), line: start}, nil
+			}
+			b.WriteByte(c)
+			l.pos++
+			continue
+		}
+		if c == '\\' {
+			esc := l.peekByteAt(1)
+			switch esc {
+			case 't':
+				b.WriteByte('\t')
+				l.pos += 2
+			case 'n':
+				b.WriteByte('\n')
+				l.pos += 2
+			case 'r':
+				b.WriteByte('\r')
+				l.pos += 2
+			case 'b':
+				b.WriteByte('\b')
+				l.pos += 2
+			case 'f':
+				b.WriteByte('\f')
+				l.pos += 2
+			case '"', '\'', '\\':
+				b.WriteByte(esc)
+				l.pos += 2
+			case 'u', 'U':
+				r, err := l.decodeUCharAt()
+				if err != nil {
+					return token{}, err
+				}
+				b.WriteRune(r)
+			default:
+				return token{}, l.errf("bad string escape \\%c", esc)
+			}
+			continue
+		}
+		if c == '\n' {
+			if !long {
+				return token{}, l.errf("newline in single-line string")
+			}
+			l.line++
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf("unterminated string")
+}
+
+func (l *lexer) lexAtKeyword() (token, error) {
+	start := l.line
+	l.pos++ // '@'
+	j := l.pos
+	for j < len(l.src) && (isAlpha(l.src[j]) || l.src[j] == '-' || (l.src[j] >= '0' && l.src[j] <= '9')) {
+		j++
+	}
+	word := l.src[l.pos:j]
+	l.pos = j
+	switch word {
+	case "prefix":
+		return token{kind: tokPrefixDir, text: "@prefix", line: start}, nil
+	case "base":
+		return token{kind: tokBaseDir, text: "@base", line: start}, nil
+	}
+	if word == "" {
+		return token{}, l.errf("bare '@'")
+	}
+	return token{kind: tokLangTag, text: word, line: start}, nil
+}
+
+func (l *lexer) lexBlank() (token, error) {
+	start := l.line
+	l.pos += 2 // "_:"
+	j := l.pos
+	for j < len(l.src) && isPNChar(l.src[j]) {
+		j++
+	}
+	if j == l.pos {
+		return token{}, l.errf("empty blank node label")
+	}
+	label := l.src[l.pos:j]
+	l.pos = j
+	return token{kind: tokBlank, text: label, line: start}, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.line
+	j := l.pos
+	if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+		j++
+	}
+	digits := 0
+	for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+		j++
+		digits++
+	}
+	kind := tokInteger
+	if j < len(l.src) && l.src[j] == '.' {
+		// A dot is part of the number only if followed by a digit
+		// (otherwise it terminates the statement).
+		if j+1 < len(l.src) && l.src[j+1] >= '0' && l.src[j+1] <= '9' {
+			kind = tokDecimal
+			j++
+			for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				j++
+				digits++
+			}
+		}
+	}
+	if j < len(l.src) && (l.src[j] == 'e' || l.src[j] == 'E') {
+		kind = tokDouble
+		j++
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		expDigits := 0
+		for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+			j++
+			expDigits++
+		}
+		if expDigits == 0 {
+			return token{}, l.errf("malformed double exponent")
+		}
+	}
+	if digits == 0 {
+		return token{}, l.errf("malformed number")
+	}
+	text := l.src[l.pos:j]
+	l.pos = j
+	return token{kind: kind, text: text, line: start}, nil
+}
+
+// lexName scans a prefixed name, the 'a' keyword, boolean literals, or
+// the SPARQL-style PREFIX/BASE directives.
+func (l *lexer) lexName() (token, error) {
+	start := l.line
+	j := l.pos
+	colon := -1
+	for j < len(l.src) {
+		c := l.src[j]
+		if c == ':' {
+			colon = j
+			j++
+			continue
+		}
+		if isPNChar(c) || c == '.' || c == '%' {
+			if c >= 0x80 {
+				r, size := utf8.DecodeRuneInString(l.src[j:])
+				if r == utf8.RuneError && size == 1 {
+					return token{}, l.errf("invalid UTF-8 in name")
+				}
+				j += size
+				continue
+			}
+			j++
+			continue
+		}
+		break
+	}
+	if j == l.pos {
+		return token{}, l.errf("unexpected character %q", l.src[l.pos])
+	}
+	word := l.src[l.pos:j]
+	// A trailing dot belongs to the statement terminator, not the name.
+	for strings.HasSuffix(word, ".") && (colon < 0 || l.pos+len(word)-1 > colon) {
+		word = word[:len(word)-1]
+		j--
+	}
+	l.pos = j
+	if colon < 0 {
+		switch word {
+		case "a":
+			return token{kind: tokA, text: "a", line: start}, nil
+		case "true":
+			return token{kind: tokTrue, text: "true", line: start}, nil
+		case "false":
+			return token{kind: tokFalse, text: "false", line: start}, nil
+		}
+		switch strings.ToUpper(word) {
+		case "PREFIX":
+			return token{kind: tokSparqlPrefix, text: word, line: start}, nil
+		case "BASE":
+			return token{kind: tokSparqlBase, text: word, line: start}, nil
+		}
+		return token{}, l.errf("unexpected bare word %q", word)
+	}
+	return token{kind: tokPName, text: word, line: start}, nil
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isPNChar(c byte) bool {
+	return isAlpha(c) || (c >= '0' && c <= '9') || c == '_' || c == '-' || c >= 0x80
+}

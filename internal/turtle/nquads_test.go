@@ -1,0 +1,145 @@
+package turtle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func TestParseNQuadsBasic(t *testing.T) {
+	quads, err := ParseNQuads(`
+<http://x/s> <http://x/p> "v" .
+<http://x/s> <http://x/p> <http://x/o> <http://x/g> .
+_:b <http://x/p> "w"@en <http://x/g> .
+# comment
+<http://x/s> <http://x/q> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quads) != 4 {
+		t.Fatalf("quads = %d", len(quads))
+	}
+	if !quads[0].InDefaultGraph() {
+		t.Error("first quad should be in default graph")
+	}
+	if quads[1].G != rdf.NewIRI("http://x/g") {
+		t.Errorf("graph = %v", quads[1].G)
+	}
+	if !quads[2].S.IsBlank() {
+		t.Error("blank subject lost")
+	}
+}
+
+func TestParseNQuadsErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> .`,
+		`<http://x/s> <http://x/p> "v" <http://x/g> <http://x/extra> .`,
+		`<http://x/s> <http://x/p> "v"`,
+	}
+	for _, src := range bad {
+		if _, err := ParseNQuads(src); err == nil {
+			t.Errorf("ParseNQuads(%q) succeeded", src)
+		}
+	}
+}
+
+func TestStoreDumpLoadRoundTrip(t *testing.T) {
+	st := store.New()
+	g := rdf.NewIRI("http://x/g")
+	st.Insert(rdf.NewQuad(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("def"), rdf.Term{}))
+	st.Insert(rdf.NewQuad(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("named"), g))
+
+	var b strings.Builder
+	if err := WriteNQuads(&b, DumpStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	quads, err := ParseNQuads(b.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	st2 := store.New()
+	if n := LoadQuads(st2, quads); n != 2 {
+		t.Fatalf("loaded %d", n)
+	}
+	if st2.Len(rdf.Term{}) != 1 || st2.Len(g) != 1 {
+		t.Fatal("graph separation lost in round trip")
+	}
+}
+
+// TestNQuadsRandomRoundTrip drives the quad serializer and parser with
+// randomized terms, including every literal flavour and nasty strings.
+func TestNQuadsRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randTerm := func(allowLiteral bool) rdf.Term {
+		if allowLiteral {
+			switch rng.Intn(5) {
+			case 0:
+				return rdf.NewLiteral(randString(rng))
+			case 1:
+				return rdf.NewLangLiteral(randString(rng), []string{"en", "fr", "de-AT"}[rng.Intn(3)])
+			case 2:
+				return rdf.NewInteger(int64(rng.Intn(1000) - 500))
+			case 3:
+				return rdf.NewTypedLiteral(randString(rng), "http://x/dt")
+			}
+		}
+		if rng.Intn(4) == 0 {
+			return rdf.NewBlank(fmt.Sprintf("b%d", rng.Intn(10)))
+		}
+		return rdf.NewIRI(fmt.Sprintf("http://x/n%d", rng.Intn(20)))
+	}
+	for trial := 0; trial < 20; trial++ {
+		st := store.New()
+		for i := 0; i < 30; i++ {
+			var g rdf.Term
+			if rng.Intn(2) == 0 {
+				g = rdf.NewIRI(fmt.Sprintf("http://g/%d", rng.Intn(3)))
+			}
+			s := randTerm(false)
+			p := rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(5)))
+			o := randTerm(true)
+			st.Insert(rdf.NewQuad(s, p, o, g))
+		}
+		var b strings.Builder
+		if err := WriteNQuads(&b, DumpStore(st)); err != nil {
+			t.Fatal(err)
+		}
+		quads, err := ParseNQuads(b.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, b.String())
+		}
+		st2 := store.New()
+		LoadQuads(st2, quads)
+		if st.TotalLen() != st2.TotalLen() {
+			t.Fatalf("trial %d: %d quads -> %d after round trip", trial, st.TotalLen(), st2.TotalLen())
+		}
+		// Every original quad must be present.
+		for _, q := range DumpStore(st) {
+			found := false
+			for _, q2 := range DumpStore(st2) {
+				if q == q2 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: quad %v lost", trial, q)
+			}
+		}
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	alphabet := []rune(`abc "\'éλ🎲` + "\n\t")
+	n := rng.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}

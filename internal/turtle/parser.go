@@ -1,0 +1,436 @@
+package turtle
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parser parses Turtle documents into rdf.Triple values.
+type Parser struct {
+	lex      *lexer
+	tok      token
+	prefixes *rdf.PrefixMap
+	base     string
+	bnodeSeq int
+	// emit receives each parsed triple.
+	emit func(rdf.Triple) error
+}
+
+// Parse parses a complete Turtle document and returns its triples along
+// with the prefix map accumulated from @prefix directives.
+func Parse(src string) ([]rdf.Triple, *rdf.PrefixMap, error) {
+	var out []rdf.Triple
+	p := &Parser{
+		lex:      newLexer(src),
+		prefixes: rdf.NewPrefixMap(),
+		emit: func(t rdf.Triple) error {
+			return nil
+		},
+	}
+	p.emit = func(t rdf.Triple) error {
+		out = append(out, t)
+		return nil
+	}
+	if err := p.run(); err != nil {
+		return nil, nil, err
+	}
+	return out, p.prefixes, nil
+}
+
+// ParseGraph parses a Turtle document directly into a new rdf.Graph.
+func ParseGraph(src string) (*rdf.Graph, error) {
+	triples, _, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := rdf.NewGraph()
+	g.AddAll(triples)
+	return g, nil
+}
+
+// ParseNTriples parses an N-Triples document. N-Triples is a subset of
+// Turtle, so the same parser applies; this wrapper exists for intent at
+// call sites.
+func ParseNTriples(src string) ([]rdf.Triple, error) {
+	triples, _, err := Parse(src)
+	return triples, err
+}
+
+func (p *Parser) run() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind != tokEOF {
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) expect(k tokenKind, what string) error {
+	if p.tok.kind != k {
+		return fmt.Errorf("turtle: line %d: expected %s, got %s", p.tok.line, what, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *Parser) statement() error {
+	switch p.tok.kind {
+	case tokPrefixDir:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.prefixDecl(); err != nil {
+			return err
+		}
+		return p.expect(tokDot, "'.'")
+	case tokBaseDir:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.baseDecl(); err != nil {
+			return err
+		}
+		return p.expect(tokDot, "'.'")
+	case tokSparqlPrefix:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.prefixDecl() // no dot in SPARQL style
+	case tokSparqlBase:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.baseDecl()
+	default:
+		if err := p.triples(); err != nil {
+			return err
+		}
+		return p.expect(tokDot, "'.'")
+	}
+}
+
+func (p *Parser) prefixDecl() error {
+	if p.tok.kind != tokPName || !strings.HasSuffix(p.tok.text, ":") {
+		return fmt.Errorf("turtle: line %d: expected prefix name ending in ':', got %s", p.tok.line, p.tok)
+	}
+	prefix := strings.TrimSuffix(p.tok.text, ":")
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokIRIRef {
+		return fmt.Errorf("turtle: line %d: expected namespace IRI, got %s", p.tok.line, p.tok)
+	}
+	p.prefixes.Bind(prefix, p.resolve(p.tok.text))
+	return p.advance()
+}
+
+func (p *Parser) baseDecl() error {
+	if p.tok.kind != tokIRIRef {
+		return fmt.Errorf("turtle: line %d: expected base IRI, got %s", p.tok.line, p.tok)
+	}
+	p.base = p.resolve(p.tok.text)
+	return p.advance()
+}
+
+// resolve resolves a possibly-relative IRI reference against the
+// current base using simplified RFC 3986 merging adequate for data
+// files (absolute IRIs pass through; fragments and relative paths are
+// appended to the base).
+func (p *Parser) resolve(ref string) string {
+	if ref == "" {
+		return p.base
+	}
+	if strings.Contains(ref, "://") || strings.HasPrefix(ref, "urn:") || strings.HasPrefix(ref, "mailto:") {
+		return ref
+	}
+	if p.base == "" {
+		return ref
+	}
+	if strings.HasPrefix(ref, "#") {
+		if i := strings.Index(p.base, "#"); i >= 0 {
+			return p.base[:i] + ref
+		}
+		return p.base + ref
+	}
+	if strings.HasPrefix(ref, "/") {
+		// Resolve against authority root.
+		if i := strings.Index(p.base, "://"); i >= 0 {
+			rest := p.base[i+3:]
+			if j := strings.Index(rest, "/"); j >= 0 {
+				return p.base[:i+3+j] + ref
+			}
+			return p.base + ref
+		}
+		return ref
+	}
+	// Relative path: replace the final segment of the base.
+	if i := strings.LastIndex(p.base, "/"); i >= 0 {
+		return p.base[:i+1] + ref
+	}
+	return p.base + ref
+}
+
+func (p *Parser) triples() error {
+	// subject can be an IRI, blank node, blank node property list, or
+	// collection.
+	switch p.tok.kind {
+	case tokLBracket:
+		subj, err := p.blankNodePropertyList()
+		if err != nil {
+			return err
+		}
+		// predicateObjectList is optional after a property list subject.
+		if p.tok.kind == tokDot {
+			return nil
+		}
+		return p.predicateObjectList(subj)
+	case tokLParen:
+		subj, err := p.collection()
+		if err != nil {
+			return err
+		}
+		return p.predicateObjectList(subj)
+	default:
+		subj, err := p.subject()
+		if err != nil {
+			return err
+		}
+		return p.predicateObjectList(subj)
+	}
+}
+
+func (p *Parser) subject() (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokIRIRef:
+		t := rdf.NewIRI(p.resolve(p.tok.text))
+		return t, p.advance()
+	case tokPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("turtle: line %d: %v", p.tok.line, err)
+		}
+		return rdf.NewIRI(iri), p.advance()
+	case tokBlank:
+		t := rdf.NewBlank(p.tok.text)
+		return t, p.advance()
+	case tokAnon:
+		t := p.freshBlank()
+		return t, p.advance()
+	default:
+		return rdf.Term{}, fmt.Errorf("turtle: line %d: expected subject, got %s", p.tok.line, p.tok)
+	}
+}
+
+func (p *Parser) predicate() (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokA:
+		return rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), p.advance()
+	case tokIRIRef:
+		t := rdf.NewIRI(p.resolve(p.tok.text))
+		return t, p.advance()
+	case tokPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("turtle: line %d: %v", p.tok.line, err)
+		}
+		return rdf.NewIRI(iri), p.advance()
+	default:
+		return rdf.Term{}, fmt.Errorf("turtle: line %d: expected predicate, got %s", p.tok.line, p.tok)
+	}
+}
+
+func (p *Parser) predicateObjectList(subj rdf.Term) error {
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		if err := p.objectList(subj, pred); err != nil {
+			return err
+		}
+		if p.tok.kind != tokSemicolon {
+			return nil
+		}
+		// Consume runs of semicolons; a trailing semicolon before '.'
+		// or ']' is legal.
+		for p.tok.kind == tokSemicolon {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind == tokDot || p.tok.kind == tokRBracket {
+			return nil
+		}
+	}
+}
+
+func (p *Parser) objectList(subj, pred rdf.Term) error {
+	for {
+		obj, err := p.object()
+		if err != nil {
+			return err
+		}
+		if err := p.emit(rdf.NewTriple(subj, pred, obj)); err != nil {
+			return err
+		}
+		if p.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *Parser) object() (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokIRIRef:
+		t := rdf.NewIRI(p.resolve(p.tok.text))
+		return t, p.advance()
+	case tokPName:
+		iri, err := p.prefixes.Expand(p.tok.text)
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("turtle: line %d: %v", p.tok.line, err)
+		}
+		return rdf.NewIRI(iri), p.advance()
+	case tokBlank:
+		t := rdf.NewBlank(p.tok.text)
+		return t, p.advance()
+	case tokAnon:
+		t := p.freshBlank()
+		return t, p.advance()
+	case tokLBracket:
+		return p.blankNodePropertyList()
+	case tokLParen:
+		return p.collection()
+	case tokLiteral:
+		return p.literal()
+	case tokInteger:
+		t := rdf.NewTypedLiteral(p.tok.text, rdf.XSDInteger)
+		return t, p.advance()
+	case tokDecimal:
+		t := rdf.NewTypedLiteral(p.tok.text, rdf.XSDDecimal)
+		return t, p.advance()
+	case tokDouble:
+		t := rdf.NewTypedLiteral(p.tok.text, rdf.XSDDouble)
+		return t, p.advance()
+	case tokTrue:
+		return rdf.NewBoolean(true), p.advance()
+	case tokFalse:
+		return rdf.NewBoolean(false), p.advance()
+	default:
+		return rdf.Term{}, fmt.Errorf("turtle: line %d: expected object, got %s", p.tok.line, p.tok)
+	}
+}
+
+func (p *Parser) literal() (rdf.Term, error) {
+	lex := p.tok.text
+	if err := p.advance(); err != nil {
+		return rdf.Term{}, err
+	}
+	switch p.tok.kind {
+	case tokLangTag:
+		t := rdf.NewLangLiteral(lex, p.tok.text)
+		return t, p.advance()
+	case tokHatHat:
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		var dt string
+		switch p.tok.kind {
+		case tokIRIRef:
+			dt = p.resolve(p.tok.text)
+		case tokPName:
+			iri, err := p.prefixes.Expand(p.tok.text)
+			if err != nil {
+				return rdf.Term{}, fmt.Errorf("turtle: line %d: %v", p.tok.line, err)
+			}
+			dt = iri
+		default:
+			return rdf.Term{}, fmt.Errorf("turtle: line %d: expected datatype IRI, got %s", p.tok.line, p.tok)
+		}
+		return rdf.NewTypedLiteral(lex, dt), p.advance()
+	default:
+		return rdf.NewLiteral(lex), nil
+	}
+}
+
+func (p *Parser) blankNodePropertyList() (rdf.Term, error) {
+	// current token is '['
+	if err := p.advance(); err != nil {
+		return rdf.Term{}, err
+	}
+	node := p.freshBlank()
+	if err := p.predicateObjectList(node); err != nil {
+		return rdf.Term{}, err
+	}
+	if p.tok.kind != tokRBracket {
+		return rdf.Term{}, fmt.Errorf("turtle: line %d: expected ']', got %s", p.tok.line, p.tok)
+	}
+	return node, p.advance()
+}
+
+func (p *Parser) collection() (rdf.Term, error) {
+	// current token is '('
+	if err := p.advance(); err != nil {
+		return rdf.Term{}, err
+	}
+	rdfFirst := rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#first")
+	rdfRest := rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#rest")
+	rdfNil := rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#nil")
+	if p.tok.kind == tokRParen {
+		return rdfNil, p.advance()
+	}
+	head := p.freshBlank()
+	cur := head
+	for {
+		obj, err := p.object()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if err := p.emit(rdf.NewTriple(cur, rdfFirst, obj)); err != nil {
+			return rdf.Term{}, err
+		}
+		if p.tok.kind == tokRParen {
+			if err := p.emit(rdf.NewTriple(cur, rdfRest, rdfNil)); err != nil {
+				return rdf.Term{}, err
+			}
+			return head, p.advance()
+		}
+		next := p.freshBlank()
+		if err := p.emit(rdf.NewTriple(cur, rdfRest, next)); err != nil {
+			return rdf.Term{}, err
+		}
+		cur = next
+	}
+}
+
+func (p *Parser) freshBlank() rdf.Term {
+	p.bnodeSeq++
+	return rdf.NewBlank(fmt.Sprintf("gen%d", p.bnodeSeq))
+}
+
+// ParseReader parses a Turtle document from an io.Reader. The document
+// is read fully into memory first; statistical dumps at the scale this
+// repository handles (hundreds of thousands of triples) fit comfortably.
+func ParseReader(r io.Reader) ([]rdf.Triple, *rdf.PrefixMap, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("turtle: reading input: %w", err)
+	}
+	return Parse(string(data))
+}

@@ -1,0 +1,367 @@
+package turtle
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) []rdf.Triple {
+	t.Helper()
+	ts, _, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return ts
+}
+
+func TestParseBasicTriple(t *testing.T) {
+	ts := mustParse(t, `<http://x/s> <http://x/p> <http://x/o> .`)
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+	want := rdf.NewTriple(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewIRI("http://x/o"))
+	if ts[0] != want {
+		t.Fatalf("got %v", ts[0])
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+@prefix : <http://default.org/> .
+ex:s ex:p :o .`
+	ts := mustParse(t, src)
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+	if ts[0].S.Value != "http://example.org/s" {
+		t.Errorf("subject = %s", ts[0].S.Value)
+	}
+	if ts[0].O.Value != "http://default.org/o" {
+		t.Errorf("object = %s", ts[0].O.Value)
+	}
+}
+
+func TestParseSparqlStyleDirectives(t *testing.T) {
+	src := `
+PREFIX ex: <http://example.org/>
+BASE <http://base.org/dir/>
+ex:s ex:p <leaf> .`
+	ts := mustParse(t, src)
+	if ts[0].O.Value != "http://base.org/dir/leaf" {
+		t.Errorf("object = %s", ts[0].O.Value)
+	}
+}
+
+func TestParseAKeywordAndLists(t *testing.T) {
+	src := `
+@prefix ex: <http://x/> .
+ex:s a ex:T ;
+     ex:p ex:o1 , ex:o2 ;
+     ex:q "lit" .`
+	ts := mustParse(t, src)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples, want 4", len(ts))
+	}
+	if ts[0].P.Value != "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" {
+		t.Errorf("a keyword not expanded: %s", ts[0].P.Value)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `
+@prefix x: <http://x/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+x:s x:a "plain" ;
+    x:b "french"@fr ;
+    x:c "7"^^xsd:integer ;
+    x:d 42 ;
+    x:e -3.25 ;
+    x:f 1.5e3 ;
+    x:g true ;
+    x:h false ;
+    x:i """long
+string""" .`
+	ts := mustParse(t, src)
+	byPred := map[string]rdf.Term{}
+	for _, tr := range ts {
+		byPred[tr.P.Value] = tr.O
+	}
+	check := func(p string, want rdf.Term) {
+		t.Helper()
+		if got := byPred["http://x/"+p]; got != want {
+			t.Errorf("%s = %v, want %v", p, got, want)
+		}
+	}
+	check("a", rdf.NewLiteral("plain"))
+	check("b", rdf.NewLangLiteral("french", "fr"))
+	check("c", rdf.NewTypedLiteral("7", rdf.XSDInteger))
+	check("d", rdf.NewTypedLiteral("42", rdf.XSDInteger))
+	check("e", rdf.NewTypedLiteral("-3.25", rdf.XSDDecimal))
+	check("f", rdf.NewTypedLiteral("1.5e3", rdf.XSDDouble))
+	check("g", rdf.NewBoolean(true))
+	check("h", rdf.NewBoolean(false))
+	check("i", rdf.NewLiteral("long\nstring"))
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	ts := mustParse(t, `<http://x/s> <http://x/p> "tab\there \"quote\" A" .`)
+	if got := ts[0].O.Value; got != "tab\there \"quote\" A" {
+		t.Fatalf("escapes decoded to %q", got)
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	src := `
+@prefix x: <http://x/> .
+_:b1 x:p _:b2 .
+x:s x:q [ x:r "inner" ; x:t "inner2" ] .
+x:s x:u [] .`
+	ts := mustParse(t, src)
+	if len(ts) != 5 {
+		t.Fatalf("got %d triples, want 5", len(ts))
+	}
+	if !ts[0].S.IsBlank() || ts[0].S.Value != "b1" {
+		t.Errorf("labelled blank mishandled: %v", ts[0].S)
+	}
+	// the property-list blank node must appear both as object of x:q and
+	// subject of x:r
+	var qObj rdf.Term
+	for _, tr := range ts {
+		if tr.P.Value == "http://x/q" {
+			qObj = tr.O
+		}
+	}
+	if qObj.IsZero() || !qObj.IsBlank() {
+		t.Fatalf("x:q object = %v", qObj)
+	}
+	found := false
+	for _, tr := range ts {
+		if tr.S == qObj && tr.P.Value == "http://x/r" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inner blank node triples not linked")
+	}
+}
+
+func TestParseBlankPropertyListAsSubject(t *testing.T) {
+	src := `
+@prefix x: <http://x/> .
+[ x:p "v" ] x:q "w" .`
+	ts := mustParse(t, src)
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+	if ts[0].S != ts[1].S {
+		t.Error("subject blank node must be shared")
+	}
+}
+
+func TestParseCollection(t *testing.T) {
+	src := `
+@prefix x: <http://x/> .
+x:s x:p ( x:a x:b ) .
+x:t x:q () .`
+	ts := mustParse(t, src)
+	// 2 list nodes x 2 triples + 2 statement triples = 6
+	if len(ts) != 6 {
+		t.Fatalf("got %d triples, want 6", len(ts))
+	}
+	nilIRI := "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil"
+	sawNil := false
+	for _, tr := range ts {
+		if tr.P.Value == "http://x/q" && tr.O.Value == nilIRI {
+			sawNil = true
+		}
+	}
+	if !sawNil {
+		t.Error("empty collection must be rdf:nil")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# leading comment
+<http://x/s> <http://x/p> "v" . # trailing comment
+# final`
+	if got := len(mustParse(t, src)); got != 1 {
+		t.Fatalf("got %d triples", got)
+	}
+}
+
+func TestParseQBSnippetFromPaper(t *testing.T) {
+	// The DSD fragment from Section II of the paper.
+	src := `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix dsd: <http://eurostat.linked-statistics.org/dsd/> .
+@prefix sdmx-dimension: <http://purl.org/linked-data/sdmx/2009/dimension#> .
+@prefix sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#> .
+@prefix property: <http://eurostat.linked-statistics.org/property#> .
+
+dsd:migr_asyappctzm rdf:type qb:DataStructureDefinition ;
+  qb:component [ qb:dimension sdmx-dimension:refPeriod ] ;
+  qb:component [ qb:dimension property:age ] ;
+  qb:component [ qb:dimension property:citizen ] ;
+  qb:component [ qb:measure sdmx-measure:obsValue ] .`
+	ts := mustParse(t, src)
+	// 1 type + 4 component links + 4 inner component triples = 9
+	if len(ts) != 9 {
+		t.Fatalf("got %d triples, want 9", len(ts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> .`,               // missing object
+		`<http://x/s> "lit" <http://x/o> .`,         // literal predicate
+		`<unterminated`,                             // open IRI
+		`<http://x/s> <http://x/p> "open .`,         // open string
+		`nope:x <http://x/p> <http://x/o> .`,        // unknown prefix
+		`<http://x/s> <http://x/p> <http://x/o>`,    // missing dot
+		`@prefix ex <http://x/> .`,                  // missing colon
+		`<http://x/s> <http://x/p> 1.5e .`,          // bad exponent
+		`<http://x/s> <http://x/p> "v"^^"notiri" .`, // bad datatype
+	}
+	for _, src := range bad {
+		if _, _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	src := `
+@prefix x: <http://x/> .
+x:s x:p "v" ; .`
+	if got := len(mustParse(t, src)); got != 1 {
+		t.Fatalf("got %d triples", got)
+	}
+}
+
+func TestRoundTripThroughWriter(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s a ex:Widget ;
+    ex:label "Gadget"@en ;
+    ex:count "5"^^xsd:integer ;
+    ex:linked ex:t .
+ex:t ex:label "Other" .`
+	first := mustParse(t, src)
+	g := rdf.NewGraph()
+	g.AddAll(first)
+
+	pm := rdf.NewPrefixMap()
+	pm.Bind("ex", "http://example.org/")
+	pm.Bind("xsd", "http://www.w3.org/2001/XMLSchema#")
+	out := FormatGraph(g, pm)
+
+	second := mustParse(t, out)
+	g2 := rdf.NewGraph()
+	g2.AddAll(second)
+	if g.Len() != g2.Len() {
+		t.Fatalf("round trip changed size: %d -> %d\n%s", g.Len(), g2.Len(), out)
+	}
+	for _, tr := range g.Triples() {
+		if !g2.Has(tr) {
+			t.Errorf("lost triple %v\noutput:\n%s", tr, out)
+		}
+	}
+}
+
+func TestWriterUsesAKeywordAndGrouping(t *testing.T) {
+	g := rdf.NewGraph()
+	s := rdf.NewIRI("http://example.org/s")
+	g.Add(rdf.NewTriple(s, rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), rdf.NewIRI("http://example.org/T")))
+	g.Add(rdf.NewTriple(s, rdf.NewIRI("http://example.org/p"), rdf.NewLiteral("a")))
+	g.Add(rdf.NewTriple(s, rdf.NewIRI("http://example.org/p"), rdf.NewLiteral("b")))
+	pm := rdf.NewPrefixMap()
+	pm.Bind("ex", "http://example.org/")
+	out := FormatGraph(g, pm)
+	if !strings.Contains(out, " a ex:T") {
+		t.Errorf("expected 'a' keyword in output:\n%s", out)
+	}
+	if !strings.Contains(out, `"a", "b"`) {
+		t.Errorf("expected object list grouping in output:\n%s", out)
+	}
+	if strings.Count(out, "ex:s") != 1 {
+		t.Errorf("subject should appear once:\n%s", out)
+	}
+}
+
+func TestWriteNTriplesSorted(t *testing.T) {
+	ts := []rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("http://x/b"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("2")),
+		rdf.NewTriple(rdf.NewIRI("http://x/a"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("1")),
+	}
+	var b strings.Builder
+	if err := WriteNTriples(&b, ts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "<http://x/a>") {
+		t.Fatalf("unsorted or wrong output:\n%s", b.String())
+	}
+}
+
+func TestParseGraphHelper(t *testing.T) {
+	g, err := ParseGraph(`<http://x/s> <http://x/p> "v" .`)
+	if err != nil || g.Len() != 1 {
+		t.Fatalf("ParseGraph: %v len=%d", err, g.Len())
+	}
+	if _, err := ParseGraph(`broken`); err == nil {
+		t.Error("ParseGraph must propagate errors")
+	}
+}
+
+func TestParseNTriples(t *testing.T) {
+	ts, err := ParseNTriples(`<http://x/s> <http://x/p> "v"@en .
+<http://x/s> <http://x/q> _:b0 .`)
+	if err != nil || len(ts) != 2 {
+		t.Fatalf("ParseNTriples: %v, %d", err, len(ts))
+	}
+}
+
+func TestBaseRelativeResolution(t *testing.T) {
+	cases := []struct {
+		base, ref, want string
+	}{
+		{"http://a/b/c", "d", "http://a/b/d"},
+		{"http://a/b/c", "/d", "http://a/d"},
+		{"http://a/b/c", "#f", "http://a/b/c#f"},
+		{"http://a/b/c#x", "#f", "http://a/b/c#f"},
+		{"http://a/b/", "http://other/x", "http://other/x"},
+	}
+	for _, c := range cases {
+		src := "@base <" + c.base + "> .\n<s> <http://x/p> <" + c.ref + "> ."
+		ts := mustParse(t, src)
+		if got := ts[0].O.Value; got != c.want {
+			t.Errorf("resolve(%q, %q) = %q, want %q", c.base, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	ts, pm, err := ParseReader(strings.NewReader(`
+@prefix ex: <http://example.org/> .
+ex:s ex:p "v" .`))
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("ParseReader: %v, %d triples", err, len(ts))
+	}
+	if ns, ok := pm.Namespace("ex"); !ok || ns != "http://example.org/" {
+		t.Fatalf("prefixes lost: %v", pm)
+	}
+	if _, _, err := ParseReader(failingReader{}); err == nil {
+		t.Fatal("reader error must propagate")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }

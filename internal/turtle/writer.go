@@ -1,0 +1,130 @@
+package turtle
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Writer serializes triples as Turtle, grouping by subject and using a
+// prefix map to compact IRIs.
+type Writer struct {
+	w        io.Writer
+	prefixes *rdf.PrefixMap
+}
+
+// NewWriter returns a Writer emitting to w with the given prefix map
+// (nil for no prefixes).
+func NewWriter(w io.Writer, prefixes *rdf.PrefixMap) *Writer {
+	if prefixes == nil {
+		prefixes = rdf.NewPrefixMap()
+	}
+	return &Writer{w: w, prefixes: prefixes}
+}
+
+// WriteGraph serializes the whole graph: prefix directives first, then
+// triples grouped by subject with predicate lists.
+func (wr *Writer) WriteGraph(g *rdf.Graph) error {
+	return wr.WriteTriples(g.Triples())
+}
+
+// WriteTriples serializes a slice of triples.
+func (wr *Writer) WriteTriples(ts []rdf.Triple) error {
+	var b strings.Builder
+	for _, p := range wr.prefixes.Prefixes() {
+		ns, _ := wr.prefixes.Namespace(p)
+		b.WriteString("@prefix ")
+		b.WriteString(p)
+		b.WriteString(": <")
+		b.WriteString(ns)
+		b.WriteString("> .\n")
+	}
+	if len(wr.prefixes.Prefixes()) > 0 {
+		b.WriteString("\n")
+	}
+
+	// Group triples by subject preserving first-appearance order.
+	order := make([]rdf.Term, 0)
+	bySubject := make(map[rdf.Term][]rdf.Triple)
+	for _, t := range ts {
+		if _, ok := bySubject[t.S]; !ok {
+			order = append(order, t.S)
+		}
+		bySubject[t.S] = append(bySubject[t.S], t)
+	}
+
+	for _, s := range order {
+		group := bySubject[s]
+		sort.SliceStable(group, func(i, j int) bool {
+			if c := group[i].P.Compare(group[j].P); c != 0 {
+				return c < 0
+			}
+			return group[i].O.Compare(group[j].O) < 0
+		})
+		b.WriteString(wr.term(s))
+		b.WriteString(" ")
+		for i, t := range group {
+			if i > 0 {
+				if t.P == group[i-1].P {
+					b.WriteString(", ")
+					b.WriteString(wr.term(t.O))
+					continue
+				}
+				b.WriteString(" ;\n    ")
+			}
+			b.WriteString(wr.term(t.P))
+			b.WriteString(" ")
+			b.WriteString(wr.term(t.O))
+		}
+		b.WriteString(" .\n")
+	}
+	_, err := io.WriteString(wr.w, b.String())
+	return err
+}
+
+func (wr *Writer) term(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.KindIRI:
+		if t.Value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" {
+			return "a"
+		}
+		if pn, ok := wr.prefixes.Compact(t.Value); ok {
+			return pn
+		}
+		return "<" + t.Value + ">"
+	case rdf.KindLiteral:
+		if t.Lang == "" && t.Datatype != "" && t.Datatype != rdf.XSDString {
+			if pn, ok := wr.prefixes.Compact(t.Datatype); ok {
+				return strings.SplitN(t.String(), "^^", 2)[0] + "^^" + pn
+			}
+		}
+		return t.String()
+	default:
+		return t.String()
+	}
+}
+
+// WriteNTriples serializes triples in canonical N-Triples form, one
+// statement per line, sorted for deterministic output.
+func WriteNTriples(w io.Writer, ts []rdf.Triple) error {
+	sorted := make([]rdf.Triple, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	var b strings.Builder
+	for _, t := range sorted {
+		b.WriteString(t.String())
+		b.WriteString(" .\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FormatGraph is a convenience returning the Turtle serialization of g
+// as a string.
+func FormatGraph(g *rdf.Graph, prefixes *rdf.PrefixMap) string {
+	var b strings.Builder
+	_ = NewWriter(&b, prefixes).WriteGraph(g)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package vocab centralizes the IRI constants of the vocabularies used
+// by QB2OLAP: RDF(S), XSD, OWL, SKOS, the RDF Data Cube vocabulary (qb),
+// its OLAP extension QB4OLAP (qb4o), the SDMX component namespaces, and
+// the demo schema namespaces mirroring the paper's Eurostat use case.
+package vocab
+
+import "repro/internal/rdf"
+
+// Namespace IRIs.
+const (
+	RDF  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSD  = "http://www.w3.org/2001/XMLSchema#"
+	OWL  = "http://www.w3.org/2002/07/owl#"
+	SKOS = "http://www.w3.org/2004/02/skos/core#"
+
+	QB   = "http://purl.org/linked-data/cube#"
+	QB4O = "http://purl.org/qb4olap/cubes#"
+
+	SDMXDimension = "http://purl.org/linked-data/sdmx/2009/dimension#"
+	SDMXMeasure   = "http://purl.org/linked-data/sdmx/2009/measure#"
+	SDMXAttribute = "http://purl.org/linked-data/sdmx/2009/attribute#"
+
+	// Demo namespaces mirroring the paper's Eurostat example.
+	EurostatData     = "http://eurostat.linked-statistics.org/data/"
+	EurostatDSD      = "http://eurostat.linked-statistics.org/dsd/"
+	EurostatProperty = "http://eurostat.linked-statistics.org/property#"
+	EurostatDic      = "http://eurostat.linked-statistics.org/dic/"
+	Schema           = "http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#"
+	External         = "http://example.org/external/"
+)
+
+// RDF / RDFS terms.
+var (
+	RDFType  = rdf.NewIRI(RDF + "type")
+	RDFFirst = rdf.NewIRI(RDF + "first")
+	RDFRest  = rdf.NewIRI(RDF + "rest")
+	RDFNil   = rdf.NewIRI(RDF + "nil")
+
+	RDFSLabel    = rdf.NewIRI(RDFS + "label")
+	RDFSComment  = rdf.NewIRI(RDFS + "comment")
+	RDFSSeeAlso  = rdf.NewIRI(RDFS + "seeAlso")
+	RDFSSubClass = rdf.NewIRI(RDFS + "subClassOf")
+)
+
+// SKOS terms used for level member hierarchies.
+var (
+	SKOSBroader   = rdf.NewIRI(SKOS + "broader")
+	SKOSNarrower  = rdf.NewIRI(SKOS + "narrower")
+	SKOSPrefLabel = rdf.NewIRI(SKOS + "prefLabel")
+	SKOSNotation  = rdf.NewIRI(SKOS + "notation")
+)
+
+// OWL terms.
+var (
+	OWLSameAs = rdf.NewIRI(OWL + "sameAs")
+)
+
+// QB vocabulary terms.
+var (
+	QBDataStructureDefinition = rdf.NewIRI(QB + "DataStructureDefinition")
+	QBDataSet                 = rdf.NewIRI(QB + "DataSet")
+	QBObservation             = rdf.NewIRI(QB + "Observation")
+	QBComponentSpecification  = rdf.NewIRI(QB + "ComponentSpecification")
+	QBDimensionProperty       = rdf.NewIRI(QB + "DimensionProperty")
+	QBMeasureProperty         = rdf.NewIRI(QB + "MeasureProperty")
+	QBAttributeProperty       = rdf.NewIRI(QB + "AttributeProperty")
+
+	QBStructure = rdf.NewIRI(QB + "structure")
+	QBComponent = rdf.NewIRI(QB + "component")
+	QBDimension = rdf.NewIRI(QB + "dimension")
+	QBMeasure   = rdf.NewIRI(QB + "measure")
+	QBAttribute = rdf.NewIRI(QB + "attribute")
+	QBDataSetP  = rdf.NewIRI(QB + "dataSet")
+	QBOrder     = rdf.NewIRI(QB + "order")
+	QBConcept   = rdf.NewIRI(QB + "concept")
+)
+
+// QB4OLAP vocabulary terms.
+var (
+	QB4OLevelProperty     = rdf.NewIRI(QB4O + "LevelProperty")
+	QB4OLevelAttribute    = rdf.NewIRI(QB4O + "LevelAttribute")
+	QB4OHierarchyClass    = rdf.NewIRI(QB4O + "Hierarchy")
+	QB4OHierarchyStep     = rdf.NewIRI(QB4O + "HierarchyStep")
+	QB4OLevelMemberClass  = rdf.NewIRI(QB4O + "LevelMember")
+	QB4OAggregateFunction = rdf.NewIRI(QB4O + "AggregateFunction")
+
+	QB4OLevel              = rdf.NewIRI(QB4O + "level")
+	QB4OCardinality        = rdf.NewIRI(QB4O + "cardinality")
+	QB4OAggregateFunctionP = rdf.NewIRI(QB4O + "aggregateFunction")
+	QB4OHasHierarchy       = rdf.NewIRI(QB4O + "hasHierarchy")
+	QB4OInDimension        = rdf.NewIRI(QB4O + "inDimension")
+	QB4OHasLevel           = rdf.NewIRI(QB4O + "hasLevel")
+	QB4OInHierarchy        = rdf.NewIRI(QB4O + "inHierarchy")
+	QB4OChildLevel         = rdf.NewIRI(QB4O + "childLevel")
+	QB4OParentLevel        = rdf.NewIRI(QB4O + "parentLevel")
+	QB4OPCCardinality      = rdf.NewIRI(QB4O + "pcCardinality")
+	QB4OHasAttribute       = rdf.NewIRI(QB4O + "hasAttribute")
+	QB4OMemberOf           = rdf.NewIRI(QB4O + "memberOf")
+	QB4OInLevel            = rdf.NewIRI(QB4O + "inLevel")
+	QB4ORollup             = rdf.NewIRI(QB4O + "rollup")
+
+	// Cardinalities.
+	QB4OOneToOne   = rdf.NewIRI(QB4O + "OneToOne")
+	QB4OOneToMany  = rdf.NewIRI(QB4O + "OneToMany")
+	QB4OManyToOne  = rdf.NewIRI(QB4O + "ManyToOne")
+	QB4OManyToMany = rdf.NewIRI(QB4O + "ManyToMany")
+
+	// Aggregate functions.
+	QB4OSum   = rdf.NewIRI(QB4O + "sum")
+	QB4OAvg   = rdf.NewIRI(QB4O + "avg")
+	QB4OCount = rdf.NewIRI(QB4O + "count")
+	QB4OMin   = rdf.NewIRI(QB4O + "min")
+	QB4OMax   = rdf.NewIRI(QB4O + "max")
+)
+
+// SDMX component terms used by the Eurostat cube.
+var (
+	SDMXRefPeriod = rdf.NewIRI(SDMXDimension + "refPeriod")
+	SDMXFreq      = rdf.NewIRI(SDMXDimension + "freq")
+	SDMXObsValue  = rdf.NewIRI(SDMXMeasure + "obsValue")
+)
+
+// Prefixes returns a prefix map with the standard bindings used across
+// the repository's Turtle output and SPARQL generation.
+func Prefixes() *rdf.PrefixMap {
+	m := rdf.NewPrefixMap()
+	m.Bind("rdf", RDF)
+	m.Bind("rdfs", RDFS)
+	m.Bind("xsd", XSD)
+	m.Bind("owl", OWL)
+	m.Bind("skos", SKOS)
+	m.Bind("qb", QB)
+	m.Bind("qb4o", QB4O)
+	m.Bind("sdmx-dimension", SDMXDimension)
+	m.Bind("sdmx-measure", SDMXMeasure)
+	m.Bind("sdmx-attribute", SDMXAttribute)
+	m.Bind("data", EurostatData)
+	m.Bind("dsd", EurostatDSD)
+	m.Bind("property", EurostatProperty)
+	m.Bind("dic", EurostatDic)
+	m.Bind("schema", Schema)
+	m.Bind("ex", External)
+	return m
+}

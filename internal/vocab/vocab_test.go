@@ -1,0 +1,66 @@
+package vocab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrefixesCoverVocabularies(t *testing.T) {
+	m := Prefixes()
+	for prefix, ns := range map[string]string{
+		"rdf":  RDF,
+		"rdfs": RDFS,
+		"xsd":  XSD,
+		"skos": SKOS,
+		"qb":   QB,
+		"qb4o": QB4O,
+	} {
+		got, ok := m.Namespace(prefix)
+		if !ok || got != ns {
+			t.Errorf("prefix %s = %q, want %q", prefix, got, ns)
+		}
+	}
+}
+
+func TestTermNamespaces(t *testing.T) {
+	cases := []struct {
+		iri, ns string
+	}{
+		{QBDimension.Value, QB},
+		{QB4OLevel.Value, QB4O},
+		{QB4ORollup.Value, QB4O},
+		{SKOSBroader.Value, SKOS},
+		{RDFType.Value, RDF},
+		{SDMXObsValue.Value, SDMXMeasure},
+		{SDMXRefPeriod.Value, SDMXDimension},
+	}
+	for _, c := range cases {
+		if !strings.HasPrefix(c.iri, c.ns) {
+			t.Errorf("%s not in namespace %s", c.iri, c.ns)
+		}
+	}
+}
+
+func TestPaperVocabularyShape(t *testing.T) {
+	// The exact property names the paper's snippets use.
+	wants := []struct{ term, local string }{
+		{QB4OLevel.Value, "level"},
+		{QB4OCardinality.Value, "cardinality"},
+		{QB4OAggregateFunctionP.Value, "aggregateFunction"},
+		{QB4OHasHierarchy.Value, "hasHierarchy"},
+		{QB4OInDimension.Value, "inDimension"},
+		{QB4OHasLevel.Value, "hasLevel"},
+		{QB4OInHierarchy.Value, "inHierarchy"},
+		{QB4OChildLevel.Value, "childLevel"},
+		{QB4OParentLevel.Value, "parentLevel"},
+		{QB4OPCCardinality.Value, "pcCardinality"},
+		{QB4OHasAttribute.Value, "hasAttribute"},
+		{QB4OManyToOne.Value, "ManyToOne"},
+		{QB4OSum.Value, "sum"},
+	}
+	for _, w := range wants {
+		if !strings.HasSuffix(w.term, "#"+w.local) {
+			t.Errorf("%s should end in #%s", w.term, w.local)
+		}
+	}
+}

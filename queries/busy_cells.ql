@@ -1,0 +1,14 @@
+# Measure dicing: yearly continent cells with more than 10,000
+# applications (a DICE over the aggregated measure, translated to
+# HAVING in the direct query and an outer FILTER in the alternative).
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);
+$C7 := DICE ($C6, sdmx-measure:obsValue > 10000);

@@ -1,0 +1,11 @@
+# Applications by continent of citizenship and year (a two-axis cube,
+# nice with `qb2olap query -pivot`).
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:sexDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:asyl_appDim);
+$C4 := SLICE ($C3, schema:geoDim);
+$C5 := ROLLUP ($C4, schema:citizenDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:refPeriodDim, schema:year);

@@ -1,0 +1,14 @@
+# The demonstration query from Section IV of the QB2OLAP paper:
+# the number of asylum applications submitted by year by citizens from
+# African countries whose destination is France.
+PREFIX data: <http://eurostat.linked-statistics.org/data/>
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asyl_appDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := ROLLUP ($C3, schema:citizenDim, schema:continent);
+$C5 := ROLLUP ($C4, schema:refPeriodDim, schema:year);
+$C6 := DICE ($C5, (schema:citizenDim|schema:continent|schema:continentName = "Africa"));
+$C7 := DICE ($C6, schema:geoDim|property:geo|schema:countryName = "France");
