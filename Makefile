@@ -3,9 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz examples experiments clean
+.PHONY: all build test race cover bench bench-concurrent fuzz examples experiments clean
 
-all: build test
+# The default check builds, vets, and runs the whole test suite under
+# the race detector: the engine evaluates queries on a worker pool and
+# the endpoint serves queries without locks, so every CI pass
+# revalidates the concurrency invariants (TestConcurrentQueryUpdate,
+# TestParallelMatchesSequential, ...). Benchmarks are not run here; the
+# 80k-observation fixtures additionally sit behind a -short guard so a
+# `go test -short -bench .` smoke pass stays fast.
+all: build race
 
 build:
 	$(GO) build ./...
@@ -24,6 +31,12 @@ cover:
 # claim of the paper).
 bench:
 	$(GO) test -run xxx -bench . -benchmem -timeout 60m .
+
+# The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
+# query throughput vs. client count at engine parallelism 1 and
+# GOMAXPROCS on the 80k-observation cube.
+bench-concurrent:
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkParallelGroupBy' -timeout 30m .
 
 # Short fuzzing pass over all four parsers.
 fuzz:

@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -22,6 +23,16 @@ import (
 	"repro/internal/sparql"
 	"repro/internal/store"
 )
+
+// skipIfShort keeps the 80k-observation (demo-scale) fixtures out of
+// short runs, so `go test -short -bench .` stays a quick smoke pass and
+// the tier-1 loop never builds the big fixtures.
+func skipIfShort(b *testing.B, obs int) {
+	b.Helper()
+	if testing.Short() && obs >= 80000 {
+		b.Skipf("skipping %d-observation fixture in -short mode", obs)
+	}
+}
 
 // ---------------------------------------------------------------------
 // Shared fixtures: generated datasets and enriched cubes per scale,
@@ -97,6 +108,7 @@ $C7 := DICE ($C6, schema:geoDim|property:geo|schema:countryName = "France");
 func BenchmarkGeneration(b *testing.B) {
 	for _, obs := range []int{1000, 5000, 20000, 80000} {
 		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
+			skipIfShort(b, obs)
 			for i := 0; i < b.N; i++ {
 				d := eurostat.Generate(configFor(obs))
 				if len(d.Observations) == 0 {
@@ -111,6 +123,9 @@ func BenchmarkGeneration(b *testing.B) {
 // store (the "QB data set loaded into the endpoint" step).
 func BenchmarkLoad(b *testing.B) {
 	for _, obs := range []int{5000, 20000, 80000} {
+		if testing.Short() && obs >= 80000 {
+			continue
+		}
 		d := rawDataset(b, obs)
 		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
 			b.ReportAllocs()
@@ -207,6 +222,9 @@ func BenchmarkTripleGeneration(b *testing.B) {
 // generation, and commit — on a fresh store each iteration.
 func BenchmarkEnrichmentPipeline(b *testing.B) {
 	for _, obs := range []int{5000, 20000, 80000} {
+		if testing.Short() && obs >= 80000 {
+			continue
+		}
 		d := rawDataset(b, obs)
 		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -310,6 +328,9 @@ func benchmarkExecute(b *testing.B, v ql.Variant) {
 // both translations, exposing where (if anywhere) they cross over.
 func BenchmarkDirectVsAlternative(b *testing.B) {
 	for _, obs := range []int{1000, 5000, 20000, 80000} {
+		if testing.Short() && obs >= 80000 {
+			continue
+		}
 		env := enrichedEnv(b, obs)
 		p, err := ql.Prepare(demoQuery, env.Schema)
 		if err != nil {
@@ -464,6 +485,91 @@ SELECT ?c (SUM(?v) AS ?total) WHERE {
 		if res.Len() == 0 {
 			b.Fatal("no rows")
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// A-next — concurrent query throughput (the worker-pool engine under
+// load).
+
+// BenchmarkConcurrentQuery measures aggregate query throughput with
+// concurrent clients hammering the demo-scale (80k-observation) cube:
+// both translations of the Mary query, at engine parallelism 1
+// (sequential evaluation) and GOMAXPROCS (the default). clients=N uses
+// b.RunParallel with enough goroutines per core to keep N in flight;
+// ns/op is per completed query, so queries/sec = clients adjusted
+// aggregate 1e9/(ns/op). EXPERIMENTS.md A-next records the measured
+// scaling curve.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	const obs = 80000
+	skipIfShort(b, obs)
+	env := enrichedEnv(b, obs)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	pars := []int{1}
+	if gmp > 1 {
+		pars = append(pars, gmp)
+	}
+	for _, v := range []ql.Variant{ql.Direct, ql.Alternative} {
+		for _, par := range pars {
+			for _, clients := range []int{1, 4, 16, 64} {
+				name := fmt.Sprintf("%s/par=%d/clients=%d", v, par, clients)
+				b.Run(name, func(b *testing.B) {
+					client := endpoint.NewLocal(env.Store, sparql.WithParallelism(par))
+					b.SetParallelism((clients + gmp - 1) / gmp)
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						for pb.Next() {
+							cube, err := ql.Execute(client, p.Translation, v)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if len(cube.Cells) == 0 {
+								b.Fatal("empty cube")
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParallelGroupBy sweeps the engine's worker budget on the
+// flat group-by over every observation (the hot path the paper's
+// alternative translation works around), isolating intra-query
+// parallel speedup — and, on a single core, the worker-pool overhead.
+func BenchmarkParallelGroupBy(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	query := `
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+SELECT ?c (SUM(?v) AS ?total) WHERE {
+  ?o qb:dataSet <http://eurostat.linked-statistics.org/data/migr_asyappctzm> ;
+     property:citizen ?c ;
+     sdmx-measure:obsValue ?v .
+} GROUP BY ?c`
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			eng := sparql.NewEngine(env.Store, sparql.WithParallelism(par))
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/eurostat"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/turtle"
 )
@@ -20,6 +21,7 @@ type sourceFlags struct {
 	quadFiles   fileList
 	demoObs     int
 	seed        int64
+	parallel    int
 }
 
 type fileList []string
@@ -37,6 +39,7 @@ func (s *sourceFlags) register(fs *flag.FlagSet) {
 	fs.Var(&s.quadFiles, "quads", "N-Quads file to load in-process, preserving named graphs (repeatable)")
 	fs.IntVar(&s.demoObs, "demo", 0, "generate the demo cube with this many observations")
 	fs.Int64Var(&s.seed, "seed", 42, "generator seed for -demo")
+	fs.IntVar(&s.parallel, "parallel", 0, "worker goroutines per in-process query evaluation (0 = GOMAXPROCS, 1 = sequential)")
 }
 
 // open builds the tool around the selected source.
@@ -76,7 +79,7 @@ func (s *sourceFlags) open() (*core.Tool, error) {
 	if st.TotalLen() == 0 {
 		return nil, fmt.Errorf("no data source: pass -endpoint, -data, or -demo")
 	}
-	return core.New(endpoint.NewLocal(st)), nil
+	return core.New(endpoint.NewLocal(st, sparql.WithParallelism(s.parallel))), nil
 }
 
 // parseIRI reads an IRI flag value, accepting <...> or bare form.

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	sparqld [-addr :8080] [-data file.ttl]... [-demo N]
+//	sparqld [-addr :8080] [-data file.ttl]... [-demo N] [-parallel N]
 //
 // -data loads a Turtle file into the default graph (repeatable);
 // -demo N generates the synthetic Eurostat asylum cube with N
 // observations (plus the simulated external graph) and loads it.
+// -parallel bounds the worker goroutines each query evaluation may use
+// (0, the default, selects GOMAXPROCS; 1 forces sequential
+// evaluation).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/eurostat"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/turtle"
 )
@@ -40,6 +44,7 @@ func main() {
 	demoObs := flag.Int("demo", 0, "generate the synthetic Eurostat cube with this many observations")
 	seed := flag.Int64("seed", 42, "generator seed for -demo")
 	readOnly := flag.Bool("readonly", false, "reject updates and loads (serve data only)")
+	parallel := flag.Int("parallel", 0, "worker goroutines per query evaluation (0 = GOMAXPROCS, 1 = sequential)")
 	var quadFiles fileList
 	flag.Var(&files, "data", "Turtle file to load into the default graph (repeatable)")
 	flag.Var(&quadFiles, "quads", "N-Quads file to load, preserving named graphs (repeatable)")
@@ -80,7 +85,7 @@ func main() {
 			len(d.Observations), st.TotalLen())
 	}
 
-	srv := endpoint.NewServer(st)
+	srv := endpoint.NewServer(st, sparql.WithParallelism(*parallel))
 	srv.ReadOnly = *readOnly
 	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats)", *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/endpoint"
+	"repro/internal/eurostat"
+	"repro/internal/ql"
+	"repro/internal/sparql"
+)
+
+// concurrencyQuery is a flat aggregation touching every observation —
+// the group-by shape the parallel engine targets.
+const concurrencyQuery = `
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX property: <http://eurostat.linked-statistics.org/property#>
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+SELECT ?c (SUM(?v) AS ?total) WHERE {
+  ?o qb:dataSet <http://eurostat.linked-statistics.org/data/migr_asyappctzm> ;
+     property:citizen ?c ;
+     sdmx-measure:obsValue ?v .
+} GROUP BY ?c`
+
+// hammerQueriesAndUpdates runs parallel SELECTs against concurrent
+// INSERT DATA updates through one SPARQL client and fails on any error
+// or empty result. Run under -race (the Makefile's default check) this
+// validates the engine/store/endpoint concurrency contract.
+func hammerQueriesAndUpdates(t *testing.T, label string, c endpoint.SPARQLClient) {
+	t.Helper()
+	const (
+		readers = 4
+		queries = 8
+		updates = 32
+	)
+	errc := make(chan error, readers*queries+updates)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				res, err := c.Select(concurrencyQuery)
+				if err != nil {
+					errc <- fmt.Errorf("%s: select: %w", label, err)
+					return
+				}
+				if len(res.Rows) == 0 {
+					errc <- fmt.Errorf("%s: select returned no rows", label)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < updates; i++ {
+			u := fmt.Sprintf(
+				"INSERT DATA { <http://example.org/conc/s%d> <http://example.org/conc/p> %d . }", i, i)
+			if err := c.Update(u); err != nil {
+				errc <- fmt.Errorf("%s: update %d: %w", label, i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentQueryUpdate exercises parallel SELECTs racing INSERT
+// DATA updates through both the in-process client (core.NewLocal) and
+// the HTTP SPARQL protocol endpoint.
+func TestConcurrentQueryUpdate(t *testing.T) {
+	cfg := eurostat.DefaultConfig()
+	cfg.TargetObservations = 2000
+
+	t.Run("local", func(t *testing.T) {
+		st, _ := eurostat.NewStore(cfg)
+		tool := core.NewLocal(st, sparql.WithParallelism(4))
+		hammerQueriesAndUpdates(t, "local", tool.Client())
+	})
+
+	t.Run("http", func(t *testing.T) {
+		st, _ := eurostat.NewStore(cfg)
+		srv := httptest.NewServer(endpoint.NewServer(st, sparql.WithParallelism(4)).Handler())
+		defer srv.Close()
+		hammerQueriesAndUpdates(t, "http", endpoint.NewRemote(srv.URL))
+	})
+}
+
+// TestParallelismEquivalenceQueries runs every QL program under
+// queries/ through both SPARQL translations on a sequential
+// (WithParallelism(1)) and a parallel (WithParallelism(8)) engine and
+// requires byte-identical result cubes. Parallelism 1 follows the
+// unmodified sequential code paths, so this pins the parallel engine to
+// the seed engine's results for the whole query corpus.
+func TestParallelismEquivalenceQueries(t *testing.T) {
+	env, err := demo.Build(configFor(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := endpoint.NewLocal(env.Store, sparql.WithParallelism(1))
+	par := endpoint.NewLocal(env.Store, sparql.WithParallelism(8))
+
+	files, err := filepath.Glob("queries/*.ql")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no QL programs found under queries/: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ql.Prepare(string(src), env.Schema)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, v := range []ql.Variant{ql.Direct, ql.Alternative} {
+			want, err := ql.Execute(seq, p.Translation, v)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", file, v, err)
+			}
+			got, err := ql.Execute(par, p.Translation, v)
+			if err != nil {
+				t.Fatalf("%s/%s parallel: %v", file, v, err)
+			}
+			if want.EncodeCSV() != got.EncodeCSV() {
+				t.Errorf("%s/%s: parallel cube differs from sequential cube", file, v)
+			}
+		}
+	}
+}

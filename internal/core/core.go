@@ -16,6 +16,7 @@ import (
 	"repro/internal/qb4olap"
 	"repro/internal/ql"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/store"
 )
 
@@ -30,9 +31,10 @@ func New(client endpoint.SPARQLClient) *Tool {
 }
 
 // NewLocal returns a tool over an in-process store (convenient for
-// embedding and tests).
-func NewLocal(st *store.Store) *Tool {
-	return New(endpoint.NewLocal(st))
+// embedding and tests). Engine options (e.g. sparql.WithParallelism)
+// configure the embedded SPARQL engine.
+func NewLocal(st *store.Store, opts ...sparql.Option) *Tool {
+	return New(endpoint.NewLocal(st, opts...))
 }
 
 // NewRemote returns a tool speaking the SPARQL protocol to a remote

@@ -24,13 +24,16 @@ type SPARQLClient interface {
 }
 
 // Local is an in-process client evaluating directly against a store.
+// It is safe for concurrent use; see the package comment for the
+// read/write interaction.
 type Local struct {
 	Engine *sparql.Engine
 }
 
-// NewLocal returns an in-process client over st.
-func NewLocal(st *store.Store) *Local {
-	return &Local{Engine: sparql.NewEngine(st)}
+// NewLocal returns an in-process client over st. Engine options (e.g.
+// sparql.WithParallelism) configure the embedded engine.
+func NewLocal(st *store.Store, opts ...sparql.Option) *Local {
+	return &Local{Engine: sparql.NewEngine(st, opts...)}
 }
 
 // Select implements SPARQLClient.

@@ -2,6 +2,16 @@
 // server exposing a store.Store at /sparql (query) and /update, and a
 // client for driving remote endpoints. Together they substitute for the
 // Virtuoso 7 endpoint used in the QB2OLAP paper.
+//
+// Concurrency contract: Server, Local, and Remote are all safe for
+// concurrent use. Query requests run lock-free on the shared engine
+// and rely on the store's per-scan snapshots; only mutating requests
+// (updates and loads) are serialized, by Server.updateMu, so that the
+// read and write phases of DELETE/INSERT WHERE form one atomic
+// transition. Queries racing an update therefore see the store either
+// before or mid-update per scan — read-committed-style visibility,
+// matching the default behaviour of the Virtuoso endpoint the paper
+// ran against.
 package endpoint
 
 import (
@@ -18,19 +28,36 @@ import (
 	"repro/internal/turtle"
 )
 
-// Server serves the SPARQL protocol over a store.
+// Server serves the SPARQL protocol over a store. It is safe for
+// concurrent use: net/http serves every request on its own goroutine,
+// and queries run lock-free against the engine at full concurrency.
+//
+// Read/write interaction (audited): query traffic deliberately bypasses
+// updateMu. The store's own RWMutex makes each individual pattern scan
+// atomic with respect to writers, so a query that overlaps an update
+// observes some prefix of the update's individual quad insertions —
+// per-scan snapshot isolation, not transactional isolation, which
+// matches the SPARQL protocol's lack of cross-request transaction
+// semantics (and Virtuoso's default read-committed behaviour in the
+// paper's setup). updateMu exists only to serialize engine-visible
+// state *transitions*: two concurrent DELETE/INSERT WHERE updates could
+// otherwise interleave their read and write phases and lose writes.
 type Server struct {
 	engine *sparql.Engine
-	mu     sync.Mutex // serializes updates
+
+	// updateMu serializes mutating requests (/update and /load) with
+	// each other only; queries never take it.
+	updateMu sync.Mutex
 
 	// ReadOnly rejects /update and /load requests with 403, for
 	// endpoints that publish data without accepting writes.
 	ReadOnly bool
 }
 
-// NewServer returns a protocol server over st.
-func NewServer(st *store.Store) *Server {
-	return &Server{engine: sparql.NewEngine(st)}
+// NewServer returns a protocol server over st. Engine options (e.g.
+// sparql.WithParallelism) configure the embedded engine.
+func NewServer(st *store.Store, opts ...sparql.Option) *Server {
+	return &Server{engine: sparql.NewEngine(st, opts...)}
 }
 
 // Engine exposes the underlying engine (used by tests and tools running
@@ -166,9 +193,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
+	s.updateMu.Lock()
 	err = s.engine.Execute(u)
-	s.mu.Unlock()
+	s.updateMu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -199,9 +226,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if g := r.URL.Query().Get("graph"); g != "" {
 		graph = rdf.NewIRI(g)
 	}
-	s.mu.Lock()
+	s.updateMu.Lock()
 	added := s.engine.Store().InsertTriples(graph, triples)
-	s.mu.Unlock()
+	s.updateMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"loaded":%d}`, added)
 }

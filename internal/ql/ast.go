@@ -13,6 +13,12 @@
 //	$C3 := DICE ($C2, (schema:citizenshipDim|schema:continent|schema:continentName = "Africa"));
 //
 // with the shape (ROLLUP | SLICE | DRILLDOWN)* (DICE)*.
+//
+// Concurrency contract: the package itself holds no mutable state —
+// Parse, Prepare, Translate, and Execute are pure functions over their
+// inputs, and a *Prepared program may be executed by many goroutines
+// at once. Execute is as concurrent-safe as the endpoint.SPARQLClient
+// it is given (Local, Remote, and core.Tool clients all qualify).
 package ql
 
 import (

@@ -6,6 +6,19 @@
 // INSERT/DELETE update forms. It evaluates directly against a
 // store.Store and substitutes for the Virtuoso endpoint used in the
 // paper.
+//
+// Concurrency contract: an Engine is safe for concurrent use — any
+// number of goroutines may run queries and updates on one Engine, with
+// per-scan snapshot semantics provided by the store (callers needing
+// serialized updates must arrange it, as endpoint.Server does).
+// Evaluation itself is parallel: the hot operators (BGP joins, FILTER,
+// OPTIONAL, UNION, MINUS, hash GROUP BY) partition their input
+// solution sequence across up to WithParallelism(n) worker goroutines
+// and merge the per-chunk outputs in input order, so query results are
+// identical at every parallelism level; n = 1 runs the original
+// sequential code paths (see parallel.go). Engine configuration
+// (SetParallelism, DisableReorder) is not synchronized and must happen
+// before the Engine is shared.
 package sparql
 
 import "repro/internal/rdf"

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -10,8 +11,17 @@ import (
 )
 
 // Engine evaluates parsed queries and updates against a store.Store.
+//
+// An Engine is safe for concurrent use: queries carry all per-execution
+// state in a private run value, and the underlying store serializes
+// access internally. Configuration (SetParallelism, DisableReorder)
+// must be done before the engine is shared.
 type Engine struct {
 	store *store.Store
+
+	// parallelism is the maximum number of worker goroutines one query
+	// evaluation may use (see WithParallelism). Always >= 1.
+	parallelism int
 
 	// DisableReorder turns off the greedy join-order optimizer so BGP
 	// patterns run in textual order (used by the planner ablation
@@ -19,13 +29,44 @@ type Engine struct {
 	DisableReorder bool
 }
 
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithParallelism bounds the number of worker goroutines a single query
+// evaluation may use for BGP joins, FILTER/OPTIONAL/UNION/MINUS
+// evaluation, and GROUP BY aggregation. n <= 0 selects
+// runtime.GOMAXPROCS(0), which is also the default. n == 1 runs the
+// exact sequential code paths of the original engine; for n > 1 every
+// parallel operator merges worker results in input order, so query
+// results are identical at every parallelism level.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.SetParallelism(n) }
+}
+
 // NewEngine returns an engine over st.
-func NewEngine(st *store.Store) *Engine {
-	return &Engine{store: st}
+func NewEngine(st *store.Store, opts ...Option) *Engine {
+	e := &Engine{store: st, parallelism: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Store returns the underlying store.
 func (e *Engine) Store() *store.Store { return e.store }
+
+// Parallelism reports the engine's worker budget per query evaluation.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// SetParallelism changes the worker budget (n <= 0 selects
+// runtime.GOMAXPROCS(0)). It must not be called concurrently with
+// running queries.
+func (e *Engine) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.parallelism = n
+}
 
 // Results is a SPARQL SELECT result table.
 type Results struct {
@@ -299,27 +340,72 @@ func (r *run) groupKey(exprs []Expression, row solution) (string, []rdf.Term) {
 	return b.String(), vals
 }
 
-func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
-	type group struct {
-		keyVals []rdf.Term
-		rows    []solution
-	}
+// aggGroup is one GROUP BY bucket: the rendered key values and the
+// member rows in input order.
+type aggGroup struct {
+	keyVals []rdf.Term
+	rows    []solution
+}
+
+// accumulateGroups hash-partitions rows by the group-by expressions,
+// preserving first-occurrence order of the keys and input order of the
+// rows within each group.
+func (r *run) accumulateGroups(exprs []Expression, rows []solution) ([]string, map[string]*aggGroup) {
 	order := []string{}
-	groups := map[string]*group{}
+	groups := map[string]*aggGroup{}
 	for _, row := range rows {
-		k, vals := r.groupKey(q.GroupBy, row)
+		k, vals := r.groupKey(exprs, row)
 		g, ok := groups[k]
 		if !ok {
-			g = &group{keyVals: vals}
+			g = &aggGroup{keyVals: vals}
 			groups[k] = g
 			order = append(order, k)
 		}
 		g.rows = append(g.rows, row)
 	}
+	return order, groups
+}
+
+// groupRow evaluates HAVING and the projection for one group, reporting
+// whether the group survives. For HAVING/ORDER BY on grouped results we
+// evaluate against a representative row (the first of the group, or an
+// empty row).
+func (r *run) groupRow(q *Query, g *aggGroup) ([]rdf.Term, bool) {
+	rep := make(solution, len(r.vt.names))
+	if len(g.rows) > 0 {
+		rep = g.rows[0]
+	}
+	for _, h := range q.Having {
+		v, err := r.evalAggExpr(h, g.rows, rep)
+		if err != nil {
+			return nil, false
+		}
+		b, err := ebv(v)
+		if err != nil || !b {
+			return nil, false
+		}
+	}
+	orow := make([]rdf.Term, len(q.Projection))
+	for i, it := range q.Projection {
+		if it.Expr == nil {
+			if idx, ok := r.vt.index[it.Var]; ok && len(g.rows) > 0 {
+				orow[i] = rep[idx]
+			}
+			continue
+		}
+		if v, err := r.evalAggExpr(it.Expr, g.rows, rep); err == nil {
+			orow[i] = v
+		}
+	}
+	return orow, true
+}
+
+func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
+	order, groups := r.accumulateGroupsPar(q.GroupBy, rows)
 	// A grouped query with no GROUP BY clause (implicit grouping, e.g.
 	// SELECT (COUNT(*) AS ?n)) forms a single group even when empty.
 	if len(q.GroupBy) == 0 && len(order) == 0 {
-		groups[""] = &group{}
+		groups[""] = &aggGroup{}
 		order = append(order, "")
 	}
 
@@ -328,45 +414,7 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 		vars = append(vars, it.Var)
 	}
 	out := &Results{Vars: vars}
-
-	// For HAVING/ORDER BY on grouped results we evaluate against a
-	// representative row (the first of the group, or an empty row).
-	for _, k := range order {
-		g := groups[k]
-		rep := make(solution, len(r.vt.names))
-		if len(g.rows) > 0 {
-			rep = g.rows[0]
-		}
-		keep := true
-		for _, h := range q.Having {
-			v, err := r.evalAggExpr(h, g.rows, rep)
-			if err != nil {
-				keep = false
-				break
-			}
-			b, err := ebv(v)
-			if err != nil || !b {
-				keep = false
-				break
-			}
-		}
-		if !keep {
-			continue
-		}
-		orow := make([]rdf.Term, len(q.Projection))
-		for i, it := range q.Projection {
-			if it.Expr == nil {
-				if idx, ok := r.vt.index[it.Var]; ok && len(g.rows) > 0 {
-					orow[i] = rep[idx]
-				}
-				continue
-			}
-			if v, err := r.evalAggExpr(it.Expr, g.rows, rep); err == nil {
-				orow[i] = v
-			}
-		}
-		out.Rows = append(out.Rows, orow)
-	}
+	out.Rows = r.groupRowsPar(q, order, groups)
 
 	if len(q.OrderBy) > 0 {
 		r.sortProjected(out, q.OrderBy)

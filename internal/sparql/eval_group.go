@@ -142,17 +142,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		}
 		switch e := el.(type) {
 		case FilterElement:
-			var kept []solution
-			for _, row := range rows {
-				v, err := r.evalExpr(e.Expr, row)
-				if err != nil {
-					continue
-				}
-				if b, err := ebv(v); err == nil && b {
-					kept = append(kept, row)
-				}
-			}
-			rows = kept
+			rows = r.filterRowsPar(e.Expr, rows)
 		case BindElement:
 			idx := r.vt.slot(e.Var)
 			var out []solution
@@ -169,30 +159,18 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			// (the common shape for label lookups) avoids the recursive
 			// group evaluation per row.
 			if tp, ok := singleTriplePattern(e.Pattern); ok {
-				rows = r.optionalSingle(tp, rows, ctx)
+				rows = r.optionalSinglePar(tp, rows, ctx)
 				continue
 			}
-			var out []solution
-			for _, row := range rows {
-				ext, err := r.evalGroup(e.Pattern, []solution{row}, ctx)
-				if err != nil {
-					return nil, err
-				}
-				if len(ext) == 0 {
-					out = append(out, row)
-				} else {
-					out = append(out, ext...)
-				}
+			out, err := r.optionalPar(e.Pattern, rows, ctx)
+			if err != nil {
+				return nil, err
 			}
 			rows = out
 		case UnionElement:
-			var out []solution
-			for _, b := range e.Branches {
-				ext, err := r.evalGroup(b, rows, ctx)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, ext...)
+			out, err := r.unionPar(e.Branches, rows, ctx)
+			if err != nil {
+				return nil, err
 			}
 			rows = out
 		case MinusElement:
@@ -200,20 +178,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			if err != nil {
 				return nil, err
 			}
-			var kept []solution
-			for _, row := range rows {
-				excluded := false
-				for _, rr := range right {
-					if compatibleSharing(row, rr) {
-						excluded = true
-						break
-					}
-				}
-				if !excluded {
-					kept = append(kept, row)
-				}
-			}
-			rows = kept
+			rows = r.minusRowsPar(rows, right)
 		case GraphElement:
 			var out []solution
 			if !e.Graph.IsVar {
@@ -478,7 +443,7 @@ func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) (
 		remaining = append(remaining[:next], remaining[next+1:]...)
 
 		var err error
-		rows, err = r.joinPatternOwned(tp, rows, ctx, owned)
+		rows, err = r.joinPatternPar(tp, rows, ctx, owned)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,341 @@
+package sparql
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// This file is the engine's worker-pool layer. Every operator here
+// follows the same scheme: partition the input solution sequence (or
+// branch list) into contiguous chunks, evaluate each chunk on its own
+// worker goroutine against the shared store, and concatenate the
+// per-chunk outputs in chunk order. Because chunks are contiguous and
+// merges preserve chunk order, results are identical to the sequential
+// evaluation at every parallelism level; parallelism 1 short-circuits
+// into the unmodified sequential code paths.
+//
+// Workers evaluate on a copy of the run value: the Engine, varTable and
+// graph context are shared read-only at evaluation time (collectVars
+// pre-registers every variable, so varTable.slot never mutates during
+// evaluation), but nested EXISTS evaluation saves and restores run.ctx,
+// which must stay worker-local.
+
+// minParallelRows is the input size below which row-partitioned
+// operators stay sequential; goroutine startup and merge overhead beat
+// the win on small solution sequences.
+const minParallelRows = 128
+
+// minChunkRows bounds how finely a solution sequence is split, so that
+// each worker amortizes its startup cost.
+const minChunkRows = 64
+
+// workersFor returns the number of workers to use for n input items.
+func (r *run) workersFor(n int) int {
+	p := r.e.parallelism
+	if p <= 1 || n < minParallelRows {
+		return 1
+	}
+	if maxW := n / minChunkRows; p > maxW {
+		p = maxW
+	}
+	return p
+}
+
+// chunkBounds splits n items into w contiguous, near-equal chunks,
+// returning the [lo, hi) bounds of each. The split depends only on
+// (n, w), keeping partitioning deterministic.
+func chunkBounds(n, w int) [][2]int {
+	bounds := make([][2]int, 0, w)
+	size, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+		lo = hi
+	}
+	return bounds
+}
+
+// runChunks executes fn for each chunk on its own goroutine and waits.
+// fn receives the chunk index and its [lo, hi) bounds and must write
+// results only into its own chunk's slots.
+func runChunks(bounds [][2]int, fn func(i, lo, hi int)) {
+	var wg sync.WaitGroup
+	for i, b := range bounds {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			fn(i, lo, hi)
+		}(i, b[0], b[1])
+	}
+	wg.Wait()
+}
+
+// concatSolutions flattens per-chunk outputs in chunk order.
+func concatSolutions(outs [][]solution) []solution {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	merged := make([]solution, 0, total)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinPatternPar is the parallel-aware joinPatternOwned: the outer
+// solution sequence is partitioned across workers, each joining its
+// chunk through its own store iterators.
+func (r *run) joinPatternPar(tp TriplePattern, rows []solution, ctx graphCtx, owned bool) ([]solution, error) {
+	w := r.workersFor(len(rows))
+	if w == 1 {
+		return r.joinPatternOwned(tp, rows, ctx, owned)
+	}
+	outs := make([][]solution, w)
+	errs := make([]error, w)
+	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
+		wr := *r
+		outs[i], errs[i] = wr.joinPatternOwned(tp, rows[lo:hi], ctx, owned)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return concatSolutions(outs), nil
+}
+
+// filterRows keeps the rows whose filter expression evaluates to a true
+// effective boolean value (evaluation errors eliminate the row).
+func (r *run) filterRows(expr Expression, rows []solution) []solution {
+	var kept []solution
+	for _, row := range rows {
+		v, err := r.evalExpr(expr, row)
+		if err != nil {
+			continue
+		}
+		if b, err := ebv(v); err == nil && b {
+			kept = append(kept, row)
+		}
+	}
+	return kept
+}
+
+// filterRowsPar partitions FILTER evaluation across workers.
+func (r *run) filterRowsPar(expr Expression, rows []solution) []solution {
+	w := r.workersFor(len(rows))
+	if w == 1 {
+		return r.filterRows(expr, rows)
+	}
+	outs := make([][]solution, w)
+	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
+		wr := *r
+		outs[i] = wr.filterRows(expr, rows[lo:hi])
+	})
+	return concatSolutions(outs)
+}
+
+// optionalRows evaluates a general OPTIONAL group per left row: the row
+// survives unextended when the pattern yields nothing.
+func (r *run) optionalRows(p GroupGraphPattern, rows []solution, ctx graphCtx) ([]solution, error) {
+	var out []solution
+	for _, row := range rows {
+		ext, err := r.evalGroup(p, []solution{row}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(ext) == 0 {
+			out = append(out, row)
+		} else {
+			out = append(out, ext...)
+		}
+	}
+	return out, nil
+}
+
+// optionalPar partitions general OPTIONAL evaluation across workers.
+func (r *run) optionalPar(p GroupGraphPattern, rows []solution, ctx graphCtx) ([]solution, error) {
+	w := r.workersFor(len(rows))
+	if w == 1 {
+		return r.optionalRows(p, rows, ctx)
+	}
+	outs := make([][]solution, w)
+	errs := make([]error, w)
+	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
+		wr := *r
+		outs[i], errs[i] = wr.optionalRows(p, rows[lo:hi], ctx)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return concatSolutions(outs), nil
+}
+
+// optionalSinglePar partitions the single-pattern OPTIONAL fast path
+// across workers.
+func (r *run) optionalSinglePar(tp TriplePattern, rows []solution, ctx graphCtx) []solution {
+	w := r.workersFor(len(rows))
+	if w == 1 {
+		return r.optionalSingle(tp, rows, ctx)
+	}
+	outs := make([][]solution, w)
+	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
+		wr := *r
+		outs[i] = wr.optionalSingle(tp, rows[lo:hi], ctx)
+	})
+	return concatSolutions(outs)
+}
+
+// unionPar evaluates independent UNION branches concurrently, keeping
+// branch output order. The shared input rows are read-only: group
+// evaluation never mutates its input solutions.
+func (r *run) unionPar(branches []GroupGraphPattern, rows []solution, ctx graphCtx) ([]solution, error) {
+	if r.e.parallelism <= 1 || len(branches) < 2 {
+		var out []solution
+		for _, b := range branches {
+			ext, err := r.evalGroup(b, rows, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ext...)
+		}
+		return out, nil
+	}
+	outs := make([][]solution, len(branches))
+	errs := make([]error, len(branches))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.e.parallelism)
+	for i, b := range branches {
+		wg.Add(1)
+		go func(i int, b GroupGraphPattern) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			wr := *r
+			outs[i], errs[i] = wr.evalGroup(b, rows, ctx)
+		}(i, b)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return concatSolutions(outs), nil
+}
+
+// minusRows removes rows compatible with (and sharing a variable with)
+// any right-side solution.
+func minusRows(rows, right []solution) []solution {
+	var kept []solution
+	for _, row := range rows {
+		excluded := false
+		for _, rr := range right {
+			if compatibleSharing(row, rr) {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			kept = append(kept, row)
+		}
+	}
+	return kept
+}
+
+// minusRowsPar partitions the MINUS exclusion scan across workers; the
+// right side is shared read-only.
+func (r *run) minusRowsPar(rows, right []solution) []solution {
+	w := r.workersFor(len(rows))
+	if w == 1 || len(right) == 0 {
+		return minusRows(rows, right)
+	}
+	outs := make([][]solution, w)
+	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
+		outs[i] = minusRows(rows[lo:hi], right)
+	})
+	return concatSolutions(outs)
+}
+
+// accumulateGroupsPar is the parallel hash GROUP BY: each worker builds
+// a partial aggregation map over its chunk, and the partials are merged
+// in chunk order. Merging appends each partial's keys in its local
+// first-occurrence order while skipping keys already merged, which
+// reproduces exactly the global first-occurrence order of the
+// sequential accumulation; rows within a group concatenate in chunk
+// order, i.e. input order.
+func (r *run) accumulateGroupsPar(exprs []Expression, rows []solution) ([]string, map[string]*aggGroup) {
+	w := r.workersFor(len(rows))
+	if w == 1 {
+		return r.accumulateGroups(exprs, rows)
+	}
+	orders := make([][]string, w)
+	partials := make([]map[string]*aggGroup, w)
+	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
+		wr := *r
+		orders[i], partials[i] = wr.accumulateGroups(exprs, rows[lo:hi])
+	})
+	order, groups := orders[0], partials[0]
+	for i := 1; i < w; i++ {
+		for _, k := range orders[i] {
+			p := partials[i][k]
+			if g, ok := groups[k]; ok {
+				g.rows = append(g.rows, p.rows...)
+			} else {
+				groups[k] = p
+				order = append(order, k)
+			}
+		}
+	}
+	return order, groups
+}
+
+// groupRowsPar evaluates HAVING and the aggregate projection of each
+// group, partitioning the (independent) groups across workers. Output
+// rows keep group order; groups eliminated by HAVING leave no row.
+func (r *run) groupRowsPar(q *Query, order []string, groups map[string]*aggGroup) [][]rdf.Term {
+	w := r.workersFor(len(order))
+	if w == 1 {
+		var out [][]rdf.Term
+		for _, k := range order {
+			if orow, ok := r.groupRow(q, groups[k]); ok {
+				out = append(out, orow)
+			}
+		}
+		return out
+	}
+	outs := make([][][]rdf.Term, w)
+	runChunks(chunkBounds(len(order), w), func(i, lo, hi int) {
+		wr := *r
+		for _, k := range order[lo:hi] {
+			if orow, ok := wr.groupRow(q, groups[k]); ok {
+				outs[i] = append(outs[i], orow)
+			}
+		}
+	})
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	merged := make([][]rdf.Term, 0, total)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged
+}

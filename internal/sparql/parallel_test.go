@@ -1,0 +1,154 @@
+package sparql
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// parallelFixture builds a store large enough that every parallel
+// operator path exceeds minParallelRows: n items with type, value,
+// group, and (for even items) a label; half the items are "flagged" in
+// a separate pattern used by MINUS and UNION.
+func parallelFixture(n int) *store.Store {
+	st := store.New()
+	typ := rdf.NewIRI("http://ex/type")
+	item := rdf.NewIRI("http://ex/Item")
+	val := rdf.NewIRI("http://ex/value")
+	grp := rdf.NewIRI("http://ex/group")
+	lbl := rdf.NewIRI("http://ex/label")
+	flag := rdf.NewIRI("http://ex/flagged")
+	var ts []rdf.Triple
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/item/%04d", i))
+		ts = append(ts,
+			rdf.NewTriple(s, typ, item),
+			rdf.NewTriple(s, val, rdf.NewInteger(int64(i%97))),
+			rdf.NewTriple(s, grp, rdf.NewIRI(fmt.Sprintf("http://ex/g/%d", i%13))),
+		)
+		if i%2 == 0 {
+			ts = append(ts, rdf.NewTriple(s, lbl, rdf.NewLiteral(fmt.Sprintf("label %d", i))))
+		}
+		if i%3 == 0 {
+			ts = append(ts, rdf.NewTriple(s, flag, rdf.NewBoolean(true)))
+		}
+	}
+	st.InsertTriples(rdf.Term{}, ts)
+	return st
+}
+
+// parallelEquivalenceQueries exercise each parallelized operator: BGP
+// join chains, FILTER, single-pattern and general OPTIONAL, UNION,
+// MINUS, and hash GROUP BY with HAVING and aggregate projections.
+var parallelEquivalenceQueries = []string{
+	// BGP join + FILTER.
+	`SELECT ?s ?v WHERE {
+		?s <http://ex/type> <http://ex/Item> ; <http://ex/value> ?v .
+		FILTER(?v > 40)
+	} ORDER BY ?s`,
+	// Single-pattern OPTIONAL (fast path).
+	`SELECT ?s ?l WHERE {
+		?s <http://ex/type> <http://ex/Item> .
+		OPTIONAL { ?s <http://ex/label> ?l }
+	} ORDER BY ?s`,
+	// General OPTIONAL (two patterns inside).
+	`SELECT ?s ?l ?v WHERE {
+		?s <http://ex/type> <http://ex/Item> .
+		OPTIONAL { ?s <http://ex/label> ?l . ?s <http://ex/value> ?v }
+	} ORDER BY ?s`,
+	// UNION over two branches.
+	`SELECT ?s WHERE {
+		{ ?s <http://ex/flagged> true } UNION { ?s <http://ex/label> ?l }
+	} ORDER BY ?s`,
+	// MINUS exclusion.
+	`SELECT ?s WHERE {
+		?s <http://ex/type> <http://ex/Item> .
+		MINUS { ?s <http://ex/flagged> true }
+	} ORDER BY ?s`,
+	// Hash GROUP BY with aggregates and HAVING.
+	`SELECT ?g (SUM(?v) AS ?total) (COUNT(?s) AS ?n) WHERE {
+		?s <http://ex/group> ?g ; <http://ex/value> ?v .
+	} GROUP BY ?g HAVING(SUM(?v) > 100) ORDER BY ?g`,
+	// Grouping without ORDER BY: group order must match exactly.
+	`SELECT ?g (AVG(?v) AS ?avg) WHERE {
+		?s <http://ex/group> ?g ; <http://ex/value> ?v .
+	} GROUP BY ?g`,
+	// FILTER with EXISTS (worker-local graph context).
+	`SELECT ?s WHERE {
+		?s <http://ex/value> ?v .
+		FILTER EXISTS { ?s <http://ex/label> ?l }
+	} ORDER BY ?s`,
+	// DISTINCT projection over a join.
+	`SELECT DISTINCT ?g WHERE {
+		?s <http://ex/group> ?g ; <http://ex/flagged> true .
+	}`,
+}
+
+// TestParallelMatchesSequential runs each operator query at several
+// parallelism levels and requires results identical (including row
+// order) to the sequential engine.
+func TestParallelMatchesSequential(t *testing.T) {
+	st := parallelFixture(1500)
+	seq := NewEngine(st, WithParallelism(1))
+	for _, par := range []int{2, 4, 8} {
+		eng := NewEngine(st, WithParallelism(par))
+		for qi, src := range parallelEquivalenceQueries {
+			want, err := seq.QueryString(src)
+			if err != nil {
+				t.Fatalf("query %d sequential: %v", qi, err)
+			}
+			got, err := eng.QueryString(src)
+			if err != nil {
+				t.Fatalf("query %d par=%d: %v", qi, par, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("query %d: par=%d results differ from sequential\nwant %d rows, got %d rows",
+					qi, par, len(want.Rows), len(got.Rows))
+			}
+		}
+	}
+}
+
+// TestWithParallelismDefaults pins the option semantics: <= 0 selects
+// GOMAXPROCS, and the default engine is parallel.
+func TestWithParallelismDefaults(t *testing.T) {
+	st := store.New()
+	if got := NewEngine(st).Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewEngine(st, WithParallelism(0)).Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("WithParallelism(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := NewEngine(st, WithParallelism(3)).Parallelism(); got != 3 {
+		t.Errorf("WithParallelism(3) = %d", got)
+	}
+	e := NewEngine(st, WithParallelism(5))
+	e.SetParallelism(-1)
+	if got := e.Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("SetParallelism(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestChunkBounds pins the deterministic partitioning.
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{10, 3}, {128, 4}, {129, 4}, {7, 7}, {1000, 8}} {
+		bounds := chunkBounds(tc.n, tc.w)
+		if len(bounds) != tc.w {
+			t.Fatalf("chunkBounds(%d,%d): %d chunks", tc.n, tc.w, len(bounds))
+		}
+		prev := 0
+		for _, b := range bounds {
+			if b[0] != prev || b[1] < b[0] {
+				t.Fatalf("chunkBounds(%d,%d): bad bounds %v", tc.n, tc.w, bounds)
+			}
+			prev = b[1]
+		}
+		if prev != tc.n {
+			t.Fatalf("chunkBounds(%d,%d): covers %d items", tc.n, tc.w, prev)
+		}
+	}
+}

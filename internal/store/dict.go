@@ -8,6 +8,15 @@
 // machine words rather than strings. Each graph keeps three orderings
 // (SPO, POS, OSP) as sorted slices, giving O(log n + k) pattern scans
 // with excellent cache behaviour for the read-mostly OLAP workload.
+//
+// Concurrency contract: Store and Dict are safe for concurrent use by
+// any number of readers and writers. Index snapshots handed to a scan
+// are immutable — refresh() always builds fresh slices — so a pattern
+// scan sees a consistent state even while concurrent writers add or
+// remove quads; each scan is atomic, but two scans of one query may
+// observe different states (per-scan snapshot isolation). Callers that
+// need a whole multi-scan operation to be exclusive must serialize it
+// externally, as endpoint.Server does for SPARQL updates.
 package store
 
 import (

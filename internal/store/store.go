@@ -44,6 +44,10 @@ func (g *graphIndex) remove(t IDTriple) bool {
 	return true
 }
 
+// refresh rebuilds the sorted orderings after mutations. It always
+// allocates fresh slices and never sorts in place: scans that captured
+// the previous slices (see MatchIDs) rely on them staying immutable.
+// Callers must hold the store's write lock.
 func (g *graphIndex) refresh() {
 	if !g.dirty {
 		return
@@ -96,7 +100,19 @@ func lessOSP(a, b IDTriple) bool {
 // Store is an in-memory RDF dataset: one default graph plus any number
 // of named graphs, sharing a single term dictionary. It is safe for
 // concurrent use; reads proceed under a read lock once indexes are
-// fresh.
+// fresh, so any number of query workers scan in parallel and only
+// mutations serialize.
+//
+// Iterator safety (audited for the parallel SPARQL engine): each
+// Match/MatchIDs scan holds the read lock for its whole duration, so a
+// single scan is atomic with respect to writers. Writers mark the
+// touched graph dirty; the next scan briefly upgrades to the write lock
+// to rebuild the sorted orderings. Because rebuilds allocate fresh
+// slices (see graphIndex.refresh), a scan that raced with a further
+// mutation keeps reading the previous, immutable ordering — per-scan
+// snapshot semantics. Consumers needing multi-scan consistency must
+// serialize with the writers themselves (endpoint.Server does this for
+// SPARQL updates).
 type Store struct {
 	mu    sync.RWMutex
 	dict  *Dict
