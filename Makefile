@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-concurrent fuzz examples experiments clean
+.PHONY: all build test race cover bench bench-concurrent fuzz examples experiments obs-smoke clean
 
 # The default check builds, vets, and runs the whole test suite under
 # the race detector: the engine evaluates queries on a worker pool and
@@ -12,7 +12,7 @@ GO ?= go
 # TestParallelMatchesSequential, ...). Benchmarks are not run here; the
 # 80k-observation fixtures additionally sit behind a -short guard so a
 # `go test -short -bench .` smoke pass stays fast.
-all: build race
+all: build race obs-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,26 @@ bench:
 # GOMAXPROCS on the 80k-observation cube.
 bench-concurrent:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkParallelGroupBy' -timeout 30m .
+
+# Observability smoke test: boots sparqld on the demo cube with a
+# tracer and a debug listener, then drives /metrics, /debug/vars, and a
+# traced (?explain=1) query over HTTP. curl -f fails the target on any
+# non-200 response; the trap tears the server down either way.
+obs-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/sparqld-smoke ./cmd/sparqld; \
+	/tmp/sparqld-smoke -addr 127.0.0.1:18080 -demo 1000 -trace 8 -debug-addr 127.0.0.1:18081 >/tmp/sparqld-smoke.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -fsS -o /dev/null http://127.0.0.1:18081/metrics 2>/dev/null && break; sleep 0.1; \
+	done; \
+	curl -fsS http://127.0.0.1:18081/metrics >/dev/null; \
+	curl -fsS http://127.0.0.1:18081/debug/vars >/dev/null; \
+	curl -fsS --get http://127.0.0.1:18080/sparql \
+	  --data-urlencode 'explain=1' \
+	  --data-urlencode 'query=SELECT ?s WHERE { ?s ?p ?o } LIMIT 5' | grep -q 'BGP'; \
+	curl -fsS http://127.0.0.1:18081/debug/traces | grep -q 'SELECT'; \
+	echo "obs-smoke: ok"
 
 # Short fuzzing pass over all four parsers.
 fuzz:

@@ -6,11 +6,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/endpoint"
 	"repro/internal/enrich"
 	"repro/internal/eurostat"
 	"repro/internal/explore"
+	"repro/internal/olap"
 	"repro/internal/qb4olap"
 	"repro/internal/ql"
 	"repro/internal/rdf"
@@ -471,6 +475,7 @@ func cmdQuery(args []string) error {
 	variant := fs.String("variant", "direct", "direct or alternative")
 	pivot := fs.Bool("pivot", false, "render a two-axis result as a pivot table")
 	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
+	traceRun := fs.Bool("trace", false, "print QL pipeline phase timings and, for in-process sources, the engine's EXPLAIN ANALYZE trace (to stderr)")
 	fs.Parse(args)
 	if *listPredefined {
 		for _, pq := range demo.PredefinedQueries {
@@ -512,7 +517,12 @@ func cmdQuery(args []string) error {
 	if *variant == "alternative" {
 		v = ql.Alternative
 	}
-	cubeRes, err := tool.Query(qlSource, schema, v)
+	var cubeRes *olap.Cube
+	if *traceRun {
+		cubeRes, err = runTraced(tool, qlSource, schema, v)
+	} else {
+		cubeRes, err = tool.Query(qlSource, schema, v)
+	}
 	if err != nil {
 		return err
 	}
@@ -523,6 +533,46 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("\n%d cells\n", len(cubeRes.Cells))
 	return nil
+}
+
+// runTraced is the -trace path of cmdQuery: it runs the pipeline with
+// per-phase timings and, when the source is in-process, evaluates the
+// translated SPARQL through the engine's tracer so the per-operator
+// EXPLAIN ANALYZE tree can be printed. Diagnostics go to stderr; the
+// result cube still renders on stdout.
+func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.Cube, error) {
+	p, err := tool.Prepare(qlSource, schema)
+	if err != nil {
+		return nil, err
+	}
+	queryText := p.Translation.Direct
+	if v == ql.Alternative {
+		queryText = p.Translation.Alternative
+	}
+
+	var cubeRes *olap.Cube
+	start := time.Now()
+	if local, ok := tool.Client().(*endpoint.Local); ok {
+		res, tr, err := local.Engine.QueryTracedString(queryText)
+		if err != nil {
+			return nil, err
+		}
+		cubeRes = ql.Materialize(p.Translation, res)
+		fmt.Fprintln(os.Stderr, "# EXPLAIN ANALYZE:")
+		fmt.Fprintln(os.Stderr, tr.Render())
+	} else {
+		cubeRes, err = ql.Execute(tool.Client(), p.Translation, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.Timings = append(p.Timings, ql.PhaseTiming{Phase: "execute(" + v.String() + ")", Wall: time.Since(start)})
+
+	fmt.Fprintln(os.Stderr, "# QL pipeline timings:")
+	for _, t := range p.Timings {
+		fmt.Fprintf(os.Stderr, "#   %-22s %s\n", t.Phase, t.Wall)
+	}
+	return cubeRes, nil
 }
 
 func cmdSPARQL(args []string) error {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sparqld [-addr :8080] [-data file.ttl]... [-demo N] [-parallel N]
+//	        [-trace N] [-slowlog DUR] [-debug-addr :8081]
 //
 // -data loads a Turtle file into the default graph (repeatable);
 // -demo N generates the synthetic Eurostat asylum cube with N
@@ -12,17 +13,34 @@
 // -parallel bounds the worker goroutines each query evaluation may use
 // (0, the default, selects GOMAXPROCS; 1 forces sequential
 // evaluation).
+//
+// Observability: -trace N records a per-operator trace of every query
+// and keeps the last N (served at /debug/traces; individual queries
+// can always be traced on demand with /sparql?...&explain=1).
+// -slowlog DUR logs queries at Warn, with their text, when they take
+// at least DUR (e.g. -slowlog 250ms). -debug-addr serves /metrics,
+// /debug/vars, /debug/pprof, and /debug/traces on a second listener,
+// keeping profilers off the protocol port. The server shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests and
+// logging a final metrics snapshot.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/endpoint"
 	"repro/internal/eurostat"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -45,6 +63,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed for -demo")
 	readOnly := flag.Bool("readonly", false, "reject updates and loads (serve data only)")
 	parallel := flag.Int("parallel", 0, "worker goroutines per query evaluation (0 = GOMAXPROCS, 1 = sequential)")
+	traceN := flag.Int("trace", 0, "trace every query, keeping the last N traces at /debug/traces (0 disables)")
+	slowlog := flag.Duration("slowlog", 0, "log queries taking at least this long, with their text (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug diagnostics on this second address")
 	var quadFiles fileList
 	flag.Var(&files, "data", "Turtle file to load into the default graph (repeatable)")
 	flag.Var(&quadFiles, "quads", "N-Quads file to load, preserving named graphs (repeatable)")
@@ -87,8 +108,54 @@ func main() {
 
 	srv := endpoint.NewServer(st, sparql.WithParallelism(*parallel))
 	srv.ReadOnly = *readOnly
-	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats)", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv.SlowQuery = *slowlog
+	if *traceN > 0 {
+		srv.Tracer = obs.NewTracer(*traceN)
+		// Without a separate debug listener, mount /debug on the
+		// protocol handler so the traces are reachable.
+		srv.Debug = *debugAddr == ""
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	var dbg *http.Server
+	if *debugAddr != "" {
+		srv.Metrics().Publish("sparqld") // mirror the registry into expvar
+		dbg = &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("sparqld: debug listener: %v", err)
+			}
+		}()
+		log.Printf("sparqld debug listening on %s (/metrics, /debug/vars, /debug/pprof, /debug/traces)", *debugAddr)
+	}
+
+	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats, metrics: /metrics)", *addr)
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop listening, drain in-flight requests for up
+	// to 5s, then report what the process did with its life.
+	stop()
+	log.Printf("sparqld: signal received, shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("sparqld: shutdown: %v", err)
+	}
+	if dbg != nil {
+		dbg.Shutdown(sctx)
+	}
+	if snap, err := json.Marshal(srv.Metrics().Snapshot()); err == nil {
+		log.Printf("sparqld: final metrics: %s", snap)
 	}
 }

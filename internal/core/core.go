@@ -97,6 +97,14 @@ func (t *Tool) Query(src string, schema *qb4olap.CubeSchema, v ql.Variant) (*ola
 	return cube, err
 }
 
+// Run is Query with the pipeline exposed: the returned ql.Pipeline
+// carries the intermediate artifacts and the per-phase wall times
+// (parse / analyze / simplify / translate / execute), the
+// Querying-module observability surface.
+func (t *Tool) Run(src string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.Cube, *ql.Pipeline, error) {
+	return ql.Run(t.client, schema, src, v)
+}
+
 // SPARQL runs a raw SPARQL SELECT, mirroring the Querying module's
 // option to formulate SPARQL queries manually.
 func (t *Tool) SPARQL(query string) (*olap.Cube, error) {

@@ -18,10 +18,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -52,31 +55,157 @@ type Server struct {
 	// ReadOnly rejects /update and /load requests with 403, for
 	// endpoints that publish data without accepting writes.
 	ReadOnly bool
+
+	// Logger receives structured access logs (one Info line per
+	// request) and the slow-query log (Warn lines carrying the query
+	// text). Nil disables request logging; metrics still record.
+	Logger *slog.Logger
+
+	// SlowQuery is the slow-query log threshold: /sparql requests
+	// taking at least this long are counted in slow_queries_total and,
+	// when Logger is set, logged at Warn with the offending query text.
+	// Zero disables the slow-query log.
+	SlowQuery time.Duration
+
+	// Tracer, when set, records a per-operator trace of every /sparql
+	// SELECT/ASK evaluation (served at /debug/traces) and folds the
+	// spans into the registry's op.* totals. Nil — the default — keeps
+	// query evaluation on the engine's untraced fast path; individual
+	// queries can still be traced on demand with /sparql?explain=1.
+	Tracer *obs.Tracer
+
+	// Debug mounts the diagnostics routes (/debug/vars, /debug/pprof,
+	// /debug/traces) on the protocol handler itself. Leave false when a
+	// separate DebugHandler listener serves them (sparqld -debug-addr).
+	Debug bool
+
+	// Request metrics, all served at /metrics.
+	reg                        *obs.Registry
+	mQueries, mUpdates, mLoads *obs.Counter
+	mErrors, mSlow             *obs.Counter
+	hQuery, hUpdate, hLoad     *obs.Histogram
 }
 
 // NewServer returns a protocol server over st. Engine options (e.g.
 // sparql.WithParallelism) configure the embedded engine.
 func NewServer(st *store.Store, opts ...sparql.Option) *Server {
-	return &Server{engine: sparql.NewEngine(st, opts...)}
+	s := &Server{engine: sparql.NewEngine(st, opts...), reg: obs.NewRegistry()}
+	s.mQueries = s.reg.Counter("queries_total")
+	s.mUpdates = s.reg.Counter("updates_total")
+	s.mLoads = s.reg.Counter("loads_total")
+	s.mErrors = s.reg.Counter("errors_total")
+	s.mSlow = s.reg.Counter("slow_queries_total")
+	s.hQuery = s.reg.Histogram("query_latency")
+	s.hUpdate = s.reg.Histogram("update_latency")
+	s.hLoad = s.reg.Histogram("load_latency")
+	s.reg.Gauge("store_quads", func() int64 { return int64(st.TotalLen()) })
+	s.reg.Gauge("store_terms", func() int64 { return int64(st.Dict().Len()) })
+	s.reg.Gauge("store_graphs", func() int64 { return int64(len(st.GraphNames())) })
+	return s
 }
 
 // Engine exposes the underlying engine (used by tests and tools running
 // in-process).
 func (s *Server) Engine() *sparql.Engine { return s.engine }
 
+// Metrics exposes the server's metrics registry (served at /metrics),
+// so embedders can add their own gauges or publish it via expvar.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
 // Handler returns the HTTP handler implementing the protocol routes:
 //
-//	GET/POST /sparql  — query (query=..., Accept: json/csv/tsv)
+//	GET/POST /sparql  — query (query=..., Accept: json/csv/tsv;
+//	                    &explain=1 returns an EXPLAIN ANALYZE trace)
 //	POST     /update  — update (update=... or raw body)
 //	POST     /load    — load Turtle into a graph (?graph=IRI optional)
 //	GET      /stats   — store statistics
+//	GET      /metrics — metrics registry snapshot (JSON)
+//
+// plus, when Debug is set, the /debug/ diagnostics of DebugHandler.
+// Every route is wrapped in the instrumentation middleware (metrics,
+// access log, slow-query log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", s.handleQuery)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.Handle("/metrics", s.reg)
+	if s.Debug {
+		obs.RegisterDebug(mux, nil, s.Tracer) // /metrics already mounted
+	}
+	return s.instrument(mux)
+}
+
+// DebugHandler returns the standalone diagnostics mux (/metrics,
+// /debug/vars, /debug/pprof, /debug/traces) for serving on a separate
+// address, keeping profilers off the protocol listener.
+func (s *Server) DebugHandler() http.Handler {
+	return obs.DebugMux(s.reg, s.Tracer)
+}
+
+// obsResponseWriter captures the response status and size for the
+// middleware, and carries the query text from the /sparql handler to
+// the slow-query log.
+type obsResponseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+	query  string
+}
+
+func (w *obsResponseWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *obsResponseWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps the protocol mux with request-level observability:
+// per-route counters and latency histograms, structured access logs,
+// and the slow-query log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ow := &obsResponseWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(ow, r)
+		d := time.Since(start)
+
+		route := r.URL.Path
+		switch route {
+		case "/sparql":
+			s.mQueries.Inc()
+			s.hQuery.Observe(d)
+		case "/update":
+			s.mUpdates.Inc()
+			s.hUpdate.Observe(d)
+		case "/load":
+			s.mLoads.Inc()
+			s.hLoad.Observe(d)
+		}
+		if ow.status >= 400 {
+			s.mErrors.Inc()
+		}
+		slow := route == "/sparql" && s.SlowQuery > 0 && d >= s.SlowQuery
+		if slow {
+			s.mSlow.Inc()
+		}
+		if s.Logger == nil {
+			return
+		}
+		s.Logger.Info("request",
+			"method", r.Method, "path", route, "status", ow.status,
+			"bytes", ow.bytes, "dur", d)
+		if slow {
+			s.Logger.Warn("slow query",
+				"dur", d, "threshold", s.SlowQuery, "status", ow.status,
+				"query", ow.query)
+		}
+	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +237,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
+	// Hand the query text to the middleware for the slow-query log.
+	if ow, ok := w.(*obsResponseWriter); ok {
+		ow.query = queryText
+	}
 
 	q, err := sparql.ParseQuery(queryText)
 	if err != nil {
@@ -134,7 +267,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.engine.Query(q)
+	// explain=1 (any non-empty value) runs the query with operator
+	// tracing and returns the EXPLAIN ANALYZE tree instead of the
+	// results; a server-level Tracer records a trace of every query.
+	explain := r.FormValue("explain") != ""
+
+	var res *sparql.Results
+	if explain || s.Tracer != nil {
+		var tr *obs.Trace
+		res, tr, err = s.engine.QueryTraced(q)
+		if tr != nil {
+			tr.Query = queryText
+			s.Tracer.Collect(tr) // nil-safe
+			s.reg.ObserveTrace(tr)
+		}
+		if err == nil && explain {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%s\n%d result row(s)\n", tr.Render(), len(res.Rows))
+			return
+		}
+	} else {
+		res, err = s.engine.Query(q)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

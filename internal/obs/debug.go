@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterDebug mounts the diagnostic routes on mux:
+//
+//	/metrics            metrics registry snapshot as JSON
+//	/debug/vars         expvar (cmdline, memstats, published registries)
+//	/debug/pprof/...    runtime profiles (net/http/pprof)
+//	/debug/traces       recent query traces, rendered as text
+//
+// reg and tracer may be nil, which skips their routes.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
+	if reg != nil {
+		mux.Handle("/metrics", reg)
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tracer != nil {
+		mux.HandleFunc("/debug/traces", TracesHandler(tracer))
+	}
+}
+
+// DebugMux returns a standalone diagnostics mux (the -debug-addr
+// listener of sparqld).
+func DebugMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg, tracer)
+	return mux
+}
+
+// TracesHandler serves the tracer's recent query traces (newest first)
+// as plain text EXPLAIN ANALYZE trees.
+func TracesHandler(tracer *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		recent := tracer.Recent()
+		if len(recent) == 0 {
+			fmt.Fprintln(w, "no traces collected (is tracing enabled?)")
+			return
+		}
+		for i, tr := range recent {
+			if i > 0 {
+				fmt.Fprintln(w, "----------------------------------------")
+			}
+			fmt.Fprintln(w, tr.Render())
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is the number of log2 latency buckets; bucket i counts
+// observations d with bits.Len64(d in µs) == i, i.e. d < 2^i µs, so the
+// top bucket covers everything from ~9 minutes up.
+const histBuckets = 30
+
+// Histogram is a lock-free log2-bucketed latency histogram. Observe is
+// two atomic adds plus one atomic add into a bucket, cheap enough for
+// per-request use on hot paths.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	b := bits.Len64(uint64(d.Microseconds()))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time JSON-friendly view: totals,
+// estimated quantiles (upper bucket bounds, in milliseconds), and the
+// non-empty buckets.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumMs   float64           `json:"sumMs"`
+	AvgMs   float64           `json:"avgMs"`
+	P50Ms   float64           `json:"p50Ms"`
+	P90Ms   float64           `json:"p90Ms"`
+	P99Ms   float64           `json:"p99Ms"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty bucket: the count of observations
+// below the upper bound LeMs.
+type HistogramBucket struct {
+	LeMs  float64 `json:"leMs"`
+	Count int64   `json:"count"`
+}
+
+// bucketUpperMs returns bucket i's upper bound in milliseconds (2^i µs).
+func bucketUpperMs(i int) float64 {
+	return float64(uint64(1)<<uint(i)) / 1000
+}
+
+// Snapshot returns a consistent-enough view for reporting (buckets are
+// read without a global lock; concurrent Observe calls may skew totals
+// by a few in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	sum := time.Duration(h.sumNs.Load())
+	s.SumMs = float64(sum) / float64(time.Millisecond)
+	if s.Count > 0 {
+		s.AvgMs = s.SumMs / float64(s.Count)
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{LeMs: bucketUpperMs(i), Count: counts[i]})
+		}
+	}
+	quantile := func(q float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		target := int64(q * float64(total))
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum > target {
+				return bucketUpperMs(i)
+			}
+		}
+		return bucketUpperMs(histBuckets - 1)
+	}
+	s.P50Ms = quantile(0.50)
+	s.P90Ms = quantile(0.90)
+	s.P99Ms = quantile(0.99)
+	return s
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Registration is get-or-create and mutex-protected; the metrics
+// themselves are atomic, so updates never contend on the registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a function sampled at snapshot time (e.g. store
+// size). Registering a name again replaces the previous function.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value keyed by name
+// (counters and gauges as integers, histograms as HistogramSnapshot).
+// json.Marshal of the result emits keys in sorted order.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(counters)+len(gauges)+len(hists))
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, fn := range gauges {
+		out[k] = fn()
+	}
+	for k, h := range hists {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// ObserveTrace folds a finished query trace into per-operator totals:
+// op.<OP>.count executions and op.<OP>.wallNs cumulative wall time for
+// every span of the tree.
+func (r *Registry) ObserveTrace(tr *Trace) {
+	if tr == nil || tr.Root == nil {
+		return
+	}
+	tr.Root.Visit(func(s *Span) {
+		r.Counter("op." + s.Op + ".count").Inc()
+		r.Counter("op." + s.Op + ".wallNs").Add(int64(s.Wall))
+	})
+}
+
+// ServeHTTP writes the snapshot as JSON (the /metrics handler).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(r.Snapshot())
+}
+
+// publishMu serializes expvar publication; expvar.Publish panics on
+// duplicate names, so Publish registers each name at most once per
+// process.
+var (
+	publishMu   sync.Mutex
+	publishSeen = make(map[string]bool)
+)
+
+// Publish exposes the registry's snapshot as one expvar variable, so it
+// appears under /debug/vars next to cmdline and memstats. Publishing
+// the same name twice (e.g. from tests) keeps the first registration.
+func (r *Registry) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishSeen[name] {
+		return
+	}
+	publishSeen[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

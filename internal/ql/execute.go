@@ -2,11 +2,13 @@ package ql
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/endpoint"
 	"repro/internal/olap"
 	"repro/internal/qb4olap"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 )
 
 // Variant selects which generated SPARQL query to execute.
@@ -38,7 +40,14 @@ func Execute(c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, er
 	if err != nil {
 		return nil, fmt.Errorf("ql: executing %s query: %w", v, err)
 	}
+	return Materialize(t, res), nil
+}
 
+// Materialize builds the result cube from an already-evaluated SPARQL
+// result table of either translated query. It is the second half of
+// Execute, split out so callers that run the SPARQL themselves (e.g. a
+// traced engine evaluation) can still produce a cube.
+func Materialize(t *Translation, res *sparql.Results) *olap.Cube {
 	cube := &olap.Cube{}
 	for _, ds := range t.Analysis.VisibleDims() {
 		cube.Axes = append(cube.Axes, olap.Axis{Dimension: ds.Dimension.IRI, Level: ds.Level})
@@ -62,7 +71,7 @@ func Execute(c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, er
 		cube.Cells = append(cube.Cells, cell)
 	}
 	cube.Sort()
-	return cube, nil
+	return cube
 }
 
 // Pipeline bundles the full Querying-module workflow of Figure 3:
@@ -75,38 +84,73 @@ type Pipeline struct {
 	Simplified *Program
 	// Translation holds both SPARQL queries.
 	Translation *Translation
+	// Timings records the wall time of each pipeline phase in execution
+	// order: parse, analyze, simplify, re-analyze, translate, plus one
+	// execute(<variant>) entry per Run call.
+	Timings []PhaseTiming
+}
+
+// PhaseTiming is the wall time of one Querying-module phase.
+type PhaseTiming struct {
+	Phase string        `json:"phase"`
+	Wall  time.Duration `json:"wallNs"`
 }
 
 // Prepare runs parsing, analysis, simplification, and translation for a
 // QL source text against a cube schema.
 func Prepare(src string, schema *qb4olap.CubeSchema) (*Pipeline, error) {
+	p := &Pipeline{}
+	phase := func(name string, start time.Time) {
+		p.Timings = append(p.Timings, PhaseTiming{Phase: name, Wall: time.Since(start)})
+	}
+
+	start := time.Now()
 	prog, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	phase("parse", start)
+
+	start = time.Now()
 	analysis, err := Analyze(prog, schema)
 	if err != nil {
 		return nil, err
 	}
+	phase("analyze", start)
+
+	start = time.Now()
 	simplified := Simplify(analysis)
+	phase("simplify", start)
+
+	start = time.Now()
 	finalAnalysis, err := Analyze(simplified, schema)
 	if err != nil {
 		return nil, fmt.Errorf("ql: internal error — simplified program failed analysis: %w", err)
 	}
+	phase("re-analyze", start)
+
+	start = time.Now()
 	tr, err := Translate(finalAnalysis)
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{Parsed: prog, Simplified: simplified, Translation: tr}, nil
+	phase("translate", start)
+
+	p.Parsed, p.Simplified, p.Translation = prog, simplified, tr
+	return p, nil
 }
 
-// Run is the one-call convenience: Prepare then Execute.
+// Run is the one-call convenience: Prepare then Execute. The returned
+// pipeline's Timings include the execution phase for the chosen
+// variant.
 func Run(c endpoint.SPARQLClient, schema *qb4olap.CubeSchema, src string, v Variant) (*olap.Cube, *Pipeline, error) {
 	p, err := Prepare(src, schema)
 	if err != nil {
 		return nil, nil, err
 	}
+	start := time.Now()
 	cube, err := Execute(c, p.Translation, v)
+	p.Timings = append(p.Timings, PhaseTiming{Phase: "execute(" + v.String() + ")", Wall: time.Since(start)})
 	if err != nil {
 		return nil, p, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -27,6 +28,11 @@ type Engine struct {
 	// patterns run in textual order (used by the planner ablation
 	// benchmark).
 	DisableReorder bool
+
+	// tracer, when set (WithTracer), collects a per-operator trace of
+	// every query. Nil — the default — keeps evaluation on the untraced
+	// fast path; see trace.go.
+	tracer *obs.Tracer
 }
 
 // Option configures an Engine at construction time.
@@ -114,16 +120,33 @@ type run struct {
 	e   *Engine
 	vt  *varTable
 	ctx graphCtx
+
+	// trace is the current trace cursor: operator spans attach under
+	// it. Nil (the default) disables tracing; every hook then reduces
+	// to a nil check.
+	trace *obs.Span
 }
 
 // Query evaluates a SELECT or ASK query, returning a Results table (ASK
-// yields a single row with variable "ask" bound to a boolean).
+// yields a single row with variable "ask" bound to a boolean). When the
+// engine has a tracer installed the evaluation is traced and the trace
+// collected there.
 func (e *Engine) Query(q *Query) (*Results, error) {
+	if e.tracer != nil {
+		res, _, err := e.QueryTraced(q)
+		return res, err
+	}
+	return e.query(q, nil)
+}
+
+// query dispatches on the query form, attaching operator spans under
+// root when it is non-nil.
+func (e *Engine) query(q *Query, root *obs.Span) (*Results, error) {
 	switch q.Form {
 	case FormSelect:
-		return e.Select(q)
+		return e.selectRun(q, root)
 	case FormAsk:
-		ok, err := e.Ask(q)
+		ok, err := e.askRun(q, root)
 		if err != nil {
 			return nil, err
 		}
@@ -146,17 +169,25 @@ func (e *Engine) QueryString(src string) (*Results, error) {
 
 // Select evaluates a SELECT query.
 func (e *Engine) Select(q *Query) (*Results, error) {
+	return e.selectRun(q, nil)
+}
+
+func (e *Engine) selectRun(q *Query, root *obs.Span) (*Results, error) {
 	if q.Form != FormSelect {
 		return nil, fmt.Errorf("sparql: not a SELECT query")
 	}
-	r := &run{e: e, vt: newVarTable()}
+	r := &run{e: e, vt: newVarTable(), trace: root}
 	collectVars(q, r.vt)
 	return r.evalSelect(q)
 }
 
 // Ask evaluates an ASK query.
 func (e *Engine) Ask(q *Query) (bool, error) {
-	r := &run{e: e, vt: newVarTable()}
+	return e.askRun(q, nil)
+}
+
+func (e *Engine) askRun(q *Query, root *obs.Span) (bool, error) {
+	r := &run{e: e, vt: newVarTable(), trace: root}
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
 	if err != nil {
@@ -229,7 +260,15 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 	}
 
 	if q.Distinct {
+		sp := r.trace.StartChild("DISTINCT", "", len(res.Rows))
 		res.Rows = distinctRows(res.Rows)
+		if sp != nil {
+			sp.Finish(len(res.Rows), 1)
+		}
+	}
+	var ssp *obs.Span
+	if r.trace != nil && (q.Offset > 0 || q.Limit >= 0) {
+		ssp = r.trace.StartChild("SLICE", fmt.Sprintf("offset=%d limit=%d", q.Offset, q.Limit), len(res.Rows))
 	}
 	if q.Offset > 0 {
 		if q.Offset >= len(res.Rows) {
@@ -240,6 +279,9 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 	}
 	if q.Limit >= 0 && q.Limit < len(res.Rows) {
 		res.Rows = res.Rows[:q.Limit]
+	}
+	if ssp != nil {
+		ssp.Finish(len(res.Rows), 1)
 	}
 	return res, nil
 }
@@ -285,7 +327,11 @@ func exprHasAggregate(e Expression) bool {
 func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	// ORDER BY before projection so order keys may use any variable.
 	if len(q.OrderBy) > 0 {
+		sp := r.trace.StartChild("ORDER", "", len(rows))
 		r.sortRows(rows, q.OrderBy)
+		if sp != nil {
+			sp.Finish(len(rows), 1)
+		}
 	}
 	var vars []string
 	if q.Star {
@@ -301,6 +347,7 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 		}
 	}
 	out := &Results{Vars: vars}
+	psp := r.trace.StartChild("PROJECT", "", len(rows))
 	for _, row := range rows {
 		orow := make([]rdf.Term, len(vars))
 		if q.Star {
@@ -321,6 +368,9 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 			}
 		}
 		out.Rows = append(out.Rows, orow)
+	}
+	if psp != nil {
+		psp.Finish(len(out.Rows), 1)
 	}
 	return out, nil
 }
@@ -401,6 +451,8 @@ func (r *run) groupRow(q *Query, g *aggGroup) ([]rdf.Term, bool) {
 }
 
 func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
+	in := len(rows)
+	sp := r.trace.StartChild("AGGREGATE", "", in)
 	order, groups := r.accumulateGroupsPar(q.GroupBy, rows)
 	// A grouped query with no GROUP BY clause (implicit grouping, e.g.
 	// SELECT (COUNT(*) AS ?n)) forms a single group even when empty.
@@ -415,9 +467,17 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 	}
 	out := &Results{Vars: vars}
 	out.Rows = r.groupRowsPar(q, order, groups)
+	if sp != nil {
+		sp.Detail = fmt.Sprintf("%d groups", len(order))
+		r.finishRows(sp, len(out.Rows), in)
+	}
 
 	if len(q.OrderBy) > 0 {
+		osp := r.trace.StartChild("ORDER", "", len(out.Rows))
 		r.sortProjected(out, q.OrderBy)
+		if osp != nil {
+			osp.Finish(len(out.Rows), 1)
+		}
 	}
 	return out, nil
 }

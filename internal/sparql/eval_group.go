@@ -1,6 +1,9 @@
 package sparql
 
 import (
+	"fmt"
+
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -126,8 +129,21 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		if len(bgp) == 0 {
 			return nil
 		}
+		// The BGP span is the parent of one JOIN span per pattern
+		// (added by evalBGP in optimizer order), so the trace exposes
+		// every intermediate-result size of the join chain.
+		var sp *obs.Span
+		saved := r.trace
+		if r.trace != nil {
+			sp = r.trace.StartChild("BGP", fmt.Sprintf("%d patterns", len(bgp)), len(rows))
+			r.trace = sp
+		}
 		var err error
 		rows, err = r.evalBGP(bgp, rows, ctx)
+		r.trace = saved
+		if sp != nil {
+			sp.Finish(len(rows), 0)
+		}
 		bgp = nil
 		return err
 	}
@@ -142,8 +158,15 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		}
 		switch e := el.(type) {
 		case FilterElement:
+			in := len(rows)
+			sp := r.trace.StartChild("FILTER", "", in)
+			saved := r.suspendTrace()
 			rows = r.filterRowsPar(e.Expr, rows)
+			r.trace = saved
+			r.finishRows(sp, len(rows), in)
 		case BindElement:
+			sp := r.trace.StartChild("BIND", "?"+e.Var, len(rows))
+			saved := r.suspendTrace()
 			idx := r.vt.slot(e.Var)
 			var out []solution
 			for _, row := range rows {
@@ -154,44 +177,86 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 				out = append(out, nrow)
 			}
 			rows = out
+			r.trace = saved
+			if sp != nil {
+				sp.Finish(len(rows), 1)
+			}
 		case OptionalElement:
 			// Fast path: an OPTIONAL holding exactly one triple pattern
 			// (the common shape for label lookups) avoids the recursive
 			// group evaluation per row.
+			in := len(rows)
 			if tp, ok := singleTriplePattern(e.Pattern); ok {
+				var sp *obs.Span
+				if r.trace != nil {
+					sp = r.trace.StartChild("OPTIONAL", patternDetail(tp), in)
+				}
+				saved := r.suspendTrace()
 				rows = r.optionalSinglePar(tp, rows, ctx)
+				r.trace = saved
+				r.finishRows(sp, len(rows), in)
 				continue
 			}
+			sp := r.trace.StartChild("OPTIONAL", "", in)
+			saved := r.suspendTrace()
 			out, err := r.optionalPar(e.Pattern, rows, ctx)
 			if err != nil {
 				return nil, err
 			}
 			rows = out
+			r.trace = saved
+			r.finishRows(sp, len(rows), in)
 		case UnionElement:
+			in := len(rows)
+			var sp *obs.Span
+			if r.trace != nil {
+				sp = r.trace.StartChild("UNION", fmt.Sprintf("%d branches", len(e.Branches)), in)
+			}
+			saved := r.suspendTrace()
 			out, err := r.unionPar(e.Branches, rows, ctx)
 			if err != nil {
 				return nil, err
 			}
 			rows = out
+			r.trace = saved
+			if sp != nil {
+				w := 1
+				if r.e.parallelism > 1 && len(e.Branches) >= 2 {
+					w = min(r.e.parallelism, len(e.Branches))
+				}
+				sp.Finish(len(rows), w)
+			}
 		case MinusElement:
+			// The right-side pattern evaluates once on this goroutine,
+			// so its operators trace as children of the MINUS span.
+			in := len(rows)
+			sp := r.trace.StartChild("MINUS", "", in)
+			saved := r.trace
+			r.trace = sp
 			right, err := r.evalGroup(e.Pattern, []solution{make(solution, len(r.vt.names))}, ctx)
+			r.trace = saved
 			if err != nil {
 				return nil, err
 			}
 			rows = r.minusRowsPar(rows, right)
+			r.finishRows(sp, len(rows), in)
 		case GraphElement:
+			in := len(rows)
+			var sp *obs.Span
+			if r.trace != nil {
+				sp = r.trace.StartChild("GRAPH", patternTermDetail(e.Graph), in)
+			}
+			saved := r.trace
+			r.trace = sp
 			var out []solution
 			if !e.Graph.IsVar {
-				gid, ok := r.e.store.GraphID(e.Graph.Term)
-				if !ok {
-					rows = nil
-					continue
+				if gid, ok := r.e.store.GraphID(e.Graph.Term); ok {
+					ext, err := r.evalGroup(e.Pattern, rows, graphCtx{gid: gid})
+					if err != nil {
+						return nil, err
+					}
+					out = ext
 				}
-				ext, err := r.evalGroup(e.Pattern, rows, graphCtx{gid: gid})
-				if err != nil {
-					return nil, err
-				}
-				out = ext
 			} else {
 				idx := r.vt.slot(e.Graph.Var)
 				for _, gid := range r.e.store.NamedGraphIDs() {
@@ -216,21 +281,40 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 					out = append(out, ext...)
 				}
 			}
+			r.trace = saved
 			rows = out
+			if sp != nil {
+				sp.Finish(len(rows), 1)
+			}
 		case GroupElement:
+			sp := r.trace.StartChild("GROUP", "", len(rows))
+			saved := r.trace
+			r.trace = sp
 			ext, err := r.evalGroup(e.Pattern, rows, ctx)
+			r.trace = saved
 			if err != nil {
 				return nil, err
 			}
 			rows = ext
+			if sp != nil {
+				sp.Finish(len(rows), 1)
+			}
 		case ValuesElement:
+			sp := r.trace.StartChild("VALUES", "", len(rows))
 			rows = r.joinValues(rows, e)
+			if sp != nil {
+				sp.Finish(len(rows), 1)
+			}
 		case SubSelectElement:
-			sub, err := r.evalSubSelect(e.Query)
+			sp := r.trace.StartChild("SUBSELECT", "", len(rows))
+			sub, err := r.evalSubSelect(e.Query, sp)
 			if err != nil {
 				return nil, err
 			}
 			rows = r.joinResults(rows, sub)
+			if sp != nil {
+				sp.Finish(len(rows), 1)
+			}
 		}
 	}
 	if err := flush(); err != nil {
@@ -240,9 +324,9 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 }
 
 // evalSubSelect runs a nested SELECT independently and returns its
-// result table.
-func (r *run) evalSubSelect(q *Query) (*Results, error) {
-	sub := &run{e: r.e, vt: newVarTable()}
+// result table; its operators trace under sp when tracing is on.
+func (r *run) evalSubSelect(q *Query, sp *obs.Span) (*Results, error) {
+	sub := &run{e: r.e, vt: newVarTable(), trace: sp}
 	collectVars(q, sub.vt)
 	return sub.evalSelect(q)
 }
@@ -442,11 +526,17 @@ func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) (
 		tp := remaining[next]
 		remaining = append(remaining[:next], remaining[next+1:]...)
 
+		in := len(rows)
+		var sp *obs.Span
+		if r.trace != nil {
+			sp = r.trace.StartChild("JOIN", patternDetail(tp), in)
+		}
 		var err error
 		rows, err = r.joinPatternPar(tp, rows, ctx, owned)
 		if err != nil {
 			return nil, err
 		}
+		r.finishRows(sp, len(rows), in)
 		if len(rows) == 0 {
 			return nil, nil
 		}

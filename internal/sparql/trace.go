@@ -1,0 +1,165 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// This file is the engine's tracing glue: the WithTracer option, the
+// QueryTraced entry points, and the span helpers the evaluator calls.
+//
+// Tracing contract: spans are created and finished only on the query's
+// coordinating goroutine (the one walking the algebra in evalGroup /
+// evalSelect). Operators that fan row batches out to workers record one
+// span at the coordinator with the worker count actually used; the
+// interior of per-row OPTIONAL and per-branch UNION evaluation runs
+// with the cursor cleared, both to keep span volume bounded and because
+// those interiors execute on worker goroutines. When tracing is
+// disabled the cursor is nil and every hook is a single nil check
+// (obs.Span methods are nil-safe), which BenchmarkTracerOverhead pins
+// to be within noise of the untraced engine.
+
+// WithTracer installs an engine-level trace sink: every Query records a
+// per-operator trace and collects it into t. Use NewTracer's ring to
+// inspect recent query plans on a live server, or leave the engine
+// tracer nil (the default) for zero-cost evaluation and trace
+// individual queries with QueryTraced.
+func WithTracer(t *obs.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// Tracer returns the engine-level tracer, or nil.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// QueryTraced evaluates a SELECT or ASK query with operator tracing
+// enabled and returns the EXPLAIN ANALYZE-style trace alongside the
+// results. The trace is returned even when evaluation fails (with the
+// spans finished so far). If the engine has a tracer installed the
+// trace is also collected there.
+func (e *Engine) QueryTraced(q *Query) (*Results, *obs.Trace, error) {
+	root := obs.StartSpan(q.Form.String(), "", 1)
+	res, err := e.query(q, root)
+	out := 0
+	if res != nil {
+		out = len(res.Rows)
+	}
+	root.Finish(out, 1)
+	tr := &obs.Trace{Root: root}
+	e.tracer.Collect(tr)
+	return res, tr, err
+}
+
+// QueryTracedString parses and evaluates a query string with tracing;
+// the query text is recorded on the trace.
+func (e *Engine) QueryTracedString(src string) (*Results, *obs.Trace, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, tr, err := e.QueryTraced(q)
+	if tr != nil {
+		tr.Query = src
+	}
+	return res, tr, err
+}
+
+// String names the query form for trace roots.
+func (f QueryForm) String() string {
+	switch f {
+	case FormSelect:
+		return "SELECT"
+	case FormAsk:
+		return "ASK"
+	case FormConstruct:
+		return "CONSTRUCT"
+	case FormDescribe:
+		return "DESCRIBE"
+	default:
+		return "QUERY"
+	}
+}
+
+// finishRows closes an operator span for a row-partitioned operator,
+// recording the worker count the engine used for in input rows.
+func (r *run) finishRows(sp *obs.Span, out, in int) {
+	if sp != nil {
+		sp.Finish(out, r.workersFor(in))
+	}
+}
+
+// suspendTrace clears the trace cursor (used around operator interiors
+// that run per-row or on worker goroutines) and returns the restore
+// value.
+func (r *run) suspendTrace() *obs.Span {
+	saved := r.trace
+	r.trace = nil
+	return saved
+}
+
+// patternDetail renders a triple pattern compactly for span details,
+// shortening IRIs to their local names.
+func patternDetail(tp TriplePattern) string {
+	p := patternTermDetail(tp.P)
+	if tp.Path != nil {
+		p = pathDetail(tp.Path)
+	}
+	return patternTermDetail(tp.S) + " " + p + " " + patternTermDetail(tp.O)
+}
+
+func patternTermDetail(pt PatternTerm) string {
+	if pt.IsVar {
+		return "?" + pt.Var
+	}
+	return shortTerm(pt.Term)
+}
+
+// shortTerm abbreviates a term for display: IRIs keep the fragment or
+// last path segment, literals are quoted, blanks keep their label.
+func shortTerm(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.KindIRI:
+		v := t.Value
+		if i := strings.LastIndexAny(v, "#/"); i >= 0 && i < len(v)-1 {
+			v = v[i+1:]
+		}
+		return v
+	case rdf.KindLiteral:
+		return fmt.Sprintf("%q", t.Value)
+	case rdf.KindBlank:
+		return "_:" + t.Value
+	default:
+		return t.String()
+	}
+}
+
+func pathDetail(p *PropertyPath) string {
+	if p == nil {
+		return ""
+	}
+	switch p.Kind {
+	case PathIRI:
+		return shortTerm(p.IRI)
+	case PathInverse:
+		return "^" + pathDetail(sub(p, 0))
+	case PathSequence:
+		return pathDetail(sub(p, 0)) + "/" + pathDetail(sub(p, 1))
+	case PathAlternative:
+		return pathDetail(sub(p, 0)) + "|" + pathDetail(sub(p, 1))
+	case PathZeroOrMore:
+		return pathDetail(sub(p, 0)) + "*"
+	case PathOneOrMore:
+		return pathDetail(sub(p, 0)) + "+"
+	default:
+		return "path"
+	}
+}
+
+func sub(p *PropertyPath, i int) *PropertyPath {
+	if i < len(p.Sub) {
+		return p.Sub[i]
+	}
+	return nil
+}

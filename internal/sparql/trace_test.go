@@ -1,0 +1,130 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// traceOps flattens a span tree into "depth:op" strings for shape
+// assertions that ignore details and counts.
+func traceOps(s *obs.Span) []string {
+	var out []string
+	var walk func(sp *obs.Span, depth int)
+	walk = func(sp *obs.Span, depth int) {
+		out = append(out, strings.Repeat(">", depth)+sp.Op)
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return out
+}
+
+func TestQueryTracedTreeShape(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	e := NewEngine(st, WithParallelism(1))
+	res, tr, err := e.QueryTracedString(`
+PREFIX ex: <http://example.org/>
+SELECT ?name ?label WHERE {
+  ?p a ex:Person ; ex:name ?name ; ex:city ?c .
+  OPTIONAL { ?c ex:label ?label }
+  FILTER (?name != "Bob")
+} ORDER BY ?name LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	want := []string{
+		"SELECT",
+		">BGP",
+		">>JOIN", ">>JOIN", ">>JOIN",
+		">OPTIONAL",
+		">FILTER",
+		">ORDER",
+		">PROJECT",
+		">SLICE",
+	}
+	if got := traceOps(tr.Root); !reflect.DeepEqual(got, want) {
+		t.Errorf("trace shape mismatch:\ngot  %v\nwant %v\n\n%s", got, want, tr.Render())
+	}
+	if tr.Root.Out != 2 {
+		t.Errorf("root out = %d, want 2", tr.Root.Out)
+	}
+	// The BGP's join chain must expose intermediate cardinalities: the
+	// first join (a Person) yields 3, and every span has in/out set.
+	bgp := tr.Root.Children[0]
+	if bgp.Children[0].Out != 3 {
+		t.Errorf("first join out = %d, want 3 persons\n%s", bgp.Children[0].Out, tr.Render())
+	}
+	if !strings.Contains(tr.Outline(), "JOIN ?p type Person") {
+		t.Errorf("outline missing shortened pattern detail:\n%s", tr.Outline())
+	}
+}
+
+func TestQueryTracedMatchesUntraced(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	e := NewEngine(st)
+	queries := []string{
+		`PREFIX ex: <http://example.org/> SELECT ?n WHERE { ?p ex:name ?n } ORDER BY ?n`,
+		`PREFIX ex: <http://example.org/> SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p ex:city ?c } GROUP BY ?c ORDER BY ?c`,
+		`PREFIX ex: <http://example.org/> SELECT DISTINCT ?t WHERE { { ?p a ex:Person . ?p a ?t } UNION { ?p a ex:Robot . ?p a ?t } }`,
+		`PREFIX ex: <http://example.org/> ASK { ex:alice ex:knows ex:bob }`,
+	}
+	for _, q := range queries {
+		plain, err := e.QueryString(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		traced, tr, err := e.QueryTracedString(q)
+		if err != nil {
+			t.Fatalf("%s: traced: %v", q, err)
+		}
+		if !reflect.DeepEqual(plain, traced) {
+			t.Errorf("%s: traced results differ from untraced", q)
+		}
+		if tr == nil || len(tr.Root.Children) == 0 {
+			t.Errorf("%s: empty trace", q)
+		}
+	}
+}
+
+func TestEngineTracerCollects(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	sink := obs.NewTracer(8)
+	e := NewEngine(st, WithTracer(sink))
+	if _, err := e.QueryString(`PREFIX ex: <http://example.org/> SELECT ?n WHERE { ?p ex:name ?n }`); err != nil {
+		t.Fatal(err)
+	}
+	recent := sink.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("tracer collected %d traces, want 1", len(recent))
+	}
+	if recent[0].Root.Op != "SELECT" || recent[0].Root.Out != 4 {
+		t.Errorf("unexpected root span %s out=%d", recent[0].Root.Op, recent[0].Root.Out)
+	}
+}
+
+func TestTracedSubSelectAndMinus(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	e := NewEngine(st, WithParallelism(1))
+	_, tr, err := e.QueryTracedString(`
+PREFIX ex: <http://example.org/>
+SELECT ?p WHERE {
+  { SELECT ?p WHERE { ?p a ex:Person } }
+  MINUS { ?p ex:city ex:lyon }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outline := tr.Outline()
+	for _, op := range []string{"SUBSELECT", "MINUS"} {
+		if !strings.Contains(outline, op) {
+			t.Errorf("outline missing %s:\n%s", op, outline)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/obs"
+	"repro/internal/ql"
+	"repro/internal/sparql"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestExplainGoldenDemoQuery pins the EXPLAIN ANALYZE operator tree of
+// the paper's demo query (Section IV, the "Mary" query) against a
+// golden file. The outline omits wall times, and the demo generator is
+// deterministic (seed 42), so the tree — operators, pattern details,
+// and every intermediate cardinality — must be byte-identical across
+// runs. Parallelism 1 keeps worker annotations out of the tree; the
+// plan itself is parallelism-independent.
+func TestExplainGoldenDemoQuery(t *testing.T) {
+	env, err := demo.Build(configFor(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sparql.NewEngine(env.Store, sparql.WithParallelism(1))
+	res, tr, err := eng.QueryTracedString(p.Translation.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("demo query returned no rows")
+	}
+	got := tr.Outline()
+
+	golden := filepath.Join("testdata", "explain_mary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run ExplainGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("EXPLAIN ANALYZE outline drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestTracingPreservesResults runs every QL program under queries/
+// through both SPARQL translations twice — once on the untraced fast
+// path and once traced — and requires identical result tables. Tracing
+// is observation only; it must never change what a query returns.
+func TestTracingPreservesResults(t *testing.T) {
+	env, err := demo.Build(configFor(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sparql.NewEngine(env.Store)
+
+	files, err := filepath.Glob("queries/*.ql")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no QL programs found under queries/: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ql.Prepare(string(src), env.Schema)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, q := range []struct{ variant, text string }{
+			{"direct", p.Translation.Direct},
+			{"alternative", p.Translation.Alternative},
+		} {
+			plain, err := eng.QueryString(q.text)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", file, q.variant, err)
+			}
+			traced, tr, err := eng.QueryTracedString(q.text)
+			if err != nil {
+				t.Fatalf("%s/%s traced: %v", file, q.variant, err)
+			}
+			if !reflect.DeepEqual(plain, traced) {
+				t.Errorf("%s/%s: traced results differ from untraced", file, q.variant)
+			}
+			if tr == nil || len(tr.Root.Children) == 0 {
+				t.Errorf("%s/%s: empty trace", file, q.variant)
+			}
+			// Every span must have finished (Out set from its real row
+			// flow; a span left unfinished keeps the zero start marker).
+			tr.Root.Visit(func(s *obs.Span) {
+				if s.Wall < 0 {
+					t.Errorf("%s/%s: span %s has negative wall time", file, q.variant, s.Op)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTracerOverhead measures the demo query with no tracer
+// installed (the nil fast path — a single nil check per operator)
+// against a fully traced evaluation, on the 20k-observation cube.
+// EXPERIMENTS.md records the measured gap; the off case must stay
+// within noise of the seed engine.
+func BenchmarkTracerOverhead(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sparql.ParseQuery(p.Translation.Direct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, traced := range []bool{false, true} {
+		name := "tracer=off"
+		opts := []sparql.Option{}
+		if traced {
+			name = "tracer=on"
+			opts = append(opts, sparql.WithTracer(obs.NewTracer(4)))
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := sparql.NewEngine(env.Store, opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() == 0 {
+					b.Fatal(fmt.Sprintf("no rows (%s)", name))
+				}
+			}
+		})
+	}
+}
