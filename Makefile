@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-concurrent fuzz examples experiments obs-smoke clean
+.PHONY: all build test race cover bench bench-json bench-concurrent fuzz examples experiments obs-smoke clean
 
 # The default check builds, vets, and runs the whole test suite under
 # the race detector: the engine evaluates queries on a worker pool and
@@ -12,7 +12,7 @@ GO ?= go
 # TestParallelMatchesSequential, ...). Benchmarks are not run here; the
 # 80k-observation fixtures additionally sit behind a -short guard so a
 # `go test -short -bench .` smoke pass stays fast.
-all: build race obs-smoke
+all: build race obs-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ cover:
 # claim of the paper).
 bench:
 	$(GO) test -run xxx -bench . -benchmem -timeout 60m .
+
+# Machine-readable benchmark snapshot: one fast pass (-short,
+# -benchtime 1x) over every benchmark, converted to JSON by
+# cmd/benchjson and committed as BENCH_PR3.json so regressions show up
+# in review diffs. Use `make bench` for real measurements.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem -short -benchtime 1x . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 # The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
 # query throughput vs. client count at engine parallelism 1 and

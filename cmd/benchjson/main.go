@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON map on stdout (or -o file): benchmark name →
+// ns/op, B/op, allocs/op. It exists so `make bench-json` can snapshot
+// benchmark results (BENCH_PR3.json) without any tooling beyond the Go
+// toolchain.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem . | benchjson -o BENCH.json
+//
+// The GOMAXPROCS suffix (-8) is stripped from names so snapshots
+// diff cleanly across machines; sub-benchmark paths are kept.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. Zero-valued fields were not
+// reported (e.g. -benchmem missing).
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   10   123 ns/op   45 B/op   6 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// procSuffix is the trailing GOMAXPROCS marker on the name (Go appends
+// it once, at the very end of the full sub-benchmark path).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(lines *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(lines.Text()))
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := Result{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		out[name] = r
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parse(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Sorted keys make committed snapshots diff cleanly.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+
+	if *outPath == "-" {
+		os.Stdout.WriteString(b.String())
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *outPath)
+}

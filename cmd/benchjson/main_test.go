@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkLoad/obs=5000-8         	      10	 12345678 ns/op	 4096 B/op	     42 allocs/op
+BenchmarkQLParse-8               	  100000	    10432 ns/op
+PASS
+ok  	repro	1.234s
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(got), got)
+	}
+	load, ok := got["BenchmarkLoad/obs=5000"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped: %v", got)
+	}
+	if load.NsPerOp != 12345678 || load.BytesPerOp != 4096 || load.AllocsPerOp != 42 || load.Iterations != 10 {
+		t.Errorf("load = %+v", load)
+	}
+	p, ok := got["BenchmarkQLParse"]
+	if !ok || p.NsPerOp != 10432 || p.BytesPerOp != 0 {
+		t.Errorf("parse = %+v ok=%v", p, ok)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/enrich"
 	"repro/internal/eurostat"
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/olap"
 	"repro/internal/qb4olap"
 	"repro/internal/ql"
@@ -133,76 +134,10 @@ func cmdSuggest(args []string) error {
 }
 
 // applyScript runs a line-based enrichment script against a session.
-// Commands: aggregate <measure> <fn>; level <child> <property>;
-// attribute <level> <property>; all <dimension>.
+// The implementation lives in the enrich package (enrich.ApplyScript)
+// so tests and other frontends can drive scripted enrichments too.
 func applyScript(sess *enrich.Session, script string) error {
-	sc := bufio.NewScanner(strings.NewReader(script))
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		fail := func(err error) error {
-			return fmt.Errorf("enrich script line %d: %w", lineNo, err)
-		}
-		switch fields[0] {
-		case "aggregate":
-			if len(fields) != 3 {
-				return fail(fmt.Errorf("usage: aggregate <measure> <sum|avg|count|min|max>"))
-			}
-			var f qb4olap.AggFunc
-			switch fields[2] {
-			case "sum":
-				f = qb4olap.Sum
-			case "avg":
-				f = qb4olap.Avg
-			case "count":
-				f = qb4olap.Count
-			case "min":
-				f = qb4olap.Min
-			case "max":
-				f = qb4olap.Max
-			default:
-				return fail(fmt.Errorf("unknown aggregate %q", fields[2]))
-			}
-			if err := sess.SetAggregate(parseIRI(fields[1]), f); err != nil {
-				return fail(err)
-			}
-		case "level", "attribute":
-			if len(fields) != 3 {
-				return fail(fmt.Errorf("usage: %s <level> <property>", fields[0]))
-			}
-			cands, err := sess.Suggest(parseIRI(fields[1]))
-			if err != nil {
-				return fail(err)
-			}
-			c, ok := enrich.FindCandidate(cands, parseIRI(fields[2]))
-			if !ok {
-				return fail(fmt.Errorf("property %s not suggested for level %s", fields[2], fields[1]))
-			}
-			if fields[0] == "level" {
-				err = sess.AddLevel(c)
-			} else {
-				err = sess.AddAttribute(c)
-			}
-			if err != nil {
-				return fail(err)
-			}
-		case "all":
-			if len(fields) != 2 {
-				return fail(fmt.Errorf("usage: all <dimension>"))
-			}
-			if _, err := sess.AddAllLevel(parseIRI(fields[1])); err != nil {
-				return fail(err)
-			}
-		default:
-			return fail(fmt.Errorf("unknown command %q", fields[0]))
-		}
-	}
-	return sc.Err()
+	return enrich.ApplyScript(sess, script)
 }
 
 func cmdEnrich(args []string) error {
@@ -215,15 +150,26 @@ func cmdEnrich(args []string) error {
 	threshold := fs.Float64("threshold", 0, "quasi-FD error threshold")
 	outSchema := fs.String("out-schema", "", "also write the schema triples to this Turtle file")
 	outInstances := fs.String("out-instances", "", "also write the instance triples to this Turtle file")
+	progress := fs.Bool("progress", false, "print live per-phase progress to stderr")
+	report := fs.String("report", "", "write a JSON run report to this file (- for stdout)")
 	fs.Parse(args)
 
 	tool, err := src.open()
 	if err != nil {
 		return err
 	}
+	var prog *obs.Progress
+	if *progress || *report != "" {
+		prog = obs.NewProgress("enrich")
+		if *progress {
+			prog.OnEvent = obs.TermSink(os.Stderr)
+		}
+	}
 	var sess *enrich.Session
 	if *demoScript {
-		sess, err = demo.EnrichDataset(tool.Client())
+		opts := enrich.DefaultOptions()
+		opts.Progress = prog
+		sess, err = demo.EnrichDatasetWithOptions(tool.Client(), opts)
 		if err != nil {
 			return err
 		}
@@ -237,6 +183,7 @@ func cmdEnrich(args []string) error {
 		}
 		opts := enrich.DefaultOptions()
 		opts.QuasiFDThreshold = *threshold
+		opts.Progress = prog
 		sess, err = tool.Enrich(parseIRI(*dsd), opts)
 		if err != nil {
 			return err
@@ -246,6 +193,11 @@ func cmdEnrich(args []string) error {
 		}
 		if err := sess.Commit(); err != nil {
 			return err
+		}
+	}
+	if *report != "" {
+		if err := prog.Report().WriteFile(*report); err != nil {
+			return fmt.Errorf("enrich: writing run report: %w", err)
 		}
 	}
 
@@ -561,6 +513,19 @@ func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v q
 		fmt.Fprintln(os.Stderr, "# EXPLAIN ANALYZE:")
 		fmt.Fprintln(os.Stderr, tr.Render())
 	} else {
+		// Remote (or other non-local) client: ask the endpoint for its
+		// server-side plan via the protocol's explain surface, then run
+		// the query for real. The plan costs one extra evaluation but
+		// -trace is explicitly a diagnostic mode.
+		if ex, ok := tool.Client().(endpoint.Explainer); ok {
+			plan, err := ex.Explain(queryText)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "# server-side EXPLAIN unavailable: %v\n", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "# EXPLAIN ANALYZE (server-side):")
+				fmt.Fprint(os.Stderr, plan)
+			}
+		}
 		cubeRes, err = ql.Execute(tool.Client(), p.Translation, v)
 		if err != nil {
 			return nil, err

@@ -74,7 +74,7 @@ func usage() {
 Subcommands:
   generate   -out cube.ttl [-external ext.ttl] [-quads all.nq] [-obs N] [-seed S]
   suggest    <source> -level IRI [-threshold F] [-external]
-  enrich     <source> [-script file | -demo-script] [-out-schema f] [-out-instances f]
+  enrich     <source> [-script file | -demo-script] [-out-schema f] [-out-instances f] [-progress] [-report f]
   explore    <source> [-cube IRI] [-members IRI] [-cluster child:parent] [-find text] [-summary]
   validate   <source> [-cube IRI]
   translate  <source> -query file.ql [-variant direct|alternative|both]

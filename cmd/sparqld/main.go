@@ -6,6 +6,7 @@
 //
 //	sparqld [-addr :8080] [-data file.ttl]... [-demo N] [-parallel N]
 //	        [-trace N] [-slowlog DUR] [-debug-addr :8081]
+//	        [-progress] [-report file.json]
 //
 // -data loads a Turtle file into the default graph (repeatable);
 // -demo N generates the synthetic Eurostat asylum cube with N
@@ -20,9 +21,11 @@
 // -slowlog DUR logs queries at Warn, with their text, when they take
 // at least DUR (e.g. -slowlog 250ms). -debug-addr serves /metrics,
 // /debug/vars, /debug/pprof, and /debug/traces on a second listener,
-// keeping profilers off the protocol port. The server shuts down
-// gracefully on SIGINT/SIGTERM, draining in-flight requests and
-// logging a final metrics snapshot.
+// keeping profilers off the protocol port. -progress streams live
+// per-phase load progress to stderr and -report writes a JSON run
+// report of the startup load. The server shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests and logging a final
+// metrics snapshot plus one latency-quantile line per histogram.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -66,10 +70,20 @@ func main() {
 	traceN := flag.Int("trace", 0, "trace every query, keeping the last N traces at /debug/traces (0 disables)")
 	slowlog := flag.Duration("slowlog", 0, "log queries taking at least this long, with their text (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug diagnostics on this second address")
+	progress := flag.Bool("progress", false, "print live load progress to stderr")
+	report := flag.String("report", "", "write a JSON run report of the startup load to this file (- for stdout)")
 	var quadFiles fileList
 	flag.Var(&files, "data", "Turtle file to load into the default graph (repeatable)")
 	flag.Var(&quadFiles, "quads", "N-Quads file to load, preserving named graphs (repeatable)")
 	flag.Parse()
+
+	var prog *obs.Progress
+	if *progress || *report != "" {
+		prog = obs.NewProgress("load")
+		if *progress {
+			prog.OnEvent = obs.TermSink(os.Stderr)
+		}
+	}
 
 	st := store.New()
 	for _, path := range files {
@@ -81,7 +95,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("sparqld: parsing %s: %v", path, err)
 		}
-		n := st.InsertTriples(rdf.Term{}, triples)
+		ph := prog.Phase("load-turtle")
+		n := st.InsertTriplesP(rdf.Term{}, triples, ph)
+		ph.Done()
+		prog.Count("triplesLoaded", int64(n))
 		log.Printf("loaded %d triples from %s", n, path)
 	}
 	for _, path := range quadFiles {
@@ -93,17 +110,31 @@ func main() {
 		if err != nil {
 			log.Fatalf("sparqld: parsing %s: %v", path, err)
 		}
-		n := turtle.LoadQuads(st, quads)
+		ph := prog.Phase("load-quads")
+		n := turtle.LoadQuadsP(st, quads, ph)
+		ph.Done()
+		prog.Count("quadsLoaded", int64(n))
 		log.Printf("loaded %d quads from %s", n, path)
 	}
 	if *demoObs > 0 {
 		cfg := eurostat.DefaultConfig()
 		cfg.TargetObservations = *demoObs
 		cfg.Seed = *seed
+		ph := prog.Phase("generate-demo")
 		d := eurostat.Generate(cfg)
+		before := st.TotalLen()
 		d.LoadInto(st)
+		ph.Grow(int64(st.TotalLen() - before))
+		ph.Add(int64(st.TotalLen() - before))
+		ph.Done()
+		prog.Count("triplesLoaded", int64(st.TotalLen()-before))
 		log.Printf("generated demo cube: %d observations, %d triples total",
 			len(d.Observations), st.TotalLen())
+	}
+	if *report != "" {
+		if err := prog.Report().WriteFile(*report); err != nil {
+			log.Fatalf("sparqld: writing run report: %v", err)
+		}
 	}
 
 	srv := endpoint.NewServer(st, sparql.WithParallelism(*parallel))
@@ -155,7 +186,19 @@ func main() {
 	if dbg != nil {
 		dbg.Shutdown(sctx)
 	}
-	if snap, err := json.Marshal(srv.Metrics().Snapshot()); err == nil {
+	snapshot := srv.Metrics().Snapshot()
+	if snap, err := json.Marshal(snapshot); err == nil {
 		log.Printf("sparqld: final metrics: %s", snap)
+	}
+	// One human-readable latency line per histogram, sorted by name.
+	names := make([]string, 0, len(snapshot))
+	for name := range snapshot {
+		if _, ok := snapshot[name].(obs.HistogramSnapshot); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		log.Printf("sparqld: %s: %s", name, snapshot[name].(obs.HistogramSnapshot).Quantiles())
 	}
 }

@@ -48,7 +48,12 @@ func Build(cfg eurostat.Config) (*Enriched, error) {
 // EnrichDataset runs the scripted demo enrichment against any endpoint
 // already holding the generated cube, and commits the triples.
 func EnrichDataset(client endpoint.SPARQLClient) (*enrich.Session, error) {
-	opts := enrich.DefaultOptions()
+	return EnrichDatasetWithOptions(client, enrich.DefaultOptions())
+}
+
+// EnrichDatasetWithOptions is EnrichDataset with caller-supplied
+// options, e.g. an obs.Progress reporter observing the run.
+func EnrichDatasetWithOptions(client endpoint.SPARQLClient, opts enrich.Options) (*enrich.Session, error) {
 	sess, err := enrich.NewSession(client, eurostat.DSDIRI, opts)
 	if err != nil {
 		return nil, err

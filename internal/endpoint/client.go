@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -21,6 +22,17 @@ type SPARQLClient interface {
 	Select(query string) (*sparql.Results, error)
 	// Update runs a SPARQL update request.
 	Update(update string) error
+}
+
+// Explainer is implemented by clients that can produce an EXPLAIN
+// ANALYZE plan for a query: Local renders an in-process trace, Remote
+// uses the server's ?explain=1 surface, so `qb2olap query -trace`
+// prints the server-side plan either way instead of silently degrading
+// on remote endpoints.
+type Explainer interface {
+	// Explain runs the query with operator tracing and returns the
+	// rendered plan. Note this evaluates the query.
+	Explain(query string) (string, error)
 }
 
 // Local is an in-process client evaluating directly against a store.
@@ -44,6 +56,15 @@ func (l *Local) Select(query string) (*sparql.Results, error) {
 // Update implements SPARQLClient.
 func (l *Local) Update(update string) error {
 	return l.Engine.ExecuteString(update)
+}
+
+// Explain implements Explainer with an in-process traced evaluation.
+func (l *Local) Explain(query string) (string, error) {
+	res, tr, err := l.Engine.QueryTracedString(query)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\n%d result row(s)\n", tr.Render(), len(res.Rows)), nil
 }
 
 // Remote is an HTTP client for a SPARQL protocol endpoint.
@@ -97,6 +118,32 @@ func (r *Remote) Select(query string) (*sparql.Results, error) {
 	return sparql.ResultsFromJSON(body)
 }
 
+// Explain implements Explainer against the server's ?explain=1
+// surface: the query is evaluated remotely with operator tracing and
+// the rendered EXPLAIN ANALYZE tree is returned as plain text.
+func (r *Remote) Explain(query string) (string, error) {
+	form := url.Values{"query": {query}, "explain": {"1"}}
+	req, err := http.NewRequest(http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", "text/plain")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("endpoint: explain request: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("endpoint: explain failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
 // Update implements SPARQLClient over HTTP.
 func (r *Remote) Update(update string) error {
 	form := url.Values{"update": {update}}
@@ -120,9 +167,18 @@ func (r *Remote) Update(update string) error {
 // InsertTriples sends triples to a client as INSERT DATA batches. It is
 // the loading path the Enrichment module uses for generated triples.
 func InsertTriples(c SPARQLClient, graph rdf.Term, triples []rdf.Triple, batch int) error {
+	return InsertTriplesP(c, graph, triples, batch, nil)
+}
+
+// InsertTriplesP is InsertTriples with per-batch progress reporting:
+// the phase's total grows by len(triples) up front and advances one
+// batch at a time, so bulk commits render a live rate and ETA. A nil
+// phase reports nothing.
+func InsertTriplesP(c SPARQLClient, graph rdf.Term, triples []rdf.Triple, batch int, ph *obs.Phase) error {
 	if batch <= 0 {
 		batch = 5000
 	}
+	ph.Grow(int64(len(triples)))
 	for from := 0; from < len(triples); from += batch {
 		to := from + batch
 		if to > len(triples) {
@@ -144,6 +200,7 @@ func InsertTriples(c SPARQLClient, graph rdf.Term, triples []rdf.Triple, batch i
 		if err := c.Update(b.String()); err != nil {
 			return fmt.Errorf("endpoint: inserting batch %d..%d: %w", from, to, err)
 		}
+		ph.Add(int64(to - from))
 	}
 	return nil
 }

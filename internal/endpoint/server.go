@@ -29,6 +29,7 @@ import (
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/turtle"
+	"repro/internal/vocab"
 )
 
 // Server serves the SPARQL protocol over a store. It is safe for
@@ -75,9 +76,15 @@ type Server struct {
 	Tracer *obs.Tracer
 
 	// Debug mounts the diagnostics routes (/debug/vars, /debug/pprof,
-	// /debug/traces) on the protocol handler itself. Leave false when a
-	// separate DebugHandler listener serves them (sparqld -debug-addr).
+	// /debug/traces, /debug/slow) on the protocol handler itself. Leave
+	// false when a separate DebugHandler listener serves them (sparqld
+	// -debug-addr).
 	Debug bool
+
+	// Slow retains the most recent slow queries for /debug/slow,
+	// bounded in entries and query-text bytes. Created by NewServer;
+	// entries are only recorded when SlowQuery is set.
+	Slow *obs.SlowLog
 
 	// Request metrics, all served at /metrics.
 	reg                        *obs.Registry
@@ -101,6 +108,19 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	s.reg.Gauge("store_quads", func() int64 { return int64(st.TotalLen()) })
 	s.reg.Gauge("store_terms", func() int64 { return int64(st.Dict().Len()) })
 	s.reg.Gauge("store_graphs", func() int64 { return int64(len(st.GraphNames())) })
+	// Statistics gauges sample the lazy per-graph statistics cache;
+	// after a write burst the first snapshot repays the recompute, every
+	// later one is a map lookup.
+	s.reg.Gauge("store_distinct_subjects", func() int64 {
+		return int64(st.GraphStat(store.NoID).DistinctSubjects)
+	})
+	s.reg.Gauge("store_distinct_predicates", func() int64 {
+		return int64(st.GraphStat(store.NoID).DistinctPredicates)
+	})
+	s.reg.Gauge("store_distinct_objects", func() int64 {
+		return int64(st.GraphStat(store.NoID).DistinctObjects)
+	})
+	s.Slow = obs.NewSlowLog(64)
 	return s
 }
 
@@ -132,16 +152,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg)
 	if s.Debug {
-		obs.RegisterDebug(mux, nil, s.Tracer) // /metrics already mounted
+		obs.RegisterDebug(mux, nil, s.Tracer, s.Slow) // /metrics already mounted
 	}
 	return s.instrument(mux)
 }
 
 // DebugHandler returns the standalone diagnostics mux (/metrics,
-// /debug/vars, /debug/pprof, /debug/traces) for serving on a separate
-// address, keeping profilers off the protocol listener.
+// /debug/vars, /debug/pprof, /debug/traces, /debug/slow) for serving on
+// a separate address, keeping profilers off the protocol listener.
 func (s *Server) DebugHandler() http.Handler {
-	return obs.DebugMux(s.reg, s.Tracer)
+	return obs.DebugMux(s.reg, s.Tracer, s.Slow)
 }
 
 // obsResponseWriter captures the response status and size for the
@@ -193,6 +213,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		slow := route == "/sparql" && s.SlowQuery > 0 && d >= s.SlowQuery
 		if slow {
 			s.mSlow.Inc()
+			s.Slow.Record(obs.SlowEntry{
+				When: start, Duration: d, Query: ow.query, Status: ow.status,
+			})
 		}
 		if s.Logger == nil {
 			return
@@ -389,11 +412,17 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Store()
+	type levelCount struct {
+		Level   string `json:"level"`
+		Members int    `json:"members"`
+	}
 	type stats struct {
-		DefaultGraph int      `json:"defaultGraph"`
-		Total        int      `json:"total"`
-		NamedGraphs  []string `json:"namedGraphs"`
-		Terms        int      `json:"terms"`
+		DefaultGraph int                `json:"defaultGraph"`
+		Total        int                `json:"total"`
+		NamedGraphs  []string           `json:"namedGraphs"`
+		Terms        int                `json:"terms"`
+		Graphs       []store.GraphStats `json:"graphs,omitempty"`
+		LevelMembers []levelCount       `json:"levelMembers,omitempty"`
 	}
 	out := stats{
 		DefaultGraph: st.Len(rdf.Term{}),
@@ -402,6 +431,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, g := range st.GraphNames() {
 		out.NamedGraphs = append(out.NamedGraphs, g.Value)
+	}
+	out.Graphs = st.Stats().Graphs
+	// Per-level member counts of the enriched cube, derived from the
+	// contiguous (qb4o:memberOf, level) groups of the POS index.
+	for _, oc := range st.ObjectCounts(rdf.Term{}, vocab.QB4OMemberOf) {
+		out.LevelMembers = append(out.LevelMembers, levelCount{Level: oc.Object.Value, Members: oc.Count})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

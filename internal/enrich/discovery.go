@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/vocab"
 )
@@ -17,6 +18,8 @@ import (
 // RejectedNotFunctional) so a user interface can explain why they are
 // not offered.
 func (s *Session) Suggest(level rdf.Term) ([]Candidate, error) {
+	ph := s.prog.Phase("discovery")
+	defer ph.Done()
 	members, err := s.Members(level)
 	if err != nil {
 		return nil, err
@@ -28,12 +31,13 @@ func (s *Session) Suggest(level rdf.Term) ([]Candidate, error) {
 	var out []Candidate
 	graphs := append([]rdf.Term{{}}, s.opts.SearchGraphs...)
 	for _, g := range graphs {
-		cands, err := s.suggestInGraph(level, members, g)
+		cands, err := s.suggestInGraph(level, members, g, ph)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, cands...)
 	}
+	s.prog.Count("candidatesScored", int64(len(out)))
 
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -61,7 +65,7 @@ const discoveryChunkSize = 500
 // per-property statistics merged; the per-property distinct-value count
 // is computed by one whole-set query per scan (values are aggregated
 // globally, so chunked counts cannot simply be added).
-func (s *Session) suggestInGraph(level rdf.Term, members []rdf.Term, graph rdf.Term) ([]Candidate, error) {
+func (s *Session) suggestInGraph(level rdf.Term, members []rdf.Term, graph rdf.Term, ph *obs.Phase) ([]Candidate, error) {
 	type stats struct {
 		withProp   int
 		violations int
@@ -72,11 +76,13 @@ func (s *Session) suggestInGraph(level rdf.Term, members []rdf.Term, graph rdf.T
 	distinctByProp := make(map[rdf.Term]int)
 	distinctValues := make(map[rdf.Term]map[rdf.Term]bool)
 
+	ph.Grow(int64((len(members) + discoveryChunkSize - 1) / discoveryChunkSize))
 	for from := 0; from < len(members); from += discoveryChunkSize {
 		to := from + discoveryChunkSize
 		if to > len(members) {
 			to = len(members)
 		}
+		ph.Add(1)
 		values := memberValues(members[from:to])
 		inner := fmt.Sprintf("VALUES ?m { %s } ?m ?p ?v .", values)
 		if !graph.IsZero() {

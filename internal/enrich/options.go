@@ -17,6 +17,7 @@
 package enrich
 
 import (
+	"repro/internal/obs"
 	"repro/internal/qb4olap"
 	"repro/internal/rdf"
 	"repro/internal/vocab"
@@ -59,6 +60,13 @@ type Options struct {
 	// graphs into the generated instance triples so that queries over
 	// the default graph can navigate them.
 	MaterializeExternal bool
+
+	// Progress, when non-nil, receives phase-structured progress from
+	// the whole enrichment run (redefinition, discovery, generation,
+	// commit) plus run-level counters such as the SPARQL queries
+	// issued. Leave nil to run unobserved; the instrumentation is
+	// nil-safe throughout.
+	Progress *obs.Progress
 }
 
 // DefaultOptions returns the module defaults used by the demo.

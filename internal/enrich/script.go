@@ -1,0 +1,93 @@
+package enrich
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"repro/internal/qb4olap"
+	"repro/internal/rdf"
+)
+
+// ApplyScript runs a line-based enrichment script against a session,
+// the non-interactive counterpart of the paper's GUI-driven workflow.
+// Commands: aggregate <measure> <fn>; level <child> <property>;
+// attribute <level> <property>; all <dimension>. Blank lines and
+// #-comments are skipped; IRIs may be bare or angle-bracketed.
+func ApplyScript(sess *Session, script string) error {
+	sc := bufio.NewScanner(strings.NewReader(script))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(err error) error {
+			return fmt.Errorf("enrich script line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "aggregate":
+			if len(fields) != 3 {
+				return fail(fmt.Errorf("usage: aggregate <measure> <sum|avg|count|min|max>"))
+			}
+			var f qb4olap.AggFunc
+			switch fields[2] {
+			case "sum":
+				f = qb4olap.Sum
+			case "avg":
+				f = qb4olap.Avg
+			case "count":
+				f = qb4olap.Count
+			case "min":
+				f = qb4olap.Min
+			case "max":
+				f = qb4olap.Max
+			default:
+				return fail(fmt.Errorf("unknown aggregate %q", fields[2]))
+			}
+			if err := sess.SetAggregate(scriptIRI(fields[1]), f); err != nil {
+				return fail(err)
+			}
+		case "level", "attribute":
+			if len(fields) != 3 {
+				return fail(fmt.Errorf("usage: %s <level> <property>", fields[0]))
+			}
+			cands, err := sess.Suggest(scriptIRI(fields[1]))
+			if err != nil {
+				return fail(err)
+			}
+			c, ok := FindCandidate(cands, scriptIRI(fields[2]))
+			if !ok {
+				return fail(fmt.Errorf("property %s not suggested for level %s", fields[2], fields[1]))
+			}
+			if fields[0] == "level" {
+				err = sess.AddLevel(c)
+			} else {
+				err = sess.AddAttribute(c)
+			}
+			if err != nil {
+				return fail(err)
+			}
+		case "all":
+			if len(fields) != 2 {
+				return fail(fmt.Errorf("usage: all <dimension>"))
+			}
+			if _, err := sess.AddAllLevel(scriptIRI(fields[1])); err != nil {
+				return fail(err)
+			}
+		default:
+			return fail(fmt.Errorf("unknown command %q", fields[0]))
+		}
+	}
+	return sc.Err()
+}
+
+// scriptIRI reads a script IRI operand, accepting <...> or bare form.
+func scriptIRI(v string) rdf.Term {
+	if len(v) >= 2 && v[0] == '<' && v[len(v)-1] == '>' {
+		v = v[1 : len(v)-1]
+	}
+	return rdf.NewIRI(v)
+}

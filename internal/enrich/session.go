@@ -6,9 +6,11 @@ import (
 	"strings"
 
 	"repro/internal/endpoint"
+	"repro/internal/obs"
 	"repro/internal/qb"
 	"repro/internal/qb4olap"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/vocab"
 )
 
@@ -19,6 +21,7 @@ import (
 type Session struct {
 	client endpoint.SPARQLClient
 	opts   Options
+	prog   *obs.Progress
 
 	source  *qb.DSD
 	dataset rdf.Term
@@ -34,6 +37,25 @@ type Session struct {
 	stepSeq int
 }
 
+// countingClient wraps the session's endpoint client so every query and
+// update issued anywhere in the enrichment run lands in the run
+// report's counters. Progress counters are nil-safe, so the wrapper is
+// installed unconditionally.
+type countingClient struct {
+	inner endpoint.SPARQLClient
+	prog  *obs.Progress
+}
+
+func (c countingClient) Select(query string) (*sparql.Results, error) {
+	c.prog.Count("sparqlQueries", 1)
+	return c.inner.Select(query)
+}
+
+func (c countingClient) Update(update string) error {
+	c.prog.Count("sparqlUpdates", 1)
+	return c.inner.Update(update)
+}
+
 // NewSession performs the Redefinition phase: it loads the QB DSD from
 // the endpoint and produces the QB4OLAP schema skeleton in which every
 // dimension is redefined as a base level with a ManyToOne cardinality
@@ -45,6 +67,10 @@ func NewSession(c endpoint.SPARQLClient, dsdIRI rdf.Term, opts Options) (*Sessio
 	if opts.DefaultAggregate < qb4olap.Sum || opts.DefaultAggregate > qb4olap.Max {
 		opts.DefaultAggregate = qb4olap.Sum
 	}
+	prog := opts.Progress
+	c = countingClient{inner: c, prog: prog}
+	ph := prog.Phase("redefinition")
+	defer ph.Done()
 	src, err := qb.LoadDSD(c, dsdIRI)
 	if err != nil {
 		return nil, fmt.Errorf("enrich: redefinition: %w", err)
@@ -69,7 +95,9 @@ SELECT ?ds WHERE { ?ds qb:structure <%s> } LIMIT 1`, dsdIRI.Value))
 	schema := qb4olap.NewCubeSchema(newDSD, dataset, opts.Namespace)
 	schema.SourceDSD = dsdIRI
 
+	ph.Grow(int64(len(src.Dimensions()) + len(src.Measures())))
 	for _, dimProp := range src.Dimensions() {
+		ph.Add(1)
 		local := localName(dimProp)
 		dim := &qb4olap.Dimension{
 			IRI:       rdf.NewIRI(opts.Namespace + local + "Dim"),
@@ -85,12 +113,14 @@ SELECT ?ds WHERE { ?ds qb:structure <%s> } LIMIT 1`, dsdIRI.Value))
 		schema.Level(dimProp)
 	}
 	for _, m := range src.Measures() {
+		ph.Add(1)
 		schema.Measures = append(schema.Measures, qb4olap.MeasureSpec{Property: m, Agg: opts.DefaultAggregate})
 	}
 
 	return &Session{
 		client:    c,
 		opts:      opts,
+		prog:      prog,
 		source:    src,
 		dataset:   dataset,
 		schema:    schema,
@@ -311,6 +341,7 @@ func (s *Session) AddLevel(cand Candidate) error {
 	hier.Levels = append(hier.Levels, newLevel)
 	hier.Steps = append(hier.Steps, step)
 	s.schema.Level(newLevel)
+	s.prog.Count("levelsAdded", 1)
 	// Invalidate caches that depend on the new structure.
 	delete(s.members, newLevel)
 	return nil
@@ -365,6 +396,7 @@ func (s *Session) AddAttribute(cand Candidate) error {
 		}
 	}
 	lvl.Attributes = append(lvl.Attributes, qb4olap.LevelAttribute{IRI: cand.Property, Property: cand.Property})
+	s.prog.Count("attributesAdded", 1)
 	return nil
 }
 
@@ -410,6 +442,7 @@ func (s *Session) AddAllLevel(dimIRI rdf.Term) (rdf.Term, error) {
 		pairs = append(pairs, [2]rdf.Term{m, allMember})
 	}
 	s.rollups[step.IRI] = pairs
+	s.prog.Count("levelsAdded", 1)
 	return allLevel, nil
 }
 

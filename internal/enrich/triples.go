@@ -15,10 +15,14 @@ import (
 // like the links to an "all" member — are materialized so queries over
 // the default graph can navigate every hierarchy step.
 func (s *Session) GenerateTriples() (schema, instances []rdf.Triple, err error) {
+	ph := s.prog.Phase("generation")
+	defer ph.Done()
 	schema = s.schema.SchemaTriples()
 
 	g := rdf.NewGraph()
+	ph.Grow(int64(len(s.schema.Dimensions)))
 	for _, dim := range s.schema.Dimensions {
+		ph.Add(1)
 		// Base level membership.
 		baseMembers, err := s.Members(dim.BaseLevel)
 		if err != nil {
@@ -56,12 +60,17 @@ func (s *Session) Commit() error {
 	if err != nil {
 		return err
 	}
-	if err := endpoint.InsertTriples(s.client, rdf.Term{}, schema, 0); err != nil {
+	s.prog.Count("schemaTriples", int64(len(schema)))
+	s.prog.Count("instanceTriples", int64(len(instances)))
+	ph := s.prog.Phase("commit")
+	defer ph.Done()
+	if err := endpoint.InsertTriplesP(s.client, rdf.Term{}, schema, 0, ph); err != nil {
 		return fmt.Errorf("enrich: loading schema triples: %w", err)
 	}
-	if err := endpoint.InsertTriples(s.client, rdf.Term{}, instances, 0); err != nil {
+	if err := endpoint.InsertTriplesP(s.client, rdf.Term{}, instances, 0, ph); err != nil {
 		return fmt.Errorf("enrich: loading instance triples: %w", err)
 	}
+	s.prog.Count("triplesLoaded", int64(len(schema)+len(instances)))
 	return nil
 }
 

@@ -13,9 +13,10 @@ import (
 //	/debug/vars         expvar (cmdline, memstats, published registries)
 //	/debug/pprof/...    runtime profiles (net/http/pprof)
 //	/debug/traces       recent query traces, rendered as text
+//	/debug/slow         retained slow queries, rendered as text
 //
-// reg and tracer may be nil, which skips their routes.
-func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
+// reg, tracer, and slow may be nil, which skips their routes.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer, slow *SlowLog) {
 	if reg != nil {
 		mux.Handle("/metrics", reg)
 	}
@@ -28,13 +29,16 @@ func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
 	if tracer != nil {
 		mux.HandleFunc("/debug/traces", TracesHandler(tracer))
 	}
+	if slow != nil {
+		mux.HandleFunc("/debug/slow", SlowHandler(slow))
+	}
 }
 
 // DebugMux returns a standalone diagnostics mux (the -debug-addr
 // listener of sparqld).
-func DebugMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+func DebugMux(reg *Registry, tracer *Tracer, slow *SlowLog) *http.ServeMux {
 	mux := http.NewServeMux()
-	RegisterDebug(mux, reg, tracer)
+	RegisterDebug(mux, reg, tracer, slow)
 	return mux
 }
 

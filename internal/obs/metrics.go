@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"math/bits"
 	"net/http"
 	"sync"
@@ -51,16 +52,24 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // HistogramSnapshot is a point-in-time JSON-friendly view: totals,
-// estimated quantiles (upper bucket bounds, in milliseconds), and the
-// non-empty buckets.
+// estimated quantiles (linearly interpolated within the landing log2
+// bucket, in milliseconds), and the non-empty buckets.
 type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
 	SumMs   float64           `json:"sumMs"`
 	AvgMs   float64           `json:"avgMs"`
 	P50Ms   float64           `json:"p50Ms"`
 	P90Ms   float64           `json:"p90Ms"`
+	P95Ms   float64           `json:"p95Ms"`
 	P99Ms   float64           `json:"p99Ms"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Quantiles renders the headline quantiles as one human-readable line
+// (used by the sparqld shutdown summary).
+func (s HistogramSnapshot) Quantiles() string {
+	return fmt.Sprintf("count=%d avg=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms",
+		s.Count, s.AvgMs, s.P50Ms, s.P95Ms, s.P99Ms)
 }
 
 // HistogramBucket is one non-empty bucket: the count of observations
@@ -94,22 +103,39 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, HistogramBucket{LeMs: bucketUpperMs(i), Count: counts[i]})
 		}
 	}
+	// Each quantile lands in one log2 bucket; interpolating linearly
+	// by rank inside that bucket turns the coarse upper bound into an
+	// approximation whose error is bounded by the bucket width.
 	quantile := func(q float64) float64 {
 		if total == 0 {
 			return 0
 		}
-		target := int64(q * float64(total))
+		target := q * float64(total)
 		cum := int64(0)
 		for i, c := range counts {
-			cum += c
-			if cum > target {
-				return bucketUpperMs(i)
+			if c == 0 {
+				continue
 			}
+			if float64(cum)+float64(c) >= target {
+				lo := 0.0
+				if i > 0 {
+					lo = bucketUpperMs(i - 1)
+				}
+				frac := (target - float64(cum)) / float64(c)
+				if frac < 0 {
+					frac = 0
+				} else if frac > 1 {
+					frac = 1
+				}
+				return lo + frac*(bucketUpperMs(i)-lo)
+			}
+			cum += c
 		}
 		return bucketUpperMs(histBuckets - 1)
 	}
 	s.P50Ms = quantile(0.50)
 	s.P90Ms = quantile(0.90)
+	s.P95Ms = quantile(0.95)
 	s.P99Ms = quantile(0.99)
 	return s
 }

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress is the write-side (ETL) counterpart of the query tracer: a
+// phase-structured progress reporter for enrichment and bulk-load runs.
+// A run is divided into named phases (redefinition, discovery,
+// generation, commit, load, …); each phase accumulates a step count, an
+// optional step total (enabling rate and ETA), named counters, and the
+// wall time of its activation windows. A phase may be re-entered — the
+// demo enrichment script runs "discovery" once per suggested dimension
+// — and keeps accumulating, so the final report is stable no matter how
+// the phases interleave.
+//
+// Events are pushed to OnEvent (throttled to MinInterval) for live
+// rendering; Report() returns the machine-readable run report written
+// at the end of every enrich/load run. All methods are nil-safe on both
+// *Progress and *Phase, mirroring the Span idiom, so instrumented code
+// needs no "is progress enabled?" branches.
+type Progress struct {
+	// OnEvent, when non-nil, receives throttled progress events. Set
+	// it before the reporter is shared.
+	OnEvent func(ProgressEvent)
+
+	// MinInterval throttles non-final events (<= 0 selects 200ms).
+	MinInterval time.Duration
+
+	mu       sync.Mutex
+	run      string
+	started  time.Time
+	phases   []*Phase
+	byName   map[string]*Phase
+	counters map[string]int64
+	lastEmit time.Time
+}
+
+// ProgressEvent is one live progress update.
+type ProgressEvent struct {
+	Run   string
+	Phase string
+	Done  int64
+	Total int64         // 0 when unknown
+	Rate  float64       // steps per second over the phase's active time
+	ETA   time.Duration // 0 when unknowable
+	Final bool          // the phase's activation window just closed
+}
+
+// NewProgress returns a reporter for one named run.
+func NewProgress(run string) *Progress {
+	return &Progress{
+		run:      run,
+		started:  time.Now(),
+		byName:   make(map[string]*Phase),
+		counters: make(map[string]int64),
+	}
+}
+
+// Phase is one named accumulator within a run.
+type Phase struct {
+	p           *Progress
+	name        string
+	done, total int64
+	wall        time.Duration
+	counters    map[string]int64
+	active      bool
+	activeSince time.Time
+}
+
+// Phase returns the named phase, creating it on first use, and opens an
+// activation window (a no-op if the phase is already active). Nil-safe.
+func (p *Progress) Phase(name string) *Phase {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ph, ok := p.byName[name]
+	if !ok {
+		ph = &Phase{p: p, name: name, counters: make(map[string]int64)}
+		p.byName[name] = ph
+		p.phases = append(p.phases, ph)
+	}
+	if !ph.active {
+		ph.active = true
+		ph.activeSince = time.Now()
+	}
+	return ph
+}
+
+// Count adds n to a run-level counter (e.g. the SPARQL queries issued
+// across all phases). Nil-safe.
+func (p *Progress) Count(name string, n int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.counters[name] += n
+	p.mu.Unlock()
+}
+
+// Grow raises the phase's step total by n (totals accumulate across
+// activation windows, so re-entrant phases keep a meaningful ETA).
+// Nil-safe.
+func (ph *Phase) Grow(n int64) {
+	if ph == nil {
+		return
+	}
+	ph.p.mu.Lock()
+	ph.total += n
+	ph.p.mu.Unlock()
+}
+
+// Add records n completed steps and emits a throttled event. Nil-safe.
+func (ph *Phase) Add(n int64) {
+	if ph == nil {
+		return
+	}
+	ph.p.mu.Lock()
+	ph.done += n
+	ph.emitLocked(false)
+	ph.p.mu.Unlock()
+}
+
+// Count adds n to a phase-level counter. Nil-safe.
+func (ph *Phase) Count(name string, n int64) {
+	if ph == nil {
+		return
+	}
+	ph.p.mu.Lock()
+	ph.counters[name] += n
+	ph.p.mu.Unlock()
+}
+
+// Done closes the phase's current activation window, folding its
+// elapsed time into the phase wall total, and emits a final event.
+// Nil-safe.
+func (ph *Phase) Done() {
+	if ph == nil {
+		return
+	}
+	ph.p.mu.Lock()
+	if ph.active {
+		ph.wall += time.Since(ph.activeSince)
+		ph.active = false
+	}
+	ph.emitLocked(true)
+	ph.p.mu.Unlock()
+}
+
+// wallLocked returns the phase's accumulated active time including an
+// open window. Callers hold p.mu.
+func (ph *Phase) wallLocked() time.Duration {
+	w := ph.wall
+	if ph.active {
+		w += time.Since(ph.activeSince)
+	}
+	return w
+}
+
+// emitLocked pushes an event to OnEvent, throttled unless final.
+// Callers hold p.mu.
+func (ph *Phase) emitLocked(final bool) {
+	p := ph.p
+	if p.OnEvent == nil {
+		return
+	}
+	min := p.MinInterval
+	if min <= 0 {
+		min = 200 * time.Millisecond
+	}
+	now := time.Now()
+	if !final && now.Sub(p.lastEmit) < min {
+		return
+	}
+	p.lastEmit = now
+	ev := ProgressEvent{Run: p.run, Phase: ph.name, Done: ph.done, Total: ph.total, Final: final}
+	if w := ph.wallLocked(); w > 0 && ph.done > 0 {
+		ev.Rate = float64(ph.done) / w.Seconds()
+		if ev.Total > ph.done && ev.Rate > 0 {
+			ev.ETA = time.Duration(float64(ev.Total-ph.done) / ev.Rate * float64(time.Second))
+		}
+	}
+	p.OnEvent(ev)
+}
+
+// RunReport is the machine-readable summary of one enrich/load run:
+// per-phase wall time and step counts plus run-level counters (SPARQL
+// queries issued, candidates scored, triples emitted, …).
+type RunReport struct {
+	Run       string           `json:"run"`
+	StartedAt time.Time        `json:"startedAt,omitempty"`
+	WallNs    time.Duration    `json:"wallNs"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	Phases    []PhaseReport    `json:"phases"`
+}
+
+// PhaseReport is one phase's contribution to the run report.
+type PhaseReport struct {
+	Name     string           `json:"name"`
+	WallNs   time.Duration    `json:"wallNs"`
+	Done     int64            `json:"done"`
+	Total    int64            `json:"total,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Report snapshots the run. Open phases contribute their elapsed time
+// without being closed, so Report may be called mid-run. Returns nil on
+// a nil reporter, and every RunReport method is nil-safe, so CLI code
+// can thread an optional reporter straight through.
+func (p *Progress) Report() *RunReport {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := &RunReport{
+		Run:       p.run,
+		StartedAt: p.started,
+		WallNs:    time.Since(p.started),
+		Counters:  copyCounters(p.counters),
+	}
+	for _, ph := range p.phases {
+		r.Phases = append(r.Phases, PhaseReport{
+			Name:     ph.name,
+			WallNs:   ph.wallLocked(),
+			Done:     ph.done,
+			Total:    ph.total,
+			Counters: copyCounters(ph.counters),
+		})
+	}
+	return r
+}
+
+func copyCounters(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Canonical returns a copy with every timing zeroed, leaving only the
+// fields that are deterministic for a fixed input (phase names, step
+// counts, counters). Golden-file tests compare canonical reports.
+func (r *RunReport) Canonical() *RunReport {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.StartedAt = time.Time{}
+	out.WallNs = 0
+	out.Counters = copyCounters(r.Counters)
+	out.Phases = make([]PhaseReport, len(r.Phases))
+	for i, ph := range r.Phases {
+		ph.WallNs = 0
+		ph.Counters = copyCounters(ph.Counters)
+		out.Phases[i] = ph
+	}
+	return &out
+}
+
+// JSON returns the indented JSON encoding of the report (empty on nil).
+func (r *RunReport) JSON() []byte {
+	if r == nil {
+		return nil
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil
+	}
+	return append(b, '\n')
+}
+
+// WriteFile writes the report as JSON to path ("-" means stdout).
+// A nil report writes nothing.
+func (r *RunReport) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(r.JSON())
+		return err
+	}
+	return os.WriteFile(path, r.JSON(), 0o644)
+}
+
+// Summary renders the report as a short human-readable table: one line
+// per phase plus sorted run counters.
+func (r *RunReport) Summary() string {
+	if r == nil {
+		return ""
+	}
+	var b []byte
+	b = fmt.Appendf(b, "run %s: %s total\n", r.Run, r.WallNs.Round(time.Millisecond))
+	for _, ph := range r.Phases {
+		b = fmt.Appendf(b, "  %-14s %8s  %d steps", ph.Name, ph.WallNs.Round(time.Millisecond), ph.Done)
+		if ph.Total > 0 {
+			b = fmt.Appendf(b, "/%d", ph.Total)
+		}
+		for _, k := range sortedKeys(ph.Counters) {
+			b = fmt.Appendf(b, "  %s=%d", k, ph.Counters[k])
+		}
+		b = append(b, '\n')
+	}
+	for _, k := range sortedKeys(r.Counters) {
+		b = fmt.Appendf(b, "  %s=%d\n", k, r.Counters[k])
+	}
+	return string(b)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TermSink returns an OnEvent sink writing one-line progress updates to
+// w (live `qb2olap enrich -progress` output).
+func TermSink(w io.Writer) func(ProgressEvent) {
+	return func(ev ProgressEvent) {
+		line := fmt.Sprintf("%s/%s: %d", ev.Run, ev.Phase, ev.Done)
+		if ev.Total > 0 {
+			line += fmt.Sprintf("/%d (%.0f%%)", ev.Total, 100*float64(ev.Done)/float64(ev.Total))
+		}
+		if ev.Rate > 0 {
+			line += fmt.Sprintf(" %.0f/s", ev.Rate)
+		}
+		if ev.ETA > 0 {
+			line += fmt.Sprintf(" eta %s", ev.ETA.Round(100*time.Millisecond))
+		}
+		if ev.Final {
+			line += " done"
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// LogSink returns an OnEvent sink emitting slog events.
+func LogSink(l *slog.Logger) func(ProgressEvent) {
+	return func(ev ProgressEvent) {
+		l.Info("progress", "run", ev.Run, "phase", ev.Phase,
+			"done", ev.Done, "total", ev.Total,
+			"rate", ev.Rate, "eta", ev.ETA, "final", ev.Final)
+	}
+}
+
+// MultiSink fans one event out to several sinks.
+func MultiSink(sinks ...func(ProgressEvent)) func(ProgressEvent) {
+	return func(ev ProgressEvent) {
+		for _, s := range sinks {
+			if s != nil {
+				s(ev)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow-query record.
+type SlowEntry struct {
+	When     time.Time     `json:"when"`
+	Duration time.Duration `json:"durationNs"`
+	Query    string        `json:"query"`
+	Status   int           `json:"status,omitempty"`
+}
+
+// SlowLog retains the most recent slow queries for the debug surface.
+// Like Tracer it is hard-bounded in two dimensions — entry count and
+// stored query-text bytes — so a long-running server's slow log cannot
+// grow without limit. Safe for concurrent use; nil-safe like the rest
+// of the package.
+type SlowLog struct {
+	// MaxQueryBytes caps the query text retained per entry (<= 0
+	// selects DefaultMaxQueryBytes). Set it before the log is shared.
+	MaxQueryBytes int
+
+	mu      sync.Mutex
+	keep    int
+	entries []SlowEntry // ring, oldest first
+}
+
+// NewSlowLog returns a slow log retaining the last keep entries
+// (keep <= 0 selects 64).
+func NewSlowLog(keep int) *SlowLog {
+	if keep <= 0 {
+		keep = 64
+	}
+	return &SlowLog{keep: keep}
+}
+
+// Record retains one slow query, truncating its text to the byte cap.
+// Nil-safe.
+func (l *SlowLog) Record(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	e.Query = truncateQuery(e.Query, l.MaxQueryBytes)
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.keep {
+		l.entries = l.entries[len(l.entries)-l.keep:]
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns a copy of the retained entries, newest first.
+func (l *SlowLog) Recent() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, len(l.entries))
+	for i, e := range l.entries {
+		out[len(l.entries)-1-i] = e
+	}
+	return out
+}
+
+// SlowHandler serves the slow log (newest first) as plain text.
+func SlowHandler(l *SlowLog) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		recent := l.Recent()
+		if len(recent) == 0 {
+			fmt.Fprintln(w, "no slow queries recorded (is -slowlog enabled?)")
+			return
+		}
+		for _, e := range recent {
+			fmt.Fprintf(w, "%s  %s  status=%d\n%s\n\n",
+				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, e.Query)
+		}
+	}
+}

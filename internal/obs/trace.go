@@ -32,11 +32,13 @@ type Span struct {
 	Wall     time.Duration `json:"wallNs"`
 	In       int           `json:"in"`
 	Out      int           `json:"out"`
+	Est      int64         `json:"est,omitempty"`
 	Workers  int           `json:"workers,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
 
-	start time.Time
-	mu    sync.Mutex
+	start  time.Time
+	estSet bool
+	mu     sync.Mutex
 }
 
 // StartSpan opens a root span.
@@ -68,6 +70,24 @@ func (s *Span) Finish(out, workers int) {
 	s.Workers = workers
 	s.Wall = time.Since(s.start)
 }
+
+// SetEst records the planner's estimated output cardinality. A span
+// with an estimate renders as "est=… act=…" instead of "out=…", putting
+// estimator error next to ground truth in the EXPLAIN ANALYZE tree.
+// Nil-safe.
+func (s *Span) SetEst(n int64) {
+	if s == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	s.Est = n
+	s.estSet = true
+}
+
+// Estimated reports whether SetEst was called on the span.
+func (s *Span) Estimated() bool { return s != nil && s.estSet }
 
 // Visit walks the span tree depth-first, parents before children.
 func (s *Span) Visit(fn func(*Span)) {
@@ -104,7 +124,11 @@ func (s *Span) render(b *strings.Builder, prefix string, withTimes bool) {
 		b.WriteString(" ")
 		b.WriteString(s.Detail)
 	}
-	fmt.Fprintf(b, "  [in=%d out=%d", s.In, s.Out)
+	if s.estSet {
+		fmt.Fprintf(b, "  [in=%d est=%d act=%d", s.In, s.Est, s.Out)
+	} else {
+		fmt.Fprintf(b, "  [in=%d out=%d", s.In, s.Out)
+	}
 	if s.Workers > 1 {
 		fmt.Fprintf(b, " workers=%d", s.Workers)
 	}
@@ -149,14 +173,38 @@ func (t *Trace) Outline() string { return t.Root.Outline() }
 // of the most recent traces and optionally forwards every trace to an
 // OnFinish hook (slow-query logging, per-operator metrics). Safe for
 // concurrent use.
+//
+// Both the entry count and the retained query-text bytes are hard
+// capped, so a long-running server cannot grow without limit no matter
+// how large the queries it receives are.
 type Tracer struct {
 	// OnFinish, when non-nil, is called synchronously with every
 	// collected trace. Set it before the tracer is shared.
 	OnFinish func(*Trace)
 
+	// MaxQueryBytes caps the query text retained per trace; longer
+	// texts are truncated with a marker (<= 0 selects
+	// DefaultMaxQueryBytes). Set it before the tracer is shared.
+	MaxQueryBytes int
+
 	mu     sync.Mutex
 	keep   int
 	recent []*Trace // ring, oldest first
+}
+
+// DefaultMaxQueryBytes is the per-trace query-text retention cap used
+// when Tracer.MaxQueryBytes (or SlowLog.MaxQueryBytes) is unset.
+const DefaultMaxQueryBytes = 16 << 10
+
+// truncateQuery caps q at limit bytes, appending a marker when cut.
+func truncateQuery(q string, limit int) string {
+	if limit <= 0 {
+		limit = DefaultMaxQueryBytes
+	}
+	if len(q) <= limit {
+		return q
+	}
+	return q[:limit] + "… [truncated]"
 }
 
 // NewTracer returns a tracer retaining the last keep traces (keep <= 0
@@ -174,6 +222,7 @@ func (t *Tracer) Collect(tr *Trace) {
 	if t == nil || tr == nil {
 		return
 	}
+	tr.Query = truncateQuery(tr.Query, t.MaxQueryBytes)
 	t.mu.Lock()
 	t.recent = append(t.recent, tr)
 	if len(t.recent) > t.keep {

@@ -125,6 +125,11 @@ type run struct {
 	// it. Nil (the default) disables tracing; every hook then reduces
 	// to a nil check.
 	trace *obs.Span
+
+	// lastEst carries the most recent JOIN estimate out of evalBGP so
+	// the enclosing BGP span can adopt it as its own output estimate.
+	// Only written while tracing.
+	lastEst int64
 }
 
 // Query evaluates a SELECT or ASK query, returning a Results table (ASK
@@ -261,6 +266,7 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 
 	if q.Distinct {
 		sp := r.trace.StartChild("DISTINCT", "", len(res.Rows))
+		sp.SetEst(int64(len(res.Rows)))
 		res.Rows = distinctRows(res.Rows)
 		if sp != nil {
 			sp.Finish(len(res.Rows), 1)
@@ -269,6 +275,7 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 	var ssp *obs.Span
 	if r.trace != nil && (q.Offset > 0 || q.Limit >= 0) {
 		ssp = r.trace.StartChild("SLICE", fmt.Sprintf("offset=%d limit=%d", q.Offset, q.Limit), len(res.Rows))
+		ssp.SetEst(estimateSlice(len(res.Rows), q.Offset, q.Limit))
 	}
 	if q.Offset > 0 {
 		if q.Offset >= len(res.Rows) {
@@ -328,6 +335,7 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	// ORDER BY before projection so order keys may use any variable.
 	if len(q.OrderBy) > 0 {
 		sp := r.trace.StartChild("ORDER", "", len(rows))
+		sp.SetEst(int64(len(rows)))
 		r.sortRows(rows, q.OrderBy)
 		if sp != nil {
 			sp.Finish(len(rows), 1)
@@ -348,6 +356,7 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	}
 	out := &Results{Vars: vars}
 	psp := r.trace.StartChild("PROJECT", "", len(rows))
+	psp.SetEst(int64(len(rows)))
 	for _, row := range rows {
 		orow := make([]rdf.Term, len(vars))
 		if q.Star {
@@ -453,6 +462,7 @@ func (r *run) groupRow(q *Query, g *aggGroup) ([]rdf.Term, bool) {
 func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 	in := len(rows)
 	sp := r.trace.StartChild("AGGREGATE", "", in)
+	sp.SetEst(estimateGroups(in))
 	order, groups := r.accumulateGroupsPar(q.GroupBy, rows)
 	// A grouped query with no GROUP BY clause (implicit grouping, e.g.
 	// SELECT (COUNT(*) AS ?n)) forms a single group even when empty.
@@ -474,6 +484,7 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 
 	if len(q.OrderBy) > 0 {
 		osp := r.trace.StartChild("ORDER", "", len(out.Rows))
+		osp.SetEst(int64(len(out.Rows)))
 		r.sortProjected(out, q.OrderBy)
 		if osp != nil {
 			osp.Finish(len(out.Rows), 1)

@@ -142,6 +142,9 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		rows, err = r.evalBGP(bgp, rows, ctx)
 		r.trace = saved
 		if sp != nil {
+			// The chain's final JOIN estimate is the BGP's own output
+			// estimate (each JOIN re-estimates from actual input).
+			sp.SetEst(r.lastEst)
 			sp.Finish(len(rows), 0)
 		}
 		bgp = nil
@@ -160,12 +163,14 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		case FilterElement:
 			in := len(rows)
 			sp := r.trace.StartChild("FILTER", "", in)
+			sp.SetEst(estimateFilter(in))
 			saved := r.suspendTrace()
 			rows = r.filterRowsPar(e.Expr, rows)
 			r.trace = saved
 			r.finishRows(sp, len(rows), in)
 		case BindElement:
 			sp := r.trace.StartChild("BIND", "?"+e.Var, len(rows))
+			sp.SetEst(int64(len(rows)))
 			saved := r.suspendTrace()
 			idx := r.vt.slot(e.Var)
 			var out []solution
@@ -190,6 +195,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 				var sp *obs.Span
 				if r.trace != nil {
 					sp = r.trace.StartChild("OPTIONAL", patternDetail(tp), in)
+					sp.SetEst(int64(in)) // left rows are preserved
 				}
 				saved := r.suspendTrace()
 				rows = r.optionalSinglePar(tp, rows, ctx)
@@ -198,6 +204,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 				continue
 			}
 			sp := r.trace.StartChild("OPTIONAL", "", in)
+			sp.SetEst(int64(in))
 			saved := r.suspendTrace()
 			out, err := r.optionalPar(e.Pattern, rows, ctx)
 			if err != nil {
@@ -211,6 +218,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			var sp *obs.Span
 			if r.trace != nil {
 				sp = r.trace.StartChild("UNION", fmt.Sprintf("%d branches", len(e.Branches)), in)
+				sp.SetEst(int64(in * len(e.Branches)))
 			}
 			saved := r.suspendTrace()
 			out, err := r.unionPar(e.Branches, rows, ctx)
@@ -231,6 +239,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			// so its operators trace as children of the MINUS span.
 			in := len(rows)
 			sp := r.trace.StartChild("MINUS", "", in)
+			sp.SetEst(int64(in))
 			saved := r.trace
 			r.trace = sp
 			right, err := r.evalGroup(e.Pattern, []solution{make(solution, len(r.vt.names))}, ctx)
@@ -245,6 +254,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			var sp *obs.Span
 			if r.trace != nil {
 				sp = r.trace.StartChild("GRAPH", patternTermDetail(e.Graph), in)
+				sp.SetEst(int64(in))
 			}
 			saved := r.trace
 			r.trace = sp
@@ -288,6 +298,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			}
 		case GroupElement:
 			sp := r.trace.StartChild("GROUP", "", len(rows))
+			sp.SetEst(int64(len(rows)))
 			saved := r.trace
 			r.trace = sp
 			ext, err := r.evalGroup(e.Pattern, rows, ctx)
@@ -301,12 +312,14 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			}
 		case ValuesElement:
 			sp := r.trace.StartChild("VALUES", "", len(rows))
+			sp.SetEst(int64(len(rows) * len(e.Rows)))
 			rows = r.joinValues(rows, e)
 			if sp != nil {
 				sp.Finish(len(rows), 1)
 			}
 		case SubSelectElement:
 			sp := r.trace.StartChild("SUBSELECT", "", len(rows))
+			sp.SetEst(int64(len(rows)))
 			sub, err := r.evalSubSelect(e.Query, sp)
 			if err != nil {
 				return nil, err
@@ -530,6 +543,8 @@ func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) (
 		var sp *obs.Span
 		if r.trace != nil {
 			sp = r.trace.StartChild("JOIN", patternDetail(tp), in)
+			r.lastEst = r.estimateJoin(tp, bound, in, ctx)
+			sp.SetEst(r.lastEst)
 		}
 		var err error
 		rows, err = r.joinPatternPar(tp, rows, ctx, owned)

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Store statistics: per-graph and per-predicate cardinalities backing
+// the /stats endpoint and the query planner's estimated-vs-actual
+// EXPLAIN output (the groundwork for cost-based join ordering).
+//
+// Statistics are recomputed lazily, piggybacking on the same dirty
+// tracking as refresh(): a mutation only clears the cached pointer, so
+// the bulk-load hot path pays one assignment per mutating call, and the
+// first statistics reader after a write burst pays three linear walks
+// over the already-sorted orderings. Computed snapshots are immutable
+// and shared, so concurrent readers never copy.
+
+// PredStat summarizes one predicate within one graph.
+type PredStat struct {
+	Count     int // triples with this predicate
+	DistinctS int // distinct subjects among them
+	DistinctO int // distinct objects among them
+}
+
+// GraphStat summarizes one graph.
+type GraphStat struct {
+	Triples            int
+	DistinctSubjects   int
+	DistinctPredicates int
+	DistinctObjects    int
+}
+
+// gstats is the cached per-graph statistics snapshot. Immutable once
+// computed.
+type gstats struct {
+	graph GraphStat
+	preds map[ID]PredStat
+}
+
+// computeStats derives the snapshot from the sorted orderings. Callers
+// must hold the write lock and have called refresh() first.
+func (g *graphIndex) computeStats() *gstats {
+	st := &gstats{
+		graph: GraphStat{Triples: len(g.set)},
+		preds: make(map[ID]PredStat),
+	}
+	// SPO walk: distinct subjects, and distinct subjects per predicate
+	// via (S, P) group boundaries.
+	for i, t := range g.spo {
+		if i == 0 || t.S != g.spo[i-1].S {
+			st.graph.DistinctSubjects++
+		}
+		if i == 0 || t.S != g.spo[i-1].S || t.P != g.spo[i-1].P {
+			ps := st.preds[t.P]
+			ps.DistinctS++
+			st.preds[t.P] = ps
+		}
+	}
+	// POS walk: per-predicate triple counts and distinct objects, and
+	// distinct predicates via P group boundaries.
+	for i, t := range g.pos {
+		ps := st.preds[t.P]
+		ps.Count++
+		if i == 0 || t.P != g.pos[i-1].P {
+			st.graph.DistinctPredicates++
+		}
+		if i == 0 || t.P != g.pos[i-1].P || t.O != g.pos[i-1].O {
+			ps.DistinctO++
+		}
+		st.preds[t.P] = ps
+	}
+	// OSP walk: distinct objects.
+	for i, t := range g.osp {
+		if i == 0 || t.O != g.osp[i-1].O {
+			st.graph.DistinctObjects++
+		}
+	}
+	return st
+}
+
+// gstatsFor returns the cached statistics for graph g, recomputing
+// under the write lock when a mutation invalidated them (the same
+// upgrade dance as MatchIDs). Returns nil for an unknown graph.
+func (s *Store) gstatsFor(g ID) *gstats {
+	s.mu.RLock()
+	gi := s.graphFor(g, false)
+	if gi == nil {
+		s.mu.RUnlock()
+		return nil
+	}
+	if st := gi.stats; st != nil {
+		s.mu.RUnlock()
+		return st
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gi.refresh()
+	if gi.stats == nil {
+		gi.stats = gi.computeStats()
+	}
+	return gi.stats
+}
+
+// GraphStat returns the cardinality summary of graph g (NoID for the
+// default graph); zeros for an unknown graph.
+func (s *Store) GraphStat(g ID) GraphStat {
+	st := s.gstatsFor(g)
+	if st == nil {
+		return GraphStat{}
+	}
+	return st.graph
+}
+
+// PredicateStat returns the per-predicate cardinalities of p in graph
+// g, reporting whether the predicate occurs there. The query planner
+// calls this per join operand, so it must stay cheap: after the first
+// call following a write burst it is two lock acquisitions and a map
+// lookup.
+func (s *Store) PredicateStat(g ID, p ID) (PredStat, bool) {
+	st := s.gstatsFor(g)
+	if st == nil {
+		return PredStat{}, false
+	}
+	ps, ok := st.preds[p]
+	return ps, ok
+}
+
+// PredicateStats is the term-level view of one predicate's statistics.
+type PredicateStats struct {
+	Predicate        string `json:"predicate"`
+	Count            int    `json:"count"`
+	DistinctSubjects int    `json:"distinctSubjects"`
+	DistinctObjects  int    `json:"distinctObjects"`
+}
+
+// GraphStats is the term-level statistics view of one graph.
+type GraphStats struct {
+	Graph              string           `json:"graph,omitempty"` // empty = default graph
+	Triples            int              `json:"triples"`
+	DistinctSubjects   int              `json:"distinctSubjects"`
+	DistinctPredicates int              `json:"distinctPredicates"`
+	DistinctObjects    int              `json:"distinctObjects"`
+	Predicates         []PredicateStats `json:"predicates,omitempty"`
+}
+
+// Stats is the full store statistics snapshot served on /stats.
+type Stats struct {
+	Triples int          `json:"triples"`
+	Terms   int          `json:"terms"`
+	Graphs  []GraphStats `json:"graphs"`
+}
+
+// Stats returns the term-level statistics for every graph, predicates
+// sorted by descending count (ties by IRI) for stable JSON.
+func (s *Store) Stats() Stats {
+	out := Stats{Terms: s.dict.Len()}
+	gids := append([]ID{NoID}, s.NamedGraphIDs()...)
+	for _, gid := range gids {
+		st := s.gstatsFor(gid)
+		if st == nil || (gid != NoID && st.graph.Triples == 0) {
+			continue
+		}
+		gs := GraphStats{
+			Triples:            st.graph.Triples,
+			DistinctSubjects:   st.graph.DistinctSubjects,
+			DistinctPredicates: st.graph.DistinctPredicates,
+			DistinctObjects:    st.graph.DistinctObjects,
+		}
+		if gid != NoID {
+			gs.Graph = s.dict.Term(gid).Value
+		}
+		for pid, ps := range st.preds {
+			gs.Predicates = append(gs.Predicates, PredicateStats{
+				Predicate:        s.dict.Term(pid).Value,
+				Count:            ps.Count,
+				DistinctSubjects: ps.DistinctS,
+				DistinctObjects:  ps.DistinctO,
+			})
+		}
+		sort.Slice(gs.Predicates, func(i, j int) bool {
+			a, b := gs.Predicates[i], gs.Predicates[j]
+			if a.Count != b.Count {
+				return a.Count > b.Count
+			}
+			return a.Predicate < b.Predicate
+		})
+		out.Triples += gs.Triples
+		out.Graphs = append(out.Graphs, gs)
+	}
+	return out
+}
+
+// ObjectCount pairs an object term with the number of triples pointing
+// at it through some fixed predicate.
+type ObjectCount struct {
+	Object rdf.Term
+	Count  int
+}
+
+// ObjectCounts groups the triples of graph g with predicate pred by
+// object and counts each group, exploiting the contiguous (P, O) runs
+// of the POS ordering. With pred = qb4o:memberOf this yields the
+// per-level member counts of the enriched cube. Results are sorted by
+// object term.
+func (s *Store) ObjectCounts(g rdf.Term, pred rdf.Term) []ObjectCount {
+	var gid ID
+	if !g.IsZero() {
+		var ok bool
+		gid, ok = s.dict.Lookup(g)
+		if !ok {
+			return nil
+		}
+	}
+	pid, ok := s.dict.Lookup(pred)
+	if !ok {
+		return nil
+	}
+	var out []ObjectCount
+	var cur ID
+	// MatchIDs with only P bound scans the POS ordering, so triples
+	// arrive grouped by object.
+	s.MatchIDs(gid, IDTriple{P: pid}, func(t IDTriple) bool {
+		if len(out) == 0 || t.O != cur {
+			out = append(out, ObjectCount{Object: s.dict.Term(t.O)})
+			cur = t.O
+		}
+		out[len(out)-1].Count++
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Compare(out[j].Object) < 0 })
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -20,6 +21,7 @@ type graphIndex struct {
 	pos   []IDTriple // sorted (P, O, S)
 	osp   []IDTriple // sorted (O, S, P)
 	dirty bool
+	stats *gstats // cached statistics snapshot; nil after a mutation
 }
 
 func newGraphIndex() *graphIndex {
@@ -32,6 +34,7 @@ func (g *graphIndex) insert(t IDTriple) bool {
 	}
 	g.set[t] = struct{}{}
 	g.dirty = true
+	g.stats = nil
 	return true
 }
 
@@ -41,6 +44,7 @@ func (g *graphIndex) remove(t IDTriple) bool {
 	}
 	delete(g.set, t)
 	g.dirty = true
+	g.stats = nil
 	return true
 }
 
@@ -161,19 +165,40 @@ func (s *Store) Insert(q rdf.Quad) bool {
 // InsertTriples bulk-adds triples into the graph named by g (zero Term
 // for the default graph) and returns the number actually added.
 func (s *Store) InsertTriples(g rdf.Term, ts []rdf.Triple) int {
+	return s.InsertTriplesP(g, ts, nil)
+}
+
+// insertChunk bounds how many triples a bulk insert adds per lock
+// acquisition, so progress can be reported and readers are not starved
+// during a large load.
+const insertChunk = 4096
+
+// InsertTriplesP is InsertTriples with bulk-load progress reporting:
+// ph (nil-safe) grows by len(ts) and advances per inserted chunk. The
+// write lock is taken per chunk, not for the whole load.
+func (s *Store) InsertTriplesP(g rdf.Term, ts []rdf.Triple, ph *obs.Phase) int {
 	var gid ID
 	if !g.IsZero() {
 		gid = s.dict.Intern(g)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	gi := s.graphFor(gid, true)
+	ph.Grow(int64(len(ts)))
 	added := 0
-	for _, t := range ts {
-		it := IDTriple{s.dict.Intern(t.S), s.dict.Intern(t.P), s.dict.Intern(t.O)}
-		if gi.insert(it) {
-			added++
+	for len(ts) > 0 {
+		chunk := ts
+		if len(chunk) > insertChunk {
+			chunk = chunk[:insertChunk]
 		}
+		ts = ts[len(chunk):]
+		s.mu.Lock()
+		gi := s.graphFor(gid, true)
+		for _, t := range chunk {
+			it := IDTriple{s.dict.Intern(t.S), s.dict.Intern(t.P), s.dict.Intern(t.O)}
+			if gi.insert(it) {
+				added++
+			}
+		}
+		s.mu.Unlock()
+		ph.Add(int64(len(chunk)))
 	}
 	return added
 }
