@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json bench-concurrent fuzz examples experiments obs-smoke clean
+.PHONY: all build test race cover bench bench-json bench-compare bench-concurrent fuzz examples experiments obs-smoke clean
 
 # The default check builds, vets, and runs the whole test suite under
 # the race detector: the engine evaluates queries on a worker pool and
@@ -12,7 +12,7 @@ GO ?= go
 # TestParallelMatchesSequential, ...). Benchmarks are not run here; the
 # 80k-observation fixtures additionally sit behind a -short guard so a
 # `go test -short -bench .` smoke pass stays fast.
-all: build race obs-smoke bench-json
+all: build race obs-smoke bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,21 @@ bench:
 
 # Machine-readable benchmark snapshot: one fast pass (-short,
 # -benchtime 1x) over every benchmark, converted to JSON by
-# cmd/benchjson and committed as BENCH_PR3.json so regressions show up
+# cmd/benchjson and committed as BENCH_PR4.json so regressions show up
 # in review diffs. Use `make bench` for real measurements.
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -short -benchtime 1x . \
-	  | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+
+# Regression gate: diff the previous PR's committed snapshot against
+# this PR's and fail on ns/op regressions. The tool's default threshold
+# is 10%, but the committed snapshots are single-iteration (-benchtime
+# 1x) smoke numbers whose parallel benchmarks swing ±40% run to run, so
+# the gate here uses a noise-tolerant 50%; run `make bench` and
+# benchjson -compare -threshold 0.10 on the output for real regression
+# hunting.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR3.json BENCH_PR4.json
 
 # The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
 # query throughput vs. client count at engine parallelism 1 and
@@ -47,23 +57,35 @@ bench-concurrent:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkParallelGroupBy' -timeout 30m .
 
 # Observability smoke test: boots sparqld on the demo cube with a
-# tracer and a debug listener, then drives /metrics, /debug/vars, and a
-# traced (?explain=1) query over HTTP. curl -f fails the target on any
-# non-200 response; the trap tears the server down either way.
+# tracer, trace export, and a debug listener, then drives /metrics
+# (JSON and Prometheus text), /healthz, /readyz, /debug/vars, a traced
+# (?explain=1) query, and the offline trace analyzer over the exported
+# archive. curl -f fails the target on any non-200 response; the trap
+# tears the server down either way.
 obs-smoke:
 	@set -e; \
 	$(GO) build -o /tmp/sparqld-smoke ./cmd/sparqld; \
-	/tmp/sparqld-smoke -addr 127.0.0.1:18080 -demo 1000 -trace 8 -debug-addr 127.0.0.1:18081 >/tmp/sparqld-smoke.log 2>&1 & \
+	$(GO) build -o /tmp/qb2olap-smoke ./cmd/qb2olap; \
+	rm -f /tmp/sparqld-smoke-traces.jsonl; \
+	/tmp/sparqld-smoke -addr 127.0.0.1:18080 -demo 1000 -trace 8 -sample 1 \
+	  -trace-export /tmp/sparqld-smoke-traces.jsonl \
+	  -debug-addr 127.0.0.1:18081 >/tmp/sparqld-smoke.log 2>&1 & \
 	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
 	  curl -fsS -o /dev/null http://127.0.0.1:18081/metrics 2>/dev/null && break; sleep 0.1; \
 	done; \
 	curl -fsS http://127.0.0.1:18081/metrics >/dev/null; \
+	curl -fsS -H 'Accept: text/plain' http://127.0.0.1:18081/metrics | grep -q '# TYPE'; \
+	curl -fsS http://127.0.0.1:18080/healthz | grep -q 'ok'; \
+	curl -fsS http://127.0.0.1:18080/readyz | grep -q '"ready":true'; \
 	curl -fsS http://127.0.0.1:18081/debug/vars >/dev/null; \
 	curl -fsS --get http://127.0.0.1:18080/sparql \
 	  --data-urlencode 'explain=1' \
 	  --data-urlencode 'query=SELECT ?s WHERE { ?s ?p ?o } LIMIT 5' | grep -q 'BGP'; \
+	curl -fsS --get http://127.0.0.1:18080/sparql \
+	  --data-urlencode 'query=SELECT ?s WHERE { ?s ?p ?o } LIMIT 5' >/dev/null; \
 	curl -fsS http://127.0.0.1:18081/debug/traces | grep -q 'SELECT'; \
+	/tmp/qb2olap-smoke trace -in /tmp/sparqld-smoke-traces.jsonl -top 3 | grep -q 'Per-operator breakdown'; \
 	echo "obs-smoke: ok"
 
 # Short fuzzing pass over all four parsers.

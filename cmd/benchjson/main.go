@@ -7,9 +7,15 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem . | benchjson -o BENCH.json
+//	benchjson -compare [-threshold 0.10] OLD.json NEW.json
 //
 // The GOMAXPROCS suffix (-8) is stripped from names so snapshots
 // diff cleanly across machines; sub-benchmark paths are kept.
+//
+// -compare diffs two snapshots benchmark by benchmark and exits
+// non-zero when any benchmark's ns/op regressed by more than
+// -threshold (a fraction; default 0.10 = 10%). Added and removed
+// benchmarks are reported but never fail the comparison.
 package main
 
 import (
@@ -17,11 +23,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark's measurements. Zero-valued fields were not
@@ -67,9 +75,104 @@ func parse(lines *bufio.Scanner) (map[string]Result, error) {
 	return out, lines.Err()
 }
 
+// loadSnapshot reads a JSON snapshot previously written by this tool.
+func loadSnapshot(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// fmtNs renders a ns/op value as a human duration (µs/ms/s) without
+// losing sub-microsecond precision for fast benchmarks.
+func fmtNs(ns float64) string {
+	if ns < 1000 {
+		return fmt.Sprintf("%.0fns", ns)
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// compareSnapshots diffs old→new and writes a report. It returns the
+// names of benchmarks whose ns/op grew by more than threshold;
+// benchmarks present in only one snapshot are listed but never count
+// as regressions (a new PR legitimately adds and retires benchmarks).
+func compareSnapshots(oldRes, newRes map[string]Result, threshold float64, w io.Writer) []string {
+	names := make([]string, 0, len(oldRes)+len(newRes))
+	seen := make(map[string]bool)
+	for n := range oldRes {
+		names, seen[n] = append(names, n), true
+	}
+	for n := range newRes {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var regressions, added, removed []string
+	fmt.Fprintf(w, "%-64s %12s %12s %9s\n", "BENCHMARK", "OLD", "NEW", "DELTA")
+	for _, n := range names {
+		o, inOld := oldRes[n]
+		nw, inNew := newRes[n]
+		short := strings.TrimPrefix(n, "Benchmark")
+		switch {
+		case !inOld:
+			added = append(added, n)
+			fmt.Fprintf(w, "%-64s %12s %12s %9s\n", short, "-", fmtNs(nw.NsPerOp), "added")
+		case !inNew:
+			removed = append(removed, n)
+			fmt.Fprintf(w, "%-64s %12s %12s %9s\n", short, fmtNs(o.NsPerOp), "-", "removed")
+		case o.NsPerOp <= 0:
+			fmt.Fprintf(w, "%-64s %12s %12s %9s\n", short, fmtNs(o.NsPerOp), fmtNs(nw.NsPerOp), "n/a")
+		default:
+			delta := (nw.NsPerOp - o.NsPerOp) / o.NsPerOp
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressions = append(regressions, n)
+			}
+			fmt.Fprintf(w, "%-64s %12s %12s %+8.1f%%%s\n", short, fmtNs(o.NsPerOp), fmtNs(nw.NsPerOp), delta*100, mark)
+		}
+	}
+	fmt.Fprintf(w, "\n%d compared, %d added, %d removed, %d regression(s) beyond %.0f%%\n",
+		len(names)-len(added)-len(removed), len(added), len(removed), len(regressions), threshold*100)
+	return regressions
+}
+
 func main() {
 	outPath := flag.String("o", "-", "output file (- for stdout)")
+	compare := flag.Bool("compare", false, "compare two snapshot files (OLD.json NEW.json) instead of reading bench output")
+	threshold := flag.Float64("threshold", 0.10, "with -compare: fail on ns/op regressions beyond this fraction")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two snapshot files: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		oldRes, err := loadSnapshot(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		newRes, err := loadSnapshot(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		regressions := compareSnapshots(oldRes, newRes, *threshold, os.Stdout)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%: %s\n",
+				len(regressions), *threshold*100, strings.Join(regressions, ", "))
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bufio"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"os"
 )
 
 func TestParseBenchOutput(t *testing.T) {
@@ -31,5 +34,59 @@ ok  	repro	1.234s
 	p, ok := got["BenchmarkQLParse"]
 	if !ok || p.NsPerOp != 10432 || p.BytesPerOp != 0 {
 		t.Errorf("parse = %+v ok=%v", p, ok)
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	oldRes := map[string]Result{
+		"BenchmarkStable":   {NsPerOp: 1000},
+		"BenchmarkFaster":   {NsPerOp: 2000},
+		"BenchmarkSlower":   {NsPerOp: 1000},
+		"BenchmarkRetired":  {NsPerOp: 500},
+		"BenchmarkBoundary": {NsPerOp: 1000},
+	}
+	newRes := map[string]Result{
+		"BenchmarkStable":   {NsPerOp: 1050}, // +5%: within threshold
+		"BenchmarkFaster":   {NsPerOp: 1000}, // -50%: improvement, never fails
+		"BenchmarkSlower":   {NsPerOp: 1300}, // +30%: regression
+		"BenchmarkBoundary": {NsPerOp: 1100}, // exactly +10%: not beyond threshold
+		"BenchmarkNew":      {NsPerOp: 99},   // added, never fails
+	}
+	var out strings.Builder
+	regs := compareSnapshots(oldRes, newRes, 0.10, &out)
+	if len(regs) != 1 || regs[0] != "BenchmarkSlower" {
+		t.Fatalf("regressions = %v, want [BenchmarkSlower]\n%s", regs, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"REGRESSION", "added", "removed", "4 compared, 1 added, 1 removed, 1 regression(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "REGRESSION") != 1 {
+		t.Errorf("want exactly one REGRESSION mark:\n%s", got)
+	}
+}
+
+func TestCompareSnapshotsRoundTripFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, []byte(`{"BenchmarkX": {"iterations": 1, "nsPerOp": 100}}`), 0o644)
+	os.WriteFile(newPath, []byte(`{"BenchmarkX": {"iterations": 1, "nsPerOp": 400}}`), 0o644)
+	oldRes, err := loadSnapshot(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := loadSnapshot(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := compareSnapshots(oldRes, newRes, 0.10, &strings.Builder{})
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if _, err := loadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
 	}
 }

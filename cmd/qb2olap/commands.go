@@ -427,7 +427,8 @@ func cmdQuery(args []string) error {
 	variant := fs.String("variant", "direct", "direct or alternative")
 	pivot := fs.Bool("pivot", false, "render a two-axis result as a pivot table")
 	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
-	traceRun := fs.Bool("trace", false, "print QL pipeline phase timings and, for in-process sources, the engine's EXPLAIN ANALYZE trace (to stderr)")
+	traceRun := fs.Bool("trace", false, "print QL pipeline phase timings and the end-to-end EXPLAIN ANALYZE trace (stitched over HTTP for remote sources; to stderr)")
+	traceExport := fs.String("trace-export", "", "also append the collected trace as JSONL to this file (implies -trace)")
 	fs.Parse(args)
 	if *listPredefined {
 		for _, pq := range demo.PredefinedQueries {
@@ -470,8 +471,8 @@ func cmdQuery(args []string) error {
 		v = ql.Alternative
 	}
 	var cubeRes *olap.Cube
-	if *traceRun {
-		cubeRes, err = runTraced(tool, qlSource, schema, v)
+	if *traceRun || *traceExport != "" {
+		cubeRes, err = runTraced(tool, qlSource, schema, v, *traceExport)
 	} else {
 		cubeRes, err = tool.Query(qlSource, schema, v)
 	}
@@ -488,11 +489,15 @@ func cmdQuery(args []string) error {
 }
 
 // runTraced is the -trace path of cmdQuery: it runs the pipeline with
-// per-phase timings and, when the source is in-process, evaluates the
-// translated SPARQL through the engine's tracer so the per-operator
-// EXPLAIN ANALYZE tree can be printed. Diagnostics go to stderr; the
-// result cube still renders on stdout.
-func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.Cube, error) {
+// per-phase timings and evaluates the translated SPARQL with tracing
+// forced, printing one end-to-end EXPLAIN ANALYZE tree. In-process
+// sources trace the engine directly; remote sources propagate the
+// trace over HTTP and render the stitched client+server tree (client
+// HTTP span plus the server's per-operator spans, one trace ID).
+// Diagnostics go to stderr; the result cube still renders on stdout.
+// A non-empty exportPath additionally appends the trace as JSONL for
+// later `qb2olap trace` analysis.
+func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v ql.Variant, exportPath string) (*olap.Cube, error) {
 	p, err := tool.Prepare(qlSource, schema)
 	if err != nil {
 		return nil, err
@@ -504,19 +509,30 @@ func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v q
 
 	var cubeRes *olap.Cube
 	start := time.Now()
-	if local, ok := tool.Client().(*endpoint.Local); ok {
-		res, tr, err := local.Engine.QueryTracedString(queryText)
+	if tc, ok := tool.Client().(endpoint.TracedClient); ok {
+		res, tr, err := tc.SelectTraced(queryText)
 		if err != nil {
 			return nil, err
 		}
 		cubeRes = ql.Materialize(p.Translation, res)
 		fmt.Fprintln(os.Stderr, "# EXPLAIN ANALYZE:")
 		fmt.Fprintln(os.Stderr, tr.Render())
+		if exportPath != "" {
+			exp, err := obs.NewExporter(exportPath, obs.DefaultExportMaxBytes, 3)
+			if err != nil {
+				return nil, fmt.Errorf("query: opening trace export: %w", err)
+			}
+			exp.Export(tr)
+			if err := exp.Close(); err != nil {
+				return nil, fmt.Errorf("query: writing trace export: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "# trace appended to %s\n", exportPath)
+		}
 	} else {
-		// Remote (or other non-local) client: ask the endpoint for its
-		// server-side plan via the protocol's explain surface, then run
-		// the query for real. The plan costs one extra evaluation but
-		// -trace is explicitly a diagnostic mode.
+		// A client without forced tracing: fall back to the protocol's
+		// explain surface for the server-side plan, then run the query
+		// for real. The plan costs one extra evaluation but -trace is
+		// explicitly a diagnostic mode.
 		if ex, ok := tool.Client().(endpoint.Explainer); ok {
 			plan, err := ex.Explain(queryText)
 			if err != nil {

@@ -17,6 +17,7 @@
 //	translate   translate a QL program to SPARQL (both variants)
 //	query       run a QL program and print the result cube
 //	sparql      run a raw SPARQL SELECT query
+//	trace       analyze an exported JSONL trace archive offline
 //
 // Data source flags (shared): -endpoint URL for a remote SPARQL
 // endpoint, -data file.ttl for a local Turtle file, or -demo N for the
@@ -54,6 +55,8 @@ func main() {
 		err = cmdQuery(args)
 	case "sparql":
 		err = cmdSPARQL(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -78,8 +81,9 @@ Subcommands:
   explore    <source> [-cube IRI] [-members IRI] [-cluster child:parent] [-find text] [-summary]
   validate   <source> [-cube IRI]
   translate  <source> -query file.ql [-variant direct|alternative|both]
-  query      <source> -query file.ql [-variant direct|alternative] [-pivot]
+  query      <source> -query file.ql [-variant direct|alternative] [-pivot] [-trace] [-trace-export f.jsonl]
   sparql     <source> -query file.rq
+  trace      -in traces.jsonl [-top N]
 
 <source> is one of:
   -endpoint URL   remote SPARQL endpoint (e.g. http://localhost:8080)

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// cmdTrace is the offline trace analyzer: it reads a JSONL trace
+// archive written by `sparqld -trace-export` or `qb2olap query
+// -trace-export` and prints the slowest traces, per-operator latency
+// and cardinality breakdowns, and estimate-vs-actual accuracy.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	in := fs.String("in", "", "exported trace JSONL file (- for stdin); rotated segments can be analyzed separately")
+	top := fs.Int("top", 10, "number of slowest traces to list")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("trace: -in is required")
+	}
+	var r io.Reader
+	if *in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	return analyzeTraces(r, *top, os.Stdout)
+}
+
+// analyzeTraces reads a JSONL trace stream and writes the rendered
+// analysis. Split from cmdTrace so tests can drive it over fixture
+// files without touching os.Stdin/os.Stdout.
+func analyzeTraces(r io.Reader, top int, w io.Writer) error {
+	traces, err := obs.ReadTraces(r)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("trace: no traces in input")
+	}
+	_, err = io.WriteString(w, obs.Analyze(traces).Render(top))
+	return err
+}

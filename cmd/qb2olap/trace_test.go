@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeTracesFixture drives the offline analyzer over a
+// committed JSONL archive and checks the report surfaces the slowest
+// trace, the per-operator breakdown, and the estimate-accuracy table.
+func TestAnalyzeTracesFixture(t *testing.T) {
+	f, err := os.Open("testdata/traces_fixture.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out strings.Builder
+	if err := analyzeTraces(f, 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	// Slowest trace (250ms, ID bbbb...) must head the top-N list; with
+	// top=2 the fastest trace (cccc...) must be cut.
+	for _, want := range []string{
+		"traces: 3",
+		"bbbbbbbbbbbbbbbb0000000000000002",
+		"aaaaaaaaaaaaaaaa0000000000000001",
+		"SELECT ?v WHERE { ?o obsValue ?v }", // query line, PREFIX skipped for the other
+		"BGP",
+		"PROJECT",
+		"HTTP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "cccccccccccccccc0000000000000003") {
+		t.Errorf("top-2 list should cut the fastest trace:\n%s", got)
+	}
+	if idxB, idxA := strings.Index(got, "bbbbbbbbbbbbbbbb"), strings.Index(got, "aaaaaaaaaaaaaaaa"); idxB > idxA {
+		t.Errorf("slowest trace not listed first:\n%s", got)
+	}
+	// The 5000-actual/400-estimate BGP span gives q-error 12.5, which
+	// must show up in the accuracy table's MAX-QERR column.
+	if !strings.Contains(got, "12.5") {
+		t.Errorf("report missing the 12.5 max q-error:\n%s", got)
+	}
+}
+
+func TestAnalyzeTracesEmptyAndMalformed(t *testing.T) {
+	if err := analyzeTraces(strings.NewReader(""), 5, &strings.Builder{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if err := analyzeTraces(strings.NewReader("{not json\n"), 5, &strings.Builder{}); err == nil {
+		t.Error("malformed input should error")
+	}
+}

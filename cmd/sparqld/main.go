@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sparqld [-addr :8080] [-data file.ttl]... [-demo N] [-parallel N]
-//	        [-trace N] [-slowlog DUR] [-debug-addr :8081]
+//	        [-trace N] [-sample RATE] [-trace-export file.jsonl]
+//	        [-slowlog DUR] [-debug-addr :8081]
 //	        [-progress] [-report file.json]
 //
 // -data loads a Turtle file into the default graph (repeatable);
@@ -15,9 +16,15 @@
 // (0, the default, selects GOMAXPROCS; 1 forces sequential
 // evaluation).
 //
-// Observability: -trace N records a per-operator trace of every query
-// and keeps the last N (served at /debug/traces; individual queries
-// can always be traced on demand with /sparql?...&explain=1).
+// Observability: -trace N keeps the last N collected traces at
+// /debug/traces (individual queries can always be traced on demand
+// with /sparql?...&explain=1). With tracing on, -sample RATE (default
+// 0.01) decides which locally-initiated queries are traced; clients
+// that send a W3C traceparent header choose for themselves, and sampled
+// requests get the server's span tree back in the X-Qb2olap-Trace
+// response header. -trace-export FILE additionally appends every
+// collected trace as JSONL (size-bounded, rotating) for offline
+// analysis with `qb2olap trace`.
 // -slowlog DUR logs queries at Warn, with their text, when they take
 // at least DUR (e.g. -slowlog 250ms). -debug-addr serves /metrics,
 // /debug/vars, /debug/pprof, and /debug/traces on a second listener,
@@ -68,6 +75,8 @@ func main() {
 	readOnly := flag.Bool("readonly", false, "reject updates and loads (serve data only)")
 	parallel := flag.Int("parallel", 0, "worker goroutines per query evaluation (0 = GOMAXPROCS, 1 = sequential)")
 	traceN := flag.Int("trace", 0, "trace every query, keeping the last N traces at /debug/traces (0 disables)")
+	sample := flag.Float64("sample", 0.01, "fraction of queries traced when tracing is on (propagated traceparent verdicts always win)")
+	traceExport := flag.String("trace-export", "", "append every collected trace as JSONL to this file (rotated at 64MB)")
 	slowlog := flag.Duration("slowlog", 0, "log queries taking at least this long, with their text (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug diagnostics on this second address")
 	progress := flag.Bool("progress", false, "print live load progress to stderr")
@@ -147,6 +156,18 @@ func main() {
 		// protocol handler so the traces are reachable.
 		srv.Debug = *debugAddr == ""
 	}
+	var exporter *obs.Exporter
+	if *traceExport != "" {
+		var err error
+		exporter, err = obs.NewExporter(*traceExport, obs.DefaultExportMaxBytes, 3)
+		if err != nil {
+			log.Fatalf("sparqld: opening trace export: %v", err)
+		}
+		srv.Exporter = exporter
+	}
+	if srv.Tracer != nil || srv.Exporter != nil {
+		srv.Sampler = obs.NewSampler(*sample)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -185,6 +206,13 @@ func main() {
 	}
 	if dbg != nil {
 		dbg.Shutdown(sctx)
+	}
+	if exporter != nil {
+		log.Printf("sparqld: trace export: %d written, %d dropped (%s)",
+			exporter.Written(), exporter.Dropped(), exporter.Path())
+		if err := exporter.Close(); err != nil {
+			log.Printf("sparqld: closing trace export: %v", err)
+		}
 	}
 	snapshot := srv.Metrics().Snapshot()
 	if snap, err := json.Marshal(snapshot); err == nil {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/rdf"
@@ -33,6 +34,17 @@ type Explainer interface {
 	// Explain runs the query with operator tracing and returns the
 	// rendered plan. Note this evaluates the query.
 	Explain(query string) (string, error)
+}
+
+// TracedClient is implemented by clients that can evaluate one SELECT
+// with full tracing forced, bypassing any sampler: Local traces the
+// in-process engine, Remote propagates the trace over HTTP and returns
+// the stitched client+server tree. `qb2olap query -trace` uses this to
+// render one end-to-end trace for either source kind.
+type TracedClient interface {
+	// SelectTraced runs the query with tracing forced and returns the
+	// trace alongside the results.
+	SelectTraced(query string) (*sparql.Results, *obs.Trace, error)
 }
 
 // Local is an in-process client evaluating directly against a store.
@@ -67,7 +79,23 @@ func (l *Local) Explain(query string) (string, error) {
 	return fmt.Sprintf("%s\n%d result row(s)\n", tr.Render(), len(res.Rows)), nil
 }
 
+// SelectTraced implements TracedClient with an in-process traced
+// evaluation.
+func (l *Local) SelectTraced(query string) (*sparql.Results, *obs.Trace, error) {
+	return l.Engine.QueryTracedString(query)
+}
+
 // Remote is an HTTP client for a SPARQL protocol endpoint.
+//
+// With a Tracer installed, every Select draws a trace ID, asks the
+// Sampler for a verdict (nil samples everything), and — when sampled —
+// sends a W3C traceparent header so a qb2olap-aware server evaluates
+// the query traced and returns its span tree in the X-Qb2olap-Trace
+// response header. The client stitches that tree under its own HTTP
+// span and collects the result: one end-to-end trace per sampled query,
+// exported as JSONL when an Exporter is set. Unsampled queries send an
+// unsampled traceparent, which pins the server to its untraced fast
+// path too.
 type Remote struct {
 	// QueryURL is the query endpoint, e.g. http://host:port/sparql.
 	QueryURL string
@@ -75,6 +103,15 @@ type Remote struct {
 	UpdateURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// Tracer, when set, collects a stitched client+server trace of
+	// every sampled Select. Set it before the client is shared.
+	Tracer *obs.Tracer
+	// Sampler gates which Selects are traced (nil = all, when tracing
+	// is on). Set it before the client is shared.
+	Sampler *obs.Sampler
+	// Exporter, when set, appends every collected trace as JSONL.
+	Exporter *obs.Exporter
 }
 
 // NewRemote returns a client for a server rooted at base (without
@@ -94,28 +131,93 @@ func (r *Remote) client() *http.Client {
 	return http.DefaultClient
 }
 
-// Select implements SPARQLClient over HTTP.
+// tracing reports whether this client records traces at all.
+func (r *Remote) tracing() bool { return r.Tracer != nil || r.Exporter != nil }
+
+// Select implements SPARQLClient over HTTP. When tracing is enabled the
+// query is sampled; see the type comment.
 func (r *Remote) Select(query string) (*sparql.Results, error) {
+	if r.tracing() {
+		id := obs.NewTraceID()
+		if r.Sampler.Sample(id) {
+			res, _, err := r.selectTraced(query, id)
+			return res, err
+		}
+		// Unsampled: tell the server so it skips tracing too.
+		res, _, err := r.doSelect(query, obs.FormatTraceparent(id, obs.NewSpanID(), false))
+		return res, err
+	}
+	res, _, err := r.doSelect(query, "")
+	return res, err
+}
+
+// SelectTraced implements TracedClient: tracing is forced for this one
+// query regardless of the sampler, and the stitched client+server trace
+// is returned (and still collected/exported when sinks are set).
+func (r *Remote) SelectTraced(query string) (*sparql.Results, *obs.Trace, error) {
+	return r.selectTraced(query, obs.NewTraceID())
+}
+
+// selectTraced runs one sampled query: it wraps the HTTP exchange in a
+// client span, propagates id with the sampled flag set, and attaches
+// the span tree the server returns.
+func (r *Remote) selectTraced(query string, id obs.TraceID) (*sparql.Results, *obs.Trace, error) {
+	start := time.Now()
+	root := obs.StartSpan("HTTP", "POST "+urlPath(r.QueryURL), 1)
+	res, wire, err := r.doSelect(query, obs.FormatTraceparent(id, obs.NewSpanID(), true))
+	if srv, derr := obs.DecodeSpanWire(wire); derr == nil {
+		root.Attach(srv) // nil-safe: absent header leaves a client-only span
+	}
+	out := 0
+	if res != nil {
+		out = res.Len()
+	}
+	root.Finish(out, 1)
+	tr := &obs.Trace{ID: id, Start: start, Query: query, Root: root}
+	r.Tracer.Collect(tr)  // nil-safe
+	r.Exporter.Export(tr) // nil-safe
+	return res, tr, err
+}
+
+// urlPath reduces an endpoint URL to its path for span details, so
+// traces are stable across hosts and ports.
+func urlPath(raw string) string {
+	if u, err := url.Parse(raw); err == nil && u.Path != "" {
+		return u.Path
+	}
+	return raw
+}
+
+// doSelect performs the protocol exchange. A non-empty traceparent is
+// propagated on the request; the raw X-Qb2olap-Trace response header
+// (the server's serialized span tree, possibly empty) is returned
+// alongside the results.
+func (r *Remote) doSelect(query, traceparent string) (*sparql.Results, string, error) {
 	form := url.Values{"query": {query}}
 	req, err := http.NewRequest(http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("Accept", "application/sparql-results+json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := r.client().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("endpoint: query request: %w", err)
+		return nil, "", fmt.Errorf("endpoint: query request: %w", err)
 	}
 	defer resp.Body.Close()
+	wire := resp.Header.Get(obs.ServerTraceHeader)
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, wire, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, wire, fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	return sparql.ResultsFromJSON(body)
+	res, err := sparql.ResultsFromJSON(body)
+	return res, wire, err
 }
 
 // Explain implements Explainer against the server's ?explain=1

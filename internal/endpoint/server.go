@@ -68,12 +68,27 @@ type Server struct {
 	// Zero disables the slow-query log.
 	SlowQuery time.Duration
 
-	// Tracer, when set, records a per-operator trace of every /sparql
-	// SELECT/ASK evaluation (served at /debug/traces) and folds the
+	// Tracer, when set, records a per-operator trace of sampled /sparql
+	// SELECT/ASK evaluations (served at /debug/traces) and folds the
 	// spans into the registry's op.* totals. Nil — the default — keeps
 	// query evaluation on the engine's untraced fast path; individual
 	// queries can still be traced on demand with /sparql?explain=1.
 	Tracer *obs.Tracer
+
+	// Sampler decides which queries the Tracer/Exporter record, so
+	// tracing can stay always-on under production load. Nil samples
+	// everything (the pre-sampling behaviour). Requests arriving with a
+	// W3C traceparent header bypass the sampler entirely: the caller's
+	// sampled flag is honored, the propagated trace ID is adopted, and
+	// a sampled request additionally returns the server's serialized
+	// span tree in the X-Qb2olap-Trace response header so the caller
+	// can stitch one end-to-end trace.
+	Sampler *obs.Sampler
+
+	// Exporter, when set, appends every recorded trace as JSONL (the
+	// durable archive `qb2olap trace` analyzes). Export failures are
+	// counted on the exporter but never fail the request.
+	Exporter *obs.Exporter
 
 	// Debug mounts the diagnostics routes (/debug/vars, /debug/pprof,
 	// /debug/traces, /debug/slow) on the protocol handler itself. Leave
@@ -139,7 +154,10 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 //	POST     /update  — update (update=... or raw body)
 //	POST     /load    — load Turtle into a graph (?graph=IRI optional)
 //	GET      /stats   — store statistics
-//	GET      /metrics — metrics registry snapshot (JSON)
+//	GET      /metrics — metrics registry snapshot (JSON by default;
+//	                    Prometheus text for Accept: text/plain)
+//	GET      /healthz — liveness probe (200 once serving)
+//	GET      /readyz  — readiness probe (store snapshot + statistics)
 //
 // plus, when Debug is set, the /debug/ diagnostics of DebugHandler.
 // Every route is wrapped in the instrumentation middleware (metrics,
@@ -150,6 +168,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/metrics", s.reg)
 	if s.Debug {
 		obs.RegisterDebug(mux, nil, s.Tracer, s.Slow) // /metrics already mounted
@@ -169,9 +189,10 @@ func (s *Server) DebugHandler() http.Handler {
 // the slow-query log.
 type obsResponseWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int
-	query  string
+	status  int
+	bytes   int
+	query   string
+	traceID obs.TraceID
 }
 
 func (w *obsResponseWriter) WriteHeader(code int) {
@@ -215,18 +236,21 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			s.mSlow.Inc()
 			s.Slow.Record(obs.SlowEntry{
 				When: start, Duration: d, Query: ow.query, Status: ow.status,
+				TraceID: ow.traceID,
 			})
 		}
 		if s.Logger == nil {
 			return
 		}
+		// The trace ID joins access-log lines against /debug/slow and the
+		// exported trace archive.
 		s.Logger.Info("request",
 			"method", r.Method, "path", route, "status", ow.status,
-			"bytes", ow.bytes, "dur", d)
+			"bytes", ow.bytes, "dur", d, "trace", string(ow.traceID))
 		if slow {
 			s.Logger.Warn("slow query",
 				"dur", d, "threshold", s.SlowQuery, "status", ow.status,
-				"query", ow.query)
+				"trace", string(ow.traceID), "query", ow.query)
 		}
 	})
 }
@@ -290,19 +314,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// explain=1 (any non-empty value) runs the query with operator
-	// tracing and returns the EXPLAIN ANALYZE tree instead of the
-	// results; a server-level Tracer records a trace of every query.
+	// Tracing decision. ?explain=1 (any non-empty value) always traces
+	// and returns the EXPLAIN ANALYZE tree instead of the results. A
+	// request carrying a W3C traceparent header adopts the caller's
+	// trace ID and sampling verdict — honored in both directions, so a
+	// 1%-sampling client costs the server nothing on the other 99% —
+	// and a sampled request gets the server's span tree back in the
+	// X-Qb2olap-Trace response header for stitching. Otherwise a server
+	// with trace sinks applies its own Sampler (nil samples all).
 	explain := r.FormValue("explain") != ""
+	tp, hasTP := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	var id obs.TraceID
+	traced := explain
+	switch {
+	case hasTP:
+		id = tp.TraceID
+		traced = traced || tp.Sampled
+	case s.Tracer != nil || s.Exporter != nil:
+		id = obs.NewTraceID()
+		traced = traced || s.Sampler.Sample(id)
+	}
+	if traced && id == "" {
+		id = obs.NewTraceID()
+	}
+	if ow, ok := w.(*obsResponseWriter); ok {
+		ow.traceID = id
+	}
 
 	var res *sparql.Results
-	if explain || s.Tracer != nil {
+	if traced {
 		var tr *obs.Trace
 		res, tr, err = s.engine.QueryTraced(q)
 		if tr != nil {
-			tr.Query = queryText
+			tr.ID, tr.Query = id, queryText
+			if hasTP && tp.Sampled {
+				if wire, ok := obs.EncodeSpanWire(tr.Root); ok {
+					w.Header().Set(obs.ServerTraceHeader, wire)
+				}
+			}
 			s.Tracer.Collect(tr) // nil-safe
 			s.reg.ObserveTrace(tr)
+			s.Exporter.Export(tr) // nil-safe; failures count on the exporter
 		}
 		if err == nil && explain {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -408,6 +460,45 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.updateMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"loaded":%d}`, added)
+}
+
+// handleHealthz is the liveness probe: the process is up and the
+// handler chain is serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: it exercises the read path a
+// query depends on — a store snapshot and the statistics cache — and
+// reports 503 if either fails, so load balancers stop routing before
+// queries start erroring.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready := struct {
+		Ready  bool   `json:"ready"`
+		Quads  int    `json:"quads"`
+		Graphs int    `json:"graphs"`
+		Error  string `json:"error,omitempty"`
+	}{Ready: true}
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("readiness probe panicked: %v", p)
+			}
+		}()
+		st := s.engine.Store()
+		ready.Quads = st.TotalLen()
+		stats := st.Stats()
+		ready.Graphs = len(stats.Graphs)
+		return nil
+	}()
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		ready.Ready = false
+		ready.Error = err.Error()
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(ready)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Offline trace analysis over exported JSONL (the Exporter's format):
+// ReadTraces decodes an archive, Analyze folds it into top-N slowest
+// traces, per-operator latency/cardinality breakdowns, and
+// estimate-vs-actual accuracy, and Render prints the report the
+// `qb2olap trace` subcommand shows.
+
+// ReadTraces decodes JSONL traces from r, skipping blank lines. A
+// malformed line aborts with its line number, so a truncated tail
+// (e.g. a crash mid-append) is reported rather than silently dropped.
+func ReadTraces(r io.Reader) ([]*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var out []*Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var tr Trace
+		if err := json.Unmarshal([]byte(text), &tr); err != nil {
+			return out, fmt.Errorf("obs: trace archive line %d: %w", line, err)
+		}
+		if tr.Root == nil {
+			return out, fmt.Errorf("obs: trace archive line %d: missing root span", line)
+		}
+		out = append(out, &tr)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading trace archive: %w", err)
+	}
+	return out, nil
+}
+
+// OpBreakdown aggregates every span of one operator kind across an
+// archive.
+type OpBreakdown struct {
+	Op      string        `json:"op"`
+	Count   int           `json:"count"`
+	Wall    time.Duration `json:"wallNs"`
+	MaxWall time.Duration `json:"maxWallNs"`
+	In      int64         `json:"in"`
+	Out     int64         `json:"out"`
+
+	// Estimate accuracy over the spans that carried a planner estimate:
+	// q-error is max(est,act)/min(est,act) with zero cardinalities
+	// floored to 1 (so est=0/act=0 is a perfect 1.0).
+	Estimated int     `json:"estimated,omitempty"`
+	Within2x  int     `json:"within2x,omitempty"`
+	MaxQErr   float64 `json:"maxQErr,omitempty"`
+	GeoQErr   float64 `json:"geoQErr,omitempty"`
+
+	sumLogQ float64
+}
+
+// Analysis is the digest of one trace archive.
+type Analysis struct {
+	Traces  int
+	Spans   int
+	Wall    time.Duration // sum of root wall times
+	Slowest []*Trace      // all traces, slowest first
+	Ops     []OpBreakdown // by cumulative wall time, descending
+}
+
+// qerr is the q-error of one estimated span.
+func qerr(est, act int64) float64 {
+	e, a := float64(est), float64(act)
+	if e < 1 {
+		e = 1
+	}
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// Analyze folds an archive into its digest.
+func Analyze(traces []*Trace) *Analysis {
+	a := &Analysis{Traces: len(traces)}
+	ops := make(map[string]*OpBreakdown)
+	for _, tr := range traces {
+		a.Slowest = append(a.Slowest, tr)
+		a.Wall += tr.Root.Wall
+		tr.Root.Visit(func(s *Span) {
+			a.Spans++
+			b := ops[s.Op]
+			if b == nil {
+				b = &OpBreakdown{Op: s.Op}
+				ops[s.Op] = b
+			}
+			b.Count++
+			b.Wall += s.Wall
+			if s.Wall > b.MaxWall {
+				b.MaxWall = s.Wall
+			}
+			b.In += int64(s.In)
+			b.Out += int64(s.Out)
+			if s.EstSet {
+				b.Estimated++
+				q := qerr(s.Est, int64(s.Out))
+				b.sumLogQ += math.Log(q)
+				if q > b.MaxQErr {
+					b.MaxQErr = q
+				}
+				if q <= 2 {
+					b.Within2x++
+				}
+			}
+		})
+	}
+	sort.SliceStable(a.Slowest, func(i, j int) bool {
+		return a.Slowest[i].Root.Wall > a.Slowest[j].Root.Wall
+	})
+	for _, b := range ops {
+		if b.Estimated > 0 {
+			b.GeoQErr = math.Exp(b.sumLogQ / float64(b.Estimated))
+		}
+		a.Ops = append(a.Ops, *b)
+	}
+	sort.Slice(a.Ops, func(i, j int) bool {
+		if a.Ops[i].Wall != a.Ops[j].Wall {
+			return a.Ops[i].Wall > a.Ops[j].Wall
+		}
+		return a.Ops[i].Op < a.Ops[j].Op
+	})
+	return a
+}
+
+// queryLine compresses a query text to its first non-empty,
+// non-PREFIX line, capped for tabular display.
+func queryLine(q string) string {
+	for _, line := range strings.Split(q, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(strings.ToUpper(line), "PREFIX") {
+			continue
+		}
+		if len(line) > 60 {
+			line = line[:57] + "..."
+		}
+		return line
+	}
+	return ""
+}
+
+// Render prints the analysis: headline totals, the topN slowest traces,
+// the per-operator breakdown, and estimate accuracy.
+func (a *Analysis) Render(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traces: %d   spans: %d   total wall: %s\n",
+		a.Traces, a.Spans, a.Wall.Round(time.Microsecond))
+	if a.Traces == 0 {
+		return b.String()
+	}
+	if topN <= 0 || topN > len(a.Slowest) {
+		topN = len(a.Slowest)
+	}
+
+	fmt.Fprintf(&b, "\nTop %d slowest traces:\n", topN)
+	fmt.Fprintf(&b, "  %-4s %-12s %-32s %-9s %s\n", "#", "WALL", "TRACE ID", "ROOT", "QUERY")
+	for i, tr := range a.Slowest[:topN] {
+		id := string(tr.ID)
+		if id == "" {
+			id = "-"
+		}
+		fmt.Fprintf(&b, "  %-4d %-12s %-32s %-9s %s\n",
+			i+1, tr.Root.Wall.Round(time.Microsecond), id, tr.Root.Op, queryLine(tr.Query))
+	}
+
+	fmt.Fprintf(&b, "\nPer-operator breakdown:\n")
+	fmt.Fprintf(&b, "  %-12s %7s %12s %12s %12s %12s %12s\n",
+		"OP", "COUNT", "TOTAL", "AVG", "MAX", "ROWS IN", "ROWS OUT")
+	for _, op := range a.Ops {
+		avg := time.Duration(0)
+		if op.Count > 0 {
+			avg = op.Wall / time.Duration(op.Count)
+		}
+		fmt.Fprintf(&b, "  %-12s %7d %12s %12s %12s %12d %12d\n",
+			op.Op, op.Count,
+			op.Wall.Round(time.Microsecond), avg.Round(time.Microsecond),
+			op.MaxWall.Round(time.Microsecond), op.In, op.Out)
+	}
+
+	estimated := false
+	for _, op := range a.Ops {
+		if op.Estimated > 0 {
+			estimated = true
+			break
+		}
+	}
+	if estimated {
+		fmt.Fprintf(&b, "\nEstimate accuracy (spans carrying planner estimates):\n")
+		fmt.Fprintf(&b, "  %-12s %7s %10s %10s %10s\n", "OP", "SPANS", "GEO-QERR", "MAX-QERR", "WITHIN-2x")
+		for _, op := range a.Ops {
+			if op.Estimated == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-12s %7d %10.2f %10.2f %9.0f%%\n",
+				op.Op, op.Estimated, op.GeoQErr, op.MaxQErr,
+				100*float64(op.Within2x)/float64(op.Estimated))
+		}
+	}
+	return b.String()
+}

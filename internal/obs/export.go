@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Exporter appends finished traces to a JSONL file — one
+// json.Marshal(*Trace) per line — so traces survive process restarts
+// and can be analyzed offline (`qb2olap trace`). The file is
+// size-bounded: when an append would push it past MaxBytes the current
+// file rotates to path.1 (shifting path.1 → path.2 … up to Keep
+// generations, dropping the oldest), so a long-running server's trace
+// archive occupies at most (Keep+1)·MaxBytes on disk.
+//
+// Safe for concurrent use; nil-safe like the rest of the package, so
+// callers export unconditionally through an optional exporter.
+type Exporter struct {
+	mu      sync.Mutex
+	path    string
+	max     int64
+	keep    int
+	f       *os.File
+	size    int64
+	written int64
+	dropped int64
+}
+
+// DefaultExportMaxBytes is the per-file rotation threshold used when
+// NewExporter is given maxBytes <= 0.
+const DefaultExportMaxBytes = 64 << 20
+
+// NewExporter opens (appending) or creates the JSONL file at path.
+// maxBytes <= 0 selects DefaultExportMaxBytes; keep is the number of
+// rotated generations retained beside the live file (negative selects
+// 2).
+func NewExporter(path string, maxBytes int64, keep int) (*Exporter, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultExportMaxBytes
+	}
+	if keep < 0 {
+		keep = 2
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening trace export: %w", err)
+	}
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	return &Exporter{path: path, max: maxBytes, keep: keep, f: f, size: size}, nil
+}
+
+// Export appends one trace. Nil-safe on both the exporter and the
+// trace. Failed writes are counted (Dropped) and returned, but leave
+// the exporter usable — an export problem must never take down the
+// serving path.
+func (e *Exporter) Export(tr *Trace) error {
+	if e == nil || tr == nil {
+		return nil
+	}
+	line, err := json.Marshal(tr)
+	if err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	line = append(line, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		e.dropped++
+		return fmt.Errorf("obs: trace exporter is closed")
+	}
+	if e.size > 0 && e.size+int64(len(line)) > e.max {
+		if err := e.rotate(); err != nil {
+			e.dropped++
+			return err
+		}
+	}
+	n, err := e.f.Write(line)
+	e.size += int64(n)
+	if err != nil {
+		e.dropped++
+		return fmt.Errorf("obs: writing trace export: %w", err)
+	}
+	e.written++
+	return nil
+}
+
+// rotate shifts path → path.1 → … → path.keep (dropping the oldest) and
+// reopens a fresh live file. Caller holds e.mu.
+func (e *Exporter) rotate() error {
+	e.f.Close()
+	e.f = nil
+	if e.keep == 0 {
+		// No generations retained: truncate in place.
+		f, err := os.OpenFile(e.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("obs: rotating trace export: %w", err)
+		}
+		e.f, e.size = f, 0
+		return nil
+	}
+	os.Remove(fmt.Sprintf("%s.%d", e.path, e.keep))
+	for i := e.keep - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", e.path, i), fmt.Sprintf("%s.%d", e.path, i+1))
+	}
+	os.Rename(e.path, e.path+".1")
+	f, err := os.OpenFile(e.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: rotating trace export: %w", err)
+	}
+	e.f, e.size = f, 0
+	return nil
+}
+
+// Written reports traces successfully appended over the exporter's
+// lifetime; Dropped reports traces lost to write errors.
+func (e *Exporter) Written() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.written
+}
+
+// Dropped reports traces lost to write errors.
+func (e *Exporter) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// Path returns the live file's path.
+func (e *Exporter) Path() string {
+	if e == nil {
+		return ""
+	}
+	return e.path
+}
+
+// Close flushes and closes the live file. Nil-safe; Export after Close
+// reports an error.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Close()
+	e.f = nil
+	return err
+}

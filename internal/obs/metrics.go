@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/bits"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -236,8 +237,19 @@ func (r *Registry) ObserveTrace(tr *Trace) {
 	})
 }
 
-// ServeHTTP writes the snapshot as JSON (the /metrics handler).
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// ServeHTTP is the /metrics handler. The default response is the JSON
+// snapshot; a request whose Accept header names text/plain (and not
+// JSON first) — a Prometheus scraper — gets the text exposition format
+// of WritePrometheus instead.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req != nil {
+		accept := req.Header.Get("Accept")
+		if strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			r.WritePrometheus(w)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry. /metrics keeps serving the JSON snapshot by default;
+// a scraper sending Accept: text/plain (as Prometheus does) gets this
+// format instead. Metric names are sanitized to the Prometheus charset
+// (dots and other separators become underscores); histograms render as
+// summaries — interpolated quantiles in seconds plus _sum and _count —
+// matching how the JSON snapshot reports them.
+
+// promName sanitizes a registry name to [a-zA-Z0-9_:], the Prometheus
+// metric-name charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry's current state in the
+// Prometheus text exposition format, metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[k].Value())
+	}
+
+	names = names[:0]
+	for k := range gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[k]())
+	}
+
+	names = names[:0]
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		s := hists[k].Snapshot()
+		n := promName(k) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		for _, q := range []struct {
+			q  string
+			ms float64
+		}{{"0.5", s.P50Ms}, {"0.9", s.P90Ms}, {"0.95", s.P95Ms}, {"0.99", s.P99Ms}} {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, q.q, q.ms/1000)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", n, s.SumMs/1000)
+		fmt.Fprintf(w, "%s_count %d\n", n, s.Count)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end query trace: 16 random bytes in
+// lower-case hex (32 characters), the format of the trace-id field of a
+// W3C traceparent header. The same ID names the trace in every process
+// that contributes spans to it, in exported JSONL, in the slow-query
+// log, and in the access log, so records from all of those surfaces can
+// be joined.
+type TraceID string
+
+// NewTraceID returns a fresh random trace ID.
+func NewTraceID() TraceID {
+	return TraceID(fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64()))
+}
+
+// NewSpanID returns a fresh random 8-byte span ID in hex (the parent-id
+// field of a traceparent header).
+func NewSpanID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// Sampler decides which traces are recorded, so tracing can stay
+// enabled in production: unsampled queries skip span allocation
+// entirely and cost one hash of the trace ID.
+//
+// The decision is a deterministic function of the trace ID (sample iff
+// hash(id) falls below rate·2^64), so every process seeing the same
+// trace ID independently reaches the same verdict — though in the
+// cross-process protocol the caller's verdict additionally travels in
+// the traceparent sampled flag and wins. An optional traces-per-second
+// cap bounds the absolute trace volume under load regardless of rate.
+//
+// A nil *Sampler samples everything, which preserves the pre-sampling
+// behaviour of a Tracer-equipped engine or endpoint. Safe for
+// concurrent use after construction.
+type Sampler struct {
+	rate      float64
+	threshold uint64 // sample iff fnv64a(id) < threshold
+
+	// maxPerSec caps sampled traces per wall-clock second (0 = no cap).
+	maxPerSec int
+
+	mu     sync.Mutex
+	window int64 // unix second of the current counting window
+	taken  int   // traces sampled in the current window
+
+	// now stubs time for rate-cap tests.
+	now func() time.Time
+}
+
+// NewSampler returns a sampler recording the given fraction of traces
+// (clamped to [0, 1]). Rate 1 samples everything, rate 0 nothing.
+func NewSampler(rate float64) *Sampler {
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	s := &Sampler{rate: rate, now: time.Now}
+	if rate >= 1 {
+		s.threshold = math.MaxUint64
+	} else {
+		s.threshold = uint64(rate * float64(1<<63) * 2)
+	}
+	return s
+}
+
+// Rate reports the configured sampling fraction (1 for a nil sampler).
+func (s *Sampler) Rate() float64 {
+	if s == nil {
+		return 1
+	}
+	return s.rate
+}
+
+// SetMaxPerSec caps the number of sampled traces per second (0 removes
+// the cap). Set it before the sampler is shared.
+func (s *Sampler) SetMaxPerSec(n int) { s.maxPerSec = n }
+
+// fnv64a is FNV-1a over the trace ID bytes: cheap, allocation-free, and
+// uniform enough over random IDs for threshold sampling.
+func fnv64a(id TraceID) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Sample reports whether the trace identified by id should be recorded.
+// Nil-safe: a nil sampler samples everything.
+func (s *Sampler) Sample(id TraceID) bool {
+	if s == nil {
+		return true
+	}
+	if s.rate >= 1 {
+		return s.allowNow()
+	}
+	if s.rate <= 0 || fnv64a(id) >= s.threshold {
+		return false
+	}
+	return s.allowNow()
+}
+
+// allowNow applies the traces-per-second cap.
+func (s *Sampler) allowNow() bool {
+	if s.maxPerSec <= 0 {
+		return true
+	}
+	sec := s.now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sec != s.window {
+		s.window, s.taken = sec, 0
+	}
+	if s.taken >= s.maxPerSec {
+		return false
+	}
+	s.taken++
+	return true
+}

@@ -7,12 +7,15 @@ import (
 	"time"
 )
 
-// SlowEntry is one retained slow-query record.
+// SlowEntry is one retained slow-query record. TraceID, when the
+// server assigned one, joins the entry against the access log and the
+// exported trace archive (`qb2olap trace`).
 type SlowEntry struct {
 	When     time.Time     `json:"when"`
 	Duration time.Duration `json:"durationNs"`
 	Query    string        `json:"query"`
 	Status   int           `json:"status,omitempty"`
+	TraceID  TraceID       `json:"traceId,omitempty"`
 }
 
 // SlowLog retains the most recent slow queries for the debug surface.
@@ -78,8 +81,12 @@ func SlowHandler(l *SlowLog) http.HandlerFunc {
 			return
 		}
 		for _, e := range recent {
-			fmt.Fprintf(w, "%s  %s  status=%d\n%s\n\n",
-				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, e.Query)
+			id := string(e.TraceID)
+			if id == "" {
+				id = "-"
+			}
+			fmt.Fprintf(w, "%s  %s  status=%d  trace=%s\n%s\n\n",
+				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, id, e.Query)
 		}
 	}
 }

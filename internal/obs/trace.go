@@ -33,12 +33,12 @@ type Span struct {
 	In       int           `json:"in"`
 	Out      int           `json:"out"`
 	Est      int64         `json:"est,omitempty"`
+	EstSet   bool          `json:"estSet,omitempty"`
 	Workers  int           `json:"workers,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
 
-	start  time.Time
-	estSet bool
-	mu     sync.Mutex
+	start time.Time
+	mu    sync.Mutex
 }
 
 // StartSpan opens a root span.
@@ -83,11 +83,22 @@ func (s *Span) SetEst(n int64) {
 		n = 0
 	}
 	s.Est = n
-	s.estSet = true
+	s.EstSet = true
 }
 
 // Estimated reports whether SetEst was called on the span.
-func (s *Span) Estimated() bool { return s != nil && s.estSet }
+func (s *Span) Estimated() bool { return s != nil && s.EstSet }
+
+// Attach appends a pre-built span (e.g. a server-side span tree decoded
+// from a response header) as a child of s. Nil-safe on both ends.
+func (s *Span) Attach(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+}
 
 // Visit walks the span tree depth-first, parents before children.
 func (s *Span) Visit(fn func(*Span)) {
@@ -124,7 +135,7 @@ func (s *Span) render(b *strings.Builder, prefix string, withTimes bool) {
 		b.WriteString(" ")
 		b.WriteString(s.Detail)
 	}
-	if s.estSet {
+	if s.EstSet {
 		fmt.Fprintf(b, "  [in=%d est=%d act=%d", s.In, s.Est, s.Out)
 	} else {
 		fmt.Fprintf(b, "  [in=%d out=%d", s.In, s.Out)
@@ -147,17 +158,25 @@ func (s *Span) render(b *strings.Builder, prefix string, withTimes bool) {
 	}
 }
 
-// Trace is one finished query trace: the query text (when the caller
-// knows it) and the root operator span.
+// Trace is one finished query trace: its identity (the trace ID shared
+// by every process that contributed spans), when it started, the query
+// text (when the caller knows it), and the root operator span.
 type Trace struct {
-	Query string `json:"query,omitempty"`
-	Root  *Span  `json:"root"`
+	ID    TraceID   `json:"id,omitempty"`
+	Start time.Time `json:"start"`
+	Query string    `json:"query,omitempty"`
+	Root  *Span     `json:"root"`
 }
 
-// Render returns the query text (if any) followed by the operator tree
-// with wall times.
+// Render returns the trace identity, the query text (if any), and the
+// operator tree with wall times.
 func (t *Trace) Render() string {
 	var b strings.Builder
+	if t.ID != "" {
+		b.WriteString("# trace ")
+		b.WriteString(string(t.ID))
+		b.WriteString("\n")
+	}
 	if t.Query != "" {
 		b.WriteString(strings.TrimSpace(t.Query))
 		b.WriteString("\n\n")

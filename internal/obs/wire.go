@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Cross-process trace propagation wire format.
+//
+// Requests carry a W3C Trace Context "traceparent" header
+// (https://www.w3.org/TR/trace-context/):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// with flag bit 0 = sampled. The server honors the caller's sampling
+// verdict: a sampled request is evaluated with operator tracing and the
+// finished server span tree travels back base64(JSON)-encoded in the
+// X-Qb2olap-Trace response header, which the client attaches under its
+// own HTTP client span — one stitched end-to-end trace under one trace
+// ID. An unsampled traceparent pins the query to the untraced fast
+// path, so a 1%-sampling client imposes near-zero tracing cost on the
+// server for the other 99%.
+
+const (
+	// TraceparentHeader is the request header carrying trace identity
+	// and the sampling verdict (canonical W3C lower-case name is
+	// "traceparent"; Go canonicalizes either form).
+	TraceparentHeader = "Traceparent"
+
+	// ServerTraceHeader is the response header carrying the serialized
+	// server-side span tree of a sampled query.
+	ServerTraceHeader = "X-Qb2olap-Trace"
+
+	// MaxWireSpanBytes caps the encoded span tree a server will put on
+	// the wire; larger trees are dropped (the client trace then simply
+	// lacks server detail) so response headers stay within the default
+	// client/server header limits.
+	MaxWireSpanBytes = 256 << 10
+)
+
+// TraceContext is a parsed traceparent header.
+type TraceContext struct {
+	TraceID TraceID
+	Parent  string // 16-hex span ID of the caller's span
+	Sampled bool
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(id TraceID, parent string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%s-%s", id, parent, flags)
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version, requires the version-00 field shape, and reports ok=false
+// for empty or malformed values.
+func ParseTraceparent(v string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceContext{}, false
+	}
+	for _, p := range parts {
+		if !isHex(p) {
+			return TraceContext{}, false
+		}
+	}
+	// An all-zero trace or parent ID is invalid per the spec.
+	if strings.Trim(parts[1], "0") == "" || strings.Trim(parts[2], "0") == "" {
+		return TraceContext{}, false
+	}
+	var flags int
+	fmt.Sscanf(parts[3], "%02x", &flags)
+	return TraceContext{
+		TraceID: TraceID(strings.ToLower(parts[1])),
+		Parent:  strings.ToLower(parts[2]),
+		Sampled: flags&1 != 0,
+	}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeSpanWire serializes a finished span tree for the
+// ServerTraceHeader response header. ok is false when the encoded tree
+// exceeds MaxWireSpanBytes (callers then omit the header).
+func EncodeSpanWire(s *Span) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", false
+	}
+	enc := base64.StdEncoding.EncodeToString(data)
+	if len(enc) > MaxWireSpanBytes {
+		return "", false
+	}
+	return enc, true
+}
+
+// DecodeSpanWire parses a ServerTraceHeader value back into a span
+// tree. An empty value decodes to (nil, nil) so callers can pass the
+// header through unconditionally.
+func DecodeSpanWire(v string) (*Span, error) {
+	if v == "" {
+		return nil, nil
+	}
+	data, err := base64.StdEncoding.DecodeString(v)
+	if err != nil {
+		return nil, fmt.Errorf("obs: decoding span wire: %w", err)
+	}
+	var s Span
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: decoding span wire: %w", err)
+	}
+	return &s, nil
+}

@@ -30,9 +30,13 @@ type Engine struct {
 	DisableReorder bool
 
 	// tracer, when set (WithTracer), collects a per-operator trace of
-	// every query. Nil — the default — keeps evaluation on the untraced
-	// fast path; see trace.go.
+	// every sampled query. Nil — the default — keeps evaluation on the
+	// untraced fast path; see trace.go.
 	tracer *obs.Tracer
+
+	// sampler, when set (WithSampler), decides which queries the tracer
+	// records. Nil samples everything.
+	sampler *obs.Sampler
 }
 
 // Option configures an Engine at construction time.
@@ -134,12 +138,16 @@ type run struct {
 
 // Query evaluates a SELECT or ASK query, returning a Results table (ASK
 // yields a single row with variable "ask" bound to a boolean). When the
-// engine has a tracer installed the evaluation is traced and the trace
-// collected there.
+// engine has a tracer installed, each query draws a fresh trace ID and,
+// if the sampler elects it (no sampler = always), the evaluation is
+// traced and collected; an unsampled query runs the untraced fast path
+// and allocates no span tree.
 func (e *Engine) Query(q *Query) (*Results, error) {
 	if e.tracer != nil {
-		res, _, err := e.QueryTraced(q)
-		return res, err
+		if id := obs.NewTraceID(); e.sampler.Sample(id) {
+			res, _, err := e.queryTracedID(q, id)
+			return res, err
+		}
 	}
 	return e.query(q, nil)
 }

@@ -3,6 +3,7 @@ package sparql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/rdf"
@@ -22,24 +23,45 @@ import (
 // (obs.Span methods are nil-safe), which BenchmarkTracerOverhead pins
 // to be within noise of the untraced engine.
 
-// WithTracer installs an engine-level trace sink: every Query records a
-// per-operator trace and collects it into t. Use NewTracer's ring to
-// inspect recent query plans on a live server, or leave the engine
-// tracer nil (the default) for zero-cost evaluation and trace
-// individual queries with QueryTraced.
+// WithTracer installs an engine-level trace sink: every sampled Query
+// records a per-operator trace and collects it into t (with no sampler
+// installed, every query is sampled). Use NewTracer's ring to inspect
+// recent query plans on a live server, or leave the engine tracer nil
+// (the default) for zero-cost evaluation and trace individual queries
+// with QueryTraced.
 func WithTracer(t *obs.Tracer) Option {
 	return func(e *Engine) { e.tracer = t }
+}
+
+// WithSampler installs the sampling policy applied when the engine has
+// a tracer: each Query draws a fresh trace ID and is traced only when
+// the sampler says so, keeping always-on tracing affordable under load
+// (an unsampled query allocates no span tree — its only tracing cost is
+// the ID draw and one hash). Nil — the default — samples everything.
+// QueryTraced bypasses the sampler; it is the "force this one" path.
+func WithSampler(s *obs.Sampler) Option {
+	return func(e *Engine) { e.sampler = s }
 }
 
 // Tracer returns the engine-level tracer, or nil.
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
+// Sampler returns the engine-level sampler, or nil.
+func (e *Engine) Sampler() *obs.Sampler { return e.sampler }
+
 // QueryTraced evaluates a SELECT or ASK query with operator tracing
 // enabled and returns the EXPLAIN ANALYZE-style trace alongside the
-// results. The trace is returned even when evaluation fails (with the
-// spans finished so far). If the engine has a tracer installed the
-// trace is also collected there.
+// results, under a fresh trace ID. The trace is returned even when
+// evaluation fails (with the spans finished so far). If the engine has
+// a tracer installed the trace is also collected there.
 func (e *Engine) QueryTraced(q *Query) (*Results, *obs.Trace, error) {
+	return e.queryTracedID(q, obs.NewTraceID())
+}
+
+// queryTracedID is QueryTraced under a caller-chosen trace identity
+// (the server uses the propagated ID of the traceparent header).
+func (e *Engine) queryTracedID(q *Query, id obs.TraceID) (*Results, *obs.Trace, error) {
+	start := time.Now()
 	root := obs.StartSpan(q.Form.String(), "", 1)
 	res, err := e.query(q, root)
 	out := 0
@@ -47,7 +69,7 @@ func (e *Engine) QueryTraced(q *Query) (*Results, *obs.Trace, error) {
 		out = len(res.Rows)
 	}
 	root.Finish(out, 1)
-	tr := &obs.Trace{Root: root}
+	tr := &obs.Trace{ID: id, Start: start, Root: root}
 	e.tracer.Collect(tr)
 	return res, tr, err
 }

@@ -3,12 +3,15 @@ package repro
 import (
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/demo"
+	"repro/internal/endpoint"
 	"repro/internal/obs"
 	"repro/internal/ql"
 	"repro/internal/sparql"
@@ -149,6 +152,148 @@ func BenchmarkTracerOverhead(b *testing.B) {
 					b.Fatal(fmt.Sprintf("no rows (%s)", name))
 				}
 			}
+		})
+	}
+}
+
+// TestStitchedTraceGoldenMaryHTTP pins the stitched client+server
+// trace of the Mary query over real HTTP against a golden file: a
+// Remote client forces tracing (SelectTraced), the server honors the
+// propagated traceparent, and the returned tree must contain the
+// client HTTP span with the server's full operator tree — byte-stable
+// cardinalities included — nested under it. The HTTP span detail is
+// path-only, so the golden file survives random listener ports.
+func TestStitchedTraceGoldenMaryHTTP(t *testing.T) {
+	env, err := demo.Build(configFor(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := endpoint.NewServer(env.Store, sparql.WithParallelism(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := endpoint.NewRemote(ts.URL)
+	res, tr, err := c.SelectTraced(p.Translation.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("demo query returned no rows")
+	}
+	if tr.ID == "" {
+		t.Fatal("stitched trace has no trace ID")
+	}
+	if tr.Root.Op != "HTTP" {
+		t.Fatalf("root span op = %s, want HTTP", tr.Root.Op)
+	}
+	got := tr.Outline()
+
+	golden := filepath.Join("testdata", "trace_stitched_mary.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run StitchedTraceGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("stitched trace outline drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// BenchmarkSampledTracing measures always-on sampled tracing on the
+// demo-scale cube: the Mary query with no tracer at all (the seed
+// baseline), with a tracer but rate 0 (every query takes the unsampled
+// fast path: one ID draw plus one hash, no span tree), the default 1%
+// rate, and rate 1 (every query traced). EXPERIMENTS.md A-trace
+// records the measured overhead; the acceptance bar is sample=0.01
+// within 2% of sample=off.
+func BenchmarkSampledTracing(b *testing.B) {
+	cases := []struct {
+		name string
+		opts []sparql.Option
+	}{
+		{"sample=off", nil},
+		{"sample=0", []sparql.Option{sparql.WithTracer(obs.NewTracer(4)), sparql.WithSampler(obs.NewSampler(0))}},
+		{"sample=0.01", []sparql.Option{sparql.WithTracer(obs.NewTracer(4)), sparql.WithSampler(obs.NewSampler(0.01))}},
+		{"sample=1", []sparql.Option{sparql.WithTracer(obs.NewTracer(4)), sparql.WithSampler(obs.NewSampler(1))}},
+	}
+	for _, scale := range []int{demoScale, 80000} {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("obs=%d/%s", scale, c.name), func(b *testing.B) {
+				skipIfShort(b, scale)
+				env := enrichedEnv(b, scale)
+				p, err := ql.Prepare(demoQuery, env.Schema)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q, err := sparql.ParseQuery(p.Translation.Direct)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := sparql.NewEngine(env.Store, c.opts...)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Query(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Len() == 0 {
+						b.Fatal("no rows")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentQuerySampled is BenchmarkConcurrentQuery's
+// acceptance companion: 16 concurrent clients hammering the
+// demo-scale cube through the in-process endpoint, with engine-level
+// sampling off versus the default 1%. The two must stay within noise
+// of each other (the sampler is one atomic-free hash per query; only
+// the ~1% sampled queries build span trees).
+func BenchmarkConcurrentQuerySampled(b *testing.B) {
+	const scale = 80000
+	skipIfShort(b, scale)
+	env := enrichedEnv(b, scale)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	for _, rate := range []float64{-1, 0.01} {
+		name := "sample=off"
+		opts := []sparql.Option{sparql.WithParallelism(1)}
+		if rate >= 0 {
+			name = fmt.Sprintf("sample=%g", rate)
+			opts = append(opts,
+				sparql.WithTracer(obs.NewTracer(8)),
+				sparql.WithSampler(obs.NewSampler(rate)))
+		}
+		b.Run(name, func(b *testing.B) {
+			client := endpoint.NewLocal(env.Store, opts...)
+			b.SetParallelism((16 + gmp - 1) / gmp)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					cube, err := ql.Execute(client, p.Translation, ql.Direct)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(cube.Cells) == 0 {
+						b.Fatal("empty cube")
+					}
+				}
+			})
 		})
 	}
 }
