@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json bench-compare bench-concurrent fuzz examples experiments obs-smoke clean
+.PHONY: all build test race cover bench bench-json bench-compare bench-concurrent fuzz fuzz-smoke chaos examples experiments obs-smoke clean
 
 # The default check builds, vets, and runs the whole test suite under
 # the race detector: the engine evaluates queries on a worker pool and
@@ -12,7 +12,7 @@ GO ?= go
 # TestParallelMatchesSequential, ...). Benchmarks are not run here; the
 # 80k-observation fixtures additionally sit behind a -short guard so a
 # `go test -short -bench .` smoke pass stays fast.
-all: build race obs-smoke bench-json bench-compare
+all: build race chaos fuzz-smoke obs-smoke bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,11 @@ bench:
 
 # Machine-readable benchmark snapshot: one fast pass (-short,
 # -benchtime 1x) over every benchmark, converted to JSON by
-# cmd/benchjson and committed as BENCH_PR4.json so regressions show up
+# cmd/benchjson and committed as BENCH_PR5.json so regressions show up
 # in review diffs. Use `make bench` for real measurements.
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -short -benchtime 1x . \
-	  | $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
 # Regression gate: diff the previous PR's committed snapshot against
 # this PR's and fail on ns/op regressions. The tool's default threshold
@@ -48,7 +48,7 @@ bench-json:
 # benchjson -compare -threshold 0.10 on the output for real regression
 # hunting.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR3.json BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR4.json BENCH_PR5.json
 
 # The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
 # query throughput vs. client count at engine parallelism 1 and
@@ -87,6 +87,22 @@ obs-smoke:
 	curl -fsS http://127.0.0.1:18081/debug/traces | grep -q 'SELECT'; \
 	/tmp/qb2olap-smoke trace -in /tmp/sparqld-smoke-traces.jsonl -top 3 | grep -q 'Per-operator breakdown'; \
 	echo "obs-smoke: ok"
+
+# The chaos suite: the queries/ corpus through endpoint.Remote against
+# a fault-injected server (drop/5xx/slow/truncate/mixed profiles), plus
+# the seeded cancellation property test on the Mary query. Both are
+# deterministic (fixed injector and cancel-point seeds) and also run as
+# part of the ordinary `race` suite; this target reruns them verbosely.
+chaos:
+	$(GO) test -run 'TestChaosQueryCorpus|TestQueryCancellationProperty' -count=1 -v .
+
+# Quick fuzzing pass over the wire decoders every untrusted byte goes
+# through: the W3C traceparent parser, the X-Qb2olap-Trace span-tree
+# decoder, and the SPARQL results JSON decoder.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseTraceparent -fuzztime 30s ./internal/obs/
+	$(GO) test -fuzz FuzzDecodeSpanWire -fuzztime 30s ./internal/obs/
+	$(GO) test -fuzz FuzzResultsFromJSON -fuzztime 30s ./internal/sparql/
 
 # Short fuzzing pass over all four parsers.
 fuzz:

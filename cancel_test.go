@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/endpoint"
+	"repro/internal/ql"
+	"repro/internal/sparql"
+)
+
+// cancelSeed fixes the randomized cancel points, so a run that
+// exposes a slow cancellation path can be replayed.
+const cancelSeed = 11
+
+// TestQueryCancellationProperty cancels the paper's Mary query at
+// seeded random points during evaluation, across engine parallelism 1,
+// 4, and 8, and asserts the cancellation contract: the call returns
+// promptly (well under 250ms from cancel), the error is a cooperative
+// *sparql.CanceledError satisfying errors.Is(err, context.Canceled),
+// and no evaluation goroutines are leaked. Run under -race (the
+// Makefile default) this also validates that cancellation never races
+// the worker pool.
+func TestQueryCancellationProperty(t *testing.T) {
+	obsCount := 80000
+	if testing.Short() {
+		obsCount = 5000
+	}
+	env, err := demo.Build(configFor(obsCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("queries/mary.ql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := ql.Prepare(string(src), env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(cancelSeed))
+	for _, par := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			client := endpoint.NewLocal(env.Store, sparql.WithParallelism(par))
+			before := runtime.NumGoroutine()
+
+			// Uncanceled baseline: both the correctness anchor and the
+			// window the random cancel points are drawn from.
+			start := time.Now()
+			if _, err := ql.ExecuteContext(context.Background(), client, pipe.Translation, ql.Direct); err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			full := time.Since(start)
+
+			const rounds = 6
+			canceled := 0
+			var maxLat time.Duration
+			for i := 0; i < rounds; i++ {
+				delay := time.Duration(rng.Int63n(int64(full) + 1))
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan error, 1)
+				go func() {
+					_, err := ql.ExecuteContext(ctx, client, pipe.Translation, ql.Direct)
+					done <- err
+				}()
+				time.Sleep(delay)
+				cancelAt := time.Now()
+				cancel()
+				var runErr error
+				select {
+				case runErr = <-done:
+				case <-time.After(5 * time.Second):
+					t.Fatalf("round %d (delay %v): evaluation ignored cancel", i, delay)
+				}
+				lat := time.Since(cancelAt)
+				if lat > maxLat {
+					maxLat = lat
+				}
+				if lat > 250*time.Millisecond {
+					t.Errorf("round %d (delay %v): returned %v after cancel, want <250ms", i, delay, lat)
+				}
+				if runErr == nil {
+					continue // finished before the cancel landed
+				}
+				canceled++
+				if !errors.Is(runErr, context.Canceled) {
+					t.Errorf("round %d: error does not unwrap to context.Canceled: %v", i, runErr)
+				}
+				var ce *sparql.CanceledError
+				if !errors.As(runErr, &ce) {
+					t.Errorf("round %d: error is not a cooperative *sparql.CanceledError: %v", i, runErr)
+				}
+			}
+			t.Logf("baseline %v, %d/%d rounds canceled mid-flight, max cancel→return latency %v",
+				full, canceled, rounds, maxLat)
+
+			// Leak check: worker goroutines must drain after cancellation,
+			// not linger parked on channels.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				if n := runtime.NumGoroutine(); n <= before+2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutine leak after canceled runs: %d before, %d after", before, runtime.NumGoroutine())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}

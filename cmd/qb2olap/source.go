@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/endpoint"
@@ -22,6 +23,8 @@ type sourceFlags struct {
 	demoObs     int
 	seed        int64
 	parallel    int
+	retries     int
+	timeout     time.Duration
 }
 
 type fileList []string
@@ -40,12 +43,20 @@ func (s *sourceFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&s.demoObs, "demo", 0, "generate the demo cube with this many observations")
 	fs.Int64Var(&s.seed, "seed", 42, "generator seed for -demo")
 	fs.IntVar(&s.parallel, "parallel", 0, "worker goroutines per in-process query evaluation (0 = GOMAXPROCS, 1 = sequential)")
+	fs.IntVar(&s.retries, "retries", 2, "retries per idempotent remote query on transient failures (0 disables; updates are never retried)")
+	fs.DurationVar(&s.timeout, "timeout", 0, "per-attempt timeout for remote endpoint requests (0 = none)")
 }
 
 // open builds the tool around the selected source.
 func (s *sourceFlags) open() (*core.Tool, error) {
 	if s.endpointURL != "" {
-		return core.NewRemote(s.endpointURL), nil
+		r := endpoint.NewRemote(s.endpointURL)
+		r.Retries = s.retries
+		r.Timeout = s.timeout
+		if s.retries > 0 {
+			r.Breaker = endpoint.NewBreaker(5, time.Second)
+		}
+		return core.New(r), nil
 	}
 	st := store.New()
 	for _, path := range s.dataFiles {

@@ -7,6 +7,8 @@
 //	sparqld [-addr :8080] [-data file.ttl]... [-demo N] [-parallel N]
 //	        [-trace N] [-sample RATE] [-trace-export file.jsonl]
 //	        [-slowlog DUR] [-debug-addr :8081]
+//	        [-query-timeout DUR] [-max-inflight N]
+//	        [-fault-profile NAME] [-fault-seed N]
 //	        [-progress] [-report file.json]
 //
 // -data loads a Turtle file into the default graph (repeatable);
@@ -25,6 +27,18 @@
 // response header. -trace-export FILE additionally appends every
 // collected trace as JSONL (size-bounded, rotating) for offline
 // analysis with `qb2olap trace`.
+// Resilience: -query-timeout DUR bounds each query evaluation — an
+// expired query returns 504 Gateway Timeout, with the partial trace in
+// X-Qb2olap-Trace when the query was traced. -max-inflight N sheds
+// queries beyond N concurrent evaluations with 503 + Retry-After
+// instead of queueing them. Shed, timed-out and client-canceled
+// queries count in queries_shed_total / queries_timeout_total /
+// queries_canceled_total at /metrics and are tagged in the access log.
+// -fault-profile wraps the whole protocol handler in a deterministic,
+// seeded fault injector (connection drops, 503 bursts, slow responses,
+// truncated bodies) for chaos testing clients; -fault-seed fixes the
+// decision sequence.
+//
 // -slowlog DUR logs queries at Warn, with their text, when they take
 // at least DUR (e.g. -slowlog 250ms). -debug-addr serves /metrics,
 // /debug/vars, /debug/pprof, and /debug/traces on a second listener,
@@ -46,11 +60,13 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/endpoint"
 	"repro/internal/eurostat"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -78,6 +94,10 @@ func main() {
 	sample := flag.Float64("sample", 0.01, "fraction of queries traced when tracing is on (propagated traceparent verdicts always win)")
 	traceExport := flag.String("trace-export", "", "append every collected trace as JSONL to this file (rotated at 64MB)")
 	slowlog := flag.Duration("slowlog", 0, "log queries taking at least this long, with their text (0 disables)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query evaluation deadline; expired queries return 504 (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently evaluating queries; excess requests are shed with 503 (0 = unbounded)")
+	faultProfile := flag.String("fault-profile", "", "inject faults around the protocol handler for chaos testing: "+strings.Join(faults.Names(), ", "))
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault-profile decision sequence")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug diagnostics on this second address")
 	progress := flag.Bool("progress", false, "print live load progress to stderr")
 	report := flag.String("report", "", "write a JSON run report of the startup load to this file (- for stdout)")
@@ -150,6 +170,8 @@ func main() {
 	srv.ReadOnly = *readOnly
 	srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.SlowQuery = *slowlog
+	srv.QueryTimeout = *queryTimeout
+	srv.MaxInFlight = *maxInflight
 	if *traceN > 0 {
 		srv.Tracer = obs.NewTracer(*traceN)
 		// Without a separate debug listener, mount /debug on the
@@ -172,7 +194,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The fault injector wraps the protocol handler from the outside, so
+	// injected drops and 503s look like network/infrastructure failures
+	// to clients — the deterministic chaos hook behind -fault-profile.
+	handler := http.Handler(srv.Handler())
+	if *faultProfile != "" {
+		profile, ok := faults.ByName(*faultProfile)
+		if !ok {
+			log.Fatalf("sparqld: unknown -fault-profile %q (have: %s)", *faultProfile, strings.Join(faults.Names(), ", "))
+		}
+		if profile.Enabled() {
+			inj := faults.New(profile, *faultSeed)
+			handler = inj.Handler(handler)
+			log.Printf("sparqld: fault injection on: profile=%s seed=%d", profile.Name, *faultSeed)
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 

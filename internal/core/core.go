@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/endpoint"
@@ -97,6 +98,14 @@ func (t *Tool) Query(src string, schema *qb4olap.CubeSchema, v ql.Variant) (*ola
 	return cube, err
 }
 
+// QueryContext is Query under a context: ctx cancels or bounds the
+// SPARQL execution phase (evaluation in-process, the HTTP exchange for
+// remote endpoints).
+func (t *Tool) QueryContext(ctx context.Context, src string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.Cube, error) {
+	cube, _, err := ql.RunContext(ctx, t.client, schema, src, v)
+	return cube, err
+}
+
 // Run is Query with the pipeline exposed: the returned ql.Pipeline
 // carries the intermediate artifacts and the per-phase wall times
 // (parse / analyze / simplify / translate / execute), the
@@ -105,10 +114,20 @@ func (t *Tool) Run(src string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.
 	return ql.Run(t.client, schema, src, v)
 }
 
+// RunContext is Run under a context (see QueryContext).
+func (t *Tool) RunContext(ctx context.Context, src string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.Cube, *ql.Pipeline, error) {
+	return ql.RunContext(ctx, t.client, schema, src, v)
+}
+
 // SPARQL runs a raw SPARQL SELECT, mirroring the Querying module's
 // option to formulate SPARQL queries manually.
 func (t *Tool) SPARQL(query string) (*olap.Cube, error) {
-	res, err := t.client.Select(query)
+	return t.SPARQLContext(context.Background(), query)
+}
+
+// SPARQLContext is SPARQL under a context.
+func (t *Tool) SPARQLContext(ctx context.Context, query string) (*olap.Cube, error) {
+	res, err := endpoint.SelectContext(ctx, t.client, query)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,125 @@
+package endpoint
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped in *Error) when the circuit
+// breaker rejects a request without attempting it.
+var ErrCircuitOpen = errors.New("endpoint: circuit breaker open")
+
+// Breaker is a circuit breaker shared by one or more Remote clients.
+// It trips open after a run of consecutive failures, fails requests
+// fast for a cooldown period, then admits a single probe (half-open):
+// a successful probe closes the circuit, a failed one reopens it for
+// another cooldown. All methods are safe for concurrent use and
+// nil-safe, so a nil *Breaker disables breaking entirely.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	consecutive int
+	openUntil   time.Time
+	probing     bool // a half-open probe is in flight
+	trips       int64
+	rejected    int64
+	now         func() time.Time // injectable clock for tests
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// failures and stays open for cooldown before probing. Non-positive
+// arguments fall back to 5 failures / 1s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// false until the cooldown elapses, then true exactly once (the probe);
+// further requests are rejected until that probe is recorded.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.probing || b.now().Before(b.openUntil) {
+		b.rejected++
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Record reports the outcome of an allowed request. A success resets
+// the failure run and closes the circuit; a failure extends the run
+// and opens (or reopens) the circuit once the threshold is reached.
+func (b *Breaker) Record(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if success {
+		b.consecutive = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		if b.openUntil.IsZero() {
+			b.trips++
+		}
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// State names the current breaker state: "closed", "open", or
+// "half-open" (cooldown elapsed or probe in flight).
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case b.probing || !b.now().Before(b.openUntil):
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Trips returns how many times the breaker has transitioned from
+// closed to open.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Rejected returns how many requests were failed fast while open.
+func (b *Breaker) Rejected() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}

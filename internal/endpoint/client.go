@@ -1,11 +1,14 @@
 package endpoint
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -23,6 +26,36 @@ type SPARQLClient interface {
 	Select(query string) (*sparql.Results, error)
 	// Update runs a SPARQL update request.
 	Update(update string) error
+}
+
+// ContextClient is the context-aware extension of SPARQLClient: the
+// context bounds the call (cancellation and deadline), propagating into
+// engine evaluation for Local and into the HTTP exchange for Remote.
+// Both built-in clients implement it; third-party SPARQLClients need
+// not. Use the package-level SelectContext/UpdateContext helpers to
+// call through the extension when present.
+type ContextClient interface {
+	SPARQLClient
+	SelectContext(ctx context.Context, query string) (*sparql.Results, error)
+	UpdateContext(ctx context.Context, update string) error
+}
+
+// SelectContext runs a SELECT through c under ctx when the client
+// supports cancellation, falling back to the plain call otherwise.
+func SelectContext(ctx context.Context, c SPARQLClient, query string) (*sparql.Results, error) {
+	if cc, ok := c.(ContextClient); ok {
+		return cc.SelectContext(ctx, query)
+	}
+	return c.Select(query)
+}
+
+// UpdateContext runs an update through c under ctx when the client
+// supports cancellation, falling back to the plain call otherwise.
+func UpdateContext(ctx context.Context, c SPARQLClient, update string) error {
+	if cc, ok := c.(ContextClient); ok {
+		return cc.UpdateContext(ctx, update)
+	}
+	return c.Update(update)
 }
 
 // Explainer is implemented by clients that can produce an EXPLAIN
@@ -65,9 +98,20 @@ func (l *Local) Select(query string) (*sparql.Results, error) {
 	return l.Engine.QueryString(query)
 }
 
+// SelectContext implements ContextClient; ctx cancels evaluation.
+func (l *Local) SelectContext(ctx context.Context, query string) (*sparql.Results, error) {
+	return l.Engine.QueryStringContext(ctx, query)
+}
+
 // Update implements SPARQLClient.
 func (l *Local) Update(update string) error {
 	return l.Engine.ExecuteString(update)
+}
+
+// UpdateContext implements ContextClient; ctx is checked between
+// operations and during WHERE evaluation, never mid-write.
+func (l *Local) UpdateContext(ctx context.Context, update string) error {
+	return l.Engine.ExecuteStringContext(ctx, update)
 }
 
 // Explain implements Explainer with an in-process traced evaluation.
@@ -96,6 +140,13 @@ func (l *Local) SelectTraced(query string) (*sparql.Results, *obs.Trace, error) 
 // exported as JSONL when an Exporter is set. Unsampled queries send an
 // unsampled traceparent, which pins the server to its untraced fast
 // path too.
+//
+// The zero resilience configuration is the plain single-attempt client.
+// With Retries > 0 the idempotent exchanges (Select, Explain) are
+// retried on transient failures — connection errors, attempt timeouts,
+// 429/502/503/504 responses, truncated or undecodable result bodies —
+// with exponential backoff and jitter; updates are never retried (see
+// UpdateContext). Failures come back as *Error; test with IsRetryable.
 type Remote struct {
 	// QueryURL is the query endpoint, e.g. http://host:port/sparql.
 	QueryURL string
@@ -103,6 +154,21 @@ type Remote struct {
 	UpdateURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// Timeout bounds each HTTP attempt; the retry loop runs fresh
+	// attempts under the caller's context. 0 means no attempt timeout.
+	Timeout time.Duration
+	// Retries is how many times an idempotent exchange is retried after
+	// a transient failure (so Retries+1 attempts total). 0 disables
+	// retrying. Updates are never retried regardless.
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// subsequent retry with jitter and capped at 5s. 0 means 100ms.
+	Backoff time.Duration
+	// Breaker, when set, fails requests fast after a run of consecutive
+	// failures instead of hammering a down endpoint. It may be shared
+	// across clients.
+	Breaker *Breaker
 
 	// Tracer, when set, collects a stitched client+server trace of
 	// every sampled Select. Set it before the client is shared.
@@ -112,6 +178,12 @@ type Remote struct {
 	Sampler *obs.Sampler
 	// Exporter, when set, appends every collected trace as JSONL.
 	Exporter *obs.Exporter
+
+	retried atomic.Int64 // retry attempts performed (not first tries)
+
+	// sleep and jitterFn are test seams for the backoff schedule.
+	sleep    func(context.Context, time.Duration) error
+	jitterFn func() float64
 }
 
 // NewRemote returns a client for a server rooted at base (without
@@ -131,40 +203,68 @@ func (r *Remote) client() *http.Client {
 	return http.DefaultClient
 }
 
+// RetryCount returns how many retry attempts (beyond first tries) this
+// client has performed.
+func (r *Remote) RetryCount() int64 { return r.retried.Load() }
+
 // tracing reports whether this client records traces at all.
 func (r *Remote) tracing() bool { return r.Tracer != nil || r.Exporter != nil }
 
 // Select implements SPARQLClient over HTTP. When tracing is enabled the
 // query is sampled; see the type comment.
 func (r *Remote) Select(query string) (*sparql.Results, error) {
+	return r.SelectContext(context.Background(), query)
+}
+
+// SelectContext implements ContextClient: ctx bounds the whole exchange
+// including retries and backoff waits.
+func (r *Remote) SelectContext(ctx context.Context, query string) (*sparql.Results, error) {
 	if r.tracing() {
 		id := obs.NewTraceID()
 		if r.Sampler.Sample(id) {
-			res, _, err := r.selectTraced(query, id)
+			res, _, err := r.selectTraced(ctx, query, id)
 			return res, err
 		}
 		// Unsampled: tell the server so it skips tracing too.
-		res, _, err := r.doSelect(query, obs.FormatTraceparent(id, obs.NewSpanID(), false))
-		return res, err
+		return r.retrySelect(ctx, query, obs.FormatTraceparent(id, obs.NewSpanID(), false))
 	}
-	res, _, err := r.doSelect(query, "")
-	return res, err
+	return r.retrySelect(ctx, query, "")
 }
 
 // SelectTraced implements TracedClient: tracing is forced for this one
 // query regardless of the sampler, and the stitched client+server trace
 // is returned (and still collected/exported when sinks are set).
 func (r *Remote) SelectTraced(query string) (*sparql.Results, *obs.Trace, error) {
-	return r.selectTraced(query, obs.NewTraceID())
+	return r.selectTraced(context.Background(), query, obs.NewTraceID())
 }
 
-// selectTraced runs one sampled query: it wraps the HTTP exchange in a
-// client span, propagates id with the sampled flag set, and attaches
-// the span tree the server returns.
-func (r *Remote) selectTraced(query string, id obs.TraceID) (*sparql.Results, *obs.Trace, error) {
+// retrySelect runs one (possibly retried) query exchange.
+func (r *Remote) retrySelect(ctx context.Context, query, traceparent string) (*sparql.Results, error) {
+	var res *sparql.Results
+	err := r.retryIdempotent(ctx, "query", func(actx context.Context) *Error {
+		var aerr *Error
+		res, _, aerr = r.doSelect(actx, query, traceparent)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// selectTraced runs one sampled query: it wraps the (possibly retried)
+// HTTP exchange in a client span, propagates id with the sampled flag
+// set, and attaches the span tree the server returns.
+func (r *Remote) selectTraced(ctx context.Context, query string, id obs.TraceID) (*sparql.Results, *obs.Trace, error) {
 	start := time.Now()
 	root := obs.StartSpan("HTTP", "POST "+urlPath(r.QueryURL), 1)
-	res, wire, err := r.doSelect(query, obs.FormatTraceparent(id, obs.NewSpanID(), true))
+	var res *sparql.Results
+	var wire string
+	err := r.retryIdempotent(ctx, "query", func(actx context.Context) *Error {
+		var aerr *Error
+		res, wire, aerr = r.doSelect(actx, query, obs.FormatTraceparent(id, obs.NewSpanID(), true))
+		return aerr
+	})
 	if srv, derr := obs.DecodeSpanWire(wire); derr == nil {
 		root.Attach(srv) // nil-safe: absent header leaves a client-only span
 	}
@@ -188,15 +288,105 @@ func urlPath(raw string) string {
 	return raw
 }
 
-// doSelect performs the protocol exchange. A non-empty traceparent is
+// retryIdempotent runs attempt under the client's resilience policy:
+// breaker gate, per-attempt timeout, retry on transient failures with
+// exponential backoff + jitter. It must only be used for idempotent
+// exchanges. The returned error is nil or a *Error with Op and
+// Attempts filled in.
+func (r *Remote) retryIdempotent(ctx context.Context, op string, attempt func(context.Context) *Error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for n := 1; ; n++ {
+		if !r.Breaker.Allow() {
+			return &Error{Op: op, Retryable: true, Attempts: n - 1, Err: ErrCircuitOpen}
+		}
+		aerr := r.attemptOnce(ctx, attempt)
+		r.Breaker.Record(aerr == nil)
+		if aerr == nil {
+			return nil
+		}
+		aerr.Op, aerr.Attempts = op, n
+		if ctx.Err() != nil {
+			// The caller's context ended; what looks like a transport
+			// failure is really a cancel, and retrying can't help.
+			aerr.Retryable = false
+			return aerr
+		}
+		if !aerr.Retryable || n > r.Retries {
+			return aerr
+		}
+		if err := r.backoffWait(ctx, n); err != nil {
+			aerr.Retryable = false
+			return aerr
+		}
+		r.retried.Add(1)
+	}
+}
+
+// attemptOnce applies the per-attempt timeout around one exchange.
+func (r *Remote) attemptOnce(ctx context.Context, attempt func(context.Context) *Error) *Error {
+	if r.Timeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+		return attempt(actx)
+	}
+	return attempt(ctx)
+}
+
+// backoffWait sleeps before retry n (1-based): exponential growth from
+// Backoff, capped at 5s, with equal jitter (a uniform draw over the
+// upper half) so synchronized clients spread out. Returns early with an
+// error when ctx ends.
+func (r *Remote) backoffWait(ctx context.Context, n int) error {
+	base := r.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(n-1)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	jitter := r.jitterFn
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	d = d/2 + time.Duration(jitter()*float64(d/2))
+	if r.sleep != nil {
+		return r.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// maxDrainBytes bounds how much of a response body is drained before
+// closing, so connections can be reused without reading an unbounded
+// tail.
+const maxDrainBytes = 256 << 10
+
+// drainBody discards what remains of body and closes it, letting the
+// transport reuse the connection no matter how the exchange ended.
+func drainBody(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, maxDrainBytes)) //nolint:errcheck
+	body.Close()
+}
+
+// doSelect performs one protocol exchange. A non-empty traceparent is
 // propagated on the request; the raw X-Qb2olap-Trace response header
 // (the server's serialized span tree, possibly empty) is returned
-// alongside the results.
-func (r *Remote) doSelect(query, traceparent string) (*sparql.Results, string, error) {
+// alongside the results. The returned *Error (nil on success)
+// classifies the failure for the retry loop.
+func (r *Remote) doSelect(ctx context.Context, query, traceparent string) (*sparql.Results, string, *Error) {
 	form := url.Values{"query": {query}}
-	req, err := http.NewRequest(http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
 	if err != nil {
-		return nil, "", err
+		return nil, "", &Error{Err: err}
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("Accept", "application/sparql-results+json")
@@ -205,63 +395,120 @@ func (r *Remote) doSelect(query, traceparent string) (*sparql.Results, string, e
 	}
 	resp, err := r.client().Do(req)
 	if err != nil {
-		return nil, "", fmt.Errorf("endpoint: query request: %w", err)
+		return nil, "", &Error{Retryable: true, Err: fmt.Errorf("endpoint: query request: %w", err)}
 	}
-	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	wire := resp.Header.Get(obs.ServerTraceHeader)
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, wire, err
+	if len(wire) > obs.MaxWireSpanBytes {
+		// An oversized (or hostile) trace header is dropped rather than
+		// buffered or allowed to fail the query.
+		wire = ""
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, wire, fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		return nil, wire, &Error{
+			Status:    resp.StatusCode,
+			Retryable: retryableStatus(resp.StatusCode),
+			Err:       fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+		}
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, wire, &Error{Retryable: true, Err: fmt.Errorf("endpoint: reading query response: %w", err)}
 	}
 	res, err := sparql.ResultsFromJSON(body)
-	return res, wire, err
+	if err != nil {
+		// A 200 whose body doesn't decode is a truncated or corrupted
+		// payload; a fresh exchange may deliver it intact.
+		return nil, wire, &Error{Retryable: true, Err: err}
+	}
+	return res, wire, nil
 }
 
 // Explain implements Explainer against the server's ?explain=1
 // surface: the query is evaluated remotely with operator tracing and
 // the rendered EXPLAIN ANALYZE tree is returned as plain text.
 func (r *Remote) Explain(query string) (string, error) {
-	form := url.Values{"query": {query}, "explain": {"1"}}
-	req, err := http.NewRequest(http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
+	return r.ExplainContext(context.Background(), query)
+}
+
+// ExplainContext is Explain under a context; like Select it is
+// idempotent and retried.
+func (r *Remote) ExplainContext(ctx context.Context, query string) (string, error) {
+	var out string
+	err := r.retryIdempotent(ctx, "explain", func(actx context.Context) *Error {
+		form := url.Values{"query": {query}, "explain": {"1"}}
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
+		if err != nil {
+			return &Error{Err: err}
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		req.Header.Set("Accept", "text/plain")
+		resp, err := r.client().Do(req)
+		if err != nil {
+			return &Error{Retryable: true, Err: fmt.Errorf("endpoint: explain request: %w", err)}
+		}
+		defer drainBody(resp.Body)
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return &Error{Retryable: true, Err: fmt.Errorf("endpoint: reading explain response: %w", err)}
+		}
+		if resp.StatusCode != http.StatusOK {
+			return &Error{
+				Status:    resp.StatusCode,
+				Retryable: retryableStatus(resp.StatusCode),
+				Err:       fmt.Errorf("endpoint: explain failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+			}
+		}
+		out = string(body)
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-	req.Header.Set("Accept", "text/plain")
-	resp, err := r.client().Do(req)
-	if err != nil {
-		return "", fmt.Errorf("endpoint: explain request: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("endpoint: explain failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
-	}
-	return string(body), nil
+	return out, nil
 }
 
 // Update implements SPARQLClient over HTTP.
 func (r *Remote) Update(update string) error {
+	return r.UpdateContext(context.Background(), update)
+}
+
+// UpdateContext implements ContextClient. Updates are never retried:
+// they are not idempotent, and after an ambiguous failure (say, a
+// connection dropped after the server applied the write) a retry could
+// apply the update twice. The per-attempt Timeout still applies, and
+// the returned *Error still classifies the failure so the caller can
+// decide what a safe recovery looks like.
+func (r *Remote) UpdateContext(ctx context.Context, update string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
 	form := url.Values{"update": {update}}
-	req, err := http.NewRequest(http.MethodPost, r.UpdateURL, strings.NewReader(form.Encode()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.UpdateURL, strings.NewReader(form.Encode()))
 	if err != nil {
-		return err
+		return &Error{Op: "update", Attempts: 1, Err: err}
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	resp, err := r.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("endpoint: update request: %w", err)
+		return &Error{Op: "update", Attempts: 1, Retryable: true, Err: fmt.Errorf("endpoint: update request: %w", err)}
 	}
-	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	if resp.StatusCode >= 300 {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("endpoint: update failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		return &Error{
+			Op:        "update",
+			Status:    resp.StatusCode,
+			Attempts:  1,
+			Retryable: retryableStatus(resp.StatusCode),
+			Err:       fmt.Errorf("endpoint: update failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+		}
 	}
 	return nil
 }

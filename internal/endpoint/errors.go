@@ -1,0 +1,66 @@
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is the typed error the Remote client returns for a failed
+// protocol exchange. It classifies the failure so callers (and the
+// client's own retry loop) can tell transient faults — connection
+// drops, 5xx overload responses, timeouts, truncated bodies — from
+// permanent ones like parse errors, and records how many attempts were
+// made before giving up.
+type Error struct {
+	// Op is the protocol operation: "query", "update", or "explain".
+	Op string
+	// Status is the HTTP status of the failing response, or 0 when the
+	// exchange failed below HTTP (connection drop, timeout, truncation).
+	Status int
+	// Retryable reports whether the failure is transient: a retry of
+	// the same idempotent request may succeed. Updates are reported
+	// with their classification but are never retried by the client.
+	Retryable bool
+	// Attempts is how many times the exchange was tried (1 = no retry).
+	Attempts int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("endpoint: %s failed", e.Op)
+	if e.Status != 0 {
+		msg = fmt.Sprintf("%s (HTTP %d)", msg, e.Status)
+	}
+	if e.Attempts > 1 {
+		msg = fmt.Sprintf("%s after %d attempts", msg, e.Attempts)
+	}
+	return fmt.Sprintf("%s: %v", msg, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err represents a transient endpoint
+// failure: a typed *Error classified retryable, or a circuit-breaker
+// rejection (the breaker reopens by itself, so the caller may try again
+// later). Anything else — parse errors, evaluation errors, permanent
+// HTTP failures — is not retryable.
+func IsRetryable(err error) bool {
+	var ee *Error
+	if errors.As(err, &ee) {
+		return ee.Retryable
+	}
+	return errors.Is(err, ErrCircuitOpen)
+}
+
+// retryableStatus classifies HTTP statuses worth retrying: overload
+// and gateway failures (429/502/503/504). 500 is deliberately excluded
+// — the server reports deterministic query-evaluation errors as 500,
+// and retrying those only multiplies the load that caused them.
+func retryableStatus(status int) bool {
+	switch status {
+	case 429, 502, 503, 504:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,460 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// newResilientServer builds a Server over testTTL, applies cfg, and
+// serves it on an httptest listener.
+func newResilientServer(t *testing.T, cfg func(*Server)) (*Server, *httptest.Server) {
+	t.Helper()
+	st := store.New()
+	triples, _, err := turtle.Parse(testTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.InsertTriples(rdf.Term{}, triples)
+	srv := NewServer(st)
+	if cfg != nil {
+		cfg(srv)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func counterValue(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	switch v := s.Metrics().Snapshot()[name].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	default:
+		t.Fatalf("counter %s has unexpected snapshot type %T", name, v)
+		return 0
+	}
+}
+
+const anyQuery = `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`
+
+// validResults is a minimal SPARQL results JSON document for scripted
+// fake servers.
+const validResults = `{"head":{"vars":["s"]},"results":{"bindings":[{"s":{"type":"uri","value":"http://x/a"}}]}}`
+
+func TestQueryTimeoutReturns504(t *testing.T) {
+	srv, hs := newResilientServer(t, func(s *Server) { s.QueryTimeout = time.Nanosecond })
+	resp, err := http.Get(hs.URL + "/sparql?query=" + url.QueryEscape(anyQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, body)
+	}
+	if got := counterValue(t, srv, "queries_timeout_total"); got != 1 {
+		t.Fatalf("queries_timeout_total = %d, want 1", got)
+	}
+}
+
+func TestQueryTimeoutCarriesPartialTrace(t *testing.T) {
+	_, hs := newResilientServer(t, func(s *Server) { s.QueryTimeout = time.Nanosecond })
+	req, _ := http.NewRequest(http.MethodGet, hs.URL+"/sparql?query="+url.QueryEscape(anyQuery), nil)
+	req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID(), true))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	wire := resp.Header.Get(obs.ServerTraceHeader)
+	if wire == "" {
+		t.Fatal("504 response carries no partial trace header")
+	}
+	sp, err := obs.DecodeSpanWire(wire)
+	if err != nil || sp == nil {
+		t.Fatalf("partial trace did not decode: %v", err)
+	}
+}
+
+func TestLoadSheddingReturns503(t *testing.T) {
+	srv, hs := newResilientServer(t, func(s *Server) { s.MaxInFlight = 1 })
+
+	// Occupy the only slot directly, then observe the shed path.
+	release, ok := srv.acquire()
+	if !ok {
+		t.Fatal("could not take the in-flight slot")
+	}
+	resp, err := http.Get(hs.URL + "/sparql?query=" + url.QueryEscape(anyQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response has no Retry-After header")
+	}
+	if got := counterValue(t, srv, "queries_shed_total"); got != 1 {
+		t.Fatalf("queries_shed_total = %d, want 1", got)
+	}
+
+	release()
+	resp, err = http.Get(hs.URL + "/sparql?query=" + url.QueryEscape(anyQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after release = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestClientDisconnectCounted(t *testing.T) {
+	srv, _ := newResilientServer(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(anyQuery), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if got := counterValue(t, srv, "queries_canceled_total"); got != 1 {
+		t.Fatalf("queries_canceled_total = %d, want 1", got)
+	}
+}
+
+// scriptedServer serves canned responses in order, repeating the last
+// one, and counts requests.
+func scriptedServer(t *testing.T, responses ...func(w http.ResponseWriter)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i >= len(responses) {
+			i = len(responses) - 1
+		}
+		responses[i](w)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &n
+}
+
+func respond503(w http.ResponseWriter) { http.Error(w, "overloaded", http.StatusServiceUnavailable) }
+func respondOK(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	io.WriteString(w, validResults)
+}
+
+// noSleep replaces the retry backoff with a recorder, keeping tests
+// fast and the schedule observable.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRetryRecoversFromTransient5xx(t *testing.T) {
+	hs, n := scriptedServer(t, respond503, respond503, respondOK)
+	var delays []time.Duration
+	r := NewRemote(hs.URL)
+	r.Retries = 3
+	r.sleep = noSleep(&delays)
+	res, err := r.Select(anyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+	if n.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", n.Load())
+	}
+	if r.RetryCount() != 2 {
+		t.Fatalf("RetryCount = %d, want 2", r.RetryCount())
+	}
+}
+
+func TestRetryRecoversFromTruncatedBody(t *testing.T) {
+	hs, n := scriptedServer(t,
+		func(w http.ResponseWriter) { io.WriteString(w, validResults[:20]) }, // cut JSON
+		respondOK)
+	var delays []time.Duration
+	r := NewRemote(hs.URL)
+	r.Retries = 2
+	r.sleep = noSleep(&delays)
+	res, err := r.Select(anyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || n.Load() != 2 {
+		t.Fatalf("rows = %d, requests = %d; want 1 row after 2 requests", res.Len(), n.Load())
+	}
+}
+
+func TestNoRetryOnPermanentFailure(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusInternalServerError} {
+		hs, n := scriptedServer(t, func(w http.ResponseWriter) {
+			http.Error(w, "no", status)
+		})
+		r := NewRemote(hs.URL)
+		r.Retries = 3
+		r.sleep = noSleep(&[]time.Duration{})
+		_, err := r.Select(anyQuery)
+		if err == nil {
+			t.Fatalf("status %d: expected error", status)
+		}
+		if IsRetryable(err) {
+			t.Fatalf("status %d classified retryable: %v", status, err)
+		}
+		var ee *Error
+		if !errors.As(err, &ee) || ee.Status != status || ee.Attempts != 1 {
+			t.Fatalf("status %d: error = %+v", status, err)
+		}
+		if n.Load() != 1 {
+			t.Fatalf("status %d: server saw %d requests, want 1", status, n.Load())
+		}
+	}
+}
+
+func TestRetriesExhaustedReportsAttempts(t *testing.T) {
+	hs, n := scriptedServer(t, respond503)
+	r := NewRemote(hs.URL)
+	r.Retries = 2
+	r.sleep = noSleep(&[]time.Duration{})
+	_, err := r.Select(anyQuery)
+	var ee *Error
+	if !errors.As(err, &ee) {
+		t.Fatalf("error = %v, want *Error", err)
+	}
+	if !ee.Retryable || ee.Attempts != 3 || ee.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %+v, want retryable 503 after 3 attempts", ee)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", n.Load())
+	}
+}
+
+func TestUpdateNeverRetried(t *testing.T) {
+	hs, n := scriptedServer(t, respond503)
+	r := NewRemote(hs.URL)
+	r.Retries = 5
+	r.sleep = noSleep(&[]time.Duration{})
+	err := r.Update(`INSERT DATA { <http://s> <http://p> "v" }`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ee *Error
+	if !errors.As(err, &ee) || ee.Op != "update" || ee.Attempts != 1 {
+		t.Fatalf("error = %+v, want single-attempt update error", err)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 (updates must not retry)", n.Load())
+	}
+}
+
+func TestBackoffScheduleGrows(t *testing.T) {
+	hs, _ := scriptedServer(t, respond503)
+	var delays []time.Duration
+	r := NewRemote(hs.URL)
+	r.Retries = 3
+	r.Backoff = 100 * time.Millisecond
+	r.jitterFn = func() float64 { return 0 }
+	r.sleep = noSleep(&delays)
+	r.Select(anyQuery)
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(2, time.Minute)
+	cur := time.Unix(1000, 0)
+	b.now = func() time.Time { return cur }
+
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	b.Record(false)
+	b.Allow()
+	b.Record(false) // second consecutive failure: trips
+	if b.State() != "open" || b.Trips() != 1 {
+		t.Fatalf("state = %s, trips = %d; want open after threshold", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	if b.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", b.Rejected())
+	}
+
+	cur = cur.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: probe should be admitted")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open during probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while a probe is in flight")
+	}
+	b.Record(false) // failed probe reopens
+	if b.Allow() {
+		t.Fatal("failed probe should reopen the circuit")
+	}
+
+	cur = cur.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe should be admitted")
+	}
+	b.Record(true)
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("successful probe should close the circuit")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d; a reopen is not a new trip", b.Trips())
+	}
+
+	var nilB *Breaker
+	if !nilB.Allow() || nilB.State() != "closed" {
+		t.Fatal("nil breaker must be a no-op that always allows")
+	}
+	nilB.Record(false)
+}
+
+func TestRemoteFailsFastWhenBreakerOpen(t *testing.T) {
+	hs, n := scriptedServer(t, respond503)
+	r := NewRemote(hs.URL)
+	r.Breaker = NewBreaker(1, time.Hour)
+	if _, err := r.Select(anyQuery); err == nil {
+		t.Fatal("first query should fail")
+	}
+	_, err := r.Select(anyQuery)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("error = %v, want ErrCircuitOpen", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("circuit-open failures should read as retryable-later")
+	}
+	if n.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (second fails fast)", n.Load())
+	}
+}
+
+func TestHostileTraceHeaderNeverFailsQuery(t *testing.T) {
+	cases := map[string]string{
+		"oversized": strings.Repeat("A", obs.MaxWireSpanBytes+1),
+		"malformed": "!!!not-base64!!!",
+		"bad-json":  "aGVsbG8gd29ybGQ=", // base64("hello world")
+	}
+	for name, header := range cases {
+		t.Run(name, func(t *testing.T) {
+			hs, _ := scriptedServer(t, func(w http.ResponseWriter) {
+				w.Header().Set(obs.ServerTraceHeader, header)
+				respondOK(w)
+			})
+			r := NewRemote(hs.URL)
+			r.Tracer = obs.NewTracer(4)
+			res, tr, err := r.SelectTraced(anyQuery)
+			if err != nil {
+				t.Fatalf("query failed on hostile trace header: %v", err)
+			}
+			if res.Len() != 1 {
+				t.Fatalf("rows = %d, want 1", res.Len())
+			}
+			if len(tr.Root.Children) != 0 {
+				t.Fatalf("hostile header was attached to the client trace: %d children", len(tr.Root.Children))
+			}
+		})
+	}
+}
+
+func TestSelectContextCancelsRemote(t *testing.T) {
+	started := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Consume the body: the server only watches for client
+		// disconnects (canceling r.Context()) once the request body has
+		// been read. The time bound keeps a failed propagation from
+		// wedging hs.Close in cleanup.
+		io.Copy(io.Discard, r.Body)
+		close(started)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	t.Cleanup(hs.Close)
+	r := NewRemote(hs.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.SelectContext(ctx, anyQuery)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled exchange succeeded")
+		}
+		if IsRetryable(err) {
+			t.Fatalf("caller cancellation classified retryable: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled SelectContext did not return")
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	t.Cleanup(hs.Close)
+	r := NewRemote(hs.URL)
+	r.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := r.Select(anyQuery)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("attempt timeout took %v", d)
+	}
+	// An attempt timeout (not a caller cancel) is transient.
+	if !IsRetryable(err) {
+		t.Fatalf("attempt timeout classified permanent: %v", err)
+	}
+}

@@ -15,7 +15,9 @@
 package endpoint
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -68,6 +70,24 @@ type Server struct {
 	// Zero disables the slow-query log.
 	SlowQuery time.Duration
 
+	// QueryTimeout bounds each /sparql evaluation. An expired query
+	// returns 504 Gateway Timeout (with the partial trace collected so
+	// far when the query was traced) and counts in
+	// queries_timeout_total. Zero disables the per-query deadline; the
+	// request context still cancels evaluation when the caller
+	// disconnects. Set before the first request.
+	QueryTimeout time.Duration
+
+	// MaxInFlight bounds concurrently evaluating /sparql requests.
+	// Excess queries are shed immediately — 503 + Retry-After, counted
+	// in queries_shed_total — rather than queued, so an overloaded
+	// server stays responsive instead of accumulating work it cannot
+	// finish. Zero means unbounded. Set before the first request.
+	MaxInFlight int
+
+	inflightOnce sync.Once
+	inflight     chan struct{}
+
 	// Tracer, when set, records a per-operator trace of sampled /sparql
 	// SELECT/ASK evaluations (served at /debug/traces) and folds the
 	// spans into the registry's op.* totals. Nil — the default — keeps
@@ -105,6 +125,7 @@ type Server struct {
 	reg                        *obs.Registry
 	mQueries, mUpdates, mLoads *obs.Counter
 	mErrors, mSlow             *obs.Counter
+	mShed, mTimeout, mCanceled *obs.Counter
 	hQuery, hUpdate, hLoad     *obs.Histogram
 }
 
@@ -117,6 +138,9 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	s.mLoads = s.reg.Counter("loads_total")
 	s.mErrors = s.reg.Counter("errors_total")
 	s.mSlow = s.reg.Counter("slow_queries_total")
+	s.mShed = s.reg.Counter("queries_shed_total")
+	s.mTimeout = s.reg.Counter("queries_timeout_total")
+	s.mCanceled = s.reg.Counter("queries_canceled_total")
 	s.hQuery = s.reg.Histogram("query_latency")
 	s.hUpdate = s.reg.Histogram("update_latency")
 	s.hLoad = s.reg.Histogram("load_latency")
@@ -231,6 +255,20 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if ow.status >= 400 {
 			s.mErrors.Inc()
 		}
+		// Resilience outcome for the access log: shed, timeout, and
+		// canceled lines are what an operator greps for when tuning
+		// -max-inflight and -query-timeout.
+		outcome := "ok"
+		switch {
+		case route == "/sparql" && ow.status == http.StatusServiceUnavailable:
+			outcome = "shed"
+		case ow.status == http.StatusGatewayTimeout:
+			outcome = "timeout"
+		case ow.status == statusClientClosedRequest:
+			outcome = "canceled"
+		case ow.status >= 400:
+			outcome = "error"
+		}
 		slow := route == "/sparql" && s.SlowQuery > 0 && d >= s.SlowQuery
 		if slow {
 			s.mSlow.Inc()
@@ -246,13 +284,61 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		// exported trace archive.
 		s.Logger.Info("request",
 			"method", r.Method, "path", route, "status", ow.status,
-			"bytes", ow.bytes, "dur", d, "trace", string(ow.traceID))
+			"outcome", outcome, "bytes", ow.bytes, "dur", d,
+			"trace", string(ow.traceID))
 		if slow {
 			s.Logger.Warn("slow query",
 				"dur", d, "threshold", s.SlowQuery, "status", ow.status,
 				"trace", string(ow.traceID), "query", ow.query)
 		}
 	})
+}
+
+// statusClientClosedRequest is the nginx-convention status recorded
+// when the caller disconnected before the query finished. The response
+// itself is unsendable; the code exists for the access log and metrics.
+const statusClientClosedRequest = 499
+
+// acquire takes an in-flight query slot, reporting false when the
+// server is saturated and the query should be shed. The returned
+// release must be called once evaluation finishes.
+func (s *Server) acquire() (release func(), ok bool) {
+	if s.MaxInFlight <= 0 {
+		return func() {}, true
+	}
+	s.inflightOnce.Do(func() { s.inflight = make(chan struct{}, s.MaxInFlight) })
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		return nil, false
+	}
+}
+
+// queryContext derives the evaluation context for one /sparql request:
+// the request context (so a disconnecting caller cancels evaluation),
+// bounded by QueryTimeout when set.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeEvalError maps a query-evaluation error to a protocol status:
+// deadline expiry → 504 Gateway Timeout, caller disconnect → 499
+// (client closed request), anything else → 500.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mTimeout.Inc()
+		http.Error(w, "query timed out: "+err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		s.mCanceled.Inc()
+		http.Error(w, err.Error(), statusClientClosedRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -289,22 +375,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ow.query = queryText
 	}
 
+	// Load shedding happens before parsing: when the server is
+	// saturated the cheapest possible rejection is the point.
+	release, ok := s.acquire()
+	if !ok {
+		s.mShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("server is at its in-flight query limit (%d)", s.MaxInFlight),
+			http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
 	q, err := sparql.ParseQuery(queryText)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+
 	if q.Form == sparql.FormConstruct || q.Form == sparql.FormDescribe {
 		var triples []rdf.Triple
 		var err error
 		if q.Form == sparql.FormConstruct {
-			triples, err = s.engine.Construct(q)
+			triples, err = s.engine.ConstructContext(ctx, q)
 		} else {
-			triples, err = s.engine.Describe(q)
+			triples, err = s.engine.DescribeContext(ctx, q)
 		}
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.writeEvalError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/n-triples")
@@ -344,9 +445,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var res *sparql.Results
 	if traced {
 		var tr *obs.Trace
-		res, tr, err = s.engine.QueryTraced(q)
+		res, tr, err = s.engine.QueryTracedID(ctx, q, id)
 		if tr != nil {
 			tr.ID, tr.Query = id, queryText
+			// The span wire header is set even when evaluation failed
+			// or timed out: a 504 carries the partial trace collected
+			// so far, which is exactly what the caller needs to see
+			// where the deadline went.
 			if hasTP && tp.Sampled {
 				if wire, ok := obs.EncodeSpanWire(tr.Root); ok {
 					w.Header().Set(obs.ServerTraceHeader, wire)
@@ -362,10 +467,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		res, err = s.engine.Query(q)
+		res, err = s.engine.QueryContext(ctx, q)
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeEvalError(w, err)
 		return
 	}
 
@@ -423,10 +528,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.updateMu.Lock()
-	err = s.engine.Execute(u)
+	err = s.engine.UpdateContext(r.Context(), u)
 	s.updateMu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeEvalError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -1,0 +1,343 @@
+// Package faults provides deterministic, seedable fault injection for
+// the SPARQL protocol path. An Injector draws fault decisions from a
+// seeded PRNG — the same seed and request sequence always produce the
+// same faults, which is what makes the chaos suite reproducible — and
+// applies them either on the client side (RoundTripper) or the server
+// side (Handler, wired to `sparqld -fault-profile`).
+//
+// Injected failure modes model what a flaky network and an overloaded
+// endpoint actually do: connections dropped without a response, 5xx
+// bursts, slow responses, and response bodies truncated mid-stream.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// Kind enumerates the injected failure modes.
+type Kind int
+
+const (
+	// None passes the request through untouched.
+	None Kind = iota
+	// Drop fails the exchange with a connection-level error (client
+	// side) or an aborted response (server side); no HTTP status is
+	// ever observed.
+	Drop
+	// Err5xx answers 503 Service Unavailable without doing the work.
+	Err5xx
+	// Slow delays the exchange by the profile's Delay before letting
+	// it proceed, honoring the request context during the wait.
+	Slow
+	// Truncate lets the exchange run but cuts the response body short,
+	// so the caller sees a partial payload.
+	Truncate
+
+	numKinds
+)
+
+// String names the kind for counters and logs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Err5xx:
+		return "5xx"
+	case Slow:
+		return "slow"
+	case Truncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrDropped is the connection-level error a client-side Drop fault
+// surfaces (wrapped in the transport error the HTTP client returns).
+var ErrDropped = errors.New("faults: connection dropped")
+
+// truncateAfterBytes is how much of a truncated response body gets
+// through. It is deliberately tiny so a Truncate fault lands mid-JSON
+// for any non-trivial result set.
+const truncateAfterBytes = 32
+
+// Profile configures an Injector: one probability per fault kind and
+// the slow-response delay.
+type Profile struct {
+	// Name identifies the profile in flags and logs.
+	Name string
+	// DropRate, ErrRate, SlowRate and TruncateRate are per-request
+	// probabilities in [0, 1], resolved in that order from a single
+	// uniform draw; their sum must not exceed 1.
+	DropRate, ErrRate, SlowRate, TruncateRate float64
+	// Delay is the latency a Slow fault injects.
+	Delay time.Duration
+	// MaxFaults, when positive, bounds the total number of injected
+	// faults; once spent, every request passes through. Chaos tests
+	// use it to guarantee eventual progress under aggressive rates.
+	MaxFaults int64
+}
+
+// Enabled reports whether the profile can inject anything.
+func (p Profile) Enabled() bool {
+	return p.DropRate > 0 || p.ErrRate > 0 || p.SlowRate > 0 || p.TruncateRate > 0
+}
+
+// ByName resolves a named profile from the catalog wired to
+// `sparqld -fault-profile`: off, drops, flaky5xx, slow, truncate,
+// chaos.
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "", "off":
+		return Profile{Name: "off"}, true
+	case "drops":
+		return Profile{Name: "drops", DropRate: 0.3}, true
+	case "flaky5xx":
+		return Profile{Name: "flaky5xx", ErrRate: 0.3}, true
+	case "slow":
+		return Profile{Name: "slow", SlowRate: 0.5, Delay: 50 * time.Millisecond}, true
+	case "truncate":
+		return Profile{Name: "truncate", TruncateRate: 0.3}, true
+	case "chaos":
+		return Profile{
+			Name: "chaos", DropRate: 0.1, ErrRate: 0.1, SlowRate: 0.1,
+			TruncateRate: 0.1, Delay: 30 * time.Millisecond,
+		}, true
+	default:
+		return Profile{}, false
+	}
+}
+
+// Names lists the catalog for flag usage strings.
+func Names() []string {
+	names := []string{"off", "drops", "flaky5xx", "slow", "truncate", "chaos"}
+	sort.Strings(names)
+	return names
+}
+
+// Injector draws seeded fault decisions and applies them. Safe for
+// concurrent use; nil-safe (a nil *Injector never injects).
+type Injector struct {
+	profile Profile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	injected atomic.Int64
+	byKind   [numKinds]atomic.Int64
+}
+
+// New returns an injector for p whose decision sequence is fully
+// determined by seed.
+func New(p Profile, seed int64) *Injector {
+	return &Injector{profile: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile returns the injector's configuration.
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{Name: "off"}
+	}
+	return in.profile
+}
+
+// Next draws the fault decision for the next request and records it.
+func (in *Injector) Next() Kind {
+	if in == nil || !in.profile.Enabled() {
+		return None
+	}
+	if max := in.profile.MaxFaults; max > 0 && in.injected.Load() >= max {
+		return None
+	}
+	in.mu.Lock()
+	draw := in.rng.Float64()
+	in.mu.Unlock()
+	k := None
+	p := in.profile
+	switch {
+	case draw < p.DropRate:
+		k = Drop
+	case draw < p.DropRate+p.ErrRate:
+		k = Err5xx
+	case draw < p.DropRate+p.ErrRate+p.SlowRate:
+		k = Slow
+	case draw < p.DropRate+p.ErrRate+p.SlowRate+p.TruncateRate:
+		k = Truncate
+	}
+	if k != None {
+		in.injected.Add(1)
+	}
+	in.byKind[k].Add(1)
+	return k
+}
+
+// Injected returns how many faults have been injected in total.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.injected.Load()
+}
+
+// Counts returns the per-kind decision counts (including "none").
+func (in *Injector) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	if in == nil {
+		return out
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if n := in.byKind[k].Load(); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
+// RoundTripper wraps next (nil = http.DefaultTransport) with
+// client-observed faults: Drop returns a connection error, Err5xx
+// synthesizes a 503 without reaching the server, Slow sleeps before
+// forwarding, Truncate forwards but cuts the response body short with
+// io.ErrUnexpectedEOF.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &faultTransport{in: in, next: next}
+}
+
+type faultTransport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.in.Next() {
+	case Drop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w (%s %s)", ErrDropped, req.Method, req.URL.Path)
+	case Err5xx:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("faults: injected 503")),
+			Request: req,
+		}, nil
+	case Slow:
+		timer := time.NewTimer(t.in.profile.Delay)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	case Truncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, left: truncateAfterBytes}
+		// The advertised length no longer matches what the body will
+		// deliver, which is the point.
+		resp.ContentLength = -1
+		return resp, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// truncatedBody delivers at most left bytes, then fails with
+// io.ErrUnexpectedEOF — what a connection torn down mid-body looks
+// like to the reader.
+type truncatedBody struct {
+	rc   io.ReadCloser
+	left int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= n
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// Handler wraps next with server-observed faults, the hook behind
+// `sparqld -fault-profile`: Drop aborts the response without a status
+// (http.ErrAbortHandler), Err5xx answers 503 before the handler runs,
+// Slow delays handling, Truncate serves the response but discards all
+// body bytes past a small prefix, so the client receives a complete
+// HTTP exchange carrying a cut payload.
+func (in *Injector) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch in.Next() {
+		case Drop:
+			panic(http.ErrAbortHandler)
+		case Err5xx:
+			http.Error(w, "faults: injected 503", http.StatusServiceUnavailable)
+			return
+		case Slow:
+			timer := time.NewTimer(in.profile.Delay)
+			defer timer.Stop()
+			select {
+			case <-r.Context().Done():
+				return
+			case <-timer.C:
+			}
+		case Truncate:
+			next.ServeHTTP(&truncatingWriter{ResponseWriter: w, left: truncateAfterBytes}, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncatingWriter forwards at most left body bytes and silently
+// swallows the rest, so the handler completes normally while the
+// client sees a short payload.
+type truncatingWriter struct {
+	http.ResponseWriter
+	left int
+}
+
+func (w *truncatingWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return len(p), nil
+	}
+	send := p
+	if len(send) > w.left {
+		send = send[:w.left]
+	}
+	n, err := w.ResponseWriter.Write(send)
+	w.left -= n
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}

@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func kindSequence(in *Injector, n int) []Kind {
+	out := make([]Kind, n)
+	for i := range out {
+		out[i] = in.Next()
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	p, ok := ByName("chaos")
+	if !ok {
+		t.Fatal("chaos profile missing")
+	}
+	a := kindSequence(New(p, 42), 200)
+	b := kindSequence(New(p, 42), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := kindSequence(New(p, 43), 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-decision sequences")
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	in := New(Profile{Name: "t", DropRate: 0.5}, 7)
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if in.Next() == Drop {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drop rate 0.5 produced %d/1000 drops", drops)
+	}
+	if got := in.Injected(); got != int64(drops) {
+		t.Fatalf("Injected() = %d, want %d", got, drops)
+	}
+	if got := in.Counts()["drop"]; got != int64(drops) {
+		t.Fatalf(`Counts()["drop"] = %d, want %d`, got, drops)
+	}
+}
+
+func TestInjectorMaxFaults(t *testing.T) {
+	in := New(Profile{Name: "t", DropRate: 1, MaxFaults: 3}, 1)
+	faults := 0
+	for i := 0; i < 100; i++ {
+		if in.Next() != None {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("MaxFaults=3 injected %d faults", faults)
+	}
+}
+
+func TestByNameCatalog(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if name != "off" && !p.Enabled() {
+			t.Fatalf("profile %q injects nothing", name)
+		}
+	}
+	if _, ok := ByName("no-such-profile"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+	if p, _ := ByName(""); p.Enabled() {
+		t.Fatal("empty profile name should disable injection")
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if k := in.Next(); k != None {
+		t.Fatalf("nil injector injected %v", k)
+	}
+	if in.Injected() != 0 || len(in.Counts()) != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+const okBody = `{"hello":"world","padding":"0123456789012345678901234567890123456789"}`
+
+func backend() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, okBody)
+	})
+}
+
+func TestRoundTripperDrop(t *testing.T) {
+	srv := httptest.NewServer(backend())
+	defer srv.Close()
+	in := New(Profile{Name: "t", DropRate: 1}, 1)
+	c := &http.Client{Transport: in.RoundTripper(nil)}
+	_, err := c.Get(srv.URL)
+	if err == nil {
+		t.Fatal("drop fault returned a response")
+	}
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("drop fault error = %v, want ErrDropped", err)
+	}
+}
+
+func TestRoundTripper5xx(t *testing.T) {
+	srv := httptest.NewServer(backend())
+	defer srv.Close()
+	in := New(Profile{Name: "t", ErrRate: 1}, 1)
+	c := &http.Client{Transport: in.RoundTripper(nil)}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestRoundTripperTruncate(t *testing.T) {
+	srv := httptest.NewServer(backend())
+	defer srv.Close()
+	in := New(Profile{Name: "t", TruncateRate: 1}, 1)
+	c := &http.Client{Transport: in.RoundTripper(nil)}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(body) > truncateAfterBytes {
+		t.Fatalf("truncated body delivered %d bytes", len(body))
+	}
+}
+
+func TestRoundTripperSlow(t *testing.T) {
+	srv := httptest.NewServer(backend())
+	defer srv.Close()
+	delay := 30 * time.Millisecond
+	in := New(Profile{Name: "t", SlowRate: 1, Delay: delay}, 1)
+	c := &http.Client{Transport: in.RoundTripper(nil)}
+	start := time.Now()
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < delay {
+		t.Fatalf("slow fault took %v, want >= %v", d, delay)
+	}
+}
+
+func TestHandler5xxAndTruncate(t *testing.T) {
+	in := New(Profile{Name: "t", ErrRate: 1, MaxFaults: 1}, 1)
+	srv := httptest.NewServer(in.Handler(backend()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// MaxFaults spent: the next request passes through untouched.
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != okBody {
+		t.Fatalf("pass-through body = %q", body)
+	}
+
+	tr := New(Profile{Name: "t", TruncateRate: 1}, 1)
+	tsrv := httptest.NewServer(tr.Handler(backend()))
+	defer tsrv.Close()
+	resp, err = http.Get(tsrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != truncateAfterBytes || strings.HasSuffix(string(body), "}") {
+		t.Fatalf("server truncation delivered %d bytes: %q", len(body), body)
+	}
+}
+
+func TestHandlerDrop(t *testing.T) {
+	in := New(Profile{Name: "t", DropRate: 1}, 1)
+	srv := httptest.NewServer(in.Handler(backend()))
+	defer srv.Close()
+	_, err := http.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped response succeeded")
+	}
+}

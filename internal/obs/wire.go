@@ -112,10 +112,16 @@ func EncodeSpanWire(s *Span) (string, bool) {
 
 // DecodeSpanWire parses a ServerTraceHeader value back into a span
 // tree. An empty value decodes to (nil, nil) so callers can pass the
-// header through unconditionally.
+// header through unconditionally. Values beyond MaxWireSpanBytes are
+// rejected without being decoded: a compliant server never emits them,
+// so an oversized header is hostile or corrupt and must not make the
+// client buffer or parse an unbounded payload.
 func DecodeSpanWire(v string) (*Span, error) {
 	if v == "" {
 		return nil, nil
+	}
+	if len(v) > MaxWireSpanBytes {
+		return nil, fmt.Errorf("obs: span wire value exceeds %d bytes", MaxWireSpanBytes)
 	}
 	data, err := base64.StdEncoding.DecodeString(v)
 	if err != nil {

@@ -1,6 +1,7 @@
 package ql
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,11 +33,18 @@ func (v Variant) String() string {
 // Execute runs one of the translated queries on the endpoint and
 // materializes the result cube on the fly (the SPARQL Execution phase).
 func Execute(c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, error) {
+	return ExecuteContext(context.Background(), c, t, v)
+}
+
+// ExecuteContext is Execute under a context: ctx bounds the SPARQL
+// execution when the client supports cancellation (both built-in
+// endpoint clients do).
+func ExecuteContext(ctx context.Context, c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, error) {
 	query := t.Direct
 	if v == Alternative {
 		query = t.Alternative
 	}
-	res, err := c.Select(query)
+	res, err := endpoint.SelectContext(ctx, c, query)
 	if err != nil {
 		return nil, fmt.Errorf("ql: executing %s query: %w", v, err)
 	}
@@ -144,12 +152,18 @@ func Prepare(src string, schema *qb4olap.CubeSchema) (*Pipeline, error) {
 // pipeline's Timings include the execution phase for the chosen
 // variant.
 func Run(c endpoint.SPARQLClient, schema *qb4olap.CubeSchema, src string, v Variant) (*olap.Cube, *Pipeline, error) {
+	return RunContext(context.Background(), c, schema, src, v)
+}
+
+// RunContext is Run under a context; preparation is pure computation,
+// so ctx effectively bounds the SPARQL execution phase.
+func RunContext(ctx context.Context, c endpoint.SPARQLClient, schema *qb4olap.CubeSchema, src string, v Variant) (*olap.Cube, *Pipeline, error) {
 	p, err := Prepare(src, schema)
 	if err != nil {
 		return nil, nil, err
 	}
 	start := time.Now()
-	cube, err := Execute(c, p.Translation, v)
+	cube, err := ExecuteContext(ctx, c, p.Translation, v)
 	p.Timings = append(p.Timings, PhaseTiming{Phase: "execute(" + v.String() + ")", Wall: time.Since(start)})
 	if err != nil {
 		return nil, p, err

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -125,6 +126,13 @@ type run struct {
 	vt  *varTable
 	ctx graphCtx
 
+	// qctx/done arm cooperative cancellation (see context.go). done is
+	// qctx.Done(); both stay nil for uncancellable evaluations, which
+	// keeps every cancellation hook a single nil check. Workers share
+	// them through the run-value copy.
+	qctx context.Context
+	done <-chan struct{}
+
 	// trace is the current trace cursor: operator spans attach under
 	// it. Nil (the default) disables tracing; every hook then reduces
 	// to a nil check.
@@ -143,23 +151,17 @@ type run struct {
 // traced and collected; an unsampled query runs the untraced fast path
 // and allocates no span tree.
 func (e *Engine) Query(q *Query) (*Results, error) {
-	if e.tracer != nil {
-		if id := obs.NewTraceID(); e.sampler.Sample(id) {
-			res, _, err := e.queryTracedID(q, id)
-			return res, err
-		}
-	}
-	return e.query(q, nil)
+	return e.QueryContext(context.Background(), q)
 }
 
 // query dispatches on the query form, attaching operator spans under
 // root when it is non-nil.
-func (e *Engine) query(q *Query, root *obs.Span) (*Results, error) {
+func (e *Engine) query(ctx context.Context, q *Query, root *obs.Span) (*Results, error) {
 	switch q.Form {
 	case FormSelect:
-		return e.selectRun(q, root)
+		return e.selectRun(ctx, q, root)
 	case FormAsk:
-		ok, err := e.askRun(q, root)
+		ok, err := e.askRun(ctx, q, root)
 		if err != nil {
 			return nil, err
 		}
@@ -182,25 +184,27 @@ func (e *Engine) QueryString(src string) (*Results, error) {
 
 // Select evaluates a SELECT query.
 func (e *Engine) Select(q *Query) (*Results, error) {
-	return e.selectRun(q, nil)
+	return e.selectRun(context.Background(), q, nil)
 }
 
-func (e *Engine) selectRun(q *Query, root *obs.Span) (*Results, error) {
+func (e *Engine) selectRun(ctx context.Context, q *Query, root *obs.Span) (*Results, error) {
 	if q.Form != FormSelect {
 		return nil, fmt.Errorf("sparql: not a SELECT query")
 	}
 	r := &run{e: e, vt: newVarTable(), trace: root}
+	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	return r.evalSelect(q)
 }
 
 // Ask evaluates an ASK query.
 func (e *Engine) Ask(q *Query) (bool, error) {
-	return e.askRun(q, nil)
+	return e.askRun(context.Background(), q, nil)
 }
 
-func (e *Engine) askRun(q *Query, root *obs.Span) (bool, error) {
+func (e *Engine) askRun(ctx context.Context, q *Query, root *obs.Span) (bool, error) {
 	r := &run{e: e, vt: newVarTable(), trace: root}
+	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
 	if err != nil {
@@ -212,10 +216,17 @@ func (e *Engine) askRun(q *Query, root *obs.Span) (bool, error) {
 // Construct evaluates a CONSTRUCT query and returns the instantiated,
 // deduplicated triples.
 func (e *Engine) Construct(q *Query) ([]rdf.Triple, error) {
+	return e.ConstructContext(context.Background(), q)
+}
+
+// ConstructContext is Construct under a context (see QueryContext for
+// the cancellation semantics).
+func (e *Engine) ConstructContext(ctx context.Context, q *Query) ([]rdf.Triple, error) {
 	if q.Form != FormConstruct {
 		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
 	}
 	r := &run{e: e, vt: newVarTable()}
+	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
 	if err != nil {
@@ -273,6 +284,9 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 	}
 
 	if q.Distinct {
+		if r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		sp := r.trace.StartChild("DISTINCT", "", len(res.Rows))
 		sp.SetEst(int64(len(res.Rows)))
 		res.Rows = distinctRows(res.Rows)
@@ -342,11 +356,17 @@ func exprHasAggregate(e Expression) bool {
 func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	// ORDER BY before projection so order keys may use any variable.
 	if len(q.OrderBy) > 0 {
+		if r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		sp := r.trace.StartChild("ORDER", "", len(rows))
 		sp.SetEst(int64(len(rows)))
 		r.sortRows(rows, q.OrderBy)
 		if sp != nil {
 			sp.Finish(len(rows), 1)
+		}
+		if r.cancelled() {
+			return nil, r.cancelErr()
 		}
 	}
 	var vars []string
@@ -365,7 +385,10 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	out := &Results{Vars: vars}
 	psp := r.trace.StartChild("PROJECT", "", len(rows))
 	psp.SetEst(int64(len(rows)))
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		orow := make([]rdf.Term, len(vars))
 		if q.Star {
 			for i, n := range vars {
@@ -420,7 +443,10 @@ type aggGroup struct {
 func (r *run) accumulateGroups(exprs []Expression, rows []solution) ([]string, map[string]*aggGroup) {
 	order := []string{}
 	groups := map[string]*aggGroup{}
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			break // evalGrouped checks and errors out
+		}
 		k, vals := r.groupKey(exprs, row)
 		g, ok := groups[k]
 		if !ok {
@@ -472,6 +498,9 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 	sp := r.trace.StartChild("AGGREGATE", "", in)
 	sp.SetEst(estimateGroups(in))
 	order, groups := r.accumulateGroupsPar(q.GroupBy, rows)
+	if r.cancelled() {
+		return nil, r.cancelErr()
+	}
 	// A grouped query with no GROUP BY clause (implicit grouping, e.g.
 	// SELECT (COUNT(*) AS ?n)) forms a single group even when empty.
 	if len(q.GroupBy) == 0 && len(order) == 0 {
@@ -485,6 +514,9 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 	}
 	out := &Results{Vars: vars}
 	out.Rows = r.groupRowsPar(q, order, groups)
+	if r.cancelled() {
+		return nil, r.cancelErr()
+	}
 	if sp != nil {
 		sp.Detail = fmt.Sprintf("%d groups", len(order))
 		r.finishRows(sp, len(out.Rows), in)
@@ -496,6 +528,9 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 		r.sortProjected(out, q.OrderBy)
 		if osp != nil {
 			osp.Finish(len(out.Rows), 1)
+		}
+		if r.cancelled() {
+			return nil, r.cancelErr()
 		}
 	}
 	return out, nil
@@ -643,9 +678,16 @@ func addNumeric(a, b numeric) numeric {
 	return numeric{f: a.asFloat() + b.asFloat()}
 }
 
-// sortRows orders full solutions by the given conditions.
+// sortRows orders full solutions by the given conditions. On
+// cancellation the comparator degrades to a constant, so the sort
+// drains in cheap comparisons and the caller's next cancellation check
+// discards the (arbitrarily ordered) rows.
 func (r *run) sortRows(rows []solution, conds []OrderCondition) {
+	short := r.sortShortCircuit()
 	sort.SliceStable(rows, func(i, j int) bool {
+		if short() {
+			return false
+		}
 		for _, c := range conds {
 			vi, ei := r.evalExpr(c.Expr, rows[i])
 			vj, ej := r.evalExpr(c.Expr, rows[j])
@@ -680,7 +722,11 @@ func (r *run) sortProjected(res *Results, conds []OrderCondition) {
 		}
 		return row[i], nil
 	}
+	short := r.sortShortCircuit()
 	sort.SliceStable(res.Rows, func(i, j int) bool {
+		if short() {
+			return false
+		}
 		for _, c := range conds {
 			vi, ei := lookup(c.Expr, res.Rows[i])
 			vj, ej := lookup(c.Expr, res.Rows[j])
@@ -738,10 +784,17 @@ func distinctRows(rows [][]rdf.Term) [][]rdf.Term {
 // directly or bound by the WHERE pattern) it returns the one-hop
 // description — every triple with the resource as subject or object.
 func (e *Engine) Describe(q *Query) ([]rdf.Triple, error) {
+	return e.DescribeContext(context.Background(), q)
+}
+
+// DescribeContext is Describe under a context (see QueryContext for the
+// cancellation semantics).
+func (e *Engine) DescribeContext(ctx context.Context, q *Query) ([]rdf.Triple, error) {
 	if q.Form != FormDescribe {
 		return nil, fmt.Errorf("sparql: not a DESCRIBE query")
 	}
 	r := &run{e: e, vt: newVarTable()}
+	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	for _, d := range q.Describe {
 		if d.IsVar {

@@ -152,6 +152,12 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 	}
 
 	for _, el := range g.Elements {
+		// One cooperative cancellation check per algebra step; operator
+		// interiors that broke out early on cancellation are caught here
+		// (or by the post-loop check) before truncated rows can escape.
+		if r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		if tp, ok := el.(TriplePattern); ok {
 			bgp = append(bgp, tp)
 			continue
@@ -333,6 +339,9 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	if r.cancelled() {
+		return nil, r.cancelErr()
+	}
 	return rows, nil
 }
 
@@ -422,7 +431,10 @@ func singleTriplePattern(g GroupGraphPattern) (TriplePattern, bool) {
 func (r *run) optionalSingle(tp TriplePattern, rows []solution, ctx graphCtx) []solution {
 	gterm := r.graphTerm(ctx)
 	out := make([]solution, 0, len(rows))
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			break // the coordinator's next check errors out
+		}
 		s, sBound := r.resolve(tp.S, row)
 		p, pBound := r.resolve(tp.P, row)
 		o, oBound := r.resolve(tp.O, row)
@@ -511,6 +523,9 @@ func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) (
 	// caller and must be cloned.
 	owned := false
 	for len(remaining) > 0 {
+		if r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		next := 0
 		if !r.e.DisableReorder && len(remaining) > 1 {
 			// Prefer patterns connected to the already-bound variables;
@@ -651,7 +666,10 @@ func (r *run) joinPatternOwned(tp TriplePattern, rows []solution, ctx graphCtx, 
 		gterm = r.e.store.Dict().Term(ctx.gid)
 	}
 	out := make([]solution, 0, len(rows))
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		s, sBound := r.resolve(tp.S, row)
 		p, pBound := r.resolve(tp.P, row)
 		o, oBound := r.resolve(tp.O, row)
@@ -695,7 +713,13 @@ func (r *run) joinPatternOwned(tp TriplePattern, rows []solution, ctx graphCtx, 
 		var first rdf.Triple
 		matches := 0
 		r.e.store.Match(gterm, sPat, pPat, oPat, func(t rdf.Triple) bool {
+			// A single unselective pattern can scan the whole store for
+			// one input row, so the scan itself checks for cancellation
+			// too (stopping the scan; the caller then errors out).
 			matches++
+			if matches%(cancelCheckRows*4) == 0 && r.cancelled() {
+				return false
+			}
 			switch matches {
 			case 1:
 				first = t

@@ -11,7 +11,10 @@ import (
 // paths (* and +) require at least one bound endpoint per solution.
 func (r *run) joinPath(tp TriplePattern, rows []solution, ctx graphCtx) ([]solution, error) {
 	var out []solution
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		s, sBound := r.resolve(tp.S, row)
 		o, oBound := r.resolve(tp.O, row)
 		var sPat, oPat rdf.Term
@@ -196,6 +199,9 @@ func (r *run) bfs(inner *PropertyPath, start rdf.Term, reverse bool, ctx graphCt
 	frontier := []rdf.Term{start}
 	var out []rdf.Term
 	for len(frontier) > 0 {
+		if r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		var next []rdf.Term
 		for _, node := range frontier {
 			var pairs [][2]rdf.Term

@@ -121,10 +121,15 @@ func (r *run) joinPatternPar(tp TriplePattern, rows []solution, ctx graphCtx, ow
 }
 
 // filterRows keeps the rows whose filter expression evaluates to a true
-// effective boolean value (evaluation errors eliminate the row).
+// effective boolean value (evaluation errors eliminate the row). On
+// cancellation it returns early with what it has; the coordinator's
+// next check converts that into an error.
 func (r *run) filterRows(expr Expression, rows []solution) []solution {
 	var kept []solution
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			break
+		}
 		v, err := r.evalExpr(expr, row)
 		if err != nil {
 			continue
@@ -154,7 +159,10 @@ func (r *run) filterRowsPar(expr Expression, rows []solution) []solution {
 // survives unextended when the pattern yields nothing.
 func (r *run) optionalRows(p GroupGraphPattern, rows []solution, ctx graphCtx) ([]solution, error) {
 	var out []solution
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			return nil, r.cancelErr()
+		}
 		ext, err := r.evalGroup(p, []solution{row}, ctx)
 		if err != nil {
 			return nil, err
@@ -239,9 +247,12 @@ func (r *run) unionPar(branches []GroupGraphPattern, rows []solution, ctx graphC
 
 // minusRows removes rows compatible with (and sharing a variable with)
 // any right-side solution.
-func minusRows(rows, right []solution) []solution {
+func (r *run) minusRows(rows, right []solution) []solution {
 	var kept []solution
-	for _, row := range rows {
+	for ri, row := range rows {
+		if ri%cancelCheckRows == 0 && r.cancelled() {
+			break
+		}
 		excluded := false
 		for _, rr := range right {
 			if compatibleSharing(row, rr) {
@@ -261,11 +272,12 @@ func minusRows(rows, right []solution) []solution {
 func (r *run) minusRowsPar(rows, right []solution) []solution {
 	w := r.workersFor(len(rows))
 	if w == 1 || len(right) == 0 {
-		return minusRows(rows, right)
+		return r.minusRows(rows, right)
 	}
 	outs := make([][]solution, w)
 	runChunks(chunkBounds(len(rows), w), func(i, lo, hi int) {
-		outs[i] = minusRows(rows[lo:hi], right)
+		wr := *r
+		outs[i] = wr.minusRows(rows[lo:hi], right)
 	})
 	return concatSolutions(outs)
 }
@@ -310,7 +322,10 @@ func (r *run) groupRowsPar(q *Query, order []string, groups map[string]*aggGroup
 	w := r.workersFor(len(order))
 	if w == 1 {
 		var out [][]rdf.Term
-		for _, k := range order {
+		for ki, k := range order {
+			if ki%cancelCheckRows == 0 && r.cancelled() {
+				break
+			}
 			if orow, ok := r.groupRow(q, groups[k]); ok {
 				out = append(out, orow)
 			}
@@ -320,7 +335,10 @@ func (r *run) groupRowsPar(q *Query, order []string, groups map[string]*aggGroup
 	outs := make([][][]rdf.Term, w)
 	runChunks(chunkBounds(len(order), w), func(i, lo, hi int) {
 		wr := *r
-		for _, k := range order[lo:hi] {
+		for ki, k := range order[lo:hi] {
+			if ki%cancelCheckRows == 0 && wr.cancelled() {
+				break
+			}
 			if orow, ok := wr.groupRow(q, groups[k]); ok {
 				outs[i] = append(outs[i], orow)
 			}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -55,15 +56,24 @@ func (e *Engine) Sampler() *obs.Sampler { return e.sampler }
 // evaluation fails (with the spans finished so far). If the engine has
 // a tracer installed the trace is also collected there.
 func (e *Engine) QueryTraced(q *Query) (*Results, *obs.Trace, error) {
-	return e.queryTracedID(q, obs.NewTraceID())
+	return e.queryTracedID(context.Background(), q, obs.NewTraceID())
+}
+
+// QueryTracedID is QueryTraced under a caller-chosen trace identity and
+// context (the server uses the propagated ID of the traceparent header
+// and the request context). The trace collected so far is returned even
+// when evaluation fails or is cancelled, which is how the server
+// reports a partial trace on a query deadline.
+func (e *Engine) QueryTracedID(ctx context.Context, q *Query, id obs.TraceID) (*Results, *obs.Trace, error) {
+	return e.queryTracedID(ctx, q, id)
 }
 
 // queryTracedID is QueryTraced under a caller-chosen trace identity
 // (the server uses the propagated ID of the traceparent header).
-func (e *Engine) queryTracedID(q *Query, id obs.TraceID) (*Results, *obs.Trace, error) {
+func (e *Engine) queryTracedID(ctx context.Context, q *Query, id obs.TraceID) (*Results, *obs.Trace, error) {
 	start := time.Now()
 	root := obs.StartSpan(q.Form.String(), "", 1)
-	res, err := e.query(q, root)
+	res, err := e.query(ctx, q, root)
 	out := 0
 	if res != nil {
 		out = len(res.Rows)

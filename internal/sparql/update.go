@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rdf"
@@ -8,12 +9,7 @@ import (
 
 // Execute applies a parsed update request to the engine's store.
 func (e *Engine) Execute(u *Update) error {
-	for _, op := range u.Operations {
-		if err := e.executeOp(op); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.UpdateContext(context.Background(), u)
 }
 
 // ExecuteString parses and applies an update request.
@@ -25,7 +21,10 @@ func (e *Engine) ExecuteString(src string) error {
 	return e.Execute(u)
 }
 
-func (e *Engine) executeOp(op UpdateOperation) error {
+// executeOpContext applies one operation. The context is honored only
+// during the read phase of DELETE/INSERT WHERE; the write phases of
+// every operation run to completion so each operation stays atomic.
+func (e *Engine) executeOpContext(ctx context.Context, op UpdateOperation) error {
 	switch o := op.(type) {
 	case InsertDataOp:
 		for _, q := range o.Quads {
@@ -40,7 +39,7 @@ func (e *Engine) executeOp(op UpdateOperation) error {
 	case ClearOp:
 		return e.executeClear(o)
 	case ModifyOp:
-		return e.executeModify(o)
+		return e.executeModify(ctx, o)
 	default:
 		return fmt.Errorf("sparql: unknown update operation %T", op)
 	}
@@ -66,8 +65,9 @@ func (e *Engine) executeClear(o ClearOp) error {
 	return nil
 }
 
-func (e *Engine) executeModify(o ModifyOp) error {
+func (e *Engine) executeModify(ctx context.Context, o ModifyOp) error {
 	r := &run{e: e, vt: newVarTable()}
+	r.bindContext(ctx)
 	collectGroupVars(o.Where, r.vt)
 	for _, qp := range append(append([]QuadPattern{}, o.Delete...), o.Insert...) {
 		collectPatternTermVars(qp.S, r.vt)
