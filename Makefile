@@ -34,21 +34,25 @@ bench:
 
 # Machine-readable benchmark snapshot: one fast pass (-short,
 # -benchtime 1x) over every benchmark, converted to JSON by
-# cmd/benchjson and committed as BENCH_PR5.json so regressions show up
+# cmd/benchjson and committed as BENCH_PR6.json so regressions show up
 # in review diffs. Use `make bench` for real measurements.
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -short -benchtime 1x . \
-	  | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
-# Regression gate: diff the previous PR's committed snapshot against
-# this PR's and fail on ns/op regressions. The tool's default threshold
-# is 10%, but the committed snapshots are single-iteration (-benchtime
-# 1x) smoke numbers whose parallel benchmarks swing ±40% run to run, so
-# the gate here uses a noise-tolerant 50%; run `make bench` and
-# benchjson -compare -threshold 0.10 on the output for real regression
-# hunting.
+# Regression gates. First: diff the previous PR's committed snapshot
+# against this PR's and fail on ns/op regressions. The tool's default
+# threshold is 10%, but the committed snapshots are single-iteration
+# (-benchtime 1x) smoke numbers whose parallel benchmarks swing ±40%
+# run to run, so the gate here uses a noise-tolerant 50%; run `make
+# bench` and benchjson -compare -threshold 0.10 on the output for real
+# regression hunting. Second: the planner ablation gate — within this
+# PR's snapshot, every planner=on sub-benchmark must stay within the
+# threshold of its planner=off sibling, so turning the cost-based
+# planner on by default can never ship a slowdown.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR5.json BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -ablation planner -threshold 0.50 BENCH_PR6.json
 
 # The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
 # query throughput vs. client count at engine parallelism 1 and

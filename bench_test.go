@@ -349,10 +349,34 @@ func BenchmarkDirectVsAlternative(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// A2 — join-order planner ablation.
+// A2 / A-planner — cost-based planner ablation.
 
-// BenchmarkPlannerAblation runs the direct demo query with the greedy
-// join-order optimizer on and off.
+// plannerModes are the three evaluation configurations the ablations
+// compare: the cost-based pre-evaluation planner (the default), the
+// pre-planner runtime greedy reorder (planner=off), and fully textual
+// order (planner=off/textual — the worst case the bench-compare
+// ablation gate does not compare against).
+var plannerModes = []struct {
+	name   string
+	engine func(st *store.Store) *sparql.Engine
+}{
+	{"planner=on", func(st *store.Store) *sparql.Engine {
+		return sparql.NewEngine(st)
+	}},
+	{"planner=off", func(st *store.Store) *sparql.Engine {
+		return sparql.NewEngine(st, sparql.WithPlanner(false))
+	}},
+	{"planner=off/textual", func(st *store.Store) *sparql.Engine {
+		eng := sparql.NewEngine(st, sparql.WithPlanner(false))
+		eng.DisableReorder = true
+		return eng
+	}},
+}
+
+// BenchmarkPlannerAblation runs the direct demo query under each
+// planner mode. The generated query is already well ordered, so this is
+// the no-regression side of the gate: planner=on must not lose to
+// planner=off beyond the bench-compare threshold.
 func BenchmarkPlannerAblation(b *testing.B) {
 	env := enrichedEnv(b, demoScale)
 	p, err := ql.Prepare(demoQuery, env.Schema)
@@ -363,14 +387,9 @@ func BenchmarkPlannerAblation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, disable := range []bool{false, true} {
-		name := "planner=on"
-		if disable {
-			name = "planner=off"
-		}
-		b.Run(name, func(b *testing.B) {
-			eng := sparql.NewEngine(env.Store)
-			eng.DisableReorder = disable
+	for _, mode := range plannerModes {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := mode.engine(env.Store)
 			for i := 0; i < b.N; i++ {
 				res, err := eng.Select(q)
 				if err != nil {
@@ -386,9 +405,10 @@ func BenchmarkPlannerAblation(b *testing.B) {
 
 // BenchmarkPlannerAblationAdversarial reverses the generated query's
 // basic graph pattern so the textual order starts from the small
-// disconnected dimension patterns. Without the planner this forces
-// cartesian intermediate results; with it the order is recovered.
-// A small dataset keeps the planner-off case tractable.
+// disconnected dimension patterns. Textual evaluation forces cartesian
+// intermediate results; both the runtime reorder and the cost-based
+// planner recover the order. A small dataset keeps the textual case
+// tractable.
 func BenchmarkPlannerAblationAdversarial(b *testing.B) {
 	env := enrichedEnv(b, 2000)
 	p, err := ql.Prepare(demoQuery, env.Schema)
@@ -400,14 +420,9 @@ func BenchmarkPlannerAblationAdversarial(b *testing.B) {
 	if err != nil {
 		b.Fatalf("%v\n%s", err, adversarial)
 	}
-	for _, disable := range []bool{false, true} {
-		name := "planner=on"
-		if disable {
-			name = "planner=off"
-		}
-		b.Run(name, func(b *testing.B) {
-			eng := sparql.NewEngine(env.Store)
-			eng.DisableReorder = disable
+	for _, mode := range plannerModes {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := mode.engine(env.Store)
 			for i := 0; i < b.N; i++ {
 				res, err := eng.Select(q)
 				if err != nil {
@@ -418,6 +433,42 @@ func BenchmarkPlannerAblationAdversarial(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPlannerOnOff is the end-to-end planner gate: the full QL
+// execution path with the planner on (translation auto-selected by
+// estimated cost, joins pre-ordered, filters pushed) versus off (the
+// pre-planner default: direct translation, runtime greedy reorder).
+// bench-compare's ablation mode pins planner=on to within the
+// threshold of planner=off.
+func BenchmarkPlannerOnOff(b *testing.B) {
+	for _, obs := range []int{demoScale, 80000} {
+		skipIfShort(b, obs)
+		env := enrichedEnv(b, obs)
+		for _, mode := range []struct {
+			name string
+			on   bool
+			v    ql.Variant
+		}{{"planner=on", true, ql.Auto}, {"planner=off", false, ql.Direct}} {
+			b.Run(fmt.Sprintf("obs=%d/%s", obs, mode.name), func(b *testing.B) {
+				client := endpoint.NewLocal(env.Store, sparql.WithPlanner(mode.on))
+				p, err := ql.Prepare(demoQuery, env.Schema)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cube, err := ql.Execute(client, p.Translation, mode.v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(cube.Cells) == 0 {
+						b.Fatal("empty cube")
+					}
+				}
+			})
+		}
 	}
 }
 

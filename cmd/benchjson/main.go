@@ -8,6 +8,7 @@
 //
 //	go test -run xxx -bench . -benchmem . | benchjson -o BENCH.json
 //	benchjson -compare [-threshold 0.10] OLD.json NEW.json
+//	benchjson -ablation planner [-threshold 0.10] BENCH.json
 //
 // The GOMAXPROCS suffix (-8) is stripped from names so snapshots
 // diff cleanly across machines; sub-benchmark paths are kept.
@@ -16,6 +17,14 @@
 // non-zero when any benchmark's ns/op regressed by more than
 // -threshold (a fraction; default 0.10 = 10%). Added and removed
 // benchmarks are reported but never fail the comparison.
+//
+// -ablation KEY gates an on/off ablation within a single snapshot: for
+// every benchmark whose sub-benchmark path ends in "/KEY=on", the
+// sibling ending in "/KEY=off" is looked up and the comparison exits
+// non-zero when the on arm is slower than the off arm by more than
+// -threshold. `make bench-compare` uses this to pin the cost-based
+// planner (planner=on) to within the threshold of the planner-off
+// baseline.
 package main
 
 import (
@@ -144,11 +153,73 @@ func compareSnapshots(oldRes, newRes map[string]Result, threshold float64, w io.
 	return regressions
 }
 
+// compareAblation gates the KEY=on arms of one snapshot against their
+// KEY=off siblings and returns the names of on-arms slower than off by
+// more than threshold. On-arms without an off sibling are reported but
+// never fail (a benchmark may legitimately run only one arm).
+func compareAblation(res map[string]Result, key string, threshold float64, w io.Writer) []string {
+	onSuffix, offSuffix := "/"+key+"=on", "/"+key+"=off"
+	names := make([]string, 0, len(res))
+	for n := range res {
+		if strings.HasSuffix(n, onSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	unpaired := 0
+	fmt.Fprintf(w, "%-64s %12s %12s %9s\n", "BENCHMARK ("+key+" ablation)", "ON", "OFF", "DELTA")
+	for _, n := range names {
+		on := res[n]
+		off, ok := res[strings.TrimSuffix(n, onSuffix)+offSuffix]
+		short := strings.TrimPrefix(strings.TrimSuffix(n, onSuffix), "Benchmark")
+		switch {
+		case !ok:
+			unpaired++
+			fmt.Fprintf(w, "%-64s %12s %12s %9s\n", short, fmtNs(on.NsPerOp), "-", "unpaired")
+		case off.NsPerOp <= 0:
+			fmt.Fprintf(w, "%-64s %12s %12s %9s\n", short, fmtNs(on.NsPerOp), fmtNs(off.NsPerOp), "n/a")
+		default:
+			delta := (on.NsPerOp - off.NsPerOp) / off.NsPerOp
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressions = append(regressions, n)
+			}
+			fmt.Fprintf(w, "%-64s %12s %12s %+8.1f%%%s\n", short, fmtNs(on.NsPerOp), fmtNs(off.NsPerOp), delta*100, mark)
+		}
+	}
+	fmt.Fprintf(w, "\n%d pair(s) compared, %d unpaired, %d regression(s) beyond %.0f%%\n",
+		len(names)-unpaired, unpaired, len(regressions), threshold*100)
+	return regressions
+}
+
 func main() {
 	outPath := flag.String("o", "-", "output file (- for stdout)")
 	compare := flag.Bool("compare", false, "compare two snapshot files (OLD.json NEW.json) instead of reading bench output")
-	threshold := flag.Float64("threshold", 0.10, "with -compare: fail on ns/op regressions beyond this fraction")
+	ablation := flag.String("ablation", "", "gate KEY=on vs KEY=off sub-benchmarks within one snapshot file (e.g. -ablation planner BENCH.json)")
+	threshold := flag.Float64("threshold", 0.10, "with -compare or -ablation: fail on ns/op regressions beyond this fraction")
 	flag.Parse()
+
+	if *ablation != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -ablation wants exactly one snapshot file: BENCH.json")
+			os.Exit(2)
+		}
+		res, err := loadSnapshot(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		regressions := compareAblation(res, *ablation, *threshold, os.Stdout)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d %s=on arm(s) beyond %.0f%% of their off baseline: %s\n",
+				len(regressions), *ablation, *threshold*100, strings.Join(regressions, ", "))
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

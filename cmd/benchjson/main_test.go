@@ -68,6 +68,35 @@ func TestCompareSnapshots(t *testing.T) {
 	}
 }
 
+func TestCompareAblation(t *testing.T) {
+	res := map[string]Result{
+		"BenchmarkA/x=1/planner=on":          {NsPerOp: 1000},
+		"BenchmarkA/x=1/planner=off":         {NsPerOp: 1200}, // on faster: fine
+		"BenchmarkA/x=2/planner=on":          {NsPerOp: 1500},
+		"BenchmarkA/x=2/planner=off":         {NsPerOp: 1000}, // on +50%: regression
+		"BenchmarkB/planner=on":              {NsPerOp: 1050},
+		"BenchmarkB/planner=off":             {NsPerOp: 1000}, // on +5%: within threshold
+		"BenchmarkB/planner=off/textual":     {NsPerOp: 9000}, // third arm: never paired
+		"BenchmarkLonely/planner=on":         {NsPerOp: 100},  // no off sibling: unpaired
+		"BenchmarkUnrelated/other=on":        {NsPerOp: 1},    // different key: ignored
+		"BenchmarkUnrelated/no-ablation-arm": {NsPerOp: 1},
+	}
+	var out strings.Builder
+	regs := compareAblation(res, "planner", 0.10, &out)
+	if len(regs) != 1 || regs[0] != "BenchmarkA/x=2/planner=on" {
+		t.Fatalf("regressions = %v, want [BenchmarkA/x=2/planner=on]\n%s", regs, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"REGRESSION", "unpaired", "3 pair(s) compared, 1 unpaired, 1 regression(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "REGRESSION") != 1 {
+		t.Errorf("want exactly one REGRESSION mark:\n%s", got)
+	}
+}
+
 func TestCompareSnapshotsRoundTripFiles(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")

@@ -376,7 +376,7 @@ func cmdTranslate(args []string) error {
 	src.register(fs)
 	queryFile := fs.String("query", "", "QL program file")
 	cube := fs.String("cube", "", "QB4OLAP cube IRI")
-	variant := fs.String("variant", "both", "direct, alternative, or both")
+	variant := fs.String("variant", "auto", "auto (planner picks one), direct, alternative, or both")
 	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
 	fs.Parse(args)
 	if *queryFile == "" {
@@ -405,11 +405,23 @@ func cmdTranslate(args []string) error {
 	}
 	fmt.Println("# Simplified QL program:")
 	fmt.Println(p.Simplified)
-	if *variant == "direct" || *variant == "both" {
+	want := *variant
+	if want == "auto" {
+		if !src.plannerOn() {
+			// Planner off: no cost model to choose with — show both, the
+			// pre-planner behavior.
+			want = "both"
+		} else {
+			sel := ql.Choose(tool.Client(), p.Translation)
+			fmt.Printf("# plan: %s\n", sel)
+			want = sel.Variant.String()
+		}
+	}
+	if want == "direct" || want == "both" {
 		fmt.Println("# Direct translation:")
 		fmt.Println(p.Translation.Direct)
 	}
-	if *variant == "alternative" || *variant == "both" {
+	if want == "alternative" || want == "both" {
 		fmt.Println("# Alternative translation:")
 		fmt.Println(p.Translation.Alternative)
 	}
@@ -424,7 +436,7 @@ func cmdQuery(args []string) error {
 	predefined := fs.String("predefined", "", "run a predefined demo query by name (see -list-predefined)")
 	listPredefined := fs.Bool("list-predefined", false, "list the predefined demo queries and exit")
 	cube := fs.String("cube", "", "QB4OLAP cube IRI")
-	variant := fs.String("variant", "direct", "direct or alternative")
+	variant := fs.String("variant", "auto", "auto (planner picks the cheaper translation), direct, or alternative")
 	pivot := fs.Bool("pivot", false, "render a two-axis result as a pivot table")
 	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
 	traceRun := fs.Bool("trace", false, "print QL pipeline phase timings and the end-to-end EXPLAIN ANALYZE trace (stitched over HTTP for remote sources; to stderr)")
@@ -466,9 +478,21 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	v := ql.Direct
-	if *variant == "alternative" {
+	var v ql.Variant
+	switch *variant {
+	case "auto":
+		v = ql.Auto
+		if !src.plannerOn() {
+			// Planner off: no cost model to choose with; run the direct
+			// translation, the pre-planner default.
+			v = ql.Direct
+		}
+	case "direct":
+		v = ql.Direct
+	case "alternative":
 		v = ql.Alternative
+	default:
+		return fmt.Errorf("query: invalid -variant %q (want auto, direct, or alternative)", *variant)
 	}
 	var cubeRes *olap.Cube
 	if *traceRun || *traceExport != "" {
@@ -502,6 +526,13 @@ func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v q
 	if err != nil {
 		return nil, err
 	}
+	if v == ql.Auto {
+		planStart := time.Now()
+		sel := ql.Choose(tool.Client(), p.Translation)
+		p.Translation.Selection = &sel
+		p.Timings = append(p.Timings, ql.PhaseTiming{Phase: "plan(" + sel.String() + ")", Wall: time.Since(planStart)})
+		v = sel.Variant
+	}
 	queryText := p.Translation.Direct
 	if v == ql.Alternative {
 		queryText = p.Translation.Alternative
@@ -513,6 +544,9 @@ func runTraced(tool *core.Tool, qlSource string, schema *qb4olap.CubeSchema, v q
 		res, tr, err := tc.SelectTraced(queryText)
 		if err != nil {
 			return nil, err
+		}
+		if p.Translation.Selection != nil {
+			tr.Plan = p.Translation.Selection.String()
 		}
 		cubeRes = ql.Materialize(p.Translation, res)
 		fmt.Fprintln(os.Stderr, "# EXPLAIN ANALYZE:")

@@ -23,6 +23,7 @@ type sourceFlags struct {
 	demoObs     int
 	seed        int64
 	parallel    int
+	planner     string
 	retries     int
 	timeout     time.Duration
 }
@@ -43,12 +44,22 @@ func (s *sourceFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&s.demoObs, "demo", 0, "generate the demo cube with this many observations")
 	fs.Int64Var(&s.seed, "seed", 42, "generator seed for -demo")
 	fs.IntVar(&s.parallel, "parallel", 0, "worker goroutines per in-process query evaluation (0 = GOMAXPROCS, 1 = sequential)")
+	fs.StringVar(&s.planner, "planner", "on", "cost-based query planner: on (reorder joins, push filters, auto-select QL translation) or off (written order, runtime reorder only)")
 	fs.IntVar(&s.retries, "retries", 2, "retries per idempotent remote query on transient failures (0 disables; updates are never retried)")
 	fs.DurationVar(&s.timeout, "timeout", 0, "per-attempt timeout for remote endpoint requests (0 = none)")
 }
 
+// plannerOn reports the -planner flag verdict. For remote sources the
+// flag only governs client-side behavior (QL translation auto-selection
+// falls back to the direct default); the server's own -planner flag
+// governs its evaluation.
+func (s *sourceFlags) plannerOn() bool { return s.planner != "off" }
+
 // open builds the tool around the selected source.
 func (s *sourceFlags) open() (*core.Tool, error) {
+	if s.planner != "on" && s.planner != "off" && s.planner != "" {
+		return nil, fmt.Errorf("invalid -planner value %q (want on or off)", s.planner)
+	}
 	if s.endpointURL != "" {
 		r := endpoint.NewRemote(s.endpointURL)
 		r.Retries = s.retries
@@ -90,7 +101,9 @@ func (s *sourceFlags) open() (*core.Tool, error) {
 	if st.TotalLen() == 0 {
 		return nil, fmt.Errorf("no data source: pass -endpoint, -data, or -demo")
 	}
-	return core.New(endpoint.NewLocal(st, sparql.WithParallelism(s.parallel))), nil
+	return core.New(endpoint.NewLocal(st,
+		sparql.WithParallelism(s.parallel),
+		sparql.WithPlanner(s.plannerOn()))), nil
 }
 
 // parseIRI reads an IRI flag value, accepting <...> or bare form.

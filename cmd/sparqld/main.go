@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sparqld [-addr :8080] [-data file.ttl]... [-demo N] [-parallel N]
+//	        [-planner on|off]
 //	        [-trace N] [-sample RATE] [-trace-export file.jsonl]
 //	        [-slowlog DUR] [-debug-addr :8081]
 //	        [-query-timeout DUR] [-max-inflight N]
@@ -16,7 +17,10 @@
 // observations (plus the simulated external graph) and loads it.
 // -parallel bounds the worker goroutines each query evaluation may use
 // (0, the default, selects GOMAXPROCS; 1 forces sequential
-// evaluation).
+// evaluation). -planner=off disables the cost-based query planner
+// (statistics-driven join reordering and filter pushdown before
+// evaluation, plus the /sparql?cost=1 plan-cost surface), reverting to
+// the runtime greedy reorder.
 //
 // Observability: -trace N keeps the last N collected traces at
 // /debug/traces (individual queries can always be traced on demand
@@ -90,6 +94,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed for -demo")
 	readOnly := flag.Bool("readonly", false, "reject updates and loads (serve data only)")
 	parallel := flag.Int("parallel", 0, "worker goroutines per query evaluation (0 = GOMAXPROCS, 1 = sequential)")
+	planner := flag.String("planner", "on", "cost-based query planner: on (reorder joins, push filters, serve ?cost=1) or off (written order, runtime reorder only)")
 	traceN := flag.Int("trace", 0, "trace every query, keeping the last N traces at /debug/traces (0 disables)")
 	sample := flag.Float64("sample", 0.01, "fraction of queries traced when tracing is on (propagated traceparent verdicts always win)")
 	traceExport := flag.String("trace-export", "", "append every collected trace as JSONL to this file (rotated at 64MB)")
@@ -166,7 +171,12 @@ func main() {
 		}
 	}
 
-	srv := endpoint.NewServer(st, sparql.WithParallelism(*parallel))
+	if *planner != "on" && *planner != "off" {
+		log.Fatalf("sparqld: invalid -planner value %q (want on or off)", *planner)
+	}
+	srv := endpoint.NewServer(st,
+		sparql.WithParallelism(*parallel),
+		sparql.WithPlanner(*planner == "on"))
 	srv.ReadOnly = *readOnly
 	srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.SlowQuery = *slowlog

@@ -93,9 +93,18 @@ func (t *Tool) Prepare(src string, schema *qb4olap.CubeSchema) (*ql.Pipeline, er
 }
 
 // Query runs a QL program end to end and returns the result cube.
+// Pass ql.Auto to let the endpoint's cost-based planner pick the
+// cheaper of the two generated SPARQL translations (see ql.Choose);
+// ql.Direct and ql.Alternative pin a translation explicitly.
 func (t *Tool) Query(src string, schema *qb4olap.CubeSchema, v ql.Variant) (*olap.Cube, error) {
 	cube, _, err := ql.Run(t.client, schema, src, v)
 	return cube, err
+}
+
+// QueryAuto runs a QL program letting the planner auto-select the
+// translation — Query with ql.Auto.
+func (t *Tool) QueryAuto(src string, schema *qb4olap.CubeSchema) (*olap.Cube, error) {
+	return t.Query(src, schema, ql.Auto)
 }
 
 // QueryContext is Query under a context: ctx cancels or bounds the

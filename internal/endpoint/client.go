@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -80,6 +81,21 @@ type TracedClient interface {
 	SelectTraced(query string) (*sparql.Results, *obs.Trace, error)
 }
 
+// CostEstimator is implemented by clients that can price a query with
+// the cost-based planner without evaluating it: Local plans in process,
+// Remote uses the server's ?cost=1 surface. internal/ql uses this to
+// pick the cheaper of its two QL-to-SPARQL translations per query; a
+// client that does not implement it (or whose planner is off) makes the
+// caller fall back to a static heuristic.
+type CostEstimator interface {
+	// EstimateCost parses and plans the query and returns the planner's
+	// estimated C_out cost (the sum of estimated operator output
+	// cardinalities). It never evaluates the query. It errors when the
+	// planner is unavailable, e.g. disabled with sparql.WithPlanner(false)
+	// or -planner=off.
+	EstimateCost(query string) (float64, error)
+}
+
 // Local is an in-process client evaluating directly against a store.
 // It is safe for concurrent use; see the package comment for the
 // read/write interaction.
@@ -127,6 +143,21 @@ func (l *Local) Explain(query string) (string, error) {
 // evaluation.
 func (l *Local) SelectTraced(query string) (*sparql.Results, *obs.Trace, error) {
 	return l.Engine.QueryTracedString(query)
+}
+
+// EstimateCost implements CostEstimator in process: the query is parsed
+// and planned, never evaluated. It errors when the engine's planner is
+// disabled, so callers fall back to their own heuristic instead of
+// trusting a cost the evaluator would not follow.
+func (l *Local) EstimateCost(query string) (float64, error) {
+	if !l.Engine.PlannerEnabled() {
+		return 0, fmt.Errorf("endpoint: cost estimate unavailable: planner disabled")
+	}
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		return 0, err
+	}
+	return l.Engine.EstimateCost(q), nil
 }
 
 // Remote is an HTTP client for a SPARQL protocol endpoint.
@@ -467,6 +498,67 @@ func (r *Remote) ExplainContext(ctx context.Context, query string) (string, erro
 		return "", err
 	}
 	return out, nil
+}
+
+// costResponse is the JSON body of the server's ?cost=1 surface. The
+// Planner field doubles as a marker: a foreign SPARQL endpoint that
+// evaluated the query instead of planning it returns a result document
+// without it, which the client rejects rather than misreading a result
+// table as a cost.
+type costResponse struct {
+	Planner       string  `json:"planner"`
+	Cost          float64 `json:"cost"`
+	Reordered     bool    `json:"reordered"`
+	PushedFilters int     `json:"pushedFilters"`
+}
+
+// EstimateCost implements CostEstimator against the server's ?cost=1
+// surface: the query is parsed and planned remotely, never evaluated.
+func (r *Remote) EstimateCost(query string) (float64, error) {
+	return r.EstimateCostContext(context.Background(), query)
+}
+
+// EstimateCostContext is EstimateCost under a context; like Select it
+// is idempotent and retried.
+func (r *Remote) EstimateCostContext(ctx context.Context, query string) (float64, error) {
+	var cost float64
+	err := r.retryIdempotent(ctx, "cost", func(actx context.Context) *Error {
+		form := url.Values{"query": {query}, "cost": {"1"}}
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, r.QueryURL, strings.NewReader(form.Encode()))
+		if err != nil {
+			return &Error{Err: err}
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		req.Header.Set("Accept", "application/json")
+		resp, err := r.client().Do(req)
+		if err != nil {
+			return &Error{Retryable: true, Err: fmt.Errorf("endpoint: cost request: %w", err)}
+		}
+		defer drainBody(resp.Body)
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if err != nil {
+			return &Error{Retryable: true, Err: fmt.Errorf("endpoint: reading cost response: %w", err)}
+		}
+		if resp.StatusCode != http.StatusOK {
+			return &Error{
+				Status:    resp.StatusCode,
+				Retryable: retryableStatus(resp.StatusCode),
+				Err:       fmt.Errorf("endpoint: cost failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+			}
+		}
+		var cr costResponse
+		if err := json.Unmarshal(body, &cr); err != nil || cr.Planner == "" {
+			// Not the planner surface — likely a foreign endpoint that
+			// evaluated the query. Retrying will not produce a plan.
+			return &Error{Err: fmt.Errorf("endpoint: cost response is not a plan (server without ?cost support?)")}
+		}
+		cost = cr.Cost
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cost, nil
 }
 
 // Update implements SPARQLClient over HTTP.

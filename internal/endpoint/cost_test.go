@@ -1,0 +1,87 @@
+package endpoint
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+const costQuery = `PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p ?o }`
+
+// TestLocalEstimateCost exercises the in-process CostEstimator: a
+// planner-on Local returns a finite cost, a planner-off Local refuses.
+func TestLocalEstimateCost(t *testing.T) {
+	st := store.New()
+	triples, _, err := turtle.Parse(testTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.InsertTriples(rdf.Term{}, triples)
+
+	var est CostEstimator = NewLocal(st)
+	cost, err := est.EstimateCost(costQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("cost = %v, want > 0", cost)
+	}
+
+	off := NewLocal(st, sparql.WithPlanner(false))
+	if _, err := off.EstimateCost(costQuery); err == nil {
+		t.Fatal("planner-off Local returned a cost estimate")
+	}
+}
+
+// TestRemoteEstimateCost drives the ?cost=1 surface over real HTTP:
+// the Remote estimate must match the server engine's own estimate, a
+// parse error must surface, and a planner-off server must refuse.
+func TestRemoteEstimateCost(t *testing.T) {
+	srv, st := newTestServer(t, testTTL)
+	c := NewRemote(srv.URL)
+
+	got, err := c.EstimateCost(costQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewLocal(st).EstimateCost(costQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("remote cost %v != local cost %v", got, want)
+	}
+
+	if _, err := c.EstimateCost("SELECT WHERE {"); err == nil {
+		t.Fatal("malformed query did not error")
+	}
+
+	offSrv := httptest.NewServer(NewServer(st, sparql.WithPlanner(false)).Handler())
+	t.Cleanup(offSrv.Close)
+	_, err = NewRemote(offSrv.URL).EstimateCost(costQuery)
+	if err == nil || !strings.Contains(err.Error(), "planner disabled") {
+		t.Fatalf("planner-off server: err = %v, want planner disabled", err)
+	}
+}
+
+// TestRemoteEstimateCostRejectsForeignEndpoint: a server that answers
+// ?cost=1 with an ordinary SPARQL results body (any endpoint that
+// ignores unknown parameters) must be detected, not silently parsed as
+// cost zero.
+func TestRemoteEstimateCostRejectsForeignEndpoint(t *testing.T) {
+	foreign := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		w.Write([]byte(`{"head":{"vars":["s"]},"results":{"bindings":[]}}`))
+	}))
+	t.Cleanup(foreign.Close)
+	_, err := NewRemote(foreign.URL).EstimateCost(costQuery)
+	if err == nil || !strings.Contains(err.Error(), "not a plan") {
+		t.Fatalf("foreign endpoint: err = %v, want 'not a plan'", err)
+	}
+}

@@ -174,7 +174,9 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // Handler returns the HTTP handler implementing the protocol routes:
 //
 //	GET/POST /sparql  — query (query=..., Accept: json/csv/tsv;
-//	                    &explain=1 returns an EXPLAIN ANALYZE trace)
+//	                    &explain=1 returns an EXPLAIN ANALYZE trace;
+//	                    &cost=1 returns the planner's estimated cost
+//	                    as JSON without evaluating)
 //	POST     /update  — update (update=... or raw body)
 //	POST     /load    — load Turtle into a graph (?graph=IRI optional)
 //	GET      /stats   — store statistics
@@ -390,6 +392,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := sparql.ParseQuery(queryText)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// ?cost=1 (any non-empty value) returns the planner's estimated
+	// C_out cost as JSON without evaluating the query — the plan-cost
+	// surface Remote.EstimateCost consumes and internal/ql's translation
+	// selection builds on. 409 when the server's planner is off, so
+	// remote callers fall back to their heuristic instead of trusting a
+	// cost the evaluator would not follow.
+	if r.FormValue("cost") != "" {
+		if !s.engine.PlannerEnabled() {
+			http.Error(w, "cost estimate unavailable: planner disabled (-planner=off)", http.StatusConflict)
+			return
+		}
+		p := s.engine.Plan(q)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct { //nolint:errcheck
+			Planner       string  `json:"planner"`
+			Cost          float64 `json:"cost"`
+			Reordered     bool    `json:"reordered"`
+			PushedFilters int     `json:"pushedFilters"`
+		}{"on", p.Cost, p.Reordered, p.PushedFilters})
 		return
 	}
 

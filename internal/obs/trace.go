@@ -160,16 +160,22 @@ func (s *Span) render(b *strings.Builder, prefix string, withTimes bool) {
 
 // Trace is one finished query trace: its identity (the trace ID shared
 // by every process that contributed spans), when it started, the query
-// text (when the caller knows it), and the root operator span.
+// text (when the caller knows it), the planner's summary line (when the
+// caller planned), and the root operator span.
 type Trace struct {
 	ID    TraceID   `json:"id,omitempty"`
 	Start time.Time `json:"start"`
 	Query string    `json:"query,omitempty"`
-	Root  *Span     `json:"root"`
+	// Plan is the planner's one-line summary — for a QL query, the
+	// chosen translation with its estimated cost, e.g.
+	// "alternative (est cost 10458)". Rendered as a "plan:" line above
+	// the operator tree by Render and Outline.
+	Plan string `json:"plan,omitempty"`
+	Root *Span  `json:"root"`
 }
 
-// Render returns the trace identity, the query text (if any), and the
-// operator tree with wall times.
+// Render returns the trace identity, the query text (if any), the plan
+// line (if any), and the operator tree with wall times.
 func (t *Trace) Render() string {
 	var b strings.Builder
 	if t.ID != "" {
@@ -181,12 +187,24 @@ func (t *Trace) Render() string {
 		b.WriteString(strings.TrimSpace(t.Query))
 		b.WriteString("\n\n")
 	}
+	if t.Plan != "" {
+		b.WriteString("plan: ")
+		b.WriteString(t.Plan)
+		b.WriteString("\n")
+	}
 	b.WriteString(t.Root.Render())
 	return b.String()
 }
 
-// Outline returns the operator tree without timings.
-func (t *Trace) Outline() string { return t.Root.Outline() }
+// Outline returns the plan line (if any) and the operator tree without
+// timings, which is stable across runs for a deterministic query plan
+// (used by golden-file tests).
+func (t *Trace) Outline() string {
+	if t.Plan == "" {
+		return t.Root.Outline()
+	}
+	return "plan: " + t.Plan + "\n" + t.Root.Outline()
+}
 
 // Tracer is a sink for finished query traces: it keeps a bounded ring
 // of the most recent traces and optionally forwards every trace to an

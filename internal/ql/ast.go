@@ -3,7 +3,13 @@
 // schema, the Query Simplification phase, the Query Translation phase
 // that produces two semantically equivalent SPARQL queries (the direct
 // translation and an alternative using optimization heuristics), and
-// the SPARQL Execution phase returning a result cube.
+// the SPARQL Execution phase returning a result cube. Which of the two
+// translations runs is, by default, a cost-based decision: Execute
+// with the Auto variant (or Choose directly) asks the client to
+// estimate both — endpoint.CostEstimator, backed by the engine's
+// query planner — and runs the cheaper, falling back to the
+// historical heuristic (the alternative form) when no estimator is
+// available.
 //
 // QL follows the cube algebra of Ciferri et al.: a program is a
 // sequence of assignments

@@ -1,0 +1,89 @@
+package ql
+
+import (
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// plainClient implements endpoint.SPARQLClient but not
+// endpoint.CostEstimator — the shape of a third-party client Choose
+// must degrade gracefully for.
+type plainClient struct{}
+
+func (plainClient) Select(string) (*sparql.Results, error) { return nil, nil }
+func (plainClient) Update(string) error                    { return nil }
+
+func TestChooseFallsBackWithoutEstimator(t *testing.T) {
+	tr := &Translation{Direct: "SELECT * WHERE { ?s ?p ?o }", Alternative: "SELECT * WHERE { ?s ?p ?o }"}
+	sel := Choose(plainClient{}, tr)
+	if !sel.Heuristic {
+		t.Fatalf("Choose over a non-estimator client: %+v, want heuristic", sel)
+	}
+	if sel.Variant != Alternative {
+		t.Fatalf("heuristic variant = %s, want alternative", sel.Variant)
+	}
+	if got := sel.String(); got != "alternative (heuristic)" {
+		t.Fatalf("Selection.String() = %q", got)
+	}
+}
+
+func TestChooseFallsBackWhenPlannerOff(t *testing.T) {
+	client := endpoint.NewLocal(store.New(), sparql.WithPlanner(false))
+	tr := &Translation{Direct: "SELECT * WHERE { ?s ?p ?o }", Alternative: "SELECT * WHERE { ?s ?p ?o }"}
+	sel := Choose(client, tr)
+	if !sel.Heuristic || sel.Variant != Alternative {
+		t.Fatalf("Choose against a planner-off local: %+v, want heuristic alternative", sel)
+	}
+}
+
+func TestChooseTieBreaksToDirect(t *testing.T) {
+	// Identical translations estimate identical costs; the tie must go
+	// to the direct variant deterministically.
+	client := endpoint.NewLocal(store.New())
+	const q = "SELECT * WHERE { ?s ?p ?o }"
+	sel := Choose(client, &Translation{Direct: q, Alternative: q})
+	if sel.Heuristic {
+		t.Fatalf("planner-on local fell back to heuristic: %+v", sel)
+	}
+	if sel.Variant != Direct {
+		t.Fatalf("tie broke to %s, want direct", sel.Variant)
+	}
+	if sel.Cost > sel.Other || sel.Cost < 0 {
+		t.Fatalf("selection costs inconsistent: %+v", sel)
+	}
+}
+
+func TestChooseDemoQueryPicksCheaperTranslation(t *testing.T) {
+	env := demoCube(t)
+	p, err := Prepare(demoQuery, env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := endpoint.NewLocal(env.Store)
+	sel := Choose(client, p.Translation)
+	if sel.Heuristic {
+		t.Fatalf("planner-on local fell back to heuristic: %+v", sel)
+	}
+	if sel.Cost > sel.Other {
+		t.Fatalf("Choose picked the costlier arm: %+v", sel)
+	}
+	// Executing through the Auto variant must resolve and cache the
+	// same selection, then run the chosen translation.
+	cube, err := Execute(client, p.Translation, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Cells) == 0 {
+		t.Fatal("Auto execution returned an empty cube")
+	}
+	if p.Translation.Selection == nil {
+		t.Fatal("Auto execution did not cache its selection on the translation")
+	}
+	if p.Translation.Selection.Variant != sel.Variant {
+		t.Fatalf("cached selection %s differs from Choose result %s",
+			p.Translation.Selection.Variant, sel.Variant)
+	}
+}

@@ -21,13 +21,66 @@ const (
 	Direct Variant = iota
 	// Alternative runs the subquery translation.
 	Alternative
+	// Auto asks the endpoint's cost-based planner to price both
+	// translations and runs the cheaper one (see Choose). On a client
+	// without a usable cost surface it falls back to a static heuristic.
+	Auto
 )
 
 func (v Variant) String() string {
-	if v == Alternative {
+	switch v {
+	case Alternative:
 		return "alternative"
+	case Auto:
+		return "auto"
 	}
 	return "direct"
+}
+
+// Selection records how an Auto execution resolved: which translation
+// ran and why. It is stored on the Translation so callers (the CLI, the
+// EXPLAIN ANALYZE plan line) can report the decision.
+type Selection struct {
+	// Variant is the translation chosen.
+	Variant Variant
+	// Cost and Other are the planner's estimated C_out costs for the
+	// chosen and the rejected translation. Both are zero when the
+	// decision was heuristic.
+	Cost, Other float64
+	// Heuristic is set when no cost estimate was available (the client
+	// does not implement endpoint.CostEstimator, or its planner is off)
+	// and the static default was used instead.
+	Heuristic bool
+}
+
+// String renders the decision as the one-line plan summary used by
+// EXPLAIN ANALYZE, e.g. "alternative (est cost 10458)".
+func (s Selection) String() string {
+	if s.Heuristic {
+		return s.Variant.String() + " (heuristic)"
+	}
+	return fmt.Sprintf("%s (est cost %.0f)", s.Variant, s.Cost)
+}
+
+// Choose picks which translation an Auto execution runs. When the
+// client can price queries with the cost-based planner (it implements
+// endpoint.CostEstimator and the planner is on), both translations are
+// planned — never evaluated — and the cheaper estimated C_out cost
+// wins, ties going to the direct form. Otherwise the static heuristic
+// picks the alternative (subquery) translation, which the EXPERIMENTS.md
+// measurements show ahead of the direct form on every dataset scale.
+func Choose(c endpoint.SPARQLClient, t *Translation) Selection {
+	if ce, ok := c.(endpoint.CostEstimator); ok {
+		dc, derr := ce.EstimateCost(t.Direct)
+		ac, aerr := ce.EstimateCost(t.Alternative)
+		if derr == nil && aerr == nil {
+			if ac < dc {
+				return Selection{Variant: Alternative, Cost: ac, Other: dc}
+			}
+			return Selection{Variant: Direct, Cost: dc, Other: ac}
+		}
+	}
+	return Selection{Variant: Alternative, Heuristic: true}
 }
 
 // Execute runs one of the translated queries on the endpoint and
@@ -40,6 +93,13 @@ func Execute(c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, er
 // execution when the client supports cancellation (both built-in
 // endpoint clients do).
 func ExecuteContext(ctx context.Context, c endpoint.SPARQLClient, t *Translation, v Variant) (*olap.Cube, error) {
+	if v == Auto {
+		if t.Selection == nil {
+			sel := Choose(c, t)
+			t.Selection = &sel
+		}
+		v = t.Selection.Variant
+	}
 	query := t.Direct
 	if v == Alternative {
 		query = t.Alternative
@@ -94,7 +154,8 @@ type Pipeline struct {
 	Translation *Translation
 	// Timings records the wall time of each pipeline phase in execution
 	// order: parse, analyze, simplify, re-analyze, translate, plus one
-	// execute(<variant>) entry per Run call.
+	// execute(<variant>) entry per Run call — preceded, for Auto runs,
+	// by a plan(<selection>) entry timing the cost-based choice.
 	Timings []PhaseTiming
 }
 
@@ -161,6 +222,13 @@ func RunContext(ctx context.Context, c endpoint.SPARQLClient, schema *qb4olap.Cu
 	p, err := Prepare(src, schema)
 	if err != nil {
 		return nil, nil, err
+	}
+	if v == Auto {
+		start := time.Now()
+		sel := Choose(c, p.Translation)
+		p.Translation.Selection = &sel
+		p.Timings = append(p.Timings, PhaseTiming{Phase: "plan(" + sel.String() + ")", Wall: time.Since(start)})
+		v = sel.Variant
 	}
 	start := time.Now()
 	cube, err := ExecuteContext(ctx, c, p.Translation, v)

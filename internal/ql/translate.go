@@ -17,6 +17,12 @@ type Translation struct {
 	Direct      string
 	Alternative string
 
+	// Selection records how an Auto execution chose between the two
+	// queries; nil until an Auto Execute/Run resolves (or a caller runs
+	// Choose itself). Cached: a second Auto execution of the same
+	// Translation reuses the decision.
+	Selection *Selection
+
 	// GroupVars are the SPARQL variable names of the member columns,
 	// parallel to Analysis.VisibleDims().
 	GroupVars []string

@@ -7,6 +7,14 @@
 // store.Store and substitutes for the Virtuoso endpoint used in the
 // paper.
 //
+// Query planning: each query entry point first runs the cost-based
+// planner (plan.go, on by default, WithPlanner(false) to opt out),
+// which reorders BGP joins by estimated cardinality from the store's
+// statistics snapshot and pushes filters down to where their variables
+// are first bound; evaluation then follows the planned order exactly.
+// With the planner off, evalBGP falls back to its runtime greedy
+// reorder (or textual order under DisableReorder).
+//
 // Concurrency contract: an Engine is safe for concurrent use — any
 // number of goroutines may run queries and updates on one Engine, with
 // per-scan snapshot semantics provided by the store (callers needing
@@ -17,8 +25,8 @@
 // and merge the per-chunk outputs in input order, so query results are
 // identical at every parallelism level; n = 1 runs the original
 // sequential code paths (see parallel.go). Engine configuration
-// (SetParallelism, DisableReorder) is not synchronized and must happen
-// before the Engine is shared.
+// (SetParallelism, WithPlanner, DisableReorder) is not synchronized
+// and must happen before the Engine is shared.
 package sparql
 
 import "repro/internal/rdf"
@@ -58,6 +66,13 @@ type Query struct {
 	OrderBy []OrderCondition
 	Limit   int // -1 when absent
 	Offset  int
+
+	// Planned marks a query rewritten by the cost-based planner
+	// (Engine.Plan): its BGP pattern order is authoritative and the
+	// evaluator must not reorder it again. Queries that already carry
+	// the mark pass through the planning entry hook untouched, so a
+	// caller may cache a Plan result and re-run it.
+	Planned bool
 }
 
 // SelectItem is one projected column: either a plain variable or an

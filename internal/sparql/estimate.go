@@ -1,10 +1,6 @@
 package sparql
 
-import (
-	"math"
-
-	"repro/internal/store"
-)
+import "math"
 
 // Cardinality estimation for the EXPLAIN ANALYZE surface. When a query
 // is traced, every operator span carries the estimate the statistics
@@ -12,73 +8,24 @@ import (
 // the actual row count. Each estimate is computed from the operator's
 // *actual* input cardinality, so the rendered error isolates the
 // per-operator estimator (join selectivity, filter default, …) from
-// error accumulated upstream — exactly the signal a future cost-based
-// join-ordering PR needs to judge whether the statistics are good
-// enough to plan with.
+// error accumulated upstream — exactly the q-error signal that judges
+// whether the statistics are good enough to plan with. The cost-based
+// planner (plan.go) consumes the same model, estimateJoinRows, to
+// choose join orders before evaluation starts.
 //
 // Estimates are only computed while tracing (the cursor is non-nil);
 // the untraced fast path pays nothing.
 
-// estimateJoin predicts the output rows of joining one triple pattern
-// into in solutions, System R style: the per-row match count is the
-// store's exact count of the constant-only pattern shrunk, under the
-// independence assumption, by the distinct cardinality of every
-// position occupied by an already-bound variable. Statistics come from
-// store.PredicateStat (per-predicate distinct subjects/objects) when
-// the predicate is constant, and graph-level distincts otherwise.
+// estimateJoin is the tracing-time view of estimateJoinRows: it
+// predicts the output rows of joining one triple pattern into in
+// solutions from the operator's actual input cardinality.
 func (r *run) estimateJoin(tp TriplePattern, bound map[string]bool, in int, ctx graphCtx) int64 {
 	if tp.Path != nil {
 		// No statistics for property paths; assume they preserve
 		// cardinality.
 		return int64(in)
 	}
-	st := r.e.store
-	dict := st.Dict()
-	var pat store.IDTriple
-	lookup := func(pt PatternTerm) (store.ID, bool) {
-		if pt.IsVar {
-			return store.NoID, true
-		}
-		id, ok := dict.Lookup(pt.Term)
-		return id, ok
-	}
-	var ok bool
-	if pat.S, ok = lookup(tp.S); !ok {
-		return 0
-	}
-	if pat.P, ok = lookup(tp.P); !ok {
-		return 0
-	}
-	if pat.O, ok = lookup(tp.O); !ok {
-		return 0
-	}
-	base := float64(st.Count(ctx.gid, pat))
-	if base == 0 {
-		return 0
-	}
-	div := 1.0
-	if pat.P != store.NoID {
-		if ps, found := st.PredicateStat(ctx.gid, pat.P); found {
-			if tp.S.IsVar && bound[tp.S.Var] && ps.DistinctS > 0 {
-				div *= float64(ps.DistinctS)
-			}
-			if tp.O.IsVar && bound[tp.O.Var] && ps.DistinctO > 0 {
-				div *= float64(ps.DistinctO)
-			}
-		}
-	} else {
-		gs := st.GraphStat(ctx.gid)
-		if tp.S.IsVar && bound[tp.S.Var] && gs.DistinctSubjects > 0 {
-			div *= float64(gs.DistinctSubjects)
-		}
-		if tp.O.IsVar && bound[tp.O.Var] && gs.DistinctObjects > 0 {
-			div *= float64(gs.DistinctObjects)
-		}
-		if tp.P.IsVar && bound[tp.P.Var] && gs.DistinctPredicates > 0 {
-			div *= float64(gs.DistinctPredicates)
-		}
-	}
-	return int64(math.Round(float64(in) * base / div))
+	return int64(math.Round(estimateJoinRows(r.e.store, tp, bound, float64(in), ctx.gid)))
 }
 
 // estimateFilter applies the textbook default 1/3 selectivity: nothing

@@ -16,8 +16,8 @@ import (
 //
 // An Engine is safe for concurrent use: queries carry all per-execution
 // state in a private run value, and the underlying store serializes
-// access internally. Configuration (SetParallelism, DisableReorder)
-// must be done before the engine is shared.
+// access internally. Configuration (SetParallelism, WithPlanner,
+// DisableReorder) must be done before the engine is shared.
 type Engine struct {
 	store *store.Store
 
@@ -25,9 +25,17 @@ type Engine struct {
 	// evaluation may use (see WithParallelism). Always >= 1.
 	parallelism int
 
-	// DisableReorder turns off the greedy join-order optimizer so BGP
-	// patterns run in textual order (used by the planner ablation
-	// benchmark).
+	// planner enables the cost-based planning pass (plan.go) on every
+	// query entry: statistics-driven BGP join ordering plus filter
+	// pushdown, applied once before evaluation. On by default;
+	// WithPlanner(false) restores the pre-planner behavior.
+	planner bool
+
+	// DisableReorder turns off evalBGP's runtime greedy join-order
+	// heuristic, so an *unplanned* BGP runs in textual order. It only
+	// matters with the planner off (a planned query's order is
+	// authoritative either way); the planner ablation benchmarks use it
+	// to isolate the two mechanisms.
 	DisableReorder bool
 
 	// tracer, when set (WithTracer), collects a per-operator trace of
@@ -54,9 +62,10 @@ func WithParallelism(n int) Option {
 	return func(e *Engine) { e.SetParallelism(n) }
 }
 
-// NewEngine returns an engine over st.
+// NewEngine returns an engine over st. The cost-based planner is on by
+// default; pass WithPlanner(false) to disable it.
 func NewEngine(st *store.Store, opts ...Option) *Engine {
-	e := &Engine{store: st, parallelism: runtime.GOMAXPROCS(0)}
+	e := &Engine{store: st, parallelism: runtime.GOMAXPROCS(0), planner: true}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -133,6 +142,11 @@ type run struct {
 	qctx context.Context
 	done <-chan struct{}
 
+	// planned records that the query being evaluated was rewritten by
+	// the cost-based planner; evalBGP then treats the pattern order as
+	// authoritative instead of applying its runtime greedy reorder.
+	planned bool
+
 	// trace is the current trace cursor: operator spans attach under
 	// it. Nil (the default) disables tracing; every hook then reduces
 	// to a nil check.
@@ -191,7 +205,8 @@ func (e *Engine) selectRun(ctx context.Context, q *Query, root *obs.Span) (*Resu
 	if q.Form != FormSelect {
 		return nil, fmt.Errorf("sparql: not a SELECT query")
 	}
-	r := &run{e: e, vt: newVarTable(), trace: root}
+	q = e.prepared(q)
+	r := &run{e: e, vt: newVarTable(), trace: root, planned: q.Planned}
 	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	return r.evalSelect(q)
@@ -203,7 +218,8 @@ func (e *Engine) Ask(q *Query) (bool, error) {
 }
 
 func (e *Engine) askRun(ctx context.Context, q *Query, root *obs.Span) (bool, error) {
-	r := &run{e: e, vt: newVarTable(), trace: root}
+	q = e.prepared(q)
+	r := &run{e: e, vt: newVarTable(), trace: root, planned: q.Planned}
 	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
@@ -225,7 +241,8 @@ func (e *Engine) ConstructContext(ctx context.Context, q *Query) ([]rdf.Triple, 
 	if q.Form != FormConstruct {
 		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
 	}
-	r := &run{e: e, vt: newVarTable()}
+	q = e.prepared(q)
+	r := &run{e: e, vt: newVarTable(), planned: q.Planned}
 	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
@@ -793,7 +810,8 @@ func (e *Engine) DescribeContext(ctx context.Context, q *Query) ([]rdf.Triple, e
 	if q.Form != FormDescribe {
 		return nil, fmt.Errorf("sparql: not a DESCRIBE query")
 	}
-	r := &run{e: e, vt: newVarTable()}
+	q = e.prepared(q)
+	r := &run{e: e, vt: newVarTable(), planned: q.Planned}
 	r.bindContext(ctx)
 	collectVars(q, r.vt)
 	for _, d := range q.Describe {

@@ -135,7 +135,11 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		var sp *obs.Span
 		saved := r.trace
 		if r.trace != nil {
-			sp = r.trace.StartChild("BGP", fmt.Sprintf("%d patterns", len(bgp)), len(rows))
+			detail := fmt.Sprintf("%d patterns", len(bgp))
+			if r.planned {
+				detail += " (planned)"
+			}
+			sp = r.trace.StartChild("BGP", detail, len(rows))
 			r.trace = sp
 		}
 		var err error
@@ -346,9 +350,11 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 }
 
 // evalSubSelect runs a nested SELECT independently and returns its
-// result table; its operators trace under sp when tracing is on.
+// result table; its operators trace under sp when tracing is on. The
+// subquery of a planned query was planned along with its parent, so
+// the planned flag follows the subquery's own mark.
 func (r *run) evalSubSelect(q *Query, sp *obs.Span) (*Results, error) {
-	sub := &run{e: r.e, vt: newVarTable(), trace: sp}
+	sub := &run{e: r.e, vt: newVarTable(), trace: sp, planned: q.Planned}
 	collectVars(q, sub.vt)
 	return sub.evalSelect(q)
 }
@@ -499,8 +505,10 @@ func compatibleSharing(a, b solution) bool {
 	return shared
 }
 
-// evalBGP joins a basic graph pattern into the current solutions using
-// greedy selectivity-based ordering (unless disabled).
+// evalBGP joins a basic graph pattern into the current solutions. For
+// a planned query the pattern order is the planner's choice and is
+// preserved; otherwise the runtime greedy selectivity heuristic picks
+// each next pattern (unless DisableReorder pins the textual order).
 func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) ([]solution, error) {
 	if len(rows) == 0 {
 		return nil, nil
@@ -527,7 +535,7 @@ func (r *run) evalBGP(patterns []TriplePattern, rows []solution, ctx graphCtx) (
 			return nil, r.cancelErr()
 		}
 		next := 0
-		if !r.e.DisableReorder && len(remaining) > 1 {
+		if !r.planned && !r.e.DisableReorder && len(remaining) > 1 {
 			// Prefer patterns connected to the already-bound variables;
 			// a disconnected pattern forces a cartesian product and is
 			// only taken when nothing else remains.

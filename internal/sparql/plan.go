@@ -1,0 +1,625 @@
+package sparql
+
+import (
+	"math"
+
+	"repro/internal/store"
+)
+
+// Cost-based query planning. The planner is a rewrite pass between
+// parse and eval: it walks the group graph pattern tree once, and for
+// every basic graph pattern chooses a join order greedily by estimated
+// output cardinality (the estimateJoinRows model over the store's
+// statistics snapshot), then floats each FILTER to the earliest point
+// at which all of its variables are certainly bound. The pass produces
+// a rewritten copy of the query — the caller's Query is never mutated —
+// plus the plan's estimated total cost, the classic C_out metric: the
+// sum of every operator's estimated output cardinality. C_out is what
+// the ql layer compares to auto-select the direct vs. alternative
+// translation of a QL program.
+//
+// What the planner will not do:
+//
+//   - It never reorders OPTIONAL, MINUS, UNION, BIND, GRAPH, VALUES, or
+//     subselect elements relative to each other or to the joins around
+//     them: left-join and difference are order-sensitive, so only the
+//     commutative parts — triple-pattern joins within one BGP, and
+//     filters over certainly-bound variables — move.
+//   - A FILTER moves only when every variable it mentions (including
+//     variables inside an EXISTS pattern) is certainly bound at the new
+//     position. Variables bound by OPTIONAL, BIND, VALUES rows with
+//     UNDEF, or subselect projections are never "certain", so filters
+//     over them stay where they were written. A filter also never
+//     crosses a BIND that could rebind one of its variables.
+//   - Property paths carry no statistics and are assumed to preserve
+//     cardinality; they participate in reordering but never look cheap.
+//   - Updates (DELETE/INSERT WHERE) are not planned; their WHERE
+//     clauses keep the runtime greedy reorder of evalBGP.
+//
+// The pass runs by default on every Query/Select/Ask/Construct/Describe
+// entry (WithPlanner(false), or -planner=off on the CLIs, restores the
+// previous behavior: textual order plus evalBGP's runtime greedy
+// reorder). A planned query is marked Planned and evaluated exactly in
+// the planned order.
+
+// WithPlanner enables or disables the cost-based planning pass. The
+// planner is on by default; disabling it restores the pre-planner
+// behavior (textual pattern order with evalBGP's runtime greedy
+// reorder, and no filter pushdown).
+func WithPlanner(enabled bool) Option {
+	return func(e *Engine) { e.planner = enabled }
+}
+
+// PlannerEnabled reports whether the engine runs the cost-based
+// planning pass on each query.
+func (e *Engine) PlannerEnabled() bool { return e.planner }
+
+// Plan is the result of the cost-based planning pass over one query.
+type Plan struct {
+	// Query is the rewritten, evaluation-ready query: BGP joins in the
+	// chosen order, filters pushed down, Planned set. The input query is
+	// never mutated.
+	Query *Query
+
+	// Cost is the estimated total cost of the plan (C_out): the sum of
+	// the estimated output cardinality of every operator. Comparable
+	// across queries against the same store; not a wall-time prediction.
+	Cost float64
+
+	// Reordered reports whether any BGP's join order differs from the
+	// written order.
+	Reordered bool
+
+	// PushedFilters counts FILTER elements moved earlier than written.
+	PushedFilters int
+}
+
+// Plan runs the cost-based planning pass over q against the engine's
+// store statistics and returns the rewritten query with its cost. It
+// can be called directly (EXPLAIN-style tooling does); normal query
+// entry points apply it automatically while the planner is enabled.
+func (e *Engine) Plan(q *Query) *Plan {
+	ps := &planState{st: e.store}
+	nq := ps.query(q)
+	return &Plan{Query: nq, Cost: ps.cost, Reordered: ps.reordered, PushedFilters: ps.pushed}
+}
+
+// EstimateCost plans q and returns the estimated total cost without
+// exposing the rewrite. This is the plan-cost API the ql layer uses to
+// choose between the direct and alternative translations.
+func (e *Engine) EstimateCost(q *Query) float64 {
+	return e.Plan(q).Cost
+}
+
+// prepared applies the planning pass on a query entry point. Already
+// planned queries (a caller may cache a Plan result) pass through.
+func (e *Engine) prepared(q *Query) *Query {
+	if !e.planner || q.Planned {
+		return q
+	}
+	return e.Plan(q).Query
+}
+
+// planState accumulates cost and rewrite facts across one planning
+// pass.
+type planState struct {
+	st        *store.Store
+	cost      float64
+	reordered bool
+	pushed    int
+	// lastRows is the estimated output cardinality of the most recently
+	// planned (sub)query, read by the subselect join estimate.
+	lastRows float64
+}
+
+// query plans one (sub)query: its WHERE group recursively, then the
+// post-WHERE operators (aggregation, DISTINCT, ORDER BY, slice,
+// projection), each costed as one pass over its estimated input. It
+// returns the rewritten copy.
+func (ps *planState) query(q *Query) *Query {
+	nq := *q
+	var rows float64
+	nq.Where, rows = ps.group(q.Where, nil, 1, store.NoID)
+	nq.Planned = true
+	if len(nq.GroupBy) > 0 || projectionHasAggregates(&nq) {
+		ps.cost += rows
+		rows = math.Round(math.Sqrt(rows)) // estimateGroups
+	}
+	if nq.Distinct {
+		ps.cost += rows
+	}
+	if len(nq.OrderBy) > 0 {
+		ps.cost += rows
+	}
+	if nq.Offset > 0 || nq.Limit >= 0 {
+		rows = estimateSliceRows(rows, nq.Offset, nq.Limit)
+	}
+	ps.cost += rows // projection
+	ps.lastRows = rows
+	return &nq
+}
+
+// pendingFilter tracks one FILTER of the group being planned: where it
+// was written, the variables it mentions, and the earliest element it
+// must not cross (a BIND that could rebind one of its variables).
+type pendingFilter struct {
+	f       FilterElement
+	orig    int // index in the written element list
+	barrier int // index of the latest earlier element that may rebind a filter var; -1 if none
+	vars    map[string]bool
+	emitted bool
+}
+
+// group plans one group graph pattern. outer is the set of variables
+// certainly bound before the group evaluates, in the estimated input
+// cardinality, gid the active graph. It returns the rewritten group and
+// the estimated output cardinality, accumulating cost into ps.
+func (ps *planState) group(g GroupGraphPattern, outer map[string]bool, in float64, gid store.ID) (GroupGraphPattern, float64) {
+	bound := make(map[string]bool, len(outer))
+	for v := range outer {
+		bound[v] = true
+	}
+	els := g.Elements
+
+	// Index the group's filters. Every filter is a pushdown candidate;
+	// eligibility is decided at emit time by the certainly-bound set.
+	var pend []*pendingFilter
+	byIdx := make(map[int]*pendingFilter)
+	for i, el := range els {
+		f, ok := el.(FilterElement)
+		if !ok {
+			continue
+		}
+		vars := make(map[string]bool)
+		exprVarsInto(f.Expr, vars)
+		barrier := -1
+		for j := i - 1; j >= 0; j-- {
+			if b, ok := els[j].(BindElement); ok && vars[b.Var] {
+				barrier = j
+				break
+			}
+		}
+		pf := &pendingFilter{f: f, orig: i, barrier: barrier, vars: vars}
+		pend = append(pend, pf)
+		byIdx[i] = pf
+	}
+
+	rows := in
+	out := make([]PatternElement, 0, len(els))
+	consumed := -1 // index of the last written element consumed by the walk
+
+	emitFilter := func(pf *pendingFilter) {
+		pf.emitted = true
+		out = append(out, pf.f)
+		rows = estimateFilterRows(rows)
+		ps.cost += rows
+	}
+	// flushReady emits, in written order, every pending filter whose
+	// variables are all certainly bound and whose BIND barrier (if any)
+	// has been consumed.
+	flushReady := func() {
+		for _, pf := range pend {
+			if pf.emitted || pf.barrier > consumed {
+				continue
+			}
+			if !varsSubset(pf.vars, bound) {
+				continue
+			}
+			if consumed+1 < pf.orig {
+				ps.pushed++
+			}
+			emitFilter(pf)
+		}
+	}
+
+	flushReady() // filters over outer-bound variables move to the front
+
+	for i := 0; i < len(els); i++ {
+		el := els[i]
+		if pf, ok := byIdx[i]; ok {
+			// The filter's written position. If pushdown has not already
+			// emitted it, it runs here — exactly the written semantics,
+			// variables bound or not.
+			if !pf.emitted {
+				emitFilter(pf)
+			}
+			consumed = i
+			continue
+		}
+		if _, ok := el.(TriplePattern); ok {
+			// A maximal run of consecutive triple patterns is the BGP the
+			// evaluator forms; order it greedily by estimated output
+			// cardinality, preferring patterns connected to the bound set
+			// (a disconnected pattern is a cartesian product and is only
+			// taken when nothing else remains). After each join, pushed
+			// filters may land mid-run — the earliest point their
+			// variables are bound.
+			j := i
+			var run []TriplePattern
+			for ; j < len(els); j++ {
+				tp, ok := els[j].(TriplePattern)
+				if !ok {
+					break
+				}
+				run = append(run, tp)
+			}
+			remaining := run
+			for len(remaining) > 0 {
+				next := 0
+				if len(remaining) > 1 {
+					candidates := make([]int, 0, len(remaining))
+					for ci, tp := range remaining {
+						if patternConnected(tp, bound) {
+							candidates = append(candidates, ci)
+						}
+					}
+					if len(candidates) == 0 {
+						for ci := range remaining {
+							candidates = append(candidates, ci)
+						}
+					}
+					best := math.Inf(1)
+					for _, ci := range candidates {
+						est := estimateJoinRows(ps.st, remaining[ci], bound, rows, gid)
+						if est < best {
+							best, next = est, ci
+						}
+					}
+				}
+				if next != 0 {
+					ps.reordered = true
+				}
+				tp := remaining[next]
+				remaining = append(remaining[:next], remaining[next+1:]...)
+				out = append(out, tp)
+				rows = estimateJoinRows(ps.st, tp, bound, rows, gid)
+				ps.cost += rows
+				markBound(tp, bound)
+				if len(remaining) == 0 {
+					consumed = j - 1
+				}
+				flushReady()
+			}
+			i = j - 1
+			continue
+		}
+		switch e := el.(type) {
+		case BindElement:
+			// BIND extends every row; its variable is not certainly bound
+			// (the expression may error per row, leaving it unbound).
+			out = append(out, e)
+			ps.cost += rows
+		case OptionalElement:
+			sub, _ := ps.group(e.Pattern, bound, rows, gid)
+			out = append(out, OptionalElement{Pattern: sub})
+			ps.cost += rows // left rows are preserved
+		case UnionElement:
+			nb := make([]GroupGraphPattern, len(e.Branches))
+			total := 0.0
+			for bi, b := range e.Branches {
+				var br float64
+				nb[bi], br = ps.group(b, bound, rows, gid)
+				total += br
+			}
+			out = append(out, UnionElement{Branches: nb})
+			rows = total
+			ps.cost += rows
+			// A variable certainly bound by every branch is certainly
+			// bound after the union.
+			if len(e.Branches) > 0 {
+				common := make(map[string]bool)
+				certainVarsInto(e.Branches[0], common)
+				for _, b := range e.Branches[1:] {
+					bc := make(map[string]bool)
+					certainVarsInto(b, bc)
+					for v := range common {
+						if !bc[v] {
+							delete(common, v)
+						}
+					}
+				}
+				for v := range common {
+					bound[v] = true
+				}
+			}
+		case MinusElement:
+			// The right side evaluates independently from an empty
+			// solution; it binds nothing and removes rows.
+			sub, _ := ps.group(e.Pattern, nil, 1, gid)
+			out = append(out, MinusElement{Pattern: sub})
+			ps.cost += rows
+		case GraphElement:
+			sgid := gid
+			if !e.Graph.IsVar {
+				if id, ok := ps.st.GraphID(e.Graph.Term); ok {
+					sgid = id
+				}
+			} else {
+				// Var graph iterates every named graph; plan the interior
+				// once against default-graph statistics (an approximation).
+				sgid = store.NoID
+			}
+			sub, sr := ps.group(e.Pattern, bound, rows, sgid)
+			out = append(out, GraphElement{Graph: e.Graph, Pattern: sub})
+			rows = sr
+			ps.cost += rows
+			if e.Graph.IsVar {
+				bound[e.Graph.Var] = true
+			}
+			certainVarsInto(e.Pattern, bound)
+		case GroupElement:
+			sub, sr := ps.group(e.Pattern, bound, rows, gid)
+			out = append(out, GroupElement{Pattern: sub})
+			rows = sr
+			certainVarsInto(e.Pattern, bound)
+		case ValuesElement:
+			out = append(out, e)
+			if n := len(e.Rows); n > 0 {
+				rows *= float64(n)
+			}
+			ps.cost += rows
+			// A VALUES variable with no UNDEF in any row is certainly
+			// bound afterwards.
+			for vi, name := range e.Vars {
+				all := len(e.Rows) > 0
+				for _, vr := range e.Rows {
+					if vr[vi].IsZero() {
+						all = false
+						break
+					}
+				}
+				if all {
+					bound[name] = true
+				}
+			}
+		case SubSelectElement:
+			// A subselect evaluates independently and joins the current
+			// rows on shared projected variables. Its projections are not
+			// certainly bound (expressions may error), so they do not
+			// enter the bound set.
+			sq := ps.query(e.Query)
+			sr := ps.lastRows
+			out = append(out, SubSelectElement{Query: sq})
+			if sr > rows {
+				rows = sr
+			}
+			ps.cost += rows
+		default:
+			out = append(out, el)
+			ps.cost += rows
+		}
+		consumed = i
+		flushReady()
+	}
+
+	return GroupGraphPattern{Elements: out}, rows
+}
+
+// varsSubset reports whether every variable of vars is in bound.
+func varsSubset(vars, bound map[string]bool) bool {
+	for v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// exprVarsInto collects every variable an expression mentions,
+// including all variables of EXISTS patterns (which therefore pin
+// EXISTS filters in place unless the whole pattern is bound).
+func exprVarsInto(e Expression, vars map[string]bool) {
+	switch x := e.(type) {
+	case ExprVar:
+		vars[x.Name] = true
+	case ExprBinary:
+		exprVarsInto(x.L, vars)
+		exprVarsInto(x.R, vars)
+	case ExprNot:
+		exprVarsInto(x.X, vars)
+	case ExprNeg:
+		exprVarsInto(x.X, vars)
+	case ExprCall:
+		for _, a := range x.Args {
+			exprVarsInto(a, vars)
+		}
+	case ExprIn:
+		exprVarsInto(x.X, vars)
+		for _, a := range x.List {
+			exprVarsInto(a, vars)
+		}
+	case ExprExists:
+		patternVarsInto(x.Pattern, vars)
+	case ExprAggregate:
+		if x.Arg != nil {
+			exprVarsInto(x.Arg, vars)
+		}
+	}
+}
+
+// patternVarsInto collects every variable occurring anywhere in a group
+// graph pattern.
+func patternVarsInto(g GroupGraphPattern, vars map[string]bool) {
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case TriplePattern:
+			for _, pt := range []PatternTerm{e.S, e.P, e.O} {
+				if pt.IsVar {
+					vars[pt.Var] = true
+				}
+			}
+		case FilterElement:
+			exprVarsInto(e.Expr, vars)
+		case BindElement:
+			vars[e.Var] = true
+			exprVarsInto(e.Expr, vars)
+		case OptionalElement:
+			patternVarsInto(e.Pattern, vars)
+		case UnionElement:
+			for _, b := range e.Branches {
+				patternVarsInto(b, vars)
+			}
+		case MinusElement:
+			patternVarsInto(e.Pattern, vars)
+		case GraphElement:
+			if e.Graph.IsVar {
+				vars[e.Graph.Var] = true
+			}
+			patternVarsInto(e.Pattern, vars)
+		case GroupElement:
+			patternVarsInto(e.Pattern, vars)
+		case ValuesElement:
+			for _, v := range e.Vars {
+				vars[v] = true
+			}
+		case SubSelectElement:
+			for _, it := range e.Query.Projection {
+				vars[it.Var] = true
+			}
+		}
+	}
+}
+
+// certainVarsInto collects the variables a group certainly binds in
+// every solution it produces: triple-pattern variables (a row only
+// survives a join by binding them), recursively through nested groups
+// and GRAPH blocks, and the intersection across UNION branches.
+// OPTIONAL, MINUS, BIND, VALUES-with-UNDEF, and subselect projections
+// bind nothing certainly.
+func certainVarsInto(g GroupGraphPattern, into map[string]bool) {
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case TriplePattern:
+			for _, pt := range []PatternTerm{e.S, e.P, e.O} {
+				if pt.IsVar {
+					into[pt.Var] = true
+				}
+			}
+		case UnionElement:
+			if len(e.Branches) == 0 {
+				continue
+			}
+			common := make(map[string]bool)
+			certainVarsInto(e.Branches[0], common)
+			for _, b := range e.Branches[1:] {
+				bc := make(map[string]bool)
+				certainVarsInto(b, bc)
+				for v := range common {
+					if !bc[v] {
+						delete(common, v)
+					}
+				}
+			}
+			for v := range common {
+				into[v] = true
+			}
+		case GraphElement:
+			if e.Graph.IsVar {
+				into[e.Graph.Var] = true
+			}
+			certainVarsInto(e.Pattern, into)
+		case GroupElement:
+			certainVarsInto(e.Pattern, into)
+		case ValuesElement:
+			for vi, name := range e.Vars {
+				all := len(e.Rows) > 0
+				for _, vr := range e.Rows {
+					if vr[vi].IsZero() {
+						all = false
+						break
+					}
+				}
+				if all {
+					into[name] = true
+				}
+			}
+		}
+	}
+}
+
+// estimateJoinRows predicts the output rows of joining one triple
+// pattern into in solutions, System R style: the per-row match count is
+// the store's exact count of the constant-only pattern shrunk, under
+// the independence assumption, by the distinct cardinality of every
+// position occupied by an already-bound variable. Statistics come from
+// store.PredicateStat (per-predicate distinct subjects/objects) when
+// the predicate is constant, and graph-level distincts otherwise. The
+// same model backs the planner's join ordering and the est= annotations
+// of EXPLAIN ANALYZE.
+func estimateJoinRows(st *store.Store, tp TriplePattern, bound map[string]bool, in float64, gid store.ID) float64 {
+	if tp.Path != nil {
+		// No statistics for property paths; assume they preserve
+		// cardinality.
+		return in
+	}
+	dict := st.Dict()
+	var pat store.IDTriple
+	lookup := func(pt PatternTerm) (store.ID, bool) {
+		if pt.IsVar {
+			return store.NoID, true
+		}
+		id, ok := dict.Lookup(pt.Term)
+		return id, ok
+	}
+	var ok bool
+	if pat.S, ok = lookup(tp.S); !ok {
+		return 0
+	}
+	if pat.P, ok = lookup(tp.P); !ok {
+		return 0
+	}
+	if pat.O, ok = lookup(tp.O); !ok {
+		return 0
+	}
+	base := float64(st.Count(gid, pat))
+	if base == 0 {
+		return 0
+	}
+	div := 1.0
+	if pat.P != store.NoID {
+		if ps, found := st.PredicateStat(gid, pat.P); found {
+			if tp.S.IsVar && bound[tp.S.Var] && ps.DistinctS > 0 {
+				div *= float64(ps.DistinctS)
+			}
+			if tp.O.IsVar && bound[tp.O.Var] && ps.DistinctO > 0 {
+				div *= float64(ps.DistinctO)
+			}
+		}
+	} else {
+		gs := st.GraphStat(gid)
+		if tp.S.IsVar && bound[tp.S.Var] && gs.DistinctSubjects > 0 {
+			div *= float64(gs.DistinctSubjects)
+		}
+		if tp.O.IsVar && bound[tp.O.Var] && gs.DistinctObjects > 0 {
+			div *= float64(gs.DistinctObjects)
+		}
+		if tp.P.IsVar && bound[tp.P.Var] && gs.DistinctPredicates > 0 {
+			div *= float64(gs.DistinctPredicates)
+		}
+	}
+	return in * base / div
+}
+
+// estimateFilterRows is estimateFilter over the planner's fractional
+// cardinalities: the textbook default 1/3 selectivity.
+func estimateFilterRows(in float64) float64 {
+	if in == 0 {
+		return 0
+	}
+	if in < 3 {
+		return 1
+	}
+	return in / 3
+}
+
+// estimateSliceRows is estimateSlice over fractional cardinalities.
+func estimateSliceRows(in float64, offset, limit int) float64 {
+	n := in - float64(offset)
+	if n < 0 {
+		n = 0
+	}
+	if limit >= 0 && float64(limit) < n {
+		n = float64(limit)
+	}
+	return n
+}

@@ -1,0 +1,280 @@
+package sparql
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// planQuery parses and plans a query against st, returning the plan.
+func planQuery(t *testing.T, st *store.Store, src string) *Plan {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return NewEngine(st).Plan(q)
+}
+
+// assertSameResults evaluates src with the planner on and off and
+// requires identical result tables (including JSON byte identity).
+func assertSameResults(t *testing.T, st *store.Store, src string) {
+	t.Helper()
+	on, err := NewEngine(st).QueryString(src)
+	if err != nil {
+		t.Fatalf("planner on: %v\n%s", err, src)
+	}
+	off, err := NewEngine(st, WithPlanner(false)).QueryString(src)
+	if err != nil {
+		t.Fatalf("planner off: %v\n%s", err, src)
+	}
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("planner on/off results differ for\n%s\non:  %+v\noff: %+v", src, on, off)
+	}
+	onJSON, _ := on.MarshalJSON()
+	offJSON, _ := off.MarshalJSON()
+	if string(onJSON) != string(offJSON) {
+		t.Fatalf("planner on/off JSON differs for\n%s", src)
+	}
+}
+
+// TestPlanReordersBadWrittenOrder: a BGP written large-pattern-first is
+// reordered to start from the most selective pattern, and the reordered
+// plan returns exactly the written-order results.
+func TestPlanReordersBadWrittenOrder(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?name WHERE {
+  ?p ex:name ?name .
+  ?p a ex:Person .
+} ORDER BY ?name`
+	p := planQuery(t, st, src)
+	if !p.Reordered {
+		t.Fatal("plan did not reorder a deliberately bad written order")
+	}
+	if !p.Query.Planned {
+		t.Fatal("planned query not marked Planned")
+	}
+	// The selective pattern (3 persons) must come before the name scan
+	// (4 names).
+	first, ok := p.Query.Where.Elements[0].(TriplePattern)
+	if !ok {
+		t.Fatalf("first planned element is %T, want TriplePattern", p.Query.Where.Elements[0])
+	}
+	if first.O.IsVar || first.O.Term.Value != "http://example.org/Person" {
+		t.Errorf("first planned pattern is %+v, want the ?p a ex:Person pattern", first)
+	}
+	if p.Cost <= 0 {
+		t.Errorf("plan cost = %v, want > 0", p.Cost)
+	}
+	assertSameResults(t, st, src)
+}
+
+// TestPlanNoOpOnWellOrderedQuery: a query already written in the
+// planner's preferred order (most selective pattern first, filter at
+// the earliest bound point) plans as a no-op — ties keep written order,
+// so Reordered stays false and the elements are untouched.
+func TestPlanNoOpOnWellOrderedQuery(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?name WHERE {
+  ?p a ex:Person .
+  FILTER (?p != ex:bob)
+  ?p ex:name ?name .
+} ORDER BY ?name`
+	p := planQuery(t, st, src)
+	if p.Reordered {
+		t.Fatal("well-ordered query was reordered")
+	}
+	if p.PushedFilters != 0 {
+		t.Fatalf("PushedFilters = %d, want 0 (filter already at its earliest point)", p.PushedFilters)
+	}
+	if _, ok := p.Query.Where.Elements[1].(FilterElement); !ok {
+		t.Fatalf("element order changed: %+v", p.Query.Where.Elements)
+	}
+	assertSameResults(t, st, src)
+}
+
+// TestPlanPushesFilterDown: a FILTER written after the whole BGP moves
+// to the earliest join at which its variable is bound, splitting the
+// BGP — and the results stay identical to the written order.
+func TestPlanPushesFilterDown(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?name ?c WHERE {
+  ?p a ex:Person .
+  ?p ex:name ?name .
+  ?p ex:city ?c .
+  FILTER (?name != "Bob")
+} ORDER BY ?name`
+	p := planQuery(t, st, src)
+	if p.PushedFilters != 1 {
+		t.Fatalf("PushedFilters = %d, want 1", p.PushedFilters)
+	}
+	// The filter must appear before the last triple pattern.
+	filterIdx, lastTP := -1, -1
+	for i, el := range p.Query.Where.Elements {
+		switch el.(type) {
+		case FilterElement:
+			filterIdx = i
+		case TriplePattern:
+			lastTP = i
+		}
+	}
+	if filterIdx < 0 || filterIdx > lastTP {
+		t.Fatalf("filter not pushed below the BGP: filter at %d, last pattern at %d\n%+v",
+			filterIdx, lastTP, p.Query.Where.Elements)
+	}
+	assertSameResults(t, st, src)
+}
+
+// TestPlanFilterBeforeBindingStays: a FILTER written before the pattern
+// that binds its variable keeps its written position — under SPARQL
+// semantics it evaluates against unbound variables (an error, dropping
+// every row), and the planner must not silently "fix" that.
+func TestPlanFilterBeforeBindingStays(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?name WHERE {
+  FILTER (?name != "Bob")
+  ?p ex:name ?name .
+}`
+	p := planQuery(t, st, src)
+	if p.PushedFilters != 0 {
+		t.Fatalf("PushedFilters = %d, want 0", p.PushedFilters)
+	}
+	if _, ok := p.Query.Where.Elements[0].(FilterElement); !ok {
+		t.Fatalf("leading filter moved: %+v", p.Query.Where.Elements)
+	}
+	res, err := NewEngine(st).QueryString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("filter over unbound variable kept %d rows, want 0", res.Len())
+	}
+	assertSameResults(t, st, src)
+}
+
+// TestPlanFilterOnOptionalVarStays: a FILTER over an OPTIONAL-bound
+// variable is not certainly bound, so it stays at its written position
+// after the OPTIONAL (where BOUND() semantics depend on the left join
+// having run).
+func TestPlanFilterOnOptionalVarStays(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?p ?age WHERE {
+  ?p a ex:Person .
+  OPTIONAL { ?p ex:age ?age }
+  FILTER (!BOUND(?age) || ?age > 26)
+} ORDER BY ?p`
+	p := planQuery(t, st, src)
+	if p.PushedFilters != 0 {
+		t.Fatalf("PushedFilters = %d, want 0", p.PushedFilters)
+	}
+	els := p.Query.Where.Elements
+	if _, ok := els[len(els)-1].(FilterElement); !ok {
+		t.Fatalf("filter over OPTIONAL variable moved: %+v", els)
+	}
+	assertSameResults(t, st, src)
+}
+
+// TestPlanFilterNeverCrossesBind: a FILTER over a BIND-introduced
+// variable stays after the BIND (the variable is never certainly
+// bound — the bind expression may error per row).
+func TestPlanFilterNeverCrossesBind(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?p ?m WHERE {
+  ?p a ex:Person .
+  ?p ex:name ?n .
+  BIND (?n AS ?m)
+  FILTER (?m = "Alice")
+}`
+	p := planQuery(t, st, src)
+	if p.PushedFilters != 0 {
+		t.Fatalf("PushedFilters = %d, want 0", p.PushedFilters)
+	}
+	bindIdx, filterIdx := -1, -1
+	for i, el := range p.Query.Where.Elements {
+		switch el.(type) {
+		case BindElement:
+			bindIdx = i
+		case FilterElement:
+			filterIdx = i
+		}
+	}
+	if filterIdx < bindIdx {
+		t.Fatalf("filter crossed its BIND: filter at %d, bind at %d", filterIdx, bindIdx)
+	}
+	assertSameResults(t, st, src)
+}
+
+// TestPlannerOffPreservesTodaysBehavior: with WithPlanner(false) the
+// entry points leave the query untouched (no Planned mark) and the
+// runtime greedy reorder still runs.
+func TestPlannerOffPreservesTodaysBehavior(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	e := NewEngine(st, WithPlanner(false))
+	if e.PlannerEnabled() {
+		t.Fatal("WithPlanner(false) left the planner on")
+	}
+	q, err := ParseQuery(`PREFIX ex: <http://example.org/> SELECT ?n WHERE { ?p ex:name ?n }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Planned {
+		t.Fatal("planner-off engine marked the query as planned")
+	}
+}
+
+// TestPlannedQueryReusable: a cached Plan result evaluates in the
+// planned order on any engine (even planner-off) and passes through the
+// planning hook untouched.
+func TestPlannedQueryReusable(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	const src = `
+PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name . ?p a ex:Person . } ORDER BY ?name`
+	p := planQuery(t, st, src)
+	for _, e := range []*Engine{NewEngine(st), NewEngine(st, WithPlanner(false))} {
+		res, err := e.Select(p.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 3 {
+			t.Fatalf("planned query returned %d rows, want 3", res.Len())
+		}
+	}
+}
+
+// TestPlannerEquivalenceSweep: planner on and off must agree on every
+// construct the planner treats specially — unions, VALUES (with UNDEF),
+// MINUS, subselects, nested groups, EXISTS filters, and BOUND-sensitive
+// filters.
+func TestPlannerEquivalenceSweep(t *testing.T) {
+	st := loadStore(t, peopleTTL)
+	queries := []string{
+		`PREFIX ex: <http://example.org/> SELECT ?t ?n WHERE { { ?p a ex:Person . ?p ex:name ?n . ?p a ?t } UNION { ?p a ex:Robot . ?p ex:name ?n . ?p a ?t } FILTER (?n != "Dave") } ORDER BY ?n`,
+		`PREFIX ex: <http://example.org/> SELECT ?p ?c WHERE { VALUES ?c { ex:paris ex:lyon } ?p ex:city ?c . FILTER (?c != ex:lyon) } ORDER BY ?p`,
+		`PREFIX ex: <http://example.org/> SELECT ?p WHERE { ?p a ex:Person . MINUS { ?p ex:city ex:lyon } } ORDER BY ?p`,
+		`PREFIX ex: <http://example.org/> SELECT ?p ?n WHERE { { SELECT ?p WHERE { ?p a ex:Person } } ?p ex:name ?n . FILTER (?n > "A") } ORDER BY ?n`,
+		`PREFIX ex: <http://example.org/> SELECT ?p WHERE { ?p a ex:Person . FILTER EXISTS { ?p ex:knows ?q } } ORDER BY ?p`,
+		`PREFIX ex: <http://example.org/> SELECT ?p ?lbl WHERE { ?p ex:city ?c . { ?c ex:label ?lbl . FILTER (?lbl != "Lyon") } } ORDER BY ?p`,
+		`PREFIX ex: <http://example.org/> SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p ex:city ?c . ?p ex:name ?m . FILTER (?m != "Bob") } GROUP BY ?c ORDER BY ?c`,
+		`PREFIX ex: <http://example.org/> SELECT DISTINCT ?country WHERE { ?p ex:city ?c . ?c ex:inCountry ?country . FILTER (?p != ex:dave) }`,
+	}
+	for _, q := range queries {
+		assertSameResults(t, st, q)
+	}
+}

@@ -7,8 +7,10 @@ import (
 )
 
 // Store statistics: per-graph and per-predicate cardinalities backing
-// the /stats endpoint and the query planner's estimated-vs-actual
-// EXPLAIN output (the groundwork for cost-based join ordering).
+// the /stats endpoint, the estimated-vs-actual EXPLAIN output, and the
+// cost-based query planner (sparql/plan.go), whose System R-style
+// cardinality model divides a pattern's base count by these distinct
+// cardinalities to order joins and pick QL translations.
 //
 // Statistics are recomputed lazily, piggybacking on the same dirty
 // tracking as refresh(): a mutation only clears the cached pointer, so

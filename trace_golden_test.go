@@ -19,13 +19,16 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
 
-// TestExplainGoldenDemoQuery pins the EXPLAIN ANALYZE operator tree of
-// the paper's demo query (Section IV, the "Mary" query) against a
-// golden file. The outline omits wall times, and the demo generator is
-// deterministic (seed 42), so the tree — operators, pattern details,
-// and every intermediate cardinality — must be byte-identical across
-// runs. Parallelism 1 keeps worker annotations out of the tree; the
-// plan itself is parallelism-independent.
+// TestExplainGoldenDemoQuery pins the EXPLAIN ANALYZE output of the
+// paper's demo query (Section IV, the "Mary" query) against a golden
+// file, end to end through the planner: the cost-based translation
+// choice (the "plan:" line with its estimated cost) plus the operator
+// tree in the planned join order. The outline omits wall times, and the
+// demo generator is deterministic (seed 42), so the output — chosen
+// translation, estimated costs, operators, pattern details, and every
+// intermediate cardinality — must be byte-identical across runs.
+// Parallelism 1 keeps worker annotations out of the tree; the plan
+// itself is parallelism-independent.
 func TestExplainGoldenDemoQuery(t *testing.T) {
 	env, err := demo.Build(configFor(5000))
 	if err != nil {
@@ -35,14 +38,23 @@ func TestExplainGoldenDemoQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sparql.NewEngine(env.Store, sparql.WithParallelism(1))
-	res, tr, err := eng.QueryTracedString(p.Translation.Direct)
+	client := endpoint.NewLocal(env.Store, sparql.WithParallelism(1))
+	sel := ql.Choose(client, p.Translation)
+	if sel.Heuristic {
+		t.Fatalf("planner-on local client fell back to heuristic selection: %s", sel)
+	}
+	queryText := p.Translation.Direct
+	if sel.Variant == ql.Alternative {
+		queryText = p.Translation.Alternative
+	}
+	res, tr, err := client.Engine.QueryTracedString(queryText)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Len() == 0 {
 		t.Fatal("demo query returned no rows")
 	}
+	tr.Plan = sel.String()
 	got := tr.Outline()
 
 	golden := filepath.Join("testdata", "explain_mary.golden")
