@@ -17,6 +17,11 @@ all: build race chaos fuzz-smoke obs-smoke bench-json bench-compare
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	  staticcheck ./... ; \
+	else \
+	  echo "staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./... .
@@ -34,11 +39,11 @@ bench:
 
 # Machine-readable benchmark snapshot: one fast pass (-short,
 # -benchtime 1x) over every benchmark, converted to JSON by
-# cmd/benchjson and committed as BENCH_PR6.json so regressions show up
+# cmd/benchjson and committed as BENCH_PR7.json so regressions show up
 # in review diffs. Use `make bench` for real measurements.
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -short -benchtime 1x . \
-	  | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
 
 # Regression gates. First: diff the previous PR's committed snapshot
 # against this PR's and fail on ns/op regressions. The tool's default
@@ -51,8 +56,8 @@ bench-json:
 # threshold of its planner=off sibling, so turning the cost-based
 # planner on by default can never ship a slowdown.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR5.json BENCH_PR6.json
-	$(GO) run ./cmd/benchjson -ablation planner -threshold 0.50 BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -ablation planner -threshold 0.50 BENCH_PR7.json
 
 # The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
 # query throughput vs. client count at engine parallelism 1 and
@@ -63,7 +68,8 @@ bench-concurrent:
 # Observability smoke test: boots sparqld on the demo cube with a
 # tracer, trace export, and a debug listener, then drives /metrics
 # (JSON and Prometheus text), /healthz, /readyz, /debug/vars, a traced
-# (?explain=1) query, and the offline trace analyzer over the exported
+# (?explain=1) query, the workload-fingerprint view (/workload, both
+# JSON and text), and the offline trace analyzer over the exported
 # archive. curl -f fails the target on any non-200 response; the trap
 # tears the server down either way.
 obs-smoke:
@@ -89,6 +95,8 @@ obs-smoke:
 	curl -fsS --get http://127.0.0.1:18080/sparql \
 	  --data-urlencode 'query=SELECT ?s WHERE { ?s ?p ?o } LIMIT 5' >/dev/null; \
 	curl -fsS http://127.0.0.1:18081/debug/traces | grep -q 'SELECT'; \
+	curl -fsS 'http://127.0.0.1:18080/workload?text=1' | grep -q 'workload:'; \
+	curl -fsS http://127.0.0.1:18080/workload | grep -q '"shapes"'; \
 	/tmp/qb2olap-smoke trace -in /tmp/sparqld-smoke-traces.jsonl -top 3 | grep -q 'Per-operator breakdown'; \
 	echo "obs-smoke: ok"
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/enrich"
 	"repro/internal/eurostat"
+	"repro/internal/obs"
 	"repro/internal/ql"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -586,6 +587,80 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// A-resource — per-query resource accounting: overhead and the
+// concurrent-load memory curve.
+
+// BenchmarkAccountingOverhead runs the direct demo translation with
+// accounting in its three states: disabled (the default — the hot loops
+// see only nil checks), enabled with a process tracker, and enabled
+// with a generous admission budget on top. EXPERIMENTS.md A-resource
+// records the measured deltas; the acceptance bar is the disabled path
+// staying within noise of the pre-accounting snapshot.
+func BenchmarkAccountingOverhead(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts []sparql.Option
+	}{
+		{"acct=off", nil},
+		{"acct=on", []sparql.Option{sparql.WithResources(obs.NewResourceTracker())}},
+		{"acct=budget", []sparql.Option{
+			sparql.WithResources(obs.NewResourceTracker()), sparql.WithMaxQueryMem(1 << 32)}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			client := endpoint.NewLocal(env.Store, m.opts...)
+			for i := 0; i < b.N; i++ {
+				if _, err := ql.Execute(client, p.Translation, ql.Direct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentQueryAccounted repeats BenchmarkConcurrentQuery's
+// client sweep (direct translation, engine parallelism 1) with the
+// resource tracker attached, and reports the process-wide peak
+// in-flight bytes each load level reached as the peak-bytes metric.
+// EXPERIMENTS.md A-resource records the resulting memory curve — the
+// measured answer to "how much intermediate state do 64 concurrent
+// Mary queries actually hold at once?".
+func BenchmarkConcurrentQueryAccounted(b *testing.B) {
+	skipIfShort(b, 80000)
+	env := enrichedEnv(b, 80000)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	for _, clients := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("direct/clients=%d", clients), func(b *testing.B) {
+			tr := obs.NewResourceTracker()
+			client := endpoint.NewLocal(env.Store, sparql.WithParallelism(1), sparql.WithResources(tr))
+			b.SetParallelism((clients + gmp - 1) / gmp)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					cube, err := ql.Execute(client, p.Translation, ql.Direct)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(cube.Cells) == 0 {
+						b.Fatal("empty cube")
+					}
+				}
+			})
+			b.ReportMetric(float64(tr.HighWater()), "peak-bytes")
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	in := fs.String("in", "", "exported trace JSONL file (- for stdin); rotated segments can be analyzed separately")
 	top := fs.Int("top", 10, "number of slowest traces to list")
+	workload := fs.Bool("workload", false, "aggregate the archive into per-shape workload statistics instead of the trace analysis (requires traces exported with query text)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("trace: -in is required")
@@ -32,7 +33,25 @@ func cmdTrace(args []string) error {
 		defer f.Close()
 		r = f
 	}
+	if *workload {
+		return workloadFromTraces(r, os.Stdout)
+	}
 	return analyzeTraces(r, *top, os.Stdout)
+}
+
+// workloadFromTraces replays a JSONL trace archive through the workload
+// registry and renders the per-shape table — the same view a live
+// server serves at /workload, computed offline.
+func workloadFromTraces(r io.Reader, w io.Writer) error {
+	traces, err := obs.ReadTraces(r)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("trace: no traces in input")
+	}
+	_, err = io.WriteString(w, obs.WorkloadFromTraces(traces).Snapshot().RenderText())
+	return err
 }
 
 // analyzeTraces reads a JSONL trace stream and writes the rendered

@@ -9,6 +9,8 @@
 //	        [-trace N] [-sample RATE] [-trace-export file.jsonl]
 //	        [-slowlog DUR] [-debug-addr :8081]
 //	        [-query-timeout DUR] [-max-inflight N]
+//	        [-max-query-mem SIZE]
+//	        [-profile-dir DIR] [-profile-mem SIZE] [-profile-latency DUR]
 //	        [-fault-profile NAME] [-fault-seed N]
 //	        [-progress] [-report file.json]
 //
@@ -43,6 +45,19 @@
 // truncated bodies) for chaos testing clients; -fault-seed fixes the
 // decision sequence.
 //
+// Resource accounting is always on: every query's materialized rows and
+// approximate bytes are tracked (visible per query via ?explain=1, per
+// shape at /workload, and server-wide as the query_mem_inflight_bytes /
+// query_mem_highwater_bytes gauges). -max-query-mem SIZE (e.g. 64M,
+// 1G) additionally aborts any single query whose in-flight materialized
+// bytes exceed the budget, returning 429 with the X-Qb2olap-Mem-Limit
+// marker so aware clients do not retry. -profile-dir DIR enables
+// threshold-triggered continuous profiling: when a query's latency
+// crosses -profile-latency or its peak in-flight bytes cross
+// -profile-mem, a heap and CPU profile stamped with the query's trace
+// ID is captured into DIR (size-bounded, oldest deleted first,
+// rate-limited to one capture per 30s).
+//
 // -slowlog DUR logs queries at Warn, with their text, when they take
 // at least DUR (e.g. -slowlog 250ms). -debug-addr serves /metrics,
 // /debug/vars, /debug/pprof, and /debug/traces on a second listener,
@@ -64,6 +79,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -72,6 +88,7 @@ import (
 	"repro/internal/eurostat"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/ql"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -85,6 +102,32 @@ func (f *fileList) String() string { return fmt.Sprint(*f) }
 func (f *fileList) Set(v string) error {
 	*f = append(*f, v)
 	return nil
+}
+
+// parseSize parses a byte size with an optional K/M/G suffix (powers of
+// 1024), e.g. "64M" or "1G". A bare number is bytes.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	return n * mult, nil
 }
 
 func main() {
@@ -101,6 +144,10 @@ func main() {
 	slowlog := flag.Duration("slowlog", 0, "log queries taking at least this long, with their text (0 disables)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query evaluation deadline; expired queries return 504 (0 disables)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently evaluating queries; excess requests are shed with 503 (0 = unbounded)")
+	maxQueryMem := flag.String("max-query-mem", "", "per-query in-flight materialized-bytes budget, e.g. 64M or 1G; over-budget queries return 429 (empty disables)")
+	profileDir := flag.String("profile-dir", "", "capture threshold-triggered pprof profiles into this directory (empty disables)")
+	profileMem := flag.String("profile-mem", "", "capture a profile when a query's peak in-flight bytes reach this size, e.g. 128M (requires -profile-dir)")
+	profileLatency := flag.Duration("profile-latency", 0, "capture a profile when a query takes at least this long (requires -profile-dir)")
 	faultProfile := flag.String("fault-profile", "", "inject faults around the protocol handler for chaos testing: "+strings.Join(faults.Names(), ", "))
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault-profile decision sequence")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug diagnostics on this second address")
@@ -178,10 +225,45 @@ func main() {
 		sparql.WithParallelism(*parallel),
 		sparql.WithPlanner(*planner == "on"))
 	srv.ReadOnly = *readOnly
+	// Publish the ql.Choose decision counters on the same /metrics
+	// surface: zero while translation choice happens client-side, live
+	// the moment anything in this process (an embedded tool, a future
+	// server-side translator) calls Choose.
+	ql.RegisterChooseMetrics(srv.Registry())
 	srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.SlowQuery = *slowlog
 	srv.QueryTimeout = *queryTimeout
 	srv.MaxInFlight = *maxInflight
+	if *maxQueryMem != "" {
+		n, err := parseSize(*maxQueryMem)
+		if err != nil {
+			log.Fatalf("sparqld: invalid -max-query-mem: %v", err)
+		}
+		srv.MaxQueryMem = n
+	}
+	if *profileDir == "" && (*profileMem != "" || *profileLatency > 0) {
+		log.Fatalf("sparqld: -profile-mem and -profile-latency require -profile-dir")
+	}
+	if *profileDir != "" {
+		prof, err := obs.NewProfiler(*profileDir)
+		if err != nil {
+			log.Fatalf("sparqld: opening profile dir: %v", err)
+		}
+		srv.Profiler = prof
+		srv.ProfileLatency = *profileLatency
+		if *profileMem != "" {
+			n, err := parseSize(*profileMem)
+			if err != nil {
+				log.Fatalf("sparqld: invalid -profile-mem: %v", err)
+			}
+			srv.ProfileMemBytes = n
+		}
+		if srv.ProfileLatency == 0 && srv.ProfileMemBytes == 0 {
+			log.Fatalf("sparqld: -profile-dir needs at least one trigger (-profile-mem or -profile-latency)")
+		}
+		log.Printf("sparqld: continuous profiling on: dir=%s mem=%s latency=%s",
+			*profileDir, *profileMem, *profileLatency)
+	}
 	if *traceN > 0 {
 		srv.Tracer = obs.NewTracer(*traceN)
 		// Without a separate debug listener, mount /debug on the
@@ -236,7 +318,7 @@ func main() {
 		log.Printf("sparqld debug listening on %s (/metrics, /debug/vars, /debug/pprof, /debug/traces)", *debugAddr)
 	}
 
-	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats, metrics: /metrics)", *addr)
+	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats, metrics: /metrics, workload: /workload)", *addr)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

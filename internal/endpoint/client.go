@@ -439,7 +439,7 @@ func (r *Remote) doSelect(ctx context.Context, query, traceparent string) (*spar
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
 		return nil, wire, &Error{
 			Status:    resp.StatusCode,
-			Retryable: retryableStatus(resp.StatusCode),
+			Retryable: retryableResponse(resp),
 			Err:       fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 		}
 	}
@@ -487,7 +487,7 @@ func (r *Remote) ExplainContext(ctx context.Context, query string) (string, erro
 		if resp.StatusCode != http.StatusOK {
 			return &Error{
 				Status:    resp.StatusCode,
-				Retryable: retryableStatus(resp.StatusCode),
+				Retryable: retryableResponse(resp),
 				Err:       fmt.Errorf("endpoint: explain failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 			}
 		}

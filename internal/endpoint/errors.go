@@ -3,6 +3,7 @@ package endpoint
 import (
 	"errors"
 	"fmt"
+	"net/http"
 )
 
 // Error is the typed error the Remote client returns for a failed
@@ -63,4 +64,15 @@ func retryableStatus(status int) bool {
 		return true
 	}
 	return false
+}
+
+// retryableResponse is retryableStatus with one header-level override:
+// a 429 carrying the server's MemLimitHeader is a per-query memory
+// budget rejection, deterministic for the same query against the same
+// limit, so retrying only re-spends the evaluation that was aborted.
+func retryableResponse(resp *http.Response) bool {
+	if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get(MemLimitHeader) != "" {
+		return false
+	}
+	return retryableStatus(resp.StatusCode)
 }

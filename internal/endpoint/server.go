@@ -121,18 +121,55 @@ type Server struct {
 	// entries are only recorded when SlowQuery is set.
 	Slow *obs.SlowLog
 
+	// Workload aggregates per-shape query statistics (normalized query
+	// hash → count, latency quantiles, rows, bytes) for /workload.
+	// Created by NewServer with the default shape bound; ?cost=1
+	// requests are excluded since they plan without evaluating.
+	Workload *obs.Workload
+
+	// Resources is the server-wide resource tracker behind the
+	// query_mem_inflight_bytes / query_mem_highwater_bytes gauges.
+	// Created by NewServer and installed on the engine, so every query
+	// — HTTP or in-process via Engine() — accounts against it.
+	Resources *obs.ResourceTracker
+
+	// MaxQueryMem, when > 0, bounds the approximate bytes one query may
+	// hold materialized at once. An over-budget query is aborted with
+	// 429 Too Many Requests (plus the X-Qb2olap-Mem-Limit marker header
+	// so clients know not to retry) and counted in
+	// queries_over_mem_total. Zero disables the limit; accounting still
+	// runs for the gauges. Set before the first request.
+	MaxQueryMem int64
+
+	// Profiler, when set, captures trace-ID-stamped heap (and CPU)
+	// profiles into a size-bounded directory whenever a /sparql request
+	// crosses ProfileLatency or its account's peak crosses
+	// ProfileMemBytes. Captures count in profiles_captured_total. Set
+	// all three before the first request (sparqld -profile-dir,
+	// -profile-latency, -profile-mem).
+	Profiler        *obs.Profiler
+	ProfileLatency  time.Duration
+	ProfileMemBytes int64
+
 	// Request metrics, all served at /metrics.
 	reg                        *obs.Registry
 	mQueries, mUpdates, mLoads *obs.Counter
 	mErrors, mSlow             *obs.Counter
 	mShed, mTimeout, mCanceled *obs.Counter
+	mOverMem, mProfiles        *obs.Counter
+	mCost, mCostUnavail        *obs.Counter
 	hQuery, hUpdate, hLoad     *obs.Histogram
 }
 
 // NewServer returns a protocol server over st. Engine options (e.g.
 // sparql.WithParallelism) configure the embedded engine.
 func NewServer(st *store.Store, opts ...sparql.Option) *Server {
-	s := &Server{engine: sparql.NewEngine(st, opts...), reg: obs.NewRegistry()}
+	s := &Server{reg: obs.NewRegistry(), Resources: obs.NewResourceTracker()}
+	// The tracker option precedes the caller's so an explicit
+	// WithResources still wins; the engine-level tracker makes direct
+	// Engine() use account against the same gauges as HTTP traffic.
+	s.engine = sparql.NewEngine(st, append([]sparql.Option{sparql.WithResources(s.Resources)}, opts...)...)
+	s.Workload = obs.NewWorkload(0)
 	s.mQueries = s.reg.Counter("queries_total")
 	s.mUpdates = s.reg.Counter("updates_total")
 	s.mLoads = s.reg.Counter("loads_total")
@@ -141,6 +178,10 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	s.mShed = s.reg.Counter("queries_shed_total")
 	s.mTimeout = s.reg.Counter("queries_timeout_total")
 	s.mCanceled = s.reg.Counter("queries_canceled_total")
+	s.mOverMem = s.reg.Counter("queries_over_mem_total")
+	s.mProfiles = s.reg.Counter("profiles_captured_total")
+	s.mCost = s.reg.Counter("cost_estimates_total")
+	s.mCostUnavail = s.reg.Counter("cost_unavailable_total")
 	s.hQuery = s.reg.Histogram("query_latency")
 	s.hUpdate = s.reg.Histogram("update_latency")
 	s.hLoad = s.reg.Histogram("load_latency")
@@ -159,6 +200,11 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	s.reg.Gauge("store_distinct_objects", func() int64 {
 		return int64(st.GraphStat(store.NoID).DistinctObjects)
 	})
+	// Resource gauges: bytes currently held by in-flight queries, and
+	// the server-lifetime high-water mark of that figure — the pair an
+	// operator compares when sizing -max-query-mem.
+	s.reg.Gauge("query_mem_inflight_bytes", s.Resources.Inflight)
+	s.reg.Gauge("query_mem_highwater_bytes", s.Resources.HighWater)
 	s.Slow = obs.NewSlowLog(64)
 	return s
 }
@@ -182,6 +228,8 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 //	GET      /stats   — store statistics
 //	GET      /metrics — metrics registry snapshot (JSON by default;
 //	                    Prometheus text for Accept: text/plain)
+//	GET      /workload— per-shape workload statistics (JSON by default;
+//	                    text for Accept: text/plain or ?text=1)
 //	GET      /healthz — liveness probe (200 once serving)
 //	GET      /readyz  — readiness probe (store snapshot + statistics)
 //
@@ -197,17 +245,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/metrics", s.reg)
+	if s.Workload != nil {
+		mux.HandleFunc("/workload", obs.WorkloadHandler(s.Workload))
+	}
 	if s.Debug {
-		obs.RegisterDebug(mux, nil, s.Tracer, s.Slow) // /metrics already mounted
+		obs.RegisterDebug(mux, nil, s.Tracer, s.Slow, nil) // /metrics, /workload already mounted
 	}
 	return s.instrument(mux)
 }
+
+// Registry exposes the server's metrics registry so embedders can
+// publish additional gauges on the same /metrics surface (sparqld
+// registers the ql.Choose decision counters this way).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // DebugHandler returns the standalone diagnostics mux (/metrics,
 // /debug/vars, /debug/pprof, /debug/traces, /debug/slow) for serving on
 // a separate address, keeping profilers off the protocol listener.
 func (s *Server) DebugHandler() http.Handler {
-	return obs.DebugMux(s.reg, s.Tracer, s.Slow)
+	return obs.DebugMux(s.reg, s.Tracer, s.Slow, s.Workload)
 }
 
 // obsResponseWriter captures the response status and size for the
@@ -219,6 +275,15 @@ type obsResponseWriter struct {
 	bytes   int
 	query   string
 	traceID obs.TraceID
+	// acct is the request's resource account, read by the middleware
+	// after the handler (and the account's Finish) have returned — the
+	// cumulative totals survive Finish, only the in-flight figure is
+	// released.
+	acct *obs.QueryAcct
+	// costOnly marks ?cost=1 requests, which plan without evaluating:
+	// they get their own access-log outcome and stay out of the
+	// workload registry.
+	costOnly bool
 }
 
 func (w *obsResponseWriter) WriteHeader(code int) {
@@ -262,8 +327,14 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		// -max-inflight and -query-timeout.
 		outcome := "ok"
 		switch {
+		case ow.costOnly && ow.status == http.StatusConflict:
+			outcome = "cost-unavailable"
+		case ow.costOnly && ow.status < 400:
+			outcome = "cost"
 		case route == "/sparql" && ow.status == http.StatusServiceUnavailable:
 			outcome = "shed"
+		case route == "/sparql" && ow.status == http.StatusTooManyRequests:
+			outcome = "over-mem"
 		case ow.status == http.StatusGatewayTimeout:
 			outcome = "timeout"
 		case ow.status == statusClientClosedRequest:
@@ -271,13 +342,48 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		case ow.status >= 400:
 			outcome = "error"
 		}
-		slow := route == "/sparql" && s.SlowQuery > 0 && d >= s.SlowQuery
+		var rows, mem, peak int64
+		if ow.acct != nil {
+			rows, mem, peak = ow.acct.Rows(), ow.acct.Bytes(), ow.acct.Peak()
+		}
+		// Workload fingerprinting: every evaluated /sparql query joins
+		// its shape bucket; ?cost=1 requests plan without evaluating and
+		// stay out.
+		if route == "/sparql" && ow.query != "" && !ow.costOnly && s.Workload != nil {
+			s.Workload.Record(ow.query, d, rows, mem, ow.status >= 400)
+		}
+		slow := route == "/sparql" && !ow.costOnly && s.SlowQuery > 0 && d >= s.SlowQuery
 		if slow {
 			s.mSlow.Inc()
-			s.Slow.Record(obs.SlowEntry{
+			entry := obs.SlowEntry{
 				When: start, Duration: d, Query: ow.query, Status: ow.status,
-				TraceID: ow.traceID,
-			})
+				TraceID: ow.traceID, Rows: rows, MemBytes: mem, MemPeak: peak,
+			}
+			// Price the query after the fact so the slow-query log pairs
+			// estimated cost with measured latency; the planning pass is
+			// only paid for queries already past the slow threshold.
+			if s.engine.PlannerEnabled() {
+				if q, perr := sparql.ParseQuery(ow.query); perr == nil {
+					entry.EstCost = s.engine.Plan(q).Cost
+				}
+			}
+			s.Slow.Record(entry)
+		}
+		// Threshold-triggered profiling: a request that blows past the
+		// latency or peak-memory threshold captures a trace-ID-stamped
+		// heap (and CPU) profile, rate-limited and size-capped by the
+		// profiler itself.
+		if s.Profiler != nil && route == "/sparql" {
+			switch {
+			case s.ProfileLatency > 0 && d >= s.ProfileLatency:
+				if _, ok := s.Profiler.MaybeCapture("slow", ow.traceID); ok {
+					s.mProfiles.Inc()
+				}
+			case s.ProfileMemBytes > 0 && peak >= s.ProfileMemBytes:
+				if _, ok := s.Profiler.MaybeCapture("mem", ow.traceID); ok {
+					s.mProfiles.Inc()
+				}
+			}
 		}
 		if s.Logger == nil {
 			return
@@ -291,6 +397,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if slow {
 			s.Logger.Warn("slow query",
 				"dur", d, "threshold", s.SlowQuery, "status", ow.status,
+				"rows", rows, "mem", mem, "peak", peak,
 				"trace", string(ow.traceID), "query", ow.query)
 		}
 	})
@@ -327,11 +434,23 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	return r.Context(), func() {}
 }
 
+// MemLimitHeader marks a 429 as a per-query memory-limit rejection
+// rather than rate limiting. Remote treats a 429 carrying it as
+// non-retryable: the same query against the same limit will fail the
+// same way, so retrying only re-spends the work.
+const MemLimitHeader = "X-Qb2olap-Mem-Limit"
+
 // writeEvalError maps a query-evaluation error to a protocol status:
+// memory-limit abort → 429 Too Many Requests (with MemLimitHeader),
 // deadline expiry → 504 Gateway Timeout, caller disconnect → 499
 // (client closed request), anything else → 500.
 func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	var mle *sparql.MemLimitError
 	switch {
+	case errors.As(err, &mle):
+		s.mOverMem.Inc()
+		w.Header().Set(MemLimitHeader, "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.mTimeout.Inc()
 		http.Error(w, "query timed out: "+err.Error(), http.StatusGatewayTimeout)
@@ -402,10 +521,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// remote callers fall back to their heuristic instead of trusting a
 	// cost the evaluator would not follow.
 	if r.FormValue("cost") != "" {
+		if ow, ok := w.(*obsResponseWriter); ok {
+			ow.costOnly = true
+		}
 		if !s.engine.PlannerEnabled() {
+			s.mCostUnavail.Inc()
 			http.Error(w, "cost estimate unavailable: planner disabled (-planner=off)", http.StatusConflict)
 			return
 		}
+		s.mCost.Inc()
 		p := s.engine.Plan(q)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct { //nolint:errcheck
@@ -419,6 +543,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+
+	// Per-request resource account: the engine adopts it (a
+	// context-injected account always wins), so the middleware can read
+	// rows/bytes/peak after the handler returns. Finish is deferred —
+	// the final result set stays charged against the in-flight gauge
+	// until the response has been encoded, which is when the memory is
+	// actually released.
+	acct := obs.NewQueryAcct(s.Resources, s.MaxQueryMem)
+	defer acct.Finish()
+	ctx = sparql.WithQueryAcct(ctx, acct)
+	if ow, ok := w.(*obsResponseWriter); ok {
+		ow.acct = acct
+	}
 
 	if q.Form == sparql.FormConstruct || q.Form == sparql.FormDescribe {
 		var triples []rdf.Triple

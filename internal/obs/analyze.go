@@ -55,6 +55,7 @@ type OpBreakdown struct {
 	MaxWall time.Duration `json:"maxWallNs"`
 	In      int64         `json:"in"`
 	Out     int64         `json:"out"`
+	Mem     int64         `json:"memBytes,omitempty"`
 
 	// Estimate accuracy over the spans that carried a planner estimate:
 	// q-error is max(est,act)/min(est,act) with zero cardinalities
@@ -112,6 +113,7 @@ func Analyze(traces []*Trace) *Analysis {
 			}
 			b.In += int64(s.In)
 			b.Out += int64(s.Out)
+			b.Mem += s.Mem
 			if s.EstSet {
 				b.Estimated++
 				q := qerr(s.Est, int64(s.Out))
@@ -184,17 +186,21 @@ func (a *Analysis) Render(topN int) string {
 	}
 
 	fmt.Fprintf(&b, "\nPer-operator breakdown:\n")
-	fmt.Fprintf(&b, "  %-12s %7s %12s %12s %12s %12s %12s\n",
-		"OP", "COUNT", "TOTAL", "AVG", "MAX", "ROWS IN", "ROWS OUT")
+	fmt.Fprintf(&b, "  %-12s %7s %12s %12s %12s %12s %12s %10s\n",
+		"OP", "COUNT", "TOTAL", "AVG", "MAX", "ROWS IN", "ROWS OUT", "MEM")
 	for _, op := range a.Ops {
 		avg := time.Duration(0)
 		if op.Count > 0 {
 			avg = op.Wall / time.Duration(op.Count)
 		}
-		fmt.Fprintf(&b, "  %-12s %7d %12s %12s %12s %12d %12d\n",
+		mem := "-"
+		if op.Mem > 0 {
+			mem = FormatBytes(op.Mem)
+		}
+		fmt.Fprintf(&b, "  %-12s %7d %12s %12s %12s %12d %12d %10s\n",
 			op.Op, op.Count,
 			op.Wall.Round(time.Microsecond), avg.Round(time.Microsecond),
-			op.MaxWall.Round(time.Microsecond), op.In, op.Out)
+			op.MaxWall.Round(time.Microsecond), op.In, op.Out, mem)
 	}
 
 	estimated := false

@@ -14,9 +14,10 @@ import (
 //	/debug/pprof/...    runtime profiles (net/http/pprof)
 //	/debug/traces       recent query traces, rendered as text
 //	/debug/slow         retained slow queries, rendered as text
+//	/workload           per-shape workload statistics (JSON/text)
 //
-// reg, tracer, and slow may be nil, which skips their routes.
-func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer, slow *SlowLog) {
+// reg, tracer, slow, and workload may be nil, which skips their routes.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer, slow *SlowLog, workload *Workload) {
 	if reg != nil {
 		mux.Handle("/metrics", reg)
 	}
@@ -32,13 +33,16 @@ func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer, slow *Slow
 	if slow != nil {
 		mux.HandleFunc("/debug/slow", SlowHandler(slow))
 	}
+	if workload != nil {
+		mux.HandleFunc("/workload", WorkloadHandler(workload))
+	}
 }
 
 // DebugMux returns a standalone diagnostics mux (the -debug-addr
 // listener of sparqld).
-func DebugMux(reg *Registry, tracer *Tracer, slow *SlowLog) *http.ServeMux {
+func DebugMux(reg *Registry, tracer *Tracer, slow *SlowLog, workload *Workload) *http.ServeMux {
 	mux := http.NewServeMux()
-	RegisterDebug(mux, reg, tracer, slow)
+	RegisterDebug(mux, reg, tracer, slow, workload)
 	return mux
 }
 

@@ -178,8 +178,8 @@ func TestObserveTrace(t *testing.T) {
 func TestDebugMux(t *testing.T) {
 	reg := NewRegistry()
 	tracer := NewTracer(4)
-	mux := DebugMux(reg, tracer, NewSlowLog(4))
-	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/debug/traces", "/debug/slow"} {
+	mux := DebugMux(reg, tracer, NewSlowLog(4), NewWorkload(0))
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/debug/traces", "/debug/slow", "/workload"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
 		if rec.Code != 200 {

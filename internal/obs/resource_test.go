@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryAcctMath checks the account's arithmetic: cumulative
+// rows/bytes only grow, the in-flight gauge moves with releases, and
+// peak tracks the in-flight maximum.
+func TestQueryAcctMath(t *testing.T) {
+	tr := NewResourceTracker()
+	a := NewQueryAcct(tr, 0)
+	a.Materialize(10, 1000)
+	a.Materialize(5, 500)
+	if a.Rows() != 15 || a.Bytes() != 1500 || a.Inflight() != 1500 || a.Peak() != 1500 {
+		t.Fatalf("after materialize: rows=%d bytes=%d inflight=%d peak=%d",
+			a.Rows(), a.Bytes(), a.Inflight(), a.Peak())
+	}
+	a.Release(1000)
+	if a.Inflight() != 500 || a.Peak() != 1500 || a.Bytes() != 1500 {
+		t.Fatalf("after release: inflight=%d peak=%d bytes=%d", a.Inflight(), a.Peak(), a.Bytes())
+	}
+	a.Materialize(1, 200)
+	if a.Inflight() != 700 || a.Peak() != 1500 {
+		t.Fatalf("peak must not move below the old maximum: inflight=%d peak=%d", a.Inflight(), a.Peak())
+	}
+	if tr.Inflight() != 700 || tr.HighWater() != 1500 {
+		t.Fatalf("tracker: inflight=%d highwater=%d", tr.Inflight(), tr.HighWater())
+	}
+	a.Finish()
+	a.Finish() // idempotent
+	if tr.Inflight() != 0 || tr.Queries() != 1 || tr.OverMem() != 0 {
+		t.Fatalf("after finish: inflight=%d queries=%d overMem=%d",
+			tr.Inflight(), tr.Queries(), tr.OverMem())
+	}
+	if tr.HighWater() != 1500 {
+		t.Fatalf("high water must survive finish: %d", tr.HighWater())
+	}
+}
+
+// TestQueryAcctLimit checks the sticky over-budget flag and the
+// tracker's over-mem count.
+func TestQueryAcctLimit(t *testing.T) {
+	tr := NewResourceTracker()
+	a := NewQueryAcct(tr, 100)
+	a.Materialize(1, 50)
+	if a.Over() {
+		t.Fatal("under budget reported over")
+	}
+	a.Materialize(1, 100)
+	if !a.Over() {
+		t.Fatal("150 in-flight against a 100 limit not reported over")
+	}
+	a.Release(150)
+	if !a.Over() {
+		t.Fatal("over flag must be sticky across releases")
+	}
+	a.Finish()
+	if tr.OverMem() != 1 {
+		t.Fatalf("overMem = %d, want 1", tr.OverMem())
+	}
+}
+
+// TestQueryAcctNil checks the disabled account: every method on a nil
+// *QueryAcct is a safe no-op, mirroring the nil span fast path.
+func TestQueryAcctNil(t *testing.T) {
+	var a *QueryAcct
+	a.Materialize(10, 1000)
+	a.Release(5)
+	a.Finish()
+	if a.Over() || a.Rows() != 0 || a.Bytes() != 0 || a.Inflight() != 0 || a.Peak() != 0 || a.Limit() != 0 {
+		t.Fatal("nil account reported nonzero state")
+	}
+	var tr *ResourceTracker
+	tr.grow(10)
+	tr.shrink(10)
+	if tr.Inflight() != 0 || tr.HighWater() != 0 || tr.Queries() != 0 || tr.OverMem() != 0 {
+		t.Fatal("nil tracker reported nonzero state")
+	}
+}
+
+// TestResourceTrackerConcurrent hammers one tracker from many accounts
+// under the race detector and checks the books balance.
+func TestResourceTrackerConcurrent(t *testing.T) {
+	tr := NewResourceTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := NewQueryAcct(tr, 0)
+				a.Materialize(3, 300)
+				a.Release(100)
+				a.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all queries finished, want 0", tr.Inflight())
+	}
+	if tr.Queries() != 1600 {
+		t.Fatalf("queries = %d, want 1600", tr.Queries())
+	}
+	if hw := tr.HighWater(); hw < 300 {
+		t.Fatalf("high water = %d, want >= 300", hw)
+	}
+}
+
+// TestFormatBytes pins the rendering used by mem= annotations.
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"}, {482, "482B"}, {12595, "12.3KB"},
+		{4 << 20, "4.0MB"}, {3 << 30, "3.00GB"}, {-482, "-482B"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestProfilerCapture checks a trigger writes a trace-ID-stamped heap
+// profile and that the rate limit drops a back-to-back second trigger.
+func TestProfilerCapture(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := p.MaybeCapture("mem", TraceID("4bf92f3577b34da6a3ce929d0e0e4736"))
+	if !ok {
+		t.Fatal("first trigger did not capture")
+	}
+	name := filepath.Base(path)
+	if !strings.HasPrefix(name, "heap_mem_") || !strings.Contains(name, "4bf92f3577b34da6a3ce929d0e0e4736") {
+		t.Fatalf("unexpected profile name %q", name)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if _, ok := p.MaybeCapture("slow", ""); ok {
+		t.Fatal("second trigger inside MinInterval captured")
+	}
+	if p.Captured() != 1 || p.Skipped() != 1 {
+		t.Fatalf("captured=%d skipped=%d, want 1/1", p.Captured(), p.Skipped())
+	}
+}
+
+// TestProfilerCap checks oldest-first pruning keeps the directory under
+// MaxBytes.
+func TestProfilerCap(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MinInterval = time.Nanosecond
+	// Find one real capture's size, then set the cap to roughly two of
+	// them so the third capture must evict the first.
+	first, ok := p.MaybeCapture("mem", "a")
+	if !ok {
+		t.Fatal("capture failed")
+	}
+	fi, err := os.Stat(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxBytes = fi.Size()*2 + 16
+	time.Sleep(5 * time.Millisecond) // distinct mod times for eviction order
+	p.MaybeCapture("mem", "b")
+	time.Sleep(5 * time.Millisecond)
+	p.MaybeCapture("mem", "c")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		info, _ := e.Info()
+		total += info.Size()
+		if strings.Contains(e.Name(), "_a.pprof") {
+			t.Errorf("oldest profile %s survived eviction", e.Name())
+		}
+	}
+	if total > p.MaxBytes {
+		t.Fatalf("directory %d bytes exceeds cap %d", total, p.MaxBytes)
+	}
+}
+
+// TestProfilerNil checks the disabled profiler.
+func TestProfilerNil(t *testing.T) {
+	var p *Profiler
+	if _, ok := p.MaybeCapture("mem", ""); ok {
+		t.Fatal("nil profiler captured")
+	}
+	if p.Dir() != "" || p.Captured() != 0 || p.Skipped() != 0 {
+		t.Fatal("nil profiler reported state")
+	}
+}

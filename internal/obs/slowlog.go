@@ -16,6 +16,18 @@ type SlowEntry struct {
 	Query    string        `json:"query"`
 	Status   int           `json:"status,omitempty"`
 	TraceID  TraceID       `json:"traceId,omitempty"`
+
+	// Resource account, when the query ran with accounting on:
+	// solutions materialized, approximate cumulative bytes, and peak
+	// in-flight bytes.
+	Rows     int64 `json:"rows,omitempty"`
+	MemBytes int64 `json:"memBytes,omitempty"`
+	MemPeak  int64 `json:"memPeak,omitempty"`
+
+	// EstCost is the planner's estimated cost for the query (0 when the
+	// planner is off), recorded so cost-model q-error is auditable
+	// against Duration straight from the slow log.
+	EstCost float64 `json:"estCost,omitempty"`
 }
 
 // SlowLog retains the most recent slow queries for the debug surface.
@@ -85,8 +97,16 @@ func SlowHandler(l *SlowLog) http.HandlerFunc {
 			if id == "" {
 				id = "-"
 			}
-			fmt.Fprintf(w, "%s  %s  status=%d  trace=%s\n%s\n\n",
-				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, id, e.Query)
+			fmt.Fprintf(w, "%s  %s  status=%d  trace=%s",
+				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, id)
+			if e.Rows > 0 || e.MemBytes > 0 {
+				fmt.Fprintf(w, "  rows=%d  mem=%s  peak=%s",
+					e.Rows, FormatBytes(e.MemBytes), FormatBytes(e.MemPeak))
+			}
+			if e.EstCost > 0 {
+				fmt.Fprintf(w, "  est-cost=%.0f", e.EstCost)
+			}
+			fmt.Fprintf(w, "\n%s\n\n", e.Query)
 		}
 	}
 }

@@ -35,6 +35,7 @@ type Span struct {
 	Est      int64         `json:"est,omitempty"`
 	EstSet   bool          `json:"estSet,omitempty"`
 	Workers  int           `json:"workers,omitempty"`
+	Mem      int64         `json:"memBytes,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
 
 	start time.Time
@@ -86,6 +87,17 @@ func (s *Span) SetEst(n int64) {
 	s.EstSet = true
 }
 
+// SetMem records the approximate bytes the operator materialized (its
+// contribution to the query's resource account). Rendered as mem=… in
+// the timed EXPLAIN ANALYZE view; excluded from Outline so golden
+// trees stay byte-identical whether or not accounting ran. Nil-safe.
+func (s *Span) SetMem(b int64) {
+	if s == nil || b <= 0 {
+		return
+	}
+	s.Mem = b
+}
+
 // Estimated reports whether SetEst was called on the span.
 func (s *Span) Estimated() bool { return s != nil && s.EstSet }
 
@@ -98,6 +110,21 @@ func (s *Span) Attach(c *Span) {
 	s.mu.Lock()
 	s.Children = append(s.Children, c)
 	s.mu.Unlock()
+}
+
+// LastChild returns the most recently attached child span, or nil.
+// Nil-safe; used by the evaluator to annotate the span an operator just
+// finished without threading it through every case.
+func (s *Span) LastChild() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.Children) == 0 {
+		return nil
+	}
+	return s.Children[len(s.Children)-1]
 }
 
 // Visit walks the span tree depth-first, parents before children.
@@ -144,6 +171,9 @@ func (s *Span) render(b *strings.Builder, prefix string, withTimes bool) {
 		fmt.Fprintf(b, " workers=%d", s.Workers)
 	}
 	if withTimes {
+		if s.Mem > 0 {
+			fmt.Fprintf(b, " mem=%s", FormatBytes(s.Mem))
+		}
 		fmt.Fprintf(b, " time=%s", s.Wall.Round(time.Microsecond))
 	}
 	b.WriteString("]\n")
@@ -172,6 +202,15 @@ type Trace struct {
 	// the operator tree by Render and Outline.
 	Plan string `json:"plan,omitempty"`
 	Root *Span  `json:"root"`
+
+	// Resource account totals, set when the query ran with accounting:
+	// cumulative solutions and approximate bytes materialized, and the
+	// peak in-flight bytes. Rendered as a "mem:" line by Render (not
+	// Outline — goldens stay stable) and exported in the JSONL archive
+	// for `qb2olap trace -workload`.
+	Rows      int64 `json:"rows,omitempty"`
+	Bytes     int64 `json:"bytes,omitempty"`
+	PeakBytes int64 `json:"peakBytes,omitempty"`
 }
 
 // Render returns the trace identity, the query text (if any), the plan
@@ -191,6 +230,10 @@ func (t *Trace) Render() string {
 		b.WriteString("plan: ")
 		b.WriteString(t.Plan)
 		b.WriteString("\n")
+	}
+	if t.Rows > 0 || t.Bytes > 0 {
+		fmt.Fprintf(&b, "mem: rows=%d bytes=%s peak=%s\n",
+			t.Rows, FormatBytes(t.Bytes), FormatBytes(t.PeakBytes))
 	}
 	b.WriteString(t.Root.Render())
 	return b.String()

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/endpoint"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
 )
@@ -85,5 +86,40 @@ func TestChooseDemoQueryPicksCheaperTranslation(t *testing.T) {
 	if p.Translation.Selection.Variant != sel.Variant {
 		t.Fatalf("cached selection %s differs from Choose result %s",
 			p.Translation.Selection.Variant, sel.Variant)
+	}
+}
+
+// TestChooseDecisionCounters checks every Choose return path bumps its
+// process-wide decision counter: a cost-based pick moves direct or
+// alternative, an estimator-less client moves heuristic.
+func TestChooseDecisionCounters(t *testing.T) {
+	st := store.New()
+	client := endpoint.NewLocal(st)
+	q := "SELECT * WHERE { ?s ?p ?o }"
+
+	d0, a0, h0 := ChooseStats()
+	Choose(client, &Translation{Direct: q, Alternative: q}) // tie → direct
+	if d, _, _ := ChooseStats(); d != d0+1 {
+		t.Fatalf("direct counter = %d, want %d", d, d0+1)
+	}
+	Choose(plainClient{}, &Translation{Direct: q, Alternative: q}) // no estimator → heuristic
+	if _, _, h := ChooseStats(); h != h0+1 {
+		t.Fatalf("heuristic counter = %d, want %d", h, h0+1)
+	}
+	// An alternative win: on a populated store a two-pattern join costs
+	// more than the single-pattern alternative arm.
+	st.InsertTriples(rdf.Term{}, []rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("http://ex/a"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/b")),
+		rdf.NewTriple(rdf.NewIRI("http://ex/b"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/c")),
+	})
+	sel := Choose(client, &Translation{
+		Direct:      "SELECT * WHERE { ?s ?p ?o . ?o ?p2 ?x . ?x ?p3 ?y }",
+		Alternative: "SELECT * WHERE { ?s <http://ex/p> ?o }",
+	})
+	if sel.Variant != Alternative || sel.Heuristic {
+		t.Fatalf("selection = %+v, want cost-based alternative", sel)
+	}
+	if _, a, _ := ChooseStats(); a != a0+1 {
+		t.Fatalf("alternative counter = %d, want %d", a, a0+1)
 	}
 }

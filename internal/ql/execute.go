@@ -3,9 +3,11 @@ package ql
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/endpoint"
+	"repro/internal/obs"
 	"repro/internal/olap"
 	"repro/internal/qb4olap"
 	"repro/internal/rdf"
@@ -62,6 +64,30 @@ func (s Selection) String() string {
 	return fmt.Sprintf("%s (est cost %.0f)", s.Variant, s.Cost)
 }
 
+// Process-wide counters of how Auto executions resolved, one per
+// Selection kind. PR 6 made the decision visible per query in EXPLAIN;
+// these make the aggregate visible in metrics, so an operator can see
+// at a glance whether the cost surface is actually being consulted or
+// every client is falling back to the heuristic.
+var chooseDirect, chooseAlternative, chooseHeuristic atomic.Int64
+
+// ChooseStats returns the process-wide Choose decision counts:
+// cost-based direct wins, cost-based alternative wins, and heuristic
+// fallbacks (no usable cost surface).
+func ChooseStats() (direct, alternative, heuristic int64) {
+	return chooseDirect.Load(), chooseAlternative.Load(), chooseHeuristic.Load()
+}
+
+// RegisterChooseMetrics publishes the decision counters on reg as
+// gauges (ql_choose_direct, ql_choose_alternative,
+// ql_choose_heuristic), for embedders that serve a metrics registry
+// next to a QL workload.
+func RegisterChooseMetrics(reg *obs.Registry) {
+	reg.Gauge("ql_choose_direct", chooseDirect.Load)
+	reg.Gauge("ql_choose_alternative", chooseAlternative.Load)
+	reg.Gauge("ql_choose_heuristic", chooseHeuristic.Load)
+}
+
 // Choose picks which translation an Auto execution runs. When the
 // client can price queries with the cost-based planner (it implements
 // endpoint.CostEstimator and the planner is on), both translations are
@@ -75,11 +101,14 @@ func Choose(c endpoint.SPARQLClient, t *Translation) Selection {
 		ac, aerr := ce.EstimateCost(t.Alternative)
 		if derr == nil && aerr == nil {
 			if ac < dc {
+				chooseAlternative.Add(1)
 				return Selection{Variant: Alternative, Cost: ac, Other: dc}
 			}
+			chooseDirect.Add(1)
 			return Selection{Variant: Direct, Cost: dc, Other: ac}
 		}
 	}
+	chooseHeuristic.Add(1)
 	return Selection{Variant: Alternative, Heuristic: true}
 }
 

@@ -46,6 +46,14 @@ type Engine struct {
 	// sampler, when set (WithSampler), decides which queries the tracer
 	// records. Nil samples everything.
 	sampler *obs.Sampler
+
+	// resources, when set (WithResources), aggregates every query's
+	// in-flight materialized bytes into process-wide gauges; maxQueryMem,
+	// when > 0 (WithMaxQueryMem), aborts queries whose in-flight bytes
+	// exceed it with *MemLimitError. Either turns per-query resource
+	// accounting on; see resource.go.
+	resources   *obs.ResourceTracker
+	maxQueryMem int64
 }
 
 // Option configures an Engine at construction time.
@@ -156,6 +164,24 @@ type run struct {
 	// the enclosing BGP span can adopt it as its own output estimate.
 	// Only written while tracing.
 	lastEst int64
+
+	// acct is the per-query resource account (rows/bytes materialized,
+	// peak in-flight, optional budget). Nil — the default — disables
+	// accounting; every hook is then a nil check. Workers share the
+	// pointer through the run-value copy; QueryAcct is internally
+	// atomic. ownAcct marks an account opened by this run (closeAcct
+	// finishes it) as opposed to one injected via context.
+	acct    *obs.QueryAcct
+	ownAcct bool
+
+	// depth counts evalGroup nesting. The in-flight release bookkeeping
+	// (replacing one operator's live intermediate with the next) runs
+	// only at depth 1, on the coordinating goroutine; nested groups and
+	// worker copies (which inherit depth > 0 or increment their own
+	// copy) just charge the account, so releases never race. The
+	// resulting peak is biased high on nested shapes — documented as
+	// approximate in DESIGN.md.
+	depth int
 }
 
 // Query evaluates a SELECT or ASK query, returning a Results table (ASK
@@ -208,6 +234,8 @@ func (e *Engine) selectRun(ctx context.Context, q *Query, root *obs.Span) (*Resu
 	q = e.prepared(q)
 	r := &run{e: e, vt: newVarTable(), trace: root, planned: q.Planned}
 	r.bindContext(ctx)
+	r.bindAcct(ctx, root != nil)
+	defer r.closeAcct()
 	collectVars(q, r.vt)
 	return r.evalSelect(q)
 }
@@ -221,6 +249,8 @@ func (e *Engine) askRun(ctx context.Context, q *Query, root *obs.Span) (bool, er
 	q = e.prepared(q)
 	r := &run{e: e, vt: newVarTable(), trace: root, planned: q.Planned}
 	r.bindContext(ctx)
+	r.bindAcct(ctx, root != nil)
+	defer r.closeAcct()
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
 	if err != nil {
@@ -244,6 +274,8 @@ func (e *Engine) ConstructContext(ctx context.Context, q *Query) ([]rdf.Triple, 
 	q = e.prepared(q)
 	r := &run{e: e, vt: newVarTable(), planned: q.Planned}
 	r.bindContext(ctx)
+	r.bindAcct(ctx, false)
+	defer r.closeAcct()
 	collectVars(q, r.vt)
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
 	if err != nil {
@@ -303,6 +335,9 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 	if q.Distinct {
 		if r.cancelled() {
 			return nil, r.cancelErr()
+		}
+		if r.overMem() {
+			return nil, r.memErr()
 		}
 		sp := r.trace.StartChild("DISTINCT", "", len(res.Rows))
 		sp.SetEst(int64(len(res.Rows)))
@@ -402,9 +437,15 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	out := &Results{Vars: vars}
 	psp := r.trace.StartChild("PROJECT", "", len(rows))
 	psp.SetEst(int64(len(rows)))
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			return nil, r.cancelErr()
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() {
+				return nil, r.cancelErr()
+			}
+			if mark = accountNew(r, out.Rows, mark); r.overMem() {
+				return nil, r.memErr()
+			}
 		}
 		orow := make([]rdf.Term, len(vars))
 		if q.Star {
@@ -426,6 +467,7 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 		}
 		out.Rows = append(out.Rows, orow)
 	}
+	accountNew(r, out.Rows, mark)
 	if psp != nil {
 		psp.Finish(len(out.Rows), 1)
 	}
@@ -460,9 +502,13 @@ type aggGroup struct {
 func (r *run) accumulateGroups(exprs []Expression, rows []solution) ([]string, map[string]*aggGroup) {
 	order := []string{}
 	groups := map[string]*aggGroup{}
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			break // evalGrouped checks and errors out
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() || r.overMem() {
+				break // evalGrouped checks and errors out
+			}
+			mark = accountKept(r, rows[:ri], mark)
 		}
 		k, vals := r.groupKey(exprs, row)
 		g, ok := groups[k]
@@ -518,6 +564,9 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 	if r.cancelled() {
 		return nil, r.cancelErr()
 	}
+	if r.overMem() {
+		return nil, r.memErr()
+	}
 	// A grouped query with no GROUP BY clause (implicit grouping, e.g.
 	// SELECT (COUNT(*) AS ?n)) forms a single group even when empty.
 	if len(q.GroupBy) == 0 && len(order) == 0 {
@@ -533,6 +582,9 @@ func (r *run) evalGrouped(q *Query, rows []solution) (*Results, error) {
 	out.Rows = r.groupRowsPar(q, order, groups)
 	if r.cancelled() {
 		return nil, r.cancelErr()
+	}
+	if accountNew(r, out.Rows, 0); r.overMem() {
+		return nil, r.memErr()
 	}
 	if sp != nil {
 		sp.Detail = fmt.Sprintf("%d groups", len(order))
@@ -813,6 +865,8 @@ func (e *Engine) DescribeContext(ctx context.Context, q *Query) ([]rdf.Triple, e
 	q = e.prepared(q)
 	r := &run{e: e, vt: newVarTable(), planned: q.Planned}
 	r.bindContext(ctx)
+	r.bindAcct(ctx, false)
+	defer r.closeAcct()
 	collectVars(q, r.vt)
 	for _, d := range q.Describe {
 		if d.IsVar {

@@ -121,7 +121,17 @@ func collectExprVars(e Expression, vt *varTable) {
 func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]solution, error) {
 	prevCtx := r.ctx
 	r.ctx = ctx
-	defer func() { r.ctx = prevCtx }()
+	r.depth++
+	defer func() { r.ctx = prevCtx; r.depth-- }()
+
+	// At the top-level group only, the coordinator tracks each
+	// operator's net in-flight growth and releases the previous
+	// operator's live intermediate when its successor replaces it, so
+	// the account's peak approximates the real high-water mark instead
+	// of the cumulative total. Nested groups and worker goroutines only
+	// charge; see run.depth.
+	topLevel := r.depth == 1 && r.acct != nil
+	var live int64
 
 	rows := input
 	var bgp []TriplePattern
@@ -142,6 +152,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			sp = r.trace.StartChild("BGP", detail, len(rows))
 			r.trace = sp
 		}
+		bytesMark, inflightMark := r.acct.Bytes(), r.acct.Inflight()
 		var err error
 		rows, err = r.evalBGP(bgp, rows, ctx)
 		r.trace = saved
@@ -149,18 +160,28 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			// The chain's final JOIN estimate is the BGP's own output
 			// estimate (each JOIN re-estimates from actual input).
 			sp.SetEst(r.lastEst)
+			sp.SetMem(r.acct.Bytes() - bytesMark)
 			sp.Finish(len(rows), 0)
+		}
+		if topLevel {
+			grew := r.acct.Inflight() - inflightMark
+			r.acct.Release(live)
+			live = grew
 		}
 		bgp = nil
 		return err
 	}
 
 	for _, el := range g.Elements {
-		// One cooperative cancellation check per algebra step; operator
-		// interiors that broke out early on cancellation are caught here
-		// (or by the post-loop check) before truncated rows can escape.
+		// One cooperative cancellation (and memory-budget) check per
+		// algebra step; operator interiors that broke out early are
+		// caught here (or by the post-loop check) before truncated rows
+		// can escape.
 		if r.cancelled() {
 			return nil, r.cancelErr()
+		}
+		if r.overMem() {
+			return nil, r.memErr()
 		}
 		if tp, ok := el.(TriplePattern); ok {
 			bgp = append(bgp, tp)
@@ -169,6 +190,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 		if err := flush(); err != nil {
 			return nil, err
 		}
+		bytesMark, inflightMark := r.acct.Bytes(), r.acct.Inflight()
 		switch e := el.(type) {
 		case FilterElement:
 			in := len(rows)
@@ -192,6 +214,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 				out = append(out, nrow)
 			}
 			rows = out
+			accountNew(r, rows, 0)
 			r.trace = saved
 			if sp != nil {
 				sp.Finish(len(rows), 1)
@@ -211,18 +234,18 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 				rows = r.optionalSinglePar(tp, rows, ctx)
 				r.trace = saved
 				r.finishRows(sp, len(rows), in)
-				continue
+			} else {
+				sp := r.trace.StartChild("OPTIONAL", "", in)
+				sp.SetEst(int64(in))
+				saved := r.suspendTrace()
+				out, err := r.optionalPar(e.Pattern, rows, ctx)
+				if err != nil {
+					return nil, err
+				}
+				rows = out
+				r.trace = saved
+				r.finishRows(sp, len(rows), in)
 			}
-			sp := r.trace.StartChild("OPTIONAL", "", in)
-			sp.SetEst(int64(in))
-			saved := r.suspendTrace()
-			out, err := r.optionalPar(e.Pattern, rows, ctx)
-			if err != nil {
-				return nil, err
-			}
-			rows = out
-			r.trace = saved
-			r.finishRows(sp, len(rows), in)
 		case UnionElement:
 			in := len(rows)
 			var sp *obs.Span
@@ -324,6 +347,7 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 			sp := r.trace.StartChild("VALUES", "", len(rows))
 			sp.SetEst(int64(len(rows) * len(e.Rows)))
 			rows = r.joinValues(rows, e)
+			accountNew(r, rows, 0)
 			if sp != nil {
 				sp.Finish(len(rows), 1)
 			}
@@ -335,8 +359,21 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 				return nil, err
 			}
 			rows = r.joinResults(rows, sub)
+			accountNew(r, rows, 0)
 			if sp != nil {
 				sp.Finish(len(rows), 1)
+			}
+		}
+		if r.acct != nil {
+			// Annotate the operator's span with what it materialized and
+			// replace the previous live intermediate with this one.
+			if r.trace != nil {
+				r.trace.LastChild().SetMem(r.acct.Bytes() - bytesMark)
+			}
+			if topLevel {
+				grew := r.acct.Inflight() - inflightMark
+				r.acct.Release(live)
+				live = grew
 			}
 		}
 	}
@@ -346,6 +383,9 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 	if r.cancelled() {
 		return nil, r.cancelErr()
 	}
+	if r.overMem() {
+		return nil, r.memErr()
+	}
 	return rows, nil
 }
 
@@ -354,7 +394,8 @@ func (r *run) evalGroup(g GroupGraphPattern, input []solution, ctx graphCtx) ([]
 // subquery of a planned query was planned along with its parent, so
 // the planned flag follows the subquery's own mark.
 func (r *run) evalSubSelect(q *Query, sp *obs.Span) (*Results, error) {
-	sub := &run{e: r.e, vt: newVarTable(), trace: sp, planned: q.Planned}
+	sub := &run{e: r.e, vt: newVarTable(), trace: sp, planned: q.Planned,
+		qctx: r.qctx, done: r.done, acct: r.acct, depth: r.depth}
 	collectVars(q, sub.vt)
 	return sub.evalSelect(q)
 }
@@ -437,9 +478,13 @@ func singleTriplePattern(g GroupGraphPattern) (TriplePattern, bool) {
 func (r *run) optionalSingle(tp TriplePattern, rows []solution, ctx graphCtx) []solution {
 	gterm := r.graphTerm(ctx)
 	out := make([]solution, 0, len(rows))
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			break // the coordinator's next check errors out
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() || r.overMem() {
+				break // the coordinator's next check errors out
+			}
+			mark = accountNew(r, out, mark)
 		}
 		s, sBound := r.resolve(tp.S, row)
 		p, pBound := r.resolve(tp.P, row)
@@ -486,6 +531,7 @@ func (r *run) optionalSingle(tp TriplePattern, rows []solution, ctx graphCtx) []
 			out = append(out, row)
 		}
 	}
+	accountNew(r, out, mark)
 	return out
 }
 
@@ -674,9 +720,15 @@ func (r *run) joinPatternOwned(tp TriplePattern, rows []solution, ctx graphCtx, 
 		gterm = r.e.store.Dict().Term(ctx.gid)
 	}
 	out := make([]solution, 0, len(rows))
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			return nil, r.cancelErr()
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() {
+				return nil, r.cancelErr()
+			}
+			if mark = accountNew(r, out, mark); r.overMem() {
+				return nil, r.memErr()
+			}
 		}
 		s, sBound := r.resolve(tp.S, row)
 		p, pBound := r.resolve(tp.P, row)
@@ -755,5 +807,6 @@ func (r *run) joinPatternOwned(tp TriplePattern, rows []solution, ctx graphCtx, 
 			}
 		}
 	}
+	accountNew(r, out, mark)
 	return out, nil
 }

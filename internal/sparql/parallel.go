@@ -126,9 +126,15 @@ func (r *run) joinPatternPar(tp TriplePattern, rows []solution, ctx graphCtx, ow
 // next check converts that into an error.
 func (r *run) filterRows(expr Expression, rows []solution) []solution {
 	var kept []solution
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			break
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() || r.overMem() {
+				break
+			}
+			// Kept rows are references into the input, so FILTER charges
+			// only the keeping container's slots.
+			mark = accountKept(r, kept, mark)
 		}
 		v, err := r.evalExpr(expr, row)
 		if err != nil {
@@ -138,6 +144,7 @@ func (r *run) filterRows(expr Expression, rows []solution) []solution {
 			kept = append(kept, row)
 		}
 	}
+	accountKept(r, kept, mark)
 	return kept
 }
 
@@ -159,9 +166,15 @@ func (r *run) filterRowsPar(expr Expression, rows []solution) []solution {
 // survives unextended when the pattern yields nothing.
 func (r *run) optionalRows(p GroupGraphPattern, rows []solution, ctx graphCtx) ([]solution, error) {
 	var out []solution
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			return nil, r.cancelErr()
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() {
+				return nil, r.cancelErr()
+			}
+			if mark = accountKept(r, out, mark); r.overMem() {
+				return nil, r.memErr()
+			}
 		}
 		ext, err := r.evalGroup(p, []solution{row}, ctx)
 		if err != nil {
@@ -173,6 +186,7 @@ func (r *run) optionalRows(p GroupGraphPattern, rows []solution, ctx graphCtx) (
 			out = append(out, ext...)
 		}
 	}
+	accountKept(r, out, mark)
 	return out, nil
 }
 
@@ -249,9 +263,13 @@ func (r *run) unionPar(branches []GroupGraphPattern, rows []solution, ctx graphC
 // any right-side solution.
 func (r *run) minusRows(rows, right []solution) []solution {
 	var kept []solution
+	mark := 0
 	for ri, row := range rows {
-		if ri%cancelCheckRows == 0 && r.cancelled() {
-			break
+		if ri%cancelCheckRows == 0 {
+			if r.cancelled() || r.overMem() {
+				break
+			}
+			mark = accountKept(r, kept, mark)
 		}
 		excluded := false
 		for _, rr := range right {
@@ -264,6 +282,7 @@ func (r *run) minusRows(rows, right []solution) []solution {
 			kept = append(kept, row)
 		}
 	}
+	accountKept(r, kept, mark)
 	return kept
 }
 

@@ -1,0 +1,169 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestAccountingPreservesResults runs the parallel-operator corpus with
+// accounting off, accounting on (tracker attached), and accounting on
+// with a generous budget, at sequential and parallel settings, and
+// requires identical result tables everywhere. Accounting is
+// observation only — it must never change what a query returns.
+func TestAccountingPreservesResults(t *testing.T) {
+	st := parallelFixture(800)
+	plain := NewEngine(st, WithParallelism(1))
+	for _, par := range []int{1, 4} {
+		tracked := NewEngine(st, WithParallelism(par), WithResources(obs.NewResourceTracker()))
+		budgeted := NewEngine(st, WithParallelism(par),
+			WithResources(obs.NewResourceTracker()), WithMaxQueryMem(1<<30))
+		for _, q := range parallelEquivalenceQueries {
+			want, err := plain.QueryString(q)
+			if err != nil {
+				t.Fatalf("plain: %v", err)
+			}
+			for name, e := range map[string]*Engine{"tracked": tracked, "budgeted": budgeted} {
+				got, err := e.QueryString(q)
+				if err != nil {
+					t.Fatalf("%s (par=%d): %v\n%s", name, par, err, q)
+				}
+				if !reflect.DeepEqual(want.Rows, got.Rows) {
+					t.Errorf("%s (par=%d) changed results for:\n%s", name, par, q)
+				}
+			}
+		}
+	}
+}
+
+// TestAccountingCounts checks that an accounted query actually
+// accumulates rows and bytes, and that the tracker's books balance to
+// zero after the account closes.
+func TestAccountingCounts(t *testing.T) {
+	st := parallelFixture(400)
+	tr := obs.NewResourceTracker()
+	e := NewEngine(st, WithResources(tr))
+	acct := obs.NewQueryAcct(tr, 0)
+	ctx := WithQueryAcct(context.Background(), acct)
+	res, err := e.QueryStringContext(ctx,
+		`SELECT ?s ?v WHERE { ?s <http://ex/type> <http://ex/Item> ; <http://ex/value> ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 400 {
+		t.Fatalf("rows = %d, want 400", res.Len())
+	}
+	if acct.Rows() < int64(res.Len()) {
+		t.Errorf("account rows = %d, want >= %d (final result must be charged)", acct.Rows(), res.Len())
+	}
+	if acct.Bytes() == 0 || acct.Peak() == 0 {
+		t.Errorf("bytes = %d, peak = %d, want > 0", acct.Bytes(), acct.Peak())
+	}
+	if acct.Inflight() == 0 {
+		t.Error("final result should still be in flight before Finish")
+	}
+	acct.Finish()
+	if tr.Inflight() != 0 {
+		t.Errorf("tracker inflight = %d after finish, want 0", tr.Inflight())
+	}
+	if tr.HighWater() < acct.Peak() {
+		t.Errorf("tracker high water %d < query peak %d", tr.HighWater(), acct.Peak())
+	}
+}
+
+// TestMemLimitError checks that a tiny budget aborts evaluation with
+// the typed error, at sequential and parallel settings, and that the
+// over-budget query is counted on the tracker.
+func TestMemLimitError(t *testing.T) {
+	st := parallelFixture(800)
+	for _, par := range []int{1, 4} {
+		tr := obs.NewResourceTracker()
+		e := NewEngine(st, WithParallelism(par), WithResources(tr), WithMaxQueryMem(512))
+		_, err := e.QueryString(
+			`SELECT ?s ?v WHERE { ?s <http://ex/type> <http://ex/Item> ; <http://ex/value> ?v }`)
+		var mle *MemLimitError
+		if !errors.As(err, &mle) {
+			t.Fatalf("par=%d: err = %v, want *MemLimitError", par, err)
+		}
+		if mle.Limit != 512 || mle.Peak <= 512 || mle.Rows == 0 {
+			t.Errorf("par=%d: error fields %+v", par, mle)
+		}
+		if !strings.Contains(mle.Error(), "memory budget") {
+			t.Errorf("par=%d: message %q", par, mle.Error())
+		}
+		if tr.OverMem() != 1 {
+			t.Errorf("par=%d: tracker overMem = %d, want 1", par, tr.OverMem())
+		}
+		if tr.Inflight() != 0 {
+			t.Errorf("par=%d: tracker inflight = %d after abort, want 0", par, tr.Inflight())
+		}
+	}
+}
+
+// TestMemLimitUnderBudget checks a budget well above the query's needs
+// changes nothing.
+func TestMemLimitUnderBudget(t *testing.T) {
+	st := parallelFixture(100)
+	e := NewEngine(st, WithMaxQueryMem(1<<30))
+	res, err := e.QueryString(`SELECT ?s WHERE { ?s <http://ex/type> <http://ex/Item> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 100 {
+		t.Fatalf("rows = %d, want 100", res.Len())
+	}
+}
+
+// TestTraceMemAnnotations checks the rendered trace carries the mem:
+// summary line and per-operator mem= annotations, while the Outline
+// (the golden surface) stays free of them.
+func TestTraceMemAnnotations(t *testing.T) {
+	st := parallelFixture(400)
+	e := NewEngine(st, WithParallelism(1))
+	_, tr, err := e.QueryTracedString(
+		`SELECT ?s ?v WHERE { ?s <http://ex/type> <http://ex/Item> ; <http://ex/value> ?v FILTER(?v > 40) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rows == 0 || tr.Bytes == 0 || tr.PeakBytes == 0 {
+		t.Fatalf("trace totals not set: rows=%d bytes=%d peak=%d", tr.Rows, tr.Bytes, tr.PeakBytes)
+	}
+	rendered := tr.Render()
+	if !strings.Contains(rendered, "mem: rows=") {
+		t.Errorf("Render missing mem summary:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, " mem=") {
+		t.Errorf("Render missing per-operator mem=:\n%s", rendered)
+	}
+	outline := tr.Outline()
+	if strings.Contains(outline, "mem") {
+		t.Errorf("Outline must stay mem-free for goldens:\n%s", outline)
+	}
+}
+
+// TestContextAcctAdopted checks the engine adopts a context-injected
+// account instead of opening its own, and leaves Finish to the opener.
+func TestContextAcctAdopted(t *testing.T) {
+	st := parallelFixture(100)
+	tr := obs.NewResourceTracker()
+	e := NewEngine(st, WithResources(tr))
+	acct := obs.NewQueryAcct(tr, 0)
+	ctx := WithQueryAcct(context.Background(), acct)
+	if _, err := e.QueryStringContext(ctx, `SELECT ?s WHERE { ?s <http://ex/type> <http://ex/Item> }`); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Rows() == 0 {
+		t.Fatal("context account saw no accounting — engine opened its own?")
+	}
+	if tr.Queries() != 0 {
+		t.Fatalf("engine finished the caller's account: queries = %d", tr.Queries())
+	}
+	acct.Finish()
+	if tr.Queries() != 1 {
+		t.Fatalf("queries = %d after caller finish, want 1", tr.Queries())
+	}
+}

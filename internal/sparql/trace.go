@@ -72,6 +72,18 @@ func (e *Engine) QueryTracedID(ctx context.Context, q *Query, id obs.TraceID) (*
 // (the server uses the propagated ID of the traceparent header).
 func (e *Engine) queryTracedID(ctx context.Context, q *Query, id obs.TraceID) (*Results, *obs.Trace, error) {
 	start := time.Now()
+	// A traced query always runs with a resource account so the trace
+	// carries rows/bytes/peak; a context-injected account (the server's
+	// per-request one) is adopted, otherwise one is opened here.
+	acct := QueryAcctFrom(ctx)
+	if acct == nil {
+		acct = obs.NewQueryAcct(e.resources, e.maxQueryMem)
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx = WithQueryAcct(ctx, acct)
+		defer acct.Finish()
+	}
 	root := obs.StartSpan(q.Form.String(), "", 1)
 	res, err := e.query(ctx, q, root)
 	out := 0
@@ -79,7 +91,8 @@ func (e *Engine) queryTracedID(ctx context.Context, q *Query, id obs.TraceID) (*
 		out = len(res.Rows)
 	}
 	root.Finish(out, 1)
-	tr := &obs.Trace{ID: id, Start: start, Root: root}
+	tr := &obs.Trace{ID: id, Start: start, Root: root,
+		Rows: acct.Rows(), Bytes: acct.Bytes(), PeakBytes: acct.Peak()}
 	e.tracer.Collect(tr)
 	return res, tr, err
 }
