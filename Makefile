@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json bench-compare bench-concurrent fuzz fuzz-smoke chaos examples experiments obs-smoke clean
+.PHONY: all build test race cover bench bench-json bench-compare bench-concurrent bench-slo fuzz fuzz-smoke chaos examples experiments obs-smoke clean
 
 # The default check builds, vets, and runs the whole test suite under
 # the race detector: the engine evaluates queries on a worker pool and
@@ -12,7 +12,7 @@ GO ?= go
 # TestParallelMatchesSequential, ...). Benchmarks are not run here; the
 # 80k-observation fixtures additionally sit behind a -short guard so a
 # `go test -short -bench .` smoke pass stays fast.
-all: build race chaos fuzz-smoke obs-smoke bench-json bench-compare
+all: build race chaos fuzz-smoke obs-smoke bench-slo bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,30 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare -threshold 0.50 BENCH_PR6.json BENCH_PR7.json
 	$(GO) run ./cmd/benchjson -ablation planner -threshold 0.50 BENCH_PR7.json
 
+# SLO gate: boot sparqld on the demo cube, enrich it over HTTP, fire a
+# short seeded mixed workload with `qb2olap bench` through the remote
+# client, and gate the run report against the checked-in slo.json with
+# `benchjson -slo`. Fails the build when the p99, error-rate, or
+# shed-rate thresholds are violated. The thresholds are deliberately
+# loose — this is a correctness gate (nothing errors, sheds stay
+# bounded, latency is sane under 8 concurrent clients), not a
+# performance benchmark; EXPERIMENTS.md A-load holds the real numbers.
+bench-slo:
+	@set -e; \
+	$(GO) build -o /tmp/sparqld-slo ./cmd/sparqld; \
+	$(GO) build -o /tmp/qb2olap-slo ./cmd/qb2olap; \
+	$(GO) build -o /tmp/benchjson-slo ./cmd/benchjson; \
+	/tmp/sparqld-slo -addr 127.0.0.1:18090 -demo 1000 >/tmp/sparqld-slo.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -fsS -o /dev/null http://127.0.0.1:18090/healthz 2>/dev/null && break; sleep 0.1; \
+	done; \
+	/tmp/qb2olap-slo bench -endpoint http://127.0.0.1:18090 -demo-enrich \
+	  -mix 'ql=3,sparql=2,update=1' -mode closed -clients 8 -requests 200 \
+	  -seed 42 -snapshot-interval 0 -report /tmp/bench-slo-report.json; \
+	/tmp/benchjson-slo -slo slo.json /tmp/bench-slo-report.json; \
+	echo "bench-slo: ok"
+
 # The A-next concurrent-load experiment alone (EXPERIMENTS.md): Mary
 # query throughput vs. client count at engine parallelism 1 and
 # GOMAXPROCS on the 80k-observation cube.
@@ -86,6 +110,8 @@ obs-smoke:
 	done; \
 	curl -fsS http://127.0.0.1:18081/metrics >/dev/null; \
 	curl -fsS -H 'Accept: text/plain' http://127.0.0.1:18081/metrics | grep -q '# TYPE'; \
+	curl -fsS -H 'Accept: text/plain' http://127.0.0.1:18081/metrics | grep -q 'go_goroutines'; \
+	curl -fsS http://127.0.0.1:18081/metrics | grep -q 'go_heap_inuse_bytes'; \
 	curl -fsS http://127.0.0.1:18080/healthz | grep -q 'ok'; \
 	curl -fsS http://127.0.0.1:18080/readyz | grep -q '"ready":true'; \
 	curl -fsS http://127.0.0.1:18081/debug/vars >/dev/null; \

@@ -9,6 +9,7 @@
 //	go test -run xxx -bench . -benchmem . | benchjson -o BENCH.json
 //	benchjson -compare [-threshold 0.10] OLD.json NEW.json
 //	benchjson -ablation planner [-threshold 0.10] BENCH.json
+//	benchjson -slo slo.json REPORT.json
 //
 // The GOMAXPROCS suffix (-8) is stripped from names so snapshots
 // diff cleanly across machines; sub-benchmark paths are kept.
@@ -17,6 +18,13 @@
 // non-zero when any benchmark's ns/op regressed by more than
 // -threshold (a fraction; default 0.10 = 10%). Added and removed
 // benchmarks are reported but never fail the comparison.
+//
+// -slo FILE gates a `qb2olap bench -report` run report against the
+// SLO thresholds in FILE (p50/p99 latency, error rate, shed rate —
+// globally and per traffic class) and exits non-zero when any
+// threshold is violated. `make bench-slo` uses this to fail the build
+// when a short mixed workload against the fixture server breaks the
+// checked-in slo.json.
 //
 // -ablation KEY gates an on/off ablation within a single snapshot: for
 // every benchmark whose sub-benchmark path ends in "/KEY=on", the
@@ -39,6 +47,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/loadgen"
 )
 
 // Result is one benchmark's measurements. Zero-valued fields were not
@@ -195,12 +205,62 @@ func compareAblation(res map[string]Result, key string, threshold float64, w io.
 	return regressions
 }
 
+// gateSLO checks a `qb2olap bench` run report against an SLO file and
+// writes a verdict line per checked scope. It returns the violations.
+func gateSLO(sloPath, reportPath string, w io.Writer) ([]loadgen.Violation, error) {
+	slo, err := loadgen.LoadSLO(sloPath)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", reportPath, err)
+	}
+	if rep.Total.Sent == 0 {
+		return nil, fmt.Errorf("%s: report has no requests — nothing to gate", reportPath)
+	}
+	violations := loadgen.CheckSLO(&rep, slo)
+	fmt.Fprintf(w, "SLO gate: %s vs %s (%s, %d requests, p99 %.1fms, errors %d, shed %d)\n",
+		reportPath, sloPath, rep.Mode, rep.Total.Sent, rep.Total.Latency.P99Ms,
+		rep.Total.Errors+rep.Total.Timeouts, rep.Total.Shed)
+	if len(violations) == 0 {
+		fmt.Fprintln(w, "PASS: all thresholds met")
+		return nil, nil
+	}
+	for _, v := range violations {
+		fmt.Fprintf(w, "FAIL: %s\n", v)
+	}
+	return violations, nil
+}
+
 func main() {
 	outPath := flag.String("o", "-", "output file (- for stdout)")
 	compare := flag.Bool("compare", false, "compare two snapshot files (OLD.json NEW.json) instead of reading bench output")
 	ablation := flag.String("ablation", "", "gate KEY=on vs KEY=off sub-benchmarks within one snapshot file (e.g. -ablation planner BENCH.json)")
+	sloPath := flag.String("slo", "", "gate a `qb2olap bench` run report (REPORT.json) against this SLO file")
 	threshold := flag.Float64("threshold", 0.10, "with -compare or -ablation: fail on ns/op regressions beyond this fraction")
 	flag.Parse()
+
+	if *sloPath != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -slo wants exactly one run report file: REPORT.json")
+			os.Exit(2)
+		}
+		violations, err := gateSLO(*sloPath, flag.Arg(0), os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d SLO violation(s)\n", len(violations))
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ablation != "" {
 		if flag.NArg() != 1 {

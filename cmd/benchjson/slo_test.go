@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleReport is a bench run report with p99 = 80ms, error rate 2%,
+// shed rate 4% overall.
+const sampleReport = `{
+  "mode": "closed", "clients": 4, "seed": 1,
+  "durationMs": 1000, "throughputPerSec": 100,
+  "total": {"class": "all", "sent": 100, "ok": 94, "errors": 2, "shed": 4, "timeouts": 0, "canceled": 0,
+            "latency": {"count": 100, "avgMs": 10, "p50Ms": 8, "p90Ms": 40, "p95Ms": 60, "p99Ms": 80, "maxMs": 90}},
+  "classes": [
+    {"class": "ql", "sent": 60, "ok": 60, "errors": 0, "shed": 0, "timeouts": 0, "canceled": 0,
+     "latency": {"count": 60, "avgMs": 12, "p50Ms": 10, "p90Ms": 50, "p95Ms": 70, "p99Ms": 85, "maxMs": 90}},
+    {"class": "update", "sent": 40, "ok": 34, "errors": 2, "shed": 4, "timeouts": 0, "canceled": 0,
+     "latency": {"count": 40, "avgMs": 5, "p50Ms": 4, "p90Ms": 10, "p95Ms": 12, "p99Ms": 15, "maxMs": 20}}
+  ]
+}`
+
+func writeSLOFixtures(t *testing.T, slo string) (sloPath, reportPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	sloPath = filepath.Join(dir, "slo.json")
+	reportPath = filepath.Join(dir, "report.json")
+	if err := os.WriteFile(sloPath, []byte(slo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(reportPath, []byte(sampleReport), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return sloPath, reportPath
+}
+
+func TestGateSLOPass(t *testing.T) {
+	sloPath, reportPath := writeSLOFixtures(t,
+		`{"max_p99_ms": 200, "max_error_rate": 0.05, "max_shed_rate": 0.10}`)
+	var out strings.Builder
+	violations, err := gateSLO(sloPath, reportPath, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v, want none", violations)
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("output missing PASS verdict:\n%s", out.String())
+	}
+}
+
+// TestGateSLOViolated is the negative test: thresholds deliberately
+// set below the run's observed values must fail the gate, globally and
+// per class.
+func TestGateSLOViolated(t *testing.T) {
+	sloPath, reportPath := writeSLOFixtures(t,
+		`{"max_p99_ms": 50, "max_error_rate": 0.01, "max_shed_rate": 0.01,
+		  "classes": {"update": {"max_error_rate": 0.01}}}`)
+	var out strings.Builder
+	violations, err := gateSLO(sloPath, reportPath, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 4 {
+		t.Fatalf("got %d violations, want 4 (global p99, error rate, shed rate + update error rate):\n%s",
+			len(violations), out.String())
+	}
+	for _, want := range []string{
+		"all: p99_ms = 80.000 exceeds limit 50.000",
+		"all: error_rate = 0.020 exceeds limit 0.010",
+		"all: shed_rate = 0.040 exceeds limit 0.010",
+		"update: error_rate = 0.050 exceeds limit 0.010",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGateSLOBadInputs(t *testing.T) {
+	sloPath, reportPath := writeSLOFixtures(t, `{"max_p99_ms": 50}`)
+	var out strings.Builder
+	if _, err := gateSLO(filepath.Join(t.TempDir(), "missing.json"), reportPath, &out); err == nil {
+		t.Error("missing SLO file accepted")
+	}
+	if _, err := gateSLO(sloPath, filepath.Join(t.TempDir(), "missing.json"), &out); err == nil {
+		t.Error("missing report file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"mode":"closed","total":{"class":"all","sent":0,"latency":{}},"classes":[]}`), 0o644)
+	if _, err := gateSLO(sloPath, empty, &out); err == nil {
+		t.Error("zero-request report accepted — an empty run must not pass the gate silently")
+	}
+}

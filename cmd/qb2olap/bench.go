@@ -1,0 +1,333 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/endpoint"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/ql"
+)
+
+// cmdBench is the workload driver: it fires a weighted mix of QL
+// programs, raw SPARQL SELECTs, and INSERT DATA updates from the
+// corpus directory at the selected source — closed-loop (fixed
+// clients) or open-loop (Poisson arrivals at -rate, latency charged
+// from the intended send instant) — and writes a machine-readable run
+// report that `benchjson -slo` gates on.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var src sourceFlags
+	src.register(fs)
+	mix := fs.String("mix", "ql=3,sparql=2,update=1", "traffic mix as class=weight, classes: ql, sparql, update")
+	mode := fs.String("mode", "closed", "closed (fixed -clients in lock-step) or open (Poisson arrivals at -rate)")
+	clients := fs.Int("clients", 4, "closed-loop concurrent clients")
+	rate := fs.Float64("rate", 50, "open-loop arrival rate per second")
+	requests := fs.Int("requests", 200, "total request budget (0 = bound by -duration alone)")
+	duration := fs.Duration("duration", 0, "wall-clock bound (0 = bound by -requests alone)")
+	queriesDir := fs.String("queries", "queries", "corpus directory: *.ql feeds the ql class, *.rq the sparql class")
+	cube := fs.String("cube", "", "QB4OLAP cube IRI for QL preparation (default: the only cube)")
+	variant := fs.String("variant", "auto", "QL translation: auto (cost-chosen once at startup), direct, or alternative")
+	demoEnrich := fs.Bool("demo-enrich", false, "run the demonstration enrichment first (for -demo/-data sources)")
+	reportPath := fs.String("report", "", "write the JSON run report to this file")
+	snapInterval := fs.Duration("snapshot-interval", time.Second, "live snapshot period on stderr (0 disables)")
+	traceEvery := fs.Int("trace-every", 0, "trace every Nth request; the slowest traced requests are cross-linked in the report (0 disables)")
+	traceExport := fs.String("trace-export", "", "append sampled traces as JSONL for `qb2olap trace` (with -trace-every)")
+	timeout := fs.Duration("request-timeout", 0, "per-request deadline inside the driver (0 = none)")
+	fs.Parse(args)
+
+	mixNames, weights, err := loadgen.ParseMix(*mix)
+	if err != nil {
+		return err
+	}
+	tool, err := src.open()
+	if err != nil {
+		return err
+	}
+	if *demoEnrich {
+		if _, err := demo.EnrichDataset(tool.Client()); err != nil {
+			return err
+		}
+	}
+
+	exec := &benchExecutor{client: tool.Client(), pipelines: map[string]*benchPipeline{}}
+	if *traceExport != "" {
+		exp, err := obs.NewExporter(*traceExport, obs.DefaultExportMaxBytes, 3)
+		if err != nil {
+			return fmt.Errorf("bench: opening trace export: %w", err)
+		}
+		defer exp.Close()
+		exec.exporter = exp
+	}
+
+	var classes []loadgen.Class
+	for _, name := range mixNames {
+		w := weights[name]
+		if w == 0 {
+			continue
+		}
+		var reqs []loadgen.Request
+		switch name {
+		case "ql":
+			reqs, err = loadQLCorpus(tool, exec, *queriesDir, *cube, *variant, src.plannerOn())
+		case "sparql":
+			reqs, err = loadSPARQLCorpus(*queriesDir)
+		case "update":
+			reqs = updateCorpus()
+		default:
+			return fmt.Errorf("bench: unknown mix class %q (want ql, sparql, or update)", name)
+		}
+		if err != nil {
+			return err
+		}
+		if len(reqs) == 0 {
+			return fmt.Errorf("bench: class %q has an empty corpus in %s", name, *queriesDir)
+		}
+		classes = append(classes, loadgen.Class{Name: name, Weight: w, Requests: reqs})
+	}
+
+	opts := loadgen.Options{
+		Mode:       loadgen.Mode(*mode),
+		Clients:    *clients,
+		Rate:       *rate,
+		Requests:   *requests,
+		Duration:   *duration,
+		Seed:       src.seed,
+		Timeout:    *timeout,
+		TraceEvery: *traceEvery,
+	}
+	if *snapInterval > 0 {
+		opts.SnapshotInterval = *snapInterval
+		opts.OnSnapshot = func(s loadgen.Snapshot) {
+			fmt.Fprintf(os.Stderr,
+				"[bench %6.1fs] sent=%d ok=%d err=%d shed=%d tmout=%d inflight=%d p50=%.1fms p99=%.1fms %.1f/s\n",
+				s.ElapsedMs/1000, s.Sent, s.OK, s.Errors, s.Shed, s.Timeouts, s.InFlight,
+				s.P50Ms, s.P99Ms, s.ThroughputPerSec)
+		}
+	}
+	driver, err := loadgen.New(classes, exec, opts)
+	if err != nil {
+		return err
+	}
+	rep, err := driver.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	// With -report -, stdout is the machine-readable JSON (pipeable
+	// into benchjson -slo) and the human table moves to stderr.
+	human := os.Stdout
+	if *reportPath == "-" {
+		human = os.Stderr
+	}
+	printBenchReport(human, rep)
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *reportPath == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(*reportPath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# report written to %s\n", *reportPath)
+		}
+	}
+	return nil
+}
+
+// loadQLCorpus reads every *.ql program, prepares it against the cube
+// schema once, and (for -variant auto) resolves the cost-based
+// translation choice up front so the hot path pays no planning.
+func loadQLCorpus(tool toolLike, exec *benchExecutor, dir, cube, variant string, plannerOn bool) ([]loadgen.Request, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ql"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	schema, err := loadSchemaForQuery(tool, cube)
+	if err != nil {
+		return nil, err
+	}
+	var reqs []loadgen.Request
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		name := filepath.Base(path)
+		p, err := ql.Prepare(string(data), schema)
+		if err != nil {
+			return nil, fmt.Errorf("bench: preparing %s: %w", name, err)
+		}
+		v := ql.Direct
+		switch variant {
+		case "auto":
+			if plannerOn {
+				sel := ql.Choose(exec.client, p.Translation)
+				p.Translation.Selection = &sel
+				v = sel.Variant
+			}
+		case "direct":
+		case "alternative":
+			v = ql.Alternative
+		default:
+			return nil, fmt.Errorf("bench: invalid -variant %q (want auto, direct, or alternative)", variant)
+		}
+		exec.pipelines[name] = &benchPipeline{t: p.Translation, v: v}
+		reqs = append(reqs, loadgen.Request{Kind: loadgen.KindQL, Name: name, Text: string(data)})
+	}
+	return reqs, nil
+}
+
+// loadSPARQLCorpus reads every *.rq file as a raw SPARQL SELECT.
+func loadSPARQLCorpus(dir string) ([]loadgen.Request, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.rq"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var reqs []loadgen.Request
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, loadgen.Request{Kind: loadgen.KindSPARQL, Name: filepath.Base(path), Text: string(data)})
+	}
+	return reqs, nil
+}
+
+// updateCorpus synthesizes the INSERT DATA class: a small rotation of
+// statements into a scratch graph. RDF set semantics make each
+// statement idempotent, so a long run re-asserts the same few triples
+// instead of growing the store without bound.
+func updateCorpus() []loadgen.Request {
+	var reqs []loadgen.Request
+	for i := 0; i < 8; i++ {
+		text := fmt.Sprintf(
+			"INSERT DATA {\nGRAPH <urn:qb2olap:bench> {\n<urn:qb2olap:bench#probe-%d> <urn:qb2olap:bench#touched> \"%d\" .\n}\n}", i, i)
+		reqs = append(reqs, loadgen.Request{
+			Kind: loadgen.KindUpdate,
+			Name: fmt.Sprintf("insert-probe-%d", i),
+			Text: text,
+		})
+	}
+	return reqs
+}
+
+// benchPipeline is one prepared QL program with its resolved variant.
+type benchPipeline struct {
+	t *ql.Translation
+	v ql.Variant
+}
+
+// benchExecutor runs loadgen requests against the tool's client.
+type benchExecutor struct {
+	client    endpoint.SPARQLClient
+	pipelines map[string]*benchPipeline
+	exporter  *obs.Exporter
+}
+
+func (e *benchExecutor) Do(ctx context.Context, req loadgen.Request) error {
+	switch req.Kind {
+	case loadgen.KindQL:
+		p := e.pipelines[req.Name]
+		_, err := ql.ExecuteContext(ctx, e.client, p.t, p.v)
+		return err
+	case loadgen.KindSPARQL:
+		_, err := endpoint.SelectContext(ctx, e.client, req.Text)
+		return err
+	case loadgen.KindUpdate:
+		return endpoint.UpdateContext(ctx, e.client, req.Text)
+	}
+	return fmt.Errorf("bench: unknown request kind %q", req.Kind)
+}
+
+// DoTraced runs one sampled request with tracing forced and returns
+// its trace ID, exporting the trace when -trace-export is set. Updates
+// and clients without forced tracing fall back to the untraced path.
+func (e *benchExecutor) DoTraced(ctx context.Context, req loadgen.Request) (string, error) {
+	tc, ok := e.client.(endpoint.TracedClient)
+	if !ok || req.Kind == loadgen.KindUpdate {
+		return "", e.Do(ctx, req)
+	}
+	text := req.Text
+	if req.Kind == loadgen.KindQL {
+		p := e.pipelines[req.Name]
+		text = p.t.Direct
+		if p.v == ql.Alternative {
+			text = p.t.Alternative
+		}
+	}
+	_, tr, err := tc.SelectTraced(text)
+	if tr == nil {
+		return "", err
+	}
+	e.exporter.Export(tr) // nil-safe
+	return string(tr.ID), err
+}
+
+// RetryCount forwards the client's transport retry counter when it has
+// one (endpoint.Remote does), so snapshots and the report include it.
+func (e *benchExecutor) RetryCount() int64 {
+	if rc, ok := e.client.(loadgen.RetryCounter); ok {
+		return rc.RetryCount()
+	}
+	return 0
+}
+
+// printBenchReport renders the human summary on w (stdout normally,
+// stderr when -report - claims stdout for the JSON).
+func printBenchReport(w io.Writer, rep *loadgen.Report) {
+	fmt.Fprintf(w, "mode=%s clients=%d", rep.Mode, rep.Clients)
+	if rep.Rate > 0 {
+		fmt.Fprintf(w, " rate=%.1f/s", rep.Rate)
+	}
+	fmt.Fprintf(w, " seed=%d duration=%.1fs throughput=%.1f/s", rep.Seed, rep.DurationMs/1000, rep.ThroughputPerSec)
+	if rep.Retries > 0 {
+		fmt.Fprintf(w, " retries=%d", rep.Retries)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %8s %8s %6s %6s %6s %6s %9s %9s %9s %9s\n",
+		"CLASS", "SENT", "OK", "ERR", "SHED", "TMOUT", "CANCEL", "P50", "P95", "P99", "MAX")
+	row := func(cr loadgen.ClassReport) {
+		fmt.Fprintf(w, "%-8s %8d %8d %6d %6d %6d %6d %8.1fms %8.1fms %8.1fms %8.1fms\n",
+			cr.Class, cr.Sent, cr.OK, cr.Errors, cr.Shed, cr.Timeouts, cr.Canceled,
+			cr.Latency.P50Ms, cr.Latency.P95Ms, cr.Latency.P99Ms, cr.Latency.MaxMs)
+	}
+	for _, cr := range rep.Classes {
+		row(cr)
+	}
+	row(rep.Total)
+	if rep.Total.Service != nil {
+		fmt.Fprintf(w, "service time (naive, excludes schedule queueing): p50=%.1fms p99=%.1fms max=%.1fms\n",
+			rep.Total.Service.P50Ms, rep.Total.Service.P99Ms, rep.Total.Service.MaxMs)
+	}
+	if len(rep.Slowest) > 0 {
+		fmt.Fprintln(w, "slowest requests:")
+		for _, s := range rep.Slowest {
+			line := fmt.Sprintf("  %8.1fms  %-8s %-24s seq=%d", s.LatencyMs, s.Class, s.Request, s.Seq)
+			if s.TraceID != "" {
+				line += "  trace=" + s.TraceID
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// TestCmdBenchClosedLoop runs a small in-process closed-loop workload
+// end to end through the subcommand and checks the written report.
+func TestCmdBenchClosedLoop(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	err := cmdBench([]string{
+		"-demo", "300", "-demo-enrich",
+		"-mix", "ql=2,sparql=2,update=1",
+		"-mode", "closed", "-clients", "2", "-requests", "40",
+		"-queries", filepath.Join("..", "..", "queries"),
+		"-snapshot-interval", "0",
+		"-report", reportPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" || rep.Total.Sent != 40 || rep.Total.OK != 40 {
+		t.Fatalf("report = mode=%s sent=%d ok=%d, want closed/40/40", rep.Mode, rep.Total.Sent, rep.Total.OK)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("report has %d classes, want 3", len(rep.Classes))
+	}
+	if rep.Total.Latency.Count != 40 || rep.Total.Latency.MaxMs <= 0 {
+		t.Fatalf("latency snapshot = %+v, want 40 samples with a positive max", rep.Total.Latency)
+	}
+}
+
+// TestCmdBenchOpenLoop checks the open-loop path reports both the
+// intended-based latency and the naive service time.
+func TestCmdBenchOpenLoop(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	err := cmdBench([]string{
+		"-demo", "300", "-demo-enrich",
+		"-mix", "sparql=1",
+		"-mode", "open", "-rate", "400", "-requests", "30",
+		"-queries", filepath.Join("..", "..", "queries"),
+		"-snapshot-interval", "0",
+		"-report", reportPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.Rate != 400 || rep.Total.Sent != 30 {
+		t.Fatalf("report = mode=%s rate=%.0f sent=%d, want open/400/30", rep.Mode, rep.Rate, rep.Total.Sent)
+	}
+	if rep.Total.Service == nil || rep.Total.Service.Count != 30 {
+		t.Fatalf("open-loop report service recorder = %+v, want 30 samples", rep.Total.Service)
+	}
+}
+
+// TestCmdBenchReportStdout pins -report -: stdout must be pure JSON
+// (pipeable into benchjson -slo), with the human table on stderr.
+func TestCmdBenchReportStdout(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	benchErr := cmdBench([]string{
+		"-demo", "300", "-demo-enrich",
+		"-mix", "update=1",
+		"-mode", "closed", "-clients", "1", "-requests", "5",
+		"-queries", filepath.Join("..", "..", "queries"),
+		"-snapshot-interval", "0",
+		"-report", "-",
+	})
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	if benchErr != nil {
+		t.Fatal(benchErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, out)
+	}
+	if rep.Total.Sent != 5 {
+		t.Fatalf("report sent = %d, want 5", rep.Total.Sent)
+	}
+	if _, err := os.Stat("-"); err == nil {
+		os.Remove("-")
+		t.Fatal(`-report - created a literal file named "-"`)
+	}
+}
+
+// TestCmdBenchRejectsBadFlags pins flag validation.
+func TestCmdBenchRejectsBadFlags(t *testing.T) {
+	base := []string{"-demo", "100", "-queries", filepath.Join("..", "..", "queries"), "-snapshot-interval", "0"}
+	for _, tc := range [][]string{
+		{"-mix", "nosuch=1"},
+		{"-mix", "ql=0"},
+		{"-mode", "sideways", "-requests", "5"},
+		{"-mode", "open", "-rate", "0", "-requests", "5"},
+		{"-requests", "0"},
+		{"-mix", "ql=1", "-variant", "bogus", "-requests", "5", "-demo-enrich"},
+	} {
+		if err := cmdBench(append(append([]string{}, base...), tc...)); err == nil {
+			t.Errorf("cmdBench(%v) accepted invalid flags", tc)
+		}
+	}
+}

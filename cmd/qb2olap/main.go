@@ -17,6 +17,7 @@
 //	translate   translate a QL program to SPARQL (both variants)
 //	query       run a QL program and print the result cube
 //	sparql      run a raw SPARQL SELECT query
+//	bench       fire a mixed workload at the source and report latency
 //	trace       analyze an exported JSONL trace archive offline
 //
 // Data source flags (shared): -endpoint URL for a remote SPARQL
@@ -55,6 +56,8 @@ func main() {
 		err = cmdQuery(args)
 	case "sparql":
 		err = cmdSPARQL(args)
+	case "bench":
+		err = cmdBench(args)
 	case "trace":
 		err = cmdTrace(args)
 	case "help", "-h", "--help":
@@ -83,6 +86,8 @@ Subcommands:
   translate  <source> -query file.ql [-variant direct|alternative|both]
   query      <source> -query file.ql [-variant direct|alternative] [-pivot] [-trace] [-trace-export f.jsonl]
   sparql     <source> -query file.rq
+  bench      <source> [-mix ql=3,sparql=2,update=1] [-mode closed|open] [-clients N] [-rate R]
+             [-requests N | -duration D] [-report f.json] [-trace-every N] [-trace-export f.jsonl]
   trace      -in traces.jsonl [-top N]
 
 <source> is one of:

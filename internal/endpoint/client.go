@@ -347,7 +347,7 @@ func (r *Remote) retryIdempotent(ctx context.Context, op string, attempt func(co
 		if !aerr.Retryable || n > r.Retries {
 			return aerr
 		}
-		if err := r.backoffWait(ctx, n); err != nil {
+		if err := r.backoffWait(ctx, n, aerr.RetryAfter); err != nil {
 			aerr.Retryable = false
 			return aerr
 		}
@@ -367,22 +367,33 @@ func (r *Remote) attemptOnce(ctx context.Context, attempt func(context.Context) 
 
 // backoffWait sleeps before retry n (1-based): exponential growth from
 // Backoff, capped at 5s, with equal jitter (a uniform draw over the
-// upper half) so synchronized clients spread out. Returns early with an
-// error when ctx ends.
-func (r *Remote) backoffWait(ctx context.Context, n int) error {
-	base := r.Backoff
-	if base <= 0 {
-		base = 100 * time.Millisecond
-	}
-	d := base << uint(n-1)
-	if d > 5*time.Second || d <= 0 {
-		d = 5 * time.Second
-	}
+// upper half) so synchronized clients spread out. A positive hint is a
+// server-requested delay (Retry-After on a 503 shed) and replaces the
+// exponential schedule: the client waits at least what the server asked
+// for, plus up to 25% additive jitter, under the same 5s cap. Returns
+// early with an error when ctx ends.
+func (r *Remote) backoffWait(ctx context.Context, n int, hint time.Duration) error {
 	jitter := r.jitterFn
 	if jitter == nil {
 		jitter = rand.Float64
 	}
-	d = d/2 + time.Duration(jitter()*float64(d/2))
+	var d time.Duration
+	if hint > 0 {
+		if hint > 5*time.Second {
+			hint = 5 * time.Second
+		}
+		d = hint + time.Duration(jitter()*float64(hint/4))
+	} else {
+		base := r.Backoff
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		d = base << uint(n-1)
+		if d > 5*time.Second || d <= 0 {
+			d = 5 * time.Second
+		}
+		d = d/2 + time.Duration(jitter()*float64(d/2))
+	}
 	if r.sleep != nil {
 		return r.sleep(ctx, d)
 	}
@@ -438,9 +449,10 @@ func (r *Remote) doSelect(ctx context.Context, query, traceparent string) (*spar
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
 		return nil, wire, &Error{
-			Status:    resp.StatusCode,
-			Retryable: retryableResponse(resp),
-			Err:       fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+			Status:     resp.StatusCode,
+			Retryable:  retryableResponse(resp),
+			RetryAfter: parseRetryAfter(resp),
+			Err:        fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 		}
 	}
 	body, err := io.ReadAll(resp.Body)
@@ -486,9 +498,10 @@ func (r *Remote) ExplainContext(ctx context.Context, query string) (string, erro
 		}
 		if resp.StatusCode != http.StatusOK {
 			return &Error{
-				Status:    resp.StatusCode,
-				Retryable: retryableResponse(resp),
-				Err:       fmt.Errorf("endpoint: explain failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+				Status:     resp.StatusCode,
+				Retryable:  retryableResponse(resp),
+				RetryAfter: parseRetryAfter(resp),
+				Err:        fmt.Errorf("endpoint: explain failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 			}
 		}
 		out = string(body)
@@ -541,9 +554,10 @@ func (r *Remote) EstimateCostContext(ctx context.Context, query string) (float64
 		}
 		if resp.StatusCode != http.StatusOK {
 			return &Error{
-				Status:    resp.StatusCode,
-				Retryable: retryableStatus(resp.StatusCode),
-				Err:       fmt.Errorf("endpoint: cost failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+				Status:     resp.StatusCode,
+				Retryable:  retryableStatus(resp.StatusCode),
+				RetryAfter: parseRetryAfter(resp),
+				Err:        fmt.Errorf("endpoint: cost failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 			}
 		}
 		var cr costResponse
@@ -595,11 +609,12 @@ func (r *Remote) UpdateContext(ctx context.Context, update string) error {
 	if resp.StatusCode >= 300 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
 		return &Error{
-			Op:        "update",
-			Status:    resp.StatusCode,
-			Attempts:  1,
-			Retryable: retryableStatus(resp.StatusCode),
-			Err:       fmt.Errorf("endpoint: update failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
+			Op:         "update",
+			Status:     resp.StatusCode,
+			Attempts:   1,
+			Retryable:  retryableStatus(resp.StatusCode),
+			RetryAfter: parseRetryAfter(resp),
+			Err:        fmt.Errorf("endpoint: update failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 		}
 	}
 	return nil

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Error is the typed error the Remote client returns for a failed
@@ -22,6 +24,12 @@ type Error struct {
 	// the same idempotent request may succeed. Updates are reported
 	// with their classification but are never retried by the client.
 	Retryable bool
+	// RetryAfter is the server's requested backoff, parsed from the
+	// Retry-After header of a shed/overload response (the server sends
+	// it on 503). Zero when the server did not say; when set, the
+	// client's retry loop waits this long (jittered, capped) instead of
+	// its own exponential schedule.
+	RetryAfter time.Duration
 	// Attempts is how many times the exchange was tried (1 = no retry).
 	Attempts int
 	// Err is the underlying cause.
@@ -64,6 +72,22 @@ func retryableStatus(status int) bool {
 		return true
 	}
 	return false
+}
+
+// parseRetryAfter reads a response's Retry-After header as a delay.
+// Only the integer-seconds form is recognised (what the shedding
+// server emits); HTTP-date values and garbage parse to zero, meaning
+// "no server guidance".
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // retryableResponse is retryableStatus with one header-level override:

@@ -296,6 +296,68 @@ func TestBackoffScheduleGrows(t *testing.T) {
 	}
 }
 
+// TestRetryAfterHonored checks that a 503 carrying Retry-After makes
+// the retry loop wait the server-requested delay instead of its own
+// exponential schedule, that over-long requests are capped at 5s, and
+// that malformed values fall back to the exponential path.
+func TestRetryAfterHonored(t *testing.T) {
+	respondShed := func(after string) func(w http.ResponseWriter) {
+		return func(w http.ResponseWriter) {
+			w.Header().Set("Retry-After", after)
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		}
+	}
+	cases := []struct {
+		name  string
+		after string
+		want  time.Duration // expected slept delay before the retry
+	}{
+		{"honored", "2", 2 * time.Second},
+		{"capped", "30", 5 * time.Second},
+		{"malformed", "soon", 50 * time.Millisecond}, // exponential fallback: base/2 at n=1
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hs, n := scriptedServer(t, respondShed(tc.after), respondOK)
+			var delays []time.Duration
+			r := NewRemote(hs.URL)
+			r.Retries = 1
+			r.Backoff = 100 * time.Millisecond
+			r.jitterFn = func() float64 { return 0 }
+			r.sleep = noSleep(&delays)
+			if _, err := r.Select(anyQuery); err != nil {
+				t.Fatal(err)
+			}
+			if n.Load() != 2 {
+				t.Fatalf("server saw %d requests, want 2", n.Load())
+			}
+			if len(delays) != 1 || delays[0] != tc.want {
+				t.Fatalf("delays = %v, want [%v]", delays, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterOnError checks the typed error surfaces the parsed
+// Retry-After so callers that do their own scheduling (the load
+// driver, the QL runner) can see the server's request.
+func TestRetryAfterOnError(t *testing.T) {
+	hs, _ := scriptedServer(t, func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	})
+	r := NewRemote(hs.URL) // Retries = 0: the error escapes directly
+	r.sleep = noSleep(&[]time.Duration{})
+	_, err := r.Select(anyQuery)
+	var ee *Error
+	if !errors.As(err, &ee) {
+		t.Fatalf("error = %v, want *Error", err)
+	}
+	if ee.Status != http.StatusServiceUnavailable || ee.RetryAfter != 3*time.Second {
+		t.Fatalf("error = %+v, want 503 with RetryAfter=3s", ee)
+	}
+}
+
 func TestBreakerLifecycle(t *testing.T) {
 	b := NewBreaker(2, time.Minute)
 	cur := time.Unix(1000, 0)

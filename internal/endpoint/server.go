@@ -205,6 +205,11 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	// operator compares when sizing -max-query-mem.
 	s.reg.Gauge("query_mem_inflight_bytes", s.Resources.Inflight)
 	s.reg.Gauge("query_mem_highwater_bytes", s.Resources.HighWater)
+	// Go runtime telemetry (goroutines, heap, GC pause p99): the
+	// server-side half of a load investigation — driver-observed latency
+	// spikes line up against these or they don't, which localizes the
+	// problem to the server or the path to it.
+	obs.RegisterRuntimeGauges(s.reg)
 	s.Slow = obs.NewSlowLog(64)
 	return s
 }
@@ -324,33 +329,37 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		// Resilience outcome for the access log: shed, timeout, and
 		// canceled lines are what an operator greps for when tuning
-		// -max-inflight and -query-timeout.
+		// -max-inflight and -query-timeout. The same classification
+		// (minus the cost-only cases) feeds the per-shape outcome
+		// counters of the workload registry.
 		outcome := "ok"
+		wlOutcome := obs.OutcomeOK
 		switch {
 		case ow.costOnly && ow.status == http.StatusConflict:
 			outcome = "cost-unavailable"
 		case ow.costOnly && ow.status < 400:
 			outcome = "cost"
 		case route == "/sparql" && ow.status == http.StatusServiceUnavailable:
-			outcome = "shed"
+			outcome, wlOutcome = "shed", obs.OutcomeShed
 		case route == "/sparql" && ow.status == http.StatusTooManyRequests:
-			outcome = "over-mem"
+			outcome, wlOutcome = "over-mem", obs.OutcomeError
 		case ow.status == http.StatusGatewayTimeout:
-			outcome = "timeout"
+			outcome, wlOutcome = "timeout", obs.OutcomeTimeout
 		case ow.status == statusClientClosedRequest:
-			outcome = "canceled"
+			outcome, wlOutcome = "canceled", obs.OutcomeCanceled
 		case ow.status >= 400:
-			outcome = "error"
+			outcome, wlOutcome = "error", obs.OutcomeError
 		}
 		var rows, mem, peak int64
 		if ow.acct != nil {
 			rows, mem, peak = ow.acct.Rows(), ow.acct.Bytes(), ow.acct.Peak()
 		}
-		// Workload fingerprinting: every evaluated /sparql query joins
-		// its shape bucket; ?cost=1 requests plan without evaluating and
-		// stay out.
+		// Workload fingerprinting: every /sparql query joins its shape
+		// bucket, classified by outcome — shed and timed-out shapes show
+		// up as such, not as generic errors. ?cost=1 requests plan
+		// without evaluating and stay out.
 		if route == "/sparql" && ow.query != "" && !ow.costOnly && s.Workload != nil {
-			s.Workload.Record(ow.query, d, rows, mem, ow.status >= 400)
+			s.Workload.Record(ow.query, d, rows, mem, wlOutcome)
 		}
 		slow := route == "/sparql" && !ow.costOnly && s.SlowQuery > 0 && d >= s.SlowQuery
 		if slow {

@@ -1,0 +1,370 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+)
+
+// testClasses builds a small three-class workload over synthetic
+// corpus entries.
+func testClasses() []Class {
+	mk := func(kind Kind, n int) []Request {
+		out := make([]Request, n)
+		for i := range out {
+			out[i] = Request{Kind: kind, Name: fmt.Sprintf("%s-%d", kind, i), Text: string(kind)}
+		}
+		return out
+	}
+	return []Class{
+		{Name: "ql", Weight: 3, Requests: mk(KindQL, 3)},
+		{Name: "sparql", Weight: 2, Requests: mk(KindSPARQL, 2)},
+		{Name: "update", Weight: 1, Requests: mk(KindUpdate, 2)},
+	}
+}
+
+// scriptedExec classifies by request kind: updates are shed with a
+// 503, sparql times out, ql succeeds. Deterministic per request, so
+// outcome counts are pinned by the schedule alone.
+type scriptedExec struct{ calls atomic.Int64 }
+
+func (e *scriptedExec) Do(_ context.Context, req Request) error {
+	e.calls.Add(1)
+	switch req.Kind {
+	case KindUpdate:
+		return &endpoint.Error{Op: "update", Status: http.StatusServiceUnavailable, Err: errors.New("shed")}
+	case KindSPARQL:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// TestScheduleDeterministic: two schedules with the same seed yield
+// the identical (class, request, arrival) stream — the property the
+// canonical run report golden rests on. Run with -race in CI.
+func TestScheduleDeterministic(t *testing.T) {
+	classes := testClasses()
+	const n = 500
+	draw := func() []op {
+		s := newSchedule(classes, 99, n, 50)
+		var ops []op
+		for {
+			o, ok := s.take()
+			if !ok {
+				break
+			}
+			ops = append(ops, o)
+		}
+		return ops
+	}
+	a, b := draw(), draw()
+	if len(a) != n || len(b) != n {
+		t.Fatalf("drew %d and %d ops, want %d", len(a), len(b), n)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs between same-seed schedules: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Arrivals must be strictly non-decreasing Poisson offsets.
+	for i := 1; i < len(a); i++ {
+		if a[i].arrival < a[i-1].arrival {
+			t.Fatalf("arrival %d (%v) before arrival %d (%v)", i, a[i].arrival, i-1, a[i-1].arrival)
+		}
+	}
+	// A different seed must produce a different stream.
+	s2 := newSchedule(classes, 100, n, 50)
+	diff := false
+	for i := 0; i < n; i++ {
+		o, _ := s2.take()
+		if o != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seed 99 and seed 100 produced identical schedules")
+	}
+}
+
+// TestClosedLoopOutcomeClassification runs a closed-loop workload over
+// the scripted executor and checks every request lands in exactly one
+// outcome bucket, classified per class as scripted.
+func TestClosedLoopOutcomeClassification(t *testing.T) {
+	classes := testClasses()
+	exec := &scriptedExec{}
+	d, err := New(classes, exec, Options{
+		Mode: ModeClosed, Clients: 4, Requests: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Sent != 200 || exec.calls.Load() != 200 {
+		t.Fatalf("sent = %d, executor calls = %d, want 200", rep.Total.Sent, exec.calls.Load())
+	}
+	byClass := map[string]ClassReport{}
+	for _, cr := range rep.Classes {
+		byClass[cr.Class] = cr
+	}
+	if cr := byClass["ql"]; cr.OK != cr.Sent || cr.Errors+cr.Shed+cr.Timeouts != 0 {
+		t.Fatalf("ql class = %+v, want all OK", cr)
+	}
+	if cr := byClass["update"]; cr.Shed != cr.Sent || cr.OK != 0 {
+		t.Fatalf("update class = %+v, want all shed (503)", cr)
+	}
+	if cr := byClass["sparql"]; cr.Timeouts != cr.Sent || cr.OK != 0 {
+		t.Fatalf("sparql class = %+v, want all timeout", cr)
+	}
+	done := rep.Total.OK + rep.Total.Errors + rep.Total.Shed + rep.Total.Timeouts + rep.Total.Canceled
+	if done != rep.Total.Sent {
+		t.Fatalf("outcomes sum to %d, sent %d — a request fell through classification", done, rep.Total.Sent)
+	}
+	if rep.Total.Latency.Count != 200 {
+		t.Fatalf("latency count = %d, want 200", rep.Total.Latency.Count)
+	}
+	if rep.Total.Service != nil {
+		t.Fatal("closed-loop report carries a service recorder; that is an open-loop concept")
+	}
+}
+
+// TestOpenLoopRunDeterministicCounts: two open-loop runs with the same
+// seed and budget produce identical per-class sent counts even though
+// wall-clock timings differ.
+func TestOpenLoopRunDeterministicCounts(t *testing.T) {
+	classes := testClasses()
+	run := func() *Report {
+		d, err := New(classes, &scriptedExec{}, Options{
+			Mode: ModeOpen, Rate: 2000, Requests: 120, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := d.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	for i := range a.Classes {
+		if a.Classes[i].Sent != b.Classes[i].Sent || a.Classes[i].OK != b.Classes[i].OK {
+			t.Fatalf("class %s differs across same-seed runs: %+v vs %+v",
+				a.Classes[i].Class, a.Classes[i], b.Classes[i])
+		}
+	}
+	if a.Total.Service == nil {
+		t.Fatal("open-loop report is missing the service-time recorder")
+	}
+}
+
+// stallExec is the injected slow-fault profile for the coordinated
+// omission test: a concurrency-1 "server" whose first request stalls
+// long, so an open-loop schedule backs up behind it.
+type stallExec struct {
+	mu    sync.Mutex
+	calls atomic.Int64
+	stall time.Duration
+	work  time.Duration
+}
+
+func (e *stallExec) Do(_ context.Context, _ Request) error {
+	n := e.calls.Add(1)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n == 1 {
+		time.Sleep(e.stall)
+		return nil
+	}
+	time.Sleep(e.work)
+	return nil
+}
+
+// TestCoordinatedOmissionGap demonstrates why open-loop latency is
+// measured from the intended send instant. The same stalling endpoint
+// is driven two ways. Closed-loop (the naive measurement): the single
+// client politely waits out the stall, so only one sample is slow and
+// p99 stays near the service time. Open-loop: arrivals keep coming at
+// the scheduled rate during the stall, every queued request is charged
+// its queueing delay, and p99 surfaces the stall. A naive reading of
+// the closed-loop number would conclude the endpoint met its SLO while
+// a fixed-rate workload was actually stacking up behind it.
+func TestCoordinatedOmissionGap(t *testing.T) {
+	const (
+		n     = 400
+		stall = 300 * time.Millisecond
+		work  = time.Millisecond
+	)
+	closedRep := func() *Report {
+		d, err := New(testClasses(), &stallExec{stall: stall, work: work}, Options{
+			Mode: ModeClosed, Clients: 1, Requests: n, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := d.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+	openRep := func() *Report {
+		d, err := New(testClasses(), &stallExec{stall: stall, work: work}, Options{
+			Mode: ModeOpen, Rate: 500, Requests: n, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := d.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+
+	closedP99 := closedRep.Total.Latency.P99Ms
+	openP99 := openRep.Total.Latency.P99Ms
+	// Generous margins: this is wall-clock, not arithmetic. Closed
+	// loop sees one slow sample in 400, so p99 sits near the ~1ms
+	// service time; open loop charges ~150 queued arrivals their
+	// waiting time, so p99 is within an order of the 300ms stall.
+	if closedP99 > 50 {
+		t.Fatalf("closed-loop p99 = %.1fms; the naive measurement should hide the stall (< 50ms)", closedP99)
+	}
+	if openP99 < 50 {
+		t.Fatalf("open-loop intended-time p99 = %.1fms; queueing behind the stall should dominate (> 50ms)", openP99)
+	}
+	if openP99 < 4*closedP99 {
+		t.Fatalf("coordinated-omission gap missing: open p99 %.1fms vs closed p99 %.1fms", openP99, closedP99)
+	}
+	if closedRep.Total.Latency.MaxMs < float64(stall/time.Millisecond) {
+		t.Fatalf("closed-loop max %.1fms should still record the stall itself", closedRep.Total.Latency.MaxMs)
+	}
+}
+
+// tracedExec pairs the stub with trace IDs so the slowest list links.
+type tracedExec struct {
+	scriptedExec
+	traced atomic.Int64
+}
+
+func (e *tracedExec) DoTraced(ctx context.Context, req Request) (string, error) {
+	n := e.traced.Add(1)
+	return fmt.Sprintf("trace-%04d", n), e.Do(ctx, req)
+}
+
+// TestSlowestCarriesTraceIDs checks trace sampling feeds the slowest
+// list with non-empty trace IDs, sorted slowest-first.
+func TestSlowestCarriesTraceIDs(t *testing.T) {
+	exec := &tracedExec{}
+	d, err := New(testClasses(), exec, Options{
+		Mode: ModeClosed, Clients: 2, Requests: 100, Seed: 5, TraceEvery: 10, SlowestK: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.traced.Load() != 10 {
+		t.Fatalf("traced %d requests, want 10 (every 10th of 100)", exec.traced.Load())
+	}
+	if len(rep.Slowest) != 3 {
+		t.Fatalf("slowest list has %d entries, want 3", len(rep.Slowest))
+	}
+	for i, s := range rep.Slowest {
+		if s.TraceID == "" {
+			t.Fatalf("slowest[%d] has no trace ID: %+v", i, s)
+		}
+		if i > 0 && s.LatencyMs > rep.Slowest[i-1].LatencyMs {
+			t.Fatalf("slowest list not sorted: %v", rep.Slowest)
+		}
+	}
+}
+
+// TestSnapshotsStream checks the live snapshot callback fires and the
+// final snapshot accounts for every request.
+func TestSnapshotsStream(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []Snapshot
+	slow := &stallExec{stall: 5 * time.Millisecond, work: time.Millisecond}
+	d, err := New(testClasses(), slow, Options{
+		Mode: ModeClosed, Clients: 2, Requests: 80, Seed: 2,
+		SnapshotInterval: 10 * time.Millisecond,
+		OnSnapshot: func(s Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots streamed")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Sent != 80 || last.OK != 80 {
+		t.Fatalf("final snapshot = %+v, want 80 sent and ok", last)
+	}
+	if last.InFlight != 0 {
+		t.Fatalf("final snapshot in-flight = %d, want 0", last.InFlight)
+	}
+	if last.ThroughputPerSec <= 0 {
+		t.Fatalf("final snapshot throughput = %.2f, want > 0", last.ThroughputPerSec)
+	}
+}
+
+// TestDriverValidation pins New's rejection of unusable workloads.
+func TestDriverValidation(t *testing.T) {
+	ok := testClasses()
+	cases := []struct {
+		name    string
+		classes []Class
+		opts    Options
+	}{
+		{"no classes", nil, Options{Mode: ModeClosed, Requests: 1}},
+		{"zero weight", []Class{{Name: "x", Weight: 0, Requests: ok[0].Requests}}, Options{Mode: ModeClosed, Requests: 1}},
+		{"empty corpus", []Class{{Name: "x", Weight: 1}}, Options{Mode: ModeClosed, Requests: 1}},
+		{"open without rate", ok, Options{Mode: ModeOpen, Requests: 1}},
+		{"unbounded", ok, Options{Mode: ModeClosed}},
+		{"bad mode", ok, Options{Mode: "sideways", Requests: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.classes, &scriptedExec{}, tc.opts); err == nil {
+			t.Errorf("%s: New accepted an invalid workload", tc.name)
+		}
+	}
+}
+
+// TestParseMix pins the -mix spec grammar.
+func TestParseMix(t *testing.T) {
+	names, w, err := ParseMix("ql=3, sparql=2,update=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || w["ql"] != 3 || w["sparql"] != 2 || w["update"] != 0 {
+		t.Fatalf("ParseMix = %v %v", names, w)
+	}
+	for _, bad := range []string{"", "ql", "ql=x", "ql=-1", "ql=0", "ql=1,ql=2"} {
+		if _, _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package loadgen is the workload driver behind `qb2olap bench`: it
+// fires a configurable mix of QL programs, raw SPARQL SELECTs, and
+// INSERT DATA updates at an endpoint and measures what the endpoint's
+// own metrics cannot see — the latency a client actually experiences,
+// including queueing it did not ask for.
+//
+// Two generation modes are supported. Closed-loop runs a fixed number
+// of clients, each issuing its next request as soon as the previous
+// one completes: throughput floats with the endpoint's speed, and
+// latency is pure service time. Open-loop draws Poisson arrivals at a
+// fixed rate from a seeded schedule and dispatches each request at its
+// scheduled instant regardless of how many are still in flight. In
+// open-loop mode latency is measured from the *intended* send time,
+// not the actual one, so a stalled server shows up as the queueing
+// delay it caused instead of being silently absorbed by a waiting
+// client — the coordinated-omission correction. The naive service time
+// is recorded alongside it, so a report shows both numbers and their
+// gap.
+//
+// The schedule (class sequence, per-class request rotation, arrival
+// offsets) is entirely determined by the seed, so two runs with the
+// same seed, mix, and request budget issue byte-identical request
+// streams — which is what pins the canonical run report in golden
+// tests.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/obs"
+)
+
+// Kind tags what a request is, which decides how the executor runs it.
+type Kind string
+
+const (
+	// KindQL is a QL program: prepared against the cube schema,
+	// translated, and executed as SPARQL.
+	KindQL Kind = "ql"
+	// KindSPARQL is a raw SPARQL SELECT sent as-is.
+	KindSPARQL Kind = "sparql"
+	// KindUpdate is a SPARQL INSERT DATA update.
+	KindUpdate Kind = "update"
+)
+
+// Request is one unit of work drawn from a class's corpus.
+type Request struct {
+	Kind Kind
+	// Name identifies the corpus entry (file name) for provenance.
+	Name string
+	// Text is the QL program, SPARQL query, or update body.
+	Text string
+}
+
+// Class is a weighted traffic class: the driver draws classes in
+// proportion to Weight and rotates through the class's Requests
+// round-robin, so a fixed budget covers the corpus evenly.
+type Class struct {
+	Name     string
+	Weight   int
+	Requests []Request
+}
+
+// Executor runs one request against the system under test. The driver
+// never interprets request text itself, so tests drive it with stubs
+// and the CLI wires in the real QL/SPARQL/update paths.
+type Executor interface {
+	Do(ctx context.Context, req Request) error
+}
+
+// TracedExecutor is implemented by executors that can run a request
+// with tracing forced and report the trace ID, letting the run report
+// cross-link its slowest requests to `qb2olap trace` drill-down.
+type TracedExecutor interface {
+	DoTraced(ctx context.Context, req Request) (traceID string, err error)
+}
+
+// RetryCounter is implemented by executors that can report how many
+// transport-level retries their client has performed (endpoint.Remote
+// does); the driver surfaces the delta in snapshots and the report.
+type RetryCounter interface {
+	RetryCount() int64
+}
+
+// Mode selects how load is generated.
+type Mode string
+
+const (
+	// ModeClosed runs Clients workers in lock-step with the endpoint:
+	// each issues its next request when the previous completes.
+	ModeClosed Mode = "closed"
+	// ModeOpen dispatches requests at seeded Poisson arrival instants
+	// at Rate per second, independent of completions.
+	ModeOpen Mode = "open"
+)
+
+// Options configures a run. Exactly one of Requests (a fixed budget,
+// required for deterministic reports) or Duration must be positive;
+// when both are set the run ends at whichever limit hits first.
+type Options struct {
+	Mode    Mode
+	Clients int     // closed-loop concurrency (default 1)
+	Rate    float64 // open-loop arrivals per second (required for ModeOpen)
+
+	Requests int           // total request budget (0 = unbounded)
+	Duration time.Duration // wall-clock bound (0 = unbounded)
+	Seed     int64         // schedule seed
+
+	Timeout time.Duration // per-request deadline (0 = none)
+
+	// TraceEvery traces every Nth request (0 disables) when the
+	// executor supports it; traced requests feed the Slowest list.
+	TraceEvery int
+
+	// SnapshotInterval streams a live Snapshot to OnSnapshot every
+	// interval (both must be set).
+	SnapshotInterval time.Duration
+	OnSnapshot       func(Snapshot)
+
+	// Progress, when non-nil, renders a live "bench" phase with rate
+	// and ETA over the request budget.
+	Progress *obs.Progress
+
+	// SlowestK bounds the slowest-requests list in the report
+	// (default 5).
+	SlowestK int
+}
+
+// Classify maps an executor error to the outcome taxonomy the server
+// itself uses: a 503 is a load shed, a 504 or context deadline is a
+// timeout, a canceled context is a cancel, everything else an error.
+func Classify(err error) obs.QueryOutcome {
+	if err == nil {
+		return obs.OutcomeOK
+	}
+	var ee *endpoint.Error
+	if errors.As(err, &ee) {
+		switch ee.Status {
+		case http.StatusServiceUnavailable:
+			return obs.OutcomeShed
+		case http.StatusGatewayTimeout:
+			return obs.OutcomeTimeout
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return obs.OutcomeTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return obs.OutcomeCanceled
+	}
+	return obs.OutcomeError
+}
+
+// ParseMix reads a "-mix" spec like "ql=3,sparql=2,update=1" into
+// class weights. Weights must be non-negative integers; at least one
+// must be positive. Class names are returned in spec order.
+func ParseMix(spec string) (names []string, weights map[string]int, err error) {
+	weights = make(map[string]int)
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("loadgen: bad mix entry %q (want name=weight)", part)
+		}
+		name = strings.TrimSpace(name)
+		w, perr := strconv.Atoi(strings.TrimSpace(val))
+		if perr != nil || w < 0 {
+			return nil, nil, fmt.Errorf("loadgen: bad mix weight in %q", part)
+		}
+		if _, dup := weights[name]; dup {
+			return nil, nil, fmt.Errorf("loadgen: duplicate mix class %q", name)
+		}
+		weights[name] = w
+		names = append(names, name)
+		total += w
+	}
+	if total <= 0 {
+		return nil, nil, fmt.Errorf("loadgen: mix %q has no positive weight", spec)
+	}
+	return names, weights, nil
+}
+
+// sortedClassNames returns class names sorted, for stable iteration.
+func sortedClassNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportCanonicalGolden pins the canonical run report: a seeded,
+// request-bounded workload replays the identical request stream, so
+// everything the canonical form keeps — mode, mix, per-class sent and
+// outcome counts — is byte-stable across runs and machines. A diff
+// here means the schedule, the classification, or the report shape
+// changed; regenerate with -update only when that is intended.
+func TestReportCanonicalGolden(t *testing.T) {
+	d, err := New(testClasses(), &scriptedExec{}, Options{
+		Mode: ModeClosed, Clients: 4, Requests: 120, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep.Canonical(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "report_canonical.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/loadgen -run Golden -update)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("canonical report drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

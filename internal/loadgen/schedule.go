@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// op is one scheduled request: its position in the run, the class and
+// corpus entry it resolved to, and (open loop) the arrival offset from
+// run start at which it must be dispatched.
+type op struct {
+	seq     int
+	class   int // index into the driver's classes
+	req     int // index into that class's Requests
+	arrival time.Duration
+}
+
+// schedule is the seeded source of the request stream. All draws come
+// from one rand.Rand guarded by a mutex, and per-class corpus rotation
+// is round-robin, so the sequence of (class, request, arrival) triples
+// is a pure function of the seed, the mix, and the rate — regardless
+// of how many workers consume it or how fast the endpoint answers.
+type schedule struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	classes []Class
+	cum     []int // cumulative weights for the class draw
+	total   int
+	cursor  []int // per-class round-robin position
+	next    int   // next sequence number
+	budget  int   // remaining ops (<0 = unbounded)
+	rate    float64
+	offset  time.Duration // accumulated arrival offset (open loop)
+}
+
+func newSchedule(classes []Class, seed int64, budget int, rate float64) *schedule {
+	s := &schedule{
+		rng:     rand.New(rand.NewSource(seed)),
+		classes: classes,
+		cum:     make([]int, len(classes)),
+		cursor:  make([]int, len(classes)),
+		budget:  budget,
+		rate:    rate,
+	}
+	if budget <= 0 {
+		s.budget = -1
+	}
+	for i, c := range classes {
+		s.total += c.Weight
+		s.cum[i] = s.total
+	}
+	return s
+}
+
+// take draws the next op. ok is false once the budget is exhausted.
+func (s *schedule) take() (op, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget == 0 {
+		return op{}, false
+	}
+	if s.budget > 0 {
+		s.budget--
+	}
+	// Weighted class draw. Classes with zero weight (or an empty
+	// corpus) are never drawn; newDriver rejects a mix where nothing
+	// is drawable.
+	draw := s.rng.Intn(s.total)
+	class := 0
+	for draw >= s.cum[class] {
+		class++
+	}
+	o := op{seq: s.next, class: class}
+	s.next++
+	c := s.classes[class]
+	o.req = s.cursor[class] % len(c.Requests)
+	s.cursor[class]++
+	if s.rate > 0 {
+		// Poisson arrivals: exponential inter-arrival draws at the
+		// target rate, accumulated into an absolute offset.
+		s.offset += time.Duration(s.rng.ExpFloat64() / s.rate * float64(time.Second))
+		o.arrival = s.offset
+	}
+	return o, true
+}

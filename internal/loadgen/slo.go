@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Thresholds are the gateable limits of an SLO. Zero values mean "not
+// checked", so a file states only what it cares about.
+type Thresholds struct {
+	// MaxP50Ms / MaxP99Ms bound the latency quantiles (intended-based
+	// in open-loop reports, so queueing counts against the SLO).
+	MaxP50Ms float64 `json:"max_p50_ms,omitempty"`
+	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
+	// MaxErrorRate bounds (errors + timeouts) / sent.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MaxShedRate bounds shed / sent.
+	MaxShedRate float64 `json:"max_shed_rate,omitempty"`
+}
+
+// SLO is the contents of an -slo file: global thresholds checked
+// against the report's total, plus optional per-class overrides
+// checked against that class alone.
+type SLO struct {
+	Thresholds
+	Classes map[string]Thresholds `json:"classes,omitempty"`
+}
+
+// LoadSLO reads an SLO file. Unknown fields are rejected so a typo'd
+// threshold fails loudly instead of silently not gating.
+func LoadSLO(path string) (*SLO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SLO
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing SLO %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Violation is one threshold a run broke.
+type Violation struct {
+	Scope  string  `json:"scope"` // "all" or a class name
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s = %.3f exceeds limit %.3f", v.Scope, v.Metric, v.Value, v.Limit)
+}
+
+// CheckSLO evaluates a report against an SLO and returns every
+// violated threshold (empty = the run passes).
+func CheckSLO(rep *Report, slo *SLO) []Violation {
+	var out []Violation
+	out = append(out, checkThresholds(rep.Total, slo.Thresholds)...)
+	for _, cr := range rep.Classes {
+		if th, ok := slo.Classes[cr.Class]; ok {
+			out = append(out, checkThresholds(cr, th)...)
+		}
+	}
+	return out
+}
+
+func checkThresholds(cr ClassReport, th Thresholds) []Violation {
+	var out []Violation
+	add := func(metric string, value, limit float64) {
+		if limit > 0 && value > limit {
+			out = append(out, Violation{Scope: cr.Class, Metric: metric, Value: value, Limit: limit})
+		}
+	}
+	add("p50_ms", cr.Latency.P50Ms, th.MaxP50Ms)
+	add("p99_ms", cr.Latency.P99Ms, th.MaxP99Ms)
+	if cr.Sent > 0 {
+		add("error_rate", float64(cr.Errors+cr.Timeouts)/float64(cr.Sent), th.MaxErrorRate)
+		add("shed_rate", float64(cr.Shed)/float64(cr.Sent), th.MaxShedRate)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is an HDR-style latency recorder: a log-bucketed histogram
+// with linear sub-buckets, so quantile estimates carry a bounded
+// *relative* error instead of the one-power-of-two error of the coarse
+// Histogram. It is the load driver's per-class latency accumulator —
+// under a sustained workload the interesting signal is exactly the
+// p99/max tail, where a factor-of-two bucket would swallow the story.
+//
+// Scheme: values are recorded in microseconds. Values below
+// recSubCount land in an exact unit bucket; larger values land in one
+// of recSubCount linear sub-buckets of their power-of-two range, so
+// every bucket spans at most 1/recSubCount (~3.1%) of its value.
+// Observe is three atomic adds plus one atomic max — safe for
+// concurrent use from every driver worker, cheap enough for
+// per-request recording.
+//
+// The zero Recorder is ready to use. Merge folds another recorder in,
+// and is associative and commutative, so per-worker recorders can be
+// combined in any order (see TestRecorderMergeAssociative).
+type Recorder struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [recBucketCount]atomic.Int64
+}
+
+const (
+	// recSubBits fixes the sub-bucket resolution: 2^recSubBits linear
+	// sub-buckets per power-of-two range.
+	recSubBits  = 5
+	recSubCount = 1 << recSubBits // 32
+
+	// recMaxExp is the highest power-of-two range tracked; values at or
+	// beyond 2^(recMaxExp+1) µs (~2.4 hours) saturate the top bucket.
+	recMaxExp = 32
+
+	// recBucketCount: recSubCount exact unit buckets for 0..31µs, then
+	// recSubCount sub-buckets per exponent recSubBits..recMaxExp.
+	recBucketCount = recSubCount + (recMaxExp-recSubBits+1)*recSubCount
+)
+
+// recBucketIndex maps a microsecond value to its bucket.
+func recBucketIndex(us int64) int {
+	if us < recSubCount {
+		return int(us)
+	}
+	exp := bits.Len64(uint64(us)) - 1 // us in [2^exp, 2^(exp+1))
+	if exp > recMaxExp {
+		return recBucketCount - 1
+	}
+	sub := (us >> uint(exp-recSubBits)) - recSubCount // 0..recSubCount-1
+	return recSubCount + (exp-recSubBits)*recSubCount + int(sub)
+}
+
+// recBucketLow returns the lowest microsecond value mapping to bucket i.
+func recBucketLow(i int) int64 {
+	if i < recSubCount {
+		return int64(i)
+	}
+	exp := recSubBits + (i-recSubCount)/recSubCount
+	sub := int64((i - recSubCount) % recSubCount)
+	return (recSubCount + sub) << uint(exp-recSubBits)
+}
+
+// recBucketHigh returns the exclusive upper microsecond bound of bucket i.
+func recBucketHigh(i int) int64 {
+	if i >= recBucketCount-1 {
+		return recBucketLow(i) * 2 // open-ended top bucket; nominal width
+	}
+	return recBucketLow(i + 1)
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (r *Recorder) Observe(d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.count.Add(1)
+	r.sumNs.Add(int64(d))
+	for {
+		cur := r.maxNs.Load()
+		if int64(d) <= cur || r.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	r.buckets[recBucketIndex(d.Microseconds())].Add(1)
+}
+
+// Count returns how many observations have been recorded.
+func (r *Recorder) Count() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.count.Load()
+}
+
+// Merge folds other into r bucket by bucket. Concurrent Observes on
+// either side may skew totals by the in-flight observations, as with
+// Histogram.Snapshot; merging quiescent recorders is exact.
+func (r *Recorder) Merge(other *Recorder) {
+	if r == nil || other == nil {
+		return
+	}
+	r.count.Add(other.count.Load())
+	r.sumNs.Add(other.sumNs.Load())
+	om := other.maxNs.Load()
+	for {
+		cur := r.maxNs.Load()
+		if om <= cur || r.maxNs.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	for i := range r.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			r.buckets[i].Add(n)
+		}
+	}
+}
+
+// RecorderSnapshot is the JSON-friendly point-in-time view of a
+// Recorder: totals plus interpolated quantiles in milliseconds. The
+// quantile error is bounded by the sub-bucket width (~3.1% relative)
+// except in the saturated top bucket; Max is exact.
+type RecorderSnapshot struct {
+	Count int64   `json:"count"`
+	AvgMs float64 `json:"avgMs"`
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+// Quantile returns the estimated q-quantile (0 < q <= 1) in
+// milliseconds: the landing bucket is found by cumulative rank and the
+// value interpolated linearly inside it, clamped to the recorded max.
+func (r *Recorder) Quantile(q float64) float64 {
+	if r == nil {
+		return 0
+	}
+	total := r.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := int64(0)
+	maxMs := float64(r.maxNs.Load()) / float64(time.Millisecond)
+	for i := range r.buckets {
+		c := r.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= target {
+			lo, hi := float64(recBucketLow(i))/1000, float64(recBucketHigh(i))/1000
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			v := lo + frac*(hi-lo)
+			if v > maxMs {
+				// Max is tracked exactly, so it caps every estimate —
+				// including the all-zeros case where maxMs is 0.
+				v = maxMs
+			}
+			return v
+		}
+		cum += c
+	}
+	return maxMs
+}
+
+// Snapshot returns the current totals and headline quantiles.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	var s RecorderSnapshot
+	if r == nil {
+		return s
+	}
+	s.Count = r.count.Load()
+	if s.Count > 0 {
+		s.AvgMs = float64(r.sumNs.Load()) / float64(s.Count) / float64(time.Millisecond)
+	}
+	s.P50Ms = r.Quantile(0.50)
+	s.P90Ms = r.Quantile(0.90)
+	s.P95Ms = r.Quantile(0.95)
+	s.P99Ms = r.Quantile(0.99)
+	s.MaxMs = float64(r.maxNs.Load()) / float64(time.Millisecond)
+	return s
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the oracle: the nearest-rank quantile of a sorted
+// sample, the definition the recorder approximates.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// TestRecorderQuantileAccuracy draws seeded samples from three latency
+// shapes (uniform, log-normal, bimodal-with-tail) and asserts every
+// headline quantile is within the recorder's design bound — the
+// sub-bucket relative error (~3.1%) plus interpolation slack — of the
+// exact sorted-sample oracle.
+func TestRecorderQuantileAccuracy(t *testing.T) {
+	const relBound = 0.05 // 1/32 bucket width + interpolation slack
+	shapes := map[string]func(r *rand.Rand) time.Duration{
+		"uniform": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(int64(200 * time.Millisecond)))
+		},
+		"lognormal": func(r *rand.Rand) time.Duration {
+			return time.Duration(math.Exp(r.NormFloat64()*1.2+10)) * time.Microsecond
+		},
+		"bimodal": func(r *rand.Rand) time.Duration {
+			if r.Float64() < 0.05 {
+				return time.Duration(1+r.Int63n(4)) * time.Second // slow tail
+			}
+			return time.Duration(1+r.Int63n(10)) * time.Millisecond
+		},
+	}
+	for name, draw := range shapes {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var rec Recorder
+			samples := make([]time.Duration, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				d := draw(rng)
+				samples = append(samples, d)
+				rec.Observe(d)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.50, 0.90, 0.95, 0.99} {
+				want := float64(exactQuantile(samples, q)) / float64(time.Millisecond)
+				got := rec.Quantile(q)
+				if want == 0 {
+					continue
+				}
+				if rel := math.Abs(got-want) / want; rel > relBound {
+					t.Errorf("q%.2f: recorder %.4fms vs oracle %.4fms (relative error %.1f%% > %.0f%%)",
+						q, got, want, rel*100, relBound*100)
+				}
+			}
+			// Max is exact, not bucketed.
+			wantMax := float64(samples[len(samples)-1]) / float64(time.Millisecond)
+			if got := rec.Snapshot().MaxMs; math.Abs(got-wantMax) > 1e-9 {
+				t.Errorf("max: got %.6fms want %.6fms", got, wantMax)
+			}
+		})
+	}
+}
+
+// TestRecorderMergeAssociative checks (A ∪ B) ∪ C == A ∪ (B ∪ C) and
+// that the merged view equals recording every sample into one recorder
+// directly — the property that makes per-worker recorders combinable.
+func TestRecorderMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]*Recorder, 3)
+	var all Recorder
+	for i := range parts {
+		parts[i] = &Recorder{}
+		for j := 0; j < 5000; j++ {
+			d := time.Duration(rng.Int63n(int64(3 * time.Second)))
+			parts[i].Observe(d)
+			all.Observe(d)
+		}
+	}
+	// left: ((A+B)+C), right: (A+(B+C)); merge into fresh recorders so
+	// the parts stay intact.
+	var left, right, bc Recorder
+	left.Merge(parts[0])
+	left.Merge(parts[1])
+	left.Merge(parts[2])
+	bc.Merge(parts[1])
+	bc.Merge(parts[2])
+	right.Merge(parts[0])
+	right.Merge(&bc)
+
+	ls, rs, as := left.Snapshot(), right.Snapshot(), all.Snapshot()
+	if ls != rs {
+		t.Errorf("merge not associative:\nleft  %+v\nright %+v", ls, rs)
+	}
+	if ls != as {
+		t.Errorf("merged differs from direct recording:\nmerged %+v\ndirect %+v", ls, as)
+	}
+}
+
+// TestRecorderConcurrentObserve hammers one recorder from several
+// goroutines (the driver's worker shape) and checks totals; -race
+// guards the memory model.
+func TestRecorderConcurrentObserve(t *testing.T) {
+	var rec Recorder
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				rec.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := rec.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	s := rec.Snapshot()
+	if s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.MaxMs < s.P99Ms {
+		t.Fatalf("implausible snapshot: %+v", s)
+	}
+}
+
+// TestRecorderZeroAndNil covers the nil-safe and empty paths.
+func TestRecorderZeroAndNil(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Observe(time.Second) // must not panic
+	nilRec.Merge(&Recorder{})
+	if s := nilRec.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot: %+v", s)
+	}
+	var empty Recorder
+	if s := empty.Snapshot(); s != (RecorderSnapshot{}) {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	empty.Observe(-time.Second) // clamps, not panics
+	if empty.Count() != 1 || empty.Quantile(0.5) != 0 {
+		t.Fatalf("negative observation mishandled: %+v", empty.Snapshot())
+	}
+}

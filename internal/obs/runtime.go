@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"runtime"
+	rtm "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime/metrics batch so the gauge
+// closures registered by RegisterRuntimeGauges share a single Read per
+// snapshot burst instead of re-sampling the runtime once per gauge.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []rtm.Sample
+}
+
+// runtimeMetricNames are the runtime/metrics keys the gauges read,
+// indexed by position in runtimeSampler.samples.
+var runtimeMetricNames = []string{
+	"/memory/classes/heap/objects:bytes", // heap in-use by live+dead objects
+	"/gc/heap/allocs:bytes",              // cumulative allocated bytes
+	"/gc/pauses:seconds",                 // stop-the-world pause distribution
+	"/sched/goroutines:goroutines",
+}
+
+const runtimeSampleTTL = 250 * time.Millisecond
+
+// refresh re-reads the runtime metrics if the cache is stale.
+func (s *runtimeSampler) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) < runtimeSampleTTL && s.samples != nil {
+		return
+	}
+	if s.samples == nil {
+		s.samples = make([]rtm.Sample, len(runtimeMetricNames))
+		for i, n := range runtimeMetricNames {
+			s.samples[i].Name = n
+		}
+	}
+	rtm.Read(s.samples)
+	s.last = time.Now()
+}
+
+// uint64At returns sample i as int64 (0 when the runtime does not
+// export the metric).
+func (s *runtimeSampler) uint64At(i int) int64 {
+	s.refresh()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples[i].Value.Kind() != rtm.KindUint64 {
+		return 0
+	}
+	return int64(s.samples[i].Value.Uint64())
+}
+
+// pauseP99Ns estimates the p99 GC stop-the-world pause from the
+// cumulative /gc/pauses histogram, in nanoseconds.
+func (s *runtimeSampler) pauseP99Ns(i int) int64 {
+	s.refresh()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples[i].Value.Kind() != rtm.KindFloat64Histogram {
+		return 0
+	}
+	h := s.samples[i].Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(0.99 * float64(total))
+	var cum uint64
+	for j, c := range h.Counts {
+		cum += c
+		if cum >= target && c > 0 {
+			// Buckets[j+1] is the bucket's upper bound in seconds; the
+			// last bucket's bound can be +Inf, fall back to its lower
+			// edge then.
+			hi := h.Buckets[j+1]
+			if hi > 1e9 || hi != hi { // +Inf or NaN guard
+				hi = h.Buckets[j]
+			}
+			return int64(hi * float64(time.Second))
+		}
+	}
+	return 0
+}
+
+// RegisterRuntimeGauges adds Go runtime telemetry to a registry, so
+// /metrics correlates server-side scheduler and GC pressure with the
+// latency a load driver observes from the outside:
+//
+//	go_goroutines        current goroutine count
+//	go_gomaxprocs        scheduler width
+//	go_heap_inuse_bytes  bytes in live+dead heap objects
+//	go_heap_alloc_bytes  cumulative allocated bytes (rate = alloc churn)
+//	go_gc_pause_p99_ns   p99 stop-the-world pause since process start
+//
+// Values are sampled through one shared runtime/metrics batch cached
+// for 250ms, so a snapshot costs one runtime read no matter how many
+// gauges render it.
+func RegisterRuntimeGauges(r *Registry) {
+	s := &runtimeSampler{}
+	r.Gauge("go_goroutines", func() int64 { return s.uint64At(3) })
+	r.Gauge("go_gomaxprocs", func() int64 { return int64(runtime.GOMAXPROCS(0)) })
+	r.Gauge("go_heap_inuse_bytes", func() int64 { return s.uint64At(0) })
+	r.Gauge("go_heap_alloc_bytes", func() int64 { return s.uint64At(1) })
+	r.Gauge("go_gc_pause_p99_ns", func() int64 { return s.pauseP99Ns(2) })
+}

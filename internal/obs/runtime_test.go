@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRuntimeGauges registers the runtime telemetry gauges and checks
+// every one of them renders a plausible live value in a snapshot.
+func TestRuntimeGauges(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeGauges(reg)
+	runtime.GC() // ensure at least one pause sample exists
+	snap := reg.Snapshot()
+
+	asInt := func(name string) int64 {
+		v, ok := snap[name].(int64)
+		if !ok {
+			t.Fatalf("%s missing from snapshot (have %T)", name, snap[name])
+		}
+		return v
+	}
+	if g := asInt("go_goroutines"); g < 1 {
+		t.Errorf("go_goroutines = %d, want >= 1", g)
+	}
+	if p := asInt("go_gomaxprocs"); p < 1 {
+		t.Errorf("go_gomaxprocs = %d, want >= 1", p)
+	}
+	if b := asInt("go_heap_inuse_bytes"); b <= 0 {
+		t.Errorf("go_heap_inuse_bytes = %d, want > 0", b)
+	}
+	if b := asInt("go_heap_alloc_bytes"); b <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %d, want > 0", b)
+	}
+	if p := asInt("go_gc_pause_p99_ns"); p < 0 {
+		t.Errorf("go_gc_pause_p99_ns = %d, want >= 0", p)
+	}
+}

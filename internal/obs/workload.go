@@ -147,15 +147,32 @@ func ShapeHash(q string) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// QueryOutcome classifies how one query ended for the per-shape
+// outcome counters: the same taxonomy the access log and the load
+// driver use, so a shape's /workload row and a bench run report
+// disagree only when the traffic differs.
+type QueryOutcome string
+
+const (
+	OutcomeOK       QueryOutcome = "ok"
+	OutcomeError    QueryOutcome = "error"    // evaluation/protocol failure (4xx/5xx incl. over-mem)
+	OutcomeShed     QueryOutcome = "shed"     // rejected at the in-flight limit (503)
+	OutcomeTimeout  QueryOutcome = "timeout"  // deadline expired (504)
+	OutcomeCanceled QueryOutcome = "canceled" // caller disconnected (499)
+)
+
 // shapeEntry accumulates one query shape's statistics.
 type shapeEntry struct {
-	hash    string
-	example string // normalized shape text, truncated
-	count   int64
-	errors  int64
-	rows    int64
-	bytes   int64
-	lat     Histogram
+	hash     string
+	example  string // normalized shape text, truncated
+	count    int64
+	errors   int64
+	timeouts int64
+	sheds    int64
+	canceled int64
+	rows     int64
+	bytes    int64
+	lat      Histogram
 }
 
 // Workload is a bounded registry of query shapes: for each distinct
@@ -186,8 +203,11 @@ func NewWorkload(maxShapes int) *Workload {
 	return &Workload{shapes: make(map[string]*shapeEntry), maxShapes: maxShapes}
 }
 
-// Record folds one finished query into the registry. Nil-safe.
-func (w *Workload) Record(query string, d time.Duration, rows, bytes int64, isErr bool) {
+// Record folds one finished query into the registry, classified by its
+// outcome (shed and timed-out queries count separately from plain
+// errors, so a shape's row shows *how* it fails, not just that it
+// does). Nil-safe.
+func (w *Workload) Record(query string, d time.Duration, rows, bytes int64, outcome QueryOutcome) {
 	if w == nil {
 		return
 	}
@@ -211,8 +231,15 @@ func (w *Workload) Record(query string, d time.Duration, rows, bytes int64, isEr
 		}
 	}
 	e.count++
-	if isErr {
+	switch outcome {
+	case OutcomeError:
 		e.errors++
+	case OutcomeShed:
+		e.sheds++
+	case OutcomeTimeout:
+		e.timeouts++
+	case OutcomeCanceled:
+		e.canceled++
 	}
 	e.rows += rows
 	e.bytes += bytes
@@ -223,10 +250,13 @@ func (w *Workload) Record(query string, d time.Duration, rows, bytes int64, isEr
 
 // ShapeStat is one shape's aggregated statistics in a snapshot.
 type ShapeStat struct {
-	Hash    string  `json:"hash"`
-	Count   int64   `json:"count"`
-	Errors  int64   `json:"errors,omitempty"`
-	P50Ms   float64 `json:"p50Ms"`
+	Hash     string  `json:"hash"`
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors,omitempty"`
+	Timeouts int64   `json:"timeouts,omitempty"`
+	Sheds    int64   `json:"sheds,omitempty"`
+	Canceled int64   `json:"canceled,omitempty"`
+	P50Ms    float64 `json:"p50Ms"`
 	P95Ms   float64 `json:"p95Ms"`
 	P99Ms   float64 `json:"p99Ms"`
 	AvgMs   float64 `json:"avgMs"`
@@ -265,6 +295,7 @@ func (w *Workload) Snapshot() WorkloadSnapshot {
 		hs := e.lat.Snapshot()
 		st := ShapeStat{
 			Hash: e.hash, Count: e.count, Errors: e.errors,
+			Timeouts: e.timeouts, Sheds: e.sheds, Canceled: e.canceled,
 			P50Ms: hs.P50Ms, P95Ms: hs.P95Ms, P99Ms: hs.P99Ms, AvgMs: hs.AvgMs,
 			Rows: e.rows, Bytes: e.bytes, Example: e.example,
 		}
@@ -307,11 +338,12 @@ func (s WorkloadSnapshot) RenderText() string {
 		b.WriteString("no queries recorded\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-16s %8s %6s %9s %9s %9s %10s %10s\n",
-		"SHAPE", "COUNT", "ERR", "P50", "P95", "P99", "ROWS", "BYTES")
+	fmt.Fprintf(&b, "%-16s %8s %6s %6s %6s %6s %9s %9s %9s %10s %10s\n",
+		"SHAPE", "COUNT", "ERR", "TMOUT", "SHED", "CANCEL", "P50", "P95", "P99", "ROWS", "BYTES")
 	for _, t := range s.Top {
-		fmt.Fprintf(&b, "%-16s %8d %6d %8.1fms %8.1fms %8.1fms %10d %10s\n",
-			t.Hash, t.Count, t.Errors, t.P50Ms, t.P95Ms, t.P99Ms, t.Rows, FormatBytes(t.Bytes))
+		fmt.Fprintf(&b, "%-16s %8d %6d %6d %6d %6d %8.1fms %8.1fms %8.1fms %10d %10s\n",
+			t.Hash, t.Count, t.Errors, t.Timeouts, t.Sheds, t.Canceled,
+			t.P50Ms, t.P95Ms, t.P99Ms, t.Rows, FormatBytes(t.Bytes))
 	}
 	b.WriteString("\n")
 	for _, t := range s.Top {
@@ -334,7 +366,7 @@ func WorkloadFromTraces(traces []*Trace) *Workload {
 		if rows == 0 {
 			rows = int64(tr.Root.Out)
 		}
-		w.Record(tr.Query, tr.Root.Wall, rows, tr.Bytes, false)
+		w.Record(tr.Query, tr.Root.Wall, rows, tr.Bytes, OutcomeOK)
 	}
 	return w
 }

@@ -87,7 +87,7 @@ func TestWorkloadBounds(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		// Distinct predicates give distinct shapes.
 		q := `SELECT ?s WHERE { ?s <http://ex/p` + strings.Repeat("x", i) + `> ?o }`
-		w.Record(q, time.Millisecond, 1, 100, false)
+		w.Record(q, time.Millisecond, 1, 100, OutcomeOK)
 	}
 	snap := w.Snapshot()
 	if snap.Shapes != 5 { // 4 distinct + overflow
@@ -112,8 +112,8 @@ func TestWorkloadBounds(t *testing.T) {
 // and the error flag counted.
 func TestWorkloadRecordAggregates(t *testing.T) {
 	w := NewWorkload(0)
-	w.Record(`SELECT ?s WHERE { ?s <http://ex/p> "a" }`, time.Millisecond, 5, 500, false)
-	w.Record(`SELECT ?s WHERE { ?s <http://ex/p> "b" }`, 2*time.Millisecond, 3, 300, true)
+	w.Record(`SELECT ?s WHERE { ?s <http://ex/p> "a" }`, time.Millisecond, 5, 500, OutcomeOK)
+	w.Record(`SELECT ?s WHERE { ?s <http://ex/p> "b" }`, 2*time.Millisecond, 3, 300, OutcomeError)
 	snap := w.Snapshot()
 	if snap.Shapes != 1 {
 		t.Fatalf("shapes = %d, want 1", snap.Shapes)
@@ -131,7 +131,7 @@ func TestWorkloadRecordAggregates(t *testing.T) {
 // by default, the text table for Accept: text/plain or ?text=1.
 func TestWorkloadHandler(t *testing.T) {
 	w := NewWorkload(0)
-	w.Record(`SELECT ?s WHERE { ?s ?p ?o }`, time.Millisecond, 2, 64, false)
+	w.Record(`SELECT ?s WHERE { ?s ?p ?o }`, time.Millisecond, 2, 64, OutcomeOK)
 	h := WorkloadHandler(w)
 
 	rec := httptest.NewRecorder()
@@ -184,7 +184,7 @@ func TestWorkloadFromTraces(t *testing.T) {
 // timing-dependent fields.
 func TestWorkloadCanonical(t *testing.T) {
 	w := NewWorkload(0)
-	w.Record(`SELECT ?s WHERE { ?s ?p ?o }`, 5*time.Millisecond, 2, 64, false)
+	w.Record(`SELECT ?s WHERE { ?s ?p ?o }`, 5*time.Millisecond, 2, 64, OutcomeOK)
 	c := w.Snapshot().Canonical()
 	top := c.Top[0]
 	if top.P50Ms != 0 || top.P95Ms != 0 || top.P99Ms != 0 || top.AvgMs != 0 {
@@ -192,5 +192,23 @@ func TestWorkloadCanonical(t *testing.T) {
 	}
 	if top.Count != 1 || top.Rows != 2 || top.Bytes != 64 {
 		t.Fatalf("deterministic fields lost: %+v", top)
+	}
+}
+
+// TestWorkloadOutcomeCounters checks shed/timeout/canceled outcomes
+// count separately from plain errors on the same shape.
+func TestWorkloadOutcomeCounters(t *testing.T) {
+	w := NewWorkload(0)
+	q := `SELECT ?s WHERE { ?s <http://ex/p> ?o }`
+	for _, oc := range []QueryOutcome{OutcomeOK, OutcomeError, OutcomeShed, OutcomeShed, OutcomeTimeout, OutcomeCanceled} {
+		w.Record(q, time.Millisecond, 0, 0, oc)
+	}
+	top := w.Snapshot().Top[0]
+	if top.Count != 6 || top.Errors != 1 || top.Sheds != 2 || top.Timeouts != 1 || top.Canceled != 1 {
+		t.Fatalf("outcome counters wrong: %+v", top)
+	}
+	text := w.Snapshot().RenderText()
+	if !strings.Contains(text, "TMOUT") || !strings.Contains(text, "SHED") {
+		t.Fatalf("text view missing outcome columns:\n%s", text)
 	}
 }

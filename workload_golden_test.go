@@ -49,7 +49,7 @@ func TestWorkloadGoldenQueriesCorpus(t *testing.T) {
 				t.Fatalf("%s: %v", file, err)
 			}
 			acct.Finish()
-			wl.Record(text, 0, acct.Rows(), acct.Bytes(), false)
+			wl.Record(text, 0, acct.Rows(), acct.Bytes(), obs.OutcomeOK)
 		}
 	}
 	got := wl.Snapshot().Canonical().RenderText()
