@@ -90,12 +90,18 @@ bench-concurrent:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkParallelGroupBy' -timeout 30m .
 
 # Observability smoke test: boots sparqld on the demo cube with a
-# tracer, trace export, and a debug listener, then drives /metrics
+# tracer, trace export, a debug listener, and the metrics time-series
+# sampler with slo.json as live alert rules, then drives /metrics
 # (JSON and Prometheus text), /healthz, /readyz, /debug/vars, a traced
 # (?explain=1) query, the workload-fingerprint view (/workload, both
-# JSON and text), and the offline trace analyzer over the exported
-# archive. curl -f fails the target on any non-200 response; the trap
-# tears the server down either way.
+# JSON and text), the time-series API (/timeseries), the alert state
+# (/alerts), the HTML dashboard (/debug/dash, which must carry inline
+# SVG), and the offline trace analyzer over the exported archive.
+# A second short-lived server with an absurdly tight SLO (p99 ≤ 0.1µs)
+# and sub-second burn-rate windows proves the alert pipeline actually
+# fires under load — the negative test that guards against an
+# evaluator that never transitions. curl -f fails the target on any
+# non-200 response; the trap tears the servers down either way.
 obs-smoke:
 	@set -e; \
 	$(GO) build -o /tmp/sparqld-smoke ./cmd/sparqld; \
@@ -103,6 +109,7 @@ obs-smoke:
 	rm -f /tmp/sparqld-smoke-traces.jsonl; \
 	/tmp/sparqld-smoke -addr 127.0.0.1:18080 -demo 1000 -trace 8 -sample 1 \
 	  -trace-export /tmp/sparqld-smoke-traces.jsonl \
+	  -slo slo.json -tick 250ms \
 	  -debug-addr 127.0.0.1:18081 >/tmp/sparqld-smoke.log 2>&1 & \
 	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
@@ -123,7 +130,28 @@ obs-smoke:
 	curl -fsS http://127.0.0.1:18081/debug/traces | grep -q 'SELECT'; \
 	curl -fsS 'http://127.0.0.1:18080/workload?text=1' | grep -q 'workload:'; \
 	curl -fsS http://127.0.0.1:18080/workload | grep -q '"shapes"'; \
+	sleep 0.6; \
+	curl -fsS 'http://127.0.0.1:18080/timeseries?window=1m' | grep -c '"series"' >/dev/null; \
+	curl -fsS 'http://127.0.0.1:18080/timeseries?window=1m&name=queries_total' | grep -c 'queries_total' >/dev/null; \
+	curl -fsS http://127.0.0.1:18080/alerts | grep -c '"rules"' >/dev/null; \
+	curl -fsS http://127.0.0.1:18080/debug/dash | grep -c '<svg' >/dev/null; \
+	curl -fsS http://127.0.0.1:18081/debug/dash | grep -c '<svg' >/dev/null; \
+	/tmp/qb2olap-smoke monitor -endpoint http://127.0.0.1:18080 -once | grep -c 'qb2olap monitor' >/dev/null; \
 	/tmp/qb2olap-smoke trace -in /tmp/sparqld-smoke-traces.jsonl -top 3 | grep -q 'Per-operator breakdown'; \
+	printf '{"max_p99_ms": 0.0001}' > /tmp/slo-tight.json; \
+	/tmp/sparqld-smoke -addr 127.0.0.1:18082 -demo 200 -tick 250ms \
+	  -slo /tmp/slo-tight.json -alert-fast 1s -alert-slow 2s \
+	  >/tmp/sparqld-smoke-alert.log 2>&1 & \
+	pid2=$$!; trap 'kill $$pid $$pid2 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -fsS -o /dev/null http://127.0.0.1:18082/healthz 2>/dev/null && break; sleep 0.1; \
+	done; \
+	for i in $$(seq 1 20); do \
+	  curl -fsS -o /dev/null --get http://127.0.0.1:18082/sparql \
+	    --data-urlencode 'query=SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'; \
+	  sleep 0.15; \
+	done; \
+	curl -fsS http://127.0.0.1:18082/alerts | grep -c '"firing": true' >/dev/null; \
 	echo "obs-smoke: ok"
 
 # The chaos suite: the queries/ corpus through endpoint.Remote against

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/demo"
 	"repro/internal/endpoint"
@@ -696,6 +697,44 @@ SELECT ?c (SUM(?v) AS ?total) WHERE {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTimeSeriesTick measures one sampler pass over a registry
+// sized like a live sparqld (counters, gauges, histograms). This is
+// the steady-state cost the time-series layer adds per tick — the
+// per-sample budget the observability PR is accountable to — and it
+// must stay allocation-free after warm-up.
+func BenchmarkTimeSeriesTick(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 20; i++ {
+		c := reg.Counter(fmt.Sprintf("bench_counter_%d", i))
+		c.Add(int64(i * 17))
+	}
+	for i := 0; i < 5; i++ {
+		v := int64(i)
+		reg.Gauge(fmt.Sprintf("bench_gauge_%d", i), func() int64 { return v })
+	}
+	for i := 0; i < 3; i++ {
+		h := reg.Histogram(fmt.Sprintf("bench_hist_%d", i))
+		for j := 0; j < 256; j++ {
+			h.Observe(time.Duration(j%50+1) * time.Millisecond)
+		}
+	}
+	ts := obs.NewTimeSeries(reg, obs.NewLadder(time.Second, 12*time.Hour))
+	now := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	ts.SetNow(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(time.Second)
+		return now
+	})
+	ts.Sample() // warm the sampled-metric cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Sample()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -43,6 +44,7 @@ func cmdBench(args []string) error {
 	traceEvery := fs.Int("trace-every", 0, "trace every Nth request; the slowest traced requests are cross-linked in the report (0 disables)")
 	traceExport := fs.String("trace-export", "", "append sampled traces as JSONL for `qb2olap trace` (with -trace-every)")
 	timeout := fs.Duration("request-timeout", 0, "per-request deadline inside the driver (0 = none)")
+	dashAddr := fs.String("dash-addr", "", "serve a live /debug/dash + /timeseries + /metrics view of this bench run on this address (empty disables)")
 	fs.Parse(args)
 
 	mixNames, weights, err := loadgen.ParseMix(*mix)
@@ -113,6 +115,30 @@ func cmdBench(args []string) error {
 				s.ElapsedMs/1000, s.Sent, s.OK, s.Errors, s.Shed, s.Timeouts, s.InFlight,
 				s.P50Ms, s.P99Ms, s.ThroughputPerSec)
 		}
+	}
+	// -dash-addr: the driver mirrors its accounting into a metrics
+	// registry, a time-series sampler watches it, and a local listener
+	// serves the same dashboard surfaces sparqld has — so a bench run
+	// is browsable live at http://<dash-addr>/debug/dash.
+	if *dashAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeGauges(reg)
+		opts.Metrics = reg
+		series := obs.NewTimeSeries(reg, obs.NewLadder(time.Second, time.Hour))
+		stopSeries := series.Start()
+		defer stopSeries()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		mux.HandleFunc("/timeseries", obs.TimeSeriesHandler(series))
+		mux.HandleFunc("/debug/dash", obs.DashHandler(series, nil, obs.BenchDashConfig()))
+		dashSrv := &http.Server{Addr: *dashAddr, Handler: mux}
+		go func() {
+			if err := dashSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "# bench dashboard listener: %v\n", err)
+			}
+		}()
+		defer dashSrv.Close()
+		fmt.Fprintf(os.Stderr, "# bench dashboard: http://%s/debug/dash\n", *dashAddr)
 	}
 	driver, err := loadgen.New(classes, exec, opts)
 	if err != nil {

@@ -18,6 +18,7 @@
 //	query       run a QL program and print the result cube
 //	sparql      run a raw SPARQL SELECT query
 //	bench       fire a mixed workload at the source and report latency
+//	monitor     live terminal view of a remote sparqld's /timeseries
 //	trace       analyze an exported JSONL trace archive offline
 //
 // Data source flags (shared): -endpoint URL for a remote SPARQL
@@ -58,6 +59,8 @@ func main() {
 		err = cmdSPARQL(args)
 	case "bench":
 		err = cmdBench(args)
+	case "monitor":
+		err = cmdMonitor(args)
 	case "trace":
 		err = cmdTrace(args)
 	case "help", "-h", "--help":
@@ -88,6 +91,8 @@ Subcommands:
   sparql     <source> -query file.rq
   bench      <source> [-mix ql=3,sparql=2,update=1] [-mode closed|open] [-clients N] [-rate R]
              [-requests N | -duration D] [-report f.json] [-trace-every N] [-trace-export f.jsonl]
+             [-dash-addr :8090]
+  monitor    -endpoint URL [-interval D] [-window D] [-once]
   trace      -in traces.jsonl [-top N]
 
 <source> is one of:

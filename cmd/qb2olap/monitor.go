@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// qb2olap monitor: a live terminal view of a remote sparqld. It polls
+// the server's /timeseries (and /alerts, when mounted) JSON APIs every
+// -interval and redraws one frame — stat lines plus Unicode sparklines
+// for throughput, latency quantiles, shed/error rates, and runtime
+// gauges — so a shell is enough to watch a server under load.
+
+// monitorSeries are the series a frame renders, in order. Missing
+// series (e.g. bench_* against a sparqld) are skipped silently.
+var monitorSeries = []struct {
+	name  string
+	label string
+	mode  string // "rate", "p50p99", "gauge"
+	unit  string
+	scale float64
+}{
+	{"queries_total", "queries", "rate", "q/s", 1},
+	{"updates_total", "updates", "rate", "u/s", 1},
+	{"query_latency", "latency", "p50p99", "ms", 1},
+	{"queries_failed_total", "failed", "rate", "/s", 1},
+	{"queries_shed_total", "shed", "rate", "/s", 1},
+	{"queries_inflight", "in flight", "gauge", "", 1},
+	{"go_heap_inuse_bytes", "heap", "gauge", "MiB", 1 << 20},
+	{"go_goroutines", "goroutines", "gauge", "", 1},
+	{"bench_sent_total", "bench sent", "rate", "q/s", 1},
+	{"bench_latency", "bench latency", "p50p99", "ms", 1},
+	{"bench_inflight", "bench in flight", "gauge", "", 1},
+}
+
+// sparkRunes renders values as a Unicode sparkline scaled to the
+// series' own [min(0,min), max] range.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(pts []obs.SeriesPoint, width int) string {
+	if len(pts) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	// Downsample to width by taking the last sample of each cell.
+	vals := make([]float64, 0, width)
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	lo, hi := 0.0, 0.0
+	for _, p := range pts {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+		vals = append(vals, p.V)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for i := len(vals); i < width; i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vals {
+		idx := int((v - lo) / span * float64(len(sparkRunes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+func lastV(pts []obs.SeriesPoint) (float64, bool) {
+	if len(pts) == 0 {
+		return 0, false
+	}
+	return pts[len(pts)-1].V, true
+}
+
+// renderMonitor writes one frame from decoded /timeseries and /alerts
+// snapshots. Split from the fetch loop so tests can render a frame
+// from canned data.
+func renderMonitor(w io.Writer, endpoint string, snap *obs.TimeSeriesSnapshot, alerts *obs.AlertsSnapshot) {
+	const width = 40
+	byName := make(map[string]*obs.SeriesData, len(snap.Series))
+	for i := range snap.Series {
+		byName[snap.Series[i].Name] = &snap.Series[i]
+	}
+	fmt.Fprintf(w, "qb2olap monitor — %s  window %s  tick %dms  %s\n\n",
+		endpoint, time.Duration(snap.WindowMs)*time.Millisecond,
+		snap.TickMs, time.UnixMilli(snap.NowMs).UTC().Format("15:04:05Z"))
+	for _, ms := range monitorSeries {
+		sd, ok := byName[ms.name]
+		if !ok {
+			continue
+		}
+		switch ms.mode {
+		case "rate":
+			v, haveV := lastV(sd.Rate)
+			val := "–"
+			if haveV {
+				val = fmt.Sprintf("%.1f", v/ms.scale)
+			}
+			fmt.Fprintf(w, "%-16s %10s %-4s %s\n", ms.label, val, ms.unit, sparkline(sd.Rate, width))
+		case "p50p99":
+			p50, have50 := lastV(sd.P50)
+			p99, have99 := lastV(sd.P99)
+			val := "–"
+			if have50 && have99 {
+				val = fmt.Sprintf("%.1f/%.1f", p50, p99)
+			}
+			fmt.Fprintf(w, "%-16s %10s %-4s %s  (p50/p99, spark=p99)\n", ms.label, val, ms.unit, sparkline(sd.P99, width))
+		case "gauge":
+			v, haveV := lastV(sd.Points)
+			val := "–"
+			if haveV {
+				val = fmt.Sprintf("%.1f", v/ms.scale)
+			}
+			fmt.Fprintf(w, "%-16s %10s %-4s %s\n", ms.label, val, ms.unit, sparkline(sd.Points, width))
+		}
+	}
+	if alerts != nil {
+		fmt.Fprintf(w, "\nalerts (%d firing, fast %s / slow %s):\n", alerts.Firing,
+			time.Duration(alerts.FastWindowMs)*time.Millisecond,
+			time.Duration(alerts.SlowWindowMs)*time.Millisecond)
+		rules := append([]obs.AlertStatus(nil), alerts.Rules...)
+		sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
+		for _, r := range rules {
+			state := "ok"
+			switch {
+			case r.Firing:
+				state = "FIRING"
+			case !r.FastOK:
+				state = "no data"
+			}
+			fmt.Fprintf(w, "  %-14s %-8s fast=%-10.3f slow=%-10.3f max=%g\n",
+				r.Name, state, r.FastValue, r.SlowValue, r.Max)
+		}
+	}
+}
+
+// fetchJSON decodes one endpoint response; a 404 returns (false, nil)
+// so monitor degrades gracefully against servers without /alerts.
+func fetchJSON(client *http.Client, url string, v any) (bool, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return true, json.NewDecoder(resp.Body).Decode(v)
+}
+
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "", "sparqld base URL (e.g. http://localhost:8080)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	window := fs.Duration("window", 5*time.Minute, "trailing window requested from /timeseries")
+	once := fs.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *endpoint == "" {
+		return fmt.Errorf("monitor: -endpoint is required")
+	}
+	base := strings.TrimRight(*endpoint, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		var snap obs.TimeSeriesSnapshot
+		ok, err := fetchJSON(client, fmt.Sprintf("%s/timeseries?window=%s", base, *window), &snap)
+		if err != nil {
+			return fmt.Errorf("monitor: %w (is sparqld running with -tick > 0?)", err)
+		}
+		if !ok {
+			return fmt.Errorf("monitor: %s/timeseries not found (is sparqld running with -tick > 0?)", base)
+		}
+		var alerts *obs.AlertsSnapshot
+		var as obs.AlertsSnapshot
+		if ok, err := fetchJSON(client, base+"/alerts", &as); err == nil && ok {
+			alerts = &as
+		}
+		if !*once {
+			// ANSI home + clear-to-end redraws in place without scrollback spam.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		renderMonitor(os.Stdout, base, &snap, alerts)
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

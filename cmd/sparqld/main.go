@@ -12,6 +12,9 @@
 //	        [-max-query-mem SIZE]
 //	        [-profile-dir DIR] [-profile-mem SIZE] [-profile-latency DUR]
 //	        [-fault-profile NAME] [-fault-seed N]
+//	        [-tick DUR] [-retention DUR] [-slo file.json]
+//	        [-alert-fast DUR] [-alert-slow DUR]
+//	        [-ready-max-shed RATE] [-ready-shed-window DUR]
 //	        [-progress] [-report file.json]
 //
 // -data loads a Turtle file into the default graph (repeatable);
@@ -58,6 +61,21 @@
 // ID is captured into DIR (size-bounded, oldest deleted first,
 // rate-limited to one capture per 30s).
 //
+// Time series & alerting: every registry metric is sampled each -tick
+// (default 1s) into multi-resolution ring buffers retained for
+// -retention (default 12h), served as windowed JSON at /timeseries
+// (?window=5m&step=10s&name=substr) and as a self-refreshing
+// zero-dependency HTML dashboard at /debug/dash; `qb2olap monitor`
+// renders the same data as a live terminal view. -slo FILE reuses the
+// checked-in SLO thresholds as burn-rate alert rules — a rule fires
+// when both the -alert-fast and -alert-slow windows violate it and
+// resolves when the fast window recovers — with state at /alerts,
+// transition counters in /metrics, and transitions logged.
+// -ready-max-shed RATE flips /readyz to 503 while the shed rate over
+// -ready-shed-window exceeds RATE, so a load balancer drains an
+// overloaded node (liveness at /healthz is unaffected). -tick 0
+// disables all of it at zero cost.
+//
 // -slowlog DUR logs queries at Warn, with their text, when they take
 // at least DUR (e.g. -slowlog 250ms). -debug-addr serves /metrics,
 // /debug/vars, /debug/pprof, and /debug/traces on a second listener,
@@ -87,6 +105,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/eurostat"
 	"repro/internal/faults"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/ql"
 	"repro/internal/rdf"
@@ -150,6 +169,13 @@ func main() {
 	profileLatency := flag.Duration("profile-latency", 0, "capture a profile when a query takes at least this long (requires -profile-dir)")
 	faultProfile := flag.String("fault-profile", "", "inject faults around the protocol handler for chaos testing: "+strings.Join(faults.Names(), ", "))
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault-profile decision sequence")
+	tick := flag.Duration("tick", time.Second, "metrics time-series sampling interval for /timeseries and /debug/dash (0 disables the series, dashboard, and alerts)")
+	retention := flag.Duration("retention", 12*time.Hour, "total time-series history retained across the downsampling ladder")
+	sloFile := flag.String("slo", "", "evaluate this SLO file's thresholds as live burn-rate alert rules at /alerts (requires -tick > 0)")
+	alertFast := flag.Duration("alert-fast", 5*time.Minute, "fast alert window: a rule fires when both windows violate and resolves when this one recovers")
+	alertSlow := flag.Duration("alert-slow", time.Hour, "slow alert window: the sustained half of the burn-rate pair")
+	readyMaxShed := flag.Float64("ready-max-shed", 0, "flip /readyz to 503 while the windowed shed rate exceeds this fraction, e.g. 0.5 (0 disables; requires -tick > 0)")
+	readyShedWindow := flag.Duration("ready-shed-window", time.Minute, "window for the -ready-max-shed readiness shed rate")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug diagnostics on this second address")
 	progress := flag.Bool("progress", false, "print live load progress to stderr")
 	report := flag.String("report", "", "write a JSON run report of the startup load to this file (- for stdout)")
@@ -283,6 +309,31 @@ func main() {
 		srv.Sampler = obs.NewSampler(*sample)
 	}
 
+	// Time-series sampling, burn-rate alerting, and the readiness shed
+	// gate all hang off the -tick sampler; with -tick 0 none of it runs
+	// and the server pays nothing.
+	if *tick > 0 {
+		srv.Series = obs.NewTimeSeries(srv.Metrics(), obs.NewLadder(*tick, *retention))
+		if *sloFile != "" {
+			slo, err := loadgen.LoadSLO(*sloFile)
+			if err != nil {
+				log.Fatalf("sparqld: %v", err)
+			}
+			if rules := loadgen.AlertRules(slo); len(rules) > 0 {
+				srv.Alerts = obs.NewAlerts(srv.Series, srv.Metrics(), rules, *alertFast, *alertSlow, srv.Logger)
+				srv.Series.OnTick = srv.Alerts.Eval
+				log.Printf("sparqld: %d alert rule(s) from %s (fast=%s slow=%s) at /alerts",
+					len(rules), *sloFile, *alertFast, *alertSlow)
+			}
+		}
+		srv.ReadyMaxShedRate = *readyMaxShed
+		srv.ReadyShedWindow = *readyShedWindow
+		stopSeries := srv.Series.Start()
+		defer stopSeries()
+	} else if *sloFile != "" || *readyMaxShed > 0 {
+		log.Fatalf("sparqld: -slo and -ready-max-shed require -tick > 0")
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -318,7 +369,14 @@ func main() {
 		log.Printf("sparqld debug listening on %s (/metrics, /debug/vars, /debug/pprof, /debug/traces)", *debugAddr)
 	}
 
-	log.Printf("sparqld listening on %s (query: /sparql, update: /update, load: /load, stats: /stats, metrics: /metrics, workload: /workload)", *addr)
+	routes := "query: /sparql, update: /update, load: /load, stats: /stats, metrics: /metrics, workload: /workload"
+	if srv.Series != nil {
+		routes += ", timeseries: /timeseries, dashboard: /debug/dash"
+	}
+	if srv.Alerts != nil {
+		routes += ", alerts: /alerts"
+	}
+	log.Printf("sparqld listening on %s (%s)", *addr, routes)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -151,10 +152,34 @@ type Server struct {
 	ProfileLatency  time.Duration
 	ProfileMemBytes int64
 
+	// Series, when set, is the registry's time-series history: it adds
+	// /timeseries (windowed JSON API) and /debug/dash (self-refreshing
+	// HTML dashboard) to the handler, and powers the windowed shed-rate
+	// readiness check. The caller owns the sampling loop (Series.Start).
+	Series *obs.TimeSeries
+
+	// Alerts, when set, is the burn-rate alert evaluator over Series;
+	// it adds /alerts to the handler. Hook Alerts.Eval into
+	// Series.OnTick so rules re-evaluate once per sampling tick.
+	Alerts *obs.Alerts
+
+	// ReadyMaxShedRate, when > 0 with Series set, flips /readyz to 503
+	// while the shed rate (queries_shed_total / queries_total) over
+	// ReadyShedWindow (default 1m) exceeds it — a drowning node asks
+	// its load balancer to drain, while /healthz (liveness) stays 200
+	// so the process is not restarted for being popular.
+	ReadyMaxShedRate float64
+	ReadyShedWindow  time.Duration
+
+	// inflightN tracks /sparql requests currently in the handler, for
+	// the queries_inflight gauge (the shedding limiter in acquire()
+	// bounds evaluation; this gauge reports it).
+	inflightN atomic.Int64
+
 	// Request metrics, all served at /metrics.
 	reg                        *obs.Registry
 	mQueries, mUpdates, mLoads *obs.Counter
-	mErrors, mSlow             *obs.Counter
+	mErrors, mFailed, mSlow    *obs.Counter
 	mShed, mTimeout, mCanceled *obs.Counter
 	mOverMem, mProfiles        *obs.Counter
 	mCost, mCostUnavail        *obs.Counter
@@ -174,6 +199,7 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	s.mUpdates = s.reg.Counter("updates_total")
 	s.mLoads = s.reg.Counter("loads_total")
 	s.mErrors = s.reg.Counter("errors_total")
+	s.mFailed = s.reg.Counter("queries_failed_total")
 	s.mSlow = s.reg.Counter("slow_queries_total")
 	s.mShed = s.reg.Counter("queries_shed_total")
 	s.mTimeout = s.reg.Counter("queries_timeout_total")
@@ -205,6 +231,7 @@ func NewServer(st *store.Store, opts ...sparql.Option) *Server {
 	// operator compares when sizing -max-query-mem.
 	s.reg.Gauge("query_mem_inflight_bytes", s.Resources.Inflight)
 	s.reg.Gauge("query_mem_highwater_bytes", s.Resources.HighWater)
+	s.reg.Gauge("queries_inflight", s.inflightN.Load)
 	// Go runtime telemetry (goroutines, heap, GC pause p99): the
 	// server-side half of a load investigation — driver-observed latency
 	// spikes line up against these or they don't, which localizes the
@@ -253,10 +280,23 @@ func (s *Server) Handler() http.Handler {
 	if s.Workload != nil {
 		mux.HandleFunc("/workload", obs.WorkloadHandler(s.Workload))
 	}
+	s.mountSeries(mux)
 	if s.Debug {
 		obs.RegisterDebug(mux, nil, s.Tracer, s.Slow, nil) // /metrics, /workload already mounted
 	}
 	return s.instrument(mux)
+}
+
+// mountSeries adds the time-series surfaces to a mux when enabled:
+// /timeseries and /debug/dash over Series, /alerts over Alerts.
+func (s *Server) mountSeries(mux *http.ServeMux) {
+	if s.Series != nil {
+		mux.HandleFunc("/timeseries", obs.TimeSeriesHandler(s.Series))
+		mux.HandleFunc("/debug/dash", obs.DashHandler(s.Series, s.Alerts, obs.DefaultDashConfig()))
+	}
+	if s.Alerts != nil {
+		mux.HandleFunc("/alerts", obs.AlertsHandler(s.Alerts))
+	}
 }
 
 // Registry exposes the server's metrics registry so embedders can
@@ -265,10 +305,14 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // DebugHandler returns the standalone diagnostics mux (/metrics,
-// /debug/vars, /debug/pprof, /debug/traces, /debug/slow) for serving on
-// a separate address, keeping profilers off the protocol listener.
+// /debug/vars, /debug/pprof, /debug/traces, /debug/slow, and — when
+// Series/Alerts are set — /timeseries, /debug/dash, /alerts) for
+// serving on a separate address, keeping profilers off the protocol
+// listener.
 func (s *Server) DebugHandler() http.Handler {
-	return obs.DebugMux(s.reg, s.Tracer, s.Slow, s.Workload)
+	mux := obs.DebugMux(s.reg, s.Tracer, s.Slow, s.Workload)
+	s.mountSeries(mux)
+	return mux
 }
 
 // obsResponseWriter captures the response status and size for the
@@ -309,10 +353,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ow := &obsResponseWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(ow, r)
-		d := time.Since(start)
-
 		route := r.URL.Path
+		if route == "/sparql" {
+			s.inflightN.Add(1)
+		}
+		next.ServeHTTP(ow, r)
+		if route == "/sparql" {
+			s.inflightN.Add(-1)
+		}
+		d := time.Since(start)
 		switch route {
 		case "/sparql":
 			s.mQueries.Inc()
@@ -326,6 +375,14 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		if ow.status >= 400 {
 			s.mErrors.Inc()
+		}
+		// queries_failed_total counts user-visible /sparql failures —
+		// the numerator of the alerting error rate. Sheds (503) and
+		// client disconnects (499) are excluded: shedding has its own
+		// rate, and a caller hanging up is not a server failure.
+		if route == "/sparql" && !ow.costOnly && ow.status >= 400 &&
+			ow.status != http.StatusServiceUnavailable && ow.status != statusClientClosedRequest {
+			s.mFailed.Inc()
 		}
 		// Resilience outcome for the access log: shed, timeout, and
 		// canceled lines are what an operator greps for when tuning
@@ -366,7 +423,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			s.mSlow.Inc()
 			entry := obs.SlowEntry{
 				When: start, Duration: d, Query: ow.query, Status: ow.status,
-				TraceID: ow.traceID, Rows: rows, MemBytes: mem, MemPeak: peak,
+				TraceID: ow.traceID, Shape: obs.ShapeHash(ow.query),
+				Rows: rows, MemBytes: mem, MemPeak: peak,
 			}
 			// Price the query after the fact so the slow-query log pairs
 			// estimated cost with measured latency; the planning pass is
@@ -747,13 +805,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz is the readiness probe: it exercises the read path a
 // query depends on — a store snapshot and the statistics cache — and
 // reports 503 if either fails, so load balancers stop routing before
-// queries start erroring.
+// queries start erroring. With Series and ReadyMaxShedRate set it also
+// reports 503 while the windowed shed rate exceeds the threshold —
+// sustained overload drains the node without restarting it (liveness
+// at /healthz is unaffected).
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	ready := struct {
-		Ready  bool   `json:"ready"`
-		Quads  int    `json:"quads"`
-		Graphs int    `json:"graphs"`
-		Error  string `json:"error,omitempty"`
+		Ready    bool    `json:"ready"`
+		Quads    int     `json:"quads"`
+		Graphs   int     `json:"graphs"`
+		ShedRate float64 `json:"shedRate,omitempty"`
+		Error    string  `json:"error,omitempty"`
 	}{Ready: true}
 	err := func() (err error) {
 		defer func() {
@@ -767,6 +829,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		ready.Graphs = len(stats.Graphs)
 		return nil
 	}()
+	if err == nil && s.Series != nil && s.ReadyMaxShedRate > 0 {
+		window := s.ReadyShedWindow
+		if window <= 0 {
+			window = time.Minute
+		}
+		if rate, ok := s.Series.Ratio("queries_shed_total", "queries_total", window); ok {
+			ready.ShedRate = rate
+			if rate > s.ReadyMaxShedRate {
+				err = fmt.Errorf("shedding %.1f%% of queries over the last %s (limit %.1f%%)",
+					rate*100, window, s.ReadyMaxShedRate*100)
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err != nil {
 		ready.Ready = false

@@ -21,6 +21,15 @@ type Driver struct {
 	states   []*classState
 	inflight atomic.Int64
 	slow     slowList
+	bm       *benchMetrics
+}
+
+// benchMetrics mirrors the per-request accounting into a metrics
+// registry (Options.Metrics), one counter per outcome plus the latency
+// histogram, so a time-series sampler can watch the run live.
+type benchMetrics struct {
+	sent, ok, errs, shed, timeouts, canceled *obs.Counter
+	lat                                      *obs.Histogram
 }
 
 // classState is the per-class accumulator shared by all workers.
@@ -70,6 +79,18 @@ func New(classes []Class, exec Executor, opts Options) (*Driver, error) {
 		d.states[i] = &classState{}
 	}
 	d.slow.k = opts.SlowestK
+	if reg := opts.Metrics; reg != nil {
+		d.bm = &benchMetrics{
+			sent:     reg.Counter("bench_sent_total"),
+			ok:       reg.Counter("bench_ok_total"),
+			errs:     reg.Counter("bench_errors_total"),
+			shed:     reg.Counter("bench_shed_total"),
+			timeouts: reg.Counter("bench_timeouts_total"),
+			canceled: reg.Counter("bench_canceled_total"),
+			lat:      reg.Histogram("bench_latency"),
+		}
+		reg.Gauge("bench_inflight", d.inflight.Load)
+	}
 	return d, nil
 }
 
@@ -201,7 +222,8 @@ func (d *Driver) execute(ctx context.Context, o op, intended time.Time, ph *obs.
 	}
 	cs.lat.Observe(latency)
 
-	switch Classify(err) {
+	outcome := Classify(err)
+	switch outcome {
 	case obs.OutcomeOK:
 		cs.ok.Add(1)
 	case obs.OutcomeShed:
@@ -212,6 +234,22 @@ func (d *Driver) execute(ctx context.Context, o op, intended time.Time, ph *obs.
 		cs.canceled.Add(1)
 	default:
 		cs.errs.Add(1)
+	}
+	if bm := d.bm; bm != nil {
+		bm.sent.Inc()
+		bm.lat.Observe(latency)
+		switch outcome {
+		case obs.OutcomeOK:
+			bm.ok.Inc()
+		case obs.OutcomeShed:
+			bm.shed.Inc()
+		case obs.OutcomeTimeout:
+			bm.timeouts.Inc()
+		case obs.OutcomeCanceled:
+			bm.canceled.Inc()
+		default:
+			bm.errs.Inc()
+		}
 	}
 	ph.Add(1)
 

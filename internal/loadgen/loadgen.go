@@ -132,6 +132,15 @@ type Options struct {
 	// SlowestK bounds the slowest-requests list in the report
 	// (default 5).
 	SlowestK int
+
+	// Metrics, when non-nil, receives live driver-side metrics —
+	// bench_sent_total / bench_ok_total / bench_errors_total /
+	// bench_shed_total / bench_timeouts_total / bench_canceled_total
+	// counters, the bench_latency histogram, and a bench_inflight
+	// gauge — so a bench run sampled into an obs.TimeSeries is visible
+	// on the same /timeseries + /debug/dash surfaces as the server it
+	// drives (qb2olap bench -dash-addr).
+	Metrics *obs.Registry
 }
 
 // Classify maps an executor error to the outcome taxonomy the server

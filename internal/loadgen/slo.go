@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // Thresholds are the gateable limits of an SLO. Zero values mean "not
@@ -42,6 +44,47 @@ func LoadSLO(path string) (*SLO, error) {
 		return nil, fmt.Errorf("loadgen: parsing SLO %s: %w", path, err)
 	}
 	return &s, nil
+}
+
+// AlertRules converts an SLO's global thresholds into live burn-rate
+// alert rules over the server's metrics registry, so the same checked-in
+// slo.json that gates `qb2olap bench` runs also drives continuous
+// monitoring on sparqld (-slo). The mapping targets the server-side
+// metric names of endpoint.Server:
+//
+//	max_p50_ms / max_p99_ms → query_latency quantile over the window
+//	max_error_rate          → Δqueries_failed_total / Δqueries_total
+//	max_shed_rate           → Δqueries_shed_total  / Δqueries_total
+//
+// Per-class thresholds are bench-report-only (the server does not
+// attribute queries to driver classes) and are not converted.
+func AlertRules(s *SLO) []obs.AlertRule {
+	var rules []obs.AlertRule
+	if s.MaxP50Ms > 0 {
+		rules = append(rules, obs.AlertRule{
+			Name: "p50_latency", Kind: obs.RuleQuantile,
+			Metric: "query_latency", Q: 0.50, Max: s.MaxP50Ms,
+		})
+	}
+	if s.MaxP99Ms > 0 {
+		rules = append(rules, obs.AlertRule{
+			Name: "p99_latency", Kind: obs.RuleQuantile,
+			Metric: "query_latency", Q: 0.99, Max: s.MaxP99Ms,
+		})
+	}
+	if s.MaxErrorRate > 0 {
+		rules = append(rules, obs.AlertRule{
+			Name: "error_rate", Kind: obs.RuleRatio,
+			Num: "queries_failed_total", Den: "queries_total", Max: s.MaxErrorRate,
+		})
+	}
+	if s.MaxShedRate > 0 {
+		rules = append(rules, obs.AlertRule{
+			Name: "shed_rate", Kind: obs.RuleRatio,
+			Num: "queries_shed_total", Den: "queries_total", Max: s.MaxShedRate,
+		})
+	}
+	return rules
 }
 
 // Violation is one threshold a run broke.

@@ -80,3 +80,33 @@ func TestLoadSLO(t *testing.T) {
 		t.Fatal("LoadSLO accepted an unknown field")
 	}
 }
+
+// TestAlertRules pins the SLO→burn-rate-rule conversion: each set
+// global threshold becomes one rule wired to the sparqld metric names,
+// and unset thresholds produce no rule.
+func TestAlertRules(t *testing.T) {
+	full := &SLO{
+		Thresholds: Thresholds{MaxP50Ms: 50, MaxP99Ms: 2000, MaxErrorRate: 0.01, MaxShedRate: 0.25},
+		Classes:    map[string]Thresholds{"ql": {MaxP99Ms: 100}},
+	}
+	rules := AlertRules(full)
+	want := []obs.AlertRule{
+		{Name: "p50_latency", Kind: obs.RuleQuantile, Metric: "query_latency", Q: 0.50, Max: 50},
+		{Name: "p99_latency", Kind: obs.RuleQuantile, Metric: "query_latency", Q: 0.99, Max: 2000},
+		{Name: "error_rate", Kind: obs.RuleRatio, Num: "queries_failed_total", Den: "queries_total", Max: 0.01},
+		{Name: "shed_rate", Kind: obs.RuleRatio, Num: "queries_shed_total", Den: "queries_total", Max: 0.25},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("AlertRules produced %d rules, want %d: %+v", len(rules), len(want), rules)
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	// Per-class thresholds do not become rules (the live registry has
+	// no per-class latency split), and an empty SLO yields none.
+	if got := AlertRules(&SLO{Classes: map[string]Thresholds{"ql": {MaxP99Ms: 1}}}); len(got) != 0 {
+		t.Errorf("empty global SLO produced rules: %+v", got)
+	}
+}

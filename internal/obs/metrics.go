@@ -104,41 +104,62 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, HistogramBucket{LeMs: bucketUpperMs(i), Count: counts[i]})
 		}
 	}
-	// Each quantile lands in one log2 bucket; interpolating linearly
-	// by rank inside that bucket turns the coarse upper bound into an
-	// approximation whose error is bounded by the bucket width.
-	quantile := func(q float64) float64 {
-		if total == 0 {
-			return 0
-		}
-		target := q * float64(total)
-		cum := int64(0)
-		for i, c := range counts {
-			if c == 0 {
-				continue
-			}
-			if float64(cum)+float64(c) >= target {
-				lo := 0.0
-				if i > 0 {
-					lo = bucketUpperMs(i - 1)
-				}
-				frac := (target - float64(cum)) / float64(c)
-				if frac < 0 {
-					frac = 0
-				} else if frac > 1 {
-					frac = 1
-				}
-				return lo + frac*(bucketUpperMs(i)-lo)
-			}
-			cum += c
-		}
-		return bucketUpperMs(histBuckets - 1)
-	}
-	s.P50Ms = quantile(0.50)
-	s.P90Ms = quantile(0.90)
-	s.P95Ms = quantile(0.95)
-	s.P99Ms = quantile(0.99)
+	s.P50Ms = quantileFromBuckets(&counts, total, 0.50)
+	s.P90Ms = quantileFromBuckets(&counts, total, 0.90)
+	s.P95Ms = quantileFromBuckets(&counts, total, 0.95)
+	s.P99Ms = quantileFromBuckets(&counts, total, 0.99)
 	return s
+}
+
+// quantileFromBuckets interpolates the q-quantile (in milliseconds)
+// from a log2 bucket-count array totaling total observations. Each
+// quantile lands in one log2 bucket; interpolating linearly by rank
+// inside that bucket turns the coarse upper bound into an
+// approximation whose error is bounded by the bucket width. It is
+// shared by live Histogram snapshots and the time-series windowed
+// quantiles (which diff two cumulative bucket samples first).
+func quantileFromBuckets(counts *[histBuckets]int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = bucketUpperMs(i - 1)
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(bucketUpperMs(i)-lo)
+		}
+		cum += c
+	}
+	return bucketUpperMs(histBuckets - 1)
+}
+
+// Label is one constant name/value pair attached to a labeled gauge.
+// Values are escaped for the Prometheus exposition at registration.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// labeledGauge is one registered gauge instance of a labeled family:
+// the labels, their pre-rendered `{k="v",...}` suffix (Prometheus
+// escaping applied once), and the sampling function.
+type labeledGauge struct {
+	labels []Label
+	suffix string
+	fn     func() int64
 }
 
 // Registry is a named collection of counters, gauges, and histograms.
@@ -148,7 +169,12 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]func() int64
+	labeled  map[string][]labeledGauge
 	hists    map[string]*Histogram
+	// gen counts registrations, so samplers holding a cached view of
+	// the metric set (the time-series collector) can detect new metrics
+	// with one comparison instead of re-walking the maps every tick.
+	gen int64
 }
 
 // NewRegistry returns an empty registry.
@@ -156,6 +182,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]func() int64),
+		labeled:  make(map[string][]labeledGauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -168,6 +195,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.gen++
 	}
 	return c
 }
@@ -177,7 +205,29 @@ func (r *Registry) Counter(name string) *Counter {
 func (r *Registry) Gauge(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gen++
 	r.gauges[name] = fn
+}
+
+// GaugeWith registers a gauge carrying constant labels, e.g.
+// alert_firing{rule="p99_latency"}. All instances of one name form a
+// family sharing a single # TYPE line in the Prometheus exposition; in
+// the JSON snapshot each instance appears under the rendered
+// name{k="v",...} key. Re-registering the same name and label set
+// replaces the sampling function.
+func (r *Registry) GaugeWith(name string, labels []Label, fn func() int64) {
+	suffix := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, lg := range r.labeled[name] {
+		if lg.suffix == suffix {
+			r.labeled[name][i].fn = fn
+			r.gen++
+			return
+		}
+	}
+	r.labeled[name] = append(r.labeled[name], labeledGauge{labels: labels, suffix: suffix, fn: fn})
+	r.gen++
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -188,6 +238,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		h = &Histogram{}
 		r.hists[name] = h
+		r.gen++
 	}
 	return h
 }
@@ -205,6 +256,10 @@ func (r *Registry) Snapshot() map[string]any {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	labeled := make(map[string][]labeledGauge, len(r.labeled))
+	for k, v := range r.labeled {
+		labeled[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -217,6 +272,11 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	for k, fn := range gauges {
 		out[k] = fn()
+	}
+	for k, lgs := range labeled {
+		for _, lg := range lgs {
+			out[k+lg.suffix] = lg.fn()
+		}
 	}
 	for k, h := range hists {
 		out[k] = h.Snapshot()

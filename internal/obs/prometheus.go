@@ -15,6 +15,49 @@ import (
 // summaries — interpolated quantiles in seconds plus _sum and _count —
 // matching how the JSON snapshot reports them.
 
+// promLabelValue escapes a label value for the text exposition:
+// backslash, double quote, and newline are the three characters the
+// 0.0.4 format requires escaping inside a quoted label value.
+func promLabelValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders a label set as the `{k="v",...}` suffix used in
+// both the Prometheus exposition and the JSON snapshot key. Keys are
+// sanitized to the metric-name charset, values escaped per the 0.0.4
+// format. An empty set renders as the empty string.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // promName sanitizes a registry name to [a-zA-Z0-9_:], the Prometheus
 // metric-name charset.
 func promName(name string) string {
@@ -48,6 +91,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	labeled := make(map[string][]labeledGauge, len(r.labeled))
+	for k, v := range r.labeled {
+		labeled[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -64,14 +111,28 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[k].Value())
 	}
 
+	// Plain and labeled gauges of the same base name form one family:
+	// a single # TYPE line, then the unlabeled instance (if any) and
+	// every labeled instance in registration order.
 	names = names[:0]
 	for k := range gauges {
 		names = append(names, k)
 	}
+	for k := range labeled {
+		if _, dup := gauges[k]; !dup {
+			names = append(names, k)
+		}
+	}
 	sort.Strings(names)
 	for _, k := range names {
 		n := promName(k)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[k]())
+		fmt.Fprintf(w, "# TYPE %s gauge\n", n)
+		if fn, ok := gauges[k]; ok {
+			fmt.Fprintf(w, "%s %d\n", n, fn())
+		}
+		for _, lg := range labeled[k] {
+			fmt.Fprintf(w, "%s%s %d\n", n, lg.suffix, lg.fn())
+		}
 	}
 
 	names = names[:0]
@@ -87,7 +148,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			q  string
 			ms float64
 		}{{"0.5", s.P50Ms}, {"0.9", s.P90Ms}, {"0.95", s.P95Ms}, {"0.99", s.P99Ms}} {
-			fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, q.q, q.ms/1000)
+			fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", n, promLabelValue(q.q), q.ms/1000)
 		}
 		fmt.Fprintf(w, "%s_sum %g\n", n, s.SumMs/1000)
 		fmt.Fprintf(w, "%s_count %d\n", n, s.Count)

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"queries_total":   "queries_total",
+		"go.heap.bytes":   "go_heap_bytes",
+		"9lives":          "_9lives",
+		"a-b c":           "a_b_c",
+		"ns:sub_total":    "ns:sub_total",
+		"héllo":           "h__llo", // two UTF-8 bytes, each sanitized
+		"_already_fine_1": "_already_fine_1",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromLabelValueEscaping(t *testing.T) {
+	cases := map[string]string{
+		`plain`:        `plain`,
+		`a"b`:          `a\"b`,
+		`a\b`:          `a\\b`,
+		"a\nb":         `a\nb`,
+		"\\\"\n":       `\\\"\n`,
+		`rule="p99\x"`: `rule=\"p99\\x\"`,
+	}
+	for in, want := range cases {
+		if got := promLabelValue(in); got != want {
+			t.Errorf("promLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderLabels(t *testing.T) {
+	if got := renderLabels(nil); got != "" {
+		t.Errorf("renderLabels(nil) = %q, want empty", got)
+	}
+	labels := []Label{{Key: "rule", Value: `p99"ms\x`}, {Key: "bad key", Value: "v"}}
+	want := `{rule="p99\"ms\\x",bad_key="v"}`
+	if got := renderLabels(labels); got != want {
+		t.Errorf("renderLabels = %q, want %q", got, want)
+	}
+}
+
+// TestWritePrometheusExposition pins the 0.0.4 text format edge cases:
+// sanitized names, escaped label values, one # TYPE line per merged
+// gauge family (plain + labeled instances), and summary quantiles in
+// seconds.
+func TestWritePrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs.total").Add(7)
+	reg.Gauge("depth", func() int64 { return 3 })
+	reg.GaugeWith("depth", []Label{{Key: "queue", Value: `q"1`}}, func() int64 { return 5 })
+	reg.GaugeWith("alert_firing", []Label{{Key: "rule", Value: "p99\nlatency\\"}}, func() int64 { return 1 })
+	reg.Histogram("lat").Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE reqs_total counter\nreqs_total 7\n",
+		// Plain and labeled instances share one family header.
+		"# TYPE depth gauge\ndepth 3\ndepth{queue=\"q\\\"1\"} 5\n",
+		"# TYPE alert_firing gauge\nalert_firing{rule=\"p99\\nlatency\\\\\"} 1\n",
+		"# TYPE lat_seconds summary\n",
+		"lat_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE depth gauge"); got != 1 {
+		t.Errorf("depth family has %d # TYPE lines, want 1", got)
+	}
+	// Quantiles are seconds: a 2ms observation must render well under 1.
+	for _, q := range []string{"0.5", "0.9", "0.95", "0.99"} {
+		if !strings.Contains(out, "lat_seconds{quantile=\""+q+"\"} 0.00") {
+			t.Errorf("missing seconds-scaled quantile %s; got:\n%s", q, out)
+		}
+	}
+}
+
+// TestLabeledGaugeSnapshotKeys pins the JSON snapshot key format for
+// labeled gauges — the full name{k="v"} string is the map key.
+func TestLabeledGaugeSnapshotKeys(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeWith("alert_firing", []Label{{Key: "rule", Value: "error_rate"}}, func() int64 { return 1 })
+	snap := reg.Snapshot()
+	v, ok := snap[`alert_firing{rule="error_rate"}`]
+	if !ok || v.(int64) != 1 {
+		t.Fatalf(`snapshot["alert_firing{rule=\"error_rate\"}"] = %v, %v`, v, ok)
+	}
+	// Re-registering the same name+labels replaces the function rather
+	// than duplicating the instance.
+	reg.GaugeWith("alert_firing", []Label{{Key: "rule", Value: "error_rate"}}, func() int64 { return 0 })
+	snap = reg.Snapshot()
+	if v := snap[`alert_firing{rule="error_rate"}`]; v.(int64) != 0 {
+		t.Errorf("replaced labeled gauge = %v, want 0", v)
+	}
+}

@@ -17,6 +17,11 @@ type SlowEntry struct {
 	Status   int           `json:"status,omitempty"`
 	TraceID  TraceID       `json:"traceId,omitempty"`
 
+	// Shape is the ShapeHash of the query, joining the entry against
+	// the per-shape workload statistics at /workload (same cross-link
+	// pattern as TraceID → trace archive).
+	Shape string `json:"shape,omitempty"`
+
 	// Resource account, when the query ran with accounting on:
 	// solutions materialized, approximate cumulative bytes, and peak
 	// in-flight bytes.
@@ -97,8 +102,12 @@ func SlowHandler(l *SlowLog) http.HandlerFunc {
 			if id == "" {
 				id = "-"
 			}
-			fmt.Fprintf(w, "%s  %s  status=%d  trace=%s",
-				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, id)
+			shape := e.Shape
+			if shape == "" {
+				shape = "-"
+			}
+			fmt.Fprintf(w, "%s  %s  status=%d  trace=%s  shape=%s",
+				e.When.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Status, id, shape)
 			if e.Rows > 0 || e.MemBytes > 0 {
 				fmt.Fprintf(w, "  rows=%d  mem=%s  peak=%s",
 					e.Rows, FormatBytes(e.MemBytes), FormatBytes(e.MemPeak))
