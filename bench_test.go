@@ -739,6 +739,76 @@ func BenchmarkTimeSeriesTick(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// A-streaming — the chunked pull pipeline: chunk-size sweep and
+// concurrent throughput under a per-query memory budget the
+// materialized evaluator cannot meet.
+
+// BenchmarkChunkSize sweeps the streaming chunk size on the direct
+// Mary translation (chunk=0 is the materialized baseline). The sweep
+// justifies the 1024-row default: small chunks pay per-boundary
+// overhead and fall below the parallel kernels' batch threshold, huge
+// chunks converge on materialized latency while growing the per-stage
+// footprint. EXPERIMENTS.md A-streaming records the measured curve.
+func BenchmarkChunkSize(b *testing.B) {
+	env := enrichedEnv(b, demoScale)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cs := range []int{0, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("chunk=%d", cs), func(b *testing.B) {
+			client := endpoint.NewLocal(env.Store, sparql.WithChunkSize(cs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cube, err := ql.Execute(client, p.Translation, ql.Direct)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cube.Cells) == 0 {
+					b.Fatal("empty cube")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentQueryStreamed is BenchmarkConcurrentQuery's
+// 64-client configuration under a 40 MB per-query budget — less than a
+// quarter of the direct Mary query's materialized peak, so only the
+// streamed pipeline can run it at all. ns/op per completed query; the
+// acceptance bar is 64-client aggregate throughput holding at least
+// half the single-client rate.
+func BenchmarkConcurrentQueryStreamed(b *testing.B) {
+	const obs = 80000
+	skipIfShort(b, obs)
+	env := enrichedEnv(b, obs)
+	p, err := ql.Prepare(demoQuery, env.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	for _, clients := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			client := endpoint.NewLocal(env.Store,
+				sparql.WithChunkSize(1024), sparql.WithMaxQueryMem(40<<20))
+			b.SetParallelism((clients + gmp - 1) / gmp)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					cube, err := ql.Execute(client, p.Translation, ql.Direct)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(cube.Cells) == 0 {
+						b.Fatal("empty cube")
+					}
+				}
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
 // helpers
 
 func newEmptyStore() *store.Store { return store.New() }

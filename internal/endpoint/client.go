@@ -455,17 +455,49 @@ func (r *Remote) doSelect(ctx context.Context, query, traceparent string) (*spar
 			Err:        fmt.Errorf("endpoint: query failed (%d): %s", resp.StatusCode, strings.TrimSpace(string(body))),
 		}
 	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, wire, &Error{Retryable: true, Err: fmt.Errorf("endpoint: reading query response: %w", err)}
+	// The body is decoded incrementally — bindings are parsed as bytes
+	// arrive instead of buffering the document whole, the client half of
+	// the server's chunk-flushed streaming encoder.
+	res, derr := sparql.DecodeResults(resp.Body)
+	// A streamed response commits its 200 before evaluation finishes;
+	// a mid-stream failure truncates the JSON and names itself in the
+	// trailer (readable only once the body is consumed). The trailer
+	// verdict outranks the decode error: a truncated document it
+	// explains is a server-side abort, not a transport fault.
+	if derr != nil {
+		drainBody(io.NopCloser(resp.Body)) // reach EOF so trailers arrive
 	}
-	res, err := sparql.ResultsFromJSON(body)
-	if err != nil {
+	if code := resp.Trailer.Get(StreamErrorTrailer); code != "" {
+		return nil, wire, streamTrailerError(code)
+	}
+	if derr != nil {
 		// A 200 whose body doesn't decode is a truncated or corrupted
 		// payload; a fresh exchange may deliver it intact.
-		return nil, wire, &Error{Retryable: true, Err: err}
+		return nil, wire, &Error{Retryable: true, Err: derr}
 	}
 	return res, wire, nil
+}
+
+// streamTrailerError maps a stream-error trailer to the *Error the
+// equivalent pre-body failure would have produced: a mem-limit abort is
+// permanent (the same query against the same limit fails the same way),
+// a timeout is worth a fresh exchange, a cancel or internal failure is
+// terminal for this attempt.
+func streamTrailerError(code string) *Error {
+	switch code {
+	case streamErrMemLimit:
+		return &Error{Status: http.StatusTooManyRequests, Retryable: false,
+			Err: fmt.Errorf("endpoint: query aborted mid-stream: memory budget exceeded")}
+	case streamErrTimeout:
+		return &Error{Status: http.StatusGatewayTimeout, Retryable: true,
+			Err: fmt.Errorf("endpoint: query aborted mid-stream: timed out")}
+	case streamErrCanceled:
+		return &Error{Status: statusClientClosedRequest, Retryable: false,
+			Err: fmt.Errorf("endpoint: query aborted mid-stream: canceled")}
+	default:
+		return &Error{Status: http.StatusInternalServerError, Retryable: false,
+			Err: fmt.Errorf("endpoint: query aborted mid-stream: %s", code)}
+	}
 }
 
 // Explain implements Explainer against the server's ?explain=1

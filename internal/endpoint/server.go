@@ -529,6 +529,94 @@ func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
 	}
 }
 
+// StreamErrorTrailer is the HTTP trailer carrying the outcome of a
+// streamed query that failed after the 200 status line was already
+// sent. A streaming response commits its status before evaluation
+// finishes; when evaluation then fails mid-stream, the server truncates
+// the JSON body and names the failure here — "mem-limit", "timeout",
+// "canceled", or "internal" — so Remote can surface a typed error
+// instead of mistaking the truncated document for a transport fault.
+const StreamErrorTrailer = "X-Qb2olap-Stream-Error"
+
+// Stream-error trailer values.
+const (
+	streamErrMemLimit = "mem-limit"
+	streamErrTimeout  = "timeout"
+	streamErrCanceled = "canceled"
+	streamErrInternal = "internal"
+)
+
+// streamErrorCode classifies an evaluation error for the stream trailer
+// (the trailer-phase counterpart of writeEvalError), counting it in the
+// same outcome metrics.
+func (s *Server) streamErrorCode(err error) string {
+	var mle *sparql.MemLimitError
+	switch {
+	case errors.As(err, &mle):
+		s.mOverMem.Inc()
+		return streamErrMemLimit
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mTimeout.Inc()
+		return streamErrTimeout
+	case errors.Is(err, context.Canceled):
+		s.mCanceled.Inc()
+		return streamErrCanceled
+	default:
+		return streamErrInternal
+	}
+}
+
+// streamQuery evaluates a SELECT through the engine's streaming surface
+// and encodes the response incrementally, flushing per chunk. The
+// status line is deferred until the first chunk (or a clean EOF)
+// arrives, so errors at the first chunk boundary — notably a tiny
+// -max-query-mem tripping immediately — still get their proper 429/504
+// status; only an error after bytes have flowed falls back to the
+// trailer.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *sparql.Query) {
+	flusher, _ := w.(http.Flusher)
+	enc := sparql.NewResultsEncoder(w)
+	var vars []string
+	started := false
+	begin := func() error {
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		w.Header().Set("Trailer", StreamErrorTrailer)
+		started = true
+		return enc.Head(vars)
+	}
+	err := s.engine.StreamSelect(ctx, q,
+		func(hd []string) error { vars = hd; return nil },
+		func(rows [][]rdf.Term) error {
+			if !started {
+				if err := begin(); err != nil {
+					return err
+				}
+			}
+			if err := enc.Rows(rows); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	switch {
+	case err != nil && !started:
+		s.writeEvalError(w, err)
+	case err != nil:
+		// Mid-stream failure: the 200 is committed, so truncate the JSON
+		// document and name the failure in the trailer.
+		w.Header().Set(StreamErrorTrailer, s.streamErrorCode(err))
+	default:
+		if !started {
+			if err := begin(); err != nil {
+				return
+			}
+		}
+		enc.Close() //nolint:errcheck // a failed final write has no recovery
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var queryText string
 	switch r.Method {
@@ -670,6 +758,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ow.traceID = id
 	}
 
+	// Untraced SELECTs with the default JSON content type stream: the
+	// response is encoded and flushed chunk by chunk as the pipeline
+	// produces rows, so the server never holds the full result table
+	// alongside its serialization. Traced queries, CSV/TSV, and ASK keep
+	// the materialized path (tracing needs whole-operator counts, the
+	// text encoders need the full table API, ASK is one row).
+	accept := r.Header.Get("Accept")
+	wantText := strings.Contains(accept, "text/csv") || strings.Contains(accept, "text/tab-separated-values")
+	if !traced && !wantText && q.Form == sparql.FormSelect && s.engine.ChunkSize() > 0 {
+		s.streamQuery(ctx, w, q)
+		return
+	}
+
 	var res *sparql.Results
 	if traced {
 		var tr *obs.Trace
@@ -702,7 +803,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	accept := r.Header.Get("Accept")
 	switch {
 	case strings.Contains(accept, "text/csv"):
 		w.Header().Set("Content-Type", "text/csv")

@@ -54,7 +54,22 @@ type Engine struct {
 	// accounting on; see resource.go.
 	resources   *obs.ResourceTracker
 	maxQueryMem int64
+
+	// chunkSize is the solution-chunk granularity of the streaming
+	// pipeline (stream.go): untraced SELECT/ASK queries evaluate through
+	// chunked pull iterators whose buffers hold about chunkSize rows,
+	// with cancellation and memory accounting applied at chunk
+	// boundaries. 0 disables streaming and restores the fully
+	// materialized evaluator. Default defaultChunkSize.
+	chunkSize int
 }
+
+// defaultChunkSize is the default streaming chunk granularity. 1024
+// rows balances per-chunk kernel efficiency (large enough to engage the
+// parallel operators, minParallelRows=128) against per-query buffer
+// footprint (a ~1.5 KB OLAP row × 1024 ≈ 1.5 MB per pipeline stage);
+// see BenchmarkChunkSize for the sweep backing the choice.
+const defaultChunkSize = 1024
 
 // Option configures an Engine at construction time.
 type Option func(*Engine)
@@ -70,10 +85,32 @@ func WithParallelism(n int) Option {
 	return func(e *Engine) { e.SetParallelism(n) }
 }
 
+// WithChunkSize sets the streaming pipeline's chunk granularity in
+// rows. n <= 0 disables streaming: every query evaluates through the
+// fully materialized operators (the pre-streaming engine). The default
+// is defaultChunkSize.
+func WithChunkSize(n int) Option {
+	return func(e *Engine) { e.SetChunkSize(n) }
+}
+
+// ChunkSize reports the streaming chunk granularity (0 = streaming
+// disabled).
+func (e *Engine) ChunkSize() int { return e.chunkSize }
+
+// SetChunkSize changes the streaming chunk granularity (n <= 0
+// disables streaming). It must not be called concurrently with running
+// queries.
+func (e *Engine) SetChunkSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.chunkSize = n
+}
+
 // NewEngine returns an engine over st. The cost-based planner is on by
 // default; pass WithPlanner(false) to disable it.
 func NewEngine(st *store.Store, opts ...Option) *Engine {
-	e := &Engine{store: st, parallelism: runtime.GOMAXPROCS(0), planner: true}
+	e := &Engine{store: st, parallelism: runtime.GOMAXPROCS(0), planner: true, chunkSize: defaultChunkSize}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -237,6 +274,9 @@ func (e *Engine) selectRun(ctx context.Context, q *Query, root *obs.Span) (*Resu
 	r.bindAcct(ctx, root != nil)
 	defer r.closeAcct()
 	collectVars(q, r.vt)
+	if r.streaming() {
+		return r.streamSelect(q)
+	}
 	return r.evalSelect(q)
 }
 
@@ -252,6 +292,9 @@ func (e *Engine) askRun(ctx context.Context, q *Query, root *obs.Span) (bool, er
 	r.bindAcct(ctx, root != nil)
 	defer r.closeAcct()
 	collectVars(q, r.vt)
+	if r.streaming() {
+		return r.streamAsk(q)
+	}
 	rows, err := r.evalGroup(q.Where, []solution{make(solution, len(r.vt.names))}, graphCtx{})
 	if err != nil {
 		return false, err
@@ -317,9 +360,17 @@ func (r *run) evalSelect(q *Query) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.finishSelect(q, rows)
+}
 
+// finishSelect is the tail of SELECT evaluation — grouping/projection,
+// DISTINCT, and SLICE over the materialized WHERE rows. The streaming
+// pipeline (stream.go) reuses it verbatim after a pipeline breaker
+// drains its input.
+func (r *run) finishSelect(q *Query, rows []solution) (*Results, error) {
 	grouped := len(q.GroupBy) > 0 || projectionHasAggregates(q)
 	var res *Results
+	var err error
 	if grouped {
 		res, err = r.evalGrouped(q, rows)
 		if err != nil {
@@ -405,6 +456,25 @@ func exprHasAggregate(e Expression) bool {
 	return false
 }
 
+// selectVars is the projection header of an ungrouped SELECT: sorted
+// visible variables for SELECT *, the projection list otherwise.
+func (r *run) selectVars(q *Query) []string {
+	var vars []string
+	if q.Star {
+		for _, n := range r.vt.names {
+			if !strings.HasPrefix(n, "_") { // hide internal blank-node vars
+				vars = append(vars, n)
+			}
+		}
+		sort.Strings(vars)
+	} else {
+		for _, it := range q.Projection {
+			vars = append(vars, it.Var)
+		}
+	}
+	return vars
+}
+
 func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 	// ORDER BY before projection so order keys may use any variable.
 	if len(q.OrderBy) > 0 {
@@ -421,19 +491,7 @@ func (r *run) evalUngrouped(q *Query, rows []solution) (*Results, error) {
 			return nil, r.cancelErr()
 		}
 	}
-	var vars []string
-	if q.Star {
-		for _, n := range r.vt.names {
-			if !strings.HasPrefix(n, "_") { // hide internal blank-node vars
-				vars = append(vars, n)
-			}
-		}
-		sort.Strings(vars)
-	} else {
-		for _, it := range q.Projection {
-			vars = append(vars, it.Var)
-		}
-	}
+	vars := r.selectVars(q)
 	out := &Results{Vars: vars}
 	psp := r.trace.StartChild("PROJECT", "", len(rows))
 	psp.SetEst(int64(len(rows)))

@@ -102,12 +102,20 @@ func (r *run) pathPairs(p *PropertyPath, s, o rdf.Term, ctx graphCtx) ([][2]rdf.
 				endConstraint = o
 			}
 			var next [][2]rdf.Term
-			// Group current endpoints to avoid repeated scans.
+			// Group current endpoints to avoid repeated scans. Mids are
+			// visited in first-appearance order, not map order, so the
+			// pair order — and with it the result row order — is
+			// deterministic across runs.
 			byMid := make(map[rdf.Term][]rdf.Term)
+			var mids []rdf.Term
 			for _, pr := range cur {
+				if _, ok := byMid[pr[1]]; !ok {
+					mids = append(mids, pr[1])
+				}
 				byMid[pr[1]] = append(byMid[pr[1]], pr[0])
 			}
-			for mid, starts := range byMid {
+			for _, mid := range mids {
+				starts := byMid[mid]
 				pairs, err := r.pathPairs(p.Sub[i], mid, endConstraint, ctx)
 				if err != nil {
 					return nil, err

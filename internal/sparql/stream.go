@@ -1,0 +1,1036 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// This file implements the chunked pull pipeline: the streaming
+// counterpart of evalGroup/evalSelect. Operators consume and produce
+// bounded chunks of solutions instead of whole intermediate tables, so
+// one query's in-flight bytes are proportional to pipeline depth ×
+// chunk size rather than to the largest intermediate result.
+//
+// Design rules (see DESIGN.md §16):
+//
+//   - The pipeline is fully synchronous: every stage's next() runs on
+//     the coordinating goroutine, so there are no pipeline goroutines
+//     to leak and SLICE's early exit is just "stop pulling".
+//     Parallelism still applies *within* a chunk — stages call the same
+//     order-preserving parallel kernels (joinPatternPar, filterRowsPar,
+//     ...) that the materialized path uses, on chunks large enough to
+//     engage them.
+//   - Chunk boundaries carry the cross-cutting concerns: boundIter
+//     checks cancellation, charges the chunk to the query account, and
+//     releases the previous chunk — PR 5's cancellation contract and
+//     PR 7's accounting hooks, moved from operator interiors to chunk
+//     edges. Kernels run on an account-free run copy (run.kernel) so
+//     nothing double-charges.
+//   - Pipeline breakers materialize: ORDER BY and GROUP BY drain their
+//     whole input (drainStream) and fall back to the proven
+//     materialized tail (finishSelect), because sorting and grouping
+//     need every row anyway. UNION and GRAPH ?var buffer their *input*
+//     (usually small) and replay it branch-major / graph-major to keep
+//     the materialized result order. MINUS evaluates its right side
+//     once; SUBSELECT evaluates the subquery once. DISTINCT streams its
+//     emission but retains the seen-key set.
+//   - BGP joins are incremental: bgpIter holds one buffer per join
+//     level and advances the deepest level with pending work, so a
+//     1-row → 80k-match fan-out is emitted chunk by chunk through a
+//     resumable store.Scan cursor instead of materialized at once.
+//
+// Streaming engages only on the untraced path (run.streaming): a traced
+// query needs whole-operator row counts for its spans, so it keeps the
+// materialized evaluator and its goldens stay byte-identical.
+
+// chunkIter is the pull side of the pipeline. next returns the next
+// non-empty chunk, or (nil, nil) once exhausted; close releases any
+// held resources (buffered charges, upstream iterators) and must be
+// safe to call after an error or mid-stream abandonment.
+type chunkIter interface {
+	next() ([]solution, error)
+	close()
+}
+
+// streaming reports whether this run evaluates through the chunked
+// pipeline: enabled by Engine.chunkSize and disabled under tracing.
+func (r *run) streaming() bool { return r.trace == nil && r.e.chunkSize > 0 }
+
+// chunk is the configured chunk size, defensive against a zero value.
+func (r *run) chunk() int {
+	if n := r.e.chunkSize; n > 0 {
+		return n
+	}
+	return defaultChunkSize
+}
+
+// kernel returns a run copy for per-chunk operator kernels: it shares
+// the cancellation plumbing and var table but detaches accounting and
+// tracing — the pipeline charges at chunk boundaries (boundIter)
+// instead, so kernels must not double-charge. ctx is the enclosing
+// graph context, which EXISTS filters read from the run (expr.go).
+func (r *run) kernel(ctx graphCtx) *run {
+	kr := *r
+	kr.acct = nil
+	kr.ownAcct = false
+	kr.trace = nil
+	kr.ctx = ctx
+	return &kr
+}
+
+// boundIter enforces the chunk-boundary contract around one stage: on
+// every pull it (1) checks cancellation, (2) releases the previous
+// chunk's charge — the consumer is done with it, (3) pulls, (4) charges
+// the new chunk, (5) checks the memory budget. The last chunk's charge
+// is dropped at close (or by QueryAcct.Finish on abort), so in-flight
+// gauges track pipeline occupancy: stages × chunk bytes.
+type boundIter struct {
+	r    *run
+	src  chunkIter
+	held int64
+}
+
+func (b *boundIter) next() ([]solution, error) {
+	if b.r.cancelled() {
+		return nil, b.r.cancelErr()
+	}
+	if b.held > 0 {
+		b.r.acct.Release(b.held)
+		b.held = 0
+	}
+	chunk, err := b.src.next()
+	if err != nil || chunk == nil {
+		return nil, err
+	}
+	if b.r.acct != nil && len(chunk) > 0 {
+		b.held = int64(len(chunk)) * approxRowBytes(chunk[0])
+		b.r.acct.Materialize(len(chunk), b.held)
+		if b.r.overMem() {
+			return nil, b.r.memErr()
+		}
+	}
+	return chunk, nil
+}
+
+func (b *boundIter) close() {
+	if b.held > 0 {
+		b.r.acct.Release(b.held)
+		b.held = 0
+	}
+	b.src.close()
+}
+
+func (r *run) bound(src chunkIter) chunkIter { return &boundIter{r: r, src: src} }
+
+// sliceSource re-streams a materialized slice in chunks.
+type sliceSource struct {
+	rows  []solution
+	chunk int
+}
+
+func (s *sliceSource) next() ([]solution, error) {
+	if len(s.rows) == 0 {
+		return nil, nil
+	}
+	n := s.chunk
+	if n <= 0 || n > len(s.rows) {
+		n = len(s.rows)
+	}
+	out := s.rows[:n]
+	s.rows = s.rows[n:]
+	return out, nil
+}
+
+func (s *sliceSource) close() { s.rows = nil }
+
+// mapChunk applies a kernel to every chunk, skipping chunks the kernel
+// empties (a FILTER dropping all rows must not end the stream).
+type mapChunk struct {
+	src chunkIter
+	fn  func([]solution) ([]solution, error)
+}
+
+func (m *mapChunk) next() ([]solution, error) {
+	for {
+		chunk, err := m.src.next()
+		if err != nil || chunk == nil {
+			return nil, err
+		}
+		out, err := m.fn(chunk)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (m *mapChunk) close() { m.src.close() }
+
+// emptyIter is the GRAPH <missing> stage: no output, but close still
+// reaches upstream.
+type emptyIter struct{ src chunkIter }
+
+func (e *emptyIter) next() ([]solution, error) { return nil, nil }
+func (e *emptyIter) close()                    { e.src.close() }
+
+// drainStream materializes a stream — the pipeline-breaker entry. The
+// accumulated rows are charged to the account (they are genuinely
+// retained) with the same accountNew cost model the materialized
+// evaluator uses.
+func drainStream(r *run, src chunkIter) ([]solution, error) {
+	defer src.close()
+	var rows []solution
+	mark := 0
+	for {
+		chunk, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			return rows, nil
+		}
+		rows = append(rows, chunk...)
+		if mark = accountNew(r, rows, mark); r.overMem() {
+			return nil, r.memErr()
+		}
+	}
+}
+
+// streamGroup builds the stage chain for one group graph pattern.
+// Consecutive triple patterns fold into one bgpIter, mirroring
+// evalGroup's BGP batching; every other element becomes one stage
+// wrapped in a chunk boundary.
+func (r *run) streamGroup(g GroupGraphPattern, src chunkIter, gctx graphCtx) chunkIter {
+	kr := r.kernel(gctx)
+	cur := src
+	var bgp []TriplePattern
+	flush := func() {
+		if len(bgp) == 0 {
+			return
+		}
+		pats := bgp
+		bgp = nil
+		cur = r.bound(newBGPIter(r, kr, pats, cur, gctx))
+	}
+	for _, el := range g.Elements {
+		if tp, ok := el.(TriplePattern); ok {
+			bgp = append(bgp, tp)
+			continue
+		}
+		flush()
+		switch e := el.(type) {
+		case FilterElement:
+			expr := e.Expr
+			cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+				return kr.filterRowsPar(expr, chunk), nil
+			}})
+		case BindElement:
+			idx := r.vt.slot(e.Var)
+			expr := e.Expr
+			cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+				out := make([]solution, 0, len(chunk))
+				for _, row := range chunk {
+					nrow := row.clone()
+					if v, err := kr.evalExpr(expr, row); err == nil {
+						nrow[idx] = v
+					}
+					out = append(out, nrow)
+				}
+				return out, nil
+			}})
+		case OptionalElement:
+			if tp, ok := singleTriplePattern(e.Pattern); ok {
+				cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+					return kr.optionalSinglePar(tp, chunk, gctx), nil
+				}})
+			} else {
+				pat := e.Pattern
+				cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+					return kr.optionalPar(pat, chunk, gctx)
+				}})
+			}
+		case UnionElement:
+			cur = r.bound(&unionIter{r: r, branches: e.Branches, src: cur, gctx: gctx})
+		case MinusElement:
+			// The right side evaluates once (materialized, on the real
+			// run so its intermediates are charged), lazily on the first
+			// chunk.
+			pat := e.Pattern
+			var right []solution
+			ready := false
+			cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+				if !ready {
+					var err error
+					right, err = r.evalGroup(pat, []solution{make(solution, len(r.vt.names))}, gctx)
+					if err != nil {
+						return nil, err
+					}
+					ready = true
+				}
+				return kr.minusRowsPar(chunk, right), nil
+			}})
+		case GraphElement:
+			if !e.Graph.IsVar {
+				if gid, ok := r.e.store.GraphID(e.Graph.Term); ok {
+					cur = r.streamGroup(e.Pattern, cur, graphCtx{gid: gid})
+				} else {
+					cur = &emptyIter{src: cur}
+				}
+			} else {
+				cur = r.bound(&graphVarIter{r: r, el: e, src: cur})
+			}
+		case GroupElement:
+			cur = r.streamGroup(e.Pattern, cur, gctx)
+		case ValuesElement:
+			v := e
+			cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+				return kr.joinValues(chunk, v), nil
+			}})
+		case SubSelectElement:
+			sq := e.Query
+			var sub *Results
+			cur = r.bound(&mapChunk{src: cur, fn: func(chunk []solution) ([]solution, error) {
+				if sub == nil {
+					var err error
+					sub, err = r.evalSubSelect(sq, nil)
+					if err != nil {
+						return nil, err
+					}
+				}
+				return kr.joinResults(chunk, sub), nil
+			}})
+		}
+	}
+	flush()
+	return cur
+}
+
+// unionIter buffers its input once and replays it through each branch's
+// pipeline in branch order — the same branch-major concatenation
+// unionPar produces. The input buffer is an extra materialization
+// point; it holds the rows *entering* the UNION, not the branch
+// expansions.
+type unionIter struct {
+	r        *run
+	branches []GroupGraphPattern
+	src      chunkIter
+	gctx     graphCtx
+
+	started bool
+	input   []solution
+	bi      int
+	cur     chunkIter
+}
+
+func (u *unionIter) next() ([]solution, error) {
+	if !u.started {
+		rows, err := drainStream(u.r, u.src)
+		if err != nil {
+			return nil, err
+		}
+		u.input = rows
+		u.started = true
+	}
+	for {
+		if u.cur != nil {
+			chunk, err := u.cur.next()
+			if err != nil {
+				return nil, err
+			}
+			if chunk != nil {
+				return chunk, nil
+			}
+			u.cur.close()
+			u.cur = nil
+		}
+		if u.bi >= len(u.branches) || len(u.input) == 0 {
+			return nil, nil
+		}
+		b := u.branches[u.bi]
+		u.bi++
+		u.cur = u.r.streamGroup(b, &sliceSource{rows: u.input, chunk: u.r.chunk()}, u.gctx)
+	}
+}
+
+func (u *unionIter) close() {
+	if u.cur != nil {
+		u.cur.close()
+		u.cur = nil
+	}
+	if !u.started {
+		u.src.close()
+	}
+	u.input = nil
+}
+
+// graphVarIter implements GRAPH ?g { ... }: input buffered once, then
+// replayed per named graph in id order (the materialized iteration
+// order), with the graph variable bound on cloned seed rows.
+type graphVarIter struct {
+	r   *run
+	el  GraphElement
+	src chunkIter
+
+	started bool
+	input   []solution
+	gids    []store.ID
+	gi      int
+	idx     int
+	cur     chunkIter
+}
+
+func (g *graphVarIter) next() ([]solution, error) {
+	if !g.started {
+		rows, err := drainStream(g.r, g.src)
+		if err != nil {
+			return nil, err
+		}
+		g.input = rows
+		g.gids = g.r.e.store.NamedGraphIDs()
+		g.idx = g.r.vt.slot(g.el.Graph.Var)
+		g.started = true
+	}
+	for {
+		if g.cur != nil {
+			chunk, err := g.cur.next()
+			if err != nil {
+				return nil, err
+			}
+			if chunk != nil {
+				return chunk, nil
+			}
+			g.cur.close()
+			g.cur = nil
+		}
+		if g.gi >= len(g.gids) {
+			return nil, nil
+		}
+		gid := g.gids[g.gi]
+		g.gi++
+		gterm := g.r.e.store.Dict().Term(gid)
+		var seed []solution
+		for _, row := range g.input {
+			if !row[g.idx].IsZero() && row[g.idx] != gterm {
+				continue
+			}
+			nrow := row.clone()
+			nrow[g.idx] = gterm
+			seed = append(seed, nrow)
+		}
+		if len(seed) == 0 {
+			continue
+		}
+		g.cur = g.r.streamGroup(g.el.Pattern, &sliceSource{rows: seed, chunk: g.r.chunk()}, graphCtx{gid: gid})
+	}
+}
+
+func (g *graphVarIter) close() {
+	if g.cur != nil {
+		g.cur.close()
+		g.cur = nil
+	}
+	if !g.started {
+		g.src.close()
+	}
+	g.input = nil
+}
+
+// orderBGP replays evalBGP's greedy join-order selection up front. The
+// heuristic's inputs — the bound-variable set (seeded from the first
+// input row, grown by markBound) and the store's pattern counts — never
+// depend on join outputs, so the order computed here is exactly the
+// order evalBGP would pick join by join.
+func (r *run) orderBGP(patterns []TriplePattern, first solution, gctx graphCtx) []TriplePattern {
+	if r.planned || r.e.DisableReorder || len(patterns) <= 1 {
+		return patterns
+	}
+	remaining := make([]TriplePattern, len(patterns))
+	copy(remaining, patterns)
+	bound := make(map[string]bool)
+	for name, idx := range r.vt.index {
+		if !first[idx].IsZero() {
+			bound[name] = true
+		}
+	}
+	out := make([]TriplePattern, 0, len(patterns))
+	for len(remaining) > 0 {
+		next := 0
+		if len(remaining) > 1 {
+			candidates := make([]int, 0, len(remaining))
+			for i, tp := range remaining {
+				if patternConnected(tp, bound) {
+					candidates = append(candidates, i)
+				}
+			}
+			if len(candidates) == 0 {
+				for i := range remaining {
+					candidates = append(candidates, i)
+				}
+			}
+			best := -1
+			for _, i := range candidates {
+				cost := r.estimateCost(remaining[i], bound, gctx)
+				if best < 0 || cost < best {
+					best = cost
+					next = i
+				}
+			}
+		}
+		tp := remaining[next]
+		remaining = append(remaining[:next], remaining[next+1:]...)
+		out = append(out, tp)
+		markBound(tp, bound)
+	}
+	return out
+}
+
+// bgpLevel is one join level of a bgpIter: its pattern, the rows
+// waiting to be joined, the row scan in progress, and the account
+// charge held for the buffered rows.
+type bgpLevel struct {
+	tp   TriplePattern
+	buf  []solution
+	scan *rowScan
+	held int64
+}
+
+// bgpIter joins a basic graph pattern incrementally. Level 0 consumes
+// input chunks; each advance joins a bounded batch of one level's rows
+// with its pattern and hands the output to the next level. Scheduling
+// is depth-first — always the deepest level with pending work — which
+// bounds every buffer to about one chunk while producing rows in
+// exactly the materialized join order (the per-row join is
+// order-preserving, so depth-first and breadth-first emit the same
+// sequence).
+type bgpIter struct {
+	r    *run // real run: accounting, cancellation, memory errors
+	kr   *run // kernel run for batch joins (no accounting)
+	src  chunkIter
+	gctx graphCtx
+
+	raw    []TriplePattern
+	levels []bgpLevel
+	inited bool
+	srcEOF bool
+}
+
+func newBGPIter(r, kr *run, pats []TriplePattern, src chunkIter, gctx graphCtx) *bgpIter {
+	return &bgpIter{r: r, kr: kr, src: src, gctx: gctx, raw: pats}
+}
+
+func (b *bgpIter) init(first solution) {
+	pats := b.r.orderBGP(b.raw, first, b.gctx)
+	b.levels = make([]bgpLevel, len(pats))
+	for i, tp := range pats {
+		b.levels[i].tp = tp
+	}
+	b.inited = true
+}
+
+func (b *bgpIter) next() ([]solution, error) {
+	for {
+		// Deepest level with pending work.
+		i := -1
+		for l := len(b.levels) - 1; l >= 0; l-- {
+			if len(b.levels[l].buf) > 0 || b.levels[l].scan != nil {
+				i = l
+				break
+			}
+		}
+		if i < 0 {
+			if b.srcEOF {
+				return nil, nil
+			}
+			chunk, err := b.src.next()
+			if err != nil {
+				return nil, err
+			}
+			if chunk == nil {
+				b.srcEOF = true
+				continue
+			}
+			if len(chunk) == 0 {
+				continue
+			}
+			if !b.inited {
+				b.init(chunk[0])
+			}
+			// The input chunk stays charged by the upstream boundary
+			// until the next src pull, which only happens once the
+			// levels drain — no extra charge needed for level 0.
+			b.levels[0].buf = chunk
+			continue
+		}
+		out, err := b.advance(i)
+		if err != nil {
+			return nil, err
+		}
+		if lvl := &b.levels[i]; len(lvl.buf) == 0 && lvl.scan == nil && lvl.held > 0 {
+			b.r.acct.Release(lvl.held)
+			lvl.held = 0
+		}
+		if len(out) == 0 {
+			continue
+		}
+		if i == len(b.levels)-1 {
+			return out, nil
+		}
+		nl := &b.levels[i+1]
+		nl.buf = out
+		if b.r.acct != nil {
+			nl.held = int64(len(out)) * approxRowBytes(out[0])
+			b.r.acct.Materialize(len(out), nl.held)
+			if b.r.overMem() {
+				return nil, b.r.memErr()
+			}
+		}
+	}
+}
+
+// advance joins a bounded amount of level i's buffered rows with its
+// pattern. Large batches take the parallel batch join (the PR 1 kernel,
+// order-preserving merge included); small batches and resumed scans go
+// row by row through a suspendable store cursor, so a single row whose
+// pattern matches the whole store still emits chunk-sized output.
+// Property patterns always batch (path closures have no cursor form).
+// Level 0 rows are shared with the caller (owned=false: single-match
+// rows are cloned); deeper rows are owned and extended in place —
+// joinPatternOwned's exact ownership rule.
+func (b *bgpIter) advance(i int) ([]solution, error) {
+	lvl := &b.levels[i]
+	owned := i > 0
+	max := b.r.chunk()
+	if lvl.scan == nil && (lvl.tp.Path != nil || len(lvl.buf) >= minParallelRows) {
+		n := len(lvl.buf)
+		if n > max {
+			n = max
+		}
+		batch := lvl.buf[:n]
+		lvl.buf = lvl.buf[n:]
+		return b.kr.joinPatternPar(lvl.tp, batch, b.gctx, owned)
+	}
+	var out []solution
+	for len(out) < max {
+		if lvl.scan == nil {
+			if len(lvl.buf) == 0 {
+				break
+			}
+			row := lvl.buf[0]
+			lvl.buf = lvl.buf[1:]
+			lvl.scan = b.kr.newRowScan(lvl.tp, row, b.gctx, owned)
+		}
+		done, err := lvl.scan.emit(&out, max)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			lvl.scan = nil
+		}
+	}
+	return out, nil
+}
+
+func (b *bgpIter) close() {
+	for l := range b.levels {
+		if b.levels[l].held > 0 {
+			b.r.acct.Release(b.levels[l].held)
+			b.levels[l].held = 0
+		}
+	}
+	b.src.close()
+}
+
+// rowScan joins one row with one pattern through a resumable snapshot
+// cursor (store.Scan), replicating joinPatternOwned's semantics: the
+// first match is deferred so a single-match row can be extended in
+// place (when owned) instead of cloned, repeated-variable constraints
+// are enforced by extend, and the scan checks cancellation with the
+// same cadence as the materialized in-scan hook.
+type rowScan struct {
+	r     *run
+	tp    TriplePattern
+	row   solution
+	owned bool
+	sc    *store.Scan
+
+	sBound, pBound, oBound bool
+
+	matches int
+	first   rdf.Triple
+}
+
+func (r *run) newRowScan(tp TriplePattern, row solution, gctx graphCtx, owned bool) *rowScan {
+	gterm := rdf.Term{}
+	if gctx.gid != store.NoID {
+		gterm = r.e.store.Dict().Term(gctx.gid)
+	}
+	s, sBound := r.resolve(tp.S, row)
+	p, pBound := r.resolve(tp.P, row)
+	o, oBound := r.resolve(tp.O, row)
+	var sPat, pPat, oPat rdf.Term
+	if sBound {
+		sPat = s
+	}
+	if pBound {
+		pPat = p
+	}
+	if oBound {
+		oPat = o
+	}
+	return &rowScan{
+		r: r, tp: tp, row: row, owned: owned,
+		sBound: sBound, pBound: pBound, oBound: oBound,
+		sc: r.e.store.MatchScan(gterm, sPat, pPat, oPat),
+	}
+}
+
+// extend writes the pattern's bindings for t into dst, reporting
+// whether repeated-variable constraints hold.
+func (rs *rowScan) extend(dst solution, t rdf.Triple) bool {
+	r, tp := rs.r, rs.tp
+	if tp.S.IsVar && !rs.sBound {
+		idx := r.vt.index[tp.S.Var]
+		if !dst[idx].IsZero() && dst[idx] != t.S {
+			return false
+		}
+		dst[idx] = t.S
+	}
+	if tp.P.IsVar && !rs.pBound {
+		idx := r.vt.index[tp.P.Var]
+		if !dst[idx].IsZero() && dst[idx] != t.P {
+			return false
+		}
+		dst[idx] = t.P
+	}
+	if tp.O.IsVar && !rs.oBound {
+		idx := r.vt.index[tp.O.Var]
+		if !dst[idx].IsZero() && dst[idx] != t.O {
+			return false
+		}
+		dst[idx] = t.O
+	}
+	return true
+}
+
+// emit appends join results to out until the scan is exhausted
+// (done=true) or out reaches max rows; a suspended scan resumes
+// mid-match-list on the next call.
+func (rs *rowScan) emit(out *[]solution, max int) (bool, error) {
+	for len(*out) < max {
+		t, ok := rs.sc.NextTriple()
+		if !ok {
+			if rs.matches == 1 {
+				dst := rs.row
+				if !rs.owned {
+					dst = rs.row.clone()
+				}
+				if rs.extend(dst, rs.first) {
+					*out = append(*out, dst)
+				}
+			}
+			return true, nil
+		}
+		rs.matches++
+		if rs.matches%(cancelCheckRows*4) == 0 && rs.r.cancelled() {
+			return false, rs.r.cancelErr()
+		}
+		switch rs.matches {
+		case 1:
+			rs.first = t
+		case 2:
+			if nrow := rs.row.clone(); rs.extend(nrow, rs.first) {
+				*out = append(*out, nrow)
+			}
+			fallthrough
+		default:
+			if nrow := rs.row.clone(); rs.extend(nrow, t) {
+				*out = append(*out, nrow)
+			}
+		}
+	}
+	return false, nil
+}
+
+// projectStage applies the SELECT projection chunk by chunk — the same
+// per-row logic as evalUngrouped's projection loop.
+func (r *run) projectStage(q *Query, vars []string, src chunkIter) chunkIter {
+	kr := r.kernel(graphCtx{})
+	return r.bound(&mapChunk{src: src, fn: func(chunk []solution) ([]solution, error) {
+		out := make([]solution, 0, len(chunk))
+		for _, row := range chunk {
+			orow := make(solution, len(vars))
+			if q.Star {
+				for i, n := range vars {
+					orow[i] = row[r.vt.index[n]]
+				}
+			} else {
+				for i, it := range q.Projection {
+					if it.Expr == nil {
+						if idx, ok := r.vt.index[it.Var]; ok {
+							orow[i] = row[idx]
+						}
+						continue
+					}
+					if v, err := kr.evalExpr(it.Expr, row); err == nil {
+						orow[i] = v
+					}
+				}
+			}
+			out = append(out, orow)
+		}
+		return out, nil
+	}})
+}
+
+// distinctIter streams DISTINCT: rows pass through in order, dropped
+// when their rendered key (distinctRows' exact key) was seen before.
+// The seen set is the one retained structure — it grows with the number
+// of distinct rows, which is also the size of the final result.
+type distinctIter struct {
+	src  chunkIter
+	seen map[string]struct{}
+}
+
+func (d *distinctIter) next() ([]solution, error) {
+	for {
+		chunk, err := d.src.next()
+		if err != nil || chunk == nil {
+			return nil, err
+		}
+		out := chunk[:0:len(chunk)]
+		for _, row := range chunk {
+			var b strings.Builder
+			for _, t := range row {
+				b.WriteString(t.String())
+				b.WriteByte('\x00')
+			}
+			k := b.String()
+			if _, ok := d.seen[k]; ok {
+				continue
+			}
+			d.seen[k] = struct{}{}
+			out = append(out, row)
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (d *distinctIter) close() { d.src.close() }
+
+// sliceIter applies OFFSET/LIMIT. Once the limit is delivered it stops
+// pulling entirely — upstream work past the limit never runs.
+type sliceIter struct {
+	src    chunkIter
+	offset int
+	limit  int // -1 = unlimited
+	done   bool
+}
+
+func (s *sliceIter) next() ([]solution, error) {
+	if s.done {
+		return nil, nil
+	}
+	for {
+		chunk, err := s.src.next()
+		if err != nil || chunk == nil {
+			s.done = true
+			return nil, err
+		}
+		if s.offset > 0 {
+			if s.offset >= len(chunk) {
+				s.offset -= len(chunk)
+				continue
+			}
+			chunk = chunk[s.offset:]
+			s.offset = 0
+		}
+		if s.limit >= 0 {
+			if len(chunk) > s.limit {
+				chunk = chunk[:s.limit]
+			}
+			s.limit -= len(chunk)
+			if s.limit == 0 {
+				s.done = true
+			}
+		}
+		if len(chunk) > 0 {
+			return chunk, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+	}
+}
+
+func (s *sliceIter) close() { s.src.close() }
+
+// selectStream assembles the full pipeline for a SELECT query. Queries
+// that end in a pipeline breaker (GROUP BY / aggregates / ORDER BY)
+// stream the WHERE clause, materialize at the breaker, and return a
+// finished result table; everything else returns a live chunk iterator
+// of projected rows plus the header.
+func (r *run) selectStream(q *Query) (*Results, chunkIter, []string, error) {
+	seed := []solution{make(solution, len(r.vt.names))}
+	body := r.streamGroup(q.Where, &sliceSource{rows: seed, chunk: r.chunk()}, graphCtx{})
+
+	grouped := len(q.GroupBy) > 0 || projectionHasAggregates(q)
+	if grouped || len(q.OrderBy) > 0 {
+		rows, err := drainStream(r, body)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		res, err := r.finishSelect(q, rows)
+		return res, nil, nil, err
+	}
+
+	vars := r.selectVars(q)
+	it := r.projectStage(q, vars, body)
+	if q.Distinct {
+		it = r.bound(&distinctIter{src: it, seen: make(map[string]struct{})})
+	}
+	if q.Offset > 0 || q.Limit >= 0 {
+		it = &sliceIter{src: it, offset: q.Offset, limit: q.Limit}
+	}
+	return nil, it, vars, nil
+}
+
+// streamSelect is the collector driving selectStream for callers that
+// want a whole Results value: peak in-flight memory is bounded by the
+// pipeline plus the final table, not by intermediate joins.
+func (r *run) streamSelect(q *Query) (*Results, error) {
+	res, it, vars, err := r.selectStream(q)
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		return res, nil
+	}
+	defer it.close()
+	out := &Results{Vars: vars}
+	mark := 0
+	for {
+		chunk, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			return out, nil
+		}
+		for _, row := range chunk {
+			out.Rows = append(out.Rows, row)
+		}
+		// The collected table is retained: charge it (the boundary
+		// charge is released as the pipeline advances).
+		if mark = accountNew(r, out.Rows, mark); r.overMem() {
+			return nil, r.memErr()
+		}
+	}
+}
+
+// streamAsk short-circuits ASK on the first surviving chunk.
+func (r *run) streamAsk(q *Query) (bool, error) {
+	seed := []solution{make(solution, len(r.vt.names))}
+	it := r.streamGroup(q.Where, &sliceSource{rows: seed, chunk: r.chunk()}, graphCtx{})
+	defer it.close()
+	for {
+		chunk, err := it.next()
+		if err != nil {
+			return false, err
+		}
+		if chunk == nil {
+			return false, nil
+		}
+		if len(chunk) > 0 {
+			return true, nil
+		}
+	}
+}
+
+// StreamSelect evaluates a SELECT query and delivers results
+// incrementally: head is called once with the projection header, then
+// chunk is called for every block of rows as the pipeline produces it.
+// An error from either callback aborts evaluation and is returned
+// as-is. Queries ending in a pipeline breaker deliver their (already
+// materialized) result in chunk-size blocks, so consumers can flush
+// uniformly. When streaming is disabled (chunk size 0) or the engine
+// decides to trace, the query evaluates materialized and is delivered
+// the same way.
+func (e *Engine) StreamSelect(ctx context.Context, q *Query, head func(vars []string) error, chunk func(rows [][]rdf.Term) error) error {
+	if q.Form != FormSelect {
+		return fmt.Errorf("sparql: not a SELECT query")
+	}
+	q = e.prepared(q)
+	r := &run{e: e, vt: newVarTable(), planned: q.Planned}
+	r.bindContext(ctx)
+	r.bindAcct(ctx, false)
+	defer r.closeAcct()
+	collectVars(q, r.vt)
+
+	emitTable := func(res *Results) error {
+		if err := head(res.Vars); err != nil {
+			return err
+		}
+		n := e.chunkSize
+		if n <= 0 {
+			n = defaultChunkSize
+		}
+		for lo := 0; lo < len(res.Rows); lo += n {
+			// Delivery honors cancellation even though evaluation is
+			// done: a gone consumer must not be streamed to.
+			if r.cancelled() {
+				return r.cancelErr()
+			}
+			hi := lo + n
+			if hi > len(res.Rows) {
+				hi = len(res.Rows)
+			}
+			if err := chunk(res.Rows[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if !r.streaming() {
+		res, err := r.evalSelect(q)
+		if err != nil {
+			return err
+		}
+		return emitTable(res)
+	}
+	res, it, vars, err := r.selectStream(q)
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		return emitTable(res)
+	}
+	defer it.close()
+	if err := head(vars); err != nil {
+		return err
+	}
+	for {
+		c, err := it.next()
+		if err != nil {
+			return err
+		}
+		if c == nil {
+			return nil
+		}
+		rows := make([][]rdf.Term, len(c))
+		for i, s := range c {
+			rows[i] = s
+		}
+		if err := chunk(rows); err != nil {
+			return err
+		}
+	}
+}

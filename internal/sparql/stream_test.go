@@ -1,0 +1,381 @@
+package sparql
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// streamTestStore is peopleTTL plus a named graph, so the operator
+// equivalence battery can exercise GRAPH (fixed and variable) and
+// EXISTS filters evaluated inside a graph context.
+func streamTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := loadStore(t, peopleTTL)
+	g1 := rdf.NewIRI("http://example.org/g1")
+	g2 := rdf.NewIRI("http://example.org/g2")
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+	st.Insert(rdf.NewQuad(ex("alice"), ex("works"), ex("acme"), g1))
+	st.Insert(rdf.NewQuad(ex("bob"), ex("works"), ex("initech"), g1))
+	st.Insert(rdf.NewQuad(ex("acme"), ex("sector"), rdf.NewLiteral("tech"), g1))
+	st.Insert(rdf.NewQuad(ex("carol"), ex("works"), ex("acme"), g2))
+	return st
+}
+
+// streamEquivQueries covers every streaming operator: BGP joins,
+// FILTER, BIND, OPTIONAL (single and group), UNION, MINUS, VALUES,
+// GRAPH fixed/variable/missing, subselects, property paths, DISTINCT,
+// OFFSET/LIMIT, and the pipeline breakers (ORDER BY, aggregation) that
+// must fall back to the materialized tail.
+var streamEquivQueries = []string{
+	`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p a ex:Person ; ex:name ?name }`,
+	`PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?p ex:knows ?q . ?q ex:name ?name }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name ?a WHERE { ?p ex:name ?name ; ex:age ?a FILTER(?a > 26) }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name ?twice WHERE { ?p ex:name ?name ; ex:age ?a BIND(?a * 2 AS ?twice) }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name ?other WHERE { ?p a ex:Person ; ex:name ?name OPTIONAL { ?p ex:knows ?o . ?o ex:name ?other } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name ?city WHERE { ?p ex:name ?name OPTIONAL { ?p ex:city ?city } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { { ?p a ex:Person ; ex:name ?name } UNION { ?p a ex:Robot ; ex:name ?name } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name MINUS { ?p ex:age ?a FILTER(?a < 31) } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?p ?name WHERE { ?p ex:name ?name VALUES ?p { ex:alice ex:dave } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?who ?org WHERE { GRAPH ex:g1 { ?who ex:works ?org } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?g ?who WHERE { GRAPH ?g { ?who ex:works ?org } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?who WHERE { GRAPH ex:nosuch { ?who ex:works ?org } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?who ?org WHERE { GRAPH ex:g1 { ?who ex:works ?org FILTER EXISTS { ?org ex:sector ?s } } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name ?max WHERE { ?p ex:name ?name { SELECT (MAX(?a) AS ?max) WHERE { ?x ex:age ?a } } }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:city/ex:inCountry/ex:label ?c ; ex:name ?name }`,
+	`PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?country WHERE { ?p ex:city ?c . ?c ex:inCountry ?country }`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p a ex:Person ; ex:name ?name } OFFSET 1 LIMIT 1`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name } ORDER BY DESC(?name) LIMIT 2`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?city (COUNT(?p) AS ?n) WHERE { ?p ex:city ?city } GROUP BY ?city ORDER BY ?city`,
+	`PREFIX ex: <http://example.org/>
+SELECT ?s ?o WHERE { ?s ex:p ?o }`,
+}
+
+// TestStreamingEquivalenceOperators is the package-level half of the
+// streaming acceptance gate: for every operator the pipeline
+// implements, the streamed result must be byte-identical (as JSON) to
+// the materialized evaluator's, at chunk sizes that force both the
+// per-row cursor path (1) and mid-chunk boundaries (3).
+func TestStreamingEquivalenceOperators(t *testing.T) {
+	st := streamTestStore(t)
+	base := NewEngine(st, WithChunkSize(0))
+	for _, cs := range []int{1, 3, 1024} {
+		eng := NewEngine(st, WithChunkSize(cs))
+		for i, qs := range streamEquivQueries {
+			t.Run(fmt.Sprintf("chunk=%d/q%02d", cs, i), func(t *testing.T) {
+				want, err := base.QueryString(qs)
+				if err != nil {
+					t.Fatalf("materialized: %v\n%s", err, qs)
+				}
+				got, err := eng.QueryString(qs)
+				if err != nil {
+					t.Fatalf("streaming: %v\n%s", err, qs)
+				}
+				wj, _ := json.Marshal(want)
+				gj, _ := json.Marshal(got)
+				if !bytes.Equal(wj, gj) {
+					t.Errorf("streamed result differs from materialized\nwant %s\ngot  %s", wj, gj)
+				}
+			})
+		}
+	}
+}
+
+// TestStreamAskParity checks ASK short-circuits through the pipeline
+// with the same verdicts as the materialized path.
+func TestStreamAskParity(t *testing.T) {
+	st := streamTestStore(t)
+	for _, qs := range []string{
+		`PREFIX ex: <http://example.org/> ASK { ?p ex:age ?a FILTER(?a > 34) }`,
+		`PREFIX ex: <http://example.org/> ASK { ?p ex:age ?a FILTER(?a > 99) }`,
+		`PREFIX ex: <http://example.org/> ASK { GRAPH ex:g1 { ?s ex:works ?o } }`,
+	} {
+		q, err := ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewEngine(st, WithChunkSize(0)).Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewEngine(st, WithChunkSize(1)).Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("ASK parity: streaming=%v materialized=%v\n%s", got, want, qs)
+		}
+	}
+}
+
+// TestStreamSelectDelivery checks the incremental delivery contract:
+// head exactly once, every chunk within the configured size, and the
+// concatenation equal to the materialized result.
+func TestStreamSelectDelivery(t *testing.T) {
+	st := streamTestStore(t)
+	qs := `PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name }`
+	q, err := ParseQuery(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEngine(st, WithChunkSize(0)).Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(st, WithChunkSize(2))
+	var vars []string
+	heads := 0
+	var rows [][]rdf.Term
+	err = eng.StreamSelect(context.Background(), q,
+		func(v []string) error { heads++; vars = append([]string(nil), v...); return nil },
+		func(c [][]rdf.Term) error {
+			if len(c) == 0 || len(c) > 2 {
+				t.Errorf("chunk of %d rows with chunk size 2", len(c))
+			}
+			rows = append(rows, c...)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("StreamSelect: %v", err)
+	}
+	if heads != 1 {
+		t.Fatalf("head called %d times, want 1", heads)
+	}
+	got := &Results{Vars: vars, Rows: rows}
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("streamed delivery differs\nwant %s\ngot  %s", wj, gj)
+	}
+}
+
+// TestStreamSelectBreakerDelivery checks that a pipeline-breaker query
+// (ORDER BY) still arrives via the chunk callback in bounded blocks.
+func TestStreamSelectBreakerDelivery(t *testing.T) {
+	st := streamTestStore(t)
+	q, err := ParseQuery(`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name } ORDER BY ?name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st, WithChunkSize(2))
+	var names []string
+	err = eng.StreamSelect(context.Background(), q,
+		func([]string) error { return nil },
+		func(c [][]rdf.Term) error {
+			if len(c) > 2 {
+				t.Errorf("breaker chunk of %d rows with chunk size 2", len(c))
+			}
+			for _, row := range c {
+				names = append(names, row[0].Value)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 || names[0] != "Alice" || names[3] != "Dave" {
+		t.Fatalf("ordered names = %v", names)
+	}
+}
+
+// TestStreamSelectSinkError checks a failing consumer aborts the
+// pipeline and the error comes back as-is.
+func TestStreamSelectSinkError(t *testing.T) {
+	st := streamTestStore(t)
+	q, err := ParseQuery(`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sink full")
+	calls := 0
+	err = NewEngine(st, WithChunkSize(1)).StreamSelect(context.Background(), q,
+		func([]string) error { return nil },
+		func([][]rdf.Term) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sink's own error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("chunk delivered %d times after sink error, want 1", calls)
+	}
+}
+
+// TestStreamSelectCancelMidStream cancels between chunks and expects
+// the cooperative cancellation contract at the next chunk boundary.
+func TestStreamSelectCancelMidStream(t *testing.T) {
+	st := streamTestStore(t)
+	q, err := ParseQuery(`PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?p ex:name ?name }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = NewEngine(st, WithChunkSize(1)).StreamSelect(ctx, q,
+		func([]string) error { return nil },
+		func([][]rdf.Term) error { cancel(); return nil })
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestStreamMemLimit checks the chunk-boundary accounting still
+// enforces -max-query-mem on the streaming path.
+func TestStreamMemLimit(t *testing.T) {
+	st := streamTestStore(t)
+	eng := NewEngine(st, WithChunkSize(1), WithMaxQueryMem(64))
+	_, err := eng.QueryString(`PREFIX ex: <http://example.org/>
+SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	var me *MemLimitError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MemLimitError", err)
+	}
+}
+
+// TestChunkSizeOption pins the option semantics: negative clamps to
+// materialized, zero disables, the default engine streams.
+func TestChunkSizeOption(t *testing.T) {
+	st := streamTestStore(t)
+	if got := NewEngine(st).ChunkSize(); got != defaultChunkSize {
+		t.Errorf("default chunk size = %d, want %d", got, defaultChunkSize)
+	}
+	if got := NewEngine(st, WithChunkSize(0)).ChunkSize(); got != 0 {
+		t.Errorf("WithChunkSize(0) = %d, want 0", got)
+	}
+	if got := NewEngine(st, WithChunkSize(-5)).ChunkSize(); got != 0 {
+		t.Errorf("WithChunkSize(-5) = %d, want 0", got)
+	}
+	e := NewEngine(st)
+	e.SetChunkSize(7)
+	if got := e.ChunkSize(); got != 7 {
+		t.Errorf("SetChunkSize(7) = %d", got)
+	}
+}
+
+// TestResultsEncoderByteIdentity checks the incremental encoder writes
+// exactly the bytes Results.MarshalJSON would, for every chunking of
+// the rows, including the boundary shapes (no rows, nil vars, unbound
+// cells).
+func TestResultsEncoderByteIdentity(t *testing.T) {
+	iri := rdf.NewIRI("http://x/a")
+	lit := rdf.NewLiteral("hi")
+	cases := []*Results{
+		{Vars: []string{"s", "o"}, Rows: [][]rdf.Term{
+			{iri, lit},
+			{iri, {}}, // unbound cell must be omitted
+			{{}, lit},
+		}},
+		{Vars: []string{"s"}, Rows: [][]rdf.Term{}},
+		{Vars: nil, Rows: nil},
+		{Vars: []string{"l"}, Rows: [][]rdf.Term{{rdf.NewLangLiteral("bonjour", "fr")}}},
+	}
+	for i, res := range cases {
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunkRows := range []int{1, 2, 1 << 20} {
+			var buf bytes.Buffer
+			enc := NewResultsEncoder(&buf)
+			if err := enc.Head(res.Vars); err != nil {
+				t.Fatal(err)
+			}
+			for lo := 0; lo < len(res.Rows); lo += chunkRows {
+				hi := lo + chunkRows
+				if hi > len(res.Rows) {
+					hi = len(res.Rows)
+				}
+				if err := enc.Rows(res.Rows[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := enc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("case %d chunk %d: encoder bytes differ\nwant %s\ngot  %s",
+					i, chunkRows, want, buf.Bytes())
+			}
+		}
+	}
+}
+
+// TestDecodeResultsRoundTrip checks the incremental decoder on the
+// encoder's own output and on every truncated prefix, which must fail
+// with a typed, Truncated-classified error — never a panic or a silent
+// partial result.
+func TestDecodeResultsRoundTrip(t *testing.T) {
+	res := &Results{Vars: []string{"s", "n"}, Rows: [][]rdf.Term{
+		{rdf.NewIRI("http://x/a"), rdf.NewInteger(1)},
+		{rdf.NewIRI("http://x/b"), {}},
+	}}
+	doc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResults(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("decoding a well-formed document: %v", err)
+	}
+	gj, _ := json.Marshal(got)
+	if !bytes.Equal(gj, doc) {
+		t.Fatalf("round trip drifted\nwant %s\ngot  %s", doc, gj)
+	}
+
+	for n := 0; n < len(doc); n++ {
+		_, err := DecodeResults(bytes.NewReader(doc[:n]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(doc))
+		}
+		var de *ResultsDecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("prefix %d: error %T is not *ResultsDecodeError: %v", n, err, err)
+		}
+		if !de.Truncated {
+			t.Errorf("prefix %d: truncation not classified as Truncated: %v", n, err)
+		}
+	}
+
+	for _, garbage := range []string{"xyz", `{"head":1}tail`, `[1,2,3]`} {
+		_, err := DecodeResults(bytes.NewReader([]byte(garbage)))
+		var de *ResultsDecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("garbage %q: error %T is not *ResultsDecodeError: %v", garbage, err, err)
+		}
+		if de.Truncated {
+			t.Errorf("garbage %q misclassified as truncation", garbage)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// scanFixture builds a store with n subjects, each carrying a type, a
+// value, and a label, plus one named graph, so every index (SPO, POS,
+// OSP) and both graphs get exercised.
+func scanFixture(n int) *Store {
+	st := New()
+	typ := rdf.NewIRI("http://ex/type")
+	item := rdf.NewIRI("http://ex/Item")
+	val := rdf.NewIRI("http://ex/value")
+	g := rdf.NewIRI("http://ex/g")
+	var ts []rdf.Triple
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/s/%04d", i))
+		ts = append(ts,
+			rdf.NewTriple(s, typ, item),
+			rdf.NewTriple(s, val, rdf.NewInteger(int64(i%7))),
+		)
+	}
+	st.InsertTriples(rdf.Term{}, ts)
+	st.InsertTriples(g, ts[:4])
+	return st
+}
+
+// collectScan drains a cursor into a slice.
+func collectScan(sc *Scan) []IDTriple {
+	var out []IDTriple
+	for {
+		t, ok := sc.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// TestScanMatchesMatchIDs checks the cursor yields exactly the
+// MatchIDs stream, in the same order, for every pattern shape: S / P /
+// O / SP / SO / PO / SPO bound and the full wildcard, on the default
+// graph and a named graph.
+func TestScanMatchesMatchIDs(t *testing.T) {
+	st := scanFixture(50)
+	dict := st.Dict()
+	sid, _ := dict.Lookup(rdf.NewIRI("http://ex/s/0003"))
+	pid, _ := dict.Lookup(rdf.NewIRI("http://ex/value"))
+	oid, _ := dict.Lookup(rdf.NewInteger(3))
+	tid, _ := dict.Lookup(rdf.NewIRI("http://ex/type"))
+	itemID, _ := dict.Lookup(rdf.NewIRI("http://ex/Item"))
+	gid, _ := dict.Lookup(rdf.NewIRI("http://ex/g"))
+
+	pats := []IDTriple{
+		{},
+		{S: sid},
+		{P: pid},
+		{O: oid},
+		{S: sid, P: pid},
+		{S: sid, O: oid},
+		{P: tid, O: itemID},
+		{S: sid, P: pid, O: oid},
+		{S: 9999}, // unknown id: no matches
+	}
+	for _, g := range []ID{NoID, gid} {
+		for _, pat := range pats {
+			var want []IDTriple
+			st.MatchIDs(g, pat, func(tr IDTriple) bool {
+				want = append(want, tr)
+				return true
+			})
+			got := collectScan(st.ScanIDs(g, pat))
+			if len(got) != len(want) {
+				t.Fatalf("g=%d pat=%+v: scan returned %d triples, MatchIDs %d", g, pat, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("g=%d pat=%+v: triple %d differs: %+v vs %+v", g, pat, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScanSnapshotSurvivesWrites checks a suspended cursor keeps
+// reading its creation-time snapshot while a writer mutates the graph —
+// the property the streaming query pipeline relies on to hold a cursor
+// across chunk boundaries without blocking writers.
+func TestScanSnapshotSurvivesWrites(t *testing.T) {
+	st := scanFixture(20)
+	pid, _ := st.Dict().Lookup(rdf.NewIRI("http://ex/value"))
+	pat := IDTriple{P: pid}
+
+	var want []IDTriple
+	st.MatchIDs(NoID, pat, func(tr IDTriple) bool {
+		want = append(want, tr)
+		return true
+	})
+
+	sc := st.ScanIDs(NoID, pat)
+	// Drain half, then mutate: the insert must neither block (the
+	// cursor holds no lock) nor leak into the suspended snapshot.
+	got := make([]IDTriple, 0, len(want))
+	for i := 0; i < len(want)/2; i++ {
+		tr, ok := sc.Next()
+		if !ok {
+			t.Fatal("cursor exhausted early")
+		}
+		got = append(got, tr)
+	}
+	st.InsertTriples(rdf.Term{}, []rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("http://ex/s/zzzz"), rdf.NewIRI("http://ex/value"), rdf.NewInteger(2)),
+	})
+	got = append(got, collectScan(sc)...)
+
+	if len(got) != len(want) {
+		t.Fatalf("snapshot scan saw %d triples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d differs after concurrent write", i)
+		}
+	}
+
+	// A fresh cursor does see the write.
+	if n := len(collectScan(st.ScanIDs(NoID, pat))); n != len(want)+1 {
+		t.Fatalf("fresh scan saw %d triples, want %d", n, len(want)+1)
+	}
+}
+
+// TestMatchScanTermLevel checks term-level cursors resolve terms like
+// Match and return empty cursors for unknown bound terms and graphs.
+func TestMatchScanTermLevel(t *testing.T) {
+	st := scanFixture(10)
+	val := rdf.NewIRI("http://ex/value")
+
+	var want []rdf.Triple
+	st.Match(rdf.Term{}, rdf.Term{}, val, rdf.Term{}, func(tr rdf.Triple) bool {
+		want = append(want, tr)
+		return true
+	})
+	sc := st.MatchScan(rdf.Term{}, rdf.Term{}, val, rdf.Term{})
+	for i := 0; ; i++ {
+		tr, ok := sc.NextTriple()
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("cursor ended after %d triples, want %d", i, len(want))
+			}
+			break
+		}
+		if i >= len(want) || tr != want[i] {
+			t.Fatalf("triple %d differs: %v", i, tr)
+		}
+	}
+
+	if _, ok := st.MatchScan(rdf.Term{}, rdf.NewIRI("http://ex/absent"), rdf.Term{}, rdf.Term{}).NextTriple(); ok {
+		t.Error("unknown bound term must yield an empty cursor")
+	}
+	if _, ok := st.MatchScan(rdf.NewIRI("http://ex/nograph"), rdf.Term{}, rdf.Term{}, rdf.Term{}).NextTriple(); ok {
+		t.Error("unknown graph must yield an empty cursor")
+	}
+}

@@ -397,6 +397,160 @@ func (s *Store) patternIDs(sub, pred, obj rdf.Term) (IDTriple, bool) {
 	return pat, true
 }
 
+// Scan is a resumable cursor over one index snapshot. It is created by
+// ScanIDs/MatchScan under the store's read lock, which captures the
+// refreshed sorted ordering and the seek position; Next then iterates
+// without any locking, because refresh() always builds fresh slices and
+// never mutates a published one (see the package comment's concurrency
+// contract). A Scan may therefore be suspended indefinitely — e.g. held
+// across chunk boundaries by the streaming query pipeline — without
+// holding up writers; like every scan it observes the snapshot current
+// at creation time.
+type Scan struct {
+	dict *Dict
+	idx  []IDTriple
+	pos  int
+	pat  IDTriple
+	mode scanMode
+}
+
+type scanMode uint8
+
+const (
+	scanDone scanMode = iota // exhausted or empty
+	scanSPO                  // S bound: prefix scan of the SPO ordering
+	scanPOS                  // P bound: prefix scan of the POS ordering
+	scanOSP                  // O bound: prefix scan of the OSP ordering
+	scanAll                  // nothing bound: full SPO iteration
+)
+
+// ScanIDs returns a resumable cursor over the id-triples in graph g
+// matching the pattern (NoID components are wildcards), equivalent to
+// MatchIDs but pull-driven. Pass NoID as g for the default graph.
+func (s *Store) ScanIDs(g ID, pat IDTriple) *Scan {
+	s.mu.RLock()
+	gi := s.graphFor(g, false)
+	if gi == nil {
+		s.mu.RUnlock()
+		return &Scan{dict: s.dict}
+	}
+	if gi.dirty {
+		// Same upgrade dance as MatchIDs: rebuild the orderings, then
+		// capture them under the read lock.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		gi.refresh()
+		s.mu.Unlock()
+		s.mu.RLock()
+	}
+	defer s.mu.RUnlock()
+	sc := &Scan{dict: s.dict, pat: pat}
+	switch {
+	case pat.S != NoID:
+		sc.mode = scanSPO
+		sc.idx = gi.spo
+		sc.pos = sort.Search(len(gi.spo), func(i int) bool {
+			return !spoPrefixLess(gi.spo[i], pat)
+		})
+	case pat.P != NoID:
+		sc.mode = scanPOS
+		sc.idx = gi.pos
+		sc.pos = sort.Search(len(gi.pos), func(i int) bool {
+			return !posPrefixLess(gi.pos[i], pat)
+		})
+	case pat.O != NoID:
+		sc.mode = scanOSP
+		sc.idx = gi.osp
+		sc.pos = sort.Search(len(gi.osp), func(i int) bool {
+			return gi.osp[i].O >= pat.O
+		})
+	default:
+		sc.mode = scanAll
+		sc.idx = gi.spo
+	}
+	return sc
+}
+
+// MatchScan is the term-level ScanIDs: zero terms are wildcards, and a
+// bound term missing from the dictionary yields an empty cursor (no
+// triple can match it). Pass the zero Term as g for the default graph.
+func (s *Store) MatchScan(g rdf.Term, sub, pred, obj rdf.Term) *Scan {
+	var gid ID
+	if !g.IsZero() {
+		var ok bool
+		gid, ok = s.dict.Lookup(g)
+		if !ok {
+			return &Scan{dict: s.dict}
+		}
+	}
+	pat, ok := s.patternIDs(sub, pred, obj)
+	if !ok {
+		return &Scan{dict: s.dict}
+	}
+	return s.ScanIDs(gid, pat)
+}
+
+// Next returns the next matching id-triple, applying the same per-index
+// skip/stop rules as scanIndex. ok is false once the cursor is
+// exhausted.
+func (c *Scan) Next() (IDTriple, bool) {
+	for c.pos < len(c.idx) {
+		t := c.idx[c.pos]
+		c.pos++
+		switch c.mode {
+		case scanSPO:
+			if t.S != c.pat.S {
+				c.mode = scanDone
+				return IDTriple{}, false
+			}
+			if c.pat.P != NoID && t.P != c.pat.P {
+				c.mode = scanDone
+				return IDTriple{}, false
+			}
+			if c.pat.O != NoID && t.O != c.pat.O {
+				if c.pat.P != NoID {
+					c.mode = scanDone
+					return IDTriple{}, false
+				}
+				continue
+			}
+		case scanPOS:
+			if t.P != c.pat.P {
+				c.mode = scanDone
+				return IDTriple{}, false
+			}
+			if c.pat.O != NoID && t.O != c.pat.O {
+				if t.O > c.pat.O {
+					c.mode = scanDone
+					return IDTriple{}, false
+				}
+				continue
+			}
+		case scanOSP:
+			if t.O != c.pat.O {
+				c.mode = scanDone
+				return IDTriple{}, false
+			}
+		case scanAll:
+			// full iteration, no filtering
+		default:
+			return IDTriple{}, false
+		}
+		return t, true
+	}
+	c.mode = scanDone
+	return IDTriple{}, false
+}
+
+// NextTriple is Next with the ids resolved back to terms.
+func (c *Scan) NextTriple() (rdf.Triple, bool) {
+	t, ok := c.Next()
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	return rdf.NewTriple(c.dict.Term(t.S), c.dict.Term(t.P), c.dict.Term(t.O)), true
+}
+
 // scanIndex selects the best index for the pattern and streams matches.
 func scanIndex(gi *graphIndex, pat IDTriple, fn func(IDTriple) bool) {
 	switch {

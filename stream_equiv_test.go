@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/ql"
+	"repro/internal/sparql"
+)
+
+// TestStreamingCorpusByteIdentical is the streaming pipeline's
+// acceptance gate for correctness, mirroring the planner gate: every
+// query under queries/ — each QL program through both SPARQL
+// translations, plus the raw .rq probes — must return byte-identical
+// JSON result tables when evaluated through the chunked pipeline at
+// chunk sizes 1 (every boundary exercised), 7 (misaligned boundaries),
+// and 1024 (the default), at engine parallelism 1, 4, and 8, compared
+// against the materialized evaluator. The suite runs under -race via
+// `make race`, so it doubles as a data-race check on the kernels the
+// pipeline shares with the materialized path.
+func TestStreamingCorpusByteIdentical(t *testing.T) {
+	env, err := demo.Build(configFor(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the corpus: both translations of every QL program, plus
+	// every raw SPARQL probe.
+	type probe struct{ name, text string }
+	var probes []probe
+	qlFiles, err := filepath.Glob("queries/*.ql")
+	if err != nil || len(qlFiles) == 0 {
+		t.Fatalf("no QL programs found under queries/: %v", err)
+	}
+	for _, file := range qlFiles {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ql.Prepare(string(src), env.Schema)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		probes = append(probes,
+			probe{filepath.Base(file) + "/direct", p.Translation.Direct},
+			probe{filepath.Base(file) + "/alternative", p.Translation.Alternative})
+	}
+	rqFiles, err := filepath.Glob("queries/*.rq")
+	if err != nil || len(rqFiles) == 0 {
+		t.Fatalf("no .rq probes found under queries/: %v", err)
+	}
+	for _, file := range rqFiles {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, probe{filepath.Base(file), string(src)})
+	}
+
+	for _, par := range []int{1, 4, 8} {
+		base := sparql.NewEngine(env.Store,
+			sparql.WithParallelism(par), sparql.WithChunkSize(0))
+		for _, cs := range []int{1, 7, 1024} {
+			eng := sparql.NewEngine(env.Store,
+				sparql.WithParallelism(par), sparql.WithChunkSize(cs))
+			for _, p := range probes {
+				t.Run(fmt.Sprintf("par=%d/chunk=%d/%s", par, cs, p.name), func(t *testing.T) {
+					want, err := base.QueryString(p.text)
+					if err != nil {
+						t.Fatalf("materialized: %v", err)
+					}
+					got, err := eng.QueryString(p.text)
+					if err != nil {
+						t.Fatalf("streaming: %v", err)
+					}
+					wj, err := want.MarshalJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					gj, err := got.MarshalJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(wj) != string(gj) {
+						t.Errorf("streamed result differs from materialized (%d vs %d rows)",
+							got.Len(), want.Len())
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/obs"
+	"repro/internal/ql"
+	"repro/internal/sparql"
+)
+
+// maryDirect prepares the paper's Mary query and returns its direct
+// SPARQL translation — the memory-hungry form whose materialized
+// evaluation peaks at ~182 MB of intermediates on the 80k cube
+// (EXPERIMENTS.md A-resource).
+func maryDirect(t *testing.T, env *demo.Enriched) string {
+	t.Helper()
+	src, err := os.ReadFile("queries/mary.ql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ql.Prepare(string(src), env.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Translation.Direct
+}
+
+// peakFor evaluates the query on an engine with a fresh account
+// attached and reports the peak in-flight bytes it charged.
+func peakFor(t *testing.T, env *demo.Enriched, query string, opts ...sparql.Option) int64 {
+	t.Helper()
+	e := sparql.NewEngine(env.Store, opts...)
+	acct := obs.NewQueryAcct(nil, 0)
+	ctx := sparql.WithQueryAcct(context.Background(), acct)
+	res, err := e.QueryStringContext(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("empty result — the fixture or translation changed")
+	}
+	acct.Finish()
+	return acct.Peak()
+}
+
+// TestStreamingBoundsMaryPeak is the tentpole's memory acceptance
+// gate: the streamed evaluation of the direct Mary translation must
+// hold at most 1/5 of the materialized path's peak in-flight bytes —
+// the pipeline's footprint is stages × chunks plus the final table,
+// not the 80k-row intermediate join.
+func TestStreamingBoundsMaryPeak(t *testing.T) {
+	obsCount := 80000
+	minShrink := int64(5)
+	if testing.Short() {
+		// The small cube's final result dominates the footprint, so the
+		// shrink factor is structurally smaller; keep a 2x floor as the
+		// smoke-level regression tripwire.
+		obsCount = 5000
+		minShrink = 2
+	}
+	env, err := demo.Build(configFor(obsCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := maryDirect(t, env)
+
+	matPeak := peakFor(t, env, query, sparql.WithChunkSize(0))
+	streamPeak := peakFor(t, env, query, sparql.WithChunkSize(1024))
+	t.Logf("obs=%d: materialized peak %.1f MB, streamed peak %.1f MB (%.1fx)",
+		obsCount, float64(matPeak)/1e6, float64(streamPeak)/1e6,
+		float64(matPeak)/float64(streamPeak))
+	if streamPeak*minShrink > matPeak {
+		t.Errorf("streamed peak %d not at least %dx below materialized peak %d",
+			streamPeak, minShrink, matPeak)
+	}
+}
+
+// TestStreamingFitsUnderBudget encodes the same bound as an admission
+// decision: a per-query budget far below the materialized peak must
+// reject the materialized run with a typed *MemLimitError and admit
+// the streamed run of the same query. This is the -max-query-mem
+// contract the streaming pipeline was built to honor.
+func TestStreamingFitsUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the 80k fixture for a meaningful budget gap")
+	}
+	env, err := demo.Build(configFor(80000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := maryDirect(t, env)
+	const budget = 40 << 20 // ~1/4.5 of the 182 MB materialized peak
+
+	mat := sparql.NewEngine(env.Store, sparql.WithChunkSize(0), sparql.WithMaxQueryMem(budget))
+	_, err = mat.QueryString(query)
+	var mle *sparql.MemLimitError
+	if !errors.As(err, &mle) {
+		t.Fatalf("materialized run under %d-byte budget: err = %v, want *MemLimitError", int64(budget), err)
+	}
+
+	str := sparql.NewEngine(env.Store, sparql.WithChunkSize(1024), sparql.WithMaxQueryMem(budget))
+	res, err := str.QueryString(query)
+	if err != nil {
+		t.Fatalf("streamed run under the same budget: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("streamed run returned no rows")
+	}
+}
+
+// TestConcurrentStreamingUnderBudget runs concurrent streamed clients
+// against a shared tracker, each under the per-query budget the
+// materialized path cannot meet, and checks they all complete. This is
+// the test-shaped version of BenchmarkConcurrentQuery's 64-client
+// configuration: admission no longer has to choose between rejecting
+// the Mary query and letting 64 × 182 MB pile up.
+func TestConcurrentStreamingUnderBudget(t *testing.T) {
+	obsCount := 80000
+	clients := 16
+	if testing.Short() {
+		obsCount = 5000
+		clients = 4
+	}
+	env, err := demo.Build(configFor(obsCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := maryDirect(t, env)
+	tr := obs.NewResourceTracker()
+	e := sparql.NewEngine(env.Store,
+		sparql.WithChunkSize(1024),
+		sparql.WithResources(tr),
+		sparql.WithMaxQueryMem(40<<20))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.QueryString(query)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Len() == 0 {
+				errs <- fmt.Errorf("empty result")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent streamed client: %v", err)
+	}
+	if tr.Inflight() != 0 {
+		t.Errorf("tracker inflight = %d after all queries finished, want 0", tr.Inflight())
+	}
+	t.Logf("%d clients, process high water %.1f MB", clients, float64(tr.HighWater())/1e6)
+}
